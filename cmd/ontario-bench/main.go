@@ -1,0 +1,116 @@
+// Command ontario-bench reruns the paper's evaluation against the
+// synthetic LSLOD lake:
+//
+//	-experiment grid   the eight configurations (2 QEP types × 4 networks)
+//	                   for Q1–Q5, with the aware/unaware speedup table (E3)
+//	-experiment fig2   the Figure-2 answer traces for Q3 (E2); use -csv to
+//	                   emit the trace points for plotting
+//	-experiment h1     Q2 translation-quality sensitivity (E6)
+//	-experiment h2     Q1/Q3 filter-placement comparison (E4/E5)
+//	-experiment all    everything above
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ontario/internal/exp"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | all")
+		small  = flag.Bool("small", false, "use the small data scale")
+		seed   = flag.Int64("seed", 1, "data and network seed")
+		scalef = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
+		csvOut = flag.String("csv", "", "write Figure-2 answer traces as CSV to this file")
+	)
+	flag.Parse()
+
+	scale := lslod.DefaultScale()
+	if *small {
+		scale = lslod.SmallScale()
+	}
+	lake, err := lslod.BuildLake(scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+	runner := exp.NewRunner(lake)
+	runner.NetworkScale = *scalef
+	runner.Seed = *seed
+	ctx := context.Background()
+
+	run := strings.ToLower(*which)
+	doAll := run == "all"
+
+	if doAll || run == "grid" {
+		header("E3: full configuration grid (2 QEP types x 4 networks x Q1-Q5)")
+		rows, err := runner.RunGrid(ctx)
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTable(os.Stdout, rows)
+		fmt.Println()
+		header("aware vs unaware speedups")
+		exp.WriteSpeedups(os.Stdout, exp.Speedups(rows))
+	}
+
+	if doAll || run == "fig2" {
+		header("E2 (Figure 2): answer traces for Q3, both QEP types x 4 networks")
+		rows, err := runner.RunFig2(ctx)
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTable(os.Stdout, rows)
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := exp.WriteTraceCSV(f, rows); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\ntrace points written to %s\n", *csvOut)
+		}
+	}
+
+	if doAll || run == "h1" {
+		header("E6: Heuristic 1 translation sensitivity on Q2 (paper: optimized SQL approx. halves the unaware time)")
+		for _, net := range []netsim.Profile{netsim.NoDelay, netsim.Gamma2} {
+			rows, err := runner.RunH1(ctx, net)
+			if err != nil {
+				fail(err)
+			}
+			exp.WriteTable(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+
+	if doAll || run == "h2" {
+		header("E4/E5: Heuristic 2 filter placement on Q1 (engine-level wins on fast nets) and Q3 (source-level wins)")
+		rows, err := runner.RunH2(ctx)
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTable(os.Stdout, rows)
+	}
+}
+
+func header(s string) {
+	fmt.Println()
+	fmt.Println(s)
+	fmt.Println(strings.Repeat("=", len(s)))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ontario-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package ontario_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+// Example runs one federated query with both plan types and compares the
+// transferred intermediate results.
+func Example() {
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(lake.Catalog)
+
+	query := `
+SELECT ?disease ?gene WHERE {
+  ?disease <` + lslod.PredDiseaseName + `> ?name .
+  ?disease <` + lslod.PredAssociatedGene + `> ?gene .
+  ?gene <` + lslod.PredGeneChromosome + `> "chr7" .
+}`
+	ctx := context.Background()
+	unaware, err := eng.Query(ctx, query,
+		ontario.WithUnawarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware, err := eng.Query(ctx, query,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same answers: %v\n", len(unaware.Answers) == len(aware.Answers))
+	fmt.Printf("aware transfers fewer intermediate results: %v\n",
+		aware.Messages < unaware.Messages)
+	// Output:
+	// same answers: true
+	// aware transfers fewer intermediate results: true
+}
+
+// ExampleEngine_Explain shows a physical-design-aware plan: both stars live
+// in Diseasome and the join attribute is indexed, so Heuristic 1 merges
+// them into one SQL request.
+func ExampleEngine_Explain() {
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(lake.Catalog)
+	plan, err := eng.Explain(`
+SELECT ?d ?g WHERE {
+  ?d <`+lslod.PredDiseaseName+`> ?n .
+  ?d <`+lslod.PredAssociatedGene+`> ?g .
+  ?g <`+lslod.PredGeneLabel+`> ?l .
+}`, ontario.WithAwarePlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// Plan[physical-design-aware, filters=source-if-indexed, translation=optimized, join=symmetric-hash, decomposition=star-shaped]
+	//   MergedService[diseasome] star(?d:Disease, 2 patterns) star(?g:Gene, 1 patterns)
+}
+
+// ExampleEngine_Query_heuristic2 shows Heuristic 2: on a fast network the
+// filter stays at the engine; on a slow network it is pushed into the
+// relational source.
+func ExampleEngine_Query_heuristic2() {
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(lake.Catalog)
+	query := `
+SELECT ?p WHERE {
+  ?p <` + lslod.PredProbeChromosome + `> ?c .
+  ?p <` + lslod.PredSignal + `> ?s .
+  FILTER (?c = "chr5")
+}`
+	for _, net := range []netsim.Profile{netsim.Gamma1, netsim.Gamma3} {
+		res, err := eng.Query(context.Background(), query,
+			ontario.WithHeuristic2(), ontario.WithNetwork(net), ontario.WithNetworkScale(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pushed := strings.Contains(res.Plan.Explain(), "pushed-filters")
+		fmt.Printf("%s: filter pushed to source: %v\n", net.Name, pushed)
+	}
+	// Output:
+	// Gamma 1: filter pushed to source: false
+	// Gamma 3: filter pushed to source: true
+}

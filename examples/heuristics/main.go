@@ -1,0 +1,92 @@
+// Heuristics: show exactly what the two heuristics change — the plan
+// shapes for the motivating example (Figure 1), the SQL produced by the
+// optimized vs naive translation for Q2, and Heuristic 2's network-
+// dependent filter placement.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+func main() {
+	lake, err := lslod.BuildLake(lslod.DefaultScale(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(lake.Catalog)
+	ctx := context.Background()
+
+	q4 := ""
+	for _, q := range lslod.Queries() {
+		if q.ID == "Q4" {
+			q4 = q.Text
+		}
+	}
+
+	fmt.Println("=== Motivating example (Figure 1): Q4 ===")
+	fmt.Println("\n(b) physical-design-UNAWARE plan — every join and filter at the engine:")
+	plan, err := eng.Explain(q4, ontario.WithUnawarePlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+
+	fmt.Println("\n(c) physical-design-AWARE plan — the Diseasome join is pushed down (Heuristic 1),")
+	fmt.Println("    the species filter stays at the engine (not indexed, 15% rule):")
+	plan, err = eng.Explain(q4, ontario.WithAwarePlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+
+	fmt.Println("\n=== Heuristic 2: filter placement depends on the network ===")
+	q3 := ""
+	for _, q := range lslod.Queries() {
+		if q.ID == "Q3" {
+			q3 = q.Text
+		}
+	}
+	for _, net := range []netsim.Profile{netsim.Gamma1, netsim.Gamma3} {
+		plan, err := eng.Explain(q3,
+			ontario.WithAwarePlan(), ontario.WithHeuristic2(), ontario.WithNetwork(net))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nnetwork %s (mean %s):\n%s", net.Name, net.MeanLatency(), plan)
+	}
+
+	fmt.Println("\n=== Heuristic 1 and translation quality (Q2) ===")
+	q2 := ""
+	for _, q := range lslod.Queries() {
+		if q.ID == "Q2" {
+			q2 = q.Text
+		}
+	}
+	for _, cfg := range []struct {
+		label string
+		opts  []ontario.Option
+	}{
+		{"unaware (two services, engine join)", []ontario.Option{ontario.WithUnawarePlan()}},
+		{"aware + naive translation", []ontario.Option{ontario.WithAwarePlan(), ontario.WithNaiveTranslation()}},
+		{"aware + optimized translation", []ontario.Option{ontario.WithAwarePlan()}},
+	} {
+		opts := append(cfg.opts, ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(0.2))
+		res, err := eng.Query(ctx, q2, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s %3d answers, %8s, %4d messages\n",
+			cfg.label, len(res.Answers),
+			res.ExecutionTime().Round(10*time.Microsecond), res.Messages)
+	}
+	fmt.Println("\nThe naive translation fetches each star separately and joins inside the wrapper,")
+	fmt.Println("so pushing the join down buys nothing — Ontario's reported limitation. The optimized")
+	fmt.Println("translation sends one SQL query and cuts both time and transferred messages.")
+}

@@ -1,0 +1,142 @@
+// Lifesciences: federated queries spanning several datasets of the lake,
+// including a mixed lake where some sources stay native RDF — the
+// heterogeneity a Semantic Data Lake is built for.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A mixed lake: Diseasome and KEGG stay native RDF, the other eight
+	// datasets are relational.
+	lake, err := lslod.BuildMixedLake(lslod.DefaultScale(), 1,
+		[]string{lslod.DSDiseasome, lslod.DSKEGG})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(lake.Catalog)
+
+	// 1. Which recruiting trials study drugs for diseases linked to a gene
+	//    on chromosome 17? (LinkedCT ⋈ Diseasome ⋈ DrugBank)
+	trialQuery := `
+SELECT ?title ?dname ?drugname WHERE {
+  ?trial <` + lslod.PredTrialTitle + `> ?title .
+  ?trial <` + lslod.PredStatus + `> ?status .
+  ?trial <` + lslod.PredCondition + `> ?disease .
+  ?trial <` + lslod.PredIntervention + `> ?drug .
+  ?disease <` + lslod.PredDiseaseName + `> ?dname .
+  ?disease <` + lslod.PredAssociatedGene + `> ?gene .
+  ?gene <` + lslod.PredGeneChromosome + `> "chr17" .
+  ?drug <` + lslod.PredGenericName + `> ?drugname .
+  FILTER (?status = "Recruiting")
+}`
+	res, err := eng.Query(ctx, trialQuery,
+		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recruiting trials for chr17-linked diseases: %d\n", len(res.Answers))
+	for i, b := range res.Answers {
+		if i >= 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s  (drug %s)\n", b["title"].Value, b["drugname"].Value)
+	}
+
+	// 2. Side effects shared by drugs targeting the same gene
+	//    (SIDER ⋈ DrugBank ⋈ Diseasome), aggregated client-side.
+	effectQuery := `
+SELECT ?effect ?drugname WHERE {
+  ?se <` + lslod.PredEffectName + `> ?effect .
+  ?se <` + lslod.PredCausedBy + `> ?drug .
+  ?drug <` + lslod.PredGenericName + `> ?drugname .
+  ?drug <` + lslod.PredDrugCategory + `> "antineoplastic" .
+}`
+	res, err = eng.Query(ctx, effectQuery,
+		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, b := range res.Answers {
+		counts[b["effect"].Value]++
+	}
+	type ec struct {
+		name string
+		n    int
+	}
+	var top []ec
+	for n, c := range counts {
+		top = append(top, ec{n, c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].name < top[j].name
+	})
+	fmt.Printf("\nmost reported side effects of antineoplastic drugs (%d reports):\n", len(res.Answers))
+	for i, e := range top {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-20s %d\n", e.name, e.n)
+	}
+
+	// 3. Gene–drug evidence from PharmGKB joined with patient mutations
+	//    from TCGA.
+	pgkbQuery := `
+SELECT ?patient ?glabel ?drugname WHERE {
+  ?assoc <` + lslod.PredPAGene + `> ?gene .
+  ?assoc <` + lslod.PredPADrug + `> ?drug .
+  ?assoc <` + lslod.PredEvidence + `> "clinical-annotation" .
+  ?gene <` + lslod.PredGeneLabel + `> ?glabel .
+  ?patient <` + lslod.PredMutatedGene + `> ?gene .
+  ?drug <` + lslod.PredGenericName + `> ?drugname .
+}`
+	res, err = eng.Query(ctx, pgkbQuery,
+		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npatients with mutations in clinically annotated genes: %d matches\n", len(res.Answers))
+
+	// 4. OPTIONAL and UNION: every antineoplastic drug, with its trials if
+	//    any, and anything referencing it from SIDER or PharmGKB.
+	optUnionQuery := `
+SELECT ?drugname ?title ?ref WHERE {
+  ?drug <` + lslod.PredGenericName + `> ?drugname .
+  ?drug <` + lslod.PredDrugCategory + `> "antineoplastic" .
+  { ?ref <` + lslod.PredCausedBy + `> ?drug . }
+  UNION
+  { ?ref <` + lslod.PredPADrug + `> ?drug . }
+  OPTIONAL {
+    ?trial <` + lslod.PredIntervention + `> ?drug .
+    ?trial <` + lslod.PredTrialTitle + `> ?title .
+  }
+}`
+	res, err = eng.Query(ctx, optUnionQuery,
+		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+	if err != nil {
+		log.Fatal(err)
+	}
+	withTrial := 0
+	for _, b := range res.Answers {
+		if _, ok := b["title"]; ok {
+			withTrial++
+		}
+	}
+	fmt.Printf("\nreferences to antineoplastic drugs (SIDER ∪ PharmGKB): %d, of which %d are in trials\n",
+		len(res.Answers), withTrial)
+}

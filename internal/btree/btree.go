@@ -1,0 +1,270 @@
+// Package btree implements an in-memory B+tree keyed by byte-comparable
+// strings, with duplicate keys allowed. It backs the ordered secondary
+// indexes of the relational engine: point lookups, range scans and ordered
+// iteration.
+package btree
+
+import "sort"
+
+const (
+	// order is the maximum number of children of an internal node.
+	order      = 64
+	maxKeys    = order - 1
+	minKeys    = maxKeys / 2
+	maxLeafLen = order
+)
+
+// Tree is a B+tree mapping string keys to integer values (row ids).
+// Duplicate keys are permitted; values for equal keys are kept in insertion
+// order. The zero value is not usable; call New.
+type Tree struct {
+	root node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}}
+}
+
+// Len returns the number of stored entries (including duplicates).
+func (t *Tree) Len() int { return t.size }
+
+type node interface {
+	// insert adds (key, val); when the node splits it returns the
+	// separator key and the new right sibling, else ("", nil).
+	insert(key string, val int) (string, node)
+	// firstLeaf descends to the leftmost leaf.
+	firstLeaf() *leaf
+	// seek descends to the leaf that would contain key and returns it with
+	// the index of the first entry >= key within that leaf.
+	seek(key string) (*leaf, int)
+	// height is the node height (leaf = 1); used by invariant checks.
+	height() int
+	// check verifies structural invariants, returning entry count.
+	check(min, max string, isRoot bool) int
+}
+
+type leaf struct {
+	keys []string
+	vals []int
+	next *leaf
+}
+
+type inner struct {
+	keys     []string
+	children []node
+}
+
+// Insert adds (key, val) to the tree.
+func (t *Tree) Insert(key string, val int) {
+	sep, right := t.root.insert(key, val)
+	if right != nil {
+		t.root = &inner{keys: []string{sep}, children: []node{t.root, right}}
+	}
+	t.size++
+}
+
+// Get returns all values stored under exactly key, in insertion order.
+func (t *Tree) Get(key string) []int {
+	lf, i := t.root.seek(key)
+	var out []int
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if lf.keys[i] != key {
+				return out
+			}
+			out = append(out, lf.vals[i])
+		}
+		lf, i = lf.next, 0
+	}
+	return out
+}
+
+// Range calls fn for every entry with lo <= key and (hi == "" or key < hi
+// when hiExclusive, key <= hi otherwise), in ascending key order. fn
+// returning false stops the scan. An empty lo starts at the smallest key;
+// hasHi=false scans to the end.
+func (t *Tree) Range(lo string, hasLo bool, hi string, hasHi, hiExclusive bool, fn func(key string, val int) bool) {
+	var lf *leaf
+	var i int
+	if hasLo {
+		lf, i = t.root.seek(lo)
+	} else {
+		lf, i = t.root.firstLeaf(), 0
+	}
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			k := lf.keys[i]
+			if hasHi {
+				if hiExclusive && k >= hi {
+					return
+				}
+				if !hiExclusive && k > hi {
+					return
+				}
+			}
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+		lf, i = lf.next, 0
+	}
+}
+
+// Ascend calls fn for every entry in ascending key order until fn returns
+// false.
+func (t *Tree) Ascend(fn func(key string, val int) bool) {
+	t.Range("", false, "", false, false, fn)
+}
+
+// Min returns the smallest key, or "" and false when empty.
+func (t *Tree) Min() (string, bool) {
+	lf := t.root.firstLeaf()
+	for lf != nil {
+		if len(lf.keys) > 0 {
+			return lf.keys[0], true
+		}
+		lf = lf.next
+	}
+	return "", false
+}
+
+// leaf implementation
+
+func (l *leaf) firstLeaf() *leaf { return l }
+
+func (l *leaf) height() int { return 1 }
+
+func (l *leaf) seek(key string) (*leaf, int) {
+	i := sort.SearchStrings(l.keys, key)
+	return l, i
+}
+
+func (l *leaf) insert(key string, val int) (string, node) {
+	// Insert after any existing duplicates of key to preserve insertion
+	// order among equal keys.
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] > key })
+	l.keys = append(l.keys, "")
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.vals = append(l.vals, 0)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = val
+	if len(l.keys) <= maxLeafLen {
+		return "", nil
+	}
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([]string(nil), l.keys[mid:]...),
+		vals: append([]int(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.vals = l.vals[:mid:mid]
+	l.next = right
+	return right.keys[0], right
+}
+
+func (l *leaf) check(min, max string, isRoot bool) int {
+	if !isRoot && len(l.keys) == 0 {
+		panic("btree: empty non-root leaf")
+	}
+	for i := range l.keys {
+		if i > 0 && l.keys[i] < l.keys[i-1] {
+			panic("btree: leaf keys out of order")
+		}
+		if min != "" && l.keys[i] < min {
+			panic("btree: leaf key below lower bound")
+		}
+		if max != "" && l.keys[i] > max {
+			panic("btree: leaf key above upper bound")
+		}
+	}
+	return len(l.keys)
+}
+
+// inner implementation
+
+func (n *inner) firstLeaf() *leaf { return n.children[0].firstLeaf() }
+
+func (n *inner) height() int { return 1 + n.children[0].height() }
+
+func (n *inner) childFor(key string) int {
+	// children[i] holds keys < keys[i]; duplicates of a separator key may
+	// live in the left subtree, so descend left on equality for seeks.
+	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+}
+
+func (n *inner) seek(key string) (*leaf, int) {
+	// Descend to the leftmost child that could contain key: children to the
+	// left of the first separator > key might hold duplicates equal to key.
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	lf, idx := n.children[i].seek(key)
+	if idx < len(lf.keys) {
+		return lf, idx
+	}
+	// key larger than everything in this child: continue in the next leaf.
+	return lf.next, 0
+}
+
+func (n *inner) insert(key string, val int) (string, node) {
+	i := n.childFor(key)
+	sep, right := n.children[i].insert(key, val)
+	if right == nil {
+		return "", nil
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.keys) <= maxKeys {
+		return "", nil
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	rightNode := &inner{
+		keys:     append([]string(nil), n.keys[mid+1:]...),
+		children: append([]node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sepUp, rightNode
+}
+
+func (n *inner) check(min, max string, isRoot bool) int {
+	if len(n.children) != len(n.keys)+1 {
+		panic("btree: inner node children/keys mismatch")
+	}
+	if !isRoot && len(n.keys) < 1 {
+		panic("btree: underfull inner node")
+	}
+	h := n.children[0].height()
+	total := 0
+	for i, c := range n.children {
+		if c.height() != h {
+			panic("btree: uneven child heights")
+		}
+		lo, hi := min, max
+		if i > 0 {
+			lo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			hi = n.keys[i]
+		}
+		total += c.check(lo, hi, false)
+	}
+	return total
+}
+
+// Check panics if any structural invariant is violated; it returns the
+// number of entries found by a full traversal. Intended for tests.
+func (t *Tree) Check() int {
+	n := t.root.check("", "", true)
+	if n != t.size {
+		panic("btree: size mismatch")
+	}
+	return n
+}

@@ -1,0 +1,254 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if got := tr.Get("x"); got != nil {
+		t.Fatalf("Get on empty tree = %v, want nil", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	tr.Check()
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tr := New()
+	tr.Insert("b", 2)
+	tr.Insert("a", 1)
+	tr.Insert("c", 3)
+	for k, want := range map[string]int{"a": 1, "b": 2, "c": 3} {
+		got := tr.Get(k)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("Get(%q) = %v, want [%d]", k, got, want)
+		}
+	}
+	if got := tr.Get("zz"); got != nil {
+		t.Errorf("Get missing key = %v, want nil", got)
+	}
+	tr.Check()
+}
+
+func TestDuplicateKeysPreserveInsertionOrder(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert("dup", i)
+	}
+	tr.Insert("aaa", -1)
+	tr.Insert("zzz", -2)
+	got := tr.Get("dup")
+	if len(got) != 100 {
+		t.Fatalf("Get(dup) returned %d values, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Get(dup)[%d] = %d, want %d (insertion order violated)", i, v, i)
+		}
+	}
+	tr.Check()
+}
+
+func TestLargeInsertSorted(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(fmt.Sprintf("key%08d", i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	tr.Check()
+	var keys []string
+	tr.Ascend(func(k string, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("Ascend visited %d entries, want %d", len(keys), n)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("Ascend keys not sorted")
+	}
+}
+
+func TestLargeInsertRandom(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	const n = 8000
+	want := map[string][]int{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%05d", rng.Intn(2000)) // force duplicates
+		tr.Insert(k, i)
+		want[k] = append(want[k], i)
+	}
+	tr.Check()
+	for k, vals := range want {
+		got := tr.Get(k)
+		if len(got) != len(vals) {
+			t.Fatalf("Get(%q) returned %d values, want %d", k, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("Get(%q)[%d] = %d, want %d", k, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(fmt.Sprintf("%03d", i), i)
+	}
+	collect := func(lo string, hasLo bool, hi string, hasHi, hiExcl bool) []int {
+		var out []int
+		tr.Range(lo, hasLo, hi, hasHi, hiExcl, func(k string, v int) bool {
+			out = append(out, v)
+			return true
+		})
+		return out
+	}
+
+	got := collect("010", true, "015", true, true)
+	wantVals(t, got, 10, 14)
+
+	got = collect("010", true, "015", true, false)
+	wantVals(t, got, 10, 15)
+
+	got = collect("", false, "005", true, false)
+	wantVals(t, got, 0, 5)
+
+	got = collect("095", true, "", false, false)
+	wantVals(t, got, 95, 99)
+
+	got = collect("", false, "", false, false)
+	wantVals(t, got, 0, 99)
+}
+
+func wantVals(t *testing.T, got []int, lo, hi int) {
+	t.Helper()
+	if len(got) != hi-lo+1 {
+		t.Fatalf("range returned %d entries, want %d (%v)", len(got), hi-lo+1, got)
+	}
+	for i, v := range got {
+		if v != lo+i {
+			t.Fatalf("range[%d] = %d, want %d", i, v, lo+i)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(fmt.Sprintf("%02d", i), i)
+	}
+	count := 0
+	tr.Ascend(func(k string, v int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d entries, want 7", count)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New()
+	tr.Insert("m", 1)
+	tr.Insert("a", 2)
+	tr.Insert("z", 3)
+	if k, ok := tr.Min(); !ok || k != "a" {
+		t.Fatalf("Min = %q/%v, want a/true", k, ok)
+	}
+}
+
+// Property: for any sequence of insertions, Ascend visits every entry in
+// sorted key order and Get finds all values per key.
+func TestQuickInsertionProperties(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := New()
+		want := map[string]int{}
+		for i, k := range keys {
+			ks := fmt.Sprintf("%05d", k)
+			tr.Insert(ks, i)
+			want[ks]++
+		}
+		tr.Check()
+		prev := ""
+		n := 0
+		okOrder := true
+		tr.Ascend(func(k string, v int) bool {
+			if k < prev {
+				okOrder = false
+				return false
+			}
+			prev = k
+			n++
+			return true
+		})
+		if !okOrder || n != len(keys) {
+			return false
+		}
+		for k, c := range want {
+			if len(tr.Get(k)) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a range scan [lo, hi] returns exactly the entries a linear scan
+// of the sorted input would return.
+func TestQuickRangeMatchesReference(t *testing.T) {
+	f := func(keys []uint8, lo, hi uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New()
+		var all []string
+		for i, k := range keys {
+			ks := fmt.Sprintf("%03d", k)
+			tr.Insert(ks, i)
+			all = append(all, ks)
+		}
+		sort.Strings(all)
+		loS, hiS := fmt.Sprintf("%03d", lo), fmt.Sprintf("%03d", hi)
+		var want []string
+		for _, k := range all {
+			if k >= loS && k <= hiS {
+				want = append(want, k)
+			}
+		}
+		var got []string
+		tr.Range(loS, true, hiS, true, false, func(k string, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package catalog describes the Semantic Data Lake to the federated query
+// engine: the sources (RDF graphs and relational databases), the RDF
+// Molecule Templates (RDF-MTs, following MULDER) used for source selection,
+// the R2RML-style mappings from RDF classes to 3NF relational stars, and
+// the physical-design metadata (which columns are indexed) the paper's
+// heuristics depend on.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+)
+
+// DataModel enumerates the data models present in the lake.
+type DataModel int
+
+// Data models.
+const (
+	ModelRDF DataModel = iota
+	ModelRelational
+)
+
+// String names the model.
+func (m DataModel) String() string {
+	if m == ModelRDF {
+		return "RDF"
+	}
+	return "Relational"
+}
+
+// PropertyMapping maps one RDF predicate of a class to relational storage.
+// Exactly one of Column or (JoinTable, JoinFK, ValueColumn) is set: a
+// direct column on the class's base table, or a 3NF side table holding a
+// multi-valued attribute or link.
+type PropertyMapping struct {
+	Predicate string
+	// Direct attribute on the base table.
+	Column string
+	// Normalized side table: JoinTable.JoinFK references the base table's
+	// primary key and ValueColumn holds the value.
+	JoinTable   string
+	JoinFK      string
+	ValueColumn string
+	// ObjectTemplate, when non-empty, renders the stored value into an IRI
+	// ("...{value}..."), marking the object as a resource rather than a
+	// literal. ObjectClass optionally names the class of that resource.
+	ObjectTemplate string
+	ObjectClass    string
+}
+
+// IsJoin reports whether the property lives in a side table.
+func (pm *PropertyMapping) IsJoin() bool { return pm.JoinTable != "" }
+
+// ClassMapping maps one RDF class onto a relational star rooted at Table.
+// Following the paper (and MapSDI), the SPARQL subject corresponds to the
+// base table's primary key — except for denormalized layouts, where the
+// subject column repeats across rows (the paper's future-work "not
+// normalized tables" setting).
+type ClassMapping struct {
+	Class string // class IRI
+	Table string // base table name
+	// SubjectColumn identifies the subject: the primary key for 3NF
+	// layouts, a repeated (indexed) column for denormalized layouts.
+	SubjectColumn string
+	// SubjectTemplate renders a key into the subject IRI, e.g.
+	// "http://lake/diseasome/disease/{id}".
+	SubjectTemplate string
+	// Denormalized marks a non-3NF wide-table layout: one row per
+	// combination of multi-valued attributes, with single-valued
+	// attributes repeated. Wrappers must de-duplicate (SELECT DISTINCT) to
+	// recover RDF set semantics.
+	Denormalized bool
+	Properties   map[string]*PropertyMapping
+}
+
+// Property returns the mapping for a predicate IRI, or nil.
+func (cm *ClassMapping) Property(pred string) *PropertyMapping {
+	return cm.Properties[pred]
+}
+
+// SubjectIRI renders the subject IRI for a key value.
+func (cm *ClassMapping) SubjectIRI(key string) string {
+	return strings.Replace(cm.SubjectTemplate, "{value}", key, 1)
+}
+
+// SubjectKey extracts the key from a subject IRI; ok is false when the IRI
+// does not match the template.
+func (cm *ClassMapping) SubjectKey(iri string) (string, bool) {
+	return templateKey(cm.SubjectTemplate, iri)
+}
+
+// templateKey inverts a "{value}" template.
+func templateKey(template, s string) (string, bool) {
+	i := strings.Index(template, "{value}")
+	if i < 0 {
+		return "", false
+	}
+	prefix, suffix := template[:i], template[i+len("{value}"):]
+	if !strings.HasPrefix(s, prefix) || !strings.HasSuffix(s, suffix) {
+		return "", false
+	}
+	v := s[len(prefix) : len(s)-len(suffix)]
+	if v == "" {
+		return "", false
+	}
+	return v, true
+}
+
+// RenderTemplate renders the "{value}" template with v.
+func RenderTemplate(template, v string) string {
+	return strings.Replace(template, "{value}", v, 1)
+}
+
+// TemplateKey exposes templateKey for wrappers.
+func TemplateKey(template, s string) (string, bool) { return templateKey(template, s) }
+
+// Source is one dataset in the lake.
+type Source struct {
+	ID    string
+	Model DataModel
+
+	// Graph backs RDF sources.
+	Graph *rdf.Graph
+	// DB and Mappings back relational sources.
+	DB       *rdb.Database
+	Mappings map[string]*ClassMapping // by class IRI
+}
+
+// Mapping returns the class mapping for a class IRI, or nil.
+func (s *Source) Mapping(class string) *ClassMapping {
+	if s.Mappings == nil {
+		return nil
+	}
+	return s.Mappings[class]
+}
+
+// HasIndexOn reports whether, under mapping cm, the storage column backing
+// predicate pred is indexed (including primary keys). For side-table
+// properties the relevant access column is the value column when filtering
+// and the FK when joining; joinSide selects which.
+func (s *Source) HasIndexOn(cm *ClassMapping, pred string, joinSide bool) bool {
+	if s.Model != ModelRelational || s.DB == nil {
+		return false
+	}
+	pm := cm.Property(pred)
+	if pm == nil {
+		return false
+	}
+	if !pm.IsJoin() {
+		t := s.DB.Table(cm.Table)
+		return t != nil && t.HasIndexOn(pm.Column)
+	}
+	t := s.DB.Table(pm.JoinTable)
+	if t == nil {
+		return false
+	}
+	if joinSide {
+		return t.HasIndexOn(pm.JoinFK)
+	}
+	return t.HasIndexOn(pm.ValueColumn)
+}
+
+// SubjectIndexed reports whether the class's subject column is indexed; it
+// is always true for a well-formed mapping because the subject is the
+// primary key.
+func (s *Source) SubjectIndexed(cm *ClassMapping) bool {
+	if s.Model != ModelRelational || s.DB == nil {
+		return false
+	}
+	t := s.DB.Table(cm.Table)
+	return t != nil && t.HasIndexOn(cm.SubjectColumn)
+}
+
+// PredicateDesc describes one predicate of an RDF-MT.
+type PredicateDesc struct {
+	Predicate string
+	// LinkedClass names the class of the objects when the predicate links
+	// to another molecule (an intra- or inter-source link).
+	LinkedClass string
+}
+
+// RDFMT is an RDF Molecule Template: the abstract description of the
+// entities of one class, with the predicates they share and the sources
+// able to answer them (MULDER / Ontario source descriptions).
+type RDFMT struct {
+	Class      string
+	Predicates []PredicateDesc
+	Sources    []string // source IDs
+}
+
+// HasPredicate reports whether the molecule offers the predicate.
+func (mt *RDFMT) HasPredicate(p string) bool {
+	for _, pd := range mt.Predicates {
+		if pd.Predicate == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is the data-lake description handed to the engine.
+type Catalog struct {
+	sources map[string]*Source
+	mts     map[string]*RDFMT // by class IRI
+	// predIndex maps predicate IRI -> class IRIs of molecules containing it.
+	predIndex map[string][]string
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		sources:   make(map[string]*Source),
+		mts:       make(map[string]*RDFMT),
+		predIndex: make(map[string][]string),
+	}
+}
+
+// AddSource registers a source.
+func (c *Catalog) AddSource(s *Source) error {
+	if s.ID == "" {
+		return fmt.Errorf("catalog: source has empty ID")
+	}
+	if _, dup := c.sources[s.ID]; dup {
+		return fmt.Errorf("catalog: duplicate source %s", s.ID)
+	}
+	switch s.Model {
+	case ModelRDF:
+		if s.Graph == nil {
+			return fmt.Errorf("catalog: RDF source %s has no graph", s.ID)
+		}
+	case ModelRelational:
+		if s.DB == nil {
+			return fmt.Errorf("catalog: relational source %s has no database", s.ID)
+		}
+		for class, cm := range s.Mappings {
+			t := s.DB.Table(cm.Table)
+			if t == nil {
+				return fmt.Errorf("catalog: source %s maps class %s to unknown table %s", s.ID, class, cm.Table)
+			}
+			if cm.Denormalized {
+				if t.Schema.ColumnIndex(cm.SubjectColumn) < 0 {
+					return fmt.Errorf("catalog: source %s class %s: denormalized subject column %s missing in %s",
+						s.ID, class, cm.SubjectColumn, cm.Table)
+				}
+			} else if t.Schema.PrimaryKey != cm.SubjectColumn {
+				return fmt.Errorf("catalog: source %s class %s: subject column %s is not the primary key of %s",
+					s.ID, class, cm.SubjectColumn, cm.Table)
+			}
+			for pred, pm := range cm.Properties {
+				if pm.IsJoin() {
+					jt := s.DB.Table(pm.JoinTable)
+					if jt == nil {
+						return fmt.Errorf("catalog: source %s: predicate %s uses unknown table %s", s.ID, pred, pm.JoinTable)
+					}
+					if jt.Schema.ColumnIndex(pm.JoinFK) < 0 || jt.Schema.ColumnIndex(pm.ValueColumn) < 0 {
+						return fmt.Errorf("catalog: source %s: predicate %s references missing columns in %s", s.ID, pred, pm.JoinTable)
+					}
+				} else if t.Schema.ColumnIndex(pm.Column) < 0 {
+					return fmt.Errorf("catalog: source %s: predicate %s maps to unknown column %s.%s", s.ID, pred, cm.Table, pm.Column)
+				}
+			}
+		}
+	}
+	c.sources[s.ID] = s
+	return nil
+}
+
+// AddMT registers a molecule template, merging sources and predicates if
+// the class is already present.
+func (c *Catalog) AddMT(mt *RDFMT) {
+	existing, ok := c.mts[mt.Class]
+	if !ok {
+		cp := &RDFMT{Class: mt.Class}
+		cp.Predicates = append(cp.Predicates, mt.Predicates...)
+		cp.Sources = append(cp.Sources, mt.Sources...)
+		c.mts[mt.Class] = cp
+		for _, pd := range mt.Predicates {
+			c.addPredClass(pd.Predicate, mt.Class)
+		}
+		return
+	}
+	for _, pd := range mt.Predicates {
+		if !existing.HasPredicate(pd.Predicate) {
+			existing.Predicates = append(existing.Predicates, pd)
+			c.addPredClass(pd.Predicate, mt.Class)
+		}
+	}
+	for _, src := range mt.Sources {
+		found := false
+		for _, s := range existing.Sources {
+			if s == src {
+				found = true
+				break
+			}
+		}
+		if !found {
+			existing.Sources = append(existing.Sources, src)
+		}
+	}
+}
+
+func (c *Catalog) addPredClass(pred, class string) {
+	for _, cl := range c.predIndex[pred] {
+		if cl == class {
+			return
+		}
+	}
+	c.predIndex[pred] = append(c.predIndex[pred], class)
+}
+
+// Source returns the source with the given ID, or nil.
+func (c *Catalog) Source(id string) *Source { return c.sources[id] }
+
+// SourceIDs returns the sorted registered source IDs.
+func (c *Catalog) SourceIDs() []string {
+	out := make([]string, 0, len(c.sources))
+	for id := range c.sources {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MT returns the molecule template for a class IRI, or nil.
+func (c *Catalog) MT(class string) *RDFMT { return c.mts[class] }
+
+// Classes returns the sorted class IRIs with registered molecules.
+func (c *Catalog) Classes() []string {
+	out := make([]string, 0, len(c.mts))
+	for cl := range c.mts {
+		out = append(out, cl)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassesWithPredicate returns the classes whose molecules contain the
+// predicate, sorted.
+func (c *Catalog) ClassesWithPredicate(pred string) []string {
+	out := append([]string(nil), c.predIndex[pred]...)
+	sort.Strings(out)
+	return out
+}

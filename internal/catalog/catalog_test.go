@@ -1,0 +1,210 @@
+package catalog
+
+import (
+	"testing"
+
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+)
+
+func TestTemplateKey(t *testing.T) {
+	tmpl := "http://lake/disease/{value}"
+	if got := RenderTemplate(tmpl, "42"); got != "http://lake/disease/42" {
+		t.Errorf("RenderTemplate = %s", got)
+	}
+	k, ok := TemplateKey(tmpl, "http://lake/disease/42")
+	if !ok || k != "42" {
+		t.Errorf("TemplateKey = %q/%v", k, ok)
+	}
+	if _, ok := TemplateKey(tmpl, "http://other/disease/42"); ok {
+		t.Error("TemplateKey matched wrong prefix")
+	}
+	if _, ok := TemplateKey(tmpl, "http://lake/disease/"); ok {
+		t.Error("TemplateKey matched empty key")
+	}
+	if _, ok := TemplateKey("no-placeholder", "no-placeholder"); ok {
+		t.Error("TemplateKey without placeholder matched")
+	}
+	// Template with suffix.
+	k, ok = TemplateKey("http://x/{value}/end", "http://x/7/end")
+	if !ok || k != "7" {
+		t.Errorf("TemplateKey with suffix = %q/%v", k, ok)
+	}
+}
+
+func TestClassMappingSubject(t *testing.T) {
+	cm := &ClassMapping{SubjectTemplate: "http://lake/gene/{value}"}
+	if got := cm.SubjectIRI("9"); got != "http://lake/gene/9" {
+		t.Errorf("SubjectIRI = %s", got)
+	}
+	k, ok := cm.SubjectKey("http://lake/gene/9")
+	if !ok || k != "9" {
+		t.Errorf("SubjectKey = %q/%v", k, ok)
+	}
+}
+
+func relSource(t *testing.T) *Source {
+	t.Helper()
+	db := rdb.NewDatabase("d")
+	tab, err := db.CreateTable(&rdb.Schema{
+		Name: "thing",
+		Columns: []rdb.Column{
+			{Name: "id", Type: rdb.TypeInt, NotNull: true},
+			{Name: "label", Type: rdb.TypeString},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.CreateTable(&rdb.Schema{
+		Name: "thing_link",
+		Columns: []rdb.Column{
+			{Name: "id", Type: rdb.TypeInt, NotNull: true},
+			{Name: "thing_id", Type: rdb.TypeInt},
+			{Name: "other_id", Type: rdb.TypeInt},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex(rdb.IndexSpec{Column: "label", Kind: rdb.IndexHash}); err != nil {
+		t.Fatal(err)
+	}
+	return &Source{
+		ID:    "d",
+		Model: ModelRelational,
+		DB:    db,
+		Mappings: map[string]*ClassMapping{
+			"http://c/Thing": {
+				Class: "http://c/Thing", Table: "thing",
+				SubjectColumn: "id", SubjectTemplate: "http://e/thing/{value}",
+				Properties: map[string]*PropertyMapping{
+					"http://p/label": {Predicate: "http://p/label", Column: "label"},
+					"http://p/link": {
+						Predicate: "http://p/link", JoinTable: "thing_link",
+						JoinFK: "thing_id", ValueColumn: "other_id",
+						ObjectTemplate: "http://e/thing/{value}",
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestAddSourceValidation(t *testing.T) {
+	c := New()
+	if err := c.AddSource(&Source{}); err == nil {
+		t.Error("empty source accepted")
+	}
+	if err := c.AddSource(&Source{ID: "r", Model: ModelRDF}); err == nil {
+		t.Error("RDF source without graph accepted")
+	}
+	if err := c.AddSource(&Source{ID: "q", Model: ModelRelational}); err == nil {
+		t.Error("relational source without DB accepted")
+	}
+	src := relSource(t)
+	if err := c.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSource(src); err == nil {
+		t.Error("duplicate source accepted")
+	}
+	if got := c.Source("d"); got != src {
+		t.Error("Source lookup failed")
+	}
+	if ids := c.SourceIDs(); len(ids) != 1 || ids[0] != "d" {
+		t.Errorf("SourceIDs = %v", ids)
+	}
+}
+
+func TestAddSourceMappingValidation(t *testing.T) {
+	src := relSource(t)
+	src.Mappings["http://c/Bad"] = &ClassMapping{
+		Class: "http://c/Bad", Table: "missing", SubjectColumn: "id",
+	}
+	if err := New().AddSource(src); err == nil {
+		t.Error("mapping to missing table accepted")
+	}
+	delete(src.Mappings, "http://c/Bad")
+
+	src2 := relSource(t)
+	src2.Mappings["http://c/Thing"].SubjectColumn = "label"
+	if err := New().AddSource(src2); err == nil {
+		t.Error("non-PK subject column accepted")
+	}
+
+	src3 := relSource(t)
+	src3.Mappings["http://c/Thing"].Properties["http://p/bad"] = &PropertyMapping{Column: "nope"}
+	if err := New().AddSource(src3); err == nil {
+		t.Error("property mapping to unknown column accepted")
+	}
+
+	src4 := relSource(t)
+	src4.Mappings["http://c/Thing"].Properties["http://p/bad"] = &PropertyMapping{
+		JoinTable: "thing_link", JoinFK: "missing_fk", ValueColumn: "other_id",
+	}
+	if err := New().AddSource(src4); err == nil {
+		t.Error("join property with bad FK accepted")
+	}
+}
+
+func TestHasIndexOn(t *testing.T) {
+	src := relSource(t)
+	cm := src.Mapping("http://c/Thing")
+	if cm == nil {
+		t.Fatal("mapping missing")
+	}
+	if !src.SubjectIndexed(cm) {
+		t.Error("primary key not reported indexed")
+	}
+	if !src.HasIndexOn(cm, "http://p/label", false) {
+		t.Error("indexed label column not reported")
+	}
+	// The link side table has no index on either column.
+	if src.HasIndexOn(cm, "http://p/link", false) {
+		t.Error("unindexed value column reported indexed")
+	}
+	if src.HasIndexOn(cm, "http://p/link", true) {
+		t.Error("unindexed FK column reported indexed")
+	}
+	if src.HasIndexOn(cm, "http://p/none", false) {
+		t.Error("unknown predicate reported indexed")
+	}
+	// RDF sources never report indexes.
+	rsrc := &Source{ID: "r", Model: ModelRDF, Graph: rdf.NewGraph()}
+	if rsrc.HasIndexOn(cm, "http://p/label", false) {
+		t.Error("RDF source reported an index")
+	}
+}
+
+func TestMTRegistryAndMerge(t *testing.T) {
+	c := New()
+	c.AddMT(&RDFMT{
+		Class:      "http://c/A",
+		Predicates: []PredicateDesc{{Predicate: "http://p/1"}},
+		Sources:    []string{"s1"},
+	})
+	c.AddMT(&RDFMT{
+		Class:      "http://c/A",
+		Predicates: []PredicateDesc{{Predicate: "http://p/1"}, {Predicate: "http://p/2"}},
+		Sources:    []string{"s1", "s2"},
+	})
+	mt := c.MT("http://c/A")
+	if mt == nil || len(mt.Predicates) != 2 {
+		t.Fatalf("merged MT = %+v", mt)
+	}
+	if len(mt.Sources) != 2 {
+		t.Errorf("merged sources = %v", mt.Sources)
+	}
+	if !mt.HasPredicate("http://p/2") || mt.HasPredicate("http://p/3") {
+		t.Error("HasPredicate wrong")
+	}
+	if got := c.ClassesWithPredicate("http://p/1"); len(got) != 1 || got[0] != "http://c/A" {
+		t.Errorf("ClassesWithPredicate = %v", got)
+	}
+	if got := c.Classes(); len(got) != 1 {
+		t.Errorf("Classes = %v", got)
+	}
+}

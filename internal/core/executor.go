@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ontario/internal/catalog"
+	"ontario/internal/engine"
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+	"ontario/internal/wrapper"
+)
+
+// Executor runs plans against the data lake, instantiating one wrapper per
+// source with a per-source network simulator.
+type Executor struct {
+	cat *catalog.Catalog
+
+	mu       sync.Mutex
+	wrappers map[string]wrapper.Wrapper
+	sims     map[string]*netsim.Simulator
+
+	// NetworkScale multiplies real sleeping in the network simulation
+	// (1.0 reproduces the sampled delays; 0 disables sleeping).
+	NetworkScale float64
+	// Seed fixes the latency random streams.
+	Seed int64
+}
+
+// NewExecutor returns an executor over the catalog.
+func NewExecutor(cat *catalog.Catalog) *Executor {
+	return &Executor{
+		cat:          cat,
+		wrappers:     make(map[string]wrapper.Wrapper),
+		sims:         make(map[string]*netsim.Simulator),
+		NetworkScale: 1.0,
+		Seed:         1,
+	}
+}
+
+// Reset discards cached wrappers and simulators (e.g. when switching the
+// network profile between runs).
+func (e *Executor) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wrappers = make(map[string]wrapper.Wrapper)
+	e.sims = make(map[string]*netsim.Simulator)
+}
+
+func (e *Executor) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w, ok := e.wrappers[sourceID]; ok {
+		return w, nil
+	}
+	src := e.cat.Source(sourceID)
+	if src == nil {
+		return nil, fmt.Errorf("core: unknown source %s", sourceID)
+	}
+	sim := netsim.NewSimulator(opts.Network, e.NetworkScale, e.Seed+int64(len(e.sims)))
+	e.sims[sourceID] = sim
+	var w wrapper.Wrapper
+	switch src.Model {
+	case catalog.ModelRDF:
+		w = wrapper.NewRDFWrapper(sourceID, src.Graph, sim)
+	case catalog.ModelRelational:
+		w = wrapper.NewSQLWrapper(src, sim, opts.Translation)
+	default:
+		return nil, fmt.Errorf("core: source %s has unsupported model", sourceID)
+	}
+	e.wrappers[sourceID] = w
+	return w, nil
+}
+
+// TotalSimulatedDelay sums the sampled network delay across sources since
+// the last Reset.
+func (e *Executor) TotalSimulatedDelay() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total time.Duration
+	for _, s := range e.sims {
+		total += s.SimulatedDelay()
+	}
+	return total
+}
+
+// TotalMessages sums the simulated network messages since the last Reset.
+func (e *Executor) TotalMessages() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, s := range e.sims {
+		total += s.Messages()
+	}
+	return total
+}
+
+// Execute runs the plan and returns the answer stream. The stream applies
+// the query's solution modifiers (projection, DISTINCT, ORDER BY,
+// LIMIT/OFFSET).
+func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error) {
+	root, err := e.run(ctx, p.Root, p.Opts)
+	if err != nil {
+		return nil, err
+	}
+	q := p.Query
+	s := root
+	if vars := q.ProjectedVars(); len(vars) > 0 {
+		s = engine.Project(ctx, s, vars)
+	}
+	if q.Distinct {
+		s = engine.Distinct(ctx, s)
+	}
+	if len(q.OrderBy) > 0 {
+		s = engine.OrderBy(ctx, s, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		s = engine.Offset(ctx, s, q.Offset)
+	}
+	if q.Limit >= 0 {
+		s = engine.Limit(ctx, s, q.Limit)
+	}
+	return s, nil
+}
+
+func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.Stream, error) {
+	switch v := n.(type) {
+	case *ServiceNode:
+		w, err := e.wrapperFor(v.SourceID, opts)
+		if err != nil {
+			return nil, err
+		}
+		return w.Execute(ctx, v.Req)
+	case *JoinNode:
+		if v.Op == JoinBind {
+			if svc, ok := v.R.(*ServiceNode); ok {
+				left, err := e.run(ctx, v.L, opts)
+				if err != nil {
+					return nil, err
+				}
+				w, err := e.wrapperFor(svc.SourceID, opts)
+				if err != nil {
+					return nil, err
+				}
+				service := func(ctx context.Context, seed sparql.Binding) *engine.Stream {
+					req := &wrapper.Request{
+						Stars:   svc.Req.Stars,
+						Filters: svc.Req.Filters,
+						Seed:    seed,
+					}
+					s, err := w.Execute(ctx, req)
+					if err != nil {
+						empty := engine.NewStream(0)
+						empty.Close()
+						return empty
+					}
+					return s
+				}
+				return engine.BindJoin(ctx, left, service, v.JoinVars), nil
+			}
+			// Fall through to symmetric hash when the right side is not a
+			// plain service.
+		}
+		left, err := e.run(ctx, v.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.run(ctx, v.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case JoinNestedLoop:
+			return engine.NestedLoopJoin(ctx, left, right, v.JoinVars), nil
+		default:
+			return engine.SymmetricHashJoin(ctx, left, right, v.JoinVars), nil
+		}
+	case *LeftJoinNode:
+		left, err := e.run(ctx, v.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.run(ctx, v.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		return engine.LeftJoin(ctx, left, right, v.Filters), nil
+	case *FilterNode:
+		in, err := e.run(ctx, v.Child, opts)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Filter(ctx, in, v.Exprs), nil
+	case *UnionNode:
+		var streams []*engine.Stream
+		for _, c := range v.Children {
+			s, err := e.run(ctx, c, opts)
+			if err != nil {
+				return nil, err
+			}
+			streams = append(streams, s)
+		}
+		return engine.Union(ctx, streams...), nil
+	default:
+		return nil, fmt.Errorf("core: unknown plan node %T", n)
+	}
+}
+
+// Engine bundles planner and executor behind the public entry point used
+// by the facade package and the benchmark harness.
+type Engine struct {
+	Planner  *Planner
+	Executor *Executor
+}
+
+// NewEngine returns an engine over the catalog.
+func NewEngine(cat *catalog.Catalog) *Engine {
+	return &Engine{Planner: NewPlanner(cat), Executor: NewExecutor(cat)}
+}
+
+// Run plans and executes the query, returning the answer stream and the
+// plan.
+func (e *Engine) Run(ctx context.Context, q *sparql.Query, opts Options) (*engine.Stream, *Plan, error) {
+	p, err := e.Planner.Plan(q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := e.Executor.Execute(ctx, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, p, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+)
+
+// optionalQueries are federated queries with OPTIONAL groups over the lake.
+func optionalQueries() map[string]string {
+	return map[string]string{
+		// Every disease, optionally with its trials (LinkedCT is another
+		// source: a cross-source left join).
+		"disease-trials": `
+SELECT ?disease ?dname ?title WHERE {
+  ?disease <` + rdfType + `> <` + lslod.ClassDisease + `> .
+  ?disease <` + lslod.PredDiseaseName + `> ?dname .
+  OPTIONAL {
+    ?trial <` + lslod.PredCondition + `> ?disease .
+    ?trial <` + lslod.PredTrialTitle + `> ?title .
+  }
+}`,
+		// Genes with their probesets when the probe is on the same
+		// chromosome (filter inside OPTIONAL, SPARQL LeftJoin semantics).
+		"gene-probe-chrom": `
+SELECT ?gene ?glabel ?probe WHERE {
+  ?gene <` + rdfType + `> <` + lslod.ClassGene + `> .
+  ?gene <` + lslod.PredGeneLabel + `> ?glabel .
+  ?gene <` + lslod.PredGeneChromosome + `> ?chrom .
+  OPTIONAL {
+    ?probe <` + lslod.PredTranscribedFrom + `> ?gene .
+    ?probe <` + lslod.PredProbeChromosome + `> ?pchrom .
+    FILTER (?pchrom = ?chrom)
+  }
+}`,
+		// Two OPTIONAL groups.
+		"drug-two-optionals": `
+SELECT ?drug ?gname ?effect ?title WHERE {
+  ?drug <` + rdfType + `> <` + lslod.ClassDrug + `> .
+  ?drug <` + lslod.PredGenericName + `> ?gname .
+  OPTIONAL { ?se <` + lslod.PredCausedBy + `> ?drug . ?se <` + lslod.PredEffectName + `> ?effect . }
+  OPTIONAL { ?t <` + lslod.PredIntervention + `> ?drug . ?t <` + lslod.PredTrialTitle + `> ?title . }
+}`,
+	}
+}
+
+const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+func TestOptionalMatchesReference(t *testing.T) {
+	lake := testLake(t)
+	ref := referenceGraph(t, lake)
+	for name, text := range optionalQueries() {
+		q := sparql.MustParse(text)
+		want := sparql.EvalQuery(ref, q)
+		if len(want) == 0 {
+			t.Fatalf("%s: reference returned no answers", name)
+		}
+		// Some left rows must be unextended (true left-join behaviour).
+		unbound := 0
+		for _, b := range want {
+			if len(b) < len(q.ProjectedVars()) {
+				unbound++
+			}
+		}
+		if unbound == 0 {
+			t.Logf("%s: warning: every left row matched; left-join not exercised", name)
+		}
+		for _, cfg := range []struct {
+			label string
+			opts  Options
+		}{
+			{"unaware", UnawareOptions(netsim.NoDelay)},
+			{"aware", AwareOptions(netsim.NoDelay)},
+		} {
+			got := runQuery(t, lake, q, cfg.opts)
+			assertSameBindings(t, name+"/"+cfg.label, got, want, q.ProjectedVars())
+		}
+	}
+}
+
+func TestOptionalPlanShape(t *testing.T) {
+	lake := testLake(t)
+	planner := NewPlanner(lake.Catalog)
+	q := sparql.MustParse(optionalQueries()["disease-trials"])
+	p, err := planner.Plan(q, AwareOptions(netsim.NoDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Explain()
+	if !strings.Contains(out, "LeftJoin[optional]") {
+		t.Errorf("plan missing LeftJoin:\n%s", out)
+	}
+	if CountServices(p.Root) != 2 {
+		t.Errorf("optional plan services = %d, want 2:\n%s", CountServices(p.Root), out)
+	}
+}
+
+func TestOptionalParser(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?a WHERE {
+		?a <http://p/1> ?b .
+		OPTIONAL { ?a <http://p/2> ?c . FILTER (?c > 1) }
+	}`)
+	if len(q.Optionals) != 1 {
+		t.Fatalf("optionals = %d", len(q.Optionals))
+	}
+	if len(q.Optionals[0].Patterns) != 1 || len(q.Optionals[0].Filters) != 1 {
+		t.Fatalf("optional group = %+v", q.Optionals[0])
+	}
+	// Round trip.
+	q2, err := sparql.Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if len(q2.Optionals) != 1 {
+		t.Error("optional lost in round trip")
+	}
+	// Errors.
+	for _, bad := range []string{
+		`SELECT ?a WHERE { ?a ?p ?b . OPTIONAL { } }`,
+		`SELECT ?a WHERE { ?a ?p ?b . OPTIONAL { OPTIONAL { ?a ?p ?c . } } }`,
+		`SELECT ?a WHERE { ?a ?p ?b . OPTIONAL ?a ?p ?c . }`,
+	} {
+		if _, err := sparql.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

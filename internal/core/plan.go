@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+	"ontario/internal/wrapper"
+)
+
+// FilterPolicy controls where filters over relational sources execute.
+type FilterPolicy int
+
+// Filter policies.
+const (
+	// FilterAtEngine always evaluates filters at the engine — the
+	// physical-design-unaware behaviour and Heuristic 2's default.
+	FilterAtEngine FilterPolicy = iota
+	// FilterAtSourceIfIndexed pushes a filter into the source whenever
+	// every filtered attribute is indexed — the paper's
+	// physical-design-aware QEP ("using indexes whenever possible").
+	FilterAtSourceIfIndexed
+	// FilterHeuristic2 applies Heuristic 2 verbatim: engine level unless
+	// the filtered attribute is indexed AND the network is slow.
+	FilterHeuristic2
+)
+
+// String names the policy.
+func (p FilterPolicy) String() string {
+	switch p {
+	case FilterAtEngine:
+		return "engine"
+	case FilterAtSourceIfIndexed:
+		return "source-if-indexed"
+	default:
+		return "heuristic2"
+	}
+}
+
+// JoinOperator selects the engine-level join implementation.
+type JoinOperator int
+
+// Join operators.
+const (
+	// JoinSymmetricHash is the non-blocking adaptive operator (default).
+	JoinSymmetricHash JoinOperator = iota
+	// JoinNestedLoop is the blocking baseline.
+	JoinNestedLoop
+	// JoinBind re-invokes the right service once per left binding.
+	JoinBind
+)
+
+// String names the operator.
+func (j JoinOperator) String() string {
+	switch j {
+	case JoinSymmetricHash:
+		return "symmetric-hash"
+	case JoinNestedLoop:
+		return "nested-loop"
+	default:
+		return "bind"
+	}
+}
+
+// Options configure plan generation.
+type Options struct {
+	// Aware enables the physical-design-aware plan: Heuristic 1 join
+	// pushdown and index-aware filter placement. When false the planner
+	// produces the paper's physical-design-unaware baseline.
+	Aware bool
+	// FilterPolicy places filters; ignored (forced to FilterAtEngine) when
+	// Aware is false.
+	FilterPolicy FilterPolicy
+	// Network is the simulated network profile, consulted by
+	// FilterHeuristic2.
+	Network netsim.Profile
+	// Translation selects the SPARQL-to-SQL translation quality used for
+	// merged stars.
+	Translation wrapper.TranslationMode
+	// JoinOperator selects the engine-level join implementation.
+	JoinOperator JoinOperator
+	// Decomposition selects star-shaped (default) or triple-based
+	// sub-queries.
+	Decomposition DecompositionMode
+}
+
+// AwareOptions returns the paper's physical-design-aware configuration.
+func AwareOptions(network netsim.Profile) Options {
+	return Options{
+		Aware:        true,
+		FilterPolicy: FilterAtSourceIfIndexed,
+		Network:      network,
+		Translation:  wrapper.TranslationOptimized,
+	}
+}
+
+// UnawareOptions returns the paper's physical-design-unaware baseline.
+func UnawareOptions(network netsim.Profile) Options {
+	return Options{Aware: false, Network: network}
+}
+
+// Plan is a query execution plan.
+type Plan struct {
+	Query *sparql.Query
+	Root  PlanNode
+	Opts  Options
+}
+
+// PlanNode is a node of the logical/physical plan tree.
+type PlanNode interface {
+	// Vars returns the variables the node's output binds.
+	Vars() []string
+	explain(b *strings.Builder, depth int)
+}
+
+// ServiceNode evaluates a wrapper request at one source. Under Heuristic 1
+// the request may contain several merged stars.
+type ServiceNode struct {
+	SourceID string
+	Req      *wrapper.Request
+	// Merged marks a Heuristic-1 combined request.
+	Merged bool
+}
+
+// Vars implements PlanNode.
+func (n *ServiceNode) Vars() []string { return n.Req.Vars() }
+
+func (n *ServiceNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	kind := "Service"
+	if n.Merged {
+		kind = "MergedService"
+	}
+	fmt.Fprintf(b, "%s[%s]", kind, n.SourceID)
+	for _, s := range n.Req.Stars {
+		fmt.Fprintf(b, " star(?%s:%s, %d patterns)", s.SubjectVar, localName(s.Class), len(s.Patterns))
+	}
+	if len(n.Req.Filters) > 0 {
+		b.WriteString(" pushed-filters{")
+		for i, f := range n.Req.Filters {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(f.String())
+		}
+		b.WriteString("}")
+	}
+	b.WriteByte('\n')
+}
+
+// JoinNode joins two sub-plans on their shared variables.
+type JoinNode struct {
+	L, R     PlanNode
+	JoinVars []string
+	Op       JoinOperator
+}
+
+// Vars implements PlanNode.
+func (n *JoinNode) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range append(n.L.Vars(), n.R.Vars()...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (n *JoinNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "Join[%s] on %v\n", n.Op, n.JoinVars)
+	n.L.explain(b, depth+1)
+	n.R.explain(b, depth+1)
+}
+
+// LeftJoinNode left-joins an OPTIONAL sub-plan to the required part.
+type LeftJoinNode struct {
+	L, R PlanNode
+	// Filters are the OPTIONAL group's filters, evaluated over the merged
+	// binding per SPARQL LeftJoin semantics.
+	Filters []sparql.Expr
+}
+
+// Vars implements PlanNode.
+func (n *LeftJoinNode) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range append(n.L.Vars(), n.R.Vars()...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (n *LeftJoinNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("LeftJoin[optional]")
+	if len(n.Filters) > 0 {
+		b.WriteString(" filters{")
+		for i, f := range n.Filters {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(f.String())
+		}
+		b.WriteString("}")
+	}
+	b.WriteByte('\n')
+	n.L.explain(b, depth+1)
+	n.R.explain(b, depth+1)
+}
+
+// FilterNode evaluates engine-level filters.
+type FilterNode struct {
+	Child PlanNode
+	Exprs []sparql.Expr
+}
+
+// Vars implements PlanNode.
+func (n *FilterNode) Vars() []string { return n.Child.Vars() }
+
+func (n *FilterNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Filter{")
+	for i, f := range n.Exprs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(f.String())
+	}
+	b.WriteString("}\n")
+	n.Child.explain(b, depth+1)
+}
+
+// UnionNode merges alternative sub-plans (an SSQ answerable by several
+// molecules/sources).
+type UnionNode struct {
+	Children []PlanNode
+}
+
+// Vars implements PlanNode.
+func (n *UnionNode) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range n.Children {
+		for _, v := range c.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (n *UnionNode) explain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Union\n")
+	for _, c := range n.Children {
+		c.explain(b, depth+1)
+	}
+}
+
+// Explain renders the plan tree.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	mode := "physical-design-unaware"
+	if p.Opts.Aware {
+		mode = "physical-design-aware"
+	}
+	fmt.Fprintf(&b, "Plan[%s, filters=%s, translation=%s, join=%s, decomposition=%s]\n",
+		mode, p.effectiveFilterPolicy(), p.Opts.Translation, p.Opts.JoinOperator, p.Opts.Decomposition)
+	p.Root.explain(&b, 1)
+	return b.String()
+}
+
+func (p *Plan) effectiveFilterPolicy() FilterPolicy {
+	if !p.Opts.Aware {
+		return FilterAtEngine
+	}
+	return p.Opts.FilterPolicy
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func localName(iri string) string {
+	if i := strings.LastIndexAny(iri, "/#"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// CountServices returns the number of service requests in the plan (the
+// paper's "number of requests" consideration).
+func CountServices(n PlanNode) int {
+	switch v := n.(type) {
+	case *ServiceNode:
+		return 1
+	case *JoinNode:
+		return CountServices(v.L) + CountServices(v.R)
+	case *LeftJoinNode:
+		return CountServices(v.L) + CountServices(v.R)
+	case *FilterNode:
+		return CountServices(v.Child)
+	case *UnionNode:
+		total := 0
+		for _, c := range v.Children {
+			total += CountServices(c)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// mergedServices returns the Heuristic-1 merged service nodes in the plan.
+func mergedServices(n PlanNode) []*ServiceNode {
+	var out []*ServiceNode
+	var walk func(PlanNode)
+	walk = func(n PlanNode) {
+		switch v := n.(type) {
+		case *ServiceNode:
+			if v.Merged {
+				out = append(out, v)
+			}
+		case *JoinNode:
+			walk(v.L)
+			walk(v.R)
+		case *LeftJoinNode:
+			walk(v.L)
+			walk(v.R)
+		case *FilterNode:
+			walk(v.Child)
+		case *UnionNode:
+			for _, c := range v.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}

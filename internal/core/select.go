@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ontario/internal/catalog"
+)
+
+// Candidate is one (class, source) pair able to answer an SSQ.
+type Candidate struct {
+	Class    string
+	SourceID string
+}
+
+// SelectSources determines, for every SSQ, the candidate molecules and
+// sources using the catalog's RDF-MTs (MULDER-style source selection): a
+// molecule is a candidate when it carries every constant predicate of the
+// star; an explicit rdf:type constraint pins the class directly.
+func SelectSources(cat *catalog.Catalog, ssqs []*SSQ) ([][]Candidate, error) {
+	out := make([][]Candidate, len(ssqs))
+	for i, ssq := range ssqs {
+		cands, err := selectForStar(cat, ssq)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cands
+	}
+	return out, nil
+}
+
+func selectForStar(cat *catalog.Catalog, ssq *SSQ) ([]Candidate, error) {
+	preds := ssq.Predicates()
+
+	var classes []string
+	if class, ok := ssq.TypeClass(); ok {
+		mt := cat.MT(class)
+		if mt == nil {
+			return nil, fmt.Errorf("core: %s: no molecule for class %s", ssq, class)
+		}
+		classes = []string{class}
+	} else {
+		classes = classesCoveringPredicates(cat, preds)
+	}
+
+	var cands []Candidate
+	for _, class := range classes {
+		mt := cat.MT(class)
+		if mt == nil {
+			continue
+		}
+		covers := true
+		for _, p := range preds {
+			if !mt.HasPredicate(p) {
+				covers = false
+				break
+			}
+		}
+		if !covers {
+			continue
+		}
+		srcs := append([]string(nil), mt.Sources...)
+		sort.Strings(srcs)
+		for _, s := range srcs {
+			cands = append(cands, Candidate{Class: class, SourceID: s})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no source can answer %s (predicates %v)", ssq, preds)
+	}
+	return cands, nil
+}
+
+// classesCoveringPredicates intersects the per-predicate class lists.
+func classesCoveringPredicates(cat *catalog.Catalog, preds []string) []string {
+	if len(preds) == 0 {
+		return cat.Classes()
+	}
+	counts := map[string]int{}
+	for _, p := range preds {
+		for _, cl := range cat.ClassesWithPredicate(p) {
+			counts[cl]++
+		}
+	}
+	var out []string
+	for cl, n := range counts {
+		if n == len(preds) {
+			out = append(out, cl)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

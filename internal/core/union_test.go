@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+)
+
+func unionQueries() map[string]string {
+	return map[string]string{
+		// Entities linked to a gene either via PharmGKB associations or
+		// via DrugBank targets (two different sources).
+		"gene-links": `
+SELECT ?gene ?x WHERE {
+  ?gene <` + rdfType + `> <` + lslod.ClassGene + `> .
+  ?gene <` + lslod.PredGeneChromosome + `> "chr3" .
+  { ?x <` + lslod.PredPAGene + `> ?gene . }
+  UNION
+  { ?x <` + lslod.PredTargetGene + `> ?gene . }
+}`,
+		// Union with branch filters.
+		"heavy-or-charged": `
+SELECT ?c WHERE {
+  { ?c <` + lslod.PredMass + `> ?m . FILTER (?m > 700) }
+  UNION
+  { ?c <` + lslod.PredCharge + `> ?q . FILTER (?q = 3) }
+}`,
+		// Three branches across three sources.
+		"drug-context": `
+SELECT ?drug ?y WHERE {
+  ?drug <` + rdfType + `> <` + lslod.ClassDrug + `> .
+  ?drug <` + lslod.PredDrugCategory + `> "statin" .
+  { ?y <` + lslod.PredCausedBy + `> ?drug . }
+  UNION
+  { ?y <` + lslod.PredIntervention + `> ?drug . }
+  UNION
+  { ?y <` + lslod.PredPADrug + `> ?drug . }
+}`,
+	}
+}
+
+func TestUnionMatchesReference(t *testing.T) {
+	lake := testLake(t)
+	ref := referenceGraph(t, lake)
+	for name, text := range unionQueries() {
+		q := sparql.MustParse(text)
+		want := sparql.EvalQuery(ref, q)
+		if len(want) == 0 {
+			t.Fatalf("%s: reference returned no answers; weak test data", name)
+		}
+		for _, cfg := range []struct {
+			label string
+			opts  Options
+		}{
+			{"unaware", UnawareOptions(netsim.NoDelay)},
+			{"aware", AwareOptions(netsim.NoDelay)},
+		} {
+			got := runQuery(t, lake, q, cfg.opts)
+			assertSameBindings(t, name+"/"+cfg.label, got, want, q.ProjectedVars())
+		}
+	}
+}
+
+func TestUnionParser(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?x WHERE {
+		?x <http://p/0> ?y .
+		{ ?y <http://p/1> ?z . } UNION { ?y <http://p/2> ?z . FILTER (?z > 1) }
+	}`)
+	if len(q.Unions) != 1 || len(q.Unions[0].Branches) != 2 {
+		t.Fatalf("unions = %+v", q.Unions)
+	}
+	if len(q.Unions[0].Branches[1].Filters) != 1 {
+		t.Error("branch filter lost")
+	}
+	// Round trip.
+	q2, err := sparql.Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if len(q2.Unions) != 1 || len(q2.Unions[0].Branches) != 2 {
+		t.Error("union lost in round trip")
+	}
+	for _, bad := range []string{
+		`SELECT ?x WHERE { { ?x ?p ?y . } }`,                                               // braced group without UNION
+		`SELECT ?x WHERE { { ?x ?p ?y . } UNION { } }`,                                     // empty branch
+		`SELECT ?x WHERE { { { ?x ?p ?y . } UNION { ?x ?p ?z . } } UNION { ?a ?b ?c . } }`, // nested
+	} {
+		if _, err := sparql.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPureUnionQuery(t *testing.T) {
+	lake := testLake(t)
+	ref := referenceGraph(t, lake)
+	q := sparql.MustParse(`SELECT ?x WHERE {
+		{ ?x <` + lslod.PredPathway + `> "glycolysis" . }
+		UNION
+		{ ?x <` + lslod.PredChebiName + `> "chebi-entity-1" . }
+	}`)
+	want := sparql.EvalQuery(ref, q)
+	got := runQuery(t, lake, q, AwareOptions(netsim.NoDelay))
+	assertSameBindings(t, "pure-union", got, want, q.ProjectedVars())
+	if len(got) == 0 {
+		t.Fatal("pure union returned nothing")
+	}
+}
+
+func TestUnionPlanShape(t *testing.T) {
+	lake := testLake(t)
+	planner := NewPlanner(lake.Catalog)
+	q := sparql.MustParse(unionQueries()["drug-context"])
+	p, err := planner.Plan(q, UnawareOptions(netsim.NoDelay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drug star + 3 branch services.
+	if n := CountServices(p.Root); n != 4 {
+		t.Errorf("union plan services = %d, want 4:\n%s", n, p.Explain())
+	}
+}

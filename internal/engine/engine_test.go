@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+func b(kv ...string) sparql.Binding {
+	out := sparql.NewBinding()
+	for i := 0; i+1 < len(kv); i += 2 {
+		out[kv[i]] = rdf.NewLiteral(kv[i+1])
+	}
+	return out
+}
+
+func keysOf(bs []sparql.Binding) []string {
+	out := make([]string, len(bs))
+	for i, x := range bs {
+		out[i] = x.FullKey()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSame(t *testing.T, got, want []sparql.Binding) {
+	t.Helper()
+	g, w := keysOf(got), keysOf(want)
+	if len(g) != len(w) {
+		t.Fatalf("got %d bindings, want %d\n got: %v\nwant: %v", len(g), len(w), got, want)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("binding multiset differs:\n got: %v\nwant: %v", got, want)
+		}
+	}
+}
+
+// referenceJoin is the oracle: nested loops with compatibility semantics.
+func referenceJoin(left, right []sparql.Binding) []sparql.Binding {
+	var out []sparql.Binding
+	for _, l := range left {
+		for _, r := range right {
+			if l.Compatible(r) {
+				out = append(out, l.Merge(r))
+			}
+		}
+	}
+	return out
+}
+
+func TestSymmetricHashJoinBasic(t *testing.T) {
+	ctx := context.Background()
+	left := []sparql.Binding{b("x", "1", "y", "a"), b("x", "2", "y", "b"), b("x", "3", "y", "c")}
+	right := []sparql.Binding{b("x", "2", "z", "q"), b("x", "3", "z", "r"), b("x", "3", "z", "s"), b("x", "9", "z", "t")}
+	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}).Collect()
+	assertSame(t, got, referenceJoin(left, right))
+	if len(got) != 3 {
+		t.Fatalf("join produced %d, want 3", len(got))
+	}
+}
+
+func TestSymmetricHashJoinCrossProduct(t *testing.T) {
+	ctx := context.Background()
+	left := []sparql.Binding{b("a", "1"), b("a", "2")}
+	right := []sparql.Binding{b("c", "x"), b("c", "y"), b("c", "z")}
+	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil).Collect()
+	if len(got) != 6 {
+		t.Fatalf("cross product produced %d, want 6", len(got))
+	}
+}
+
+func TestSymmetricHashJoinEmitsExactlyOncePerPair(t *testing.T) {
+	// Heavily duplicated keys: every (l, r) pair with equal keys must be
+	// emitted exactly once even under concurrency.
+	ctx := context.Background()
+	var left, right []sparql.Binding
+	for i := 0; i < 50; i++ {
+		left = append(left, b("k", fmt.Sprint(i%5), "l", fmt.Sprint(i)))
+		right = append(right, b("k", fmt.Sprint(i%5), "r", fmt.Sprint(i)))
+	}
+	for round := 0; round < 20; round++ {
+		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}).Collect()
+		if len(got) != 500 { // 5 groups x 10 x 10
+			t.Fatalf("round %d: got %d, want 500", round, len(got))
+		}
+	}
+}
+
+func TestNestedLoopJoinMatchesReference(t *testing.T) {
+	ctx := context.Background()
+	left := []sparql.Binding{b("x", "1", "y", "a"), b("x", "2", "y", "b")}
+	right := []sparql.Binding{b("x", "1", "z", "p"), b("x", "1", "z", "q"), b("x", "5", "z", "r")}
+	got := NestedLoopJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}).Collect()
+	assertSame(t, got, referenceJoin(left, right))
+}
+
+func TestBindJoin(t *testing.T) {
+	ctx := context.Background()
+	left := []sparql.Binding{b("x", "1"), b("x", "2"), b("x", "3")}
+	// The right service answers only for x in {2,3} with two rows each.
+	svc := func(ctx context.Context, seed sparql.Binding) *Stream {
+		var rows []sparql.Binding
+		if v, ok := seed["x"]; ok && (v.Value == "2" || v.Value == "3") {
+			rows = []sparql.Binding{
+				seed.Merge(b("w", "a"+v.Value)),
+				seed.Merge(b("w", "b"+v.Value)),
+			}
+		}
+		return FromSlice(ctx, rows)
+	}
+	got := BindJoin(ctx, FromSlice(ctx, left), svc, []string{"x"}).Collect()
+	if len(got) != 4 {
+		t.Fatalf("bind join produced %d, want 4: %v", len(got), got)
+	}
+	for _, g := range got {
+		if _, ok := g["w"]; !ok {
+			t.Fatalf("missing right-side binding: %v", g)
+		}
+	}
+}
+
+// Property: symmetric hash join equals the reference join for arbitrary
+// small inputs.
+func TestQuickJoinEquivalence(t *testing.T) {
+	ctx := context.Background()
+	f := func(lKeys, rKeys []uint8) bool {
+		var left, right []sparql.Binding
+		for i, k := range lKeys {
+			left = append(left, b("k", fmt.Sprint(k%8), "l", fmt.Sprint(i)))
+		}
+		for i, k := range rKeys {
+			right = append(right, b("k", fmt.Sprint(k%8), "r", fmt.Sprint(i)))
+		}
+		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}).Collect()
+		want := referenceJoin(left, right)
+		if len(got) != len(want) {
+			return false
+		}
+		g, w := keysOf(got), keysOf(want)
+		for i := range g {
+			if g[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterOperator(t *testing.T) {
+	ctx := context.Background()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?s ?p ?x . FILTER (?v > 5) }`)
+	in := []sparql.Binding{
+		{"v": rdf.IntLiteral(3)},
+		{"v": rdf.IntLiteral(7)},
+		{"v": rdf.IntLiteral(10)},
+	}
+	got := Filter(ctx, FromSlice(ctx, in), q.Filters).Collect()
+	if len(got) != 2 {
+		t.Fatalf("filter kept %d, want 2", len(got))
+	}
+	// No filters: pass-through.
+	s := FromSlice(ctx, in)
+	if Filter(ctx, s, nil) != s {
+		t.Error("empty filter should return the input stream")
+	}
+}
+
+func TestProjectDistinctLimitOffset(t *testing.T) {
+	ctx := context.Background()
+	in := []sparql.Binding{
+		b("x", "1", "y", "a"),
+		b("x", "1", "y", "b"),
+		b("x", "2", "y", "c"),
+		b("x", "2", "y", "d"),
+	}
+	got := Distinct(ctx, Project(ctx, FromSlice(ctx, in), []string{"x"})).Collect()
+	if len(got) != 2 {
+		t.Fatalf("distinct projection = %d, want 2", len(got))
+	}
+	got = Limit(ctx, FromSlice(ctx, in), 3).Collect()
+	if len(got) != 3 {
+		t.Fatalf("limit = %d, want 3", len(got))
+	}
+	got = Offset(ctx, FromSlice(ctx, in), 3).Collect()
+	if len(got) != 1 {
+		t.Fatalf("offset = %d, want 1", len(got))
+	}
+	got = Limit(ctx, FromSlice(ctx, in), 0).Collect()
+	if len(got) != 0 {
+		t.Fatalf("limit 0 = %d, want 0", len(got))
+	}
+}
+
+func TestUnionOperator(t *testing.T) {
+	ctx := context.Background()
+	a := []sparql.Binding{b("x", "1"), b("x", "2")}
+	c := []sparql.Binding{b("x", "3")}
+	got := Union(ctx, FromSlice(ctx, a), FromSlice(ctx, c), FromSlice(ctx, nil)).Collect()
+	if len(got) != 3 {
+		t.Fatalf("union = %d, want 3", len(got))
+	}
+}
+
+func TestOrderByOperator(t *testing.T) {
+	ctx := context.Background()
+	in := []sparql.Binding{
+		{"v": rdf.IntLiteral(5)},
+		{"v": rdf.IntLiteral(1)},
+		{"v": rdf.IntLiteral(3)},
+	}
+	got := OrderBy(ctx, FromSlice(ctx, in), []sparql.OrderKey{{Var: "v", Desc: true}}).Collect()
+	want := []int64{5, 3, 1}
+	for i, w := range want {
+		if got[i]["v"].Value != fmt.Sprint(w) {
+			t.Fatalf("order by desc: %v", got)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// An infinite producer.
+	src := NewStream(0)
+	go func() {
+		for i := 0; ; i++ {
+			if !src.Send(ctx, b("x", fmt.Sprint(i))) {
+				src.Close()
+				return
+			}
+		}
+	}()
+	out := Project(ctx, src, []string{"x"})
+	<-out.Chan() // take one
+	cancel()
+	// The pipeline must terminate quickly after cancellation.
+	done := make(chan struct{})
+	go func() {
+		for range out.Chan() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pipeline did not shut down after cancellation")
+	}
+}
+
+func TestLeftJoinOperator(t *testing.T) {
+	ctx := context.Background()
+	left := []sparql.Binding{b("x", "1"), b("x", "2"), b("x", "3")}
+	right := []sparql.Binding{b("x", "1", "y", "a"), b("x", "1", "y", "b"), b("x", "9", "y", "z")}
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil).Collect()
+	// x=1 extends twice; x=2 and x=3 pass through unextended.
+	if len(got) != 4 {
+		t.Fatalf("left join produced %d, want 4: %v", len(got), got)
+	}
+	withY, withoutY := 0, 0
+	for _, g := range got {
+		if _, ok := g["y"]; ok {
+			withY++
+		} else {
+			withoutY++
+		}
+	}
+	if withY != 2 || withoutY != 2 {
+		t.Fatalf("left join shape: %d extended / %d bare", withY, withoutY)
+	}
+}
+
+func TestLeftJoinWithFilter(t *testing.T) {
+	ctx := context.Background()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?s ?p ?o . FILTER (?v > 5) }`)
+	left := []sparql.Binding{{"x": rdf.IntLiteral(1)}}
+	right := []sparql.Binding{
+		{"v": rdf.IntLiteral(3)},
+		{"v": rdf.IntLiteral(9)},
+	}
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters).Collect()
+	// Only v=9 passes; the left row is extended once (not also emitted bare).
+	if len(got) != 1 {
+		t.Fatalf("left join with filter: %v", got)
+	}
+	if got[0]["v"].Value != "9" {
+		t.Fatalf("wrong extension: %v", got[0])
+	}
+}
+
+func TestLeftJoinAllFilteredOutKeepsLeft(t *testing.T) {
+	ctx := context.Background()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?s ?p ?o . FILTER (?v > 100) }`)
+	left := []sparql.Binding{{"x": rdf.IntLiteral(1)}}
+	right := []sparql.Binding{{"v": rdf.IntLiteral(3)}}
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters).Collect()
+	if len(got) != 1 {
+		t.Fatalf("left join: %v", got)
+	}
+	if _, ok := got[0]["v"]; ok {
+		t.Fatalf("left row should be unextended: %v", got[0])
+	}
+}

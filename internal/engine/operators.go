@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"ontario/internal/sparql"
+)
+
+// SymmetricHashJoin joins two streams on joinVars without blocking: each
+// arriving binding is inserted into its side's hash table and immediately
+// probed against the other side's table, so answers are emitted as soon as
+// both matching inputs have arrived (the adaptive operator ANAPSID calls
+// agjoin). When joinVars is empty the operator degrades to a cross product.
+func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []string) *Stream {
+	out := NewStream(64)
+	var mu sync.Mutex
+	leftTable := make(map[string][]sparql.Binding)
+	rightTable := make(map[string][]sparql.Binding)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	consume := func(in *Stream, own, other map[string][]sparql.Binding, ownIsLeft bool) {
+		defer wg.Done()
+		for b := range in.Chan() {
+			key := b.Key(joinVars)
+			mu.Lock()
+			own[key] = append(own[key], b)
+			matches := append([]sparql.Binding(nil), other[key]...)
+			mu.Unlock()
+			for _, m := range matches {
+				if !b.Compatible(m) {
+					continue
+				}
+				var merged sparql.Binding
+				if ownIsLeft {
+					merged = b.Merge(m)
+				} else {
+					merged = m.Merge(b)
+				}
+				if !out.Send(ctx, merged) {
+					return
+				}
+			}
+		}
+	}
+
+	go consume(left, leftTable, rightTable, true)
+	go consume(right, rightTable, leftTable, false)
+	go func() {
+		wg.Wait()
+		out.Close()
+	}()
+	return out
+}
+
+// Service produces a stream of bindings for a (possibly instantiated)
+// request; it abstracts a source wrapper invocation for the bind join.
+type Service func(ctx context.Context, seed sparql.Binding) *Stream
+
+// BindJoin is a dependent (nested-loop) join: for every left binding it
+// invokes the right service instantiated with that binding and merges the
+// results. It trades per-answer requests for smaller transfers, and serves
+// as the ablation counterpart to the symmetric hash join.
+func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []string) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		for lb := range left.Chan() {
+			seed := lb.Project(joinVars)
+			for rb := range right(ctx, seed).Chan() {
+				if !lb.Compatible(rb) {
+					continue
+				}
+				if !out.Send(ctx, lb.Merge(rb)) {
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// NestedLoopJoin materializes the right input, then joins every left
+// binding against it; the fully blocking baseline operator.
+func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		rights := right.Collect()
+		for lb := range left.Chan() {
+			for _, rb := range rights {
+				if !lb.Compatible(rb) {
+					continue
+				}
+				if !out.Send(ctx, lb.Merge(rb)) {
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// LeftJoin extends every left binding with the compatible right bindings
+// that satisfy the filters, passing the left binding through unextended
+// when none match (SPARQL OPTIONAL). The right input is materialized; a
+// blocking operator.
+func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		rights := right.Collect()
+		for lb := range left.Chan() {
+			matched := false
+			for _, rb := range rights {
+				if !lb.Compatible(rb) {
+					continue
+				}
+				m := lb.Merge(rb)
+				ok := true
+				for _, f := range filters {
+					if !sparql.EvalBool(f, m) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matched = true
+					if !out.Send(ctx, m) {
+						return
+					}
+				}
+			}
+			if !matched && !out.Send(ctx, lb) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Filter keeps the bindings satisfying every expression.
+func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr) *Stream {
+	if len(exprs) == 0 {
+		return in
+	}
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		for b := range in.Chan() {
+			ok := true
+			for _, e := range exprs {
+				if !sparql.EvalBool(e, b) {
+					ok = false
+					break
+				}
+			}
+			if ok && !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Project restricts every binding to vars.
+func Project(ctx context.Context, in *Stream, vars []string) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		for b := range in.Chan() {
+			if !out.Send(ctx, b.Project(vars)) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Distinct drops duplicate bindings.
+func Distinct(ctx context.Context, in *Stream) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		seen := make(map[string]bool)
+		for b := range in.Chan() {
+			k := b.FullKey()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Limit passes through at most n bindings (and drains the input to let
+// upstream goroutines finish).
+func Limit(ctx context.Context, in *Stream, n int) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		count := 0
+		for b := range in.Chan() {
+			if count < n {
+				if !out.Send(ctx, b) {
+					return
+				}
+				count++
+			}
+			// keep draining so producers are not blocked forever
+		}
+	}()
+	return out
+}
+
+// Offset skips the first n bindings.
+func Offset(ctx context.Context, in *Stream, n int) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		skipped := 0
+		for b := range in.Chan() {
+			if skipped < n {
+				skipped++
+				continue
+			}
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Union merges the inputs in arrival order.
+func Union(ctx context.Context, ins ...*Stream) *Stream {
+	out := NewStream(64)
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in *Stream) {
+			defer wg.Done()
+			for b := range in.Chan() {
+				if !out.Send(ctx, b) {
+					return
+				}
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		out.Close()
+	}()
+	return out
+}
+
+// OrderBy materializes the input and emits it sorted; a blocking operator.
+func OrderBy(ctx context.Context, in *Stream, keys []sparql.OrderKey) *Stream {
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		all := in.Collect()
+		sparql.SortBindings(all, keys)
+		for _, b := range all {
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,61 @@
+// Package engine provides the streaming physical operators of the
+// federated query engine. Following ANAPSID (which Ontario inherits its
+// operators from), joins are non-blocking: the symmetric hash join probes
+// and emits answers as soon as they arrive from either input, so results
+// are produced incrementally even under network delays.
+package engine
+
+import (
+	"context"
+
+	"ontario/internal/sparql"
+)
+
+// Stream is an asynchronous stream of solution bindings.
+type Stream struct {
+	ch chan sparql.Binding
+}
+
+// NewStream returns a stream with the given buffer size.
+func NewStream(buf int) *Stream {
+	return &Stream{ch: make(chan sparql.Binding, buf)}
+}
+
+// Send delivers a binding; it returns false when the context is cancelled.
+func (s *Stream) Send(ctx context.Context, b sparql.Binding) bool {
+	select {
+	case s.ch <- b:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Close marks the stream complete.
+func (s *Stream) Close() { close(s.ch) }
+
+// Chan exposes the receive side.
+func (s *Stream) Chan() <-chan sparql.Binding { return s.ch }
+
+// Collect drains the stream into a slice.
+func (s *Stream) Collect() []sparql.Binding {
+	var out []sparql.Binding
+	for b := range s.ch {
+		out = append(out, b)
+	}
+	return out
+}
+
+// FromSlice returns a closed-ended stream delivering the given bindings.
+func FromSlice(ctx context.Context, bs []sparql.Binding) *Stream {
+	out := NewStream(len(bs))
+	go func() {
+		defer out.Close()
+		for _, b := range bs {
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}

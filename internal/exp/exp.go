@@ -1,0 +1,272 @@
+// Package exp is the experiment harness: it reruns the paper's evaluation
+// (the eight configurations of Section 3, the Figure-2 answer traces, and
+// the narrated per-heuristic findings) against the synthetic LSLOD lake and
+// renders the result tables.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"ontario"
+	"ontario/internal/core"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/trace"
+)
+
+// Config is one experiment cell.
+type Config struct {
+	QueryID    string
+	Aware      bool
+	Network    netsim.Profile
+	Naive      bool // naive SPARQL-to-SQL translation for merged stars
+	JoinOp     core.JoinOperator
+	Heuristic2 bool // use the network-aware H2 filter policy
+}
+
+// Label renders the configuration for tables.
+func (c Config) Label() string {
+	mode := "unaware"
+	if c.Aware {
+		mode = "aware"
+	}
+	extra := ""
+	if c.Naive {
+		extra += "/naive"
+	}
+	if c.Heuristic2 {
+		extra += "/h2"
+	}
+	return fmt.Sprintf("%s %s%s [%s]", c.QueryID, mode, extra, c.Network.Name)
+}
+
+// Row is one measured experiment cell.
+type Row struct {
+	Config  Config
+	Trace   *trace.Trace
+	Answers int
+	// Messages is the number of simulated network messages (transferred
+	// intermediate results).
+	Messages int
+	// SimulatedDelay is the total sampled network latency.
+	SimulatedDelay time.Duration
+}
+
+// Runner executes experiment cells against one lake.
+type Runner struct {
+	Lake *lslod.Lake
+	// NetworkScale shrinks real sleeping; 1.0 reproduces sampled delays.
+	NetworkScale float64
+	Seed         int64
+}
+
+// NewRunner returns a runner with real-time network delays.
+func NewRunner(lake *lslod.Lake) *Runner {
+	return &Runner{Lake: lake, NetworkScale: 1.0, Seed: 1}
+}
+
+// Run executes one cell.
+func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
+	eng := ontario.New(r.Lake.Catalog)
+	opts := []ontario.Option{
+		ontario.WithNetwork(cfg.Network),
+		ontario.WithNetworkScale(r.NetworkScale),
+		ontario.WithSeed(r.Seed),
+	}
+	if cfg.Aware {
+		opts = append(opts, ontario.WithAwarePlan())
+	} else {
+		opts = append(opts, ontario.WithUnawarePlan())
+	}
+	if cfg.Heuristic2 {
+		opts = append(opts, ontario.WithHeuristic2())
+	}
+	if cfg.Naive {
+		opts = append(opts, ontario.WithNaiveTranslation())
+	}
+	if cfg.JoinOp != core.JoinSymmetricHash {
+		opts = append(opts, ontario.WithJoinOperator(cfg.JoinOp))
+	}
+	res, err := eng.QueryParsed(ctx, lslod.Query(cfg.QueryID), opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.Trace.Label = cfg.Label()
+	return &Row{
+		Config:         cfg,
+		Trace:          res.Trace,
+		Answers:        len(res.Answers),
+		Messages:       res.Messages,
+		SimulatedDelay: res.SimulatedDelay,
+	}, nil
+}
+
+// GridConfigs returns the paper's eight configurations (2 QEP types × 4
+// network settings) for every query.
+func GridConfigs() []Config {
+	var out []Config
+	for _, q := range lslod.Queries() {
+		for _, aware := range []bool{false, true} {
+			for _, net := range netsim.Profiles() {
+				out = append(out, Config{QueryID: q.ID, Aware: aware, Network: net})
+			}
+		}
+	}
+	return out
+}
+
+// RunGrid executes the full grid (E3).
+func (r *Runner) RunGrid(ctx context.Context) ([]*Row, error) {
+	var rows []*Row
+	for _, cfg := range GridConfigs() {
+		row, err := r.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunFig2 executes Q3 under both QEP types and all four networks and
+// returns the answer traces (E2, Figure 2).
+func (r *Runner) RunFig2(ctx context.Context) ([]*Row, error) {
+	var rows []*Row
+	for _, aware := range []bool{false, true} {
+		for _, net := range netsim.Profiles() {
+			row, err := r.Run(ctx, Config{QueryID: "Q3", Aware: aware, Network: net})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunH1 executes the Q2 translation-sensitivity experiment (E6): unaware
+// vs aware-with-naive-translation vs aware-with-optimized-translation.
+func (r *Runner) RunH1(ctx context.Context, net netsim.Profile) ([]*Row, error) {
+	configs := []Config{
+		{QueryID: "Q2", Aware: false, Network: net},
+		{QueryID: "Q2", Aware: true, Naive: true, Network: net},
+		{QueryID: "Q2", Aware: true, Network: net},
+	}
+	var rows []*Row
+	for _, cfg := range configs {
+		row, err := r.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunH2 executes the filter-placement experiment (E4/E5) for Q1 and Q3
+// across all networks, comparing engine-level vs pushed filters.
+func (r *Runner) RunH2(ctx context.Context) ([]*Row, error) {
+	var rows []*Row
+	for _, q := range []string{"Q1", "Q3"} {
+		for _, net := range netsim.Profiles() {
+			for _, aware := range []bool{false, true} {
+				row, err := r.Run(ctx, Config{QueryID: q, Aware: aware, Network: net})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteTable renders rows as an aligned text table.
+func WriteTable(w io.Writer, rows []*Row) {
+	fmt.Fprintf(w, "%-36s %12s %12s %9s %10s %14s\n",
+		"configuration", "exec-time", "first-ans", "answers", "messages", "net-delay")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 98))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-36s %12s %12s %9d %10d %14s\n",
+			r.Config.Label(),
+			r.Trace.Total.Round(10*time.Microsecond),
+			r.Trace.TimeToFirst().Round(10*time.Microsecond),
+			r.Answers, r.Messages,
+			r.SimulatedDelay.Round(10*time.Microsecond))
+	}
+}
+
+// WriteTraceCSV renders the answer traces of all rows as CSV.
+func WriteTraceCSV(w io.Writer, rows []*Row) error {
+	if _, err := fmt.Fprintln(w, "label,elapsed_ms,answer"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, p := range r.Trace.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.3f,%d\n", r.Trace.Label, float64(p.Elapsed)/1e6, p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Speedup summarizes aware-vs-unaware pairs: for each (query, network) it
+// reports unaware/aware execution-time ratios.
+type Speedup struct {
+	QueryID string
+	Network string
+	Unaware time.Duration
+	Aware   time.Duration
+	Ratio   float64
+}
+
+// Speedups pairs grid rows into speedup summaries.
+func Speedups(rows []*Row) []Speedup {
+	type key struct{ q, n string }
+	un := map[key]time.Duration{}
+	aw := map[key]time.Duration{}
+	for _, r := range rows {
+		k := key{r.Config.QueryID, r.Config.Network.Name}
+		if r.Config.Aware {
+			aw[k] = r.Trace.Total
+		} else {
+			un[k] = r.Trace.Total
+		}
+	}
+	var out []Speedup
+	for k, u := range un {
+		a, ok := aw[k]
+		if !ok {
+			continue
+		}
+		s := Speedup{QueryID: k.q, Network: k.n, Unaware: u, Aware: a}
+		if a > 0 {
+			s.Ratio = float64(u) / float64(a)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QueryID != out[j].QueryID {
+			return out[i].QueryID < out[j].QueryID
+		}
+		return out[i].Network < out[j].Network
+	})
+	return out
+}
+
+// WriteSpeedups renders the speedup table.
+func WriteSpeedups(w io.Writer, sps []Speedup) {
+	fmt.Fprintf(w, "%-6s %-10s %12s %12s %8s\n", "query", "network", "unaware", "aware", "ratio")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 54))
+	for _, s := range sps {
+		fmt.Fprintf(w, "%-6s %-10s %12s %12s %7.2fx\n",
+			s.QueryID, s.Network,
+			s.Unaware.Round(10*time.Microsecond), s.Aware.Round(10*time.Microsecond), s.Ratio)
+	}
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(lake)
+	r.NetworkScale = 0
+	return r
+}
+
+func TestRunSingleCell(t *testing.T) {
+	r := testRunner(t)
+	row, err := r.Run(context.Background(), Config{QueryID: "Q3", Aware: true, Network: netsim.Gamma2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Answers == 0 || row.Messages == 0 {
+		t.Fatalf("empty row: %+v", row)
+	}
+	if row.SimulatedDelay == 0 {
+		t.Error("Gamma2 cell recorded no simulated delay")
+	}
+	if !strings.Contains(row.Config.Label(), "Q3 aware [Gamma 2]") {
+		t.Errorf("label = %s", row.Config.Label())
+	}
+}
+
+func TestGridConfigs(t *testing.T) {
+	cfgs := GridConfigs()
+	if len(cfgs) != 5*2*4 {
+		t.Fatalf("grid has %d cells, want 40", len(cfgs))
+	}
+}
+
+func TestAwareNeverTransfersMore(t *testing.T) {
+	// Structural claim behind the paper's headline: the aware plan never
+	// transfers more intermediate results than the unaware plan.
+	r := testRunner(t)
+	ctx := context.Background()
+	for _, q := range []string{"Q1", "Q2", "Q3", "Q4", "Q5"} {
+		un, err := r.Run(ctx, Config{QueryID: q, Aware: false, Network: netsim.NoDelay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aw, err := r.Run(ctx, Config{QueryID: q, Aware: true, Network: netsim.NoDelay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aw.Answers != un.Answers {
+			t.Errorf("%s: answers differ (aware %d, unaware %d)", q, aw.Answers, un.Answers)
+		}
+		if aw.Messages > un.Messages {
+			t.Errorf("%s: aware transfers more (%d > %d)", q, aw.Messages, un.Messages)
+		}
+	}
+}
+
+func TestSimulatedDelayGrowsWithProfile(t *testing.T) {
+	r := testRunner(t)
+	ctx := context.Background()
+	var prev time.Duration
+	for _, net := range netsim.Profiles() {
+		row, err := r.Run(ctx, Config{QueryID: "Q3", Aware: false, Network: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.SimulatedDelay < prev {
+			t.Errorf("%s: simulated delay %v below previous profile %v", net.Name, row.SimulatedDelay, prev)
+		}
+		prev = row.SimulatedDelay
+	}
+}
+
+func TestH1RowsOrdering(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.RunH1(context.Background(), netsim.Gamma2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("H1 produced %d rows", len(rows))
+	}
+	unaware, naive, optimized := rows[0], rows[1], rows[2]
+	// The optimized pushdown transfers only the final answers; naive
+	// transfers every per-star row.
+	if optimized.Messages >= naive.Messages {
+		t.Errorf("optimized transferred %d >= naive %d", optimized.Messages, naive.Messages)
+	}
+	if optimized.SimulatedDelay >= unaware.SimulatedDelay {
+		t.Errorf("optimized delay %v >= unaware %v", optimized.SimulatedDelay, unaware.SimulatedDelay)
+	}
+}
+
+func TestSpeedupsPairing(t *testing.T) {
+	r := testRunner(t)
+	ctx := context.Background()
+	var rows []*Row
+	for _, aware := range []bool{false, true} {
+		row, err := r.Run(ctx, Config{QueryID: "Q2", Aware: aware, Network: netsim.NoDelay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	sps := Speedups(rows)
+	if len(sps) != 1 {
+		t.Fatalf("speedups = %+v", sps)
+	}
+	if sps[0].QueryID != "Q2" || sps[0].Ratio <= 0 {
+		t.Errorf("speedup = %+v", sps[0])
+	}
+}
+
+func TestTableAndCSVRendering(t *testing.T) {
+	r := testRunner(t)
+	row, err := r.Run(context.Background(), Config{QueryID: "Q1", Aware: true, Network: netsim.NoDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, []*Row{row})
+	if !strings.Contains(buf.String(), "Q1 aware [No Delay]") {
+		t.Errorf("table output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteTraceCSV(&buf, []*Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "label,elapsed_ms,answer\n") {
+		t.Errorf("csv output: %s", buf.String())
+	}
+	buf.Reset()
+	WriteSpeedups(&buf, []Speedup{{QueryID: "Q1", Network: "No Delay", Unaware: 2, Aware: 1, Ratio: 2}})
+	if !strings.Contains(buf.String(), "2.00x") {
+		t.Errorf("speedup output: %s", buf.String())
+	}
+}
+
+func TestRunGridAndFig2Complete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid in short mode")
+	}
+	r := testRunner(t)
+	ctx := context.Background()
+	rows, err := r.RunGrid(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 40 {
+		t.Fatalf("grid produced %d rows, want 40", len(rows))
+	}
+	sps := Speedups(rows)
+	if len(sps) != 20 {
+		t.Fatalf("speedups = %d, want 20", len(sps))
+	}
+	for _, s := range sps {
+		if s.Ratio <= 0 {
+			t.Errorf("%s/%s: ratio %f", s.QueryID, s.Network, s.Ratio)
+		}
+	}
+	fig2, err := r.RunFig2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2) != 8 {
+		t.Fatalf("fig2 produced %d rows, want 8", len(fig2))
+	}
+	// Every aware cell transfers fewer messages than its unaware pair.
+	for i := 0; i < 4; i++ {
+		if fig2[4+i].Messages >= fig2[i].Messages {
+			t.Errorf("fig2 aware cell %d transfers %d >= unaware %d",
+				i, fig2[4+i].Messages, fig2[i].Messages)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, fig2)
+	if len(strings.Split(buf.String(), "\n")) < 10 {
+		t.Error("table too short")
+	}
+}
+
+func TestRunH2Complete(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.RunH2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("h2 produced %d rows, want 16", len(rows))
+	}
+}
+
+func TestRunUnknownQueryPanics(t *testing.T) {
+	r := testRunner(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown query should panic via lslod.Query")
+		}
+	}()
+	_, _ = r.Run(context.Background(), Config{QueryID: "Q77"})
+}

@@ -1,0 +1,389 @@
+package lslod
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scale sets the entity counts of the synthetic lake.
+type Scale struct {
+	Diseases          int
+	Genes             int
+	DiseaseGeneLinks  int
+	PossibleDrugLinks int
+	Probesets         int
+	Drugs             int
+	Targets           int
+	DrugTargetLinks   int
+	Patients          int
+	PatientGeneLinks  int
+	Compounds         int
+	ChemEntities      int
+	Effects           int
+	Trials            int
+	Providers         int
+	ProviderDrugLinks int
+	Associations      int
+}
+
+// DefaultScale is the size used by the experiment harness; large enough for
+// meaningful intermediate results, small enough to run the full grid in
+// seconds.
+func DefaultScale() Scale {
+	return Scale{
+		Diseases:          400,
+		Genes:             1200,
+		DiseaseGeneLinks:  1800,
+		PossibleDrugLinks: 800,
+		Probesets:         3000,
+		Drugs:             600,
+		Targets:           400,
+		DrugTargetLinks:   900,
+		Patients:          800,
+		PatientGeneLinks:  1200,
+		Compounds:         500,
+		ChemEntities:      600,
+		Effects:           900,
+		Trials:            700,
+		Providers:         400,
+		ProviderDrugLinks: 800,
+		Associations:      900,
+	}
+}
+
+// SmallScale is a reduced size for unit tests.
+func SmallScale() Scale {
+	return Scale{
+		Diseases:          60,
+		Genes:             150,
+		DiseaseGeneLinks:  220,
+		PossibleDrugLinks: 100,
+		Probesets:         320,
+		Drugs:             80,
+		Targets:           60,
+		DrugTargetLinks:   110,
+		Patients:          90,
+		PatientGeneLinks:  130,
+		Compounds:         60,
+		ChemEntities:      70,
+		Effects:           100,
+		Trials:            90,
+		Providers:         50,
+		ProviderDrugLinks: 90,
+		Associations:      110,
+	}
+}
+
+// Entity records. IDs are 1-based and dense per kind.
+
+// Disease is a Diseasome disease.
+type Disease struct {
+	ID     int
+	Name   string
+	Class  string
+	Degree int
+	Genes  []int // associated gene IDs
+	Drugs  []int // possible drug IDs (DrugBank)
+}
+
+// Gene is a Diseasome gene.
+type Gene struct {
+	ID         int
+	Label      string
+	Chromosome string
+	Length     int
+}
+
+// Probeset is an Affymetrix probeset.
+type Probeset struct {
+	ID         int
+	Name       string
+	Species    string
+	Chromosome string
+	Signal     float64
+	GeneID     int
+}
+
+// Drug is a DrugBank drug.
+type Drug struct {
+	ID          int
+	GenericName string
+	Indication  string
+	Category    string
+	Weight      float64
+	Targets     []int
+}
+
+// Target is a DrugBank target.
+type Target struct {
+	ID     int
+	Name   string
+	GeneID int
+}
+
+// Patient is a TCGA patient.
+type Patient struct {
+	ID        int
+	Gender    string
+	Age       int
+	TumorSite string
+	Genes     []int // mutated genes
+}
+
+// Compound is a KEGG compound.
+type Compound struct {
+	ID      int
+	Formula string
+	Pathway string
+	Mass    float64
+}
+
+// ChemEntity is a ChEBI chemical entity.
+type ChemEntity struct {
+	ID     int
+	Name   string
+	Charge int
+	Mass   float64
+}
+
+// Effect is a SIDER side effect occurrence.
+type Effect struct {
+	ID     int
+	Name   string
+	DrugID int
+}
+
+// Trial is a LinkedCT clinical trial.
+type Trial struct {
+	ID        int
+	Title     string
+	Phase     string
+	Status    string
+	DiseaseID int
+	DrugID    int
+}
+
+// Provider is a Medicare provider.
+type Provider struct {
+	ID        int
+	Name      string
+	State     string
+	Specialty string
+	Drugs     []int
+}
+
+// Association is a PharmGKB gene–drug association.
+type Association struct {
+	ID       int
+	Evidence string
+	Score    float64
+	GeneID   int
+	DrugID   int
+}
+
+// Data is the generated entity universe shared by the RDF and relational
+// representations.
+type Data struct {
+	Scale        Scale
+	Diseases     []Disease
+	Genes        []Gene
+	Probesets    []Probeset
+	Drugs        []Drug
+	Targets      []Target
+	Patients     []Patient
+	Compounds    []Compound
+	ChemEntities []ChemEntity
+	Effects      []Effect
+	Trials       []Trial
+	Providers    []Provider
+	Associations []Association
+}
+
+// Value pools. diseaseSuffixes is weighted so that CONTAINS(?name, "itis")
+// matches roughly 60% of diseases (Q1's weakly selective filter), while
+// speciesPool is dominated by Homo sapiens (>15% of records, so the species
+// attribute is denied an index, as in the paper's motivating example).
+var (
+	diseaseRoots    = []string{"cardi", "neur", "derm", "hepat", "nephr", "arthr", "gastr", "oste", "my", "encephal", "bronch", "col", "phleb", "rhin", "laryng"}
+	diseaseSuffixes = []string{"itis", "itis", "itis", "itis", "itis", "itis", "oma", "oma", "opathy", "osis"}
+	diseaseClasses  = []string{"Cancer", "Metabolic", "Neurological", "Cardiovascular", "Immunological", "Respiratory", "Dermatological", "Skeletal", "Endocrine", "Ophthamological", "Renal", "Gastrointestinal", "Hematological", "Muscular", "Psychiatric", "Developmental", "Connective tissue", "Unclassified"}
+	speciesPool     = []string{
+		"Homo sapiens", "Homo sapiens", "Homo sapiens", "Homo sapiens", "Homo sapiens",
+		"Homo sapiens", "Homo sapiens", "Homo sapiens", "Homo sapiens", "Homo sapiens",
+		"Homo sapiens", "Mus musculus", "Mus musculus", "Mus musculus", "Mus musculus",
+		"Rattus norvegicus", "Rattus norvegicus", "Danio rerio", "Drosophila melanogaster", "Caenorhabditis elegans",
+	}
+	drugCategories = []string{"antibiotic", "antiviral", "analgesic", "antihistamine", "antineoplastic", "anticoagulant", "antidepressant", "antihypertensive", "diuretic", "sedative", "vaccine", "hormone", "immunosuppressant", "bronchodilator", "statin"}
+	tumorSites     = []string{"lung", "breast", "colon", "prostate", "stomach", "liver", "pancreas", "kidney", "bladder", "brain", "ovary", "cervix", "esophagus", "larynx", "thyroid", "skin", "bone", "blood", "lymph", "testis"}
+	pathways       = []string{"glycolysis", "tca-cycle", "pentose-phosphate", "fatty-acid-synthesis", "beta-oxidation", "urea-cycle", "purine-metabolism", "pyrimidine-metabolism", "amino-acid-degradation", "oxidative-phosphorylation", "calvin-cycle", "methane-metabolism", "nitrogen-metabolism", "sulfur-metabolism", "steroid-biosynthesis", "terpenoid-backbone", "folate-biosynthesis", "retinol-metabolism", "drug-metabolism", "xenobiotics-degradation", "mapk-signaling", "wnt-signaling", "notch-signaling", "hedgehog-signaling", "jak-stat-signaling", "tgf-beta-signaling", "vegf-signaling", "apoptosis", "cell-cycle", "p53-signaling"}
+	phases         = []string{"Phase 1", "Phase 2", "Phase 3", "Phase 4"}
+	statuses       = []string{"Recruiting", "Completed", "Terminated", "Suspended", "Withdrawn", "Active", "Enrolling", "Unknown", "Not yet recruiting", "Available", "Approved", "No longer available"}
+	states         = []string{"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"}
+	specialties    = []string{"cardiology", "neurology", "oncology", "dermatology", "pediatrics", "psychiatry", "radiology", "surgery", "urology", "orthopedics", "gastroenterology", "endocrinology", "nephrology", "pulmonology", "rheumatology", "hematology", "immunology", "anesthesiology", "pathology", "ophthalmology", "family-medicine", "internal-medicine", "emergency", "geriatrics", "obstetrics", "otolaryngology", "plastic-surgery", "infectious-disease", "sports-medicine", "allergy"}
+	evidences      = []string{"clinical-annotation", "variant-annotation", "pathway", "literature", "label-annotation", "guideline", "dosing", "functional-assay", "gwas", "case-report"}
+	effectNames    = []string{"nausea", "headache", "dizziness", "fatigue", "insomnia", "rash", "pruritus", "vomiting", "diarrhea", "constipation", "dry-mouth", "anemia", "fever", "cough", "dyspnea", "edema", "hypotension", "hypertension", "tachycardia", "bradycardia", "anxiety", "tremor", "myalgia", "arthralgia", "neutropenia", "thrombocytopenia", "alopecia", "anorexia", "weight-gain", "weight-loss", "blurred-vision", "tinnitus", "vertigo", "dysgeusia", "photosensitivity", "hyperglycemia", "hypoglycemia", "hyperkalemia", "hypokalemia", "somnolence", "confusion", "depression", "irritability", "palpitations", "flushing", "sweating", "chills", "back-pain", "chest-pain", "abdominal-pain", "dyspepsia", "flatulence", "xerostomia", "stomatitis", "epistaxis", "ecchymosis", "urticaria", "dermatitis", "hypersensitivity", "syncope"}
+)
+
+func chromosomes() []string {
+	out := make([]string, 0, 24)
+	for i := 1; i <= 22; i++ {
+		out = append(out, fmt.Sprintf("chr%d", i))
+	}
+	return append(out, "chrX", "chrY")
+}
+
+// Generate builds a deterministic synthetic entity universe for the scale
+// and seed.
+func Generate(scale Scale, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Data{Scale: scale}
+	chroms := chromosomes()
+
+	pick := func(pool []string) string { return pool[rng.Intn(len(pool))] }
+
+	// linkSet generates n distinct (left, right) link pairs; uniqueness
+	// mirrors the UNIQUE constraint a 3NF link table would carry and keeps
+	// the relational bag semantics aligned with RDF set semantics.
+	linkSet := func(n, lefts, rights int, add func(li, ri int)) {
+		seen := map[[2]int]bool{}
+		for len(seen) < n && len(seen) < lefts*rights {
+			li, ri := rng.Intn(lefts), 1+rng.Intn(rights)
+			k := [2]int{li, ri}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			add(li, ri)
+		}
+	}
+
+	for i := 1; i <= scale.Genes; i++ {
+		d.Genes = append(d.Genes, Gene{
+			ID:         i,
+			Label:      fmt.Sprintf("%s%d", pick([]string{"BRCA", "TP", "EGFR", "KRAS", "MYC", "PTEN", "RB", "APC", "VHL", "ATM", "CFTR", "HBB", "LDLR", "APOE", "TNF"}), i),
+			Chromosome: pick(chroms),
+			Length:     500 + rng.Intn(20000),
+		})
+	}
+	// Disease names are long descriptive labels (as in real disease
+	// ontologies). The weighted suffix pool makes CONTAINS(?name, "itis")
+	// match about 60% of them — Q1's weakly selective string filter. The
+	// length matters: evaluating the pushed-down LIKE '%itis%' at the
+	// relational source costs a per-row backtracking scan, reproducing the
+	// paper's observation that string filters run slower at the RDB than
+	// at the query engine.
+	for i := 1; i <= scale.Diseases; i++ {
+		d.Diseases = append(d.Diseases, Disease{
+			ID: i,
+			Name: fmt.Sprintf("%s%s, a %s disorder of the %s with %s onset and %s progression, variant %d",
+				pick(diseaseRoots), pick(diseaseSuffixes),
+				pick([]string{"chronic", "acute", "recurrent", "progressive", "congenital", "idiopathic"}),
+				pick([]string{"cardiovascular system", "central nervous system", "hepatic parenchyma", "renal cortex", "skeletal musculature", "gastrointestinal tract", "respiratory epithelium", "integumentary system"}),
+				pick([]string{"juvenile", "adult", "late", "neonatal", "variable"}),
+				pick([]string{"rapid", "slow", "relapsing", "stable", "fulminant"}),
+				i),
+			Class:  pick(diseaseClasses),
+			Degree: 1 + rng.Intn(40),
+		})
+	}
+	linkSet(scale.DiseaseGeneLinks, scale.Diseases, scale.Genes, func(di, g int) {
+		d.Diseases[di].Genes = append(d.Diseases[di].Genes, g)
+	})
+	for i := 1; i <= scale.Drugs; i++ {
+		d.Drugs = append(d.Drugs, Drug{
+			ID:          i,
+			GenericName: fmt.Sprintf("%s%s-%d", pick([]string{"ab", "ce", "do", "flu", "ga", "ibu", "keto", "lora", "meto", "na", "oxa", "pra", "quina", "rosu", "simva"}), pick([]string{"profen", "statin", "cillin", "mycin", "prazole", "olol", "sartan", "dipine", "azepam", "caine"}), i),
+			Indication:  pick(diseaseRoots) + pick(diseaseSuffixes),
+			Category:    pick(drugCategories),
+			Weight:      100 + rng.Float64()*900,
+		})
+	}
+	linkSet(scale.PossibleDrugLinks, scale.Diseases, scale.Drugs, func(di, dr int) {
+		d.Diseases[di].Drugs = append(d.Diseases[di].Drugs, dr)
+	})
+	for i := 1; i <= scale.Targets; i++ {
+		d.Targets = append(d.Targets, Target{
+			ID:     i,
+			Name:   fmt.Sprintf("target-%d", i),
+			GeneID: 1 + rng.Intn(scale.Genes),
+		})
+	}
+	linkSet(scale.DrugTargetLinks, scale.Drugs, scale.Targets, func(dr, tg int) {
+		d.Drugs[dr].Targets = append(d.Drugs[dr].Targets, tg)
+	})
+	for i := 1; i <= scale.Probesets; i++ {
+		d.Probesets = append(d.Probesets, Probeset{
+			ID:         i,
+			Name:       fmt.Sprintf("%d_at", 200000+i),
+			Species:    pick(speciesPool),
+			Chromosome: pick(chroms),
+			Signal:     rng.Float64() * 1000,
+			GeneID:     1 + rng.Intn(scale.Genes),
+		})
+	}
+	for i := 1; i <= scale.Patients; i++ {
+		d.Patients = append(d.Patients, Patient{
+			ID:        i,
+			Gender:    pick([]string{"male", "female"}),
+			Age:       18 + rng.Intn(70),
+			TumorSite: pick(tumorSites),
+		})
+	}
+	linkSet(scale.PatientGeneLinks, scale.Patients, scale.Genes, func(p, g int) {
+		d.Patients[p].Genes = append(d.Patients[p].Genes, g)
+	})
+	for i := 1; i <= scale.Compounds; i++ {
+		d.Compounds = append(d.Compounds, Compound{
+			ID:      i,
+			Formula: fmt.Sprintf("C%dH%dO%d", 1+rng.Intn(30), 1+rng.Intn(60), rng.Intn(12)),
+			Pathway: pick(pathways),
+			Mass:    20 + rng.Float64()*800,
+		})
+	}
+	for i := 1; i <= scale.ChemEntities; i++ {
+		d.ChemEntities = append(d.ChemEntities, ChemEntity{
+			ID:     i,
+			Name:   fmt.Sprintf("chebi-entity-%d", i),
+			Charge: rng.Intn(7) - 3,
+			Mass:   20 + rng.Float64()*800,
+		})
+	}
+	for i := 1; i <= scale.Effects; i++ {
+		d.Effects = append(d.Effects, Effect{
+			ID:     i,
+			Name:   pick(effectNames),
+			DrugID: 1 + rng.Intn(scale.Drugs),
+		})
+	}
+	for i := 1; i <= scale.Trials; i++ {
+		d.Trials = append(d.Trials, Trial{
+			ID:        i,
+			Title:     fmt.Sprintf("Study of %s in %s (%d)", pick(drugCategories), pick(tumorSites), i),
+			Phase:     pick(phases),
+			Status:    pick(statuses),
+			DiseaseID: 1 + rng.Intn(scale.Diseases),
+			DrugID:    1 + rng.Intn(scale.Drugs),
+		})
+	}
+	for i := 1; i <= scale.Providers; i++ {
+		d.Providers = append(d.Providers, Provider{
+			ID:        i,
+			Name:      fmt.Sprintf("provider-%d", i),
+			State:     pick(states),
+			Specialty: pick(specialties),
+		})
+	}
+	linkSet(scale.ProviderDrugLinks, scale.Providers, scale.Drugs, func(p, dr int) {
+		d.Providers[p].Drugs = append(d.Providers[p].Drugs, dr)
+	})
+	for i := 1; i <= scale.Associations; i++ {
+		d.Associations = append(d.Associations, Association{
+			ID:       i,
+			Evidence: pick(evidences),
+			Score:    rng.Float64(),
+			GeneID:   1 + rng.Intn(scale.Genes),
+			DrugID:   1 + rng.Intn(scale.Drugs),
+		})
+	}
+	return d
+}

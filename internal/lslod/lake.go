@@ -1,0 +1,142 @@
+package lslod
+
+import (
+	"fmt"
+	"sort"
+
+	"ontario/internal/catalog"
+)
+
+// Lake is a fully assembled synthetic Semantic Data Lake.
+type Lake struct {
+	Catalog *catalog.Catalog
+	Data    *Data
+	// DeniedIndexes lists "table.column" index requests denied by the 15%
+	// rule.
+	DeniedIndexes []string
+}
+
+// moleculeSpec declares one RDF-MT.
+type moleculeSpec struct {
+	class   string
+	dataset string
+	preds   []catalog.PredicateDesc
+}
+
+func moleculeSpecs() []moleculeSpec {
+	return []moleculeSpec{
+		{ClassDisease, DSDiseasome, []catalog.PredicateDesc{
+			{Predicate: PredDiseaseName}, {Predicate: PredDiseaseClass}, {Predicate: PredDegree},
+			{Predicate: PredAssociatedGene, LinkedClass: ClassGene},
+			{Predicate: PredPossibleDrug, LinkedClass: ClassDrug},
+		}},
+		{ClassGene, DSDiseasome, []catalog.PredicateDesc{
+			{Predicate: PredGeneLabel}, {Predicate: PredGeneChromosome}, {Predicate: PredGeneLength},
+		}},
+		{ClassProbeset, DSAffymetrix, []catalog.PredicateDesc{
+			{Predicate: PredProbesetName}, {Predicate: PredSpecies}, {Predicate: PredProbeChromosome},
+			{Predicate: PredSignal}, {Predicate: PredTranscribedFrom, LinkedClass: ClassGene},
+		}},
+		{ClassDrug, DSDrugBank, []catalog.PredicateDesc{
+			{Predicate: PredGenericName}, {Predicate: PredIndication}, {Predicate: PredDrugCategory},
+			{Predicate: PredMolWeight}, {Predicate: PredTarget, LinkedClass: ClassTarget},
+		}},
+		{ClassTarget, DSDrugBank, []catalog.PredicateDesc{
+			{Predicate: PredTargetName}, {Predicate: PredTargetGene, LinkedClass: ClassGene},
+		}},
+		{ClassPatient, DSTCGA, []catalog.PredicateDesc{
+			{Predicate: PredGender}, {Predicate: PredAge}, {Predicate: PredTumorSite},
+			{Predicate: PredMutatedGene, LinkedClass: ClassGene},
+		}},
+		{ClassCompound, DSKEGG, []catalog.PredicateDesc{
+			{Predicate: PredFormula}, {Predicate: PredPathway}, {Predicate: PredMass},
+		}},
+		{ClassChemEntity, DSChEBI, []catalog.PredicateDesc{
+			{Predicate: PredChebiName}, {Predicate: PredCharge}, {Predicate: PredChebiMass},
+		}},
+		{ClassSideEffect, DSSider, []catalog.PredicateDesc{
+			{Predicate: PredEffectName}, {Predicate: PredCausedBy, LinkedClass: ClassDrug},
+		}},
+		{ClassTrial, DSLinkedCT, []catalog.PredicateDesc{
+			{Predicate: PredTrialTitle}, {Predicate: PredPhase}, {Predicate: PredStatus},
+			{Predicate: PredCondition, LinkedClass: ClassDisease},
+			{Predicate: PredIntervention, LinkedClass: ClassDrug},
+		}},
+		{ClassProvider, DSMedicare, []catalog.PredicateDesc{
+			{Predicate: PredProviderName}, {Predicate: PredState}, {Predicate: PredSpecialty},
+			{Predicate: PredPrescribes, LinkedClass: ClassDrug},
+		}},
+		{ClassAssociation, DSPharmGKB, []catalog.PredicateDesc{
+			{Predicate: PredEvidence}, {Predicate: PredScore},
+			{Predicate: PredPAGene, LinkedClass: ClassGene},
+			{Predicate: PredPADrug, LinkedClass: ClassDrug},
+		}},
+	}
+}
+
+// BuildLake generates the data and assembles the paper's experimental
+// setup: every dataset stored relationally (the RDF version of each LSLOD
+// dataset transformed into 3NF tables with rule-filtered indexes).
+func BuildLake(scale Scale, seed int64) (*Lake, error) {
+	return buildLake(scale, seed, nil)
+}
+
+// BuildMixedLake keeps the named datasets in their native RDF model and the
+// rest relational, exercising the Semantic-Data-Lake heterogeneity the
+// system is designed for.
+func BuildMixedLake(scale Scale, seed int64, rdfDatasets []string) (*Lake, error) {
+	asRDF := map[string]bool{}
+	for _, ds := range rdfDatasets {
+		valid := false
+		for _, known := range Datasets() {
+			if ds == known {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("lslod: unknown dataset %q", ds)
+		}
+		asRDF[ds] = true
+	}
+	return buildLake(scale, seed, asRDF)
+}
+
+func buildLake(scale Scale, seed int64, asRDF map[string]bool) (*Lake, error) {
+	data := Generate(scale, seed)
+	sources, denied := BuildRelationalSources(data)
+	return assembleLake(data, sources, denied, asRDF)
+}
+
+// assembleLake registers the sources (optionally converting some to native
+// RDF) and the molecule templates.
+func assembleLake(data *Data, sources map[string]*catalog.Source, denied []string, asRDF map[string]bool) (*Lake, error) {
+	cat := catalog.New()
+
+	ids := make([]string, 0, len(sources))
+	for id := range sources {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		src := sources[id]
+		if asRDF[id] {
+			g, err := GraphFromSource(src)
+			if err != nil {
+				return nil, err
+			}
+			src = &catalog.Source{ID: id, Model: catalog.ModelRDF, Graph: g}
+		}
+		if err := cat.AddSource(src); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range moleculeSpecs() {
+		cat.AddMT(&catalog.RDFMT{
+			Class:      spec.class,
+			Predicates: spec.preds,
+			Sources:    []string{spec.dataset},
+		})
+	}
+	return &Lake{Catalog: cat, Data: data, DeniedIndexes: denied}, nil
+}

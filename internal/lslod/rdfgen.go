@@ -1,0 +1,111 @@
+package lslod
+
+import (
+	"fmt"
+	"sort"
+
+	"ontario/internal/catalog"
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+)
+
+// GraphFromSource materializes the RDF view of a relational source by
+// walking its class mappings — the inverse of the paper's RDF-to-relational
+// transformation. It is used to build mixed (RDF + relational) lakes and to
+// cross-check wrapper results against direct RDF evaluation.
+func GraphFromSource(src *catalog.Source) (*rdf.Graph, error) {
+	if src.Model != catalog.ModelRelational {
+		return nil, fmt.Errorf("lslod: source %s is not relational", src.ID)
+	}
+	g := rdf.NewGraph()
+	classes := make([]string, 0, len(src.Mappings))
+	for c := range src.Mappings {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cm := src.Mappings[class]
+		if err := exportClass(g, src, cm); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func exportClass(g *rdf.Graph, src *catalog.Source, cm *catalog.ClassMapping) error {
+	res, err := src.DB.Query("SELECT * FROM " + cm.Table)
+	if err != nil {
+		return err
+	}
+	t := src.DB.Table(cm.Table)
+	pkIdx := t.Schema.ColumnIndex(cm.SubjectColumn)
+	typeIRI := rdf.NewIRI(rdf.RDFType)
+	classIRI := rdf.NewIRI(cm.Class)
+
+	preds := make([]string, 0, len(cm.Properties))
+	for p := range cm.Properties {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+
+	for _, row := range res.Rows {
+		subj := rdf.NewIRI(cm.SubjectIRI(row[pkIdx].String()))
+		g.Add(rdf.Triple{S: subj, P: typeIRI, O: classIRI})
+		for _, p := range preds {
+			pm := cm.Properties[p]
+			predIRI := rdf.NewIRI(p)
+			if pm.IsJoin() {
+				if err := exportSideTable(g, src, subj, predIRI, row[pkIdx], pm); err != nil {
+					return err
+				}
+				continue
+			}
+			ci := t.Schema.ColumnIndex(pm.Column)
+			v := row[ci]
+			if v.Null {
+				continue
+			}
+			g.Add(rdf.Triple{S: subj, P: predIRI, O: storageTerm(v, pm.ObjectTemplate)})
+		}
+	}
+	return nil
+}
+
+func exportSideTable(g *rdf.Graph, src *catalog.Source, subj, pred rdf.Term, key rdb.Value, pm *catalog.PropertyMapping) error {
+	stmt := fmt.Sprintf("SELECT %s FROM %s WHERE %s = %s",
+		pm.ValueColumn, pm.JoinTable, pm.JoinFK, sqlLiteral(key))
+	res, err := src.DB.Query(stmt)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if row[0].Null {
+			continue
+		}
+		g.Add(rdf.Triple{S: subj, P: pred, O: storageTerm(row[0], pm.ObjectTemplate)})
+	}
+	return nil
+}
+
+func sqlLiteral(v rdb.Value) string {
+	if v.Type == rdb.TypeString {
+		return "'" + v.Str + "'"
+	}
+	return v.String()
+}
+
+func storageTerm(v rdb.Value, template string) rdf.Term {
+	if template != "" {
+		return rdf.NewIRI(catalog.RenderTemplate(template, v.String()))
+	}
+	switch v.Type {
+	case rdb.TypeInt:
+		return rdf.IntLiteral(v.Int)
+	case rdb.TypeFloat:
+		return rdf.FloatLiteral(v.Float)
+	case rdb.TypeBool:
+		return rdf.BoolLiteral(v.Bool)
+	default:
+		return rdf.NewLiteral(v.Str)
+	}
+}

@@ -1,0 +1,565 @@
+package lslod
+
+import (
+	"fmt"
+
+	"ontario/internal/catalog"
+	"ontario/internal/rdb"
+)
+
+// MaxIndexValueFraction is the paper's indexing rule: "No index is created
+// since there are values that are present in more than 15% of the records."
+const MaxIndexValueFraction = 0.15
+
+// ApplyIndexRule creates the requested index only when the column's most
+// frequent value covers at most MaxIndexValueFraction of the rows. It
+// reports whether the index was created.
+func ApplyIndexRule(t *rdb.Table, column string, kind rdb.IndexKind) (bool, error) {
+	st := t.Stats()
+	if st.MaxValueFraction[column] > MaxIndexValueFraction {
+		return false, nil
+	}
+	if err := t.CreateIndex(rdb.IndexSpec{Column: column, Kind: kind}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// indexRequest is one desired secondary index, subject to the 15% rule.
+type indexRequest struct {
+	table  string
+	column string
+	kind   rdb.IndexKind
+}
+
+// relationalBuilder assembles one dataset's database, mappings and indexes.
+type relationalBuilder struct {
+	db       *rdb.Database
+	mappings map[string]*catalog.ClassMapping
+	requests []indexRequest
+	// DeniedIndexes records columns denied by the 15% rule (for reports
+	// and tests).
+	denied []string
+}
+
+func newRelationalBuilder(ds string) *relationalBuilder {
+	return &relationalBuilder{
+		db:       rdb.NewDatabase(ds),
+		mappings: map[string]*catalog.ClassMapping{},
+	}
+}
+
+func (b *relationalBuilder) table(schema *rdb.Schema) *rdb.Table {
+	t, err := b.db.CreateTable(schema)
+	if err != nil {
+		panic(fmt.Sprintf("lslod: %v", err))
+	}
+	return t
+}
+
+func (b *relationalBuilder) insert(t *rdb.Table, rows ...rdb.Row) {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			panic(fmt.Sprintf("lslod: %v", err))
+		}
+	}
+}
+
+func (b *relationalBuilder) want(table, column string, kind rdb.IndexKind) {
+	b.requests = append(b.requests, indexRequest{table, column, kind})
+}
+
+func (b *relationalBuilder) finish(ds string) (*catalog.Source, []string) {
+	for _, req := range b.requests {
+		t := b.db.Table(req.table)
+		created, err := ApplyIndexRule(t, req.column, req.kind)
+		if err != nil {
+			panic(fmt.Sprintf("lslod: %v", err))
+		}
+		if !created {
+			b.denied = append(b.denied, req.table+"."+req.column)
+		}
+	}
+	return &catalog.Source{
+		ID:       ds,
+		Model:    catalog.ModelRelational,
+		DB:       b.db,
+		Mappings: b.mappings,
+	}, b.denied
+}
+
+func intCol(name string) rdb.Column   { return rdb.Column{Name: name, Type: rdb.TypeInt} }
+func strCol(name string) rdb.Column   { return rdb.Column{Name: name, Type: rdb.TypeString} }
+func floatCol(name string) rdb.Column { return rdb.Column{Name: name, Type: rdb.TypeFloat} }
+func pkCol(name string) rdb.Column    { return rdb.Column{Name: name, Type: rdb.TypeInt, NotNull: true} }
+func direct(pred, col string) *catalog.PropertyMapping {
+	return &catalog.PropertyMapping{Predicate: pred, Column: col}
+}
+func link(pred, col, tmpl, class string) *catalog.PropertyMapping {
+	return &catalog.PropertyMapping{Predicate: pred, Column: col, ObjectTemplate: tmpl, ObjectClass: class}
+}
+func sideTable(pred, table, fk, val, tmpl, class string) *catalog.PropertyMapping {
+	return &catalog.PropertyMapping{
+		Predicate: pred, JoinTable: table, JoinFK: fk, ValueColumn: val,
+		ObjectTemplate: tmpl, ObjectClass: class,
+	}
+}
+
+// BuildRelationalSources builds the ten per-dataset relational databases
+// with mappings and rule-filtered indexes. It returns the sources by
+// dataset ID and the list of index requests denied by the 15% rule.
+func BuildRelationalSources(d *Data) (map[string]*catalog.Source, []string) {
+	out := map[string]*catalog.Source{}
+	var denied []string
+	add := func(src *catalog.Source, d []string) {
+		out[src.ID] = src
+		denied = append(denied, d...)
+	}
+	add(buildDiseasome(d))
+	add(buildAffymetrix(d))
+	add(buildDrugBank(d))
+	add(buildTCGA(d))
+	add(buildKEGG(d))
+	add(buildChEBI(d))
+	add(buildSider(d))
+	add(buildLinkedCT(d))
+	add(buildMedicare(d))
+	add(buildPharmGKB(d))
+	return out, denied
+}
+
+func buildDiseasome(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSDiseasome)
+	disease := b.table(&rdb.Schema{
+		Name:       "disease",
+		Columns:    []rdb.Column{pkCol("id"), strCol("name"), strCol("disease_class"), intCol("degree")},
+		PrimaryKey: "id",
+	})
+	gene := b.table(&rdb.Schema{
+		Name:       "gene",
+		Columns:    []rdb.Column{pkCol("id"), strCol("label"), strCol("chromosome"), intCol("gene_length")},
+		PrimaryKey: "id",
+	})
+	diseaseGene := b.table(&rdb.Schema{
+		Name:       "disease_gene",
+		Columns:    []rdb.Column{pkCol("id"), intCol("disease_id"), intCol("gene_id")},
+		PrimaryKey: "id",
+	})
+	diseaseDrug := b.table(&rdb.Schema{
+		Name:       "disease_drug",
+		Columns:    []rdb.Column{pkCol("id"), intCol("disease_id"), intCol("drug_id")},
+		PrimaryKey: "id",
+	})
+	linkID := 0
+	for _, dis := range d.Diseases {
+		b.insert(disease, rdb.Row{
+			rdb.IntValue(int64(dis.ID)), rdb.StringValue(dis.Name),
+			rdb.StringValue(dis.Class), rdb.IntValue(int64(dis.Degree)),
+		})
+		for _, g := range dis.Genes {
+			linkID++
+			b.insert(diseaseGene, rdb.Row{
+				rdb.IntValue(int64(linkID)), rdb.IntValue(int64(dis.ID)), rdb.IntValue(int64(g)),
+			})
+		}
+	}
+	linkID = 0
+	for _, dis := range d.Diseases {
+		for _, dr := range dis.Drugs {
+			linkID++
+			b.insert(diseaseDrug, rdb.Row{
+				rdb.IntValue(int64(linkID)), rdb.IntValue(int64(dis.ID)), rdb.IntValue(int64(dr)),
+			})
+		}
+	}
+	for _, g := range d.Genes {
+		b.insert(gene, rdb.Row{
+			rdb.IntValue(int64(g.ID)), rdb.StringValue(g.Label),
+			rdb.StringValue(g.Chromosome), rdb.IntValue(int64(g.Length)),
+		})
+	}
+
+	b.want("disease", "name", rdb.IndexHash)
+	b.want("disease", "disease_class", rdb.IndexHash)
+	b.want("disease", "degree", rdb.IndexBTree)
+	b.want("disease_gene", "disease_id", rdb.IndexHash)
+	b.want("disease_gene", "gene_id", rdb.IndexHash)
+	b.want("disease_drug", "disease_id", rdb.IndexHash)
+	b.want("disease_drug", "drug_id", rdb.IndexHash)
+	b.want("gene", "chromosome", rdb.IndexHash)
+	b.want("gene", "gene_length", rdb.IndexBTree)
+
+	b.mappings[ClassDisease] = &catalog.ClassMapping{
+		Class: ClassDisease, Table: "disease",
+		SubjectColumn: "id", SubjectTemplate: TmplDisease,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredDiseaseName:    direct(PredDiseaseName, "name"),
+			PredDiseaseClass:   direct(PredDiseaseClass, "disease_class"),
+			PredDegree:         direct(PredDegree, "degree"),
+			PredAssociatedGene: sideTable(PredAssociatedGene, "disease_gene", "disease_id", "gene_id", TmplGene, ClassGene),
+			PredPossibleDrug:   sideTable(PredPossibleDrug, "disease_drug", "disease_id", "drug_id", TmplDrug, ClassDrug),
+		},
+	}
+	b.mappings[ClassGene] = &catalog.ClassMapping{
+		Class: ClassGene, Table: "gene",
+		SubjectColumn: "id", SubjectTemplate: TmplGene,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredGeneLabel:      direct(PredGeneLabel, "label"),
+			PredGeneChromosome: direct(PredGeneChromosome, "chromosome"),
+			PredGeneLength:     direct(PredGeneLength, "gene_length"),
+		},
+	}
+	return b.finish(DSDiseasome)
+}
+
+func buildAffymetrix(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSAffymetrix)
+	probeset := b.table(&rdb.Schema{
+		Name: "probeset",
+		Columns: []rdb.Column{
+			pkCol("id"), strCol("name"), strCol("species"),
+			strCol("chromosome"), floatCol("signal_avg"), intCol("gene_id"),
+		},
+		PrimaryKey: "id",
+	})
+	for _, p := range d.Probesets {
+		b.insert(probeset, rdb.Row{
+			rdb.IntValue(int64(p.ID)), rdb.StringValue(p.Name), rdb.StringValue(p.Species),
+			rdb.StringValue(p.Chromosome), rdb.FloatValue(p.Signal), rdb.IntValue(int64(p.GeneID)),
+		})
+	}
+	b.want("probeset", "gene_id", rdb.IndexHash)
+	b.want("probeset", "chromosome", rdb.IndexHash)
+	b.want("probeset", "signal_avg", rdb.IndexBTree)
+	// Denied by the 15% rule: most records are Homo sapiens (the paper's
+	// motivating example).
+	b.want("probeset", "species", rdb.IndexHash)
+
+	b.mappings[ClassProbeset] = &catalog.ClassMapping{
+		Class: ClassProbeset, Table: "probeset",
+		SubjectColumn: "id", SubjectTemplate: TmplProbeset,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredProbesetName:    direct(PredProbesetName, "name"),
+			PredSpecies:         direct(PredSpecies, "species"),
+			PredProbeChromosome: direct(PredProbeChromosome, "chromosome"),
+			PredSignal:          direct(PredSignal, "signal_avg"),
+			PredTranscribedFrom: link(PredTranscribedFrom, "gene_id", TmplGene, ClassGene),
+		},
+	}
+	return b.finish(DSAffymetrix)
+}
+
+func buildDrugBank(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSDrugBank)
+	drug := b.table(&rdb.Schema{
+		Name: "drug",
+		Columns: []rdb.Column{
+			pkCol("id"), strCol("generic_name"), strCol("indication"),
+			strCol("category"), floatCol("mol_weight"),
+		},
+		PrimaryKey: "id",
+	})
+	target := b.table(&rdb.Schema{
+		Name:       "target",
+		Columns:    []rdb.Column{pkCol("id"), strCol("target_name"), intCol("gene_id")},
+		PrimaryKey: "id",
+	})
+	drugTarget := b.table(&rdb.Schema{
+		Name:       "drug_target",
+		Columns:    []rdb.Column{pkCol("id"), intCol("drug_id"), intCol("target_id")},
+		PrimaryKey: "id",
+	})
+	for _, dr := range d.Drugs {
+		b.insert(drug, rdb.Row{
+			rdb.IntValue(int64(dr.ID)), rdb.StringValue(dr.GenericName),
+			rdb.StringValue(dr.Indication), rdb.StringValue(dr.Category), rdb.FloatValue(dr.Weight),
+		})
+	}
+	for _, t := range d.Targets {
+		b.insert(target, rdb.Row{
+			rdb.IntValue(int64(t.ID)), rdb.StringValue(t.Name), rdb.IntValue(int64(t.GeneID)),
+		})
+	}
+	linkID := 0
+	for _, dr := range d.Drugs {
+		for _, tg := range dr.Targets {
+			linkID++
+			b.insert(drugTarget, rdb.Row{
+				rdb.IntValue(int64(linkID)), rdb.IntValue(int64(dr.ID)), rdb.IntValue(int64(tg)),
+			})
+		}
+	}
+	b.want("drug", "category", rdb.IndexHash)
+	b.want("drug", "mol_weight", rdb.IndexBTree)
+	b.want("drug_target", "drug_id", rdb.IndexHash)
+	b.want("drug_target", "target_id", rdb.IndexHash)
+	b.want("target", "gene_id", rdb.IndexHash)
+
+	b.mappings[ClassDrug] = &catalog.ClassMapping{
+		Class: ClassDrug, Table: "drug",
+		SubjectColumn: "id", SubjectTemplate: TmplDrug,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredGenericName:  direct(PredGenericName, "generic_name"),
+			PredIndication:   direct(PredIndication, "indication"),
+			PredDrugCategory: direct(PredDrugCategory, "category"),
+			PredMolWeight:    direct(PredMolWeight, "mol_weight"),
+			PredTarget:       sideTable(PredTarget, "drug_target", "drug_id", "target_id", TmplTarget, ClassTarget),
+		},
+	}
+	b.mappings[ClassTarget] = &catalog.ClassMapping{
+		Class: ClassTarget, Table: "target",
+		SubjectColumn: "id", SubjectTemplate: TmplTarget,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredTargetName: direct(PredTargetName, "target_name"),
+			PredTargetGene: link(PredTargetGene, "gene_id", TmplGene, ClassGene),
+		},
+	}
+	return b.finish(DSDrugBank)
+}
+
+func buildTCGA(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSTCGA)
+	patient := b.table(&rdb.Schema{
+		Name: "patient",
+		Columns: []rdb.Column{
+			pkCol("id"), strCol("gender"), intCol("age"), strCol("tumor_site"),
+		},
+		PrimaryKey: "id",
+	})
+	patientGene := b.table(&rdb.Schema{
+		Name:       "patient_gene",
+		Columns:    []rdb.Column{pkCol("id"), intCol("patient_id"), intCol("gene_id")},
+		PrimaryKey: "id",
+	})
+	for _, p := range d.Patients {
+		b.insert(patient, rdb.Row{
+			rdb.IntValue(int64(p.ID)), rdb.StringValue(p.Gender),
+			rdb.IntValue(int64(p.Age)), rdb.StringValue(p.TumorSite),
+		})
+	}
+	linkID := 0
+	for _, p := range d.Patients {
+		for _, g := range p.Genes {
+			linkID++
+			b.insert(patientGene, rdb.Row{
+				rdb.IntValue(int64(linkID)), rdb.IntValue(int64(p.ID)), rdb.IntValue(int64(g)),
+			})
+		}
+	}
+	b.want("patient", "tumor_site", rdb.IndexHash)
+	b.want("patient", "age", rdb.IndexBTree)
+	// Denied: only two gender values.
+	b.want("patient", "gender", rdb.IndexHash)
+	b.want("patient_gene", "patient_id", rdb.IndexHash)
+	b.want("patient_gene", "gene_id", rdb.IndexHash)
+
+	b.mappings[ClassPatient] = &catalog.ClassMapping{
+		Class: ClassPatient, Table: "patient",
+		SubjectColumn: "id", SubjectTemplate: TmplPatient,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredGender:      direct(PredGender, "gender"),
+			PredAge:         direct(PredAge, "age"),
+			PredTumorSite:   direct(PredTumorSite, "tumor_site"),
+			PredMutatedGene: sideTable(PredMutatedGene, "patient_gene", "patient_id", "gene_id", TmplGene, ClassGene),
+		},
+	}
+	return b.finish(DSTCGA)
+}
+
+func buildKEGG(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSKEGG)
+	compound := b.table(&rdb.Schema{
+		Name:       "compound",
+		Columns:    []rdb.Column{pkCol("id"), strCol("formula"), strCol("pathway"), floatCol("mass")},
+		PrimaryKey: "id",
+	})
+	for _, c := range d.Compounds {
+		b.insert(compound, rdb.Row{
+			rdb.IntValue(int64(c.ID)), rdb.StringValue(c.Formula),
+			rdb.StringValue(c.Pathway), rdb.FloatValue(c.Mass),
+		})
+	}
+	b.want("compound", "pathway", rdb.IndexHash)
+	b.want("compound", "mass", rdb.IndexBTree)
+
+	b.mappings[ClassCompound] = &catalog.ClassMapping{
+		Class: ClassCompound, Table: "compound",
+		SubjectColumn: "id", SubjectTemplate: TmplCompound,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredFormula: direct(PredFormula, "formula"),
+			PredPathway: direct(PredPathway, "pathway"),
+			PredMass:    direct(PredMass, "mass"),
+		},
+	}
+	return b.finish(DSKEGG)
+}
+
+func buildChEBI(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSChEBI)
+	ent := b.table(&rdb.Schema{
+		Name:       "chem_entity",
+		Columns:    []rdb.Column{pkCol("id"), strCol("name"), intCol("charge"), floatCol("mass")},
+		PrimaryKey: "id",
+	})
+	for _, c := range d.ChemEntities {
+		b.insert(ent, rdb.Row{
+			rdb.IntValue(int64(c.ID)), rdb.StringValue(c.Name),
+			rdb.IntValue(int64(c.Charge)), rdb.FloatValue(c.Mass),
+		})
+	}
+	b.want("chem_entity", "mass", rdb.IndexBTree)
+	// Denied: 7 distinct charges, most frequent above 15%.
+	b.want("chem_entity", "charge", rdb.IndexHash)
+
+	b.mappings[ClassChemEntity] = &catalog.ClassMapping{
+		Class: ClassChemEntity, Table: "chem_entity",
+		SubjectColumn: "id", SubjectTemplate: TmplChemEntity,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredChebiName: direct(PredChebiName, "name"),
+			PredCharge:    direct(PredCharge, "charge"),
+			PredChebiMass: direct(PredChebiMass, "mass"),
+		},
+	}
+	return b.finish(DSChEBI)
+}
+
+func buildSider(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSSider)
+	eff := b.table(&rdb.Schema{
+		Name:       "side_effect",
+		Columns:    []rdb.Column{pkCol("id"), strCol("effect_name"), intCol("drug_id")},
+		PrimaryKey: "id",
+	})
+	for _, e := range d.Effects {
+		b.insert(eff, rdb.Row{
+			rdb.IntValue(int64(e.ID)), rdb.StringValue(e.Name), rdb.IntValue(int64(e.DrugID)),
+		})
+	}
+	b.want("side_effect", "effect_name", rdb.IndexHash)
+	b.want("side_effect", "drug_id", rdb.IndexHash)
+
+	b.mappings[ClassSideEffect] = &catalog.ClassMapping{
+		Class: ClassSideEffect, Table: "side_effect",
+		SubjectColumn: "id", SubjectTemplate: TmplSideEffect,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredEffectName: direct(PredEffectName, "effect_name"),
+			PredCausedBy:   link(PredCausedBy, "drug_id", TmplDrug, ClassDrug),
+		},
+	}
+	return b.finish(DSSider)
+}
+
+func buildLinkedCT(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSLinkedCT)
+	trial := b.table(&rdb.Schema{
+		Name: "trial",
+		Columns: []rdb.Column{
+			pkCol("id"), strCol("title"), strCol("phase"),
+			strCol("overall_status"), intCol("disease_id"), intCol("drug_id"),
+		},
+		PrimaryKey: "id",
+	})
+	for _, t := range d.Trials {
+		b.insert(trial, rdb.Row{
+			rdb.IntValue(int64(t.ID)), rdb.StringValue(t.Title), rdb.StringValue(t.Phase),
+			rdb.StringValue(t.Status), rdb.IntValue(int64(t.DiseaseID)), rdb.IntValue(int64(t.DrugID)),
+		})
+	}
+	b.want("trial", "overall_status", rdb.IndexHash)
+	b.want("trial", "disease_id", rdb.IndexHash)
+	b.want("trial", "drug_id", rdb.IndexHash)
+	// Denied: four phases, each around 25% of the records.
+	b.want("trial", "phase", rdb.IndexHash)
+
+	b.mappings[ClassTrial] = &catalog.ClassMapping{
+		Class: ClassTrial, Table: "trial",
+		SubjectColumn: "id", SubjectTemplate: TmplTrial,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredTrialTitle:   direct(PredTrialTitle, "title"),
+			PredPhase:        direct(PredPhase, "phase"),
+			PredStatus:       direct(PredStatus, "overall_status"),
+			PredCondition:    link(PredCondition, "disease_id", TmplDisease, ClassDisease),
+			PredIntervention: link(PredIntervention, "drug_id", TmplDrug, ClassDrug),
+		},
+	}
+	return b.finish(DSLinkedCT)
+}
+
+func buildMedicare(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSMedicare)
+	prov := b.table(&rdb.Schema{
+		Name:       "provider",
+		Columns:    []rdb.Column{pkCol("id"), strCol("provider_name"), strCol("state"), strCol("specialty")},
+		PrimaryKey: "id",
+	})
+	provDrug := b.table(&rdb.Schema{
+		Name:       "provider_drug",
+		Columns:    []rdb.Column{pkCol("id"), intCol("provider_id"), intCol("drug_id")},
+		PrimaryKey: "id",
+	})
+	for _, p := range d.Providers {
+		b.insert(prov, rdb.Row{
+			rdb.IntValue(int64(p.ID)), rdb.StringValue(p.Name),
+			rdb.StringValue(p.State), rdb.StringValue(p.Specialty),
+		})
+	}
+	linkID := 0
+	for _, p := range d.Providers {
+		for _, dr := range p.Drugs {
+			linkID++
+			b.insert(provDrug, rdb.Row{
+				rdb.IntValue(int64(linkID)), rdb.IntValue(int64(p.ID)), rdb.IntValue(int64(dr)),
+			})
+		}
+	}
+	b.want("provider", "state", rdb.IndexHash)
+	b.want("provider", "specialty", rdb.IndexHash)
+	b.want("provider_drug", "provider_id", rdb.IndexHash)
+	b.want("provider_drug", "drug_id", rdb.IndexHash)
+
+	b.mappings[ClassProvider] = &catalog.ClassMapping{
+		Class: ClassProvider, Table: "provider",
+		SubjectColumn: "id", SubjectTemplate: TmplProvider,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredProviderName: direct(PredProviderName, "provider_name"),
+			PredState:        direct(PredState, "state"),
+			PredSpecialty:    direct(PredSpecialty, "specialty"),
+			PredPrescribes:   sideTable(PredPrescribes, "provider_drug", "provider_id", "drug_id", TmplDrug, ClassDrug),
+		},
+	}
+	return b.finish(DSMedicare)
+}
+
+func buildPharmGKB(d *Data) (*catalog.Source, []string) {
+	b := newRelationalBuilder(DSPharmGKB)
+	assoc := b.table(&rdb.Schema{
+		Name: "association",
+		Columns: []rdb.Column{
+			pkCol("id"), strCol("evidence"), floatCol("score"),
+			intCol("gene_id"), intCol("drug_id"),
+		},
+		PrimaryKey: "id",
+	})
+	for _, a := range d.Associations {
+		b.insert(assoc, rdb.Row{
+			rdb.IntValue(int64(a.ID)), rdb.StringValue(a.Evidence), rdb.FloatValue(a.Score),
+			rdb.IntValue(int64(a.GeneID)), rdb.IntValue(int64(a.DrugID)),
+		})
+	}
+	b.want("association", "evidence", rdb.IndexHash)
+	b.want("association", "score", rdb.IndexBTree)
+	b.want("association", "gene_id", rdb.IndexHash)
+	b.want("association", "drug_id", rdb.IndexHash)
+
+	b.mappings[ClassAssociation] = &catalog.ClassMapping{
+		Class: ClassAssociation, Table: "association",
+		SubjectColumn: "id", SubjectTemplate: TmplAssociation,
+		Properties: map[string]*catalog.PropertyMapping{
+			PredEvidence: direct(PredEvidence, "evidence"),
+			PredScore:    direct(PredScore, "score"),
+			PredPAGene:   link(PredPAGene, "gene_id", TmplGene, ClassGene),
+			PredPADrug:   link(PredPADrug, "drug_id", TmplDrug, ClassDrug),
+		},
+	}
+	return b.finish(DSPharmGKB)
+}

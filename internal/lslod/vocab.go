@@ -1,0 +1,140 @@
+// Package lslod generates a synthetic Semantic Data Lake with the same
+// structural roles as the LSLOD benchmark the paper evaluates on: ten
+// life-science datasets, each available as an RDF graph and as a
+// 3NF-normalized relational database with primary-key indexes plus
+// selective secondary indexes, following the paper's rule that no index is
+// created for an attribute whose most frequent value occurs in more than
+// 15% of the records. It also defines the five benchmark queries Q1–Q5,
+// engineered per the paper's stated criteria: query selectivity, filters
+// over indexed attributes, and joins of star-shaped sub-queries over
+// indexed attributes.
+package lslod
+
+// Base is the IRI namespace root of the synthetic lake.
+const Base = "http://lake.tib.eu/"
+
+// Dataset identifiers (the ten LSLOD datasets).
+const (
+	DSDiseasome  = "diseasome"
+	DSAffymetrix = "affymetrix"
+	DSDrugBank   = "drugbank"
+	DSTCGA       = "tcga"
+	DSKEGG       = "kegg"
+	DSChEBI      = "chebi"
+	DSSider      = "sider"
+	DSLinkedCT   = "linkedct"
+	DSMedicare   = "medicare"
+	DSPharmGKB   = "pharmgkb"
+)
+
+// Datasets lists the dataset IDs in canonical order.
+func Datasets() []string {
+	return []string{
+		DSDiseasome, DSAffymetrix, DSDrugBank, DSTCGA, DSKEGG,
+		DSChEBI, DSSider, DSLinkedCT, DSMedicare, DSPharmGKB,
+	}
+}
+
+func vocab(ds, name string) string { return Base + ds + "/vocab#" + name }
+
+func entityTemplate(ds, kind string) string { return Base + ds + "/" + kind + "/{value}" }
+
+// Class IRIs.
+var (
+	ClassDisease     = vocab(DSDiseasome, "Disease")
+	ClassGene        = vocab(DSDiseasome, "Gene")
+	ClassProbeset    = vocab(DSAffymetrix, "Probeset")
+	ClassDrug        = vocab(DSDrugBank, "Drug")
+	ClassTarget      = vocab(DSDrugBank, "Target")
+	ClassPatient     = vocab(DSTCGA, "Patient")
+	ClassCompound    = vocab(DSKEGG, "Compound")
+	ClassChemEntity  = vocab(DSChEBI, "ChemicalEntity")
+	ClassSideEffect  = vocab(DSSider, "SideEffect")
+	ClassTrial       = vocab(DSLinkedCT, "Trial")
+	ClassProvider    = vocab(DSMedicare, "Provider")
+	ClassAssociation = vocab(DSPharmGKB, "Association")
+)
+
+// Predicate IRIs.
+var (
+	// Diseasome.
+	PredDiseaseName    = vocab(DSDiseasome, "name")
+	PredDiseaseClass   = vocab(DSDiseasome, "diseaseClass")
+	PredDegree         = vocab(DSDiseasome, "degree")
+	PredAssociatedGene = vocab(DSDiseasome, "associatedGene")
+	PredPossibleDrug   = vocab(DSDiseasome, "possibleDrug")
+	PredGeneLabel      = vocab(DSDiseasome, "geneLabel")
+	PredGeneChromosome = vocab(DSDiseasome, "chromosome")
+	PredGeneLength     = vocab(DSDiseasome, "geneLength")
+
+	// Affymetrix.
+	PredProbesetName    = vocab(DSAffymetrix, "probesetName")
+	PredSpecies         = vocab(DSAffymetrix, "scientificName")
+	PredProbeChromosome = vocab(DSAffymetrix, "chromosome")
+	PredSignal          = vocab(DSAffymetrix, "signalAverage")
+	PredTranscribedFrom = vocab(DSAffymetrix, "transcribedFrom")
+
+	// DrugBank.
+	PredGenericName  = vocab(DSDrugBank, "genericName")
+	PredIndication   = vocab(DSDrugBank, "indication")
+	PredDrugCategory = vocab(DSDrugBank, "category")
+	PredMolWeight    = vocab(DSDrugBank, "molecularWeight")
+	PredTarget       = vocab(DSDrugBank, "target")
+	PredTargetName   = vocab(DSDrugBank, "targetName")
+	PredTargetGene   = vocab(DSDrugBank, "targetGene")
+
+	// TCGA.
+	PredGender      = vocab(DSTCGA, "gender")
+	PredAge         = vocab(DSTCGA, "ageAtDiagnosis")
+	PredTumorSite   = vocab(DSTCGA, "tumorSite")
+	PredMutatedGene = vocab(DSTCGA, "mutatedGene")
+
+	// KEGG.
+	PredFormula = vocab(DSKEGG, "formula")
+	PredPathway = vocab(DSKEGG, "pathway")
+	PredMass    = vocab(DSKEGG, "mass")
+
+	// ChEBI.
+	PredChebiName = vocab(DSChEBI, "chebiName")
+	PredCharge    = vocab(DSChEBI, "charge")
+	PredChebiMass = vocab(DSChEBI, "mass")
+
+	// SIDER.
+	PredEffectName = vocab(DSSider, "effectName")
+	PredCausedBy   = vocab(DSSider, "causedBy")
+
+	// LinkedCT.
+	PredTrialTitle   = vocab(DSLinkedCT, "title")
+	PredPhase        = vocab(DSLinkedCT, "phase")
+	PredStatus       = vocab(DSLinkedCT, "overallStatus")
+	PredCondition    = vocab(DSLinkedCT, "condition")
+	PredIntervention = vocab(DSLinkedCT, "intervention")
+
+	// Medicare.
+	PredProviderName = vocab(DSMedicare, "providerName")
+	PredState        = vocab(DSMedicare, "state")
+	PredSpecialty    = vocab(DSMedicare, "specialty")
+	PredPrescribes   = vocab(DSMedicare, "prescribes")
+
+	// PharmGKB.
+	PredEvidence = vocab(DSPharmGKB, "evidence")
+	PredScore    = vocab(DSPharmGKB, "score")
+	PredPAGene   = vocab(DSPharmGKB, "gene")
+	PredPADrug   = vocab(DSPharmGKB, "drug")
+)
+
+// Entity IRI templates.
+var (
+	TmplDisease     = entityTemplate(DSDiseasome, "disease")
+	TmplGene        = entityTemplate(DSDiseasome, "gene")
+	TmplProbeset    = entityTemplate(DSAffymetrix, "probeset")
+	TmplDrug        = entityTemplate(DSDrugBank, "drug")
+	TmplTarget      = entityTemplate(DSDrugBank, "target")
+	TmplPatient     = entityTemplate(DSTCGA, "patient")
+	TmplCompound    = entityTemplate(DSKEGG, "compound")
+	TmplChemEntity  = entityTemplate(DSChEBI, "entity")
+	TmplSideEffect  = entityTemplate(DSSider, "effect")
+	TmplTrial       = entityTemplate(DSLinkedCT, "trial")
+	TmplProvider    = entityTemplate(DSMedicare, "provider")
+	TmplAssociation = entityTemplate(DSPharmGKB, "association")
+)

@@ -1,0 +1,148 @@
+// Package netsim simulates network conditions between the federated query
+// engine and the data sources, reproducing the paper's setup: the retrieval
+// of each answer from a source is delayed by a sample from a gamma
+// distribution. The four profiles match Section 3 of the paper:
+//
+//	No Delay — perfect network
+//	Gamma 1  — fast network, gamma(α=1, β=0.3)  ≈ 0.3 ms mean latency
+//	Gamma 2  — medium network, gamma(α=3, β=1)   ≈ 3 ms mean latency
+//	Gamma 3  — slow network, gamma(α=3, β=1.5)   ≈ 4.5 ms mean latency
+//
+// The paper samples with numpy.random.gamma and sleeps with time.sleep
+// inside the SQL wrapper; here the wrapper calls Profile.Delay per message.
+// A configurable time scale lets tests and benchmarks shrink real sleeping
+// while keeping the sampled (reported) delays intact.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile describes one simulated network condition.
+type Profile struct {
+	// Name identifies the profile in reports.
+	Name string
+	// Alpha and Beta are the gamma distribution's shape and scale in
+	// milliseconds. Alpha == 0 means no delay.
+	Alpha, Beta float64
+}
+
+// The paper's four network settings.
+var (
+	NoDelay = Profile{Name: "No Delay"}
+	Gamma1  = Profile{Name: "Gamma 1", Alpha: 1, Beta: 0.3}
+	Gamma2  = Profile{Name: "Gamma 2", Alpha: 3, Beta: 1}
+	Gamma3  = Profile{Name: "Gamma 3", Alpha: 3, Beta: 1.5}
+)
+
+// Profiles lists the paper's network settings in evaluation order.
+func Profiles() []Profile { return []Profile{NoDelay, Gamma1, Gamma2, Gamma3} }
+
+// MeanLatency returns the distribution mean (α·β) as a duration.
+func (p Profile) MeanLatency() time.Duration {
+	return time.Duration(p.Alpha * p.Beta * float64(time.Millisecond))
+}
+
+// IsSlow reports whether the profile counts as a "slow network" for
+// Heuristic 2. The paper treats its medium and slow settings (mean latency
+// of 3 ms and above) as slow enough to push filters to the source.
+func (p Profile) IsSlow() bool {
+	return p.MeanLatency() >= 3*time.Millisecond
+}
+
+// Simulator draws per-message delays for one source connection. It is safe
+// for concurrent use.
+type Simulator struct {
+	profile Profile
+	scale   float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// simulated accumulates the sampled (unscaled) delay.
+	simulated time.Duration
+	messages  int
+}
+
+// NewSimulator returns a delay simulator for the profile. Scale multiplies
+// the actual sleeping (1.0 reproduces the sampled delay in real time, 0
+// disables sleeping entirely); the sampled delay is accounted in
+// SimulatedDelay either way. Seed fixes the random stream for
+// reproducibility.
+func NewSimulator(p Profile, scale float64, seed int64) *Simulator {
+	return &Simulator{profile: p, scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the simulator's profile.
+func (s *Simulator) Profile() Profile { return s.profile }
+
+// Delay samples one message latency, sleeps scale×latency, and returns the
+// sampled latency.
+func (s *Simulator) Delay() time.Duration {
+	d := s.Sample()
+	if d > 0 && s.scale > 0 {
+		time.Sleep(time.Duration(float64(d) * s.scale))
+	}
+	return d
+}
+
+// Sample draws one latency without sleeping.
+func (s *Simulator) Sample() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.messages++
+	if s.profile.Alpha == 0 {
+		return 0
+	}
+	ms := gammaSample(s.rng, s.profile.Alpha, s.profile.Beta)
+	d := time.Duration(ms * float64(time.Millisecond))
+	s.simulated += d
+	return d
+}
+
+// SimulatedDelay returns the total sampled delay so far.
+func (s *Simulator) SimulatedDelay() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulated
+}
+
+// Messages returns the number of delayed messages so far.
+func (s *Simulator) Messages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.messages
+}
+
+// gammaSample draws from Gamma(alpha, beta) using the Marsaglia–Tsang
+// squeeze method (with Johnk-style boosting for alpha < 1). beta is the
+// scale parameter, matching numpy.random.gamma(shape, scale).
+func gammaSample(rng *rand.Rand, alpha, beta float64) float64 {
+	if alpha < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, alpha+1, beta) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * beta
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * beta
+		}
+	}
+}

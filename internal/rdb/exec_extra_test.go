@@ -1,0 +1,210 @@
+package rdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiPredicateJoin(t *testing.T) {
+	db := NewDatabase("m")
+	a, _ := db.CreateTable(&Schema{
+		Name: "a",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "x", Type: TypeInt}, {Name: "y", Type: TypeInt},
+		},
+		PrimaryKey: "id",
+	})
+	c, _ := db.CreateTable(&Schema{
+		Name: "b",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "x", Type: TypeInt}, {Name: "y", Type: TypeInt},
+		},
+		PrimaryKey: "id",
+	})
+	for i := 0; i < 30; i++ {
+		_ = a.Insert(Row{IntValue(int64(i)), IntValue(int64(i % 5)), IntValue(int64(i % 3))})
+		_ = c.Insert(Row{IntValue(int64(i)), IntValue(int64(i % 5)), IntValue(int64(i % 3))})
+	}
+	// Join on BOTH x and y: the second predicate must apply as a residual.
+	res, err := db.Query("SELECT a.id, b.id FROM a JOIN b ON a.x = b.x AND a.y = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference count: pairs with i%5==j%5 and i%3==j%3, i.e. i≡j (mod 15):
+	// each i matches exactly 2 js in [0,30).
+	if len(res.Rows) != 60 {
+		t.Fatalf("multi-predicate join returned %d rows, want 60", len(res.Rows))
+	}
+}
+
+func TestCrossJoinNoPredicate(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT g.gene_id, d.disease_id FROM gene g, disease d WHERE g.gene_id < 3 AND d.disease_id < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("cross join = %d rows, want 6", len(res.Rows))
+	}
+}
+
+func TestNonEquiJoinPredicate(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT g.gene_id FROM gene g, disease d WHERE g.disease_id = d.disease_id AND g.gene_id < d.disease_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gene i has disease i%10; need i < i%10 — impossible for i >= 10, and
+	// for i < 10, i%10 == i, so never. 0 rows.
+	if len(res.Rows) != 0 {
+		t.Fatalf("non-equi join = %d rows, want 0", len(res.Rows))
+	}
+	res, err = db.Query("SELECT g.gene_id FROM gene g, disease d WHERE g.disease_id = d.disease_id AND g.gene_id > 95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("join with residual = %d rows, want 4", len(res.Rows))
+	}
+}
+
+func TestExplainShowsAccessPath(t *testing.T) {
+	db := newTestDB(t, true)
+	plan, err := db.Explain("SELECT gene_id FROM gene WHERE disease_id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "IndexLookup") {
+		t.Errorf("explain missing IndexLookup:\n%s", out)
+	}
+	plan, err = db.Explain("SELECT gene_id FROM gene WHERE name = 'GENE001'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "SeqScan") {
+		t.Errorf("explain missing SeqScan:\n%s", plan.String())
+	}
+}
+
+func TestIndexNLJoinChosen(t *testing.T) {
+	db := newTestDB(t, true)
+	// disease filtered to one row; gene.disease_id indexed: expect an
+	// index nested-loop join.
+	plan, err := db.Explain("SELECT g.name FROM disease d JOIN gene g ON g.disease_id = d.disease_id WHERE d.disease_id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "IndexNLJoin") {
+		t.Errorf("expected IndexNLJoin:\n%s", plan.String())
+	}
+}
+
+func TestOffsetBeyondSize(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene LIMIT 5 OFFSET 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("offset beyond size returned %d rows", len(res.Rows))
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestDuplicateAliasRejected(t *testing.T) {
+	db := newTestDB(t, false)
+	if _, err := db.Query("SELECT g.name FROM gene g, disease g"); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+}
+
+func TestConstantPredicate(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE 1 = 1 AND gene_id = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("constant predicate broke query: %d rows", len(res.Rows))
+	}
+	res, err = db.Query("SELECT gene_id FROM gene WHERE 1 = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("false constant predicate returned %d rows", len(res.Rows))
+	}
+}
+
+func TestOrderByStringAndNulls(t *testing.T) {
+	db := NewDatabase("o")
+	tab, _ := db.CreateTable(&Schema{
+		Name:       "t",
+		Columns:    []Column{{Name: "id", Type: TypeInt, NotNull: true}, {Name: "s", Type: TypeString}},
+		PrimaryKey: "id",
+	})
+	_ = tab.Insert(Row{IntValue(1), StringValue("b")})
+	_ = tab.Insert(Row{IntValue(2), NullValue(TypeString)})
+	_ = tab.Insert(Row{IntValue(3), StringValue("a")})
+	res, err := db.Query("SELECT id FROM t ORDER BY s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULLs sort first, then a, b.
+	want := []int64{2, 3, 1}
+	for i, w := range want {
+		if res.Rows[i][0].Int != w {
+			t.Fatalf("order = %v, want %v", res.Rows, want)
+		}
+	}
+}
+
+func TestRangeOnBothBounds(t *testing.T) {
+	db := newTestDB(t, true)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE length > 1000 AND length < 1050")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lengths are 1000+7i: 1007..1049 -> i in 1..7.
+	if len(res.Rows) != 7 {
+		t.Fatalf("double-bounded range = %d rows, want 7", len(res.Rows))
+	}
+}
+
+func TestSelectivityChoosesBestIndex(t *testing.T) {
+	db := NewDatabase("sel")
+	tab, _ := db.CreateTable(&Schema{
+		Name: "t",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "coarse", Type: TypeInt}, // 2 distinct values
+			{Name: "fine", Type: TypeInt},   // ~500 distinct values
+		},
+		PrimaryKey: "id",
+	})
+	for i := 0; i < 1000; i++ {
+		_ = tab.Insert(Row{IntValue(int64(i)), IntValue(int64(i % 2)), IntValue(int64(i % 500))})
+	}
+	_ = tab.CreateIndex(IndexSpec{Column: "coarse", Kind: IndexHash})
+	_ = tab.CreateIndex(IndexSpec{Column: "fine", Kind: IndexHash})
+	plan, err := db.Explain("SELECT id FROM t WHERE coarse = 1 AND fine = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "fine = 7") {
+		t.Errorf("planner picked the coarse index:\n%s", plan.String())
+	}
+}

@@ -1,0 +1,233 @@
+package rdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildPair creates two databases with identical content where one carries
+// every secondary index and the other none: any query must return the same
+// multiset of rows on both (access-path independence).
+func buildPair(t testing.TB, seed int64, rows int) (indexed, plain *Database) {
+	t.Helper()
+	mk := func(withIdx bool) *Database {
+		db := NewDatabase("p")
+		left, err := db.CreateTable(&Schema{
+			Name: "l",
+			Columns: []Column{
+				{Name: "id", Type: TypeInt, NotNull: true},
+				{Name: "k", Type: TypeInt},
+				{Name: "s", Type: TypeString},
+				{Name: "f", Type: TypeFloat},
+			},
+			PrimaryKey: "id",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := db.CreateTable(&Schema{
+			Name: "r",
+			Columns: []Column{
+				{Name: "id", Type: TypeInt, NotNull: true},
+				{Name: "k", Type: TypeInt},
+				{Name: "v", Type: TypeString},
+			},
+			PrimaryKey: "id",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < rows; i++ {
+			sv := StringValue(fmt.Sprintf("s%02d", rng.Intn(40)))
+			if rng.Intn(10) == 0 {
+				sv = NullValue(TypeString)
+			}
+			if err := left.Insert(Row{
+				IntValue(int64(i)),
+				IntValue(int64(rng.Intn(25))),
+				sv,
+				FloatValue(rng.Float64() * 100),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < rows/2; i++ {
+			if err := right.Insert(Row{
+				IntValue(int64(i)),
+				IntValue(int64(rng.Intn(25))),
+				StringValue(fmt.Sprintf("v%d", rng.Intn(10))),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if withIdx {
+			for _, spec := range []IndexSpec{
+				{Column: "k", Kind: IndexHash},
+				{Column: "f", Kind: IndexBTree},
+				{Column: "s", Kind: IndexHash},
+			} {
+				if err := left.CreateIndex(spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := right.CreateIndex(IndexSpec{Column: "k", Kind: IndexHash}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	return mk(true), mk(false)
+}
+
+func rowsKey(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// queryFromSpec derives a deterministic query from fuzz inputs.
+func queryFromSpec(kSel, fSel, join, order uint8) string {
+	var b strings.Builder
+	if join%2 == 0 {
+		b.WriteString("SELECT l.id, l.k, l.s FROM l")
+	} else {
+		b.WriteString("SELECT l.id, r.v FROM l JOIN r ON l.k = r.k")
+	}
+	var conds []string
+	switch kSel % 4 {
+	case 0:
+		conds = append(conds, fmt.Sprintf("l.k = %d", kSel%25))
+	case 1:
+		conds = append(conds, fmt.Sprintf("l.k >= %d", kSel%25))
+	case 2:
+		conds = append(conds, fmt.Sprintf("l.s = 's%02d'", kSel%40))
+	}
+	switch fSel % 3 {
+	case 0:
+		conds = append(conds, fmt.Sprintf("l.f < %d", 10+int(fSel)%90))
+	case 1:
+		conds = append(conds, "l.s IS NOT NULL")
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if order%2 == 0 {
+		b.WriteString(" ORDER BY l.id")
+	}
+	return b.String()
+}
+
+// TestQuickAccessPathIndependence: any derived query returns the same
+// multiset of rows with and without indexes.
+func TestQuickAccessPathIndependence(t *testing.T) {
+	indexed, plain := buildPair(t, 99, 400)
+	f := func(kSel, fSel, join, order uint8) bool {
+		q := queryFromSpec(kSel, fSel, join, order)
+		ri, err := indexed.Query(q)
+		if err != nil {
+			t.Logf("query %q failed: %v", q, err)
+			return false
+		}
+		rp, err := plain.Query(q)
+		if err != nil {
+			return false
+		}
+		a, b := rowsKey(ri), rowsKey(rp)
+		if len(a) != len(b) {
+			t.Logf("query %q: %d vs %d rows", q, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("query %q: row multiset differs", q)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrderByIsSorted: ORDER BY output is sorted regardless of access
+// path.
+func TestQuickOrderByIsSorted(t *testing.T) {
+	indexed, _ := buildPair(t, 7, 300)
+	f := func(kSel uint8, desc bool) bool {
+		dir := ""
+		if desc {
+			dir = " DESC"
+		}
+		q := fmt.Sprintf("SELECT id, f FROM l WHERE k >= %d ORDER BY f%s", kSel%25, dir)
+		res, err := indexed.Query(q)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			c, ok := res.Rows[i-1][1].Compare(res.Rows[i][1])
+			if !ok {
+				continue
+			}
+			if !desc && c > 0 || desc && c < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLikeMatchesContains: for wildcard-free needles wrapped in '%',
+// LIKE agrees with strings.Contains.
+func TestQuickLikeMatchesContains(t *testing.T) {
+	f := func(hay string, needle uint8) bool {
+		n := fmt.Sprintf("s%d", needle%30)
+		return likeMatch("%"+n+"%", hay) == strings.Contains(hay, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLikeMatchPatterns(t *testing.T) {
+	for _, tc := range []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abx", false},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%", "", true},
+		{"", "", true},
+		{"", "x", false},
+		{"%%", "anything", true},
+		{"a%b%c", "aXXbYYc", true},
+		{"a%b%c", "acb", false},
+		{"_", "x", true},
+		{"_", "", false},
+	} {
+		if got := likeMatch(tc.pattern, tc.s); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}

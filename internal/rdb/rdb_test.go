@@ -1,0 +1,445 @@
+package rdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newTestDB builds a small 3NF-style database: gene(gene_id PK, name,
+// disease_id FK, length) and disease(disease_id PK, label, class).
+func newTestDB(t *testing.T, indexFK bool) *Database {
+	t.Helper()
+	db := NewDatabase("testdb")
+	gene, err := db.CreateTable(&Schema{
+		Name: "gene",
+		Columns: []Column{
+			{Name: "gene_id", Type: TypeInt, NotNull: true},
+			{Name: "name", Type: TypeString},
+			{Name: "disease_id", Type: TypeInt},
+			{Name: "length", Type: TypeInt},
+		},
+		PrimaryKey: "gene_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disease, err := db.CreateTable(&Schema{
+		Name: "disease",
+		Columns: []Column{
+			{Name: "disease_id", Type: TypeInt, NotNull: true},
+			{Name: "label", Type: TypeString},
+			{Name: "class", Type: TypeString},
+		},
+		PrimaryKey: "disease_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		err := gene.Insert(Row{
+			IntValue(int64(i)),
+			StringValue(fmt.Sprintf("GENE%03d", i)),
+			IntValue(int64(i % 10)),
+			IntValue(int64(1000 + i*7)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		err := disease.Insert(Row{
+			IntValue(int64(i)),
+			StringValue(fmt.Sprintf("disease-%d", i)),
+			StringValue([]string{"cancer", "metabolic"}[i%2]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if indexFK {
+		if err := gene.CreateIndex(IndexSpec{Column: "disease_id", Kind: IndexHash}); err != nil {
+			t.Fatal(err)
+		}
+		if err := gene.CreateIndex(IndexSpec{Column: "length", Kind: IndexBTree}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := NewDatabase("v")
+	tab, err := db.CreateTable(&Schema{
+		Name:       "t",
+		Columns:    []Column{{Name: "id", Type: TypeInt}, {Name: "s", Type: TypeString}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(Row{IntValue(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tab.Insert(Row{StringValue("x"), StringValue("y")}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := tab.Insert(Row{IntValue(1), StringValue("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(Row{IntValue(1), StringValue("b")}); err == nil {
+		t.Error("duplicate primary key accepted")
+	}
+	if err := tab.Insert(Row{NullValue(TypeInt), StringValue("c")}); err == nil {
+		t.Error("NULL primary key accepted")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := NewDatabase("e")
+	if _, err := db.CreateTable(&Schema{Name: "nopk", Columns: []Column{{Name: "a", Type: TypeInt}}}); err == nil {
+		t.Error("table without primary key accepted")
+	}
+	if _, err := db.CreateTable(&Schema{Name: "badpk", Columns: []Column{{Name: "a", Type: TypeInt}}, PrimaryKey: "zz"}); err == nil {
+		t.Error("unknown primary key column accepted")
+	}
+	if _, err := db.CreateTable(&Schema{Name: "ok", Columns: []Column{{Name: "a", Type: TypeInt}}, PrimaryKey: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(&Schema{Name: "ok", Columns: []Column{{Name: "a", Type: TypeInt}}, PrimaryKey: "a"}); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestPointQueryViaPK(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT name FROM gene WHERE gene_id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "GENE042" {
+		t.Fatalf("got %v, want one row GENE042", res.Rows)
+	}
+	if !res.Plan.UsesIndex() {
+		t.Errorf("PK lookup did not use an index:\n%s", res.Plan)
+	}
+}
+
+func TestSeqScanWithFilter(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE name = 'GENE007'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 7 {
+		t.Fatalf("got %v, want gene_id 7", res.Rows)
+	}
+	if res.Plan.UsesIndex() {
+		t.Errorf("unindexed filter used an index:\n%s", res.Plan)
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	db := newTestDB(t, true)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE disease_id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+	if !res.Plan.UsesIndex() {
+		t.Errorf("indexed equality did not use index:\n%s", res.Plan)
+	}
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	db := newTestDB(t, true)
+	// length = 1000 + 7i, so length < 1070 covers i in [0, 9].
+	res, err := db.Query("SELECT gene_id FROM gene WHERE length < 1070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+	if !res.Plan.UsesIndex() {
+		t.Errorf("range over B+tree column did not use index:\n%s", res.Plan)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	db := newTestDB(t, true)
+	for _, tc := range []struct {
+		where string
+		want  int
+	}{
+		{"length <= 1070", 11},
+		{"length < 1070", 10},
+		{"length >= 1630", 10},
+		{"length > 1630", 9},
+		{"length >= 1000 AND length <= 1007", 2},
+	} {
+		res, err := db.Query("SELECT gene_id FROM gene WHERE " + tc.where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != tc.want {
+			t.Errorf("WHERE %s: got %d rows, want %d", tc.where, len(res.Rows), tc.want)
+		}
+	}
+}
+
+func TestJoinResultsIdenticalWithAndWithoutIndexes(t *testing.T) {
+	q := "SELECT g.name, d.label FROM gene g JOIN disease d ON g.disease_id = d.disease_id WHERE d.class = 'cancer'"
+	resNoIdx, err := newTestDB(t, false).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIdx, err := newTestDB(t, true).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resNoIdx.Rows) != 50 || len(resIdx.Rows) != 50 {
+		t.Fatalf("got %d / %d rows, want 50 each", len(resNoIdx.Rows), len(resIdx.Rows))
+	}
+	// Same multiset of rows.
+	count := map[string]int{}
+	for _, r := range resNoIdx.Rows {
+		count[r[0].Str+"|"+r[1].Str]++
+	}
+	for _, r := range resIdx.Rows {
+		count[r[0].Str+"|"+r[1].Str]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("row multiset differs at %q (delta %d)", k, c)
+		}
+	}
+}
+
+func TestImplicitJoinCommaSyntax(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT g.name FROM gene g, disease d WHERE g.disease_id = d.disease_id AND d.label = 'disease-4'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene ORDER BY gene_id DESC LIMIT 3 OFFSET 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{98, 97, 96}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for i, w := range want {
+		if res.Rows[i][0].Int != w {
+			t.Errorf("row %d = %d, want %d", i, res.Rows[i][0].Int, w)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT DISTINCT disease_id FROM gene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d distinct values, want 10", len(res.Rows))
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE name LIKE 'GENE00%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("LIKE 'GENE00%%': got %d rows, want 10", len(res.Rows))
+	}
+	res, err = db.Query("SELECT gene_id FROM gene WHERE name LIKE 'GENE0_0'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("LIKE 'GENE0_0': got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestInPredicate(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE disease_id IN (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("got %d rows, want 20", len(res.Rows))
+	}
+	res, err = db.Query("SELECT gene_id FROM gene WHERE disease_id NOT IN (0,1,2,3,4,5,6,7,8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("NOT IN: got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT gene_id FROM gene WHERE (disease_id = 1 OR disease_id = 2) AND NOT (gene_id < 50)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := NewDatabase("n")
+	tab, _ := db.CreateTable(&Schema{
+		Name:       "t",
+		Columns:    []Column{{Name: "id", Type: TypeInt}, {Name: "v", Type: TypeString}},
+		PrimaryKey: "id",
+	})
+	_ = tab.Insert(Row{IntValue(1), StringValue("a")})
+	_ = tab.Insert(Row{IntValue(2), NullValue(TypeString)})
+	res, err := db.Query("SELECT id FROM t WHERE v IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Fatalf("IS NULL: got %v", res.Rows)
+	}
+	res, err = db.Query("SELECT id FROM t WHERE v IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 1 {
+		t.Fatalf("IS NOT NULL: got %v", res.Rows)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := newTestDB(t, false)
+	st := db.Table("gene").Stats()
+	if st.RowCount != 100 {
+		t.Fatalf("RowCount = %d, want 100", st.RowCount)
+	}
+	if st.DistinctCount["disease_id"] != 10 {
+		t.Errorf("distinct disease_id = %d, want 10", st.DistinctCount["disease_id"])
+	}
+	if got := st.MaxValueFraction["disease_id"]; got != 0.1 {
+		t.Errorf("MaxValueFraction disease_id = %g, want 0.1", got)
+	}
+	if got := st.Selectivity("gene_id"); got != 0.01 {
+		t.Errorf("Selectivity(gene_id) = %g, want 0.01", got)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := newTestDB(t, true)
+	// Add a third table linking diseases to drugs.
+	drug, err := db.CreateTable(&Schema{
+		Name: "drug",
+		Columns: []Column{
+			{Name: "drug_id", Type: TypeInt, NotNull: true},
+			{Name: "disease_id", Type: TypeInt},
+			{Name: "dname", Type: TypeString},
+		},
+		PrimaryKey: "drug_id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		_ = drug.Insert(Row{IntValue(int64(i)), IntValue(int64(i % 10)), StringValue(fmt.Sprintf("drug%d", i))})
+	}
+	res, err := db.Query("SELECT g.name, dr.dname FROM gene g JOIN disease d ON g.disease_id = d.disease_id JOIN drug dr ON dr.disease_id = d.disease_id WHERE d.label = 'disease-3'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// disease 3: 10 genes x 2 drugs = 20 rows.
+	if len(res.Rows) != 20 {
+		t.Fatalf("got %d rows, want 20", len(res.Rows))
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT * FROM disease WHERE disease_id = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 || len(res.Rows) != 1 {
+		t.Fatalf("got cols=%v rows=%d", res.Columns, len(res.Rows))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := newTestDB(t, false)
+	for _, q := range []string{
+		"SELECT x FROM gene",
+		"SELECT name FROM missing",
+		"SELECT g.name FROM gene g WHERE zz.name = 'a'",
+		"SELECT disease_id FROM gene, disease", // ambiguous projection
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("query %q should fail", q)
+		}
+	}
+}
+
+func TestAliasedColumns(t *testing.T) {
+	db := newTestDB(t, false)
+	res, err := db.Query("SELECT name AS n FROM gene WHERE gene_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns[0] != "n" {
+		t.Fatalf("alias not applied: %v", res.Columns)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, ok := IntValue(3).Compare(FloatValue(3.5)); !ok || c != -1 {
+		t.Errorf("3 vs 3.5 = %d,%v", c, ok)
+	}
+	if c, ok := StringValue("a").Compare(StringValue("b")); !ok || c != -1 {
+		t.Errorf("a vs b = %d,%v", c, ok)
+	}
+	if _, ok := NullValue(TypeInt).Compare(IntValue(1)); ok {
+		t.Error("NULL comparable")
+	}
+	if IntValue(1).Equal(NullValue(TypeInt)) {
+		t.Error("1 == NULL")
+	}
+	if c, ok := BoolValue(false).Compare(BoolValue(true)); !ok || c != -1 {
+		t.Errorf("false vs true = %d,%v", c, ok)
+	}
+}
+
+func TestIndexKeyOrderPreserving(t *testing.T) {
+	ints := []int64{-1000, -1, 0, 1, 42, 1 << 40}
+	for i := 1; i < len(ints); i++ {
+		a, b := IntValue(ints[i-1]).IndexKey(), IntValue(ints[i]).IndexKey()
+		if !(a < b) {
+			t.Errorf("IndexKey order violated for %d < %d", ints[i-1], ints[i])
+		}
+	}
+	floats := []float64{-1e9, -2.5, -0.0, 0.0, 1e-9, 3.14, 1e9}
+	for i := 1; i < len(floats); i++ {
+		a, b := FloatValue(floats[i-1]).IndexKey(), FloatValue(floats[i]).IndexKey()
+		if a > b {
+			t.Errorf("IndexKey order violated for %g <= %g", floats[i-1], floats[i])
+		}
+	}
+}

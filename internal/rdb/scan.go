@@ -1,0 +1,394 @@
+package rdb
+
+import (
+	"fmt"
+	"strings"
+
+	"ontario/internal/sql"
+)
+
+// scanRelation materializes one base relation, choosing the best access
+// path for the local predicates: primary-key/hash lookup for equality on an
+// indexed column, B+tree range scan for inequalities on a tree-indexed
+// column, else a sequential scan. Remaining predicates are applied as a
+// residual filter.
+func (ex *execution) scanRelation(r relation, preds []sql.BoolExpr) (*tupleSet, error) {
+	schema := r.table.Schema
+	cols := make([]boundCol, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = boundCol{rel: r.name, column: c.Name, typ: c.Type}
+	}
+
+	// Find the best indexable predicate.
+	type eqCand struct {
+		predIdx int
+		column  string
+		value   Value
+	}
+	type rangeCand struct {
+		predIdx int
+		column  string
+		lo, hi  *Value
+		loIncl  bool
+		hiIncl  bool
+	}
+	var bestEq *eqCand
+	var bestRange *rangeCand
+	stats := r.table.Stats()
+	for i, p := range preds {
+		cmp, ok := p.(*sql.Comparison)
+		if !ok {
+			continue
+		}
+		col, lit, op, ok := normalizeComparison(cmp)
+		if !ok || (col.Table != "" && col.Table != r.name) {
+			continue
+		}
+		colType, err := schema.ColumnType(col.Column)
+		if err != nil {
+			continue
+		}
+		v, err := FromLiteral(lit, colType)
+		if err != nil {
+			continue
+		}
+		hasHash, hasTree := r.table.indexKindOn(col.Column)
+		switch op {
+		case sql.CmpEq:
+			if !hasHash && !hasTree {
+				continue
+			}
+			if bestEq == nil || stats.Selectivity(col.Column) < stats.Selectivity(bestEq.column) {
+				v := v
+				bestEq = &eqCand{predIdx: i, column: col.Column, value: v}
+			}
+		case sql.CmpLt, sql.CmpLe:
+			if !hasTree {
+				continue
+			}
+			v := v
+			bestRange = &rangeCand{predIdx: i, column: col.Column, hi: &v, hiIncl: op == sql.CmpLe}
+		case sql.CmpGt, sql.CmpGe:
+			if !hasTree {
+				continue
+			}
+			v := v
+			bestRange = &rangeCand{predIdx: i, column: col.Column, lo: &v, loIncl: op == sql.CmpGe}
+		}
+	}
+
+	var ids []int
+	var plan *PlanNode
+	used := -1
+	switch {
+	case bestEq != nil:
+		ids, _ = r.table.lookupEq(bestEq.column, bestEq.value)
+		used = bestEq.predIdx
+		op := "IndexLookup"
+		if bestEq.column == schema.PrimaryKey {
+			op = "IndexLookup/PK"
+		}
+		plan = &PlanNode{
+			Op:      op,
+			Detail:  fmt.Sprintf("%s.%s = %s", r.name, bestEq.column, bestEq.value),
+			EstRows: float64(stats.RowCount) * stats.Selectivity(bestEq.column),
+		}
+	case bestRange != nil:
+		var ok bool
+		ids, ok = r.table.lookupRange(bestRange.column, bestRange.lo, bestRange.loIncl, bestRange.hi, bestRange.hiIncl)
+		if ok {
+			used = bestRange.predIdx
+			plan = &PlanNode{
+				Op:      "IndexRangeScan",
+				Detail:  fmt.Sprintf("%s.%s %s", r.name, bestRange.column, rangeDetail(bestRange.lo, bestRange.loIncl, bestRange.hi, bestRange.hiIncl)),
+				EstRows: float64(stats.RowCount) / 3,
+			}
+		} else {
+			ids = r.table.scanIDs()
+			plan = &PlanNode{Op: "SeqScan", Detail: r.name, EstRows: float64(stats.RowCount)}
+		}
+	default:
+		ids = r.table.scanIDs()
+		plan = &PlanNode{Op: "SeqScan", Detail: r.name, EstRows: float64(stats.RowCount)}
+	}
+
+	ts := &tupleSet{cols: cols, plan: plan, rels: map[string]bool{r.name: true}}
+	var residual []sql.BoolExpr
+	for i, p := range preds {
+		if i != used {
+			residual = append(residual, p)
+		}
+	}
+	for _, id := range ids {
+		ts.tuples = append(ts.tuples, r.table.Row(id))
+	}
+	if len(residual) > 0 {
+		return ex.filterTuples(ts, residual, "Filter")
+	}
+	return ts, nil
+}
+
+func rangeDetail(lo *Value, loIncl bool, hi *Value, hiIncl bool) string {
+	var parts []string
+	if lo != nil {
+		op := ">"
+		if loIncl {
+			op = ">="
+		}
+		parts = append(parts, op+" "+lo.String())
+	}
+	if hi != nil {
+		op := "<"
+		if hiIncl {
+			op = "<="
+		}
+		parts = append(parts, op+" "+hi.String())
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// normalizeComparison rewrites "lit op col" to "col op' lit" and returns
+// the parts; ok is false unless exactly one side is a column and the other
+// a literal.
+func normalizeComparison(c *sql.Comparison) (col sql.ColumnRef, lit sql.Literal, op sql.CmpOp, ok bool) {
+	switch {
+	case c.L.IsCol && !c.R.IsCol:
+		return c.L.Col, c.R.Lit, c.Op, true
+	case !c.L.IsCol && c.R.IsCol:
+		return c.R.Col, c.L.Lit, flipOp(c.Op), true
+	default:
+		return sql.ColumnRef{}, sql.Literal{}, 0, false
+	}
+}
+
+func flipOp(op sql.CmpOp) sql.CmpOp {
+	switch op {
+	case sql.CmpLt:
+		return sql.CmpGt
+	case sql.CmpLe:
+		return sql.CmpGe
+	case sql.CmpGt:
+		return sql.CmpLt
+	case sql.CmpGe:
+		return sql.CmpLe
+	default:
+		return op
+	}
+}
+
+// filterTuples applies the predicates to every tuple.
+func (ex *execution) filterTuples(ts *tupleSet, preds []sql.BoolExpr, opName string) (*tupleSet, error) {
+	out := &tupleSet{cols: ts.cols, rels: ts.rels}
+	var kept [][]Value
+	for _, tup := range ts.tuples {
+		ok := true
+		for _, p := range preds {
+			v, err := evalPredicate(p, ts, tup)
+			if err != nil {
+				return nil, err
+			}
+			if !v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, tup)
+		}
+	}
+	out.tuples = kept
+	details := make([]string, len(preds))
+	for i, p := range preds {
+		details[i] = p.String()
+	}
+	out.plan = &PlanNode{
+		Op:       opName,
+		Detail:   strings.Join(details, " AND "),
+		EstRows:  float64(len(kept)),
+		Children: []*PlanNode{ts.plan},
+	}
+	return out, nil
+}
+
+// evalPredicate evaluates a boolean expression over a tuple. NULL
+// comparisons yield false (SQL unknown treated as not-satisfied).
+func evalPredicate(e sql.BoolExpr, ts *tupleSet, tup []Value) (bool, error) {
+	switch v := e.(type) {
+	case *sql.Comparison:
+		lv, err := operandValue(v.L, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		rv, err := operandValue(v.R, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		c, ok := lv.Compare(rv)
+		if !ok {
+			return false, nil
+		}
+		switch v.Op {
+		case sql.CmpEq:
+			return c == 0, nil
+		case sql.CmpNeq:
+			return c != 0, nil
+		case sql.CmpLt:
+			return c < 0, nil
+		case sql.CmpLe:
+			return c <= 0, nil
+		case sql.CmpGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case *sql.Like:
+		val, err := columnValue(v.Col, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		if val.Null || val.Type != TypeString {
+			return false, nil
+		}
+		m := likeMatch(v.Pattern, val.Str)
+		if v.Not {
+			m = !m
+		}
+		return m, nil
+	case *sql.In:
+		val, err := columnValue(v.Col, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		if val.Null {
+			return false, nil
+		}
+		hit := false
+		for _, lit := range v.List {
+			lv, err := FromLiteral(lit, val.Type)
+			if err != nil {
+				continue
+			}
+			if val.Equal(lv) {
+				hit = true
+				break
+			}
+		}
+		if v.Not {
+			hit = !hit
+		}
+		return hit, nil
+	case *sql.IsNull:
+		val, err := columnValue(v.Col, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		if v.Not {
+			return !val.Null, nil
+		}
+		return val.Null, nil
+	case *sql.And:
+		l, err := evalPredicate(v.L, ts, tup)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalPredicate(v.R, ts, tup)
+	case *sql.Or:
+		l, err := evalPredicate(v.L, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalPredicate(v.R, ts, tup)
+	case *sql.Not:
+		x, err := evalPredicate(v.X, ts, tup)
+		if err != nil {
+			return false, err
+		}
+		return !x, nil
+	default:
+		return false, fmt.Errorf("rdb: unsupported predicate %T", e)
+	}
+}
+
+func operandValue(o sql.Operand, ts *tupleSet, tup []Value) (Value, error) {
+	if o.IsCol {
+		return columnValue(o.Col, ts, tup)
+	}
+	// Untyped literal: infer a natural type.
+	switch o.Lit.Kind {
+	case sql.LitString:
+		return StringValue(o.Lit.Str), nil
+	case sql.LitInt:
+		return IntValue(o.Lit.Int), nil
+	case sql.LitFloat:
+		return FloatValue(o.Lit.Float), nil
+	case sql.LitBool:
+		return BoolValue(o.Lit.Bool), nil
+	default:
+		return NullValue(TypeString), nil
+	}
+}
+
+func columnValue(c sql.ColumnRef, ts *tupleSet, tup []Value) (Value, error) {
+	if c.Table != "" {
+		i := ts.colIndex(c.Table, c.Column)
+		if i < 0 {
+			return Value{}, fmt.Errorf("rdb: unresolved column %s", c)
+		}
+		return tup[i], nil
+	}
+	found := -1
+	for i, bc := range ts.cols {
+		if bc.column == c.Column {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("rdb: ambiguous column %s", c.Column)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return Value{}, fmt.Errorf("rdb: unresolved column %s", c.Column)
+	}
+	return tup[found], nil
+}
+
+// likeMatch implements SQL LIKE: '%' matches any run, '_' one character.
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	for {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			// collapse consecutive %
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if s == "" || p[0] != s[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+}

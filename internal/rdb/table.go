@@ -1,0 +1,262 @@
+package rdb
+
+import (
+	"fmt"
+	"sync"
+
+	"ontario/internal/btree"
+)
+
+// Table is an in-memory table with optional secondary indexes. The primary
+// key is always indexed (hash). Tables are safe for concurrent reads;
+// loading must complete before queries run.
+type Table struct {
+	Schema *Schema
+
+	mu      sync.RWMutex
+	rows    []Row
+	pk      map[string]int // primary-key IndexKey -> row id
+	hashIdx map[string]map[string][]int
+	treeIdx map[string]*btree.Tree
+	specs   []IndexSpec
+	stats   *Stats
+}
+
+// NewTable creates an empty table for the schema. The schema must declare a
+// primary key column.
+func NewTable(schema *Schema) (*Table, error) {
+	if schema.PrimaryKey == "" {
+		return nil, fmt.Errorf("rdb: table %s has no primary key", schema.Name)
+	}
+	if schema.ColumnIndex(schema.PrimaryKey) < 0 {
+		return nil, fmt.Errorf("rdb: table %s primary key %s is not a column", schema.Name, schema.PrimaryKey)
+	}
+	return &Table{
+		Schema:  schema,
+		pk:      make(map[string]int),
+		hashIdx: make(map[string]map[string][]int),
+		treeIdx: make(map[string]*btree.Tree),
+	}, nil
+}
+
+// Insert appends a row, maintaining all indexes. The row must match the
+// schema arity and the primary key must be unique and non-null.
+func (t *Table) Insert(r Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(r) != len(t.Schema.Columns) {
+		return fmt.Errorf("rdb: %s: row has %d values, schema has %d columns",
+			t.Schema.Name, len(r), len(t.Schema.Columns))
+	}
+	for i, c := range t.Schema.Columns {
+		if r[i].Null {
+			if c.NotNull || c.Name == t.Schema.PrimaryKey {
+				return fmt.Errorf("rdb: %s: NULL in non-nullable column %s", t.Schema.Name, c.Name)
+			}
+			continue
+		}
+		if r[i].Type != c.Type {
+			return fmt.Errorf("rdb: %s.%s: value type %s does not match column type %s",
+				t.Schema.Name, c.Name, r[i].Type, c.Type)
+		}
+	}
+	pkIdx := t.Schema.ColumnIndex(t.Schema.PrimaryKey)
+	key := r[pkIdx].IndexKey()
+	if _, dup := t.pk[key]; dup {
+		return fmt.Errorf("rdb: %s: duplicate primary key %s", t.Schema.Name, r[pkIdx])
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, r)
+	t.pk[key] = id
+	for _, spec := range t.specs {
+		t.indexRow(spec, r, id)
+	}
+	t.stats = nil // invalidate
+	return nil
+}
+
+func (t *Table) indexRow(spec IndexSpec, r Row, id int) {
+	ci := t.Schema.ColumnIndex(spec.Column)
+	v := r[ci]
+	if v.Null {
+		return
+	}
+	key := v.IndexKey()
+	switch spec.Kind {
+	case IndexHash:
+		m := t.hashIdx[spec.Column]
+		m[key] = append(m[key], id)
+	case IndexBTree:
+		t.treeIdx[spec.Column].Insert(key, id)
+	}
+}
+
+// CreateIndex builds a secondary index over an existing column, indexing
+// any rows already present.
+func (t *Table) CreateIndex(spec IndexSpec) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ci := t.Schema.ColumnIndex(spec.Column)
+	if ci < 0 {
+		return fmt.Errorf("rdb: %s: cannot index unknown column %s", t.Schema.Name, spec.Column)
+	}
+	for _, s := range t.specs {
+		if s.Column == spec.Column && s.Kind == spec.Kind {
+			return fmt.Errorf("rdb: %s: duplicate index on %s", t.Schema.Name, spec.Column)
+		}
+	}
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("idx_%s_%s", t.Schema.Name, spec.Column)
+	}
+	switch spec.Kind {
+	case IndexHash:
+		if _, ok := t.hashIdx[spec.Column]; !ok {
+			t.hashIdx[spec.Column] = make(map[string][]int)
+		}
+	case IndexBTree:
+		if _, ok := t.treeIdx[spec.Column]; !ok {
+			t.treeIdx[spec.Column] = btree.New()
+		}
+	}
+	t.specs = append(t.specs, spec)
+	for id, r := range t.rows {
+		t.indexRow(spec, r, id)
+	}
+	return nil
+}
+
+// Indexes returns the secondary index specs (copy).
+func (t *Table) Indexes() []IndexSpec {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]IndexSpec(nil), t.specs...)
+}
+
+// HasIndexOn reports whether the column is indexed (secondary index or
+// primary key).
+func (t *Table) HasIndexOn(column string) bool {
+	if column == t.Schema.PrimaryKey {
+		return true
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, s := range t.specs {
+		if s.Column == column {
+			return true
+		}
+	}
+	return false
+}
+
+// indexKindOn returns the best index available on the column:
+// (hasHash, hasTree). The primary key counts as a hash index.
+func (t *Table) indexKindOn(column string) (hasHash, hasTree bool) {
+	if column == t.Schema.PrimaryKey {
+		hasHash = true
+	}
+	for _, s := range t.specs {
+		if s.Column != column {
+			continue
+		}
+		switch s.Kind {
+		case IndexHash:
+			hasHash = true
+		case IndexBTree:
+			hasTree = true
+		}
+	}
+	return
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Row returns the row with the given id.
+func (t *Table) Row(id int) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[id]
+}
+
+// Stats returns (computing lazily) the table statistics.
+func (t *Table) Stats() *Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats == nil {
+		t.stats = computeStats(t.Schema, t.rows)
+	}
+	return t.stats
+}
+
+// lookupEq returns the ids of rows whose column equals v, using the best
+// available index or a scan.
+func (t *Table) lookupEq(column string, v Value) (ids []int, usedIndex bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if v.Null {
+		return nil, true // NULL matches nothing under '='
+	}
+	key := v.IndexKey()
+	if column == t.Schema.PrimaryKey {
+		if id, ok := t.pk[key]; ok {
+			return []int{id}, true
+		}
+		return nil, true
+	}
+	if m, ok := t.hashIdx[column]; ok {
+		return m[key], true
+	}
+	if tr, ok := t.treeIdx[column]; ok {
+		return tr.Get(key), true
+	}
+	ci := t.Schema.ColumnIndex(column)
+	for id, r := range t.rows {
+		if !r[ci].Null && r[ci].IndexKey() == key {
+			ids = append(ids, id)
+		}
+	}
+	return ids, false
+}
+
+// lookupRange returns ids of rows with column in the given bounds using a
+// B+tree index when available. ok is false when no ordered index exists.
+func (t *Table) lookupRange(column string, lo *Value, loIncl bool, hi *Value, hiIncl bool) (ids []int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tr, exists := t.treeIdx[column]
+	if !exists {
+		return nil, false
+	}
+	loKey, hasLo := "", false
+	if lo != nil {
+		loKey, hasLo = lo.IndexKey(), true
+	}
+	hiKey, hasHi, hiExcl := "", false, false
+	if hi != nil {
+		hiKey, hasHi, hiExcl = hi.IndexKey(), true, !hiIncl
+	}
+	loExcl := lo != nil && !loIncl
+	tr.Range(loKey, hasLo, hiKey, hasHi, hiExcl, func(k string, id int) bool {
+		if loExcl && k == loKey {
+			return true
+		}
+		ids = append(ids, id)
+		return true
+	})
+	return ids, true
+}
+
+// scanIDs returns all row ids.
+func (t *Table) scanIDs() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]int, len(t.rows))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

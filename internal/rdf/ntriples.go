@@ -1,0 +1,201 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseNTriples reads N-Triples from r and returns the parsed triples.
+// Comment lines (starting with '#') and blank lines are skipped. The parser
+// accepts the W3C N-Triples grammar restricted to IRIs, blank nodes and
+// literals with optional language tags or datatypes.
+func ParseNTriples(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return out, nil
+}
+
+func parseNTLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("expected '.' at %q", p.rest())
+	}
+	p.skipWS()
+	if !p.done() {
+		return Triple{}, fmt.Errorf("trailing content %q", p.rest())
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) done() bool    { return p.pos >= len(p.in) }
+func (p *ntParser) rest() string  { return p.in[p.pos:] }
+func (p *ntParser) peek() byte    { return p.in[p.pos] }
+func (p *ntParser) advance() byte { c := p.in[p.pos]; p.pos++; return c }
+
+func (p *ntParser) eat(c byte) bool {
+	if !p.done() && p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *ntParser) skipWS() {
+	for !p.done() && (p.peek() == ' ' || p.peek() == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipWS()
+	if p.done() {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.peek())
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	p.advance() // '<'
+	start := p.pos
+	for !p.done() && p.peek() != '>' {
+		p.pos++
+	}
+	if p.done() {
+		return Term{}, fmt.Errorf("unterminated IRI")
+	}
+	iri := p.in[start:p.pos]
+	p.advance() // '>'
+	return NewIRI(iri), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	p.advance() // '_'
+	if !p.eat(':') {
+		return Term{}, fmt.Errorf("malformed blank node")
+	}
+	start := p.pos
+	for !p.done() && p.peek() != ' ' && p.peek() != '\t' && p.peek() != '.' {
+		p.pos++
+	}
+	label := p.in[start:p.pos]
+	if label == "" {
+		return Term{}, fmt.Errorf("empty blank node label")
+	}
+	return NewBlank(label), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	p.advance() // '"'
+	var b strings.Builder
+	for {
+		if p.done() {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		c := p.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if p.done() {
+				return Term{}, fmt.Errorf("dangling escape")
+			}
+			e := p.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return Term{}, fmt.Errorf("unsupported escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lex := b.String()
+	if p.eat('@') {
+		start := p.pos
+		for !p.done() && p.peek() != ' ' && p.peek() != '\t' && p.peek() != '.' {
+			p.pos++
+		}
+		return NewLangLiteral(lex, p.in[start:p.pos]), nil
+	}
+	if !p.done() && p.peek() == '^' {
+		p.advance()
+		if !p.eat('^') {
+			return Term{}, fmt.Errorf("malformed datatype marker")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// WriteNTriples serializes the triples to w in N-Triples syntax.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,267 @@
+// Package sparql implements the subset of SPARQL 1.1 used by the federated
+// engine: basic graph patterns with filters, DISTINCT, projection, ORDER BY,
+// LIMIT and OFFSET. It provides the abstract syntax, a lexer and recursive
+// descent parser, an expression evaluator over solution bindings, and
+// evaluation of basic graph patterns against in-memory RDF graphs.
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"ontario/internal/rdf"
+)
+
+// Node is one position of a triple pattern: either a variable or a concrete
+// RDF term.
+type Node struct {
+	IsVar bool
+	Var   string   // variable name without the leading '?'
+	Term  rdf.Term // valid when !IsVar
+}
+
+// VarNode returns a variable node.
+func VarNode(name string) Node { return Node{IsVar: true, Var: name} }
+
+// TermNode returns a concrete-term node.
+func TermNode(t rdf.Term) Node { return Node{Term: t} }
+
+// String renders the node in SPARQL syntax.
+func (n Node) String() string {
+	if n.IsVar {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is a triple pattern within a basic graph pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern in SPARQL syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Vars returns the distinct variables of the pattern in S, P, O order.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// OptionalGroup is one OPTIONAL { ... } block: its patterns are
+// left-joined to the required part of the query. The same shape describes
+// the branches of a UNION group.
+type OptionalGroup struct {
+	Patterns []TriplePattern
+	Filters  []Expr
+}
+
+// UnionGroup is "{ A } UNION { B } [UNION { C } ...]": the branches'
+// solutions are concatenated and the result is joined with the rest of the
+// group.
+type UnionGroup struct {
+	Branches []OptionalGroup
+}
+
+// Vars returns the distinct variables across all branches.
+func (ug *UnionGroup) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, br := range ug.Branches {
+		for _, tp := range br.Patterns {
+			for _, v := range tp.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	Prefixes   map[string]string
+	SelectVars []string // empty means SELECT *
+	Distinct   bool
+	Patterns   []TriplePattern
+	Filters    []Expr
+	Optionals  []OptionalGroup
+	Unions     []UnionGroup
+	OrderBy    []OrderKey
+	Limit      int // -1 when absent
+	Offset     int // 0 when absent
+}
+
+// Variables returns the distinct variables mentioned in the query's basic
+// graph pattern (including OPTIONAL groups), sorted for determinism.
+func (q *Query) Variables() []string {
+	seen := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			seen[v] = true
+		}
+	}
+	for _, og := range q.Optionals {
+		for _, tp := range og.Patterns {
+			for _, v := range tp.Vars() {
+				seen[v] = true
+			}
+		}
+	}
+	for _, ug := range q.Unions {
+		for _, v := range ug.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProjectedVars returns the variables the query projects: SelectVars when
+// present, otherwise all pattern variables.
+func (q *Query) ProjectedVars() []string {
+	if len(q.SelectVars) > 0 {
+		return q.SelectVars
+	}
+	return q.Variables()
+}
+
+// String renders the query in SPARQL syntax. The rendering is canonical
+// enough to be reparsed by this package.
+func (q *Query) String() string {
+	var b strings.Builder
+	prefixes := make([]string, 0, len(q.Prefixes))
+	for p := range q.Prefixes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		b.WriteString("PREFIX ")
+		b.WriteString(p)
+		b.WriteString(": <")
+		b.WriteString(q.Prefixes[p])
+		b.WriteString(">\n")
+	}
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.SelectVars) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.SelectVars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tp := range q.Patterns {
+		b.WriteString("  ")
+		b.WriteString(tp.String())
+		b.WriteString(" .\n")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  FILTER (")
+		b.WriteString(f.String())
+		b.WriteString(")\n")
+	}
+	for _, ug := range q.Unions {
+		b.WriteString("  ")
+		for i, br := range ug.Branches {
+			if i > 0 {
+				b.WriteString(" UNION ")
+			}
+			b.WriteString("{ ")
+			for _, tp := range br.Patterns {
+				b.WriteString(tp.String())
+				b.WriteString(" . ")
+			}
+			for _, f := range br.Filters {
+				b.WriteString("FILTER (")
+				b.WriteString(f.String())
+				b.WriteString(") ")
+			}
+			b.WriteString("}")
+		}
+		b.WriteString("\n")
+	}
+	for _, og := range q.Optionals {
+		b.WriteString("  OPTIONAL {\n")
+		for _, tp := range og.Patterns {
+			b.WriteString("    ")
+			b.WriteString(tp.String())
+			b.WriteString(" .\n")
+		}
+		for _, f := range og.Filters {
+			b.WriteString("    FILTER (")
+			b.WriteString(f.String())
+			b.WriteString(")\n")
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}")
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(?" + k.Var + ")")
+			} else {
+				b.WriteString(" ?" + k.Var)
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(itoa(q.Offset))
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

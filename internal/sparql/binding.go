@@ -1,0 +1,127 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"ontario/internal/rdf"
+)
+
+// Binding is a solution mapping from variable names to RDF terms.
+type Binding map[string]rdf.Term
+
+// NewBinding returns an empty binding.
+func NewBinding() Binding { return make(Binding) }
+
+// Copy returns a shallow copy of b.
+func (b Binding) Copy() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Compatible reports whether b and o agree on every shared variable.
+func (b Binding) Compatible(o Binding) bool {
+	if len(o) < len(b) {
+		b, o = o, b
+	}
+	for k, v := range b {
+		if ov, ok := o[k]; ok && ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of b and o. The caller must have checked
+// compatibility; on conflict the value from o wins.
+func (b Binding) Merge(o Binding) Binding {
+	out := make(Binding, len(b)+len(o))
+	for k, v := range b {
+		out[k] = v
+	}
+	for k, v := range o {
+		out[k] = v
+	}
+	return out
+}
+
+// Project returns a new binding restricted to vars.
+func (b Binding) Project(vars []string) Binding {
+	out := make(Binding, len(vars))
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// Key returns a deterministic string key identifying the binding restricted
+// to vars; it is used for hashing in joins and DISTINCT.
+func (b Binding) Key(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		t, ok := b[v]
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		if ok {
+			sb.WriteByte(byte('0' + t.Kind))
+			sb.WriteString(t.Value)
+			sb.WriteByte('|')
+			sb.WriteString(t.Datatype)
+			sb.WriteByte('|')
+			sb.WriteString(t.Lang)
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// FullKey returns a deterministic key over all bound variables.
+func (b Binding) FullKey() string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return b.Key(vars)
+}
+
+// String renders the binding deterministically for debugging.
+func (b Binding) String() string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("?" + v + " -> " + b[v].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// SharedVars returns the sorted intersection of two variable lists.
+func SharedVars(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range b {
+		if set[v] {
+			out = append(out, v)
+			set[v] = false
+		}
+	}
+	sort.Strings(out)
+	return out
+}

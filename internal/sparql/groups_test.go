@@ -1,0 +1,207 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ontario/internal/rdf"
+)
+
+func groupsGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	p1, p2, p3 := rdf.NewIRI("http://p/1"), rdf.NewIRI("http://p/2"), rdf.NewIRI("http://p/3")
+	e := func(i string) rdf.Term { return rdf.NewIRI("http://e/" + i) }
+	g.Add(rdf.Triple{S: e("a"), P: p1, O: rdf.IntLiteral(1)})
+	g.Add(rdf.Triple{S: e("b"), P: p1, O: rdf.IntLiteral(2)})
+	g.Add(rdf.Triple{S: e("c"), P: p1, O: rdf.IntLiteral(3)})
+	g.Add(rdf.Triple{S: e("a"), P: p2, O: rdf.NewLiteral("x")})
+	g.Add(rdf.Triple{S: e("b"), P: p3, O: rdf.NewLiteral("y")})
+	return g
+}
+
+func TestEvalQueryOptional(t *testing.T) {
+	g := groupsGraph()
+	q := MustParse(`SELECT ?s ?v ?x WHERE {
+		?s <http://p/1> ?v .
+		OPTIONAL { ?s <http://p/2> ?x . }
+	}`)
+	sols := EvalQuery(g, q)
+	if len(sols) != 3 {
+		t.Fatalf("got %d solutions, want 3: %v", len(sols), sols)
+	}
+	extended := 0
+	for _, s := range sols {
+		if _, ok := s["x"]; ok {
+			extended++
+		}
+	}
+	if extended != 1 {
+		t.Fatalf("extended = %d, want 1", extended)
+	}
+}
+
+func TestEvalQueryOptionalWithFilter(t *testing.T) {
+	g := groupsGraph()
+	// The filter rejects the only candidate extension, so all rows stay
+	// unextended.
+	q := MustParse(`SELECT ?s ?x WHERE {
+		?s <http://p/1> ?v .
+		OPTIONAL { ?s <http://p/2> ?x . FILTER (?x = "nope") }
+	}`)
+	sols := EvalQuery(g, q)
+	if len(sols) != 3 {
+		t.Fatalf("got %d, want 3", len(sols))
+	}
+	for _, s := range sols {
+		if _, ok := s["x"]; ok {
+			t.Fatalf("extension survived a failing filter: %v", s)
+		}
+	}
+}
+
+func TestEvalQueryUnion(t *testing.T) {
+	g := groupsGraph()
+	q := MustParse(`SELECT ?s ?w WHERE {
+		?s <http://p/1> ?v .
+		{ ?s <http://p/2> ?w . } UNION { ?s <http://p/3> ?w . }
+	}`)
+	sols := EvalQuery(g, q)
+	if len(sols) != 2 {
+		t.Fatalf("got %d, want 2: %v", len(sols), sols)
+	}
+	vals := map[string]bool{}
+	for _, s := range sols {
+		vals[s["w"].Value] = true
+	}
+	if !vals["x"] || !vals["y"] {
+		t.Fatalf("union values = %v", vals)
+	}
+}
+
+func TestEvalQueryUnionBranchFilters(t *testing.T) {
+	g := groupsGraph()
+	q := MustParse(`SELECT ?s WHERE {
+		{ ?s <http://p/1> ?v . FILTER (?v > 2) }
+		UNION
+		{ ?s <http://p/1> ?v . FILTER (?v = 1) }
+	}`)
+	sols := EvalQuery(g, q)
+	if len(sols) != 2 {
+		t.Fatalf("got %d, want 2 (v=3 and v=1): %v", len(sols), sols)
+	}
+}
+
+func TestJoinBindings(t *testing.T) {
+	l := []Binding{{"a": rdf.IntLiteral(1)}, {"a": rdf.IntLiteral(2)}}
+	r := []Binding{{"a": rdf.IntLiteral(1), "b": rdf.IntLiteral(9)}, {"b": rdf.IntLiteral(8)}}
+	got := JoinBindings(l, r)
+	// (a=1)⋈(a=1,b=9), (a=1)⋈(b=8), (a=2)⋈(b=8): 3 results.
+	if len(got) != 3 {
+		t.Fatalf("join = %d, want 3: %v", len(got), got)
+	}
+}
+
+func TestLeftJoinBindingsEmptyRight(t *testing.T) {
+	l := []Binding{{"a": rdf.IntLiteral(1)}}
+	got := LeftJoinBindings(l, nil, nil)
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("left join with empty right = %v", got)
+	}
+}
+
+func TestQueryStringWithGroups(t *testing.T) {
+	q := MustParse(`SELECT ?s WHERE {
+		?s <http://p/1> ?v .
+		{ ?s <http://p/2> ?w . } UNION { ?s <http://p/3> ?w . }
+		OPTIONAL { ?s <http://p/2> ?x . FILTER (?x != "q") }
+		FILTER (?v > 0)
+	} ORDER BY DESC(?v) LIMIT 3 OFFSET 1`)
+	out := q.String()
+	for _, want := range []string{"UNION", "OPTIONAL", "FILTER", "ORDER BY DESC(?v)", "LIMIT 3", "OFFSET 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	q2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out)
+	}
+	if len(q2.Unions) != 1 || len(q2.Optionals) != 1 || q2.Limit != 3 || q2.Offset != 1 {
+		t.Errorf("round trip lost structure: %+v", q2)
+	}
+	if len(q2.OrderBy) != 1 || !q2.OrderBy[0].Desc {
+		t.Errorf("order by lost: %+v", q2.OrderBy)
+	}
+}
+
+func TestVariablesIncludeGroups(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?s <http://p/1> ?v .
+		{ ?s <http://p/2> ?u . } UNION { ?s <http://p/3> ?u . }
+		OPTIONAL { ?s <http://p/2> ?o . }
+	}`)
+	vars := q.Variables()
+	want := map[string]bool{"s": true, "v": true, "u": true, "o": true}
+	if len(vars) != len(want) {
+		t.Fatalf("Variables = %v", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Fatalf("unexpected variable %s", v)
+		}
+	}
+}
+
+func TestSolutionModifierASC(t *testing.T) {
+	g := groupsGraph()
+	q := MustParse(`SELECT ?s ?v WHERE { ?s <http://p/1> ?v . } ORDER BY ASC(?v)`)
+	sols := EvalQuery(g, q)
+	for i := 1; i < len(sols); i++ {
+		a, b := sols[i-1]["v"], sols[i]["v"]
+		if TermValue(a).Num > TermValue(b).Num {
+			t.Fatalf("ASC order violated: %v", sols)
+		}
+	}
+}
+
+func TestLiteralTailDatatypes(t *testing.T) {
+	q := MustParse(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+	SELECT * WHERE {
+		?s ?p "5"^^xsd:integer .
+		?s ?q "hi"@en .
+		?s ?r "typed"^^<http://dt/custom> .
+	}`)
+	if q.Patterns[0].O.Term.Datatype != rdf.XSDInteger {
+		t.Errorf("pname datatype = %s", q.Patterns[0].O.Term.Datatype)
+	}
+	if q.Patterns[1].O.Term.Lang != "en" {
+		t.Errorf("lang = %s", q.Patterns[1].O.Term.Lang)
+	}
+	if q.Patterns[2].O.Term.Datatype != "http://dt/custom" {
+		t.Errorf("iri datatype = %s", q.Patterns[2].O.Term.Datatype)
+	}
+}
+
+func TestStringEscapesInQuery(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p "a\"b\\c\nd\te" . }`)
+	if q.Patterns[0].O.Term.Value != "a\"b\\c\nd\te" {
+		t.Errorf("escapes = %q", q.Patterns[0].O.Term.Value)
+	}
+}
+
+func TestExprStringRenderings(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER (!(?a > 1) && CONTAINS(?b, "x") || ?c = <http://e/1>) }`)
+	out := q.Filters[0].String()
+	for _, want := range []string{"!(", "CONTAINS(?b", "<http://e/1>", "||", "&&"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expr String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestSSQStringAndNodeString(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s <http://p/1> "lit" . }`)
+	if got := q.Patterns[0].String(); !strings.Contains(got, "?s") || !strings.Contains(got, `"lit"`) {
+		t.Errorf("pattern String = %s", got)
+	}
+}

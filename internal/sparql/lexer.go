@@ -1,0 +1,335 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar     // ?name
+	tokIRI     // <...>
+	tokPName   // prefix:local or :local
+	tokString  // "..."
+	tokNumber  // 123, 1.5, -2
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokDot     // .
+	tokSemi    // ;
+	tokComma   // ,
+	tokEq      // =
+	tokNeq     // !=
+	tokLt      // <  (disambiguated from IRI by lookahead)
+	tokGt      // >
+	tokLe      // <=
+	tokGe      // >=
+	tokAnd     // &&
+	tokOr      // ||
+	tokBang    // !
+	tokStar    // *
+	tokLangTag // @en
+	tokDTypeM  // ^^
+	tokA       // the keyword 'a' (rdf:type)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{in: input}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) run() error {
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.in) {
+			l.emit(tokEOF, "")
+			return nil
+		}
+		start := l.pos
+		c := l.in[l.pos]
+		switch {
+		case c == '{':
+			l.pos++
+			l.emit(tokLBrace, "{")
+		case c == '}':
+			l.pos++
+			l.emit(tokRBrace, "}")
+		case c == '(':
+			l.pos++
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.pos++
+			l.emit(tokRParen, ")")
+		case c == '.':
+			l.pos++
+			l.emit(tokDot, ".")
+		case c == ';':
+			l.pos++
+			l.emit(tokSemi, ";")
+		case c == ',':
+			l.pos++
+			l.emit(tokComma, ",")
+		case c == '*':
+			l.pos++
+			l.emit(tokStar, "*")
+		case c == '=':
+			l.pos++
+			l.emit(tokEq, "=")
+		case c == '!':
+			l.pos++
+			if l.peekIs('=') {
+				l.pos++
+				l.emit(tokNeq, "!=")
+			} else {
+				l.emit(tokBang, "!")
+			}
+		case c == '&':
+			l.pos++
+			if !l.peekIs('&') {
+				return fmt.Errorf("sparql: lex error at %d: single '&'", start)
+			}
+			l.pos++
+			l.emit(tokAnd, "&&")
+		case c == '|':
+			l.pos++
+			if !l.peekIs('|') {
+				return fmt.Errorf("sparql: lex error at %d: single '|'", start)
+			}
+			l.pos++
+			l.emit(tokOr, "||")
+		case c == '>':
+			l.pos++
+			if l.peekIs('=') {
+				l.pos++
+				l.emit(tokGe, ">=")
+			} else {
+				l.emit(tokGt, ">")
+			}
+		case c == '<':
+			if l.looksLikeIRI() {
+				if err := l.lexIRI(); err != nil {
+					return err
+				}
+			} else {
+				l.pos++
+				if l.peekIs('=') {
+					l.pos++
+					l.emit(tokLe, "<=")
+				} else {
+					l.emit(tokLt, "<")
+				}
+			}
+		case c == '?' || c == '$':
+			l.pos++
+			name := l.takeWhile(isNameChar)
+			if name == "" {
+				return fmt.Errorf("sparql: lex error at %d: empty variable name", start)
+			}
+			l.emit(tokVar, name)
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return err
+			}
+		case c == '@':
+			l.pos++
+			tag := l.takeWhile(func(r byte) bool {
+				return r == '-' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+			})
+			if tag == "" {
+				return fmt.Errorf("sparql: lex error at %d: empty language tag", start)
+			}
+			l.emit(tokLangTag, tag)
+		case c == '^':
+			l.pos++
+			if !l.peekIs('^') {
+				return fmt.Errorf("sparql: lex error at %d: single '^'", start)
+			}
+			l.pos++
+			l.emit(tokDTypeM, "^^")
+		case c == '-' || c == '+' || isDigit(c):
+			l.lexNumber()
+		case isNameStart(c) || c == ':':
+			l.lexIdentOrPName()
+		default:
+			return fmt.Errorf("sparql: lex error at %d: unexpected character %q", start, c)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) peekIs(c byte) bool {
+	return l.pos < len(l.in) && l.in[l.pos] == c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// looksLikeIRI distinguishes '<' starting an IRIREF from the less-than
+// operator: an IRIREF contains no whitespace before its closing '>'.
+func (l *lexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.in); i++ {
+		c := l.in[i]
+		if c == '>' {
+			return true
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '"' {
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) lexIRI() error {
+	l.pos++ // '<'
+	start := l.pos
+	for l.pos < len(l.in) && l.in[l.pos] != '>' {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return fmt.Errorf("sparql: unterminated IRI at %d", start)
+	}
+	iri := l.in[start:l.pos]
+	l.pos++ // '>'
+	l.emit(tokIRI, iri)
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	l.pos++ // '"'
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.in) {
+			return fmt.Errorf("sparql: unterminated string literal")
+		}
+		c := l.in[l.pos]
+		l.pos++
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if l.pos >= len(l.in) {
+				return fmt.Errorf("sparql: dangling escape in string literal")
+			}
+			e := l.in[l.pos]
+			l.pos++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return fmt.Errorf("sparql: unsupported escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	l.emit(tokString, b.String())
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.in[l.pos] == '-' || l.in[l.pos] == '+' {
+		l.pos++
+	}
+	for l.pos < len(l.in) && (isDigit(l.in[l.pos]) || l.in[l.pos] == '.') {
+		// A '.' followed by a non-digit terminates the number (it is the
+		// triple terminator).
+		if l.in[l.pos] == '.' && (l.pos+1 >= len(l.in) || !isDigit(l.in[l.pos+1])) {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.in[start:l.pos])
+}
+
+func (l *lexer) lexIdentOrPName() {
+	start := l.pos
+	for l.pos < len(l.in) && (isNameChar(l.in[l.pos]) || l.in[l.pos] == '-') {
+		l.pos++
+	}
+	word := l.in[start:l.pos]
+	// prefixed name: word ':' local  (word may be empty for the default
+	// prefix, handled by the ':' case below)
+	if l.pos < len(l.in) && l.in[l.pos] == ':' {
+		l.pos++
+		lstart := l.pos
+		for l.pos < len(l.in) && (isNameChar(l.in[l.pos]) || l.in[l.pos] == '-') {
+			l.pos++
+		}
+		l.emit(tokPName, word+":"+l.in[lstart:l.pos])
+		return
+	}
+	if word == "a" {
+		l.emit(tokA, "a")
+		return
+	}
+	l.emit(tokIdent, word)
+}
+
+func (l *lexer) takeWhile(pred func(byte) bool) string {
+	start := l.pos
+	for l.pos < len(l.in) && pred(l.in[l.pos]) {
+		l.pos++
+	}
+	return l.in[start:l.pos]
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || isDigit(c) }

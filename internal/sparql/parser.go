@@ -1,0 +1,530 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ontario/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, q: &Query{Prefixes: map[string]string{}, Limit: -1}}
+	if err := p.query(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// compiled-in benchmark queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	q    *Query
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.cur().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, fmt.Errorf("sparql: expected %s, got %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) query() error {
+	for p.keyword("PREFIX") {
+		t, err := p.expect(tokPName, "prefix name")
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(t.text, ":")
+		// tokPName carries "prefix:local"; for a PREFIX declaration the
+		// local part must be empty.
+		idx := strings.IndexByte(t.text, ':')
+		name = t.text[:idx]
+		if t.text[idx+1:] != "" {
+			return fmt.Errorf("sparql: malformed PREFIX declaration %q", t.text)
+		}
+		iri, err := p.expect(tokIRI, "prefix IRI")
+		if err != nil {
+			return err
+		}
+		p.q.Prefixes[name] = iri.text
+	}
+	if !p.keyword("SELECT") {
+		return fmt.Errorf("sparql: expected SELECT, got %s", p.cur())
+	}
+	if p.keyword("DISTINCT") {
+		p.q.Distinct = true
+	}
+	if p.accept(tokStar) {
+		// SELECT * — leave SelectVars empty.
+	} else {
+		for p.cur().kind == tokVar {
+			p.q.SelectVars = append(p.q.SelectVars, p.next().text)
+		}
+		if len(p.q.SelectVars) == 0 {
+			return fmt.Errorf("sparql: SELECT requires '*' or variables, got %s", p.cur())
+		}
+	}
+	if !p.keyword("WHERE") {
+		return fmt.Errorf("sparql: expected WHERE, got %s", p.cur())
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return err
+	}
+	if err := p.groupGraphPattern(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return err
+	}
+	if err := p.solutionModifiers(); err != nil {
+		return err
+	}
+	if p.cur().kind != tokEOF {
+		return fmt.Errorf("sparql: trailing input %s", p.cur())
+	}
+	return nil
+}
+
+func (p *parser) groupGraphPattern() error {
+	for {
+		switch {
+		case p.cur().kind == tokRBrace || p.cur().kind == tokEOF:
+			return nil
+		case p.keyword("FILTER"):
+			if _, err := p.expect(tokLParen, "'(' after FILTER"); err != nil {
+				return err
+			}
+			e, err := p.orExpr()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, "')' after FILTER expression"); err != nil {
+				return err
+			}
+			p.q.Filters = append(p.q.Filters, e)
+			p.accept(tokDot)
+		case p.keyword("OPTIONAL"):
+			if err := p.optionalGroup(); err != nil {
+				return err
+			}
+			p.accept(tokDot)
+		case p.cur().kind == tokLBrace:
+			if err := p.unionGroup(); err != nil {
+				return err
+			}
+			p.accept(tokDot)
+		default:
+			if err := p.triplesSameSubject(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// bracedGroup parses "{ patterns / filters }" by temporarily redirecting
+// pattern and filter collection; nested OPTIONAL/UNION inside the braces is
+// rejected.
+func (p *parser) bracedGroup(what string) (OptionalGroup, error) {
+	if _, err := p.expect(tokLBrace, "'{' starting "+what); err != nil {
+		return OptionalGroup{}, err
+	}
+	savedPatterns, savedFilters := p.q.Patterns, p.q.Filters
+	savedOptionals, savedUnions := p.q.Optionals, p.q.Unions
+	p.q.Patterns, p.q.Filters = nil, nil
+	if err := p.groupGraphPattern(); err != nil {
+		return OptionalGroup{}, err
+	}
+	if len(p.q.Optionals) != len(savedOptionals) || len(p.q.Unions) != len(savedUnions) {
+		return OptionalGroup{}, fmt.Errorf("sparql: nested OPTIONAL/UNION inside %s is not supported", what)
+	}
+	og := OptionalGroup{Patterns: p.q.Patterns, Filters: p.q.Filters}
+	p.q.Patterns, p.q.Filters = savedPatterns, savedFilters
+	if len(og.Patterns) == 0 {
+		return OptionalGroup{}, fmt.Errorf("sparql: empty %s", what)
+	}
+	if _, err := p.expect(tokRBrace, "'}' closing "+what); err != nil {
+		return OptionalGroup{}, err
+	}
+	return og, nil
+}
+
+// optionalGroup parses "OPTIONAL { patterns / filters }".
+func (p *parser) optionalGroup() error {
+	og, err := p.bracedGroup("OPTIONAL group")
+	if err != nil {
+		return err
+	}
+	p.q.Optionals = append(p.q.Optionals, og)
+	return nil
+}
+
+// unionGroup parses "{ A } UNION { B } [UNION { C } ...]".
+func (p *parser) unionGroup() error {
+	first, err := p.bracedGroup("group pattern")
+	if err != nil {
+		return err
+	}
+	ug := UnionGroup{Branches: []OptionalGroup{first}}
+	for p.keyword("UNION") {
+		br, err := p.bracedGroup("UNION branch")
+		if err != nil {
+			return err
+		}
+		ug.Branches = append(ug.Branches, br)
+	}
+	if len(ug.Branches) < 2 {
+		return fmt.Errorf("sparql: a braced group must be part of a UNION")
+	}
+	p.q.Unions = append(p.q.Unions, ug)
+	return nil
+}
+
+// triplesSameSubject parses "subject predicateObjectList ." including ';'
+// and ',' abbreviations.
+func (p *parser) triplesSameSubject() error {
+	s, err := p.node("subject")
+	if err != nil {
+		return err
+	}
+	for {
+		pr, err := p.verb()
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.node("object")
+			if err != nil {
+				return err
+			}
+			p.q.Patterns = append(p.q.Patterns, TriplePattern{S: s, P: pr, O: o})
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if !p.accept(tokSemi) {
+			break
+		}
+		// allow trailing ';' before '.'
+		if p.cur().kind == tokDot || p.cur().kind == tokRBrace {
+			break
+		}
+	}
+	if !p.accept(tokDot) && p.cur().kind != tokRBrace {
+		return fmt.Errorf("sparql: expected '.' after triple, got %s", p.cur())
+	}
+	return nil
+}
+
+func (p *parser) verb() (Node, error) {
+	if p.accept(tokA) {
+		return TermNode(rdf.NewIRI(rdf.RDFType)), nil
+	}
+	return p.node("predicate")
+}
+
+func (p *parser) node(what string) (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.pos++
+		return VarNode(t.text), nil
+	case tokIRI:
+		p.pos++
+		return TermNode(rdf.NewIRI(t.text)), nil
+	case tokPName:
+		p.pos++
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return Node{}, err
+		}
+		return TermNode(rdf.NewIRI(iri)), nil
+	case tokString:
+		p.pos++
+		return TermNode(p.literalTail(t.text)), nil
+	case tokNumber:
+		p.pos++
+		return TermNode(numberTerm(t.text)), nil
+	default:
+		return Node{}, fmt.Errorf("sparql: expected %s, got %s", what, t)
+	}
+}
+
+// literalTail consumes an optional language tag or datatype after a string.
+func (p *parser) literalTail(lex string) rdf.Term {
+	switch p.cur().kind {
+	case tokLangTag:
+		return rdf.NewLangLiteral(lex, p.next().text)
+	case tokDTypeM:
+		p.pos++
+		switch p.cur().kind {
+		case tokIRI:
+			return rdf.NewTypedLiteral(lex, p.next().text)
+		case tokPName:
+			iri, err := p.expandPName(p.next().text)
+			if err == nil {
+				return rdf.NewTypedLiteral(lex, iri)
+			}
+		}
+		return rdf.NewLiteral(lex)
+	default:
+		return rdf.NewLiteral(lex)
+	}
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+func (p *parser) expandPName(pname string) (string, error) {
+	idx := strings.IndexByte(pname, ':')
+	prefix, local := pname[:idx], pname[idx+1:]
+	base, ok := p.q.Prefixes[prefix]
+	if !ok {
+		return "", fmt.Errorf("sparql: undeclared prefix %q", prefix)
+	}
+	return base + local, nil
+}
+
+// Expression grammar: or -> and -> unary -> primary.
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op CompareOp
+	switch p.cur().kind {
+	case tokEq:
+		op = OpEq
+	case tokNeq:
+		op = OpNeq
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	default:
+		return l, nil
+	}
+	p.pos++
+	r, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CompareExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokBang) {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokLParen:
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokVar:
+		p.pos++
+		return &VarExpr{Name: t.text}, nil
+	case tokString:
+		p.pos++
+		return &ConstExpr{Term: p.literalTail(t.text)}, nil
+	case tokNumber:
+		p.pos++
+		return &ConstExpr{Term: numberTerm(t.text)}, nil
+	case tokIRI:
+		p.pos++
+		return &ConstExpr{Term: rdf.NewIRI(t.text)}, nil
+	case tokPName:
+		p.pos++
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Term: rdf.NewIRI(iri)}, nil
+	case tokIdent:
+		// builtin function call
+		p.pos++
+		name := strings.ToUpper(t.text)
+		if _, err := p.expect(tokLParen, "'(' after function name"); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if p.cur().kind != tokRParen {
+			for {
+				a, err := p.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokRParen, "')' after function arguments"); err != nil {
+			return nil, err
+		}
+		return &FuncExpr{Name: name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("sparql: unexpected token %s in expression", t)
+	}
+}
+
+func (p *parser) solutionModifiers() error {
+	for {
+		switch {
+		case p.keyword("ORDER"):
+			if !p.keyword("BY") {
+				return fmt.Errorf("sparql: expected BY after ORDER")
+			}
+			for {
+				if p.keyword("DESC") {
+					if _, err := p.expect(tokLParen, "'(' after DESC"); err != nil {
+						return err
+					}
+					v, err := p.expect(tokVar, "variable")
+					if err != nil {
+						return err
+					}
+					if _, err := p.expect(tokRParen, "')'"); err != nil {
+						return err
+					}
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v.text, Desc: true})
+					continue
+				}
+				if p.keyword("ASC") {
+					if _, err := p.expect(tokLParen, "'(' after ASC"); err != nil {
+						return err
+					}
+					v, err := p.expect(tokVar, "variable")
+					if err != nil {
+						return err
+					}
+					if _, err := p.expect(tokRParen, "')'"); err != nil {
+						return err
+					}
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v.text})
+					continue
+				}
+				if p.cur().kind == tokVar {
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: p.next().text})
+					continue
+				}
+				break
+			}
+			if len(p.q.OrderBy) == 0 {
+				return fmt.Errorf("sparql: empty ORDER BY")
+			}
+		case p.keyword("LIMIT"):
+			t, err := p.expect(tokNumber, "limit count")
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil || n < 0 {
+				return fmt.Errorf("sparql: bad LIMIT %q", t.text)
+			}
+			p.q.Limit = n
+		case p.keyword("OFFSET"):
+			t, err := p.expect(tokNumber, "offset count")
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil || n < 0 {
+				return fmt.Errorf("sparql: bad OFFSET %q", t.text)
+			}
+			p.q.Offset = n
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ontario/internal/rdf"
+)
+
+// randomGraph builds a deterministic random graph over small vocabularies.
+func randomGraph(seed int64, n int) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://s/%d", rng.Intn(12)))
+		p := rdf.NewIRI(fmt.Sprintf("http://p/%d", rng.Intn(4)))
+		var o rdf.Term
+		if rng.Intn(2) == 0 {
+			o = rdf.NewIRI(fmt.Sprintf("http://s/%d", rng.Intn(12)))
+		} else {
+			o = rdf.IntLiteral(int64(rng.Intn(6)))
+		}
+		g.Add(rdf.Triple{S: s, P: p, O: o})
+	}
+	return g
+}
+
+// bruteForceBGP enumerates all solutions without index-based ordering: it
+// extends bindings pattern-by-pattern in the written order over the full
+// triple list.
+func bruteForceBGP(g *rdf.Graph, patterns []TriplePattern) []Binding {
+	sols := []Binding{NewBinding()}
+	all := g.Triples()
+	for _, tp := range patterns {
+		var next []Binding
+		for _, b := range sols {
+			for _, tr := range all {
+				nb, ok := tryExtend(b, tp, tr)
+				if ok {
+					next = append(next, nb)
+				}
+			}
+		}
+		sols = next
+	}
+	return sols
+}
+
+func tryExtend(b Binding, tp TriplePattern, tr rdf.Triple) (Binding, bool) {
+	nb := b.Copy()
+	for _, pair := range []struct {
+		n Node
+		t rdf.Term
+	}{{tp.S, tr.S}, {tp.P, tr.P}, {tp.O, tr.O}} {
+		if pair.n.IsVar {
+			if cur, ok := nb[pair.n.Var]; ok {
+				if cur != pair.t {
+					return nil, false
+				}
+			} else {
+				nb[pair.n.Var] = pair.t
+			}
+			continue
+		}
+		if pair.n.Term != pair.t {
+			return nil, false
+		}
+	}
+	return nb, true
+}
+
+func sortedFullKeys(bs []Binding) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.FullKey()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQuickBGPMatchesBruteForce: the index-driven, reordered BGP evaluator
+// agrees with brute-force enumeration on random graphs and patterns.
+func TestQuickBGPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, shape uint8) bool {
+		g := randomGraph(seed%1000, 60)
+		var patterns []TriplePattern
+		switch shape % 4 {
+		case 0: // single star
+			patterns = []TriplePattern{
+				{S: VarNode("x"), P: TermNode(rdf.NewIRI("http://p/0")), O: VarNode("a")},
+				{S: VarNode("x"), P: TermNode(rdf.NewIRI("http://p/1")), O: VarNode("b")},
+			}
+		case 1: // path
+			patterns = []TriplePattern{
+				{S: VarNode("x"), P: TermNode(rdf.NewIRI("http://p/0")), O: VarNode("y")},
+				{S: VarNode("y"), P: TermNode(rdf.NewIRI("http://p/1")), O: VarNode("z")},
+			}
+		case 2: // constant object
+			patterns = []TriplePattern{
+				{S: VarNode("x"), P: VarNode("p"), O: TermNode(rdf.IntLiteral(int64(shape % 6)))},
+			}
+		default: // triangle-ish with repeated var
+			patterns = []TriplePattern{
+				{S: VarNode("x"), P: TermNode(rdf.NewIRI("http://p/2")), O: VarNode("y")},
+				{S: VarNode("y"), P: TermNode(rdf.NewIRI("http://p/3")), O: VarNode("x")},
+			}
+		}
+		got := sortedFullKeys(EvalBGP(g, patterns))
+		want := sortedFullKeys(bruteForceBGP(g, patterns))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExprThreeValuedLogic covers SPARQL's error propagation in && and ||.
+func TestExprThreeValuedLogic(t *testing.T) {
+	// ?u is unbound: (?u > 1) is an error.
+	errE := &CompareExpr{Op: OpGt, L: &VarExpr{Name: "u"}, R: &ConstExpr{Term: rdf.IntLiteral(1)}}
+	trueE := &ConstExpr{Term: rdf.BoolLiteral(true)}
+	falseE := &ConstExpr{Term: rdf.BoolLiteral(false)}
+	b := NewBinding()
+
+	// error && false = false; error && true = error; error || true = true;
+	// error || false = error.
+	if v, err := (&LogicExpr{Op: OpAnd, L: errE, R: falseE}).Eval(b); err != nil || v.Bool {
+		t.Errorf("err && false = %v/%v, want false", v, err)
+	}
+	if _, err := (&LogicExpr{Op: OpAnd, L: errE, R: trueE}).Eval(b); err == nil {
+		t.Error("err && true should be an error")
+	}
+	if v, err := (&LogicExpr{Op: OpOr, L: errE, R: trueE}).Eval(b); err != nil || !v.Bool {
+		t.Errorf("err || true = %v/%v, want true", v, err)
+	}
+	if _, err := (&LogicExpr{Op: OpOr, L: errE, R: falseE}).Eval(b); err == nil {
+		t.Error("err || false should be an error")
+	}
+}
+
+func TestExprNumericStringMismatch(t *testing.T) {
+	b := Binding{"x": rdf.NewLiteral("abc")}
+	e := &CompareExpr{Op: OpLt, L: &VarExpr{Name: "x"}, R: &ConstExpr{Term: rdf.IntLiteral(3)}}
+	if EvalBool(e, b) {
+		t.Error("string < int should not hold")
+	}
+	// IRI equality works, ordering does not.
+	b2 := Binding{"x": rdf.NewIRI("http://a")}
+	eq := &CompareExpr{Op: OpEq, L: &VarExpr{Name: "x"}, R: &ConstExpr{Term: rdf.NewIRI("http://a")}}
+	if !EvalBool(eq, b2) {
+		t.Error("IRI equality failed")
+	}
+	lt := &CompareExpr{Op: OpLt, L: &VarExpr{Name: "x"}, R: &ConstExpr{Term: rdf.NewIRI("http://b")}}
+	if EvalBool(lt, b2) {
+		t.Error("IRI ordering should be an error (false)")
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER (?a > 1 && (CONTAINS(?b, "x") || ?a < ?c)) }`)
+	vars := q.Filters[0].Vars()
+	sort.Strings(vars)
+	want := []string{"a", "b", "c"}
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestValueEBV(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want bool
+		err  bool
+	}{
+		{BoolValue(true), true, false},
+		{BoolValue(false), false, false},
+		{NumberValue(0), false, false},
+		{NumberValue(2.5), true, false},
+		{StringValue(""), false, false},
+		{StringValue("x"), true, false},
+		{Null, false, true},
+		{Value{Kind: ValTerm, Term: rdf.NewIRI("http://x")}, false, true},
+	} {
+		got, err := tc.v.EBV()
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("EBV(%v) = %v/%v, want %v/err=%v", tc.v, got, err, tc.want, tc.err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package sql defines the SQL subset spoken between the federated engine's
+// SQL wrapper and the relational engine: an AST, a lexer and parser, and a
+// printer. The subset covers SELECT [DISTINCT] with qualified columns,
+// multi-table FROM with INNER JOIN ... ON, WHERE with boolean expressions
+// over comparisons/LIKE/IN/IS NULL, ORDER BY and LIMIT/OFFSET.
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Distinct bool
+	Columns  []SelectItem // empty means '*'
+	From     []TableRef   // first entry plus any comma-joined tables
+	Joins    []Join       // explicit JOIN ... ON clauses
+	Where    BoolExpr     // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// SelectItem is one projected column, optionally aliased.
+type SelectItem struct {
+	Col   ColumnRef
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias when present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is an INNER JOIN clause.
+type Join struct {
+	Table TableRef
+	On    BoolExpr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// ColumnRef references a column, optionally qualified by table name or
+// alias.
+type ColumnRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// LiteralKind enumerates literal types.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitString LiteralKind = iota
+	LitInt
+	LitFloat
+	LitBool
+	LitNull
+)
+
+// Literal is a constant value.
+type Literal struct {
+	Kind  LiteralKind
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+}
+
+// String renders the literal in SQL syntax.
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitString:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	case LitInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LitFloat:
+		return strconv.FormatFloat(l.Float, 'g', -1, 64)
+	case LitBool:
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// Operand is a comparison operand: a column reference or a literal.
+type Operand struct {
+	IsCol bool
+	Col   ColumnRef
+	Lit   Literal
+}
+
+// ColOperand returns a column operand.
+func ColOperand(c ColumnRef) Operand { return Operand{IsCol: true, Col: c} }
+
+// LitOperand returns a literal operand.
+func LitOperand(l Literal) Operand { return Operand{Lit: l} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsCol {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNeq:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// BoolExpr is a boolean WHERE/ON expression.
+type BoolExpr interface {
+	String() string
+	boolExpr()
+}
+
+// Comparison is "operand op operand".
+type Comparison struct {
+	Op   CmpOp
+	L, R Operand
+}
+
+func (*Comparison) boolExpr() {}
+
+// String renders the comparison.
+func (c *Comparison) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+
+// Like is "col LIKE 'pattern'" with optional NOT. The pattern uses SQL
+// semantics: '%' matches any run, '_' matches one character.
+type Like struct {
+	Col     ColumnRef
+	Pattern string
+	Not     bool
+}
+
+func (*Like) boolExpr() {}
+
+// String renders the LIKE predicate.
+func (l *Like) String() string {
+	not := ""
+	if l.Not {
+		not = "NOT "
+	}
+	return l.Col.String() + " " + not + "LIKE '" + strings.ReplaceAll(l.Pattern, "'", "''") + "'"
+}
+
+// In is "col IN (lit, ...)" with optional NOT.
+type In struct {
+	Col  ColumnRef
+	List []Literal
+	Not  bool
+}
+
+func (*In) boolExpr() {}
+
+// String renders the IN predicate.
+func (i *In) String() string {
+	parts := make([]string, len(i.List))
+	for j, l := range i.List {
+		parts[j] = l.String()
+	}
+	not := ""
+	if i.Not {
+		not = "NOT "
+	}
+	return i.Col.String() + " " + not + "IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// IsNull is "col IS [NOT] NULL".
+type IsNull struct {
+	Col ColumnRef
+	Not bool
+}
+
+func (*IsNull) boolExpr() {}
+
+// String renders the predicate.
+func (n *IsNull) String() string {
+	if n.Not {
+		return n.Col.String() + " IS NOT NULL"
+	}
+	return n.Col.String() + " IS NULL"
+}
+
+// And is a conjunction.
+type And struct{ L, R BoolExpr }
+
+func (*And) boolExpr() {}
+
+// String renders the conjunction.
+func (a *And) String() string { return a.L.String() + " AND " + a.R.String() }
+
+// Or is a disjunction.
+type Or struct{ L, R BoolExpr }
+
+func (*Or) boolExpr() {}
+
+// String renders the disjunction.
+func (o *Or) String() string { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+
+// Not is a negation.
+type Not struct{ X BoolExpr }
+
+func (*Not) boolExpr() {}
+
+// String renders the negation.
+func (n *Not) String() string { return "NOT (" + n.X.String() + ")" }
+
+// Conjuncts flattens nested ANDs into a list of conjuncts.
+func Conjuncts(e BoolExpr) []BoolExpr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []BoolExpr{e}
+}
+
+// AndAll combines the expressions into a right-leaning AND chain; it returns
+// nil for an empty list.
+func AndAll(es []BoolExpr) BoolExpr {
+	var out BoolExpr
+	for i := len(es) - 1; i >= 0; i-- {
+		if out == nil {
+			out = es[i]
+		} else {
+			out = &And{L: es[i], R: out}
+		}
+	}
+	return out
+}
+
+// String renders the SELECT statement as SQL text parsable by this package.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Columns) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Col.String())
+			if c.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(c.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeTableRef(&b, t)
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN ")
+		writeTableRef(&b, j.Table)
+		b.WriteString(" ON ")
+		b.WriteString(j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(s.Offset))
+	}
+	return b.String()
+}
+
+func writeTableRef(b *strings.Builder, t TableRef) {
+	b.WriteString(t.Table)
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+}

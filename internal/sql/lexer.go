@@ -1,0 +1,159 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tComma
+	tDot
+	tLParen
+	tRParen
+	tStar
+	tEq
+	tNeq
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+type tok struct {
+	kind tokKind
+	text string
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lexSQL(in string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, tok{tComma, ","})
+			i++
+		case c == '.':
+			toks = append(toks, tok{tDot, "."})
+			i++
+		case c == '(':
+			toks = append(toks, tok{tLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, tok{tRParen, ")"})
+			i++
+		case c == '*':
+			toks = append(toks, tok{tStar, "*"})
+			i++
+		case c == '=':
+			toks = append(toks, tok{tEq, "="})
+			i++
+		case c == '!':
+			if i+1 < len(in) && in[i+1] == '=' {
+				toks = append(toks, tok{tNeq, "!="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at %d", i)
+			}
+		case c == '<':
+			switch {
+			case i+1 < len(in) && in[i+1] == '=':
+				toks = append(toks, tok{tLe, "<="})
+				i += 2
+			case i+1 < len(in) && in[i+1] == '>':
+				toks = append(toks, tok{tNeq, "<>"})
+				i += 2
+			default:
+				toks = append(toks, tok{tLt, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(in) && in[i+1] == '=' {
+				toks = append(toks, tok{tGe, ">="})
+				i += 2
+			} else {
+				toks = append(toks, tok{tGt, ">"})
+				i++
+			}
+		case c == '\'':
+			i++
+			var b strings.Builder
+			for {
+				if i >= len(in) {
+					return nil, fmt.Errorf("sql: unterminated string literal")
+				}
+				if in[i] == '\'' {
+					if i+1 < len(in) && in[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				b.WriteByte(in[i])
+				i++
+			}
+			toks = append(toks, tok{tString, b.String()})
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(in) && in[i+1] >= '0' && in[i+1] <= '9':
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < len(in) && (in[i] >= '0' && in[i] <= '9' || in[i] == '.') {
+				// '.' followed by non-digit ends the number
+				if in[i] == '.' && (i+1 >= len(in) || in[i+1] < '0' || in[i+1] > '9') {
+					break
+				}
+				i++
+			}
+			toks = append(toks, tok{tNumber, in[start:i]})
+		case isSQLIdentStart(c):
+			start := i
+			for i < len(in) && isSQLIdentChar(in[i]) {
+				i++
+			}
+			toks = append(toks, tok{tIdent, in[start:i]})
+		case c == '`' || c == '"':
+			// quoted identifier
+			quote := c
+			i++
+			start := i
+			for i < len(in) && in[i] != quote {
+				i++
+			}
+			if i >= len(in) {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier")
+			}
+			toks = append(toks, tok{tIdent, in[start:i]})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, tok{tEOF, ""})
+	return toks, nil
+}
+
+func isSQLIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isSQLIdentChar(c byte) bool {
+	return isSQLIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,440 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a SELECT statement.
+func Parse(input string) (*Select, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("sql: trailing input %s", p.cur())
+	}
+	return sel, nil
+}
+
+// MustParse is Parse that panics on error; for tests.
+func MustParse(input string) *Select {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type sqlParser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *sqlParser) cur() tok  { return p.toks[p.pos] }
+func (p *sqlParser) next() tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *sqlParser) ident(what string) (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", fmt.Errorf("sql: expected %s, got %s", what, t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var reservedAfterTable = map[string]bool{
+	"JOIN": true, "ON": true, "WHERE": true, "ORDER": true, "LIMIT": true,
+	"OFFSET": true, "INNER": true, "LEFT": true, "GROUP": true, "AS": true,
+}
+
+func (p *sqlParser) selectStmt() (*Select, error) {
+	if !p.keyword("SELECT") {
+		return nil, fmt.Errorf("sql: expected SELECT, got %s", p.cur())
+	}
+	sel := &Select{Limit: -1}
+	if p.keyword("DISTINCT") {
+		sel.Distinct = true
+	}
+	if p.accept(tStar) {
+		// SELECT *
+	} else {
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Col: col}
+			if p.keyword("AS") {
+				a, err := p.ident("alias")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			sel.Columns = append(sel.Columns, item)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+	}
+	if !p.keyword("FROM") {
+		return nil, fmt.Errorf("sql: expected FROM, got %s", p.cur())
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if !p.accept(tComma) {
+			break
+		}
+	}
+	for {
+		if p.keyword("INNER") {
+			if !p.keyword("JOIN") {
+				return nil, fmt.Errorf("sql: expected JOIN after INNER")
+			}
+		} else if !p.keyword("JOIN") {
+			break
+		}
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if !p.keyword("ON") {
+			return nil, fmt.Errorf("sql: expected ON, got %s", p.cur())
+		}
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, Join{Table: tr, On: cond})
+	}
+	if p.keyword("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.keyword("ORDER") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("sql: expected BY after ORDER")
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tComma) {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		n, err := p.intLit("LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = int(n)
+	}
+	if p.keyword("OFFSET") {
+		n, err := p.intLit("OFFSET count")
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = int(n)
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) intLit(what string) (int64, error) {
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, fmt.Errorf("sql: expected %s, got %s", what, t)
+	}
+	p.pos++
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("sql: bad %s %q", what, t.text)
+	}
+	return n, nil
+}
+
+func (p *sqlParser) tableRef() (TableRef, error) {
+	name, err := p.ident("table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.keyword("AS") {
+		a, err := p.ident("table alias")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.cur().kind == tIdent && !reservedAfterTable[strings.ToUpper(p.cur().text)] {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *sqlParser) columnRef() (ColumnRef, error) {
+	a, err := p.ident("column reference")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.accept(tDot) {
+		b, err := p.ident("column name")
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: a, Column: b}, nil
+	}
+	return ColumnRef{Column: a}, nil
+}
+
+// Boolean expression grammar: or -> and -> unary -> predicate.
+
+func (p *sqlParser) orExpr() (BoolExpr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) andExpr() (BoolExpr, error) {
+	l, err := p.unaryBool()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.unaryBool()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) unaryBool() (BoolExpr, error) {
+	if p.keyword("NOT") {
+		x, err := p.unaryBool()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	if p.accept(tLParen) {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tRParen) {
+			return nil, fmt.Errorf("sql: expected ')', got %s", p.cur())
+		}
+		return e, nil
+	}
+	return p.predicate()
+}
+
+func (p *sqlParser) predicate() (BoolExpr, error) {
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	// col IS [NOT] NULL / col [NOT] LIKE / col [NOT] IN
+	if l.IsCol {
+		if p.keyword("IS") {
+			not := p.keyword("NOT")
+			if !p.keyword("NULL") {
+				return nil, fmt.Errorf("sql: expected NULL after IS")
+			}
+			return &IsNull{Col: l.Col, Not: not}, nil
+		}
+		notKw := false
+		if p.peekKeyword("NOT") {
+			// lookahead: NOT LIKE / NOT IN
+			save := p.pos
+			p.pos++
+			if p.peekKeyword("LIKE") || p.peekKeyword("IN") {
+				notKw = true
+			} else {
+				p.pos = save
+			}
+		}
+		if p.keyword("LIKE") {
+			t := p.cur()
+			if t.kind != tString {
+				return nil, fmt.Errorf("sql: expected string after LIKE, got %s", t)
+			}
+			p.pos++
+			return &Like{Col: l.Col, Pattern: t.text, Not: notKw}, nil
+		}
+		if p.keyword("IN") {
+			if !p.accept(tLParen) {
+				return nil, fmt.Errorf("sql: expected '(' after IN")
+			}
+			var list []Literal
+			for {
+				lit, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, lit)
+				if !p.accept(tComma) {
+					break
+				}
+			}
+			if !p.accept(tRParen) {
+				return nil, fmt.Errorf("sql: expected ')' after IN list")
+			}
+			return &In{Col: l.Col, List: list, Not: notKw}, nil
+		}
+	}
+	var op CmpOp
+	switch p.cur().kind {
+	case tEq:
+		op = CmpEq
+	case tNeq:
+		op = CmpNeq
+	case tLt:
+		op = CmpLt
+	case tLe:
+		op = CmpLe
+	case tGt:
+		op = CmpGt
+	case tGe:
+		op = CmpGe
+	default:
+		return nil, fmt.Errorf("sql: expected comparison operator, got %s", p.cur())
+	}
+	p.pos++
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Op: op, L: l, R: r}, nil
+}
+
+func (p *sqlParser) operand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tString:
+		p.pos++
+		return LitOperand(Literal{Kind: LitString, Str: t.text}), nil
+	case tNumber:
+		p.pos++
+		lit, err := numberLiteral(t.text)
+		if err != nil {
+			return Operand{}, err
+		}
+		return LitOperand(lit), nil
+	case tIdent:
+		up := strings.ToUpper(t.text)
+		switch up {
+		case "TRUE":
+			p.pos++
+			return LitOperand(Literal{Kind: LitBool, Bool: true}), nil
+		case "FALSE":
+			p.pos++
+			return LitOperand(Literal{Kind: LitBool, Bool: false}), nil
+		case "NULL":
+			p.pos++
+			return LitOperand(Literal{Kind: LitNull}), nil
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return ColOperand(col), nil
+	default:
+		return Operand{}, fmt.Errorf("sql: expected operand, got %s", t)
+	}
+}
+
+func (p *sqlParser) literal() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tString:
+		p.pos++
+		return Literal{Kind: LitString, Str: t.text}, nil
+	case tNumber:
+		p.pos++
+		return numberLiteral(t.text)
+	case tIdent:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			p.pos++
+			return Literal{Kind: LitBool, Bool: true}, nil
+		case "FALSE":
+			p.pos++
+			return Literal{Kind: LitBool, Bool: false}, nil
+		case "NULL":
+			p.pos++
+			return Literal{Kind: LitNull}, nil
+		}
+	}
+	return Literal{}, fmt.Errorf("sql: expected literal, got %s", t)
+}
+
+func numberLiteral(text string) (Literal, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sql: bad number %q", text)
+		}
+		return Literal{Kind: LitFloat, Float: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Literal{}, fmt.Errorf("sql: bad number %q", text)
+	}
+	return Literal{Kind: LitInt, Int: n}, nil
+}

@@ -1,0 +1,151 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimple(t *testing.T) {
+	s, err := Parse("SELECT a, b FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns) != 2 || s.From[0].Table != "t" {
+		t.Fatalf("parsed %+v", s)
+	}
+	cmp, ok := s.Where.(*Comparison)
+	if !ok || cmp.Op != CmpEq {
+		t.Fatalf("where = %#v", s.Where)
+	}
+}
+
+func TestParseJoinAndAliases(t *testing.T) {
+	s, err := Parse("SELECT g.name AS n FROM gene AS g JOIN disease d ON g.disease_id = d.disease_id WHERE d.class = 'cancer' ORDER BY g.name DESC LIMIT 10 OFFSET 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.From[0].Alias != "g" || len(s.Joins) != 1 || s.Joins[0].Table.Alias != "d" {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Columns[0].Alias != "n" {
+		t.Error("AS alias lost")
+	}
+	if s.Limit != 10 || s.Offset != 2 {
+		t.Errorf("limit/offset = %d/%d", s.Limit, s.Offset)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"SELECT * FROM t",
+		"SELECT DISTINCT a FROM t WHERE a <> 2",
+		"SELECT a FROM t WHERE s LIKE 'x%' AND n IN (1, 2, 3)",
+		"SELECT a FROM t WHERE s IS NOT NULL",
+		"SELECT a FROM t WHERE (a = 1 OR b = 2) AND NOT (c < 3)",
+		"SELECT t1.a, t2.b FROM t1, t2 WHERE t1.x = t2.y",
+		"SELECT a FROM t WHERE s = 'it''s'",
+		"SELECT a FROM t ORDER BY a, b DESC LIMIT 5",
+	} {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", s.String(), in, err)
+		}
+		if s.String() != s2.String() {
+			t.Errorf("round trip unstable:\n%s\n%s", s, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a ==",
+		"SELECT a FROM t WHERE a LIKE 5",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t extra garbage here ~",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	s := MustParse("SELECT a FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+	cs := Conjuncts(s.Where)
+	if len(cs) != 3 {
+		t.Fatalf("got %d conjuncts, want 3", len(cs))
+	}
+	back := AndAll(cs)
+	if back.String() != s.Where.String() {
+		t.Errorf("AndAll(Conjuncts(x)) != x: %s vs %s", back, s.Where)
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Errorf("Conjuncts(nil) = %v", got)
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	for _, tc := range []struct {
+		lit  Literal
+		want string
+	}{
+		{Literal{Kind: LitString, Str: "a'b"}, "'a''b'"},
+		{Literal{Kind: LitInt, Int: -5}, "-5"},
+		{Literal{Kind: LitFloat, Float: 2.5}, "2.5"},
+		{Literal{Kind: LitBool, Bool: true}, "TRUE"},
+		{Literal{Kind: LitNull}, "NULL"},
+	} {
+		if got := tc.lit.String(); got != tc.want {
+			t.Errorf("Literal.String() = %s, want %s", got, tc.want)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	s, err := Parse("SELECT `weird name` FROM \"my table\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Columns[0].Col.Column != "weird name" || s.From[0].Table != "my table" {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestImplicitAlias(t *testing.T) {
+	s := MustParse("SELECT a FROM gene g WHERE g.a = 1")
+	if s.From[0].Alias != "g" {
+		t.Fatalf("implicit alias not parsed: %+v", s.From[0])
+	}
+	// Reserved words must not be eaten as aliases.
+	s = MustParse("SELECT a FROM gene WHERE a = 1")
+	if s.From[0].Alias != "" {
+		t.Fatalf("WHERE consumed as alias: %+v", s.From[0])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := MustParse("SELECT DISTINCT g.a FROM gene g JOIN d ON g.x = d.y WHERE g.s LIKE 'a_c' LIMIT 3")
+	out := s.String()
+	for _, want := range []string{"DISTINCT", "JOIN d", "ON g.x = d.y", "LIKE 'a_c'", "LIMIT 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package trace records answer traces: the arrival time of every answer of
+// a query execution, as plotted in Figure 2 of the paper. It also derives
+// the summary metrics the evaluation reports (execution time, time to
+// first answer, answer count) and the dief@t continuous-efficiency metric.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ontario/internal/engine"
+	"ontario/internal/sparql"
+)
+
+// Point is one answer arrival.
+type Point struct {
+	// Elapsed is the time since execution start.
+	Elapsed time.Duration
+	// Count is the cumulative number of answers (1-based).
+	Count int
+}
+
+// Trace is the answer trace of one query execution.
+type Trace struct {
+	// Label identifies the configuration (e.g. "Q3 aware Gamma 2").
+	Label string
+	// Points holds one entry per answer in arrival order.
+	Points []Point
+	// Total is the time from start to stream completion.
+	Total time.Duration
+	// Answers caches the bindings when collected with CollectAnswers.
+	Answers []sparql.Binding
+}
+
+// Collect drains the stream, timestamping every answer relative to start.
+func Collect(label string, start time.Time, s *engine.Stream) *Trace {
+	return collect(label, start, s, false)
+}
+
+// CollectAnswers is Collect but also retains the bindings.
+func CollectAnswers(label string, start time.Time, s *engine.Stream) *Trace {
+	return collect(label, start, s, true)
+}
+
+func collect(label string, start time.Time, s *engine.Stream, keep bool) *Trace {
+	t := &Trace{Label: label}
+	n := 0
+	for b := range s.Chan() {
+		n++
+		t.Points = append(t.Points, Point{Elapsed: time.Since(start), Count: n})
+		if keep {
+			t.Answers = append(t.Answers, b)
+		}
+	}
+	t.Total = time.Since(start)
+	return t
+}
+
+// Count returns the number of answers.
+func (t *Trace) Count() int { return len(t.Points) }
+
+// TimeToFirst returns the arrival time of the first answer, or Total when
+// no answer arrived.
+func (t *Trace) TimeToFirst() time.Duration {
+	if len(t.Points) == 0 {
+		return t.Total
+	}
+	return t.Points[0].Elapsed
+}
+
+// AnswersAt returns how many answers had arrived by elapsed time d.
+func (t *Trace) AnswersAt(d time.Duration) int {
+	n := 0
+	for _, p := range t.Points {
+		if p.Elapsed <= d {
+			n = p.Count
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+// DiefAt computes dief@t (Acosta et al.): the area under the answer trace
+// until time d — higher means answers arrive earlier. The unit is
+// answer·seconds.
+func (t *Trace) DiefAt(d time.Duration) float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	area := 0.0
+	for i, p := range t.Points {
+		if p.Elapsed > d {
+			break
+		}
+		end := d
+		if i+1 < len(t.Points) && t.Points[i+1].Elapsed < d {
+			end = t.Points[i+1].Elapsed
+		}
+		area += float64(p.Count) * (end - p.Elapsed).Seconds()
+	}
+	return area
+}
+
+// WriteCSV emits "elapsed_ms,count" rows for plotting.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "label,elapsed_ms,answer\n"); err != nil {
+		return err
+	}
+	for _, p := range t.Points {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%d\n", t.Label, float64(p.Elapsed)/1e6, p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary is the row format of the experiment tables.
+type Summary struct {
+	Label           string
+	ExecutionTime   time.Duration
+	TimeFirstAnswer time.Duration
+	AnswerCount     int
+}
+
+// Summarize extracts the summary metrics.
+func (t *Trace) Summarize() Summary {
+	return Summary{
+		Label:           t.Label,
+		ExecutionTime:   t.Total,
+		TimeFirstAnswer: t.TimeToFirst(),
+		AnswerCount:     t.Count(),
+	}
+}

@@ -1,0 +1,520 @@
+package wrapper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ontario/internal/catalog"
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+	"ontario/internal/sql"
+)
+
+// colInfo describes where a SPARQL variable lives in the translated SQL
+// query.
+type colInfo struct {
+	ref      sql.ColumnRef
+	typ      rdb.Type
+	template string // non-empty when the column stores an IRI key
+	nullable bool
+}
+
+// translation is the result of translating a request into one SQL query.
+type translation struct {
+	sel *sql.Select
+	// varOrder lists the variables in projection order (c0, c1, ...).
+	varOrder []string
+	// varCols maps variable name to its column info.
+	varCols map[string]colInfo
+	// constBindings are variables bound to constants (e.g. ?t from
+	// "?s a ?t" with a known class).
+	constBindings sparql.Binding
+	// localFilters could not be pushed into SQL and must run in the
+	// wrapper.
+	localFilters []sparql.Expr
+	// empty marks a provably empty result (e.g. subject IRI outside the
+	// mapping's namespace).
+	empty bool
+}
+
+// translator builds a SQL query for one or more stars over one relational
+// source.
+type translator struct {
+	src     *catalog.Source
+	sel     *sql.Select
+	varCols map[string]colInfo
+	varSeen []string
+	aliasN  int
+	empty   bool
+	// extraEq accumulates equality conditions from repeated variables.
+	conds []sql.BoolExpr
+	// notNull tracks direct nullable columns that must be IS NOT NULL.
+	notNull map[string]sql.ColumnRef
+	consts  sparql.Binding
+}
+
+// translateRequest translates the stars and as many filters as possible
+// into a single SQL SELECT (the optimized translation of the paper's
+// future-work discussion).
+func translateRequest(src *catalog.Source, stars []*StarQuery, filters []sparql.Expr) (*translation, error) {
+	tr := &translator{
+		src:     src,
+		sel:     &sql.Select{Limit: -1},
+		varCols: map[string]colInfo{},
+		notNull: map[string]sql.ColumnRef{},
+		consts:  sparql.NewBinding(),
+	}
+	for _, star := range stars {
+		if err := tr.addStar(star); err != nil {
+			return nil, err
+		}
+	}
+	out := &translation{
+		varCols:       tr.varCols,
+		constBindings: tr.consts,
+		empty:         tr.empty,
+	}
+	// Push translatable filters.
+	for _, f := range filters {
+		if cond, ok := tr.translateFilter(f); ok {
+			tr.conds = append(tr.conds, cond)
+		} else {
+			out.localFilters = append(out.localFilters, f)
+		}
+	}
+	// NOT NULL guards for nullable direct columns bound to variables.
+	for _, ref := range tr.notNull {
+		tr.conds = append(tr.conds, &sql.IsNull{Col: ref, Not: true})
+	}
+	tr.sel.Where = sql.AndAll(tr.conds)
+	// Projection: one output column per variable, in first-seen order.
+	for i, v := range tr.varSeen {
+		info := tr.varCols[v]
+		tr.sel.Columns = append(tr.sel.Columns, sql.SelectItem{
+			Col:   info.ref,
+			Alias: fmt.Sprintf("c%d", i),
+		})
+	}
+	if len(tr.sel.Columns) == 0 && len(tr.sel.From) > 0 {
+		// Constant-only request: project the first base table's PK so the
+		// row count survives.
+		base := tr.sel.From[0]
+		t := src.DB.Table(base.Table)
+		tr.sel.Columns = append(tr.sel.Columns, sql.SelectItem{
+			Col:   sql.ColumnRef{Table: base.Name(), Column: t.Schema.PrimaryKey},
+			Alias: "c_probe",
+		})
+	}
+	out.varOrder = tr.varSeen
+	out.sel = tr.sel
+	return out, nil
+}
+
+func (tr *translator) nextAlias() string {
+	tr.aliasN++
+	return fmt.Sprintf("t%d", tr.aliasN)
+}
+
+// bindVar records that variable v is stored at info; repeated occurrences
+// add equality conditions.
+func (tr *translator) bindVar(v string, info colInfo) {
+	if prev, ok := tr.varCols[v]; ok {
+		tr.conds = append(tr.conds, &sql.Comparison{
+			Op: sql.CmpEq,
+			L:  sql.ColOperand(prev.ref),
+			R:  sql.ColOperand(info.ref),
+		})
+		return
+	}
+	tr.varCols[v] = info
+	tr.varSeen = append(tr.varSeen, v)
+	if info.nullable {
+		tr.notNull[info.ref.String()] = info.ref
+	}
+}
+
+func (tr *translator) addStar(star *StarQuery) error {
+	cm := tr.src.Mapping(star.Class)
+	if cm == nil {
+		return fmt.Errorf("wrapper: source %s has no mapping for class %s", tr.src.ID, star.Class)
+	}
+	baseTable := tr.src.DB.Table(cm.Table)
+	if baseTable == nil {
+		return fmt.Errorf("wrapper: source %s: mapped table %s missing", tr.src.ID, cm.Table)
+	}
+	baseAlias := tr.nextAlias()
+	tr.sel.From = append(tr.sel.From, sql.TableRef{Table: cm.Table, Alias: baseAlias})
+	if cm.Denormalized {
+		// Wide-table layouts repeat the subject across rows; de-duplicate
+		// to recover RDF set semantics.
+		tr.sel.Distinct = true
+	}
+	pkType, _ := baseTable.Schema.ColumnType(cm.SubjectColumn)
+	subjectRef := sql.ColumnRef{Table: baseAlias, Column: cm.SubjectColumn}
+	subjectInfo := colInfo{ref: subjectRef, typ: pkType, template: cm.SubjectTemplate}
+
+	for _, tp := range star.Patterns {
+		// Subject position.
+		switch {
+		case tp.S.IsVar:
+			if tp.S.Var != star.SubjectVar {
+				return fmt.Errorf("wrapper: pattern %s does not share star subject ?%s", tp, star.SubjectVar)
+			}
+			tr.bindVar(tp.S.Var, subjectInfo)
+		case tp.S.Term.IsIRI():
+			key, ok := cm.SubjectKey(tp.S.Term.Value)
+			if !ok {
+				tr.empty = true
+				continue
+			}
+			lit, err := keyLiteral(key, pkType)
+			if err != nil {
+				tr.empty = true
+				continue
+			}
+			tr.conds = append(tr.conds, &sql.Comparison{
+				Op: sql.CmpEq, L: sql.ColOperand(subjectRef), R: sql.LitOperand(lit),
+			})
+		default:
+			return fmt.Errorf("wrapper: unsupported subject %s", tp.S)
+		}
+
+		// Predicate must be a constant IRI at a relational source.
+		if tp.P.IsVar {
+			return fmt.Errorf("wrapper: variable predicates are not supported over relational sources (%s)", tp)
+		}
+		pred := tp.P.Term.Value
+
+		// rdf:type pattern.
+		if pred == rdf.RDFType {
+			switch {
+			case tp.O.IsVar:
+				tr.consts[tp.O.Var] = rdf.NewIRI(star.Class)
+			case tp.O.Term.IsIRI():
+				if tp.O.Term.Value != star.Class {
+					tr.empty = true
+				}
+			default:
+				tr.empty = true
+			}
+			continue
+		}
+
+		pm := cm.Property(pred)
+		if pm == nil {
+			// The molecule does not carry this predicate: empty result.
+			tr.empty = true
+			continue
+		}
+
+		var valRef sql.ColumnRef
+		var valType rdb.Type
+		var nullable bool
+		if pm.IsJoin() {
+			jt := tr.src.DB.Table(pm.JoinTable)
+			if jt == nil {
+				return fmt.Errorf("wrapper: source %s: join table %s missing", tr.src.ID, pm.JoinTable)
+			}
+			alias := tr.nextAlias()
+			tr.sel.Joins = append(tr.sel.Joins, sql.Join{
+				Table: sql.TableRef{Table: pm.JoinTable, Alias: alias},
+				On: &sql.Comparison{
+					Op: sql.CmpEq,
+					L:  sql.ColOperand(sql.ColumnRef{Table: alias, Column: pm.JoinFK}),
+					R:  sql.ColOperand(subjectRef),
+				},
+			})
+			valRef = sql.ColumnRef{Table: alias, Column: pm.ValueColumn}
+			valType, _ = jt.Schema.ColumnType(pm.ValueColumn)
+		} else {
+			valRef = sql.ColumnRef{Table: baseAlias, Column: pm.Column}
+			valType, _ = baseTable.Schema.ColumnType(pm.Column)
+			ci := baseTable.Schema.ColumnIndex(pm.Column)
+			nullable = !baseTable.Schema.Columns[ci].NotNull
+		}
+
+		switch {
+		case tp.O.IsVar:
+			tr.bindVar(tp.O.Var, colInfo{ref: valRef, typ: valType, template: pm.ObjectTemplate, nullable: nullable})
+		default:
+			lit, ok := tr.objectLiteral(tp.O.Term, pm, valType)
+			if !ok {
+				tr.empty = true
+				continue
+			}
+			tr.conds = append(tr.conds, &sql.Comparison{
+				Op: sql.CmpEq, L: sql.ColOperand(valRef), R: sql.LitOperand(lit),
+			})
+		}
+	}
+	return nil
+}
+
+// objectLiteral converts a constant RDF object into the SQL literal to
+// compare against the storage column.
+func (tr *translator) objectLiteral(t rdf.Term, pm *catalog.PropertyMapping, colType rdb.Type) (sql.Literal, bool) {
+	if t.IsIRI() {
+		if pm.ObjectTemplate == "" {
+			return sql.Literal{}, false
+		}
+		key, ok := catalog.TemplateKey(pm.ObjectTemplate, t.Value)
+		if !ok {
+			return sql.Literal{}, false
+		}
+		lit, err := keyLiteral(key, colType)
+		if err != nil {
+			return sql.Literal{}, false
+		}
+		return lit, true
+	}
+	if !t.IsLiteral() {
+		return sql.Literal{}, false
+	}
+	lit, err := termToSQLLiteral(t, colType)
+	if err != nil {
+		return sql.Literal{}, false
+	}
+	return lit, true
+}
+
+// keyLiteral converts an IRI key string to a literal of the column type.
+func keyLiteral(key string, t rdb.Type) (sql.Literal, error) {
+	switch t {
+	case rdb.TypeInt:
+		n, err := strconv.ParseInt(key, 10, 64)
+		if err != nil {
+			return sql.Literal{}, err
+		}
+		return sql.Literal{Kind: sql.LitInt, Int: n}, nil
+	case rdb.TypeFloat:
+		f, err := strconv.ParseFloat(key, 64)
+		if err != nil {
+			return sql.Literal{}, err
+		}
+		return sql.Literal{Kind: sql.LitFloat, Float: f}, nil
+	default:
+		return sql.Literal{Kind: sql.LitString, Str: key}, nil
+	}
+}
+
+// termToSQLLiteral converts an RDF literal to a SQL literal of the column
+// type.
+func termToSQLLiteral(t rdf.Term, colType rdb.Type) (sql.Literal, error) {
+	switch colType {
+	case rdb.TypeInt:
+		n, err := strconv.ParseInt(t.Value, 10, 64)
+		if err != nil {
+			return sql.Literal{}, err
+		}
+		return sql.Literal{Kind: sql.LitInt, Int: n}, nil
+	case rdb.TypeFloat:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return sql.Literal{}, err
+		}
+		return sql.Literal{Kind: sql.LitFloat, Float: f}, nil
+	case rdb.TypeBool:
+		switch t.Value {
+		case "true", "1":
+			return sql.Literal{Kind: sql.LitBool, Bool: true}, nil
+		case "false", "0":
+			return sql.Literal{Kind: sql.LitBool, Bool: false}, nil
+		}
+		return sql.Literal{}, fmt.Errorf("not a boolean: %s", t.Value)
+	default:
+		return sql.Literal{Kind: sql.LitString, Str: t.Value}, nil
+	}
+}
+
+// translateFilter converts a SPARQL filter into a SQL predicate over the
+// translated columns; ok is false when the filter must stay in the
+// wrapper/engine.
+func (tr *translator) translateFilter(e sparql.Expr) (sql.BoolExpr, bool) {
+	switch v := e.(type) {
+	case *sparql.CompareExpr:
+		return tr.translateCompare(v)
+	case *sparql.LogicExpr:
+		l, ok := tr.translateFilter(v.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := tr.translateFilter(v.R)
+		if !ok {
+			return nil, false
+		}
+		if v.Op == sparql.OpAnd {
+			return &sql.And{L: l, R: r}, true
+		}
+		return &sql.Or{L: l, R: r}, true
+	case *sparql.NotExpr:
+		x, ok := tr.translateFilter(v.X)
+		if !ok {
+			return nil, false
+		}
+		return &sql.Not{X: x}, true
+	case *sparql.FuncExpr:
+		return tr.translateFunc(v)
+	default:
+		return nil, false
+	}
+}
+
+func (tr *translator) translateCompare(c *sparql.CompareExpr) (sql.BoolExpr, bool) {
+	ve, konst, op, ok := splitVarConst(c)
+	if !ok {
+		return nil, false
+	}
+	info, bound := tr.varCols[ve.Name]
+	if !bound {
+		return nil, false
+	}
+	var lit sql.Literal
+	if info.template != "" {
+		// IRI-valued column: only equality against a matching IRI.
+		if op != sql.CmpEq && op != sql.CmpNeq {
+			return nil, false
+		}
+		if !konst.IsIRI() {
+			return nil, false
+		}
+		key, okKey := catalog.TemplateKey(info.template, konst.Value)
+		if !okKey {
+			return nil, false
+		}
+		l, err := keyLiteral(key, info.typ)
+		if err != nil {
+			return nil, false
+		}
+		lit = l
+	} else {
+		if !konst.IsLiteral() {
+			return nil, false
+		}
+		l, err := termToSQLLiteral(konst, info.typ)
+		if err != nil {
+			return nil, false
+		}
+		lit = l
+	}
+	return &sql.Comparison{Op: op, L: sql.ColOperand(info.ref), R: sql.LitOperand(lit)}, true
+}
+
+// splitVarConst normalizes a comparison to (variable, constant, op).
+func splitVarConst(c *sparql.CompareExpr) (*sparql.VarExpr, rdf.Term, sql.CmpOp, bool) {
+	toSQLOp := func(op sparql.CompareOp) sql.CmpOp {
+		switch op {
+		case sparql.OpEq:
+			return sql.CmpEq
+		case sparql.OpNeq:
+			return sql.CmpNeq
+		case sparql.OpLt:
+			return sql.CmpLt
+		case sparql.OpLe:
+			return sql.CmpLe
+		case sparql.OpGt:
+			return sql.CmpGt
+		default:
+			return sql.CmpGe
+		}
+	}
+	flip := func(op sql.CmpOp) sql.CmpOp {
+		switch op {
+		case sql.CmpLt:
+			return sql.CmpGt
+		case sql.CmpLe:
+			return sql.CmpGe
+		case sql.CmpGt:
+			return sql.CmpLt
+		case sql.CmpGe:
+			return sql.CmpLe
+		default:
+			return op
+		}
+	}
+	if v, ok := c.L.(*sparql.VarExpr); ok {
+		if k, ok2 := c.R.(*sparql.ConstExpr); ok2 {
+			return v, k.Term, toSQLOp(c.Op), true
+		}
+	}
+	if v, ok := c.R.(*sparql.VarExpr); ok {
+		if k, ok2 := c.L.(*sparql.ConstExpr); ok2 {
+			return v, k.Term, flip(toSQLOp(c.Op)), true
+		}
+	}
+	return nil, rdf.Term{}, 0, false
+}
+
+func (tr *translator) translateFunc(f *sparql.FuncExpr) (sql.BoolExpr, bool) {
+	if len(f.Args) != 2 {
+		return nil, false
+	}
+	v, ok := f.Args[0].(*sparql.VarExpr)
+	if !ok {
+		return nil, false
+	}
+	k, ok := f.Args[1].(*sparql.ConstExpr)
+	if !ok || !k.Term.IsLiteral() {
+		return nil, false
+	}
+	info, bound := tr.varCols[v.Name]
+	if !bound || info.template != "" || info.typ != rdb.TypeString {
+		return nil, false
+	}
+	s := k.Term.Value
+	// SQL LIKE lacks an escape in our subset; bail out when the constant
+	// contains wildcard characters.
+	if strings.ContainsAny(s, "%_") {
+		return nil, false
+	}
+	var pattern string
+	switch f.Name {
+	case "CONTAINS":
+		pattern = "%" + s + "%"
+	case "STRSTARTS":
+		pattern = s + "%"
+	case "STRENDS":
+		pattern = "%" + s
+	default:
+		return nil, false
+	}
+	return &sql.Like{Col: info.ref, Pattern: pattern}, true
+}
+
+// decodeRow converts one SQL result row into a solution binding; ok is
+// false when a decoded column is NULL (the property is absent, so the row
+// does not match the star).
+func (t *translation) decodeRow(row rdb.Row) (sparql.Binding, bool) {
+	b := sparql.NewBinding()
+	for i, v := range t.varOrder {
+		val := row[i]
+		if val.Null {
+			return nil, false
+		}
+		info := t.varCols[v]
+		b[v] = valueToTerm(val, info.template)
+	}
+	for v, term := range t.constBindings {
+		b[v] = term
+	}
+	return b, true
+}
+
+// valueToTerm converts a storage value into an RDF term, applying the IRI
+// template when present.
+func valueToTerm(v rdb.Value, template string) rdf.Term {
+	if template != "" {
+		return rdf.NewIRI(catalog.RenderTemplate(template, v.String()))
+	}
+	switch v.Type {
+	case rdb.TypeInt:
+		return rdf.IntLiteral(v.Int)
+	case rdb.TypeFloat:
+		return rdf.FloatLiteral(v.Float)
+	case rdb.TypeBool:
+		return rdf.BoolLiteral(v.Bool)
+	default:
+		return rdf.NewLiteral(v.Str)
+	}
+}

@@ -1,0 +1,202 @@
+package wrapper
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+func TestKeyLiteral(t *testing.T) {
+	lit, err := keyLiteral("42", rdb.TypeInt)
+	if err != nil || lit.Int != 42 {
+		t.Errorf("int key: %v/%v", lit, err)
+	}
+	if _, err := keyLiteral("abc", rdb.TypeInt); err == nil {
+		t.Error("non-numeric key accepted for INTEGER column")
+	}
+	lit, err = keyLiteral("2.5", rdb.TypeFloat)
+	if err != nil || lit.Float != 2.5 {
+		t.Errorf("float key: %v/%v", lit, err)
+	}
+	lit, err = keyLiteral("x-1", rdb.TypeString)
+	if err != nil || lit.Str != "x-1" {
+		t.Errorf("string key: %v/%v", lit, err)
+	}
+}
+
+func TestTermToSQLLiteral(t *testing.T) {
+	lit, err := termToSQLLiteral(rdf.IntLiteral(7), rdb.TypeInt)
+	if err != nil || lit.Int != 7 {
+		t.Errorf("int: %v/%v", lit, err)
+	}
+	lit, err = termToSQLLiteral(rdf.NewLiteral("3.5"), rdb.TypeFloat)
+	if err != nil || lit.Float != 3.5 {
+		t.Errorf("float: %v/%v", lit, err)
+	}
+	if _, err := termToSQLLiteral(rdf.NewLiteral("x"), rdb.TypeFloat); err == nil {
+		t.Error("non-numeric literal accepted for DOUBLE column")
+	}
+	lit, err = termToSQLLiteral(rdf.BoolLiteral(true), rdb.TypeBool)
+	if err != nil || !lit.Bool {
+		t.Errorf("bool: %v/%v", lit, err)
+	}
+	if _, err := termToSQLLiteral(rdf.NewLiteral("maybe"), rdb.TypeBool); err == nil {
+		t.Error("non-boolean literal accepted for BOOLEAN column")
+	}
+}
+
+func TestValueToTerm(t *testing.T) {
+	if got := valueToTerm(rdb.IntValue(5), ""); got.Datatype != rdf.XSDInteger {
+		t.Errorf("int term = %v", got)
+	}
+	if got := valueToTerm(rdb.FloatValue(1.5), ""); got.Datatype != rdf.XSDDouble {
+		t.Errorf("float term = %v", got)
+	}
+	if got := valueToTerm(rdb.BoolValue(true), ""); got.Datatype != rdf.XSDBoolean {
+		t.Errorf("bool term = %v", got)
+	}
+	if got := valueToTerm(rdb.StringValue("s"), ""); got.Kind != rdf.TermLiteral || got.Datatype != "" {
+		t.Errorf("string term = %v", got)
+	}
+	if got := valueToTerm(rdb.IntValue(9), "http://e/{value}"); !got.IsIRI() || got.Value != "http://e/9" {
+		t.Errorf("templated term = %v", got)
+	}
+}
+
+func TestFilterWithWildcardNeedleStaysLocal(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	// '%' in the needle cannot be expressed in our LIKE subset — the
+	// filter must run locally yet still be applied.
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/name> ?n . FILTER (CONTAINS(?n, "100%")) }`)
+	req := &Request{
+		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
+		Filters: q.Filters,
+	}
+	got := collect(t, w, req)
+	if len(got) != 0 {
+		t.Fatalf("wildcard needle matched: %v", got)
+	}
+	for _, s := range w.LastSQL() {
+		if strings.Contains(s, "LIKE") {
+			t.Errorf("wildcard needle was pushed as LIKE: %s", s)
+		}
+	}
+}
+
+func TestIRIEqualityFilterPushed(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/friend> ?f . FILTER (?f = <http://e/person/3>) }`)
+	req := &Request{
+		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
+		Filters: q.Filters,
+	}
+	got := collect(t, w, req)
+	if len(got) != 2 {
+		t.Fatalf("IRI equality filter: got %d, want 2", len(got))
+	}
+	if !strings.Contains(w.LastSQL()[0], "= 3") {
+		t.Errorf("IRI filter not pushed as key equality: %v", w.LastSQL())
+	}
+}
+
+func TestIRIRangeFilterNotPushed(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	// Ordering over IRIs cannot be pushed; it also fails at the engine
+	// (type error), so zero results — but no SQL ordering on the key.
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/friend> ?f . FILTER (?f > <http://e/person/1>) }`)
+	req := &Request{
+		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
+		Filters: q.Filters,
+	}
+	got := collect(t, w, req)
+	if len(got) != 0 {
+		t.Fatalf("IRI ordering filter matched: %v", got)
+	}
+	if strings.Contains(w.LastSQL()[0], ">") {
+		t.Errorf("IRI ordering pushed into SQL: %v", w.LastSQL())
+	}
+}
+
+func TestDisjunctionPushedWhenBothSidesTranslate(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/age> ?a . FILTER (?a = 20 || ?a = 60) }`)
+	req := &Request{
+		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
+		Filters: q.Filters,
+	}
+	got := collect(t, w, req)
+	if len(got) != 2 {
+		t.Fatalf("disjunction: got %d, want 2", len(got))
+	}
+	if !strings.Contains(w.LastSQL()[0], "OR") {
+		t.Errorf("disjunction not pushed: %v", w.LastSQL())
+	}
+}
+
+func TestNegationPushed(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/age> ?a . FILTER (!(?a < 40)) }`)
+	req := &Request{
+		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
+		Filters: q.Filters,
+	}
+	got := collect(t, w, req)
+	if len(got) != 3 {
+		t.Fatalf("negation: got %d, want 3", len(got))
+	}
+	if !strings.Contains(w.LastSQL()[0], "NOT") {
+		t.Errorf("negation not pushed: %v", w.LastSQL())
+	}
+}
+
+func TestRepeatedObjectVariableAddsEquality(t *testing.T) {
+	// ?x appears as the object of two different predicates: the SQL must
+	// contain an equality between the two columns.
+	src := testSource(t)
+	// name and age are different types; equality can never hold, but the
+	// translation must still be well-formed.
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	req := &Request{Stars: []*StarQuery{
+		star(t, "p", "http://c/Person", `?p <http://p/name> ?x . ?p <http://p/age> ?x .`),
+	}}
+	got := collect(t, w, req)
+	if len(got) != 0 {
+		t.Fatalf("impossible repeated-var star matched: %v", got)
+	}
+	if !strings.Contains(w.LastSQL()[0], "t1.name = t1.age") &&
+		!strings.Contains(w.LastSQL()[0], "t1.age = t1.name") {
+		t.Errorf("repeated variable equality missing: %v", w.LastSQL())
+	}
+}
+
+func TestEmptyRequestRejected(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	if _, err := w.Execute(context.Background(), &Request{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	rw := NewRDFWrapper("r", rdf.NewGraph(), nil)
+	if _, err := rw.Execute(context.Background(), &Request{}); err == nil {
+		t.Error("empty RDF request accepted")
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	src := testSource(t)
+	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	req := &Request{Stars: []*StarQuery{
+		star(t, "p", "http://c/Unknown", `?p <http://p/name> ?n .`),
+	}}
+	if _, err := w.Execute(context.Background(), req); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

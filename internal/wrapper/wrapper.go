@@ -1,0 +1,170 @@
+// Package wrapper implements the source wrappers of the mediator/wrapper
+// architecture: the engine hands a wrapper a star-shaped sub-query (or a
+// combination of them, when Heuristic 1 pushed a join down) in SPARQL
+// terms, and the wrapper answers it in the source's native model — direct
+// BGP evaluation for RDF sources, SPARQL-to-SQL translation for relational
+// sources. Network latency is simulated per retrieved answer, as in the
+// paper's modified Ontario.
+package wrapper
+
+import (
+	"context"
+	"fmt"
+
+	"ontario/internal/engine"
+	"ontario/internal/netsim"
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// StarQuery is one star-shaped sub-query: all triple patterns share the
+// subject variable, and source selection has resolved the molecule class.
+type StarQuery struct {
+	SubjectVar string
+	Class      string // class IRI selected for this star
+	Patterns   []sparql.TriplePattern
+}
+
+// Vars returns the distinct variables of the star.
+func (s *StarQuery) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, tp := range s.Patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Request is a wrapper invocation: one or more stars (more than one only
+// for relational sources under Heuristic 1) plus the filters the planner
+// decided to push to the source (Heuristic 2).
+type Request struct {
+	Stars   []*StarQuery
+	Filters []sparql.Expr
+	// Seed instantiates variables before execution (used by bind joins).
+	Seed sparql.Binding
+}
+
+// Vars returns the distinct variables across all stars.
+func (r *Request) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range r.Stars {
+		for _, v := range s.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Wrapper answers requests against one source.
+type Wrapper interface {
+	// SourceID identifies the wrapped source.
+	SourceID() string
+	// Execute runs the request, streaming bindings as they are retrieved
+	// across the simulated network.
+	Execute(ctx context.Context, req *Request) (*engine.Stream, error)
+}
+
+// substituteSeed replaces seed-bound variables in the patterns with
+// constant terms.
+func substituteSeed(patterns []sparql.TriplePattern, seed sparql.Binding) []sparql.TriplePattern {
+	if len(seed) == 0 {
+		return patterns
+	}
+	out := make([]sparql.TriplePattern, len(patterns))
+	sub := func(n sparql.Node) sparql.Node {
+		if n.IsVar {
+			if t, ok := seed[n.Var]; ok {
+				return sparql.TermNode(t)
+			}
+		}
+		return n
+	}
+	for i, tp := range patterns {
+		out[i] = sparql.TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+	}
+	return out
+}
+
+// streamWithDelay emits the bindings on a new stream, delaying each message
+// by one latency sample, then re-merging the seed (bind-join semantics).
+func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Binding, sols []sparql.Binding) *engine.Stream {
+	out := engine.NewStream(16)
+	go func() {
+		defer out.Close()
+		for _, b := range sols {
+			if sim != nil {
+				sim.Delay()
+			}
+			if len(seed) > 0 {
+				b = seed.Merge(b)
+			}
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// RDFWrapper answers star queries by BGP evaluation over an in-memory
+// graph.
+type RDFWrapper struct {
+	id    string
+	graph *rdf.Graph
+	sim   *netsim.Simulator
+}
+
+// NewRDFWrapper wraps an RDF graph. sim may be nil for no network
+// simulation.
+func NewRDFWrapper(id string, g *rdf.Graph, sim *netsim.Simulator) *RDFWrapper {
+	return &RDFWrapper{id: id, graph: g, sim: sim}
+}
+
+// SourceID implements Wrapper.
+func (w *RDFWrapper) SourceID() string { return w.id }
+
+// Execute implements Wrapper.
+func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	if len(req.Stars) == 0 {
+		return nil, fmt.Errorf("wrapper %s: empty request", w.id)
+	}
+	var patterns []sparql.TriplePattern
+	for _, s := range req.Stars {
+		patterns = append(patterns, s.Patterns...)
+	}
+	patterns = substituteSeed(patterns, req.Seed)
+	sols := sparql.EvalBGP(w.graph, patterns)
+	if len(req.Filters) > 0 {
+		var kept []sparql.Binding
+		for _, b := range sols {
+			// Filters may reference seeded variables that became
+			// constants; evaluate them over the merged binding.
+			eval := b
+			if len(req.Seed) > 0 {
+				eval = req.Seed.Merge(b)
+			}
+			ok := true
+			for _, f := range req.Filters {
+				if !sparql.EvalBool(f, eval) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, b)
+			}
+		}
+		sols = kept
+	}
+	return streamWithDelay(ctx, w.sim, req.Seed, sols), nil
+}

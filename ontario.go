@@ -1,0 +1,218 @@
+// Package ontario is the public facade of Ontario-Go, a federated SPARQL
+// query engine for Semantic Data Lakes that optimizes query execution plans
+// based on the physical design of the lake — a from-scratch reproduction of
+// Rohde & Vidal, "Optimizing Federated Queries Based on the Physical Design
+// of a Data Lake" (EDBT 2020).
+//
+// A data lake is a collection of heterogeneous sources (in-memory RDF
+// graphs and relational databases with R2RML-style mappings) described by
+// RDF Molecule Templates. Queries are SPARQL SELECT queries; the engine
+// decomposes them into star-shaped sub-queries, selects sources, and builds
+// either physical-design-unaware plans (the baseline: every join and filter
+// above the sources) or physical-design-aware plans applying the paper's
+// heuristics:
+//
+//   - Heuristic 1: star-shaped sub-queries over the same relational
+//     endpoint are combined into a single SQL query when the join
+//     attribute is indexed.
+//   - Heuristic 2: filters over relational sources run at the engine
+//     unless the filtered attribute is indexed and the network is slow.
+//
+// Network conditions are simulated per retrieved answer with the paper's
+// gamma-distributed latency profiles (netsim).
+//
+// Minimal usage:
+//
+//	lake, _ := lslod.BuildLake(lslod.DefaultScale(), 1)
+//	eng := ontario.New(lake.Catalog)
+//	res, _ := eng.Query(ctx, `SELECT ?s WHERE { ... }`,
+//	    ontario.WithAwarePlan(), ontario.WithNetwork(netsim.Gamma2))
+//	for _, b := range res.Answers { ... }
+package ontario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ontario/internal/catalog"
+	"ontario/internal/core"
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+	"ontario/internal/trace"
+	"ontario/internal/wrapper"
+)
+
+// Engine is a configured query engine over one data-lake catalog.
+type Engine struct {
+	inner *core.Engine
+}
+
+// New returns an engine over the catalog.
+func New(cat *catalog.Catalog) *Engine {
+	return &Engine{inner: core.NewEngine(cat)}
+}
+
+// Option configures one query execution.
+type Option func(*config)
+
+type config struct {
+	opts  core.Options
+	scale float64
+	seed  int64
+}
+
+// WithAwarePlan selects the physical-design-aware plan (Heuristic 1 join
+// pushdown, filters pushed when the attribute is indexed).
+func WithAwarePlan() Option {
+	return func(c *config) {
+		aware := core.AwareOptions(c.opts.Network)
+		aware.Translation = c.opts.Translation
+		aware.JoinOperator = c.opts.JoinOperator
+		aware.Decomposition = c.opts.Decomposition
+		c.opts = aware
+	}
+}
+
+// WithUnawarePlan selects the physical-design-unaware baseline plan.
+func WithUnawarePlan() Option {
+	return func(c *config) {
+		un := core.UnawareOptions(c.opts.Network)
+		un.Translation = c.opts.Translation
+		un.JoinOperator = c.opts.JoinOperator
+		un.Decomposition = c.opts.Decomposition
+		c.opts = un
+	}
+}
+
+// WithNetwork sets the simulated network profile.
+func WithNetwork(p netsim.Profile) Option {
+	return func(c *config) { c.opts.Network = p }
+}
+
+// WithHeuristic2 applies Heuristic 2 verbatim for filter placement (engine
+// level unless the attribute is indexed and the network is slow). Implies
+// an aware plan.
+func WithHeuristic2() Option {
+	return func(c *config) {
+		c.opts.Aware = true
+		c.opts.FilterPolicy = core.FilterHeuristic2
+	}
+}
+
+// WithNaiveTranslation uses the unoptimized SPARQL-to-SQL translation for
+// merged stars (the limitation the paper reports for Ontario).
+func WithNaiveTranslation() Option {
+	return func(c *config) { c.opts.Translation = wrapper.TranslationNaive }
+}
+
+// WithJoinOperator selects the engine-level join implementation.
+func WithJoinOperator(op core.JoinOperator) Option {
+	return func(c *config) { c.opts.JoinOperator = op }
+}
+
+// WithTripleDecomposition decomposes the query into one sub-query per
+// triple pattern instead of star-shaped sub-queries (the alternative the
+// paper's future work proposes to study).
+func WithTripleDecomposition() Option {
+	return func(c *config) { c.opts.Decomposition = core.DecomposeTriples }
+}
+
+// WithNetworkScale multiplies the real sleeping of the network simulation;
+// 0 disables sleeping (sampled delays are still recorded), 1 reproduces the
+// sampled delays in real time.
+func WithNetworkScale(scale float64) Option {
+	return func(c *config) { c.scale = scale }
+}
+
+// WithSeed fixes the network simulation's random streams.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// Result is a completed query execution.
+type Result struct {
+	// Answers are the solution bindings in arrival order.
+	Answers []sparql.Binding
+	// Variables are the projected variable names.
+	Variables []string
+	// Plan is the executed query execution plan.
+	Plan *core.Plan
+	// Trace is the answer trace (arrival time of every answer).
+	Trace *trace.Trace
+	// Messages is the number of simulated network messages.
+	Messages int
+	// SimulatedDelay is the total sampled network latency.
+	SimulatedDelay time.Duration
+}
+
+// ExecutionTime returns the wall-clock execution time.
+func (r *Result) ExecutionTime() time.Duration { return r.Trace.Total }
+
+// TimeToFirstAnswer returns the arrival time of the first answer.
+func (r *Result) TimeToFirstAnswer() time.Duration { return r.Trace.TimeToFirst() }
+
+// Query parses and runs a SPARQL query, draining the answer stream.
+func (e *Engine) Query(ctx context.Context, queryText string, options ...Option) (*Result, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryParsed(ctx, q, options...)
+}
+
+// QueryParsed runs an already-parsed query.
+func (e *Engine) QueryParsed(ctx context.Context, q *sparql.Query, options ...Option) (*Result, error) {
+	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
+	for _, o := range options {
+		o(&cfg)
+	}
+	e.inner.Executor.NetworkScale = cfg.scale
+	e.inner.Executor.Seed = cfg.seed
+	e.inner.Executor.Reset()
+
+	plan, err := e.inner.Planner.Plan(q, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stream, err := e.inner.Executor.Execute(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.CollectAnswers(planLabel(plan), start, stream)
+	return &Result{
+		Answers:        tr.Answers,
+		Variables:      q.ProjectedVars(),
+		Plan:           plan,
+		Trace:          tr,
+		Messages:       e.inner.Executor.TotalMessages(),
+		SimulatedDelay: e.inner.Executor.TotalSimulatedDelay(),
+	}, nil
+}
+
+// Explain plans the query without executing it and returns the rendered
+// plan.
+func (e *Engine) Explain(queryText string, options ...Option) (string, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return "", err
+	}
+	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
+	for _, o := range options {
+		o(&cfg)
+	}
+	plan, err := e.inner.Planner.Plan(q, cfg.opts)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
+}
+
+func planLabel(p *core.Plan) string {
+	mode := "unaware"
+	if p.Opts.Aware {
+		mode = "aware"
+	}
+	return fmt.Sprintf("%s/%s", mode, p.Opts.Network.Name)
+}

@@ -1,0 +1,121 @@
+package ontario_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ontario"
+	"ontario/internal/core"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+func facadeLake(t *testing.T) *lslod.Lake {
+	t.Helper()
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lake
+}
+
+func TestFacadeQuery(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	res, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if len(res.Variables) != 3 {
+		t.Errorf("variables = %v", res.Variables)
+	}
+	if res.Trace == nil || res.Trace.Count() != len(res.Answers) {
+		t.Error("trace inconsistent with answers")
+	}
+	if res.Messages == 0 {
+		t.Error("no messages recorded")
+	}
+	if res.ExecutionTime() <= 0 || res.TimeToFirstAnswer() <= 0 {
+		t.Error("timings missing")
+	}
+	if res.Plan == nil || !res.Plan.Opts.Aware {
+		t.Error("plan missing or not aware")
+	}
+}
+
+func TestFacadeModesAgree(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	ctx := context.Background()
+	var counts []int
+	for _, opts := range [][]ontario.Option{
+		{ontario.WithUnawarePlan()},
+		{ontario.WithAwarePlan()},
+		{ontario.WithAwarePlan(), ontario.WithNaiveTranslation()},
+		{ontario.WithHeuristic2(), ontario.WithNetwork(netsim.Gamma3)},
+		{ontario.WithAwarePlan(), ontario.WithJoinOperator(core.JoinNestedLoop)},
+		{ontario.WithAwarePlan(), ontario.WithJoinOperator(core.JoinBind)},
+	} {
+		opts = append(opts, ontario.WithNetworkScale(0), ontario.WithSeed(5))
+		res, err := eng.Query(ctx, lslod.Queries()[4].Text, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(res.Answers))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("mode %d returned %d answers, mode 0 returned %d", i, counts[i], counts[0])
+		}
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	out, err := eng.Explain(lslod.Queries()[1].Text, ontario.WithAwarePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MergedService") {
+		t.Errorf("Q2 aware explain missing merged service:\n%s", out)
+	}
+	if _, err := eng.Explain("not sparql"); err == nil {
+		t.Error("bad query accepted by Explain")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	ctx := context.Background()
+	if _, err := eng.Query(ctx, "SELECT nothing"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := eng.Query(ctx, `SELECT ?s WHERE { ?s <http://unknown/pred> ?o . }`); err == nil {
+		t.Error("source-selection error not surfaced")
+	}
+}
+
+func TestFacadeSimulatedDelayAccounting(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	res, err := eng.Query(context.Background(), lslod.Queries()[2].Text,
+		ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedDelay == 0 {
+		t.Error("Gamma2 run recorded no simulated delay")
+	}
+	mean := res.SimulatedDelay / 3 / 1e6 // ms per message roughly = delay/messages
+	_ = mean
+	if res.Messages == 0 {
+		t.Error("no messages")
+	}
+}
