@@ -7,6 +7,9 @@
 //	                   emit the trace points for plotting
 //	-experiment h1     Q2 translation-quality sensitivity (E6)
 //	-experiment h2     Q1/Q3 filter-placement comparison (E4/E5)
+//	-experiment bind   sequential vs block bind join: requests, messages
+//	                   and wall-clock per block size (-bind-block, comma
+//	                   separated; -bind-concurrency bounds in-flight blocks)
 //	-experiment all    everything above
 package main
 
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ontario/internal/exp"
@@ -24,11 +28,13 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | all")
-		small  = flag.Bool("small", false, "use the small data scale")
-		seed   = flag.Int64("seed", 1, "data and network seed")
-		scalef = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
-		csvOut = flag.String("csv", "", "write Figure-2 answer traces as CSV to this file")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | all")
+		small    = flag.Bool("small", false, "use the small data scale")
+		seed     = flag.Int64("seed", 1, "data and network seed")
+		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
+		csvOut   = flag.String("csv", "", "write Figure-2 answer traces as CSV to this file")
+		bindBlk  = flag.String("bind-block", "8,16,32", "comma-separated block sizes for -experiment bind")
+		bindConc = flag.Int("bind-concurrency", 0, "in-flight block requests for -experiment bind (0 = default)")
 	)
 	flag.Parse()
 
@@ -94,6 +100,20 @@ func main() {
 		}
 	}
 
+	if doAll || run == "bind" {
+		blocks, err := parseBlockSizes(*bindBlk)
+		if err != nil {
+			fail(err)
+		}
+		runner.BindConcurrency = *bindConc
+		header("bind joins: sequential (one request per left binding) vs block (one multi-seed request per block)")
+		rows, err := runner.RunBindJoin(ctx, netsim.Gamma2, blocks)
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTable(os.Stdout, rows)
+	}
+
 	if doAll || run == "h2" {
 		header("E4/E5: Heuristic 2 filter placement on Q1 (engine-level wins on fast nets) and Q3 (source-level wins)")
 		rows, err := runner.RunH2(ctx)
@@ -102,6 +122,22 @@ func main() {
 		}
 		exp.WriteTable(os.Stdout, rows)
 	}
+}
+
+func parseBlockSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid block size %q (want integers >= 2)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func header(s string) {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ontario"
+	"ontario/internal/core"
 	"ontario/internal/lslod"
 	"ontario/internal/netsim"
 )
@@ -36,6 +37,9 @@ func main() {
 		small    = flag.Bool("small", false, "use the small data scale")
 		limit    = flag.Int("print", 20, "print at most this many answers")
 		naive    = flag.Bool("naive-translation", false, "use the naive SPARQL-to-SQL translation")
+		joinOp   = flag.String("join", "hash", "engine join operator: hash | nested | bind | block-bind")
+		bindBlk  = flag.Int("bind-block", 0, "block bind join: left bindings per multi-seed request (0 = default)")
+		bindConc = flag.Int("bind-concurrency", 0, "block bind join: concurrent in-flight block requests (0 = default)")
 		rawSQL   = flag.String("sql", "", "run raw SQL directly against one dataset (requires -dataset)")
 		dataset  = flag.String("dataset", "", "dataset for -sql (e.g. diseasome)")
 	)
@@ -115,6 +119,20 @@ func main() {
 	if *naive {
 		opts = append(opts, ontario.WithNaiveTranslation())
 	}
+	op, err := joinOperatorByName(*joinOp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ontario:", err)
+		os.Exit(2)
+	}
+	if op != core.JoinSymmetricHash {
+		opts = append(opts, ontario.WithJoinOperator(op))
+	}
+	if *bindBlk > 0 {
+		opts = append(opts, ontario.WithBindBlockSize(*bindBlk))
+	}
+	if *bindConc > 0 {
+		opts = append(opts, ontario.WithBindConcurrency(*bindConc))
+	}
 
 	eng := ontario.New(lake.Catalog)
 	if *explain {
@@ -190,6 +208,21 @@ func runRawSQL(stmt, dataset string, small bool, seed int64, limit int) error {
 	}
 	fmt.Printf("\n%d rows\nplan:\n%s", len(res.Rows), res.Plan)
 	return nil
+}
+
+func joinOperatorByName(name string) (core.JoinOperator, error) {
+	switch strings.ToLower(name) {
+	case "", "hash", "symmetric-hash":
+		return core.JoinSymmetricHash, nil
+	case "nested", "nested-loop":
+		return core.JoinNestedLoop, nil
+	case "bind":
+		return core.JoinBind, nil
+	case "block-bind", "block":
+		return core.JoinBlockBind, nil
+	default:
+		return 0, fmt.Errorf("unknown join operator %q", name)
+	}
 }
 
 func profileByName(name string) (netsim.Profile, error) {

@@ -1,0 +1,3 @@
+module ontario
+
+go 1.22

@@ -134,7 +134,7 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 		}
 		return w.Execute(ctx, v.Req)
 	case *JoinNode:
-		if v.Op == JoinBind {
+		if v.Op == JoinBind || v.Op == JoinBlockBind {
 			if svc, ok := v.R.(*ServiceNode); ok {
 				left, err := e.run(ctx, v.L, opts)
 				if err != nil {
@@ -143,6 +143,30 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 				w, err := e.wrapperFor(svc.SourceID, opts)
 				if err != nil {
 					return nil, err
+				}
+				if v.Op == JoinBlockBind {
+					service := func(ctx context.Context, seeds []sparql.Binding) *engine.Stream {
+						if len(seeds) == 0 {
+							// An unconstrained block (cross product) is still
+							// one block request — and one response message —
+							// not a fallback to per-answer retrieval.
+							seeds = []sparql.Binding{sparql.NewBinding()}
+						}
+						req := &wrapper.Request{
+							Stars:   svc.Req.Stars,
+							Filters: svc.Req.Filters,
+							Seeds:   seeds,
+						}
+						s, err := w.Execute(ctx, req)
+						if err != nil {
+							empty := engine.NewStream(0)
+							empty.Close()
+							return empty
+						}
+						return s
+					}
+					return engine.BlockBindJoin(ctx, left, service, v.JoinVars,
+						opts.EffectiveBindBlockSize(), opts.EffectiveBindConcurrency()), nil
 				}
 				service := func(ctx context.Context, seed sparql.Binding) *engine.Stream {
 					req := &wrapper.Request{

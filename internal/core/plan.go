@@ -47,8 +47,13 @@ const (
 	JoinSymmetricHash JoinOperator = iota
 	// JoinNestedLoop is the blocking baseline.
 	JoinNestedLoop
-	// JoinBind re-invokes the right service once per left binding.
+	// JoinBind re-invokes the right service once per left binding,
+	// strictly sequentially.
 	JoinBind
+	// JoinBlockBind gathers left bindings into blocks and answers each
+	// block with a single multi-seed service request, dispatching several
+	// blocks concurrently (the FedX/ANAPSID-lineage bound join).
+	JoinBlockBind
 )
 
 // String names the operator.
@@ -58,10 +63,19 @@ func (j JoinOperator) String() string {
 		return "symmetric-hash"
 	case JoinNestedLoop:
 		return "nested-loop"
+	case JoinBlockBind:
+		return "block-bind"
 	default:
 		return "bind"
 	}
 }
+
+// Default block bind-join parameters, used when the corresponding Options
+// fields are zero.
+const (
+	DefaultBindBlockSize   = 16
+	DefaultBindConcurrency = 4
+)
 
 // Options configure plan generation.
 type Options struct {
@@ -83,6 +97,32 @@ type Options struct {
 	// Decomposition selects star-shaped (default) or triple-based
 	// sub-queries.
 	Decomposition DecompositionMode
+	// BindBlockSize is the number of left bindings gathered into one
+	// multi-seed service request by the block bind join (0 means
+	// DefaultBindBlockSize; 1 degenerates to the sequential bind join's
+	// request pattern).
+	BindBlockSize int
+	// BindConcurrency bounds the number of in-flight block requests the
+	// block bind join dispatches concurrently (0 means
+	// DefaultBindConcurrency).
+	BindConcurrency int
+}
+
+// EffectiveBindBlockSize returns BindBlockSize with the default applied.
+func (o Options) EffectiveBindBlockSize() int {
+	if o.BindBlockSize <= 0 {
+		return DefaultBindBlockSize
+	}
+	return o.BindBlockSize
+}
+
+// EffectiveBindConcurrency returns BindConcurrency with the default
+// applied.
+func (o Options) EffectiveBindConcurrency() int {
+	if o.BindConcurrency <= 0 {
+		return DefaultBindConcurrency
+	}
+	return o.BindConcurrency
 }
 
 // AwareOptions returns the paper's physical-design-aware configuration.

@@ -152,7 +152,119 @@ func (p *Planner) Plan(q *sparql.Query, opts Options) (*Plan, error) {
 		root = &FilterNode{Child: root, Exprs: engineFilters}
 	}
 
+	p.applyBindJoinHeuristic(root, opts)
 	return &Plan{Query: q, Root: root, Opts: opts}, nil
+}
+
+// applyBindJoinHeuristic upgrades sequential bind joins to block bind
+// joins when the left input is estimated to deliver at least one full
+// block of bindings: that is when batching pays — one multi-seed request
+// replaces a block's worth of per-binding requests. Small left inputs stay
+// on the sequential operator, which reaches the source without waiting for
+// a block to fill.
+func (p *Planner) applyBindJoinHeuristic(n PlanNode, opts Options) {
+	switch v := n.(type) {
+	case *JoinNode:
+		p.applyBindJoinHeuristic(v.L, opts)
+		p.applyBindJoinHeuristic(v.R, opts)
+		if v.Op != JoinBind {
+			return
+		}
+		if _, ok := v.R.(*ServiceNode); !ok {
+			return
+		}
+		// A block size of 1 disables the promotion entirely — it is the
+		// explicit way to keep the sequential operator (e.g. as a
+		// measurement baseline) — regardless of the cardinality estimate.
+		blockSize := opts.EffectiveBindBlockSize()
+		if blockSize <= 1 {
+			return
+		}
+		if p.estimateCardinality(v.L) >= blockSize {
+			v.Op = JoinBlockBind
+		}
+	case *LeftJoinNode:
+		p.applyBindJoinHeuristic(v.L, opts)
+		p.applyBindJoinHeuristic(v.R, opts)
+	case *FilterNode:
+		p.applyBindJoinHeuristic(v.Child, opts)
+	case *UnionNode:
+		for _, c := range v.Children {
+			p.applyBindJoinHeuristic(c, opts)
+		}
+	}
+}
+
+// estimateCardinality coarsely bounds a sub-plan's output size from the
+// catalog's source extents (class instance counts for RDF molecules, base
+// table row counts for relational mappings). Joins take the smaller input,
+// unions add up; unknown shapes estimate high, since batching requests is
+// the safe default at scale.
+func (p *Planner) estimateCardinality(n PlanNode) int {
+	const unknown = int(^uint(0) >> 2)
+	switch v := n.(type) {
+	case *ServiceNode:
+		est := unknown
+		for _, s := range v.Req.Stars {
+			if e := p.estimateStar(v.SourceID, s); e < est {
+				est = e
+			}
+		}
+		return est
+	case *JoinNode:
+		l, r := p.estimateCardinality(v.L), p.estimateCardinality(v.R)
+		if r < l {
+			return r
+		}
+		return l
+	case *LeftJoinNode:
+		return p.estimateCardinality(v.L)
+	case *FilterNode:
+		return p.estimateCardinality(v.Child)
+	case *UnionNode:
+		total := 0
+		for _, c := range v.Children {
+			total += p.estimateCardinality(c)
+			if total >= unknown {
+				return unknown
+			}
+		}
+		return total
+	default:
+		return unknown
+	}
+}
+
+// estimateStar estimates one star's extent at its source.
+func (p *Planner) estimateStar(sourceID string, s *wrapper.StarQuery) int {
+	const unknown = int(^uint(0) >> 2)
+	src := p.cat.Source(sourceID)
+	if src == nil {
+		return unknown
+	}
+	switch src.Model {
+	case catalog.ModelRDF:
+		if src.Graph == nil {
+			return unknown
+		}
+		typeT := rdf.NewIRI(rdf.RDFType)
+		classT := rdf.NewIRI(s.Class)
+		if c := src.Graph.Count(nil, &typeT, &classT); c > 0 {
+			return c
+		}
+		return src.Graph.Len()
+	case catalog.ModelRelational:
+		cm := src.Mapping(s.Class)
+		if cm == nil || src.DB == nil {
+			return unknown
+		}
+		if t := src.DB.Table(cm.Table); t != nil {
+			return t.RowCount()
+		}
+		return unknown
+	default:
+		return unknown
+	}
 }
 
 // planUnionGroup plans every branch (patterns plus branch filters at the
@@ -200,6 +312,7 @@ func (p *Planner) planUnionOnly(q *sparql.Query, opts Options) (*Plan, error) {
 	if len(q.Filters) > 0 {
 		root = &FilterNode{Child: root, Exprs: q.Filters}
 	}
+	p.applyBindJoinHeuristic(root, opts)
 	return &Plan{Query: q, Root: root, Opts: opts}, nil
 }
 

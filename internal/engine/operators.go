@@ -81,6 +81,89 @@ func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []strin
 	return out
 }
 
+// BlockService produces a stream of bindings for a request instantiated
+// with a whole block of seed bindings in a single invocation; it abstracts
+// a multi-seed wrapper call for the block bind join. The service returns
+// the union of the right solutions compatible with at least one seed, each
+// underlying solution exactly once and NOT merged with the seeds (the
+// solutions bind the join variables themselves, so the caller matches them
+// back to the block's left bindings by compatibility). An empty seed list
+// means an unconstrained request.
+type BlockService func(ctx context.Context, seeds []sparql.Binding) *Stream
+
+// BlockBindJoin is the block-based variant of BindJoin (the FedX/ANAPSID
+// lineage "bound join"): left bindings are gathered into blocks of
+// blockSize, each block's distinct seed projections are pushed to the right
+// service in ONE invocation — and hence one simulated network message —
+// and up to concurrency block requests are in flight at once. Output stays
+// streaming: a block's answers are emitted as soon as its service call
+// returns, independent of later blocks. When joinVars is empty the operator
+// degrades to a cross product, like its sequential counterpart.
+func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVars []string, blockSize, concurrency int) *Stream {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	out := NewStream(64)
+	go func() {
+		defer out.Close()
+		sem := make(chan struct{}, concurrency)
+		var wg sync.WaitGroup
+		dispatch := func(block []sparql.Binding) {
+			// Distinct seed projections; duplicates would only repeat work
+			// at the source. A left binding with no bound join variable
+			// joins with every right solution, so its presence forces an
+			// unconstrained request for the whole block.
+			var seeds []sparql.Binding
+			seen := make(map[string]bool, len(block))
+			for _, lb := range block {
+				seed := lb.Project(joinVars)
+				if len(seed) == 0 {
+					seeds = nil
+					break
+				}
+				k := seed.Key(joinVars)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				seeds = append(seeds, seed)
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				for rb := range right(ctx, seeds).Chan() {
+					for _, lb := range block {
+						if !lb.Compatible(rb) {
+							continue
+						}
+						if !out.Send(ctx, lb.Merge(rb)) {
+							return
+						}
+					}
+				}
+			}()
+		}
+		var block []sparql.Binding
+		for lb := range left.Chan() {
+			block = append(block, lb)
+			if len(block) >= blockSize {
+				dispatch(block)
+				block = nil
+			}
+		}
+		if len(block) > 0 {
+			dispatch(block)
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
 // NestedLoopJoin materializes the right input, then joins every left
 // binding against it; the fully blocking baseline operator.
 func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string) *Stream {

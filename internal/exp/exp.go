@@ -27,6 +27,10 @@ type Config struct {
 	Naive      bool // naive SPARQL-to-SQL translation for merged stars
 	JoinOp     core.JoinOperator
 	Heuristic2 bool // use the network-aware H2 filter policy
+	// BindBlockSize/BindConcurrency parameterize the block bind join
+	// (0 keeps the engine defaults).
+	BindBlockSize   int
+	BindConcurrency int
 }
 
 // Label renders the configuration for tables.
@@ -42,7 +46,20 @@ func (c Config) Label() string {
 	if c.Heuristic2 {
 		extra += "/h2"
 	}
+	if c.JoinOp == core.JoinBind {
+		extra += "/bind"
+	}
+	if c.JoinOp == core.JoinBlockBind {
+		extra += fmt.Sprintf("/block-bind(B=%d)", c.effectiveBlock())
+	}
 	return fmt.Sprintf("%s %s%s [%s]", c.QueryID, mode, extra, c.Network.Name)
+}
+
+func (c Config) effectiveBlock() int {
+	if c.BindBlockSize > 0 {
+		return c.BindBlockSize
+	}
+	return core.DefaultBindBlockSize
 }
 
 // Row is one measured experiment cell.
@@ -63,6 +80,9 @@ type Runner struct {
 	// NetworkScale shrinks real sleeping; 1.0 reproduces sampled delays.
 	NetworkScale float64
 	Seed         int64
+	// BindConcurrency bounds in-flight block bind-join requests for cells
+	// that do not set their own (0 keeps the engine default).
+	BindConcurrency int
 }
 
 // NewRunner returns a runner with real-time network delays.
@@ -72,6 +92,9 @@ func NewRunner(lake *lslod.Lake) *Runner {
 
 // Run executes one cell.
 func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
+	if cfg.BindConcurrency == 0 {
+		cfg.BindConcurrency = r.BindConcurrency
+	}
 	eng := ontario.New(r.Lake.Catalog)
 	opts := []ontario.Option{
 		ontario.WithNetwork(cfg.Network),
@@ -91,6 +114,12 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
 	}
 	if cfg.JoinOp != core.JoinSymmetricHash {
 		opts = append(opts, ontario.WithJoinOperator(cfg.JoinOp))
+	}
+	if cfg.BindBlockSize > 0 {
+		opts = append(opts, ontario.WithBindBlockSize(cfg.BindBlockSize))
+	}
+	if cfg.BindConcurrency > 0 {
+		opts = append(opts, ontario.WithBindConcurrency(cfg.BindConcurrency))
 	}
 	res, err := eng.QueryParsed(ctx, lslod.Query(cfg.QueryID), opts...)
 	if err != nil {
@@ -181,6 +210,32 @@ func (r *Runner) RunH2(ctx context.Context) ([]*Row, error) {
 				}
 				rows = append(rows, row)
 			}
+		}
+	}
+	return rows, nil
+}
+
+// RunBindJoin compares the sequential bind join against the block bind
+// join (several block sizes) on every benchmark query: the block variant
+// answers ⌈n/B⌉ multi-seed requests where the sequential operator issues n,
+// which the messages column makes directly visible.
+func (r *Runner) RunBindJoin(ctx context.Context, net netsim.Profile, blockSizes []int) ([]*Row, error) {
+	if len(blockSizes) == 0 {
+		blockSizes = []int{core.DefaultBindBlockSize}
+	}
+	var rows []*Row
+	for _, q := range lslod.Queries() {
+		seq, err := r.Run(ctx, Config{QueryID: q.ID, Aware: true, Network: net, JoinOp: core.JoinBind, BindBlockSize: 1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, seq)
+		for _, b := range blockSizes {
+			blk, err := r.Run(ctx, Config{QueryID: q.ID, Aware: true, Network: net, JoinOp: core.JoinBlockBind, BindBlockSize: b})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, blk)
 		}
 	}
 	return rows, nil

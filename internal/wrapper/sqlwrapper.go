@@ -3,11 +3,13 @@ package wrapper
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"ontario/internal/catalog"
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
+	"ontario/internal/sql"
 )
 
 // TranslationMode selects the quality of the SPARQL-to-SQL translation.
@@ -43,7 +45,9 @@ type SQLWrapper struct {
 	mode TranslationMode
 
 	// lastSQL records the SQL text(s) of the most recent request, for
-	// EXPLAIN output and tests.
+	// EXPLAIN output and tests. The mutex makes the record safe under the
+	// block bind join's concurrent invocations.
+	sqlMu   sync.Mutex
 	lastSQL []string
 }
 
@@ -57,7 +61,23 @@ func NewSQLWrapper(src *catalog.Source, sim *netsim.Simulator, mode TranslationM
 func (w *SQLWrapper) SourceID() string { return w.src.ID }
 
 // LastSQL returns the SQL statements issued by the most recent Execute.
-func (w *SQLWrapper) LastSQL() []string { return append([]string(nil), w.lastSQL...) }
+func (w *SQLWrapper) LastSQL() []string {
+	w.sqlMu.Lock()
+	defer w.sqlMu.Unlock()
+	return append([]string(nil), w.lastSQL...)
+}
+
+func (w *SQLWrapper) resetSQL() {
+	w.sqlMu.Lock()
+	w.lastSQL = nil
+	w.sqlMu.Unlock()
+}
+
+func (w *SQLWrapper) recordSQL(stmt string) {
+	w.sqlMu.Lock()
+	w.lastSQL = append(w.lastSQL, stmt)
+	w.sqlMu.Unlock()
+}
 
 // Execute implements Wrapper.
 func (w *SQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
@@ -65,6 +85,12 @@ func (w *SQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 		return nil, fmt.Errorf("wrapper %s: empty request", w.src.ID)
 	}
 	stars := req.Stars
+	if len(req.Seeds) > 0 {
+		// Multi-seed block requests always use the single-query translation:
+		// the whole point of the block is one pushed-down query per block.
+		w.resetSQL()
+		return w.executeBlock(ctx, req, stars)
+	}
 	if len(req.Seed) > 0 {
 		seeded := make([]*StarQuery, len(stars))
 		for i, s := range stars {
@@ -76,11 +102,58 @@ func (w *SQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 		}
 		stars = seeded
 	}
-	w.lastSQL = nil
+	w.resetSQL()
 	if w.mode == TranslationNaive && len(stars) > 1 {
 		return w.executeNaive(ctx, req, stars)
 	}
 	return w.executeOptimized(ctx, req, stars)
+}
+
+// executeBlock answers a multi-seed block request with a single SQL query:
+// the seed block is pushed down as an IN (...) predicate (one seeded
+// variable) or an OR-of-conjunctions (several), and the result rows cross
+// the simulated network as one batched response message.
+func (w *SQLWrapper) executeBlock(ctx context.Context, req *Request, stars []*StarQuery) (*engine.Stream, error) {
+	tl, err := translateRequest(w.src, stars, req.Filters)
+	if err != nil {
+		return nil, err
+	}
+	if tl.empty {
+		return streamBlock(ctx, w.sim, nil), nil
+	}
+	seedCond, provablyEmpty := tl.seedPredicate(req.Seeds)
+	if provablyEmpty {
+		return streamBlock(ctx, w.sim, nil), nil
+	}
+	if seedCond != nil {
+		if tl.sel.Where == nil {
+			tl.sel.Where = seedCond
+		} else {
+			tl.sel.Where = &sql.And{L: tl.sel.Where, R: seedCond}
+		}
+	}
+	w.recordSQL(tl.sel.String())
+	res, err := w.src.DB.QueryAST(tl.sel)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.src.ID, err)
+	}
+	var sols []sparql.Binding
+	for _, row := range res.Rows {
+		b, ok := tl.decodeRow(row)
+		if !ok {
+			continue
+		}
+		// The pushed predicate may be lossy (a seeded variable may not be
+		// translatable); re-check seed compatibility on the decoded row.
+		if !matchesAnySeed(b, req.Seeds) {
+			continue
+		}
+		if !passes(b, tl.localFilters) {
+			continue
+		}
+		sols = append(sols, b)
+	}
+	return streamBlock(ctx, w.sim, sols), nil
 }
 
 // executeOptimized issues one flattened SQL query for all stars.
@@ -92,7 +165,7 @@ func (w *SQLWrapper) executeOptimized(ctx context.Context, req *Request, stars [
 	if tl.empty {
 		return emptyStream(), nil
 	}
-	w.lastSQL = append(w.lastSQL, tl.sel.String())
+	w.recordSQL(tl.sel.String())
 	res, err := w.src.DB.QueryAST(tl.sel)
 	if err != nil {
 		return nil, fmt.Errorf("wrapper %s: %w", w.src.ID, err)
@@ -159,7 +232,7 @@ func (w *SQLWrapper) executeNaive(ctx context.Context, req *Request, stars []*St
 		if tl.empty {
 			return emptyStream(), nil
 		}
-		w.lastSQL = append(w.lastSQL, tl.sel.String())
+		w.recordSQL(tl.sel.String())
 		res, err := w.src.DB.QueryAST(tl.sel)
 		if err != nil {
 			return nil, fmt.Errorf("wrapper %s: %w", w.src.ID, err)

@@ -2,6 +2,7 @@ package wrapper
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -480,6 +481,123 @@ func (tr *translator) translateFunc(f *sparql.FuncExpr) (sql.BoolExpr, bool) {
 		return nil, false
 	}
 	return &sql.Like{Col: info.ref, Pattern: pattern}, true
+}
+
+// seedPredicate builds the multi-seed pushdown predicate of a block bind
+// join over the translated columns: a single `col IN (...)` when every
+// seed binds exactly one translatable variable, an OR of per-seed equality
+// conjunctions otherwise. It returns a nil condition when the block cannot
+// restrict the query (some seed constrains no translatable variable, so
+// the disjunction would be trivially true); the caller then relies on the
+// post-hoc seed-compatibility check. provablyEmpty reports that every seed
+// is unsatisfiable at this source (e.g. all seed IRIs fall outside the
+// mapping's namespace), so the query need not run at all.
+func (t *translation) seedPredicate(seeds []sparql.Binding) (cond sql.BoolExpr, provablyEmpty bool) {
+	if len(seeds) == 0 {
+		return nil, false
+	}
+	var disjuncts []sql.BoolExpr
+	for _, seed := range seeds {
+		vars := make([]string, 0, len(seed))
+		for v := range seed {
+			if _, ok := t.varCols[v]; ok {
+				vars = append(vars, v)
+			}
+		}
+		sort.Strings(vars)
+		if len(vars) == 0 {
+			// This seed cannot be expressed over the translated columns;
+			// ORing a tautology in would defeat the pushdown entirely.
+			return nil, false
+		}
+		var conj []sql.BoolExpr
+		unsat := false
+		for _, v := range vars {
+			info := t.varCols[v]
+			lit, ok := seedEqLiteral(info, seed[v])
+			if !ok {
+				unsat = true
+				break
+			}
+			conj = append(conj, &sql.Comparison{
+				Op: sql.CmpEq, L: sql.ColOperand(info.ref), R: sql.LitOperand(lit),
+			})
+		}
+		if unsat {
+			// The seed matches no row of this source; it contributes no
+			// disjunct.
+			continue
+		}
+		disjuncts = append(disjuncts, sql.AndAll(conj))
+	}
+	if len(disjuncts) == 0 {
+		return nil, true
+	}
+	if col, lits, ok := inShape(disjuncts); ok {
+		return &sql.In{Col: col, List: lits}, false
+	}
+	return orAll(disjuncts), false
+}
+
+// inShape reports whether every disjunct is a single equality on the same
+// column, collapsing the disjunction into one IN list.
+func inShape(disjuncts []sql.BoolExpr) (sql.ColumnRef, []sql.Literal, bool) {
+	var col sql.ColumnRef
+	lits := make([]sql.Literal, 0, len(disjuncts))
+	for i, d := range disjuncts {
+		cmp, ok := d.(*sql.Comparison)
+		if !ok || cmp.Op != sql.CmpEq || !cmp.L.IsCol || cmp.R.IsCol {
+			return sql.ColumnRef{}, nil, false
+		}
+		if i == 0 {
+			col = cmp.L.Col
+		} else if cmp.L.Col != col {
+			return sql.ColumnRef{}, nil, false
+		}
+		lits = append(lits, cmp.R.Lit)
+	}
+	return col, lits, true
+}
+
+// orAll combines the expressions into a right-leaning OR chain.
+func orAll(es []sql.BoolExpr) sql.BoolExpr {
+	var out sql.BoolExpr
+	for i := len(es) - 1; i >= 0; i-- {
+		if out == nil {
+			out = es[i]
+		} else {
+			out = &sql.Or{L: es[i], R: out}
+		}
+	}
+	return out
+}
+
+// seedEqLiteral converts a seed value into the SQL literal to compare
+// against the variable's storage column; ok is false when the value can
+// never equal a column value (wrong shape or outside the IRI template).
+func seedEqLiteral(info colInfo, term rdf.Term) (sql.Literal, bool) {
+	if info.template != "" {
+		if !term.IsIRI() {
+			return sql.Literal{}, false
+		}
+		key, ok := catalog.TemplateKey(info.template, term.Value)
+		if !ok {
+			return sql.Literal{}, false
+		}
+		lit, err := keyLiteral(key, info.typ)
+		if err != nil {
+			return sql.Literal{}, false
+		}
+		return lit, true
+	}
+	if !term.IsLiteral() {
+		return sql.Literal{}, false
+	}
+	lit, err := termToSQLLiteral(term, info.typ)
+	if err != nil {
+		return sql.Literal{}, false
+	}
+	return lit, true
 }
 
 // decodeRow converts one SQL result row into a solution binding; ok is

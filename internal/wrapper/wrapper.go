@@ -46,8 +46,31 @@ func (s *StarQuery) Vars() []string {
 type Request struct {
 	Stars   []*StarQuery
 	Filters []sparql.Expr
-	// Seed instantiates variables before execution (used by bind joins).
+	// Seed instantiates variables before execution (used by the sequential
+	// bind join).
 	Seed sparql.Binding
+	// Seeds is the multi-seed block of the block bind join: one invocation
+	// — and one simulated network message — answers the union of the
+	// request over every seed. The wrapper returns each matching solution
+	// exactly once, unmerged (the solutions bind the seeded variables
+	// themselves); relational sources push the block down as a single SQL
+	// query with an IN/OR seed predicate, RDF sources evaluate the patterns
+	// in one graph pass. Seed and Seeds are mutually exclusive.
+	Seeds []sparql.Binding
+}
+
+// matchesAnySeed reports whether the solution is compatible with at least
+// one seed of the block (always true for an unconstrained block request).
+func matchesAnySeed(b sparql.Binding, seeds []sparql.Binding) bool {
+	if len(seeds) == 0 {
+		return true
+	}
+	for _, s := range seeds {
+		if s.Compatible(b) {
+			return true
+		}
+	}
+	return false
 }
 
 // Vars returns the distinct variables across all stars.
@@ -116,6 +139,27 @@ func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Bin
 	return out
 }
 
+// streamBlock emits the solutions of a multi-seed block request as one
+// batched response: a single latency sample — one simulated network
+// message — covers the whole block, regardless of how many solutions it
+// carries. The message is accounted even for an empty result, because the
+// response itself still crosses the network.
+func streamBlock(ctx context.Context, sim *netsim.Simulator, sols []sparql.Binding) *engine.Stream {
+	out := engine.NewStream(16)
+	go func() {
+		defer out.Close()
+		if sim != nil {
+			sim.Delay()
+		}
+		for _, b := range sols {
+			if !out.Send(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
 // RDFWrapper answers star queries by BGP evaluation over an in-memory
 // graph.
 type RDFWrapper struct {
@@ -142,6 +186,9 @@ func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 	for _, s := range req.Stars {
 		patterns = append(patterns, s.Patterns...)
 	}
+	if len(req.Seeds) > 0 {
+		return w.executeBlock(ctx, req, patterns)
+	}
 	patterns = substituteSeed(patterns, req.Seed)
 	sols := sparql.EvalBGP(w.graph, patterns)
 	if len(req.Filters) > 0 {
@@ -167,4 +214,30 @@ func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 		sols = kept
 	}
 	return streamWithDelay(ctx, w.sim, req.Seed, sols), nil
+}
+
+// executeBlock answers a multi-seed block request in one graph pass: the
+// patterns are evaluated un-instantiated, the solutions are restricted to
+// those compatible with at least one seed, and the whole block crosses the
+// simulated network as a single message.
+func (w *RDFWrapper) executeBlock(ctx context.Context, req *Request, patterns []sparql.TriplePattern) (*engine.Stream, error) {
+	var sols []sparql.Binding
+	for _, b := range sparql.EvalBGP(w.graph, patterns) {
+		if !matchesAnySeed(b, req.Seeds) {
+			continue
+		}
+		// Pushed filters only reference the stars' own variables, which the
+		// un-instantiated evaluation binds directly.
+		ok := true
+		for _, f := range req.Filters {
+			if !sparql.EvalBool(f, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sols = append(sols, b)
+		}
+	}
+	return streamBlock(ctx, w.sim, sols), nil
 }

@@ -21,6 +21,17 @@
 // Network conditions are simulated per retrieved answer with the paper's
 // gamma-distributed latency profiles (netsim).
 //
+// Engine-level joins default to the non-blocking symmetric hash join;
+// dependent joins are available as the strictly sequential bind join
+// (core.JoinBind) and the batched block bind join (core.JoinBlockBind),
+// which gathers left bindings into blocks of WithBindBlockSize, answers
+// each block with a single multi-seed wrapper request — pushed down as an
+// IN/OR predicate at relational sources, one graph pass at RDF sources —
+// and keeps up to WithBindConcurrency block requests in flight. When the
+// join operator is core.JoinBind, the planner upgrades a join to the block
+// variant automatically whenever the left input's estimated cardinality
+// fills at least one block.
+//
 // Minimal usage:
 //
 //	lake, _ := lslod.BuildLake(lslod.DefaultScale(), 1)
@@ -70,6 +81,8 @@ func WithAwarePlan() Option {
 		aware.Translation = c.opts.Translation
 		aware.JoinOperator = c.opts.JoinOperator
 		aware.Decomposition = c.opts.Decomposition
+		aware.BindBlockSize = c.opts.BindBlockSize
+		aware.BindConcurrency = c.opts.BindConcurrency
 		c.opts = aware
 	}
 }
@@ -81,6 +94,8 @@ func WithUnawarePlan() Option {
 		un.Translation = c.opts.Translation
 		un.JoinOperator = c.opts.JoinOperator
 		un.Decomposition = c.opts.Decomposition
+		un.BindBlockSize = c.opts.BindBlockSize
+		un.BindConcurrency = c.opts.BindConcurrency
 		c.opts = un
 	}
 }
@@ -109,6 +124,27 @@ func WithNaiveTranslation() Option {
 // WithJoinOperator selects the engine-level join implementation.
 func WithJoinOperator(op core.JoinOperator) Option {
 	return func(c *config) { c.opts.JoinOperator = op }
+}
+
+// WithBindBlockSize sets the number of left bindings the block bind join
+// gathers into one multi-seed service request (default
+// core.DefaultBindBlockSize). The block is pushed down as a single SQL
+// IN/OR predicate at relational sources and evaluated in one graph pass at
+// RDF sources, so each block costs one simulated network message instead
+// of one per left binding. A size of 1 degenerates to per-binding
+// requests. The planner picks the block variant automatically when a bind
+// join's left input is estimated to fill at least one block; combine with
+// WithJoinOperator(core.JoinBlockBind) to force it.
+func WithBindBlockSize(n int) Option {
+	return func(c *config) { c.opts.BindBlockSize = n }
+}
+
+// WithBindConcurrency bounds how many block bind-join requests may be in
+// flight at once (default core.DefaultBindConcurrency). Higher values
+// overlap the per-block network latency at the cost of more concurrent
+// load on the source.
+func WithBindConcurrency(n int) Option {
+	return func(c *config) { c.opts.BindConcurrency = n }
 }
 
 // WithTripleDecomposition decomposes the query into one sub-query per

@@ -119,3 +119,37 @@ func TestFacadeSimulatedDelayAccounting(t *testing.T) {
 		t.Error("no messages")
 	}
 }
+
+func TestFacadeBlockBindJoinOptions(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+	ctx := context.Background()
+	q := lslod.Queries()[2].Text // Q3 has an engine-level join
+
+	ref, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
+		ontario.WithJoinOperator(core.JoinBind), ontario.WithBindBlockSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
+		ontario.WithJoinOperator(core.JoinBlockBind),
+		ontario.WithBindBlockSize(16), ontario.WithBindConcurrency(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Answers) != len(ref.Answers) || len(seq.Answers) != len(ref.Answers) {
+		t.Fatalf("answer counts differ: ref %d, bind %d, block-bind %d",
+			len(ref.Answers), len(seq.Answers), len(blk.Answers))
+	}
+	if !strings.Contains(blk.Plan.Explain(), "block-bind") {
+		t.Errorf("block-bind plan not selected:\n%s", blk.Plan.Explain())
+	}
+	if blk.Messages >= seq.Messages {
+		t.Errorf("block bind join should use fewer messages: block %d vs sequential %d",
+			blk.Messages, seq.Messages)
+	}
+}
