@@ -10,7 +10,19 @@
 //	-experiment bind   sequential vs block bind join: requests, messages
 //	                   and wall-clock per block size (-bind-block, comma
 //	                   separated; -bind-concurrency bounds in-flight blocks)
-//	-experiment all    everything above
+//	-experiment serve  serving-layer load test: -serve-clients concurrent
+//	                   clients drive the HTTP endpoint (admission control
+//	                   -serve-concurrency/-serve-queue, per-source limit
+//	                   -serve-source-limit) per network profile, reporting
+//	                   throughput, p50/p95 latency, and time-to-first-answer
+//	-experiment all    all of the paper experiments above (serve must be
+//	                   requested explicitly: at -net-scale 1 a multi-client
+//	                   load test over the gamma profiles takes far longer
+//	                   than the single-query experiments)
+//
+// With -json <dir>, every experiment also writes its results as
+// <dir>/BENCH_<experiment>.json so the performance trajectory is recorded
+// across code revisions.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ontario/internal/exp"
 	"ontario/internal/lslod"
@@ -28,13 +41,21 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | all")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | serve | all")
 		small    = flag.Bool("small", false, "use the small data scale")
 		seed     = flag.Int64("seed", 1, "data and network seed")
 		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
 		csvOut   = flag.String("csv", "", "write Figure-2 answer traces as CSV to this file")
+		jsonDir  = flag.String("json", "", "write experiment results as BENCH_<experiment>.json into this directory")
 		bindBlk  = flag.String("bind-block", "8,16,32", "comma-separated block sizes for -experiment bind")
 		bindConc = flag.Int("bind-concurrency", 0, "in-flight block requests for -experiment bind (0 = default)")
+
+		serveClients  = flag.Int("serve-clients", 8, "concurrent clients for -experiment serve")
+		serveRequests = flag.Int("serve-requests", 40, "total requests for -experiment serve")
+		serveConc     = flag.Int("serve-concurrency", 4, "server max concurrently executing queries")
+		serveQueue    = flag.Int("serve-queue", 16, "server admission queue depth")
+		serveSrcLimit = flag.Int("serve-source-limit", 4, "per-source in-flight request limit (0 = unlimited)")
+		serveTimeout  = flag.Duration("serve-timeout", 60*time.Second, "per-query deadline for -experiment serve")
 	)
 	flag.Parse()
 
@@ -54,6 +75,22 @@ func main() {
 	run := strings.ToLower(*which)
 	doAll := run == "all"
 
+	emitJSON := func(write func(dir string) (string, error)) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := write(*jsonDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nresults written to %s\n", path)
+	}
+	writeJSON := func(experiment string, rows []*exp.Row) {
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteRowsJSON(dir, experiment, rows)
+		})
+	}
+
 	if doAll || run == "grid" {
 		header("E3: full configuration grid (2 QEP types x 4 networks x Q1-Q5)")
 		rows, err := runner.RunGrid(ctx)
@@ -64,6 +101,7 @@ func main() {
 		fmt.Println()
 		header("aware vs unaware speedups")
 		exp.WriteSpeedups(os.Stdout, exp.Speedups(rows))
+		writeJSON("grid", rows)
 	}
 
 	if doAll || run == "fig2" {
@@ -86,10 +124,12 @@ func main() {
 			}
 			fmt.Printf("\ntrace points written to %s\n", *csvOut)
 		}
+		writeJSON("fig2", rows)
 	}
 
 	if doAll || run == "h1" {
 		header("E6: Heuristic 1 translation sensitivity on Q2 (paper: optimized SQL approx. halves the unaware time)")
+		var all []*exp.Row
 		for _, net := range []netsim.Profile{netsim.NoDelay, netsim.Gamma2} {
 			rows, err := runner.RunH1(ctx, net)
 			if err != nil {
@@ -97,7 +137,9 @@ func main() {
 			}
 			exp.WriteTable(os.Stdout, rows)
 			fmt.Println()
+			all = append(all, rows...)
 		}
+		writeJSON("h1", all)
 	}
 
 	if doAll || run == "bind" {
@@ -112,6 +154,7 @@ func main() {
 			fail(err)
 		}
 		exp.WriteTable(os.Stdout, rows)
+		writeJSON("bind", rows)
 	}
 
 	if doAll || run == "h2" {
@@ -121,6 +164,32 @@ func main() {
 			fail(err)
 		}
 		exp.WriteTable(os.Stdout, rows)
+		writeJSON("h2", rows)
+	}
+
+	if run == "serve" {
+		header(fmt.Sprintf("serve: %d clients, %d requests against the HTTP endpoint (C=%d, queue=%d, source-limit=%d)",
+			*serveClients, *serveRequests, *serveConc, *serveQueue, *serveSrcLimit))
+		var results []*exp.ServeResult
+		for _, net := range netsim.Profiles() {
+			res, err := runner.RunServe(ctx, exp.ServeConfig{
+				Clients:       *serveClients,
+				Requests:      *serveRequests,
+				MaxConcurrent: *serveConc,
+				QueueDepth:    *serveQueue,
+				SourceLimit:   *serveSrcLimit,
+				Network:       net,
+				Timeout:       *serveTimeout,
+			})
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, res)
+		}
+		exp.WriteServeTable(os.Stdout, results)
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteServeJSON(dir, results)
+		})
 	}
 }
 

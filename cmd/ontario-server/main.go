@@ -1,0 +1,99 @@
+// Command ontario-server runs the federated SPARQL endpoint over the
+// synthetic LSLOD lake:
+//
+//	POST /sparql   SPARQL Protocol-style query endpoint (also GET ?query=,
+//	               form-encoded POST); answers stream as
+//	               application/sparql-results+json while the executor
+//	               produces them. Optional parameters: mode=aware|unaware,
+//	               network=nodelay|gamma1|gamma2|gamma3, timeout=<dur>.
+//	/metrics       Prometheus text-format counters and latency histograms.
+//	/healthz       liveness probe.
+//
+// Admission control: at most -max-concurrent queries execute at once; up
+// to -queue-depth more wait; beyond that, requests get 503 with a
+// Retry-After hint. -source-limit bounds concurrently in-flight wrapper
+// requests per source across all queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		small    = flag.Bool("small", false, "use the small data scale")
+		seed     = flag.Int64("seed", 1, "data and network seed")
+		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
+		network  = flag.String("network", "nodelay", "default network profile: nodelay | gamma1 | gamma2 | gamma3")
+		mode     = flag.String("mode", "aware", "default plan mode: aware | unaware")
+		maxConc  = flag.Int("max-concurrent", 4, "max concurrently executing queries")
+		queue    = flag.Int("queue-depth", 16, "max queries waiting for an execution slot (negative disables queueing)")
+		srcLimit = flag.Int("source-limit", 4, "max in-flight wrapper requests per source (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-query deadline")
+	)
+	flag.Parse()
+
+	profile, err := netsim.ProfileByName(*network)
+	if err != nil {
+		fail(err)
+	}
+
+	scale := lslod.DefaultScale()
+	if *small {
+		scale = lslod.SmallScale()
+	}
+	log.Printf("building LSLOD lake (small=%v, seed=%d)...", *small, *seed)
+	lake, err := lslod.BuildLake(scale, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	var engOpts []ontario.EngineOption
+	if *srcLimit > 0 {
+		engOpts = append(engOpts, ontario.WithSourceLimit(*srcLimit))
+	}
+	eng := ontario.New(lake.Catalog, engOpts...)
+
+	defaults := []ontario.Option{
+		ontario.WithNetwork(profile),
+		ontario.WithNetworkScale(*scalef),
+		ontario.WithSeed(*seed),
+	}
+	switch *mode {
+	case "aware":
+		defaults = append(defaults, ontario.WithAwarePlan())
+	case "unaware":
+		defaults = append(defaults, ontario.WithUnawarePlan())
+	default:
+		fail(fmt.Errorf("unknown mode %q (want aware or unaware)", *mode))
+	}
+
+	srv := server.New(eng, server.Config{
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		QueryTimeout:   *timeout,
+		DefaultOptions: defaults,
+	})
+
+	log.Printf("ontario-server listening on %s (mode=%s network=%s max-concurrent=%d queue-depth=%d source-limit=%d timeout=%s)",
+		*addr, *mode, profile.Name, *maxConc, *queue, *srcLimit, *timeout)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ontario-server:", err)
+	os.Exit(1)
+}

@@ -226,16 +226,5 @@ func joinOperatorByName(name string) (core.JoinOperator, error) {
 }
 
 func profileByName(name string) (netsim.Profile, error) {
-	switch strings.ToLower(name) {
-	case "", "none", "nodelay", "no-delay":
-		return netsim.NoDelay, nil
-	case "gamma1":
-		return netsim.Gamma1, nil
-	case "gamma2":
-		return netsim.Gamma2, nil
-	case "gamma3":
-		return netsim.Gamma3, nil
-	default:
-		return netsim.Profile{}, fmt.Errorf("unknown network profile %q", name)
-	}
+	return netsim.ProfileByName(name)
 }

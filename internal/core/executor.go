@@ -13,54 +13,112 @@ import (
 	"ontario/internal/wrapper"
 )
 
-// Executor runs plans against the data lake, instantiating one wrapper per
-// source with a per-source network simulator.
+// Executor runs plans against the data lake. It is a factory for
+// per-query Executions: each execution owns its wrappers and network
+// simulators, so any number of queries can run concurrently over the same
+// executor without sharing mutable state. The NetworkScale/Seed fields and
+// the Execute/Reset/Total* methods remain as the single-query convenience
+// API used by tests and the CLI; they delegate to one lazily-created
+// execution.
 type Executor struct {
 	cat *catalog.Catalog
 
-	mu       sync.Mutex
-	wrappers map[string]wrapper.Wrapper
-	sims     map[string]*netsim.Simulator
+	// Limiter, when non-nil, bounds concurrent in-flight requests per
+	// source across every execution created from this executor.
+	Limiter *wrapper.SourceLimiter
 
 	// NetworkScale multiplies real sleeping in the network simulation
-	// (1.0 reproduces the sampled delays; 0 disables sleeping).
+	// (1.0 reproduces the sampled delays; 0 disables sleeping). Consulted
+	// when the next single-query execution is created.
 	NetworkScale float64
-	// Seed fixes the latency random streams.
+	// Seed fixes the latency random streams of the next single-query
+	// execution.
 	Seed int64
+
+	mu     sync.Mutex
+	legacy *Execution
 }
 
 // NewExecutor returns an executor over the catalog.
 func NewExecutor(cat *catalog.Catalog) *Executor {
-	return &Executor{
-		cat:          cat,
-		wrappers:     make(map[string]wrapper.Wrapper),
-		sims:         make(map[string]*netsim.Simulator),
-		NetworkScale: 1.0,
-		Seed:         1,
+	return &Executor{cat: cat, NetworkScale: 1.0, Seed: 1}
+}
+
+// NewExecution returns an isolated execution with its own wrappers and
+// simulators; concurrent executions only share the catalog (concurrent-
+// read-safe) and the optional per-source limiter (that is its purpose).
+func (e *Executor) NewExecution(scale float64, seed int64) *Execution {
+	return &Execution{
+		cat:      e.cat,
+		limiter:  e.Limiter,
+		scale:    scale,
+		seed:     seed,
+		wrappers: make(map[string]wrapper.Wrapper),
+		sims:     make(map[string]*netsim.Simulator),
 	}
 }
 
-// Reset discards cached wrappers and simulators (e.g. when switching the
-// network profile between runs).
+func (e *Executor) current() *Execution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.legacy == nil {
+		e.legacy = e.NewExecution(e.NetworkScale, e.Seed)
+	}
+	return e.legacy
+}
+
+// Reset discards the cached single-query execution (e.g. when switching
+// the network profile between runs); the next Execute starts fresh with
+// the executor's current NetworkScale and Seed.
 func (e *Executor) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.wrappers = make(map[string]wrapper.Wrapper)
-	e.sims = make(map[string]*netsim.Simulator)
+	e.legacy = nil
 }
 
-func (e *Executor) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if w, ok := e.wrappers[sourceID]; ok {
+// TotalSimulatedDelay sums the sampled network delay across sources since
+// the last Reset.
+func (e *Executor) TotalSimulatedDelay() time.Duration {
+	return e.current().SimulatedDelay()
+}
+
+// TotalMessages sums the simulated network messages since the last Reset.
+func (e *Executor) TotalMessages() int {
+	return e.current().Messages()
+}
+
+// Execute runs the plan on the executor's single-query execution. For
+// concurrent queries use NewExecution.
+func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error) {
+	return e.current().Execute(ctx, p)
+}
+
+// Execution is one query's executor state: wrappers and per-source
+// network simulators live here, so executions never share mutable state
+// and an engine may run any number of them concurrently.
+type Execution struct {
+	cat     *catalog.Catalog
+	limiter *wrapper.SourceLimiter
+	scale   float64
+	seed    int64
+
+	mu       sync.Mutex
+	wrappers map[string]wrapper.Wrapper
+	sims     map[string]*netsim.Simulator
+}
+
+func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if w, ok := x.wrappers[sourceID]; ok {
 		return w, nil
 	}
-	src := e.cat.Source(sourceID)
+	src := x.cat.Source(sourceID)
 	if src == nil {
 		return nil, fmt.Errorf("core: unknown source %s", sourceID)
 	}
-	sim := netsim.NewSimulator(opts.Network, e.NetworkScale, e.Seed+int64(len(e.sims)))
-	e.sims[sourceID] = sim
+	sim := netsim.NewSimulator(opts.Network, x.scale, x.seed+int64(len(x.sims)))
+	x.sims[sourceID] = sim
 	var w wrapper.Wrapper
 	switch src.Model {
 	case catalog.ModelRDF:
@@ -70,38 +128,61 @@ func (e *Executor) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, e
 	default:
 		return nil, fmt.Errorf("core: source %s has unsupported model", sourceID)
 	}
-	e.wrappers[sourceID] = w
+	w = wrapper.Limited(w, x.limiter)
+	x.wrappers[sourceID] = w
 	return w, nil
 }
 
-// TotalSimulatedDelay sums the sampled network delay across sources since
-// the last Reset.
-func (e *Executor) TotalSimulatedDelay() time.Duration {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// SimulatedDelay sums the sampled network delay across this execution's
+// sources.
+func (x *Execution) SimulatedDelay() time.Duration {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	var total time.Duration
-	for _, s := range e.sims {
+	for _, s := range x.sims {
 		total += s.SimulatedDelay()
 	}
 	return total
 }
 
-// TotalMessages sums the simulated network messages since the last Reset.
-func (e *Executor) TotalMessages() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// Messages sums the simulated network messages of this execution.
+func (x *Execution) Messages() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	total := 0
-	for _, s := range e.sims {
+	for _, s := range x.sims {
 		total += s.Messages()
 	}
 	return total
 }
 
+// SourceDelays returns the sampled network delay per contacted source.
+func (x *Execution) SourceDelays() map[string]time.Duration {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]time.Duration, len(x.sims))
+	for id, s := range x.sims {
+		out[id] = s.SimulatedDelay()
+	}
+	return out
+}
+
+// SourceMessages returns the simulated message count per contacted source.
+func (x *Execution) SourceMessages() map[string]int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]int, len(x.sims))
+	for id, s := range x.sims {
+		out[id] = s.Messages()
+	}
+	return out
+}
+
 // Execute runs the plan and returns the answer stream. The stream applies
 // the query's solution modifiers (projection, DISTINCT, ORDER BY,
 // LIMIT/OFFSET).
-func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error) {
-	root, err := e.run(ctx, p.Root, p.Opts)
+func (x *Execution) Execute(ctx context.Context, p *Plan) (*engine.Stream, error) {
+	root, err := x.run(ctx, p.Root, p.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -125,10 +206,10 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error)
 	return s, nil
 }
 
-func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.Stream, error) {
+func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.Stream, error) {
 	switch v := n.(type) {
 	case *ServiceNode:
-		w, err := e.wrapperFor(v.SourceID, opts)
+		w, err := x.wrapperFor(v.SourceID, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -136,11 +217,11 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 	case *JoinNode:
 		if v.Op == JoinBind || v.Op == JoinBlockBind {
 			if svc, ok := v.R.(*ServiceNode); ok {
-				left, err := e.run(ctx, v.L, opts)
+				left, err := x.run(ctx, v.L, opts)
 				if err != nil {
 					return nil, err
 				}
-				w, err := e.wrapperFor(svc.SourceID, opts)
+				w, err := x.wrapperFor(svc.SourceID, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -187,11 +268,11 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 			// Fall through to symmetric hash when the right side is not a
 			// plain service.
 		}
-		left, err := e.run(ctx, v.L, opts)
+		left, err := x.run(ctx, v.L, opts)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.run(ctx, v.R, opts)
+		right, err := x.run(ctx, v.R, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -202,17 +283,17 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 			return engine.SymmetricHashJoin(ctx, left, right, v.JoinVars), nil
 		}
 	case *LeftJoinNode:
-		left, err := e.run(ctx, v.L, opts)
+		left, err := x.run(ctx, v.L, opts)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.run(ctx, v.R, opts)
+		right, err := x.run(ctx, v.R, opts)
 		if err != nil {
 			return nil, err
 		}
 		return engine.LeftJoin(ctx, left, right, v.Filters), nil
 	case *FilterNode:
-		in, err := e.run(ctx, v.Child, opts)
+		in, err := x.run(ctx, v.Child, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +301,7 @@ func (e *Executor) run(ctx context.Context, n PlanNode, opts Options) (*engine.S
 	case *UnionNode:
 		var streams []*engine.Stream
 		for _, c := range v.Children {
-			s, err := e.run(ctx, c, opts)
+			s, err := x.run(ctx, c, opts)
 			if err != nil {
 				return nil, err
 			}

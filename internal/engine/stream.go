@@ -31,6 +31,18 @@ func (s *Stream) Send(ctx context.Context, b sparql.Binding) bool {
 	}
 }
 
+// TrySend delivers a binding only if the stream's buffer has room; it
+// never blocks. Producers that must not wait on their consumer (e.g. while
+// holding a limited resource) use it and fall back to local buffering.
+func (s *Stream) TrySend(b sparql.Binding) bool {
+	select {
+	case s.ch <- b:
+		return true
+	default:
+		return false
+	}
+}
+
 // Close marks the stream complete.
 func (s *Stream) Close() { close(s.ch) }
 

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// JSONRow is the machine-readable form of one experiment cell, written by
+// WriteRowsJSON so the performance trajectory is recorded across PRs.
+type JSONRow struct {
+	Label      string  `json:"label"`
+	Query      string  `json:"query"`
+	Mode       string  `json:"mode"`
+	Network    string  `json:"network"`
+	ExecMS     float64 `json:"exec_ms"`
+	FirstAnsMS float64 `json:"first_answer_ms"`
+	Answers    int     `json:"answers"`
+	Messages   int     `json:"messages"`
+	NetDelayMS float64 `json:"net_delay_ms"`
+	JoinOp     string  `json:"join_op,omitempty"`
+	BlockSize  int     `json:"bind_block_size,omitempty"`
+	Naive      bool    `json:"naive_translation,omitempty"`
+	Heuristic2 bool    `json:"heuristic2,omitempty"`
+	DiefAt1s   float64 `json:"dief_at_1s"`
+}
+
+type jsonDoc struct {
+	Experiment string      `json:"experiment"`
+	Generated  string      `json:"generated"`
+	Rows       interface{} `json:"rows"`
+}
+
+// jsonPath resolves dir/BENCH_<experiment>.json, creating dir if needed.
+func jsonPath(dir, experiment string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", experiment)), nil
+}
+
+func writeJSONDoc(dir, experiment string, rows interface{}) (string, error) {
+	path, err := jsonPath(dir, experiment)
+	if err != nil {
+		return "", err
+	}
+	doc := jsonDoc{
+		Experiment: experiment,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteRowsJSON writes the experiment's rows as dir/BENCH_<experiment>.json
+// and returns the written path.
+func WriteRowsJSON(dir, experiment string, rows []*Row) (string, error) {
+	out := make([]JSONRow, 0, len(rows))
+	for _, r := range rows {
+		mode := "unaware"
+		if r.Config.Aware {
+			mode = "aware"
+		}
+		jr := JSONRow{
+			Label:      r.Config.Label(),
+			Query:      r.Config.QueryID,
+			Mode:       mode,
+			Network:    r.Config.Network.Name,
+			ExecMS:     float64(r.Trace.Total) / 1e6,
+			FirstAnsMS: float64(r.Trace.TimeToFirst()) / 1e6,
+			Answers:    r.Answers,
+			Messages:   r.Messages,
+			NetDelayMS: float64(r.SimulatedDelay) / 1e6,
+			JoinOp:     r.Config.JoinOp.String(),
+			BlockSize:  r.Config.BindBlockSize,
+			Naive:      r.Config.Naive,
+			Heuristic2: r.Config.Heuristic2,
+			DiefAt1s:   r.Trace.DiefAt(time.Second),
+		}
+		out = append(out, jr)
+	}
+	return writeJSONDoc(dir, experiment, out)
+}
+
+// WriteServeJSON writes serving-load results as dir/BENCH_serve.json and
+// returns the written path.
+func WriteServeJSON(dir string, results []*ServeResult) (string, error) {
+	return writeJSONDoc(dir, "serve", results)
+}

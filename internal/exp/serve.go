@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/server"
+)
+
+// ServeConfig parameterizes the serving-layer load experiment: K
+// concurrent clients drive the benchmark queries against an in-process
+// instance of internal/server and measure what a multi-client deployment
+// would see.
+type ServeConfig struct {
+	// Clients is the number of concurrent clients (K).
+	Clients int
+	// Requests is the total number of queries to complete across clients.
+	Requests int
+	// MaxConcurrent and QueueDepth configure the server's admission
+	// control (0 means the server defaults, 4 and 16; negative QueueDepth
+	// disables queueing). The resolved values are recorded in the result.
+	MaxConcurrent int
+	QueueDepth    int
+	// SourceLimit bounds in-flight wrapper requests per source (0 =
+	// unlimited).
+	SourceLimit int
+	// Network is the simulated network profile of every query.
+	Network netsim.Profile
+	// Timeout is the per-query deadline (0 = server default).
+	Timeout time.Duration
+}
+
+// ServeResult is one measured serving-load cell.
+type ServeResult struct {
+	Network       string        `json:"network"`
+	Clients       int           `json:"clients"`
+	MaxConcurrent int           `json:"max_concurrent"`
+	QueueDepth    int           `json:"queue_depth"`
+	SourceLimit   int           `json:"source_limit"`
+	Completed     int           `json:"completed"`
+	Rejected      int           `json:"rejected_503"`
+	Wall          time.Duration `json:"wall_ns"`
+	Throughput    float64       `json:"throughput_qps"`
+	LatencyP50    time.Duration `json:"latency_p50_ns"`
+	LatencyP95    time.Duration `json:"latency_p95_ns"`
+	LatencyMean   time.Duration `json:"latency_mean_ns"`
+	TTFAP50       time.Duration `json:"ttfa_p50_ns"`
+	TTFAP95       time.Duration `json:"ttfa_p95_ns"`
+	PeakExecuting int           `json:"peak_executing"`
+	Answers       int           `json:"answers"`
+}
+
+// RunServe starts an in-process server over the runner's lake and drives
+// it with cfg.Clients concurrent clients until cfg.Requests queries have
+// completed, counting 503 rejections (clients honour Retry-After and
+// retry). Per-request latency is wall time to the last result byte; TTFA
+// is wall time until the first binding appears on the wire.
+func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = cfg.Clients
+	}
+	// Resolve the server's zero-value defaults up front so the recorded
+	// experiment configuration (table + BENCH_serve.json) matches what
+	// actually ran.
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	} else if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+
+	var engOpts []ontario.EngineOption
+	if cfg.SourceLimit > 0 {
+		engOpts = append(engOpts, ontario.WithSourceLimit(cfg.SourceLimit))
+	}
+	eng := ontario.New(r.Lake.Catalog, engOpts...)
+	serverQueue := cfg.QueueDepth
+	if serverQueue == 0 {
+		serverQueue = -1 // normalized 0 means queueing disabled
+	}
+	srv := server.New(eng, server.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    serverQueue,
+		QueryTimeout:  cfg.Timeout,
+		DefaultOptions: []ontario.Option{
+			ontario.WithAwarePlan(),
+			ontario.WithNetwork(cfg.Network),
+			ontario.WithNetworkScale(r.NetworkScale),
+			ontario.WithSeed(r.Seed),
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	queries := lslod.Queries()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		ttfas     []time.Duration
+		rejected  int
+		answers   int
+		firstErr  error
+	)
+	next := make(chan int, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				q := queries[i%len(queries)]
+				lat, ttfa, nAnswers, rej, err := serveOneQuery(ctx, ts.URL, q.Text)
+				mu.Lock()
+				rejected += rej
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", q.ID, err)
+					}
+				} else {
+					latencies = append(latencies, lat)
+					ttfas = append(ttfas, ttfa)
+					answers += nAnswers
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &ServeResult{
+		Network:       cfg.Network.Name,
+		Clients:       cfg.Clients,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.QueueDepth,
+		SourceLimit:   cfg.SourceLimit,
+		Completed:     len(latencies),
+		Rejected:      rejected,
+		Wall:          wall,
+		PeakExecuting: srv.Stats().PeakExecuting,
+		Answers:       answers,
+	}
+	if wall > 0 {
+		res.Throughput = float64(len(latencies)) / wall.Seconds()
+	}
+	res.LatencyP50 = quantileDuration(latencies, 0.50)
+	res.LatencyP95 = quantileDuration(latencies, 0.95)
+	res.LatencyMean = meanDuration(latencies)
+	res.TTFAP50 = quantileDuration(ttfas, 0.50)
+	res.TTFAP95 = quantileDuration(ttfas, 0.95)
+	return res, nil
+}
+
+// serveOneQuery issues one query, retrying on 503 (after the server's
+// Retry-After hint, capped small so experiments stay fast). It returns the
+// final attempt's latency, its time-to-first-binding, the number of
+// bindings, and how many 503 rejections it absorbed.
+func serveOneQuery(ctx context.Context, baseURL, query string) (lat, ttfa time.Duration, answers, rejected int, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, 0, rejected, err
+		}
+		start := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/sparql",
+			bytes.NewReader([]byte(query)))
+		if err != nil {
+			return 0, 0, 0, rejected, err
+		}
+		req.Header.Set("Content-Type", "application/sparql-query")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, 0, 0, rejected, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejected++
+			wait := 5 * time.Millisecond
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * 100 * time.Millisecond // compressed backoff
+				}
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return 0, 0, 0, rejected, ctx.Err()
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return 0, 0, 0, rejected, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		var (
+			buf     []byte
+			chunk   = make([]byte, 4096)
+			sawTTFA bool
+		)
+		for {
+			n, rerr := resp.Body.Read(chunk)
+			buf = append(buf, chunk[:n]...)
+			if !sawTTFA && bytes.Contains(buf, []byte(`"bindings":[{`)) {
+				ttfa = time.Since(start)
+				sawTTFA = true
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				resp.Body.Close()
+				return 0, 0, 0, rejected, rerr
+			}
+		}
+		resp.Body.Close()
+		lat = time.Since(start)
+		if !sawTTFA {
+			ttfa = lat // empty result: first "answer" is completion
+		}
+		answers = bytes.Count(buf, []byte(`"type"`)) // term objects; lower bound > 0 iff bindings
+		if n := resp.Trailer.Get("X-Ontario-Answers"); n != "" {
+			if v, err := strconv.Atoi(n); err == nil {
+				answers = v
+			}
+		}
+		return lat, ttfa, answers, rejected, nil
+	}
+}
+
+func quantileDuration(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total / time.Duration(len(ds))
+}
+
+// WriteServeTable renders serving-load results as an aligned text table.
+func WriteServeTable(w io.Writer, rows []*ServeResult) {
+	fmt.Fprintf(w, "%-10s %8s %5s %7s %9s %9s %10s %10s %10s %10s %6s\n",
+		"network", "clients", "C", "done", "rej-503", "qps", "p50", "p95", "ttfa-p50", "ttfa-p95", "peak")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 104))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %5d %7d %9d %9.1f %10s %10s %10s %10s %6d\n",
+			r.Network, r.Clients, r.MaxConcurrent, r.Completed, r.Rejected, r.Throughput,
+			r.LatencyP50.Round(10*time.Microsecond), r.LatencyP95.Round(10*time.Microsecond),
+			r.TTFAP50.Round(10*time.Microsecond), r.TTFAP95.Round(10*time.Microsecond),
+			r.PeakExecuting)
+	}
+}

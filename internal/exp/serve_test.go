@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ontario/internal/netsim"
+)
+
+func TestRunServe(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.RunServe(context.Background(), ServeConfig{
+		Clients:       4,
+		Requests:      8,
+		MaxConcurrent: 2,
+		QueueDepth:    8,
+		SourceLimit:   2,
+		Network:       netsim.Gamma1,
+		Timeout:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Errorf("completed %d of 8 requests", res.Completed)
+	}
+	if res.PeakExecuting > 2 {
+		t.Errorf("peak executing %d exceeds max-concurrent 2", res.PeakExecuting)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput measured")
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP95 < res.LatencyP50 {
+		t.Errorf("implausible latency quantiles: p50=%v p95=%v", res.LatencyP50, res.LatencyP95)
+	}
+	if res.TTFAP50 <= 0 || res.TTFAP50 > res.LatencyP95 {
+		t.Errorf("implausible TTFA: %v (latency p95 %v)", res.TTFAP50, res.LatencyP95)
+	}
+	if res.Answers == 0 {
+		t.Error("no answers counted")
+	}
+}
+
+func TestWriteJSONFiles(t *testing.T) {
+	r := testRunner(t)
+	dir := t.TempDir()
+
+	row, err := r.Run(context.Background(), Config{QueryID: "Q1", Aware: true, Network: netsim.NoDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := WriteRowsJSON(dir, "grid", []*Row{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_grid.json" {
+		t.Errorf("path = %s, want BENCH_grid.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string    `json:"experiment"`
+		Rows       []JSONRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Experiment != "grid" || len(doc.Rows) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	jr := doc.Rows[0]
+	if jr.Query != "Q1" || jr.Mode != "aware" || jr.Answers != row.Answers || jr.Messages != row.Messages {
+		t.Errorf("row mismatch: %+v vs %+v", jr, row)
+	}
+
+	spath, err := WriteServeJSON(dir, []*ServeResult{{Network: "No Delay", Clients: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(spath) != "BENCH_serve.json" {
+		t.Errorf("serve path = %s", spath)
+	}
+}

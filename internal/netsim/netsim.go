@@ -15,8 +15,10 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 )
@@ -40,6 +42,23 @@ var (
 
 // Profiles lists the paper's network settings in evaluation order.
 func Profiles() []Profile { return []Profile{NoDelay, Gamma1, Gamma2, Gamma3} }
+
+// ProfileByName resolves a profile from its CLI/HTTP-parameter name. The
+// empty string, "none", "nodelay" and "no-delay" all mean NoDelay.
+func ProfileByName(name string) (Profile, error) {
+	switch strings.ToLower(name) {
+	case "", "none", "nodelay", "no-delay":
+		return NoDelay, nil
+	case "gamma1":
+		return Gamma1, nil
+	case "gamma2":
+		return Gamma2, nil
+	case "gamma3":
+		return Gamma3, nil
+	default:
+		return Profile{}, fmt.Errorf("netsim: unknown network profile %q", name)
+	}
+}
 
 // MeanLatency returns the distribution mean (α·β) as a duration.
 func (p Profile) MeanLatency() time.Duration {

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// resultsEncoder writes the SPARQL 1.1 Query Results JSON Format
+// (application/sparql-results+json) incrementally: the head and the
+// opening of the bindings array go out first, then one binding object per
+// solution as it arrives, then the closing braces — so a consumer parsing
+// the stream sees the first solution long before the query finishes.
+type resultsEncoder struct {
+	w     io.Writer
+	vars  []string
+	wrote int
+}
+
+func newResultsEncoder(w io.Writer, vars []string) *resultsEncoder {
+	if vars == nil {
+		vars = []string{}
+	}
+	return &resultsEncoder{w: w, vars: vars}
+}
+
+func (e *resultsEncoder) writeHead() error {
+	head, err := json.Marshal(e.vars)
+	if err != nil {
+		return err
+	}
+	_, err = e.w.Write(append(append([]byte(`{"head":{"vars":`), head...),
+		[]byte(`},"results":{"bindings":[`)...))
+	return err
+}
+
+// jsonTerm is one RDF term in the results-JSON encoding.
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+func encodeTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.TermIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.TermBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+func (e *resultsEncoder) writeBinding(b sparql.Binding) error {
+	obj := make(map[string]jsonTerm, len(b))
+	for v, t := range b {
+		obj[v] = encodeTerm(t)
+	}
+	payload, err := json.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	if e.wrote > 0 {
+		payload = append([]byte(","), payload...)
+	}
+	e.wrote++
+	_, err = e.w.Write(payload)
+	return err
+}
+
+func (e *resultsEncoder) writeTail() error {
+	_, err := e.w.Write([]byte("]}}"))
+	return err
+}

@@ -1,0 +1,405 @@
+// Package server exposes one shared ontario.Engine as a concurrent SPARQL
+// Protocol-style HTTP endpoint. It contributes the serving layer the
+// single-shot CLI lacks:
+//
+//   - admission control: a configurable maximum of concurrently executing
+//     queries plus a bounded wait queue; requests beyond both get 503 with
+//     a Retry-After hint instead of piling onto the engine;
+//   - per-source backpressure: combined with ontario.WithSourceLimit, a
+//     burst of bind-join blocks from many queries queues at each source's
+//     semaphore instead of stampeding it;
+//   - streaming results: answers are written as application/sparql-results+json
+//     while the executor produces them, so the first solution is on the
+//     wire at time-to-first-answer, not at query completion;
+//   - cancellation: every query runs under the request context with a
+//     per-query deadline; a client disconnect tears the whole plan down
+//     through context.Context;
+//   - observability: /metrics exports the counters and latency histograms
+//     recorded through internal/trace in Prometheus text format.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ontario"
+	"ontario/internal/netsim"
+	"ontario/internal/trace"
+)
+
+// Metric names exported on /metrics.
+const (
+	MetricQueries       = "ontario_queries_total"
+	MetricRejected      = "ontario_queries_rejected_total"
+	MetricQueueTimeout  = "ontario_queries_queue_timeout_total"
+	MetricFailed        = "ontario_queries_failed_total"
+	MetricAnswers       = "ontario_answers_total"
+	MetricMessages      = "ontario_messages_total"
+	MetricQueryDuration = "ontario_query_duration_ms"
+	MetricTTFA          = "ontario_time_to_first_answer_ms"
+	MetricSourceDelay   = "ontario_source_delay_ms"
+)
+
+// Config parameterizes the serving layer.
+type Config struct {
+	// MaxConcurrent is the maximum number of queries executing at once
+	// (default 4).
+	MaxConcurrent int
+	// QueueDepth is the maximum number of admitted queries waiting for an
+	// execution slot; a request arriving when the queue is full is rejected
+	// with 503 (default 16; negative disables queueing entirely).
+	QueueDepth int
+	// QueryTimeout is the per-query deadline; a request may lower it with
+	// the timeout form parameter but never raise it (default 30s).
+	QueryTimeout time.Duration
+	// RetryAfter is the hint returned in the Retry-After header of 503
+	// responses (default 1s).
+	RetryAfter time.Duration
+	// DefaultOptions are applied to every query before the per-request
+	// mode/network parameters.
+	DefaultOptions []ontario.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the admission state.
+type Stats struct {
+	// Executing is the number of queries currently running.
+	Executing int
+	// PeakExecuting is the highest number of simultaneously running
+	// queries observed.
+	PeakExecuting int
+	// Waiting is the number of admitted queries waiting for a slot.
+	Waiting int
+}
+
+// Server is the HTTP serving layer over one shared engine.
+type Server struct {
+	eng     *ontario.Engine
+	cfg     Config
+	metrics *trace.Metrics
+	mux     *http.ServeMux
+	admit   chan struct{}
+
+	mu            sync.Mutex
+	waiting       int
+	executing     int
+	peakExecuting int
+}
+
+// New returns a server over the engine. The engine must be shared — that
+// is the point: all queries run on one engine, bounded by this server's
+// admission control and the engine's per-source limits.
+func New(eng *ontario.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		metrics: trace.NewMetrics(),
+		mux:     http.NewServeMux(),
+		admit:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server's metric registry.
+func (s *Server) Metrics() *trace.Metrics { return s.metrics }
+
+// Stats returns a snapshot of the admission state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Executing: s.executing, PeakExecuting: s.peakExecuting, Waiting: s.waiting}
+}
+
+// errSaturated reports a full execution pool and wait queue.
+var errSaturated = fmt.Errorf("server saturated: query queue full")
+
+// acquire admits one query: it returns a release function when a slot was
+// obtained, errSaturated when the server is at capacity (execution slots
+// busy and wait queue full), or the context's error when the deadline
+// expired or the client went away while queueing.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	grabbed := func() func() {
+		s.mu.Lock()
+		s.executing++
+		if s.executing > s.peakExecuting {
+			s.peakExecuting = s.executing
+		}
+		s.mu.Unlock()
+		return func() {
+			s.mu.Lock()
+			s.executing--
+			s.mu.Unlock()
+			<-s.admit
+		}
+	}
+	// Fast path: free execution slot.
+	select {
+	case s.admit <- struct{}{}:
+		return grabbed(), nil
+	default:
+	}
+	// Queue if there is room.
+	s.mu.Lock()
+	if s.waiting >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, errSaturated
+	}
+	s.waiting++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.admit <- struct{}{}:
+		return grabbed(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queryText extracts the SPARQL query per the SPARQL Protocol: GET with a
+// query parameter, POST with application/sparql-query (raw body), or POST
+// with form-encoded query=.
+func queryText(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			ct = ct[:i]
+		}
+		switch strings.TrimSpace(ct) {
+		case "application/sparql-query", "text/plain", "":
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				return "", err
+			}
+			if len(body) == 0 {
+				return "", fmt.Errorf("empty request body")
+			}
+			return string(body), nil
+		case "application/x-www-form-urlencoded":
+			if err := r.ParseForm(); err != nil {
+				return "", err
+			}
+			q := r.PostForm.Get("query")
+			if q == "" {
+				return "", fmt.Errorf("missing query form parameter")
+			}
+			return q, nil
+		default:
+			return "", fmt.Errorf("unsupported content type %q", ct)
+		}
+	default:
+		// Unreachable from handleSparql, which rejects other methods with
+		// 405 before calling here.
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// requestOptions derives the per-query options: the server defaults, then
+// the request's mode/network parameters.
+func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, error) {
+	opts := append([]ontario.Option(nil), s.cfg.DefaultOptions...)
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "":
+	case "aware":
+		opts = append(opts, ontario.WithAwarePlan())
+	case "unaware":
+		opts = append(opts, ontario.WithUnawarePlan())
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want aware or unaware)", mode)
+	}
+	if net := r.URL.Query().Get("network"); net != "" {
+		profile, err := netsim.ProfileByName(net)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, ontario.WithNetwork(profile))
+	}
+	return opts, nil
+}
+
+// queryDeadline resolves the effective per-query timeout: the server's
+// QueryTimeout, lowered (never raised) by a timeout form parameter.
+func (s *Server) queryDeadline(r *http.Request) time.Duration {
+	d := s.cfg.QueryTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		if req, err := time.ParseDuration(t); err == nil && req > 0 && req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+func (s *Server) reject(w http.ResponseWriter) {
+	s.metrics.Inc(MetricRejected)
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	http.Error(w, "server saturated: query queue full", http.StatusServiceUnavailable)
+}
+
+func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+		return
+	}
+	text, err := queryText(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts, err := s.requestOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The query context: cancelled by client disconnect (request context)
+	// or the per-query deadline, and propagated into the executor and the
+	// wrappers.
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryDeadline(r))
+	defer cancel()
+
+	release, aerr := s.acquire(ctx)
+	switch aerr {
+	case nil:
+	case errSaturated:
+		s.reject(w)
+		return
+	default:
+		// The deadline expired (or the client left) while the request was
+		// queued — the server was queueable, not saturated, so this is a
+		// timeout, not a rejection.
+		s.metrics.Inc(MetricQueueTimeout)
+		http.Error(w, "query deadline expired while waiting for an execution slot",
+			http.StatusGatewayTimeout)
+		return
+	}
+	defer release()
+
+	run, err := s.eng.QueryStream(ctx, text, opts...)
+	if err != nil {
+		s.metrics.Inc(MetricFailed)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.metrics.Inc(MetricQueries)
+
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms")
+	w.WriteHeader(http.StatusOK)
+
+	enc := newResultsEncoder(w, run.Variables)
+	flusher, _ := w.(http.Flusher)
+	writeOK := enc.writeHead() == nil
+	if writeOK && flusher != nil {
+		flusher.Flush()
+	}
+
+	answers := 0
+	var firstAt time.Duration
+	for b := range run.Answers() {
+		answers++
+		if answers == 1 {
+			firstAt = time.Since(run.Start)
+			s.metrics.Observe(MetricTTFA, firstAt)
+		}
+		if writeOK {
+			if enc.writeBinding(b) != nil {
+				// The connection is gone (or broken): stop writing but keep
+				// draining; cancellation closes the channel promptly.
+				writeOK = false
+				cancel()
+				continue
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	if writeOK {
+		_ = enc.writeTail()
+	}
+	total := time.Since(run.Start)
+
+	s.metrics.Add(MetricAnswers, int64(answers))
+	s.metrics.Add(MetricMessages, int64(run.Messages()))
+	s.metrics.Observe(MetricQueryDuration, total)
+	for src, d := range run.SourceDelays() {
+		s.metrics.ObserveSource(MetricSourceDelay, src, d)
+	}
+
+	w.Header().Set("X-Ontario-Answers", fmt.Sprintf("%d", answers))
+	w.Header().Set("X-Ontario-Messages", fmt.Sprintf("%d", run.Messages()))
+	w.Header().Set("X-Ontario-TTFA-Ms", fmt.Sprintf("%.3f", float64(firstAt)/float64(time.Millisecond)))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.Stats()
+	fmt.Fprintf(w, "# TYPE ontario_executing_queries gauge\nontario_executing_queries %d\n", st.Executing)
+	fmt.Fprintf(w, "# TYPE ontario_waiting_queries gauge\nontario_waiting_queries %d\n", st.Waiting)
+	fmt.Fprintf(w, "# TYPE ontario_peak_executing_queries gauge\nontario_peak_executing_queries %d\n", st.PeakExecuting)
+	if lim := s.eng.SourceLimiter(); lim != nil {
+		sources := lim.Sources()
+		sort.Strings(sources)
+		fmt.Fprintf(w, "# TYPE ontario_source_inflight gauge\n")
+		for _, src := range sources {
+			fmt.Fprintf(w, "ontario_source_inflight{source=%q} %d\n", src, lim.InFlight(src))
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_inflight_peak gauge\n")
+		for _, src := range sources {
+			fmt.Fprintf(w, "ontario_source_inflight_peak{source=%q} %d\n", src, lim.Peak(src))
+		}
+	}
+	_ = s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBuckets are the histogram bucket upper bounds in milliseconds,
+// spanning sub-millisecond simulated latencies up to multi-second query
+// executions.
+var DefaultBuckets = []float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Histogram is a fixed-bucket latency histogram (milliseconds). It mirrors
+// the Prometheus histogram model: cumulative bucket counts plus sum and
+// count.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // one per bound, plus +Inf at the end
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over the given bucket upper bounds
+// (must be sorted ascending); nil uses DefaultBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// observe records one value (not concurrency-safe; Metrics serializes).
+func (h *Histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) assuming
+// observations sit at their bucket's upper bound — the same upper-bound
+// estimate Prometheus makes without interpolation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var rank uint64
+	if r := math.Ceil(q * float64(h.total)); r >= 1 {
+		rank = uint64(r) - 1
+	}
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			// +Inf bucket: report the largest finite bound.
+			if len(h.bounds) > 0 {
+				return h.bounds[len(h.bounds)-1]
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+type histKey struct {
+	name  string
+	label string // value of the "source" label; empty for unlabeled
+}
+
+// Metrics is a concurrency-safe registry of counters and latency
+// histograms, exported in the Prometheus text format by the server's
+// /metrics endpoint. Counter and histogram names are created on first use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[histKey]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		hists:    make(map[histKey]*Histogram),
+	}
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Counter returns the counter's current value.
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Observe records a duration into the named (unlabeled) histogram.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	m.ObserveSource(name, "", d)
+}
+
+// ObserveSource records a duration into the histogram labeled with the
+// given source (empty source means unlabeled).
+func (m *Metrics) ObserveSource(name, source string, d time.Duration) {
+	m.mu.Lock()
+	k := histKey{name: name, label: source}
+	h, ok := m.hists[k]
+	if !ok {
+		h = NewHistogram(nil)
+		m.hists[k] = h
+	}
+	h.observe(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+// HistogramSnapshot returns a copy of the named histogram (source may be
+// empty for the unlabeled series), or nil when nothing was observed.
+func (m *Metrics) HistogramSnapshot(name, source string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[histKey{name: name, label: source}]
+	if !ok {
+		return nil
+	}
+	cp := &Histogram{
+		bounds: h.bounds,
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		total:  h.total,
+	}
+	return cp
+}
+
+// WritePrometheus renders every counter and histogram in the Prometheus
+// text exposition format, sorted by name for deterministic output.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	type histEntry struct {
+		key histKey
+		h   *Histogram
+	}
+	hists := make([]histEntry, 0, len(m.hists))
+	for k, h := range m.hists {
+		hists = append(hists, histEntry{key: k, h: &Histogram{
+			bounds: h.bounds,
+			counts: append([]uint64(nil), h.counts...),
+			sum:    h.sum,
+			total:  h.total,
+		}})
+	}
+	m.mu.Unlock()
+
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n]); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].key.name != hists[j].key.name {
+			return hists[i].key.name < hists[j].key.name
+		}
+		return hists[i].key.label < hists[j].key.label
+	})
+	lastType := ""
+	for _, e := range hists {
+		if e.key.name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", e.key.name); err != nil {
+				return err
+			}
+			lastType = e.key.name
+		}
+		label := func(extra string) string {
+			if e.key.label == "" {
+				if extra == "" {
+					return ""
+				}
+				return "{" + extra + "}"
+			}
+			if extra == "" {
+				return fmt.Sprintf("{source=%q}", e.key.label)
+			}
+			return fmt.Sprintf("{source=%q,%s}", e.key.label, extra)
+		}
+		var cum uint64
+		for i, bound := range e.h.bounds {
+			cum += e.h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				e.key.name, label(fmt.Sprintf(`le="%g"`, bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += e.h.counts[len(e.h.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.key.name, label(`le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", e.key.name, label(""), e.h.sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.key.name, label(""), e.h.total); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("queries_total")
+	m.Add("queries_total", 2)
+	m.Add("answers_total", 10)
+	if got := m.Counter("queries_total"); got != 3 {
+		t.Errorf("queries_total = %d, want 3", got)
+	}
+	if got := m.Counter("answers_total"); got != 10 {
+		t.Errorf("answers_total = %d, want 10", got)
+	}
+	if got := m.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestMetricsHistogram(t *testing.T) {
+	m := NewMetrics()
+	for _, ms := range []int{1, 2, 4, 8, 40, 400} {
+		m.Observe("query_ms", time.Duration(ms)*time.Millisecond)
+	}
+	h := m.HistogramSnapshot("query_ms", "")
+	if h == nil {
+		t.Fatal("histogram missing")
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 455 {
+		t.Errorf("sum = %g, want 455", h.Sum())
+	}
+	// p50 of {1,2,4,8,40,400} sits in the le=5 bucket (value 4).
+	if q := h.Quantile(0.5); q != 5 {
+		t.Errorf("p50 = %g, want bucket bound 5", q)
+	}
+	if q := h.Quantile(1.0); q != 500 {
+		t.Errorf("p100 = %g, want bucket bound 500", q)
+	}
+}
+
+func TestMetricsPrometheusOutput(t *testing.T) {
+	m := NewMetrics()
+	m.Add("ontario_queries_total", 7)
+	m.Observe("ontario_query_duration_ms", 3*time.Millisecond)
+	m.ObserveSource("ontario_source_delay_ms", "drugbank", 2*time.Millisecond)
+	m.ObserveSource("ontario_source_delay_ms", "kegg", 12*time.Millisecond)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ontario_queries_total counter",
+		"ontario_queries_total 7",
+		"# TYPE ontario_query_duration_ms histogram",
+		`ontario_query_duration_ms_bucket{le="+Inf"} 1`,
+		"ontario_query_duration_ms_count 1",
+		`ontario_source_delay_ms_bucket{source="drugbank",le="2.5"} 1`,
+		`ontario_source_delay_ms_count{source="kegg"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering.
+	var b2 strings.Builder
+	if err := m.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WritePrometheus output not deterministic")
+	}
+}
+
+func TestMetricsConcurrentUpdates(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Inc("n")
+				m.Observe("h", time.Millisecond)
+				m.ObserveSource("s", "src", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 800 {
+		t.Errorf("n = %d, want 800", got)
+	}
+	if got := m.HistogramSnapshot("h", "").Count(); got != 800 {
+		t.Errorf("h count = %d, want 800", got)
+	}
+}

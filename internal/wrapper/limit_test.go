@@ -1,0 +1,150 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ontario/internal/engine"
+	"ontario/internal/sparql"
+)
+
+// slowWrapper is a test wrapper whose Execute tracks its own concurrency
+// and emits a fixed number of bindings with a small delay, so that many
+// overlapping invocations are observable.
+type slowWrapper struct {
+	id      string
+	delay   time.Duration
+	answers int
+
+	cur  atomic.Int32
+	peak atomic.Int32
+}
+
+func (w *slowWrapper) SourceID() string { return w.id }
+
+func (w *slowWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	n := w.cur.Add(1)
+	for {
+		p := w.peak.Load()
+		if n <= p || w.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	out := engine.NewStream(0)
+	go func() {
+		defer out.Close()
+		defer w.cur.Add(-1)
+		for i := 0; i < w.answers; i++ {
+			time.Sleep(w.delay)
+			if !out.Send(ctx, sparql.NewBinding()) {
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+func TestSourceLimiterBoundsInFlight(t *testing.T) {
+	const limit, requests = 3, 20
+	inner := &slowWrapper{id: "src", delay: time.Millisecond, answers: 2}
+	lim := NewSourceLimiter(limit)
+	w := Limited(inner, lim)
+
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := w.Execute(context.Background(), &Request{})
+			if err != nil {
+				t.Errorf("Execute: %v", err)
+				return
+			}
+			for range s.Chan() {
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := inner.peak.Load(); int(got) > limit {
+		t.Fatalf("peak in-flight %d exceeds limit %d", got, limit)
+	}
+	if got := lim.Peak("src"); got > limit {
+		t.Fatalf("limiter peak %d exceeds limit %d", got, limit)
+	}
+	if got := lim.InFlight("src"); got != 0 {
+		t.Fatalf("in-flight after completion = %d, want 0", got)
+	}
+}
+
+// TestSourceLimiterManySourcesConcurrent interleaves Acquire/Release on
+// many sources so releases race against first-use semaphore creation; run
+// under -race it is the regression test for the unlocked sems-map read
+// Release used to do.
+func TestSourceLimiterManySourcesConcurrent(t *testing.T) {
+	lim := NewSourceLimiter(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := fmt.Sprintf("src-%d", (g+i)%10)
+				if err := lim.Acquire(context.Background(), src); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				lim.Release(src)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, src := range lim.Sources() {
+		if lim.InFlight(src) != 0 {
+			t.Errorf("source %s left with in-flight slots", src)
+		}
+	}
+}
+
+func TestSourceLimiterAcquireCancellation(t *testing.T) {
+	lim := NewSourceLimiter(1)
+	if err := lim.Acquire(context.Background(), "src"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := lim.Acquire(ctx, "src"); err == nil {
+		t.Fatal("Acquire succeeded on a saturated source with a cancelled context")
+	}
+	lim.Release("src")
+	if err := lim.Acquire(context.Background(), "src"); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	lim.Release("src")
+}
+
+func TestLimitedReleasesOnConsumerCancellation(t *testing.T) {
+	inner := &slowWrapper{id: "src", delay: time.Millisecond, answers: 1000}
+	lim := NewSourceLimiter(1)
+	w := Limited(inner, lim)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := w.Execute(ctx, &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s.Chan() // first answer arrived; request is mid-stream
+	cancel()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for lim.InFlight("src") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slot not released after consumer cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -32,6 +32,12 @@
 // variant automatically whenever the left input's estimated cardinality
 // fills at least one block.
 //
+// The engine is safe for concurrent use: every query runs on an isolated
+// execution, and WithSourceLimit bounds in-flight wrapper requests per
+// source across all running queries. internal/server exposes an engine as
+// a concurrent HTTP SPARQL endpoint with admission control and streaming
+// results (see cmd/ontario-server).
+//
 // Minimal usage:
 //
 //	lake, _ := lslod.BuildLake(lslod.DefaultScale(), 1)
@@ -48,20 +54,48 @@ import (
 
 	"ontario/internal/catalog"
 	"ontario/internal/core"
+	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
 	"ontario/internal/trace"
 	"ontario/internal/wrapper"
 )
 
-// Engine is a configured query engine over one data-lake catalog.
+// Engine is a configured query engine over one data-lake catalog. It is
+// safe for concurrent use: every Query/QueryParsed/QueryStream call runs
+// on its own core.Execution (own wrappers, own network simulators), so any
+// number of queries may be in flight at once.
 type Engine struct {
 	inner *core.Engine
 }
 
+// EngineOption configures the engine itself (as opposed to Option, which
+// configures one query execution).
+type EngineOption func(*Engine)
+
+// WithSourceLimit bounds the number of concurrently in-flight wrapper
+// requests per source, across all queries running on the engine: a burst
+// of bind-join blocks from many concurrent queries queues at the source's
+// semaphore instead of stampeding it. n < 1 is treated as 1.
+func WithSourceLimit(n int) EngineOption {
+	return func(e *Engine) {
+		e.inner.Executor.Limiter = wrapper.NewSourceLimiter(n)
+	}
+}
+
 // New returns an engine over the catalog.
-func New(cat *catalog.Catalog) *Engine {
-	return &Engine{inner: core.NewEngine(cat)}
+func New(cat *catalog.Catalog, opts ...EngineOption) *Engine {
+	e := &Engine{inner: core.NewEngine(cat)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// SourceLimiter returns the per-source in-flight limiter installed with
+// WithSourceLimit, or nil when the engine is unlimited.
+func (e *Engine) SourceLimiter() *wrapper.SourceLimiter {
+	return e.inner.Executor.Limiter
 }
 
 // Option configures one query execution.
@@ -197,33 +231,93 @@ func (e *Engine) Query(ctx context.Context, queryText string, options ...Option)
 	return e.QueryParsed(ctx, q, options...)
 }
 
-// QueryParsed runs an already-parsed query.
+// QueryParsed runs an already-parsed query on its own execution, so
+// concurrent calls never share mutable state.
 func (e *Engine) QueryParsed(ctx context.Context, q *sparql.Query, options ...Option) (*Result, error) {
+	run, err := e.QueryStreamParsed(ctx, q, options...)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.CollectAnswers(planLabel(run.Plan), run.Start, run.stream)
+	return &Result{
+		Answers:        tr.Answers,
+		Variables:      run.Variables,
+		Plan:           run.Plan,
+		Trace:          tr,
+		Messages:       run.Messages(),
+		SimulatedDelay: run.SimulatedDelay(),
+	}, nil
+}
+
+// RunningQuery is an in-flight query execution handed out by QueryStream:
+// the answers arrive on Answers() as the executor produces them, so the
+// caller can forward the first solution before the query completes. The
+// accounting accessors (Messages, SimulatedDelay, SourceDelays,
+// SourceMessages) reflect the messages retrieved so far and are final once
+// the answer channel closes.
+type RunningQuery struct {
+	// Variables are the projected variable names.
+	Variables []string
+	// Plan is the executing query execution plan.
+	Plan *core.Plan
+	// Start is when execution began.
+	Start time.Time
+
+	exec   *core.Execution
+	stream *engine.Stream
+}
+
+// Answers streams the solution bindings in arrival order. The channel
+// closes when the query completes or its context is cancelled.
+func (r *RunningQuery) Answers() <-chan sparql.Binding { return r.stream.Chan() }
+
+// Messages returns the number of simulated network messages retrieved so
+// far.
+func (r *RunningQuery) Messages() int { return r.exec.Messages() }
+
+// SimulatedDelay returns the total sampled network latency so far.
+func (r *RunningQuery) SimulatedDelay() time.Duration { return r.exec.SimulatedDelay() }
+
+// SourceDelays returns the sampled network latency per contacted source.
+func (r *RunningQuery) SourceDelays() map[string]time.Duration { return r.exec.SourceDelays() }
+
+// SourceMessages returns the simulated message count per contacted source.
+func (r *RunningQuery) SourceMessages() map[string]int { return r.exec.SourceMessages() }
+
+// QueryStream parses and starts a SPARQL query, returning the running
+// execution without draining it. Cancelling ctx aborts the execution:
+// wrappers stop issuing requests and the answer channel closes.
+func (e *Engine) QueryStream(ctx context.Context, queryText string, options ...Option) (*RunningQuery, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryStreamParsed(ctx, q, options...)
+}
+
+// QueryStreamParsed starts an already-parsed query, returning the running
+// execution without draining it.
+func (e *Engine) QueryStreamParsed(ctx context.Context, q *sparql.Query, options ...Option) (*RunningQuery, error) {
 	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
 	for _, o := range options {
 		o(&cfg)
 	}
-	e.inner.Executor.NetworkScale = cfg.scale
-	e.inner.Executor.Seed = cfg.seed
-	e.inner.Executor.Reset()
-
 	plan, err := e.inner.Planner.Plan(q, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
+	exec := e.inner.Executor.NewExecution(cfg.scale, cfg.seed)
 	start := time.Now()
-	stream, err := e.inner.Executor.Execute(ctx, plan)
+	stream, err := exec.Execute(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	tr := trace.CollectAnswers(planLabel(plan), start, stream)
-	return &Result{
-		Answers:        tr.Answers,
-		Variables:      q.ProjectedVars(),
-		Plan:           plan,
-		Trace:          tr,
-		Messages:       e.inner.Executor.TotalMessages(),
-		SimulatedDelay: e.inner.Executor.TotalSimulatedDelay(),
+	return &RunningQuery{
+		Variables: q.ProjectedVars(),
+		Plan:      plan,
+		Start:     start,
+		exec:      exec,
+		stream:    stream,
 	}, nil
 }
 

@@ -2,8 +2,11 @@ package ontario_test
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"ontario"
 	"ontario/internal/core"
@@ -117,6 +120,150 @@ func TestFacadeSimulatedDelayAccounting(t *testing.T) {
 	_ = mean
 	if res.Messages == 0 {
 		t.Error("no messages")
+	}
+}
+
+// TestFacadeConcurrentQueries drives many simultaneous Query calls with
+// mixed configurations over one shared engine; run under -race it is the
+// audit that concurrent executions share no mutable state. Every run must
+// also report its own (per-execution) message accounting.
+func TestFacadeConcurrentQueries(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog, ontario.WithSourceLimit(4))
+	ctx := context.Background()
+
+	// Reference counts per query, computed sequentially.
+	want := make(map[string]int)
+	for _, q := range lslod.Queries() {
+		res, err := eng.Query(ctx, q.Text, ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q.ID] = len(res.Answers)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := lslod.Queries()[i%len(lslod.Queries())]
+			opts := []ontario.Option{ontario.WithNetworkScale(0), ontario.WithNetwork(netsim.Gamma1)}
+			switch i % 3 {
+			case 0:
+				opts = append(opts, ontario.WithAwarePlan())
+			case 1:
+				opts = append(opts, ontario.WithUnawarePlan())
+			default:
+				opts = append(opts, ontario.WithAwarePlan(),
+					ontario.WithJoinOperator(core.JoinBlockBind), ontario.WithBindBlockSize(8))
+			}
+			res, err := eng.Query(ctx, q.Text, opts...)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", q.ID, err)
+				return
+			}
+			if len(res.Answers) != want[q.ID] {
+				errs <- fmt.Errorf("%s: got %d answers, want %d", q.ID, len(res.Answers), want[q.ID])
+			}
+			if res.Messages == 0 {
+				errs <- fmt.Errorf("%s: no per-execution messages recorded", q.ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if lim := eng.SourceLimiter(); lim != nil {
+		for _, src := range lim.Sources() {
+			if p := lim.Peak(src); p > lim.Limit() {
+				t.Errorf("source %s peak in-flight %d exceeds limit %d", src, p, lim.Limit())
+			}
+		}
+	}
+}
+
+// TestFacadeSourceLimitBindJoinSameSource is the deadlock regression for
+// the per-source limiter: with a limit of 1 and a bind join whose left and
+// right services hit the SAME source, the left request's slot must not be
+// held hostage to the consumer's read pace (the bind join blocks on the
+// right service before draining the left stream). The query must complete
+// with the same answers as the unlimited engine.
+func TestFacadeSourceLimitBindJoinSameSource(t *testing.T) {
+	lake := facadeLake(t)
+	q := lslod.Queries()[1].Text // Q2: two stars over the same source (diseasome)
+	opts := []ontario.Option{
+		ontario.WithUnawarePlan(), // keep the stars separate so the join runs at the engine
+		ontario.WithJoinOperator(core.JoinBind),
+		ontario.WithBindBlockSize(1), // strictly sequential bind join
+		ontario.WithNetworkScale(0),
+	}
+
+	ref, err := ontario.New(lake.Catalog).Query(context.Background(), q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := ontario.New(lake.Catalog, ontario.WithSourceLimit(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := eng.Query(ctx, q, opts...)
+	if err != nil {
+		t.Fatalf("limited engine failed (deadlock would surface as deadline exceeded): %v", err)
+	}
+	if len(res.Answers) != len(ref.Answers) {
+		t.Errorf("limited engine returned %d answers, want %d", len(res.Answers), len(ref.Answers))
+	}
+}
+
+// TestFacadeQueryStream checks the streaming API: answers must be
+// consumable incrementally and cancelling the context must close the
+// answer channel without draining the query.
+func TestFacadeQueryStream(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Catalog)
+
+	run, err := eng.QueryStream(context.Background(), lslod.Queries()[0].Text,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range run.Answers() {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no streamed answers")
+	}
+	if run.Messages() == 0 {
+		t.Error("no messages recorded")
+	}
+	if len(run.SourceMessages()) == 0 {
+		t.Error("no per-source message accounting")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run, err = eng.QueryStream(ctx, lslod.Queries()[2].Text,
+		ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma3), ontario.WithNetworkScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-run.Answers() // first answer arrived
+	cancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-run.Answers():
+			if !ok {
+				return // channel closed after cancellation: plan torn down
+			}
+		case <-deadline:
+			t.Fatal("answer channel still open 5s after cancellation")
+		}
 	}
 }
 
