@@ -10,6 +10,10 @@
 //	-experiment bind   sequential vs block bind join: requests, messages
 //	                   and wall-clock per block size (-bind-block, comma
 //	                   separated; -bind-concurrency bounds in-flight blocks)
+//	-experiment optimizer
+//	                   cost-based join ordering + per-join operator
+//	                   selection vs the greedy baseline: messages and
+//	                   elapsed time per LSLOD query (aware plans)
 //	-experiment serve  serving-layer load test: -serve-clients concurrent
 //	                   clients drive the HTTP endpoint (admission control
 //	                   -serve-concurrency/-serve-queue, per-source limit
@@ -41,7 +45,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | serve | all")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | all")
 		small    = flag.Bool("small", false, "use the small data scale")
 		seed     = flag.Int64("seed", 1, "data and network seed")
 		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
@@ -155,6 +159,16 @@ func main() {
 		}
 		exp.WriteTable(os.Stdout, rows)
 		writeJSON("bind", rows)
+	}
+
+	if doAll || run == "optimizer" {
+		header("optimizer: cost-based ordering + per-join operator selection vs greedy (aware plans, Gamma 2)")
+		rows, err := runner.RunOptimizer(ctx, netsim.Gamma2)
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteTable(os.Stdout, rows)
+		writeJSON("optimizer", rows)
 	}
 
 	if doAll || run == "h2" {

@@ -5,9 +5,16 @@
 //	               form-encoded POST); answers stream as
 //	               application/sparql-results+json while the executor
 //	               produces them. Optional parameters: mode=aware|unaware,
-//	               network=nodelay|gamma1|gamma2|gamma3, timeout=<dur>.
-//	/metrics       Prometheus text-format counters and latency histograms.
+//	               network=nodelay|gamma1|gamma2|gamma3, timeout=<dur>,
+//	               optimizer=cost|greedy, explain=1 (render the plan with
+//	               cost estimates instead of executing).
+//	/metrics       Prometheus text-format counters and latency histograms,
+//	               including plan-cache hits/misses.
 //	/healthz       liveness probe.
+//
+// Plans are cached server-side in an LRU keyed by normalized query text
+// plus the plan-shaping parameters (-plan-cache bounds it); a repeated
+// query skips parsing and planning.
 //
 // Admission control: at most -max-concurrent queries execute at once; up
 // to -queue-depth more wait; beyond that, requests get 503 with a
@@ -31,16 +38,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		small    = flag.Bool("small", false, "use the small data scale")
-		seed     = flag.Int64("seed", 1, "data and network seed")
-		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
-		network  = flag.String("network", "nodelay", "default network profile: nodelay | gamma1 | gamma2 | gamma3")
-		mode     = flag.String("mode", "aware", "default plan mode: aware | unaware")
-		maxConc  = flag.Int("max-concurrent", 4, "max concurrently executing queries")
-		queue    = flag.Int("queue-depth", 16, "max queries waiting for an execution slot (negative disables queueing)")
-		srcLimit = flag.Int("source-limit", 4, "max in-flight wrapper requests per source (0 = unlimited)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-query deadline")
+		addr      = flag.String("addr", ":8080", "listen address")
+		small     = flag.Bool("small", false, "use the small data scale")
+		seed      = flag.Int64("seed", 1, "data and network seed")
+		scalef    = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
+		network   = flag.String("network", "nodelay", "default network profile: nodelay | gamma1 | gamma2 | gamma3")
+		mode      = flag.String("mode", "aware", "default plan mode: aware | unaware")
+		maxConc   = flag.Int("max-concurrent", 4, "max concurrently executing queries")
+		queue     = flag.Int("queue-depth", 16, "max queries waiting for an execution slot (negative disables queueing)")
+		srcLimit  = flag.Int("source-limit", 4, "max in-flight wrapper requests per source (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query deadline")
+		planCache = flag.Int("plan-cache", 128, "plan cache capacity (negative disables)")
 	)
 	flag.Parse()
 
@@ -83,6 +91,7 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queue,
 		QueryTimeout:   *timeout,
+		PlanCacheSize:  *planCache,
 		DefaultOptions: defaults,
 	})
 

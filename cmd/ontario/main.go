@@ -25,23 +25,24 @@ import (
 
 func main() {
 	var (
-		queryID  = flag.String("query", "", "benchmark query ID (Q1..Q5)")
-		sparqlIn = flag.String("sparql", "", "SPARQL query text (alternative to -query)")
-		mode     = flag.String("mode", "aware", "plan mode: aware | unaware | h2")
-		network  = flag.String("network", "none", "network profile: none | gamma1 | gamma2 | gamma3")
-		explain  = flag.Bool("explain", false, "print the plan instead of executing")
-		list     = flag.Bool("list", false, "list the benchmark queries and exit")
-		mixed    = flag.String("mixed", "", "comma-separated datasets to keep as native RDF")
-		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
-		seed     = flag.Int64("seed", 1, "data and network random seed")
-		small    = flag.Bool("small", false, "use the small data scale")
-		limit    = flag.Int("print", 20, "print at most this many answers")
-		naive    = flag.Bool("naive-translation", false, "use the naive SPARQL-to-SQL translation")
-		joinOp   = flag.String("join", "hash", "engine join operator: hash | nested | bind | block-bind")
-		bindBlk  = flag.Int("bind-block", 0, "block bind join: left bindings per multi-seed request (0 = default)")
-		bindConc = flag.Int("bind-concurrency", 0, "block bind join: concurrent in-flight block requests (0 = default)")
-		rawSQL   = flag.String("sql", "", "run raw SQL directly against one dataset (requires -dataset)")
-		dataset  = flag.String("dataset", "", "dataset for -sql (e.g. diseasome)")
+		queryID   = flag.String("query", "", "benchmark query ID (Q1..Q5)")
+		sparqlIn  = flag.String("sparql", "", "SPARQL query text (alternative to -query)")
+		mode      = flag.String("mode", "aware", "plan mode: aware | unaware | h2")
+		network   = flag.String("network", "none", "network profile: none | gamma1 | gamma2 | gamma3")
+		explain   = flag.Bool("explain", false, "print the plan instead of executing")
+		list      = flag.Bool("list", false, "list the benchmark queries and exit")
+		mixed     = flag.String("mixed", "", "comma-separated datasets to keep as native RDF")
+		scalef    = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
+		seed      = flag.Int64("seed", 1, "data and network random seed")
+		small     = flag.Bool("small", false, "use the small data scale")
+		limit     = flag.Int("print", 20, "print at most this many answers")
+		naive     = flag.Bool("naive-translation", false, "use the naive SPARQL-to-SQL translation")
+		optimizer = flag.String("optimizer", "", "join ordering / operator selection: cost | greedy (default: cost for aware plans, greedy for unaware)")
+		joinOp    = flag.String("join", "hash", "engine join operator: hash | nested | bind | block-bind (forces the operator for every join)")
+		bindBlk   = flag.Int("bind-block", 0, "block bind join: left bindings per multi-seed request (0 = default)")
+		bindConc  = flag.Int("bind-concurrency", 0, "block bind join: concurrent in-flight block requests (0 = default)")
+		rawSQL    = flag.String("sql", "", "run raw SQL directly against one dataset (requires -dataset)")
+		dataset   = flag.String("dataset", "", "dataset for -sql (e.g. diseasome)")
 	)
 	flag.Parse()
 
@@ -118,6 +119,14 @@ func main() {
 	}
 	if *naive {
 		opts = append(opts, ontario.WithNaiveTranslation())
+	}
+	if *optimizer != "" {
+		mode, err := core.OptimizerByName(*optimizer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ontario:", err)
+			os.Exit(2)
+		}
+		opts = append(opts, ontario.WithOptimizer(mode))
 	}
 	op, err := joinOperatorByName(*joinOp)
 	if err != nil {

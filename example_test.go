@@ -65,8 +65,8 @@ SELECT ?d ?g WHERE {
 	}
 	fmt.Println(plan)
 	// Output:
-	// Plan[physical-design-aware, filters=source-if-indexed, translation=optimized, join=symmetric-hash, decomposition=star-shaped]
-	//   MergedService[diseasome] star(?d:Disease, 2 patterns) star(?g:Gene, 1 patterns)
+	// Plan[physical-design-aware, optimizer=cost, filters=source-if-indexed, translation=optimized, join=per-join, decomposition=star-shaped]
+	//   MergedService[diseasome] star(?d:Disease, 2 patterns) star(?g:Gene, 1 patterns)  {est card=150 msgs=150 cost=9.0}
 }
 
 // ExampleEngine_Query_heuristic2 shows Heuristic 2: on a fast network the

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ontario/internal/catalog"
+	"ontario/internal/netsim"
+	"ontario/internal/rdb"
+	"ontario/internal/sparql"
+)
+
+const (
+	fpItemClass = "http://store/Item"
+	fpSku       = "http://store/sku"  // backed by an indexed column
+	fpNote      = "http://store/note" // backed by an unindexed column
+)
+
+// filterPolicyLake builds one relational source whose class has an indexed
+// attribute (sku) and an unindexed one (note) — the minimal fixture to
+// cross filter policies with index availability.
+func filterPolicyLake(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	db := rdb.NewDatabase("store")
+	item, err := db.CreateTable(&rdb.Schema{
+		Name: "item",
+		Columns: []rdb.Column{
+			{Name: "id", Type: rdb.TypeInt, NotNull: true},
+			{Name: "sku", Type: rdb.TypeString, NotNull: true},
+			{Name: "note", Type: rdb.TypeString, NotNull: true},
+		},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := item.Insert(rdb.Row{
+			rdb.IntValue(int64(i)),
+			rdb.StringValue(fmt.Sprintf("sku-%d", i)),
+			rdb.StringValue(fmt.Sprintf("note-%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := item.CreateIndex(rdb.IndexSpec{Column: "sku", Kind: rdb.IndexHash}); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	if err := cat.AddSource(&catalog.Source{
+		ID:    "store",
+		Model: catalog.ModelRelational,
+		DB:    db,
+		Mappings: map[string]*catalog.ClassMapping{
+			fpItemClass: {
+				Class: fpItemClass, Table: "item",
+				SubjectColumn: "id", SubjectTemplate: "http://store/item/{value}",
+				Properties: map[string]*catalog.PropertyMapping{
+					fpSku:  {Predicate: fpSku, Column: "sku"},
+					fpNote: {Predicate: fpNote, Column: "note"},
+				},
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cat.AddMT(&catalog.RDFMT{
+		Class:   fpItemClass,
+		Sources: []string{"store"},
+		Predicates: []catalog.PredicateDesc{
+			{Predicate: fpSku}, {Predicate: fpNote},
+		},
+	})
+	return cat
+}
+
+func pushedFilterCount(n PlanNode) int {
+	total := 0
+	switch v := n.(type) {
+	case *ServiceNode:
+		total += len(v.Req.Filters)
+	case *JoinNode:
+		total += pushedFilterCount(v.L) + pushedFilterCount(v.R)
+	case *LeftJoinNode:
+		total += pushedFilterCount(v.L) + pushedFilterCount(v.R)
+	case *FilterNode:
+		total += pushedFilterCount(v.Child)
+	case *UnionNode:
+		for _, c := range v.Children {
+			total += pushedFilterCount(c)
+		}
+	}
+	return total
+}
+
+// TestFilterPlacementPolicyTable crosses every filter policy with fast and
+// slow network profiles and indexed/unindexed filtered attributes:
+//
+//   - FilterAtEngine never pushes;
+//   - FilterAtSourceIfIndexed pushes exactly when the attribute is indexed,
+//     regardless of the network;
+//   - FilterHeuristic2 pushes only when the attribute is indexed AND the
+//     network is slow (the paper's Heuristic 2 verbatim).
+func TestFilterPlacementPolicyTable(t *testing.T) {
+	cat := filterPolicyLake(t)
+	queryFor := func(pred string) *sparql.Query {
+		return sparql.MustParse(fmt.Sprintf(
+			`SELECT ?i WHERE { ?i <%s> ?v . ?i <%s> ?w . FILTER (?v = "needle") }`, pred, fpNote))
+	}
+	networks := map[string]netsim.Profile{"fast": netsim.Gamma1, "slow": netsim.Gamma3}
+	attrs := map[string]struct {
+		pred    string
+		indexed bool
+	}{
+		"indexed":   {fpSku, true},
+		"unindexed": {fpNote, false},
+	}
+	cases := []struct {
+		policy FilterPolicy
+		// want reports, per (indexed, slow), whether the filter is pushed.
+		want func(indexed, slow bool) bool
+	}{
+		{FilterAtEngine, func(indexed, slow bool) bool { return false }},
+		{FilterAtSourceIfIndexed, func(indexed, slow bool) bool { return indexed }},
+		{FilterHeuristic2, func(indexed, slow bool) bool { return indexed && slow }},
+	}
+	for _, tc := range cases {
+		for netName, profile := range networks {
+			for attrName, attr := range attrs {
+				name := fmt.Sprintf("%s/%s/%s", tc.policy, netName, attrName)
+				t.Run(name, func(t *testing.T) {
+					opts := Options{Aware: true, FilterPolicy: tc.policy, Network: profile}
+					plan, err := NewPlanner(cat).Plan(queryFor(attr.pred), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pushed := pushedFilterCount(plan.Root) > 0
+					want := tc.want(attr.indexed, profile.IsSlow())
+					if pushed != want {
+						t.Errorf("pushed = %v, want %v:\n%s", pushed, want, plan.Explain())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFilterPlacementUnawareForcesEngine: without Aware the policy field is
+// ignored and filters always run at the engine.
+func TestFilterPlacementUnawareForcesEngine(t *testing.T) {
+	cat := filterPolicyLake(t)
+	q := sparql.MustParse(fmt.Sprintf(
+		`SELECT ?i WHERE { ?i <%s> ?v . FILTER (?v = "needle") }`, fpSku))
+	opts := Options{Aware: false, FilterPolicy: FilterAtSourceIfIndexed, Network: netsim.Gamma3}
+	plan, err := NewPlanner(cat).Plan(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushedFilterCount(plan.Root) != 0 {
+		t.Errorf("unaware plan pushed a filter:\n%s", plan.Explain())
+	}
+}

@@ -77,6 +77,41 @@ const (
 	DefaultBindConcurrency = 4
 )
 
+// OptimizerMode selects the join-ordering and operator-selection strategy.
+type OptimizerMode int
+
+// Optimizer modes.
+const (
+	// OptimizerGreedy is the legacy strategy: order joins greedily by
+	// shared-variable count and apply one global join operator.
+	OptimizerGreedy OptimizerMode = iota
+	// OptimizerCost orders joins with the statistics-backed cost model
+	// (dynamic programming up to dpMaxLeaves leaves, cost-greedy above) and
+	// picks the physical operator per join.
+	OptimizerCost
+)
+
+// String names the mode.
+func (m OptimizerMode) String() string {
+	if m == OptimizerCost {
+		return "cost"
+	}
+	return "greedy"
+}
+
+// OptimizerByName resolves an optimizer mode from its CLI/HTTP-parameter
+// name ("cost" or "greedy", case-insensitive).
+func OptimizerByName(name string) (OptimizerMode, error) {
+	switch strings.ToLower(name) {
+	case "cost":
+		return OptimizerCost, nil
+	case "greedy":
+		return OptimizerGreedy, nil
+	default:
+		return 0, fmt.Errorf("core: unknown optimizer %q (want cost or greedy)", name)
+	}
+}
+
 // Options configure plan generation.
 type Options struct {
 	// Aware enables the physical-design-aware plan: Heuristic 1 join
@@ -106,6 +141,10 @@ type Options struct {
 	// block bind join dispatches concurrently (0 means
 	// DefaultBindConcurrency).
 	BindConcurrency int
+	// Optimizer selects the planning strategy. Under OptimizerCost a
+	// JoinOperator other than JoinSymmetricHash acts as a forced override
+	// for ablations: every join uses it instead of the per-join choice.
+	Optimizer OptimizerMode
 }
 
 // EffectiveBindBlockSize returns BindBlockSize with the default applied.
@@ -126,12 +165,15 @@ func (o Options) EffectiveBindConcurrency() int {
 }
 
 // AwareOptions returns the paper's physical-design-aware configuration.
+// Exploiting the physical design includes the statistics-backed cost
+// optimizer; OptimizerGreedy remains available as the ordering ablation.
 func AwareOptions(network netsim.Profile) Options {
 	return Options{
 		Aware:        true,
 		FilterPolicy: FilterAtSourceIfIndexed,
 		Network:      network,
 		Translation:  wrapper.TranslationOptimized,
+		Optimizer:    OptimizerCost,
 	}
 }
 
@@ -161,6 +203,9 @@ type ServiceNode struct {
 	Req      *wrapper.Request
 	// Merged marks a Heuristic-1 combined request.
 	Merged bool
+	// Est is the cost model's prediction, set when the cost optimizer
+	// planned the node (rendered by EXPLAIN).
+	Est *Estimate
 }
 
 // Vars implements PlanNode.
@@ -186,6 +231,7 @@ func (n *ServiceNode) explain(b *strings.Builder, depth int) {
 		}
 		b.WriteString("}")
 	}
+	n.Est.explain(b)
 	b.WriteByte('\n')
 }
 
@@ -194,6 +240,9 @@ type JoinNode struct {
 	L, R     PlanNode
 	JoinVars []string
 	Op       JoinOperator
+	// Est is the cost model's prediction, set when the cost optimizer
+	// planned the node (rendered by EXPLAIN).
+	Est *Estimate
 }
 
 // Vars implements PlanNode.
@@ -211,7 +260,9 @@ func (n *JoinNode) Vars() []string {
 
 func (n *JoinNode) explain(b *strings.Builder, depth int) {
 	indent(b, depth)
-	fmt.Fprintf(b, "Join[%s] on %v\n", n.Op, n.JoinVars)
+	fmt.Fprintf(b, "Join[%s] on %v", n.Op, n.JoinVars)
+	n.Est.explain(b)
+	b.WriteByte('\n')
 	n.L.explain(b, depth+1)
 	n.R.explain(b, depth+1)
 }
@@ -306,15 +357,20 @@ func (n *UnionNode) explain(b *strings.Builder, depth int) {
 	}
 }
 
-// Explain renders the plan tree.
+// Explain renders the plan tree, including the cost model's estimates when
+// the cost optimizer produced the plan.
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	mode := "physical-design-unaware"
 	if p.Opts.Aware {
 		mode = "physical-design-aware"
 	}
-	fmt.Fprintf(&b, "Plan[%s, filters=%s, translation=%s, join=%s, decomposition=%s]\n",
-		mode, p.effectiveFilterPolicy(), p.Opts.Translation, p.Opts.JoinOperator, p.Opts.Decomposition)
+	join := p.Opts.JoinOperator.String()
+	if p.Opts.Optimizer == OptimizerCost && p.Opts.JoinOperator == JoinSymmetricHash {
+		join = "per-join"
+	}
+	fmt.Fprintf(&b, "Plan[%s, optimizer=%s, filters=%s, translation=%s, join=%s, decomposition=%s]\n",
+		mode, p.Opts.Optimizer, p.effectiveFilterPolicy(), p.Opts.Translation, join, p.Opts.Decomposition)
 	p.Root.explain(&b, 1)
 	return b.String()
 }

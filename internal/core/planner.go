@@ -6,18 +6,24 @@ import (
 	"ontario/internal/catalog"
 	"ontario/internal/rdf"
 	"ontario/internal/sparql"
+	"ontario/internal/stats"
 	"ontario/internal/wrapper"
 )
 
 // Planner generates query execution plans over a data-lake catalog.
 type Planner struct {
-	cat *catalog.Catalog
+	cat  *catalog.Catalog
+	prov *stats.CatalogProvider
 }
 
 // NewPlanner returns a planner for the catalog.
 func NewPlanner(cat *catalog.Catalog) *Planner {
-	return &Planner{cat: cat}
+	return &Planner{cat: cat, prov: stats.NewProvider(cat)}
 }
+
+// Stats exposes the planner's statistics provider (shared across plans, so
+// per-source statistics are computed once per catalog).
+func (p *Planner) Stats() stats.Provider { return p.prov }
 
 // unit is one plan-generation unit: a set of stars bound to a candidate.
 type unit struct {
@@ -103,22 +109,10 @@ func (p *Planner) Plan(q *sparql.Query, opts Options) (*Plan, error) {
 		leaves[i] = p.unitNode(u, pushed[i])
 	}
 
-	// Greedy join-tree construction avoiding cross products.
-	root := leaves[0]
-	remaining := leaves[1:]
-	for len(remaining) > 0 {
-		best := -1
-		var bestShared []string
-		for i, cand := range remaining {
-			shared := sparql.SharedVars(root.Vars(), cand.Vars())
-			if best == -1 || len(shared) > len(bestShared) {
-				best, bestShared = i, shared
-			}
-		}
-		next := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		root = &JoinNode{L: root, R: next, JoinVars: bestShared, Op: opts.JoinOperator}
-	}
+	// Join ordering: cost-based (DP/cost-greedy with per-join operator
+	// selection) or the legacy shared-variable greedy tree.
+	cm := newCostModel(p.prov, opts)
+	root := p.buildJoinTree(leaves, opts, cm)
 
 	// UNION groups are planned per branch and joined with the required
 	// part on the shared variables.
@@ -152,8 +146,57 @@ func (p *Planner) Plan(q *sparql.Query, opts Options) (*Plan, error) {
 		root = &FilterNode{Child: root, Exprs: engineFilters}
 	}
 
-	p.applyBindJoinHeuristic(root, opts)
+	p.finishPlan(root, opts, cm)
 	return &Plan{Query: q, Root: root, Opts: opts}, nil
+}
+
+// buildJoinTree orders the leaves into one join tree — the single ordering
+// routine behind Plan and planPatterns.
+func (p *Planner) buildJoinTree(leaves []PlanNode, opts Options, cm *costModel) PlanNode {
+	if opts.Optimizer == OptimizerCost {
+		return cm.orderJoins(leaves)
+	}
+	return orderJoinsGreedyVars(leaves, opts.JoinOperator)
+}
+
+// finishPlan applies the bind-join promotion and leaves the tree's
+// estimates consistent: after a promotion the stale join estimates (priced
+// for the sequential operator) are recomputed; greedy plans render without
+// estimates, as before the cost optimizer existed.
+func (p *Planner) finishPlan(root PlanNode, opts Options, cm *costModel) {
+	promoted := p.applyBindJoinHeuristic(root, opts, cm)
+	if opts.Optimizer != OptimizerCost {
+		clearEstimates(root, true)
+		return
+	}
+	if promoted {
+		clearEstimates(root, false)
+		cm.estimate(root)
+	}
+}
+
+// clearEstimates drops the join estimates of the tree (they embed operator
+// prices); withServices also drops the service-scan estimates.
+func clearEstimates(n PlanNode, withServices bool) {
+	switch v := n.(type) {
+	case *ServiceNode:
+		if withServices {
+			v.Est = nil
+		}
+	case *JoinNode:
+		v.Est = nil
+		clearEstimates(v.L, withServices)
+		clearEstimates(v.R, withServices)
+	case *LeftJoinNode:
+		clearEstimates(v.L, withServices)
+		clearEstimates(v.R, withServices)
+	case *FilterNode:
+		clearEstimates(v.Child, withServices)
+	case *UnionNode:
+		for _, c := range v.Children {
+			clearEstimates(c, withServices)
+		}
+	}
 }
 
 // applyBindJoinHeuristic upgrades sequential bind joins to block bind
@@ -161,110 +204,45 @@ func (p *Planner) Plan(q *sparql.Query, opts Options) (*Plan, error) {
 // block of bindings: that is when batching pays — one multi-seed request
 // replaces a block's worth of per-binding requests. Small left inputs stay
 // on the sequential operator, which reaches the source without waiting for
-// a block to fill.
-func (p *Planner) applyBindJoinHeuristic(n PlanNode, opts Options) {
+// a block to fill. Cardinalities come from the statistics-backed cost
+// model; under the cost optimizer the pass only matters for a forced
+// JoinBind (the per-join selection already decided everything else). It
+// reports whether any join was promoted, so the caller can refresh stale
+// estimates.
+func (p *Planner) applyBindJoinHeuristic(n PlanNode, opts Options, cm *costModel) bool {
+	promoted := false
 	switch v := n.(type) {
 	case *JoinNode:
-		p.applyBindJoinHeuristic(v.L, opts)
-		p.applyBindJoinHeuristic(v.R, opts)
+		promoted = p.applyBindJoinHeuristic(v.L, opts, cm) || promoted
+		promoted = p.applyBindJoinHeuristic(v.R, opts, cm) || promoted
 		if v.Op != JoinBind {
-			return
+			return promoted
 		}
 		if _, ok := v.R.(*ServiceNode); !ok {
-			return
+			return promoted
 		}
 		// A block size of 1 disables the promotion entirely — it is the
 		// explicit way to keep the sequential operator (e.g. as a
 		// measurement baseline) — regardless of the cardinality estimate.
 		blockSize := opts.EffectiveBindBlockSize()
 		if blockSize <= 1 {
-			return
+			return promoted
 		}
-		if p.estimateCardinality(v.L) >= blockSize {
+		if cm.estimate(v.L).Card >= float64(blockSize) {
 			v.Op = JoinBlockBind
+			promoted = true
 		}
 	case *LeftJoinNode:
-		p.applyBindJoinHeuristic(v.L, opts)
-		p.applyBindJoinHeuristic(v.R, opts)
+		promoted = p.applyBindJoinHeuristic(v.L, opts, cm) || promoted
+		promoted = p.applyBindJoinHeuristic(v.R, opts, cm) || promoted
 	case *FilterNode:
-		p.applyBindJoinHeuristic(v.Child, opts)
+		promoted = p.applyBindJoinHeuristic(v.Child, opts, cm)
 	case *UnionNode:
 		for _, c := range v.Children {
-			p.applyBindJoinHeuristic(c, opts)
+			promoted = p.applyBindJoinHeuristic(c, opts, cm) || promoted
 		}
 	}
-}
-
-// estimateCardinality coarsely bounds a sub-plan's output size from the
-// catalog's source extents (class instance counts for RDF molecules, base
-// table row counts for relational mappings). Joins take the smaller input,
-// unions add up; unknown shapes estimate high, since batching requests is
-// the safe default at scale.
-func (p *Planner) estimateCardinality(n PlanNode) int {
-	const unknown = int(^uint(0) >> 2)
-	switch v := n.(type) {
-	case *ServiceNode:
-		est := unknown
-		for _, s := range v.Req.Stars {
-			if e := p.estimateStar(v.SourceID, s); e < est {
-				est = e
-			}
-		}
-		return est
-	case *JoinNode:
-		l, r := p.estimateCardinality(v.L), p.estimateCardinality(v.R)
-		if r < l {
-			return r
-		}
-		return l
-	case *LeftJoinNode:
-		return p.estimateCardinality(v.L)
-	case *FilterNode:
-		return p.estimateCardinality(v.Child)
-	case *UnionNode:
-		total := 0
-		for _, c := range v.Children {
-			total += p.estimateCardinality(c)
-			if total >= unknown {
-				return unknown
-			}
-		}
-		return total
-	default:
-		return unknown
-	}
-}
-
-// estimateStar estimates one star's extent at its source.
-func (p *Planner) estimateStar(sourceID string, s *wrapper.StarQuery) int {
-	const unknown = int(^uint(0) >> 2)
-	src := p.cat.Source(sourceID)
-	if src == nil {
-		return unknown
-	}
-	switch src.Model {
-	case catalog.ModelRDF:
-		if src.Graph == nil {
-			return unknown
-		}
-		typeT := rdf.NewIRI(rdf.RDFType)
-		classT := rdf.NewIRI(s.Class)
-		if c := src.Graph.Count(nil, &typeT, &classT); c > 0 {
-			return c
-		}
-		return src.Graph.Len()
-	case catalog.ModelRelational:
-		cm := src.Mapping(s.Class)
-		if cm == nil || src.DB == nil {
-			return unknown
-		}
-		if t := src.DB.Table(cm.Table); t != nil {
-			return t.RowCount()
-		}
-		return unknown
-	default:
-		return unknown
-	}
+	return promoted
 }
 
 // planUnionGroup plans every branch (patterns plus branch filters at the
@@ -302,6 +280,9 @@ func (p *Planner) planUnionOnly(q *sparql.Query, opts Options) (*Plan, error) {
 			Op:       opts.JoinOperator,
 		}
 	}
+	if root == nil {
+		return nil, fmt.Errorf("core: query has no triple patterns")
+	}
 	for _, og := range q.Optionals {
 		sub, err := p.planPatterns(og.Patterns, opts)
 		if err != nil {
@@ -312,12 +293,12 @@ func (p *Planner) planUnionOnly(q *sparql.Query, opts Options) (*Plan, error) {
 	if len(q.Filters) > 0 {
 		root = &FilterNode{Child: root, Exprs: q.Filters}
 	}
-	p.applyBindJoinHeuristic(root, opts)
+	p.finishPlan(root, opts, newCostModel(p.prov, opts))
 	return &Plan{Query: q, Root: root, Opts: opts}, nil
 }
 
 // planPatterns plans a bare basic graph pattern (no filter placement):
-// decomposition, source selection, Heuristic 1, greedy join tree. Used for
+// decomposition, source selection, Heuristic 1, join ordering. Used for
 // OPTIONAL groups.
 func (p *Planner) planPatterns(patterns []sparql.TriplePattern, opts Options) (PlanNode, error) {
 	sub := &sparql.Query{Patterns: patterns}
@@ -346,22 +327,7 @@ func (p *Planner) planPatterns(patterns []sparql.TriplePattern, opts Options) (P
 	for i, u := range units {
 		leaves[i] = p.unitNode(u, nil)
 	}
-	root := leaves[0]
-	remaining := leaves[1:]
-	for len(remaining) > 0 {
-		best := -1
-		var bestShared []string
-		for i, cand := range remaining {
-			shared := sparql.SharedVars(root.Vars(), cand.Vars())
-			if best == -1 || len(shared) > len(bestShared) {
-				best, bestShared = i, shared
-			}
-		}
-		next := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		root = &JoinNode{L: root, R: next, JoinVars: bestShared, Op: opts.JoinOperator}
-	}
-	return root, nil
+	return p.buildJoinTree(leaves, opts, newCostModel(p.prov, opts)), nil
 }
 
 // applyHeuristic1 merges star units pairwise (transitively) when they have

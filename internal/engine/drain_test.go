@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// rawProducer feeds n bindings into a stream with plain channel sends — a
+// producer that does NOT watch the context, the worst case for operators
+// that stop consuming their inputs. It closes done when it finished.
+func rawProducer(s *Stream, n int, v string) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer s.Close()
+		for i := 0; i < n; i++ {
+			s.ch <- sparql.Binding{v: rdf.NewLiteral(fmt.Sprint(i))}
+		}
+	}()
+	return done
+}
+
+func awaitDone(t *testing.T, label string, done chan struct{}) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: producer goroutine leaked (input not drained after cancellation)", label)
+	}
+}
+
+// TestBindJoinDrainsInputsOnCancel: a bind join whose output is abandoned
+// mid-stream must keep draining its left input so the producer goroutine
+// can finish — the goroutine-leak regression under client disconnects.
+func TestBindJoinDrainsInputsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	left := NewStream(4)
+	leftDone := rawProducer(left, 500, "x")
+	service := func(ctx context.Context, seed sparql.Binding) *Stream {
+		return FromSlice(ctx, []sparql.Binding{seed})
+	}
+	out := BindJoin(ctx, left, service, []string{"x"})
+	<-out.Chan() // one answer arrived, then the client goes away
+	cancel()
+	awaitDone(t, "bind-join", leftDone)
+	for range out.Chan() {
+	}
+}
+
+// TestSymmetricHashJoinDrainsInputsOnCancel: same property for the hash
+// join, on both inputs.
+func TestSymmetricHashJoinDrainsInputsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	left, right := NewStream(4), NewStream(4)
+	leftDone := rawProducer(left, 500, "x")
+	rightDone := rawProducer(right, 500, "x")
+	out := SymmetricHashJoin(ctx, left, right, []string{"x"})
+	<-out.Chan()
+	cancel()
+	awaitDone(t, "hash-join left", leftDone)
+	awaitDone(t, "hash-join right", rightDone)
+	for range out.Chan() {
+	}
+}
+
+// TestBlockBindJoinDrainsInputsOnCancel: the block variant must drain both
+// the left input and the in-flight block responses.
+func TestBlockBindJoinDrainsInputsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	left := NewStream(4)
+	leftDone := rawProducer(left, 500, "x")
+	service := func(ctx context.Context, seeds []sparql.Binding) *Stream {
+		return FromSlice(ctx, seeds)
+	}
+	out := BlockBindJoin(ctx, left, service, []string{"x"}, 8, 2)
+	<-out.Chan()
+	cancel()
+	awaitDone(t, "block-bind-join", leftDone)
+	for range out.Chan() {
+	}
+}

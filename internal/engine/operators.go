@@ -22,7 +22,13 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 
 	consume := func(in *Stream, own, other map[string][]sparql.Binding, ownIsLeft bool) {
 		defer wg.Done()
+		// After a failed Send (output abandoned) keep draining the input so
+		// its producer goroutine can finish instead of blocking forever.
+		draining := false
 		for b := range in.Chan() {
+			if draining {
+				continue
+			}
 			key := b.Key(joinVars)
 			mu.Lock()
 			own[key] = append(own[key], b)
@@ -39,7 +45,8 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 					merged = m.Merge(b)
 				}
 				if !out.Send(ctx, merged) {
-					return
+					draining = true
+					break
 				}
 			}
 		}
@@ -66,14 +73,21 @@ func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []strin
 	out := NewStream(64)
 	go func() {
 		defer out.Close()
+		// After a failed Send the output is abandoned: stop invoking the
+		// right service but keep draining the left (and any in-flight right)
+		// stream so the producer goroutines can finish.
+		cancelled := false
 		for lb := range left.Chan() {
+			if cancelled {
+				continue
+			}
 			seed := lb.Project(joinVars)
 			for rb := range right(ctx, seed).Chan() {
-				if !lb.Compatible(rb) {
+				if cancelled || !lb.Compatible(rb) {
 					continue
 				}
 				if !out.Send(ctx, lb.Merge(rb)) {
-					return
+					cancelled = true
 				}
 			}
 		}
@@ -136,13 +150,20 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
+				// Keep draining the block's response after a failed Send so
+				// the service's producer goroutine can finish.
+				draining := false
 				for rb := range right(ctx, seeds).Chan() {
+					if draining {
+						continue
+					}
 					for _, lb := range block {
 						if !lb.Compatible(rb) {
 							continue
 						}
 						if !out.Send(ctx, lb.Merge(rb)) {
-							return
+							draining = true
+							break
 						}
 					}
 				}
@@ -171,13 +192,18 @@ func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string)
 	go func() {
 		defer out.Close()
 		rights := right.Collect()
+		draining := false
 		for lb := range left.Chan() {
+			if draining {
+				continue // drain the left so its producer can finish
+			}
 			for _, rb := range rights {
 				if !lb.Compatible(rb) {
 					continue
 				}
 				if !out.Send(ctx, lb.Merge(rb)) {
-					return
+					draining = true
+					break
 				}
 			}
 		}
@@ -194,7 +220,11 @@ func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr) *
 	go func() {
 		defer out.Close()
 		rights := right.Collect()
+		draining := false
 		for lb := range left.Chan() {
+			if draining {
+				continue // drain the left so its producer can finish
+			}
 			matched := false
 			for _, rb := range rights {
 				if !lb.Compatible(rb) {
@@ -211,12 +241,16 @@ func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr) *
 				if ok {
 					matched = true
 					if !out.Send(ctx, m) {
-						return
+						draining = true
+						break
 					}
 				}
 			}
+			if draining {
+				continue
+			}
 			if !matched && !out.Send(ctx, lb) {
-				return
+				draining = true
 			}
 		}
 	}()
@@ -328,9 +362,13 @@ func Union(ctx context.Context, ins ...*Stream) *Stream {
 	for _, in := range ins {
 		go func(in *Stream) {
 			defer wg.Done()
+			draining := false
 			for b := range in.Chan() {
+				if draining {
+					continue // drain the input so its producer can finish
+				}
 				if !out.Send(ctx, b) {
-					return
+					draining = true
 				}
 			}
 		}(in)

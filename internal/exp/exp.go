@@ -31,6 +31,9 @@ type Config struct {
 	// (0 keeps the engine defaults).
 	BindBlockSize   int
 	BindConcurrency int
+	// Optimizer overrides the join-ordering/operator-selection strategy
+	// ("cost" or "greedy"); empty keeps the plan mode's default.
+	Optimizer string
 }
 
 // Label renders the configuration for tables.
@@ -51,6 +54,9 @@ func (c Config) Label() string {
 	}
 	if c.JoinOp == core.JoinBlockBind {
 		extra += fmt.Sprintf("/block-bind(B=%d)", c.effectiveBlock())
+	}
+	if c.Optimizer != "" {
+		extra += "/" + c.Optimizer
 	}
 	return fmt.Sprintf("%s %s%s [%s]", c.QueryID, mode, extra, c.Network.Name)
 }
@@ -120,6 +126,13 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
 	}
 	if cfg.BindConcurrency > 0 {
 		opts = append(opts, ontario.WithBindConcurrency(cfg.BindConcurrency))
+	}
+	if cfg.Optimizer != "" {
+		mode, err := core.OptimizerByName(cfg.Optimizer)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, ontario.WithOptimizer(mode))
 	}
 	res, err := eng.QueryParsed(ctx, lslod.Query(cfg.QueryID), opts...)
 	if err != nil {
@@ -236,6 +249,25 @@ func (r *Runner) RunBindJoin(ctx context.Context, net netsim.Profile, blockSizes
 				return nil, err
 			}
 			rows = append(rows, blk)
+		}
+	}
+	return rows, nil
+}
+
+// RunOptimizer compares cost-based ordering + per-join operator selection
+// against the greedy baseline on every benchmark query (aware plans): the
+// messages column shows the transferred intermediate results, where the
+// cost optimizer must never lose and should win whenever a plan has
+// engine-level joins.
+func (r *Runner) RunOptimizer(ctx context.Context, net netsim.Profile) ([]*Row, error) {
+	var rows []*Row
+	for _, q := range lslod.Queries() {
+		for _, opt := range []string{"greedy", "cost"} {
+			row, err := r.Run(ctx, Config{QueryID: q.ID, Aware: true, Network: net, Optimizer: opt})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows, nil

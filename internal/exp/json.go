@@ -21,6 +21,7 @@ type JSONRow struct {
 	Messages   int     `json:"messages"`
 	NetDelayMS float64 `json:"net_delay_ms"`
 	JoinOp     string  `json:"join_op,omitempty"`
+	Optimizer  string  `json:"optimizer,omitempty"`
 	BlockSize  int     `json:"bind_block_size,omitempty"`
 	Naive      bool    `json:"naive_translation,omitempty"`
 	Heuristic2 bool    `json:"heuristic2,omitempty"`
@@ -81,6 +82,7 @@ func WriteRowsJSON(dir, experiment string, rows []*Row) (string, error) {
 			Messages:   r.Messages,
 			NetDelayMS: float64(r.SimulatedDelay) / 1e6,
 			JoinOp:     r.Config.JoinOp.String(),
+			Optimizer:  r.Config.Optimizer,
 			BlockSize:  r.Config.BindBlockSize,
 			Naive:      r.Config.Naive,
 			Heuristic2: r.Config.Heuristic2,

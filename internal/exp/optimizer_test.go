@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ontario/internal/netsim"
+)
+
+// TestRunOptimizerExperiment drives the bench experiment end to end and
+// asserts its headline property: per query, cost-based planning never
+// sends more messages than greedy, and the answer counts agree.
+func TestRunOptimizerExperiment(t *testing.T) {
+	r := testRunner(t)
+	rows, err := r.RunOptimizer(context.Background(), netsim.NoDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10 (5 queries x greedy/cost)", len(rows))
+	}
+	strictlyFewer := 0
+	for i := 0; i < len(rows); i += 2 {
+		greedy, cost := rows[i], rows[i+1]
+		if greedy.Config.Optimizer != "greedy" || cost.Config.Optimizer != "cost" {
+			t.Fatalf("row pair out of order: %s / %s", greedy.Config.Label(), cost.Config.Label())
+		}
+		if greedy.Config.QueryID != cost.Config.QueryID {
+			t.Fatalf("row pair mixes queries: %s / %s", greedy.Config.Label(), cost.Config.Label())
+		}
+		if cost.Answers != greedy.Answers {
+			t.Errorf("%s: cost answered %d, greedy %d", cost.Config.QueryID, cost.Answers, greedy.Answers)
+		}
+		if cost.Messages > greedy.Messages {
+			t.Errorf("%s: cost sent more messages (%d > %d)", cost.Config.QueryID, cost.Messages, greedy.Messages)
+		}
+		if cost.Messages < greedy.Messages {
+			strictlyFewer++
+		}
+	}
+	if strictlyFewer < 2 {
+		t.Errorf("cost optimizer strictly reduced messages on %d queries, want >= 2", strictlyFewer)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteRowsJSON(dir, "optimizer", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_optimizer.json" {
+		t.Errorf("json path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows []JSONRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 10 {
+		t.Fatalf("json has %d rows", len(doc.Rows))
+	}
+	if doc.Rows[0].Optimizer != "greedy" || doc.Rows[1].Optimizer != "cost" {
+		t.Errorf("json rows missing optimizer field: %+v %+v", doc.Rows[0], doc.Rows[1])
+	}
+	if !strings.Contains(doc.Rows[1].Label, "/cost") {
+		t.Errorf("cost label = %s", doc.Rows[1].Label)
+	}
+}

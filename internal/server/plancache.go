@@ -1,0 +1,122 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"ontario"
+)
+
+// planCache is a size-bounded LRU of prepared queries keyed by normalized
+// query text plus the plan-shaping request parameters. A hit skips parsing
+// and planning entirely: the cached *ontario.Prepared is read-only during
+// execution, so any number of concurrent requests may run it.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key  string
+	prep *ontario.Prepared
+}
+
+// newPlanCache returns a cache holding up to capacity plans; nil when
+// capacity < 1 (caching disabled — callers nil-check).
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &planCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key, promoting it to most recently used.
+func (c *planCache) get(key string) *ontario.Prepared {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).prep
+}
+
+// put stores the plan, evicting the least recently used entry when full.
+func (c *planCache) put(key string, prep *ontario.Prepared) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planCacheEntry).prep = prep
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, prep: prep})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// normalizeQuery collapses whitespace runs OUTSIDE string literals so
+// formatting differences do not defeat the cache, while queries differing
+// only inside a literal (e.g. FILTER (?v = "New  York")) keep distinct
+// keys. Quotes follow SPARQL literal syntax: " or ' delimited, backslash
+// escapes.
+func normalizeQuery(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	var quote byte
+	escaped := false
+	pendingSpace := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == quote:
+				quote = 0
+			}
+			continue
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if b.Len() > 0 {
+				pendingSpace = true
+			}
+			continue
+		case c == '"' || c == '\'':
+			quote = c
+		}
+		if pendingSpace {
+			b.WriteByte(' ')
+			pendingSpace = false
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ontario"
+)
+
+const cacheTestQuery = `SELECT ?probe ?gene WHERE {
+  ?probe <http://lake.tib.eu/affymetrix/vocab#transcribedFrom> ?gene .
+  ?probe <http://lake.tib.eu/affymetrix/vocab#chromosome> "chr11" .
+}`
+
+// TestPlanCacheHitSkipsPlanning: the second identical request must be
+// served from the plan cache — the hit counter increments and the miss
+// counter does not.
+func TestPlanCacheHitSkipsPlanning(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+
+	run := func() {
+		resp := postQuery(t, ts.URL, cacheTestQuery, nil)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run()
+	if hits := srv.Metrics().Counter(MetricPlanCacheHits); hits != 0 {
+		t.Fatalf("hits after first request = %d, want 0", hits)
+	}
+	if misses := srv.Metrics().Counter(MetricPlanCacheMiss); misses != 1 {
+		t.Fatalf("misses after first request = %d, want 1", misses)
+	}
+
+	// Same query with different whitespace: normalization must still hit.
+	reformatted := strings.Join(strings.Fields(cacheTestQuery), " ")
+	resp := postQuery(t, ts.URL, reformatted, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if hits := srv.Metrics().Counter(MetricPlanCacheHits); hits != 1 {
+		t.Errorf("hits after second request = %d, want 1", hits)
+	}
+	if misses := srv.Metrics().Counter(MetricPlanCacheMiss); misses != 1 {
+		t.Errorf("misses after second request = %d, want 1", misses)
+	}
+	if n := srv.plans.len(); n != 1 {
+		t.Errorf("plan cache holds %d plans, want 1", n)
+	}
+
+	// A different plan-shaping parameter must be a separate cache entry.
+	resp = postQuery(t, ts.URL, cacheTestQuery, url.Values{"mode": {"unaware"}})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if misses := srv.Metrics().Counter(MetricPlanCacheMiss); misses != 2 {
+		t.Errorf("misses after mode change = %d, want 2", misses)
+	}
+}
+
+// TestNormalizeQueryPreservesLiterals: whitespace outside string literals
+// collapses (formatting must not defeat the cache) but whitespace INSIDE a
+// literal is significant — two queries differing only there must get
+// distinct keys.
+func TestNormalizeQueryPreservesLiterals(t *testing.T) {
+	a := "SELECT ?v  WHERE {\n\t?s <http://p> ?v .\n FILTER (?v = \"New York\") }"
+	b := "SELECT ?v WHERE { ?s <http://p> ?v . FILTER (?v = \"New York\") }"
+	if normalizeQuery(a) != normalizeQuery(b) {
+		t.Errorf("formatting-only difference changed the key:\n%q\n%q", normalizeQuery(a), normalizeQuery(b))
+	}
+	c := strings.Replace(a, "New York", "New  York", 1)
+	if normalizeQuery(a) == normalizeQuery(c) {
+		t.Errorf("whitespace inside a literal was collapsed: %q", normalizeQuery(c))
+	}
+	d := `SELECT ?v WHERE { ?s <http://p> "esc\" quote  here" }`
+	e := `SELECT ?v WHERE { ?s <http://p> "esc\" quote here" }`
+	if normalizeQuery(d) == normalizeQuery(e) {
+		t.Error("escaped quote ended the literal early")
+	}
+	f := "SELECT ?v WHERE { ?s <http://p> 'single  quoted' }"
+	g := "SELECT ?v WHERE { ?s <http://p> 'single quoted' }"
+	if normalizeQuery(f) == normalizeQuery(g) {
+		t.Error("single-quoted literal was collapsed")
+	}
+}
+
+// TestPlanCacheEviction: the LRU must not grow past its capacity.
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", &ontario.Prepared{})
+	c.put("b", &ontario.Prepared{})
+	c.put("a", &ontario.Prepared{}) // refresh a: now a is most recent
+	c.put("c", &ontario.Prepared{}) // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	if c.get("b") != nil {
+		t.Error("b survived eviction")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Error("a/c missing after eviction")
+	}
+}
+
+// TestExplainEndpoint: ?explain=1 renders the plan with estimates instead
+// of executing, and goes through the plan cache too.
+func TestExplainEndpoint(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+	resp := postQuery(t, ts.URL, cacheTestQuery, url.Values{"explain": {"1"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{"Plan[", "optimizer=cost", "{est card="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if qs := srv.Metrics().Counter(MetricQueries); qs != 0 {
+		t.Errorf("explain executed a query (queries counter = %d)", qs)
+	}
+
+	// The plan cached by EXPLAIN serves the real execution as a hit.
+	resp = postQuery(t, ts.URL, cacheTestQuery, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits := srv.Metrics().Counter(MetricPlanCacheHits); hits != 1 {
+		t.Errorf("execution after explain was not a cache hit (hits = %d)", hits)
+	}
+}

@@ -14,6 +14,11 @@
 //   - cancellation: every query runs under the request context with a
 //     per-query deadline; a client disconnect tears the whole plan down
 //     through context.Context;
+//   - plan caching: an LRU keyed by normalized query text plus the
+//     plan-shaping request parameters; a repeated query skips parsing and
+//     planning entirely (hits/misses exported on /metrics);
+//   - EXPLAIN: ?explain=1 renders the (cached) plan with the cost model's
+//     estimates instead of executing it;
 //   - observability: /metrics exports the counters and latency histograms
 //     recorded through internal/trace in Prometheus text format.
 package server
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"ontario"
+	"ontario/internal/core"
 	"ontario/internal/netsim"
 	"ontario/internal/trace"
 )
@@ -45,6 +51,8 @@ const (
 	MetricQueryDuration = "ontario_query_duration_ms"
 	MetricTTFA          = "ontario_time_to_first_answer_ms"
 	MetricSourceDelay   = "ontario_source_delay_ms"
+	MetricPlanCacheHits = "ontario_plan_cache_hits_total"
+	MetricPlanCacheMiss = "ontario_plan_cache_misses_total"
 )
 
 // Config parameterizes the serving layer.
@@ -62,6 +70,10 @@ type Config struct {
 	// RetryAfter is the hint returned in the Retry-After header of 503
 	// responses (default 1s).
 	RetryAfter time.Duration
+	// PlanCacheSize bounds the server's LRU plan cache: repeated queries
+	// (same normalized text, same plan-shaping parameters) skip parsing and
+	// planning (default 128; negative disables caching).
+	PlanCacheSize int
 	// DefaultOptions are applied to every query before the per-request
 	// mode/network parameters.
 	DefaultOptions []ontario.Option
@@ -81,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
 	}
 	return c
 }
@@ -103,6 +118,7 @@ type Server struct {
 	metrics *trace.Metrics
 	mux     *http.ServeMux
 	admit   chan struct{}
+	plans   *planCache // nil when caching is disabled
 
 	mu            sync.Mutex
 	waiting       int
@@ -121,6 +137,7 @@ func New(eng *ontario.Engine, cfg Config) *Server {
 		metrics: trace.NewMetrics(),
 		mux:     http.NewServeMux(),
 		admit:   make(chan struct{}, cfg.MaxConcurrent),
+		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSparql)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -236,26 +253,62 @@ func queryText(r *http.Request) (string, error) {
 }
 
 // requestOptions derives the per-query options: the server defaults, then
-// the request's mode/network parameters.
-func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, error) {
+// the request's mode/network/optimizer parameters. The second return value
+// is the plan-shaping fingerprint of the request, part of the plan-cache
+// key.
+func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, error) {
 	opts := append([]ontario.Option(nil), s.cfg.DefaultOptions...)
-	switch mode := r.URL.Query().Get("mode"); mode {
+	mode := r.URL.Query().Get("mode")
+	switch mode {
 	case "":
 	case "aware":
 		opts = append(opts, ontario.WithAwarePlan())
 	case "unaware":
 		opts = append(opts, ontario.WithUnawarePlan())
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want aware or unaware)", mode)
+		return nil, "", fmt.Errorf("unknown mode %q (want aware or unaware)", mode)
 	}
+	// The fingerprint uses the RESOLVED parameter values (profile name,
+	// canonical optimizer name), so accepted aliases of the same setting
+	// ("nodelay"/"none", "Cost"/"cost") share one cache entry; the empty
+	// string means "server default", distinct from any explicit value.
+	network := ""
 	if net := r.URL.Query().Get("network"); net != "" {
 		profile, err := netsim.ProfileByName(net)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		opts = append(opts, ontario.WithNetwork(profile))
+		network = profile.Name
 	}
-	return opts, nil
+	optimizer := ""
+	if opt := r.URL.Query().Get("optimizer"); opt != "" {
+		m, err := core.OptimizerByName(opt)
+		if err != nil {
+			return nil, "", err
+		}
+		opts = append(opts, ontario.WithOptimizer(m))
+		optimizer = m.String()
+	}
+	return opts, "mode=" + mode + "|network=" + network + "|optimizer=" + optimizer, nil
+}
+
+// prepare resolves the request's plan through the LRU plan cache: a hit
+// skips parsing and planning and bumps the hit counter; a miss plans and
+// stores.
+func (s *Server) prepare(text, fingerprint string, opts []ontario.Option) (*ontario.Prepared, error) {
+	key := normalizeQuery(text) + "|" + fingerprint
+	if prep := s.plans.get(key); prep != nil {
+		s.metrics.Inc(MetricPlanCacheHits)
+		return prep, nil
+	}
+	prep, err := s.eng.Prepare(text, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Inc(MetricPlanCacheMiss)
+	s.plans.put(key, prep)
+	return prep, nil
 }
 
 // queryDeadline resolves the effective per-query timeout: the server's
@@ -291,9 +344,23 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	opts, err := s.requestOptions(r)
+	opts, fingerprint, err := s.requestOptions(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// EXPLAIN: plan (through the cache) and render without executing — no
+	// admission slot needed, planning is engine-local.
+	if explain := r.URL.Query().Get("explain"); explain == "1" || explain == "true" {
+		prep, err := s.prepare(text, fingerprint, opts)
+		if err != nil {
+			s.metrics.Inc(MetricFailed)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, prep.Explain())
 		return
 	}
 
@@ -320,7 +387,13 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	run, err := s.eng.QueryStream(ctx, text, opts...)
+	prep, err := s.prepare(text, fingerprint, opts)
+	if err != nil {
+		s.metrics.Inc(MetricFailed)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	run, err := s.eng.StreamPrepared(ctx, prep, opts...)
 	if err != nil {
 		s.metrics.Inc(MetricFailed)
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -188,6 +188,16 @@ func WithTripleDecomposition() Option {
 	return func(c *config) { c.opts.Decomposition = core.DecomposeTriples }
 }
 
+// WithOptimizer selects the join-ordering / operator-selection strategy:
+// core.OptimizerCost (the statistics-backed cost model, the default of
+// aware plans) or core.OptimizerGreedy (the legacy shared-variable
+// ordering with one global operator, kept as the ablation baseline). Apply
+// it after WithAwarePlan/WithUnawarePlan, which reset the mode to their
+// respective defaults.
+func WithOptimizer(mode core.OptimizerMode) Option {
+	return func(c *config) { c.opts.Optimizer = mode }
+}
+
 // WithNetworkScale multiplies the real sleeping of the network simulation;
 // 0 disables sleeping (sampled delays are still recorded), 1 reproduces the
 // sampled delays in real time.
@@ -298,14 +308,23 @@ func (e *Engine) QueryStream(ctx context.Context, queryText string, options ...O
 // QueryStreamParsed starts an already-parsed query, returning the running
 // execution without draining it.
 func (e *Engine) QueryStreamParsed(ctx context.Context, q *sparql.Query, options ...Option) (*RunningQuery, error) {
-	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
-	for _, o := range options {
-		o(&cfg)
-	}
+	cfg := newConfig(options)
 	plan, err := e.inner.Planner.Plan(q, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
+	return e.startExecution(ctx, plan, cfg)
+}
+
+func newConfig(options []Option) config {
+	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
+	for _, o := range options {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (e *Engine) startExecution(ctx context.Context, plan *core.Plan, cfg config) (*RunningQuery, error) {
 	exec := e.inner.Executor.NewExecution(cfg.scale, cfg.seed)
 	start := time.Now()
 	stream, err := exec.Execute(ctx, plan)
@@ -313,7 +332,7 @@ func (e *Engine) QueryStreamParsed(ctx context.Context, q *sparql.Query, options
 		return nil, err
 	}
 	return &RunningQuery{
-		Variables: q.ProjectedVars(),
+		Variables: plan.Query.ProjectedVars(),
 		Plan:      plan,
 		Start:     start,
 		exec:      exec,
@@ -321,22 +340,53 @@ func (e *Engine) QueryStreamParsed(ctx context.Context, q *sparql.Query, options
 	}, nil
 }
 
-// Explain plans the query without executing it and returns the rendered
-// plan.
-func (e *Engine) Explain(queryText string, options ...Option) (string, error) {
+// Prepared is a planned query ready for repeated execution. The plan tree
+// is read-only during execution, so one Prepared may back any number of
+// concurrent StreamPrepared calls — the unit a server-side plan cache
+// stores.
+type Prepared struct {
+	plan *core.Plan
+}
+
+// Plan exposes the prepared execution plan.
+func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// Explain renders the prepared plan (with cost estimates under the cost
+// optimizer).
+func (p *Prepared) Explain() string { return p.plan.Explain() }
+
+// Prepare parses and plans a query without executing it. All plan-shaping
+// options (mode, network, optimizer, join operator, ...) are fixed at
+// Prepare time.
+func (e *Engine) Prepare(queryText string, options ...Option) (*Prepared, error) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
-	for _, o := range options {
-		o(&cfg)
-	}
+	cfg := newConfig(options)
 	plan, err := e.inner.Planner.Plan(q, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{plan: plan}, nil
+}
+
+// StreamPrepared starts a prepared query on its own execution, skipping
+// parsing and planning. Only the execution-time options (WithNetworkScale,
+// WithSeed) are honored; the plan — including its network profile — was
+// fixed at Prepare time.
+func (e *Engine) StreamPrepared(ctx context.Context, prep *Prepared, options ...Option) (*RunningQuery, error) {
+	return e.startExecution(ctx, prep.plan, newConfig(options))
+}
+
+// Explain plans the query without executing it and returns the rendered
+// plan, including the cost model's estimates under the cost optimizer.
+func (e *Engine) Explain(queryText string, options ...Option) (string, error) {
+	prep, err := e.Prepare(queryText, options...)
 	if err != nil {
 		return "", err
 	}
-	return plan.Explain(), nil
+	return prep.Explain(), nil
 }
 
 func planLabel(p *core.Plan) string {
