@@ -1,0 +1,205 @@
+package ontario_test
+
+// The API leak guard: no exported identifier of the public packages
+// (ontario and ontario/lake) may reference a type from ontario/internal/...
+// in its exported surface — Go forbids external modules from importing
+// internal packages, so any such reference makes the API unusable outside
+// this repository. The guard type-checks the public packages from source
+// and walks every exported object's type.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const modulePath = "ontario"
+
+// repoImporter resolves this module's import paths from the repository
+// source tree and delegates everything else (the standard library) to the
+// source importer.
+type repoImporter struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*types.Package
+	root string
+}
+
+func newRepoImporter(root string) *repoImporter {
+	fset := token.NewFileSet()
+	return &repoImporter{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs: map[string]*types.Package{},
+		root: root,
+	}
+}
+
+func (ri *repoImporter) Import(path string) (*types.Package, error) {
+	return ri.ImportFrom(path, "", 0)
+}
+
+func (ri *repoImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := ri.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/")
+		pkg, err := ri.check(path, filepath.Join(ri.root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		ri.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return ri.std.ImportFrom(path, dir, mode)
+}
+
+func (ri *repoImporter) check(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ri.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: ri}
+	return conf.Check(path, ri.fset, files, nil)
+}
+
+// leakChecker walks types looking for named types from internal packages.
+type leakChecker struct {
+	t    *testing.T
+	seen map[types.Type]bool
+}
+
+func isInternal(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == modulePath+"/internal" || strings.HasPrefix(p, modulePath+"/internal/")
+}
+
+// checkType reports internal named types reachable through the exported
+// surface of typ. Named types from non-internal packages terminate the
+// walk: their own surface is guarded where they are declared.
+func (lc *leakChecker) checkType(where string, typ types.Type) {
+	if lc.seen[typ] {
+		return
+	}
+	lc.seen[typ] = true
+	switch v := typ.(type) {
+	case *types.Named:
+		if isInternal(v.Obj().Pkg()) {
+			lc.t.Errorf("%s references internal type %s", where, v)
+		}
+	case *types.Alias:
+		lc.checkType(where, types.Unalias(v))
+	case *types.Pointer:
+		lc.checkType(where, v.Elem())
+	case *types.Slice:
+		lc.checkType(where, v.Elem())
+	case *types.Array:
+		lc.checkType(where, v.Elem())
+	case *types.Chan:
+		lc.checkType(where, v.Elem())
+	case *types.Map:
+		lc.checkType(where, v.Key())
+		lc.checkType(where, v.Elem())
+	case *types.Signature:
+		for i := 0; i < v.Params().Len(); i++ {
+			lc.checkType(where, v.Params().At(i).Type())
+		}
+		for i := 0; i < v.Results().Len(); i++ {
+			lc.checkType(where, v.Results().At(i).Type())
+		}
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if f := v.Field(i); f.Exported() {
+				lc.checkType(fmt.Sprintf("%s field %s", where, f.Name()), f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < v.NumExplicitMethods(); i++ {
+			m := v.ExplicitMethod(i)
+			lc.checkType(fmt.Sprintf("%s method %s", where, m.Name()), m.Type())
+		}
+		for i := 0; i < v.NumEmbeddeds(); i++ {
+			lc.checkType(where, v.EmbeddedType(i))
+		}
+	}
+}
+
+func (lc *leakChecker) checkObject(pkgPath string, obj types.Object) {
+	where := pkgPath + "." + obj.Name()
+	switch o := obj.(type) {
+	case *types.TypeName:
+		if o.IsAlias() {
+			lc.checkType(where, o.Type())
+			return
+		}
+		named, ok := o.Type().(*types.Named)
+		if !ok {
+			lc.checkType(where, o.Type())
+			return
+		}
+		// The underlying type is part of the API (map values, slice
+		// elements, exported struct fields all reach the user).
+		lc.checkType(where, named.Underlying())
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Exported() {
+				lc.checkType(fmt.Sprintf("%s.%s", where, m.Name()), m.Type())
+			}
+		}
+	default:
+		lc.checkType(where, obj.Type())
+	}
+}
+
+// TestPublicAPIDoesNotLeakInternalTypes fails when any exported signature,
+// field, alias, method or interface of the public packages mentions an
+// ontario/internal type.
+func TestPublicAPIDoesNotLeakInternalTypes(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := newRepoImporter(root)
+	for _, pkgPath := range []string{modulePath, modulePath + "/lake"} {
+		pkg, err := ri.Import(pkgPath)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", pkgPath, err)
+		}
+		lc := &leakChecker{t: t, seen: map[types.Type]bool{}}
+		scope := pkg.Scope()
+		exported := 0
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			exported++
+			lc.checkObject(pkgPath, obj)
+		}
+		if exported == 0 {
+			t.Errorf("%s exports nothing — guard is vacuous", pkgPath)
+		}
+	}
+}

@@ -75,7 +75,7 @@ func BenchmarkGrid(b *testing.B) {
 				if aware {
 					mode = "aware"
 				}
-				name := fmt.Sprintf("%s/%s/%s", q, mode, profileSlug(net))
+				name := fmt.Sprintf("%s/%s/%s", q, mode, profileSlug(net.Name))
 				b.Run(name, func(b *testing.B) {
 					runCell(b, exp.Config{QueryID: q, Aware: aware, Network: net})
 				})
@@ -95,7 +95,7 @@ func BenchmarkFig2AnswerTraces(b *testing.B) {
 			if aware {
 				mode = "aware"
 			}
-			b.Run(fmt.Sprintf("%s/%s", mode, profileSlug(net)), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", mode, profileSlug(net.Name)), func(b *testing.B) {
 				runCell(b, exp.Config{QueryID: "Q3", Aware: aware, Network: net})
 			})
 		}
@@ -113,7 +113,7 @@ func BenchmarkH2FilterPlacement(b *testing.B) {
 				if aware {
 					place = "source"
 				}
-				b.Run(fmt.Sprintf("%s/filter-at-%s/%s", q, place, profileSlug(net)), func(b *testing.B) {
+				b.Run(fmt.Sprintf("%s/filter-at-%s/%s", q, place, profileSlug(net.Name)), func(b *testing.B) {
 					runCell(b, exp.Config{QueryID: q, Aware: aware, Network: net})
 				})
 			}
@@ -127,13 +127,13 @@ func BenchmarkH2FilterPlacement(b *testing.B) {
 // unaware time.
 func BenchmarkH1TranslationQuality(b *testing.B) {
 	for _, net := range []netsim.Profile{netsim.NoDelay, netsim.Gamma2} {
-		b.Run("unaware/"+profileSlug(net), func(b *testing.B) {
+		b.Run("unaware/"+profileSlug(net.Name), func(b *testing.B) {
 			runCell(b, exp.Config{QueryID: "Q2", Aware: false, Network: net})
 		})
-		b.Run("aware-naive/"+profileSlug(net), func(b *testing.B) {
+		b.Run("aware-naive/"+profileSlug(net.Name), func(b *testing.B) {
 			runCell(b, exp.Config{QueryID: "Q2", Aware: true, Naive: true, Network: net})
 		})
-		b.Run("aware-optimized/"+profileSlug(net), func(b *testing.B) {
+		b.Run("aware-optimized/"+profileSlug(net.Name), func(b *testing.B) {
 			runCell(b, exp.Config{QueryID: "Q2", Aware: true, Network: net})
 		})
 	}
@@ -153,7 +153,7 @@ func BenchmarkJoinOperators(b *testing.B) {
 	}
 	for _, o := range ops {
 		for _, net := range []netsim.Profile{netsim.NoDelay, netsim.Gamma2} {
-			b.Run(o.name+"/"+profileSlug(net), func(b *testing.B) {
+			b.Run(o.name+"/"+profileSlug(net.Name), func(b *testing.B) {
 				runCell(b, exp.Config{QueryID: "Q5", Aware: false, Network: net, JoinOp: o.op})
 			})
 		}
@@ -246,9 +246,9 @@ func BenchmarkDecomposition(b *testing.B) {
 	lake := benchLake(b)
 	ctx := context.Background()
 	for _, mode := range []string{"star", "triple"} {
-		for _, net := range []netsim.Profile{netsim.NoDelay, netsim.Gamma2} {
-			b.Run(mode+"/"+profileSlug(net), func(b *testing.B) {
-				eng := ontario.New(lake.Catalog)
+		for _, net := range []ontario.Profile{ontario.NoDelay, ontario.Gamma2} {
+			b.Run(mode+"/"+profileSlug(net.Name), func(b *testing.B) {
+				eng := ontario.New(lake.Lake)
 				opts := []ontario.Option{
 					ontario.WithUnawarePlan(),
 					ontario.WithNetwork(net),
@@ -264,7 +264,11 @@ func BenchmarkDecomposition(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					answers, messages = len(res.Answers), res.Messages
+					if _, err := res.Collect(); err != nil {
+						b.Fatal(err)
+					}
+					st := res.Stats()
+					answers, messages = st.Answers, st.Messages
 				}
 				b.ReportMetric(float64(answers), "answers")
 				b.ReportMetric(float64(messages), "messages")
@@ -290,7 +294,7 @@ func BenchmarkNormalization(b *testing.B) {
 				mode = "aware"
 			}
 			b.Run(layout+"/"+mode, func(b *testing.B) {
-				eng := ontario.New(lakes[layout].Catalog)
+				eng := ontario.New(lakes[layout].Lake)
 				opts := []ontario.Option{ontario.WithNetworkScale(0)}
 				if aware {
 					opts = append(opts, ontario.WithAwarePlan())
@@ -299,7 +303,11 @@ func BenchmarkNormalization(b *testing.B) {
 				}
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := eng.Query(ctx, lslod.Queries()[1].Text, opts...); err != nil {
+					res, err := eng.Query(ctx, lslod.Queries()[1].Text, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := res.Collect(); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -312,7 +320,7 @@ func BenchmarkNormalization(b *testing.B) {
 // source selection, heuristics).
 func BenchmarkPlanGeneration(b *testing.B) {
 	lake := benchLake(b)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	for _, q := range lslod.Queries() {
 		b.Run(q.ID, func(b *testing.B) {
 			b.ReportAllocs()
@@ -355,8 +363,8 @@ func BenchmarkGammaSampler(b *testing.B) {
 	}
 }
 
-func profileSlug(p netsim.Profile) string {
-	switch p.Name {
+func profileSlug(name string) string {
+	switch name {
 	case "No Delay":
 		return "nodelay"
 	case "Gamma 1":

@@ -32,7 +32,6 @@ import (
 
 	"ontario"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 	"ontario/internal/server"
 )
 
@@ -52,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 
-	profile, err := netsim.ProfileByName(*network)
+	profile, err := ontario.ProfileByName(*network)
 	if err != nil {
 		fail(err)
 	}
@@ -71,7 +70,7 @@ func main() {
 	if *srcLimit > 0 {
 		engOpts = append(engOpts, ontario.WithSourceLimit(*srcLimit))
 	}
-	eng := ontario.New(lake.Catalog, engOpts...)
+	eng := ontario.New(lake.Lake, engOpts...)
 
 	defaults := []ontario.Option{
 		ontario.WithNetwork(profile),

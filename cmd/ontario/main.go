@@ -18,9 +18,7 @@ import (
 	"time"
 
 	"ontario"
-	"ontario/internal/core"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 func main() {
@@ -121,19 +119,19 @@ func main() {
 		opts = append(opts, ontario.WithNaiveTranslation())
 	}
 	if *optimizer != "" {
-		mode, err := core.OptimizerByName(*optimizer)
+		mode, err := ontario.OptimizerByName(*optimizer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ontario:", err)
 			os.Exit(2)
 		}
 		opts = append(opts, ontario.WithOptimizer(mode))
 	}
-	op, err := joinOperatorByName(*joinOp)
+	op, err := ontario.JoinOperatorByName(*joinOp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ontario:", err)
 		os.Exit(2)
 	}
-	if op != core.JoinSymmetricHash {
+	if op != ontario.JoinSymmetricHash {
 		opts = append(opts, ontario.WithJoinOperator(op))
 	}
 	if *bindBlk > 0 {
@@ -143,7 +141,7 @@ func main() {
 		opts = append(opts, ontario.WithBindConcurrency(*bindConc))
 	}
 
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	if *explain {
 		out, err := eng.Explain(queryText, opts...)
 		if err != nil {
@@ -159,25 +157,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ontario:", err)
 		os.Exit(1)
 	}
-	vars := append([]string(nil), res.Variables...)
+	defer res.Close()
+	vars := res.Vars()
 	sort.Strings(vars)
 	fmt.Println(strings.Join(vars, "\t"))
-	for i, b := range res.Answers {
-		if i >= *limit {
-			fmt.Printf("... (%d more answers)\n", len(res.Answers)-*limit)
-			break
+	printed, extra := 0, 0
+	for res.Next() {
+		if printed >= *limit {
+			extra++
+			continue
 		}
+		printed++
+		b := res.Binding()
 		parts := make([]string, len(vars))
 		for j, v := range vars {
 			parts[j] = b[v].String()
 		}
 		fmt.Println(strings.Join(parts, "\t"))
 	}
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ontario:", err)
+		os.Exit(1)
+	}
+	if extra > 0 {
+		fmt.Printf("... (%d more answers)\n", extra)
+	}
+	st := res.Stats()
 	fmt.Printf("\n%d answers in %s (first answer after %s, %d network messages, %s simulated delay)\n",
-		len(res.Answers),
-		res.ExecutionTime().Round(100*time.Microsecond),
-		res.TimeToFirstAnswer().Round(100*time.Microsecond),
-		res.Messages, res.SimulatedDelay.Round(100*time.Microsecond))
+		st.Answers,
+		st.Duration.Round(100*time.Microsecond),
+		st.TimeToFirstAnswer.Round(100*time.Microsecond),
+		st.Messages, st.SimulatedDelay.Round(100*time.Microsecond))
 }
 
 // runRawSQL executes a SQL statement against one dataset's relational
@@ -219,21 +229,6 @@ func runRawSQL(stmt, dataset string, small bool, seed int64, limit int) error {
 	return nil
 }
 
-func joinOperatorByName(name string) (core.JoinOperator, error) {
-	switch strings.ToLower(name) {
-	case "", "hash", "symmetric-hash":
-		return core.JoinSymmetricHash, nil
-	case "nested", "nested-loop":
-		return core.JoinNestedLoop, nil
-	case "bind":
-		return core.JoinBind, nil
-	case "block-bind", "block":
-		return core.JoinBlockBind, nil
-	default:
-		return 0, fmt.Errorf("unknown join operator %q", name)
-	}
-}
-
-func profileByName(name string) (netsim.Profile, error) {
-	return netsim.ProfileByName(name)
+func profileByName(name string) (ontario.Profile, error) {
+	return ontario.ProfileByName(name)
 }

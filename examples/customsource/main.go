@@ -1,0 +1,239 @@
+// Customsource: register a CSV file as a data-lake source through the
+// public lake.Source interface and run a federated query joining it with
+// an in-memory RDF graph — no internal packages involved; this is exactly
+// what an external module importing ontario can do.
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"ontario"
+	"ontario/lake"
+)
+
+// The example vocabulary.
+const (
+	classCity    = "http://example.org/City"
+	classCountry = "http://example.org/Country"
+
+	predCityName   = "http://example.org/city/name"
+	predCityIn     = "http://example.org/city/country"
+	predPopulation = "http://example.org/city/population"
+
+	predCountryName = "http://example.org/country/name"
+	predContinent   = "http://example.org/country/continent"
+
+	cityIRIPrefix    = "http://example.org/city/"
+	countryIRIPrefix = "http://example.org/country/"
+)
+
+const citiesCSV = `id,name,country,population
+1,Berlin,de,3700000
+2,Hamburg,de,1800000
+3,Paris,fr,2100000
+4,Lyon,fr,520000
+5,Osaka,jp,2700000
+6,Nagoya,jp,2300000
+7,Montevideo,uy,1300000
+`
+
+// csvSource serves a parsed CSV file as a lake source. It implements
+// lake.Source: Molecules advertises the City class so source selection
+// finds it, and Execute answers star sub-queries by scanning the rows.
+type csvSource struct {
+	header []string
+	rows   [][]string
+}
+
+func newCSVSource(data string) (*csvSource, error) {
+	records, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("empty CSV")
+	}
+	return &csvSource{header: records[0], rows: records[1:]}, nil
+}
+
+// ID implements lake.Source.
+func (s *csvSource) ID() string { return "cities-csv" }
+
+// Molecules implements lake.Source. The country predicate links to the
+// Country class, whose molecules live in the RDF graph source — a
+// cross-source link the engine joins over.
+func (s *csvSource) Molecules() []lake.Molecule {
+	return []lake.Molecule{{
+		Class: classCity,
+		Predicates: []lake.Predicate{
+			{IRI: predCityName},
+			{IRI: predCityIn, LinkedClass: classCountry},
+			{IRI: predPopulation},
+		},
+	}}
+}
+
+func (s *csvSource) field(row []string, name string) string {
+	for i, h := range s.header {
+		if h == name && i < len(row) {
+			return row[i]
+		}
+	}
+	return ""
+}
+
+// term renders one CSV cell as the RDF term of a predicate.
+func (s *csvSource) term(row []string, pred string) (ontario.Term, bool) {
+	switch pred {
+	case predCityName:
+		return lake.Literal(s.field(row, "name")), true
+	case predCityIn:
+		return lake.IRI(countryIRIPrefix + s.field(row, "country")), true
+	case predPopulation:
+		n, err := strconv.ParseInt(s.field(row, "population"), 10, 64)
+		if err != nil {
+			return ontario.Term{}, false
+		}
+		return lake.Integer(n), true
+	default:
+		return ontario.Term{}, false
+	}
+}
+
+// Execute implements lake.Source: each CSV row is one City entity; a row
+// matches a star when every pattern agrees with it. Seed blocks from
+// dependent joins prune non-compatible rows before they are returned.
+func (s *csvSource) Execute(ctx context.Context, req *lake.Request) ([]lake.Binding, error) {
+	var out []lake.Binding
+	for _, star := range req.Stars {
+		for _, row := range s.rows {
+			b := lake.Binding{}
+			subject := lake.IRI(cityIRIPrefix + s.field(row, "id"))
+			matched := true
+			for _, tp := range star.Patterns {
+				// Subject: the star's subject variable or a fixed IRI.
+				if tp.S.IsVar() {
+					b[tp.S.Var] = subject
+				} else if !tp.S.Term.Equal(subject) {
+					matched = false
+					break
+				}
+				if tp.P.IsVar() {
+					matched = false // predicate variables are not supported
+					break
+				}
+				if tp.P.Term.Value == lake.RDFType {
+					if !tp.O.IsVar() && tp.O.Term.Value != classCity {
+						matched = false
+						break
+					}
+					continue
+				}
+				obj, ok := s.term(row, tp.P.Term.Value)
+				if !ok {
+					matched = false
+					break
+				}
+				if tp.O.IsVar() {
+					if prev, bound := b[tp.O.Var]; bound && !prev.Equal(obj) {
+						matched = false
+						break
+					}
+					b[tp.O.Var] = obj
+				} else if !tp.O.Term.Equal(obj) {
+					matched = false
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			if len(req.Seeds) > 0 {
+				compatible := false
+				for _, seed := range req.Seeds {
+					if seed.Compatible(b) {
+						compatible = true
+						break
+					}
+				}
+				if !compatible {
+					continue
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// countryTriples is the RDF side of the lake: countries with names and
+// continents, typed so molecule derivation finds them.
+func countryTriples() []lake.Triple {
+	countries := []struct{ code, name, continent string }{
+		{"de", "Germany", "Europe"},
+		{"fr", "France", "Europe"},
+		{"jp", "Japan", "Asia"},
+		{"uy", "Uruguay", "South America"},
+	}
+	var out []lake.Triple
+	for _, c := range countries {
+		iri := lake.IRI(countryIRIPrefix + c.code)
+		out = append(out,
+			lake.Triple{S: iri, P: lake.IRI(lake.RDFType), O: lake.IRI(classCountry)},
+			lake.Triple{S: iri, P: lake.IRI(predCountryName), O: lake.Literal(c.name)},
+			lake.Triple{S: iri, P: lake.IRI(predContinent), O: lake.Literal(c.continent)},
+		)
+	}
+	return out
+}
+
+func main() {
+	src, err := newCSVSource(citiesCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := lake.NewBuilder().
+		AddSource(src).
+		AddGraph("countries", countryTriples()).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(l)
+
+	// European cities over a million inhabitants: the city star answers
+	// from the CSV source, the country star from the RDF graph, and the
+	// engine joins them across sources.
+	query := `
+SELECT ?city ?country ?pop WHERE {
+  ?c <` + predCityName + `> ?city .
+  ?c <` + predCityIn + `> ?co .
+  ?c <` + predPopulation + `> ?pop .
+  ?co <` + predCountryName + `> ?country .
+  ?co <` + predContinent + `> "Europe" .
+  FILTER (?pop > 1000000)
+}`
+	res, err := eng.Query(context.Background(), query, ontario.WithAwarePlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Close()
+	fmt.Println("European cities with more than a million inhabitants:")
+	for res.Next() {
+		b := res.Binding()
+		fmt.Printf("  %-12s %-8s %s\n", b["city"].Value, b["country"].Value, b["pop"].Value)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+	fmt.Printf("\n%d answers, %d simulated network messages\n", st.Answers, st.Messages)
+
+	fmt.Println("\nplan:")
+	fmt.Print(res.Plan())
+}

@@ -12,7 +12,6 @@ import (
 
 	"ontario"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 func main() {
@@ -20,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	ctx := context.Background()
 
 	q4 := ""
@@ -53,7 +52,7 @@ func main() {
 			q3 = q.Text
 		}
 	}
-	for _, net := range []netsim.Profile{netsim.Gamma1, netsim.Gamma3} {
+	for _, net := range []ontario.Profile{ontario.Gamma1, ontario.Gamma3} {
 		plan, err := eng.Explain(q3,
 			ontario.WithAwarePlan(), ontario.WithHeuristic2(), ontario.WithNetwork(net))
 		if err != nil {
@@ -77,14 +76,18 @@ func main() {
 		{"aware + naive translation", []ontario.Option{ontario.WithAwarePlan(), ontario.WithNaiveTranslation()}},
 		{"aware + optimized translation", []ontario.Option{ontario.WithAwarePlan()}},
 	} {
-		opts := append(cfg.opts, ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(0.2))
+		opts := append(cfg.opts, ontario.WithNetwork(ontario.Gamma2), ontario.WithNetworkScale(0.2))
 		res, err := eng.Query(ctx, q2, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if _, err := res.Collect(); err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats()
 		fmt.Printf("%-38s %3d answers, %8s, %4d messages\n",
-			cfg.label, len(res.Answers),
-			res.ExecutionTime().Round(10*time.Microsecond), res.Messages)
+			cfg.label, st.Answers,
+			st.Duration.Round(10*time.Microsecond), st.Messages)
 	}
 	fmt.Println("\nThe naive translation fetches each star separately and joins inside the wrapper,")
 	fmt.Println("so pushing the join down buys nothing — Ontario's reported limitation. The optimized")

@@ -11,7 +11,6 @@ import (
 
 	"ontario"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 func main() {
@@ -24,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 
 	// 1. Which recruiting trials study drugs for diseases linked to a gene
 	//    on chromosome 17? (LinkedCT ⋈ Diseasome ⋈ DrugBank)
@@ -41,12 +40,16 @@ SELECT ?title ?dname ?drugname WHERE {
   FILTER (?status = "Recruiting")
 }`
 	res, err := eng.Query(ctx, trialQuery,
-		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+		ontario.WithAwarePlan(), ontario.WithNetwork(ontario.NoDelay))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recruiting trials for chr17-linked diseases: %d\n", len(res.Answers))
-	for i, b := range res.Answers {
+	answers, err := res.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recruiting trials for chr17-linked diseases: %d\n", len(answers))
+	for i, b := range answers {
 		if i >= 5 {
 			fmt.Println("  ...")
 			break
@@ -64,13 +67,18 @@ SELECT ?effect ?drugname WHERE {
   ?drug <` + lslod.PredDrugCategory + `> "antineoplastic" .
 }`
 	res, err = eng.Query(ctx, effectQuery,
-		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+		ontario.WithAwarePlan(), ontario.WithNetwork(ontario.NoDelay))
 	if err != nil {
 		log.Fatal(err)
 	}
 	counts := map[string]int{}
-	for _, b := range res.Answers {
-		counts[b["effect"].Value]++
+	reports := 0
+	for res.Next() {
+		reports++
+		counts[res.Binding()["effect"].Value]++
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
 	}
 	type ec struct {
 		name string
@@ -86,7 +94,7 @@ SELECT ?effect ?drugname WHERE {
 		}
 		return top[i].name < top[j].name
 	})
-	fmt.Printf("\nmost reported side effects of antineoplastic drugs (%d reports):\n", len(res.Answers))
+	fmt.Printf("\nmost reported side effects of antineoplastic drugs (%d reports):\n", reports)
 	for i, e := range top {
 		if i >= 5 {
 			break
@@ -106,11 +114,15 @@ SELECT ?patient ?glabel ?drugname WHERE {
   ?drug <` + lslod.PredGenericName + `> ?drugname .
 }`
 	res, err = eng.Query(ctx, pgkbQuery,
-		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+		ontario.WithAwarePlan(), ontario.WithNetwork(ontario.NoDelay))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\npatients with mutations in clinically annotated genes: %d matches\n", len(res.Answers))
+	matches, err := res.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npatients with mutations in clinically annotated genes: %d matches\n", len(matches))
 
 	// 4. OPTIONAL and UNION: every antineoplastic drug, with its trials if
 	//    any, and anything referencing it from SIDER or PharmGKB.
@@ -127,16 +139,20 @@ SELECT ?drugname ?title ?ref WHERE {
   }
 }`
 	res, err = eng.Query(ctx, optUnionQuery,
-		ontario.WithAwarePlan(), ontario.WithNetwork(netsim.NoDelay))
+		ontario.WithAwarePlan(), ontario.WithNetwork(ontario.NoDelay))
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs, err := res.Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
 	withTrial := 0
-	for _, b := range res.Answers {
+	for _, b := range refs {
 		if _, ok := b["title"]; ok {
 			withTrial++
 		}
 	}
 	fmt.Printf("\nreferences to antineoplastic drugs (SIDER ∪ PharmGKB): %d, of which %d are in trials\n",
-		len(res.Answers), withTrial)
+		len(refs), withTrial)
 }

@@ -10,7 +10,6 @@ import (
 
 	"ontario"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 func main() {
@@ -20,7 +19,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 
 	// Which diseases are associated with genes on chromosome 7?
 	query := `
@@ -35,7 +34,7 @@ SELECT ?disease ?name ?glabel WHERE {
 	ctx := context.Background()
 	for _, mode := range []string{"unaware", "aware"} {
 		opts := []ontario.Option{
-			ontario.WithNetwork(netsim.Gamma2), // ~3 ms mean latency per answer
+			ontario.WithNetwork(ontario.Gamma2), // ~3 ms mean latency per answer
 			ontario.WithNetworkScale(0.2),      // sleep at 20% of sampled delays
 		}
 		if mode == "aware" {
@@ -47,11 +46,15 @@ SELECT ?disease ?name ?glabel WHERE {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if _, err := res.Collect(); err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats()
 		fmt.Printf("%-8s plan: %3d answers in %8s (first after %8s, %4d network messages)\n",
-			mode, len(res.Answers),
-			res.ExecutionTime().Round(10*time.Microsecond),
-			res.TimeToFirstAnswer().Round(10*time.Microsecond),
-			res.Messages)
+			mode, st.Answers,
+			st.Duration.Round(10*time.Microsecond),
+			st.TimeToFirstAnswer.Round(10*time.Microsecond),
+			st.Messages)
 	}
 
 	// Show the physical-design-aware plan: both stars live in Diseasome

@@ -1,0 +1,13 @@
+// Package bridge lets the public packages hand internal values to each
+// other without exposing internal types in any exported signature: the
+// ontario/lake package registers an extractor for its Lake type at init
+// time, and the root ontario package (plus in-module tooling) uses it to
+// reach the underlying catalog.
+package bridge
+
+import "ontario/internal/catalog"
+
+// LakeCatalog extracts the internal catalog from a public *lake.Lake. It
+// is set by ontario/lake's init function; it returns nil for any other
+// value.
+var LakeCatalog func(lake any) *catalog.Catalog

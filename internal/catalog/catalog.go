@@ -7,12 +7,14 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"ontario/internal/rdb"
 	"ontario/internal/rdf"
+	"ontario/internal/sparql"
 )
 
 // DataModel enumerates the data models present in the lake.
@@ -22,14 +24,41 @@ type DataModel int
 const (
 	ModelRDF DataModel = iota
 	ModelRelational
+	// ModelCustom marks a source backed by a user-provided implementation
+	// registered through the public lake API (CSV files, JSON documents,
+	// remote APIs, ...). The engine reaches it through ExternalSource.
+	ModelCustom
 )
 
 // String names the model.
 func (m DataModel) String() string {
-	if m == ModelRDF {
+	switch m {
+	case ModelRDF:
 		return "RDF"
+	case ModelRelational:
+		return "Relational"
+	default:
+		return "Custom"
 	}
-	return "Relational"
+}
+
+// ExternalStar is one star-shaped sub-query handed to a custom source: all
+// patterns share the subject variable and source selection has resolved the
+// molecule class.
+type ExternalStar struct {
+	SubjectVar string
+	Class      string
+	Patterns   []sparql.TriplePattern
+}
+
+// ExternalSource answers star sub-queries for custom sources. Implementations
+// evaluate the patterns against their backing data and return every matching
+// solution; when seeds are present they may (but need not) restrict the
+// evaluation to solutions compatible with at least one seed — the wrapper
+// layer re-checks compatibility either way. Implementations must be safe for
+// concurrent use: every running query calls into the same value.
+type ExternalSource interface {
+	ExecuteStars(ctx context.Context, stars []ExternalStar, seeds []sparql.Binding) ([]sparql.Binding, error)
 }
 
 // PropertyMapping maps one RDF predicate of a class to relational storage.
@@ -128,6 +157,8 @@ type Source struct {
 	// DB and Mappings back relational sources.
 	DB       *rdb.Database
 	Mappings map[string]*ClassMapping // by class IRI
+	// External backs custom sources.
+	External ExternalSource
 }
 
 // Mapping returns the class mapping for a class IRI, or nil.
@@ -231,6 +262,10 @@ func (c *Catalog) AddSource(s *Source) error {
 	case ModelRDF:
 		if s.Graph == nil {
 			return fmt.Errorf("catalog: RDF source %s has no graph", s.ID)
+		}
+	case ModelCustom:
+		if s.External == nil {
+			return fmt.Errorf("catalog: custom source %s has no implementation", s.ID)
 		}
 	case ModelRelational:
 		if s.DB == nil {

@@ -125,6 +125,8 @@ func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, 
 		w = wrapper.NewRDFWrapper(sourceID, src.Graph, sim)
 	case catalog.ModelRelational:
 		w = wrapper.NewSQLWrapper(src, sim, opts.Translation)
+	case catalog.ModelCustom:
+		w = wrapper.NewExternalWrapper(sourceID, src.External, sim)
 	default:
 		return nil, fmt.Errorf("core: source %s has unsupported model", sourceID)
 	}

@@ -101,9 +101,9 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
 	if cfg.BindConcurrency == 0 {
 		cfg.BindConcurrency = r.BindConcurrency
 	}
-	eng := ontario.New(r.Lake.Catalog)
+	eng := ontario.New(r.Lake.Lake)
 	opts := []ontario.Option{
-		ontario.WithNetwork(cfg.Network),
+		ontario.WithNetwork(pubProfile(cfg.Network)),
 		ontario.WithNetworkScale(r.NetworkScale),
 		ontario.WithSeed(r.Seed),
 	}
@@ -119,7 +119,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
 		opts = append(opts, ontario.WithNaiveTranslation())
 	}
 	if cfg.JoinOp != core.JoinSymmetricHash {
-		opts = append(opts, ontario.WithJoinOperator(cfg.JoinOp))
+		opts = append(opts, ontario.WithJoinOperator(pubJoin(cfg.JoinOp)))
 	}
 	if cfg.BindBlockSize > 0 {
 		opts = append(opts, ontario.WithBindBlockSize(cfg.BindBlockSize))
@@ -128,24 +128,59 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Row, error) {
 		opts = append(opts, ontario.WithBindConcurrency(cfg.BindConcurrency))
 	}
 	if cfg.Optimizer != "" {
-		mode, err := core.OptimizerByName(cfg.Optimizer)
+		mode, err := ontario.OptimizerByName(cfg.Optimizer)
 		if err != nil {
 			return nil, err
 		}
 		opts = append(opts, ontario.WithOptimizer(mode))
 	}
-	res, err := eng.QueryParsed(ctx, lslod.Query(cfg.QueryID), opts...)
+	res, err := eng.Query(ctx, lslod.QueryText(cfg.QueryID), opts...)
 	if err != nil {
 		return nil, err
 	}
-	res.Trace.Label = cfg.Label()
+	// The trace baseline is execution start (Query returns once the
+	// execution is launched), matching the paper's measurements: parse and
+	// plan time is excluded.
+	start := time.Now()
+	tr := &trace.Trace{Label: cfg.Label()}
+	n := 0
+	for res.Next() {
+		n++
+		tr.Points = append(tr.Points, trace.Point{Elapsed: time.Since(start), Count: n})
+	}
+	if err := res.Err(); err != nil {
+		res.Close()
+		return nil, err
+	}
+	tr.Total = time.Since(start)
+	res.Close()
+	st := res.Stats()
 	return &Row{
 		Config:         cfg,
-		Trace:          res.Trace,
-		Answers:        len(res.Answers),
-		Messages:       res.Messages,
-		SimulatedDelay: res.SimulatedDelay,
+		Trace:          tr,
+		Answers:        st.Answers,
+		Messages:       st.Messages,
+		SimulatedDelay: st.SimulatedDelay,
 	}, nil
+}
+
+// pubProfile converts an internal network profile into the public one.
+func pubProfile(p netsim.Profile) ontario.Profile {
+	return ontario.Profile{Name: p.Name, Alpha: p.Alpha, Beta: p.Beta}
+}
+
+// pubJoin converts an internal join-operator selector into the public one.
+func pubJoin(op core.JoinOperator) ontario.JoinOperator {
+	switch op {
+	case core.JoinNestedLoop:
+		return ontario.JoinNestedLoop
+	case core.JoinBind:
+		return ontario.JoinBind
+	case core.JoinBlockBind:
+		return ontario.JoinBlockBind
+	default:
+		return ontario.JoinSymmetricHash
+	}
 }
 
 // GridConfigs returns the paper's eight configurations (2 QEP types × 4

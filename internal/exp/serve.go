@@ -90,7 +90,7 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 	if cfg.SourceLimit > 0 {
 		engOpts = append(engOpts, ontario.WithSourceLimit(cfg.SourceLimit))
 	}
-	eng := ontario.New(r.Lake.Catalog, engOpts...)
+	eng := ontario.New(r.Lake.Lake, engOpts...)
 	serverQueue := cfg.QueueDepth
 	if serverQueue == 0 {
 		serverQueue = -1 // normalized 0 means queueing disabled
@@ -101,7 +101,7 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 		QueryTimeout:  cfg.Timeout,
 		DefaultOptions: []ontario.Option{
 			ontario.WithAwarePlan(),
-			ontario.WithNetwork(cfg.Network),
+			ontario.WithNetwork(pubProfile(cfg.Network)),
 			ontario.WithNetworkScale(r.NetworkScale),
 			ontario.WithSeed(r.Seed),
 		},

@@ -4,11 +4,20 @@ import (
 	"fmt"
 	"sort"
 
+	"ontario/internal/bridge"
 	"ontario/internal/catalog"
+	"ontario/internal/rdf"
+	"ontario/lake"
 )
 
-// Lake is a fully assembled synthetic Semantic Data Lake.
+// Lake is a fully assembled synthetic Semantic Data Lake. It is built
+// through the public lake.Builder — the same path external library users
+// take — and keeps the internal catalog handle for in-module tools.
 type Lake struct {
+	// Lake is the public data-lake handle; hand it to ontario.New.
+	Lake *lake.Lake
+	// Catalog is the underlying internal catalog, for in-module tooling
+	// and tests.
 	Catalog *catalog.Catalog
 	Data    *Data
 	// DeniedIndexes lists "table.column" index requests denied by the 15%
@@ -104,39 +113,70 @@ func BuildMixedLake(scale Scale, seed int64, rdfDatasets []string) (*Lake, error
 
 func buildLake(scale Scale, seed int64, asRDF map[string]bool) (*Lake, error) {
 	data := Generate(scale, seed)
-	sources, denied := BuildRelationalSources(data)
-	return assembleLake(data, sources, denied, asRDF)
+	specs, denied := relationalSpecs(data)
+	return assembleLake(data, specs, denied, asRDF)
 }
 
-// assembleLake registers the sources (optionally converting some to native
-// RDF) and the molecule templates.
-func assembleLake(data *Data, sources map[string]*catalog.Source, denied []string, asRDF map[string]bool) (*Lake, error) {
-	cat := catalog.New()
+// assembleLake drives the public lake builder: relational datasets apply
+// their table and mapping specs, RDF datasets register the materialized
+// graph, and the paper's molecule templates are declared explicitly (the
+// builder's automatic derivation merges in behind them).
+func assembleLake(data *Data, specs map[string]*datasetSpec, denied []string, asRDF map[string]bool) (*Lake, error) {
+	b := lake.NewBuilder()
 
-	ids := make([]string, 0, len(sources))
-	for id := range sources {
+	ids := make([]string, 0, len(specs))
+	for id := range specs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		src := sources[id]
 		if asRDF[id] {
-			g, err := GraphFromSource(src)
+			triples, err := specTriples(specs[id])
 			if err != nil {
 				return nil, err
 			}
-			src = &catalog.Source{ID: id, Model: catalog.ModelRDF, Graph: g}
+			b.AddGraph(id, triples)
+			continue
 		}
-		if err := cat.AddSource(src); err != nil {
-			return nil, err
-		}
+		specs[id].apply(b)
 	}
 	for _, spec := range moleculeSpecs() {
-		cat.AddMT(&catalog.RDFMT{
-			Class:      spec.class,
-			Predicates: spec.preds,
-			Sources:    []string{spec.dataset},
-		})
+		m := lake.Molecule{Class: spec.class, Sources: []string{spec.dataset}}
+		for _, pd := range spec.preds {
+			m.Predicates = append(m.Predicates, lake.Predicate{IRI: pd.Predicate, LinkedClass: pd.LinkedClass})
+		}
+		b.AddMolecule(m)
 	}
-	return &Lake{Catalog: cat, Data: data, DeniedIndexes: denied}, nil
+	l, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Lake{Lake: l, Catalog: bridge.LakeCatalog(l), Data: data, DeniedIndexes: denied}, nil
+}
+
+// specTriples materializes the RDF view of one relational dataset spec: it
+// builds the dataset alone through the public builder and exports the
+// resulting tables through their class mappings.
+func specTriples(spec *datasetSpec) ([]lake.Triple, error) {
+	tb := lake.NewBuilder()
+	spec.apply(tb)
+	tl, err := tb.Build()
+	if err != nil {
+		return nil, err
+	}
+	src := bridge.LakeCatalog(tl).Source(spec.id)
+	g, err := GraphFromSource(src)
+	if err != nil {
+		return nil, err
+	}
+	triples := g.Triples()
+	out := make([]lake.Triple, len(triples))
+	for i, t := range triples {
+		out[i] = lake.Triple{S: lakeTerm(t.S), P: lakeTerm(t.P), O: lakeTerm(t.O)}
+	}
+	return out, nil
+}
+
+func lakeTerm(t rdf.Term) lake.Term {
+	return lake.Term{Kind: lake.TermKind(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
 }

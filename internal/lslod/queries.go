@@ -119,6 +119,17 @@ SELECT ?trial ?title ?dname ?drugname WHERE {
 
 const rdfTypeIRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
 
+// QueryText returns the query text by ID (Q1–Q5); it panics on an unknown
+// ID.
+func QueryText(id string) string {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q.Text
+		}
+	}
+	panic(fmt.Sprintf("lslod: unknown query %s", id))
+}
+
 // Query returns the parsed query by ID (Q1–Q5); it panics on an unknown ID.
 func Query(id string) *sparql.Query {
 	for _, q := range Queries() {

@@ -2,21 +2,30 @@ package lslod
 
 import (
 	"fmt"
+	"sort"
 
 	"ontario/internal/catalog"
 	"ontario/internal/rdb"
+	"ontario/lake"
 )
 
 // MaxIndexValueFraction is the paper's indexing rule: "No index is created
 // since there are values that are present in more than 15% of the records."
 const MaxIndexValueFraction = 0.15
 
-// ApplyIndexRule creates the requested index only when the column's most
-// frequent value covers at most MaxIndexValueFraction of the rows. It
-// reports whether the index was created.
+// indexDenied is the rule's threshold decision, shared by the
+// materialized-table path (ApplyIndexRule) and the pre-build spec path
+// (finish) so the two can never disagree on the boundary.
+func indexDenied(maxValueFraction float64) bool {
+	return maxValueFraction > MaxIndexValueFraction
+}
+
+// ApplyIndexRule creates the requested index on a materialized table only
+// when the column's most frequent value covers at most
+// MaxIndexValueFraction of the rows. It reports whether the index was
+// created.
 func ApplyIndexRule(t *rdb.Table, column string, kind rdb.IndexKind) (bool, error) {
-	st := t.Stats()
-	if st.MaxValueFraction[column] > MaxIndexValueFraction {
+	if indexDenied(t.Stats().MaxValueFraction[column]) {
 		return false, nil
 	}
 	if err := t.CreateIndex(rdb.IndexSpec{Column: column, Kind: kind}); err != nil {
@@ -32,60 +41,199 @@ type indexRequest struct {
 	kind   rdb.IndexKind
 }
 
-// relationalBuilder assembles one dataset's database, mappings and indexes.
+// datasetSpec is one dataset's relational declaration in public
+// lake-builder terms: the generator produces specs, and the lake is
+// assembled by handing them to lake.NewBuilder — the same path external
+// library users take.
+type datasetSpec struct {
+	id       string
+	tables   []lake.TableSpec
+	mappings []lake.ClassMapping
+}
+
+// apply registers the dataset's tables and class mappings on the builder.
+func (s *datasetSpec) apply(b *lake.Builder) {
+	for _, t := range s.tables {
+		b.AddTable(s.id, t)
+	}
+	for _, m := range s.mappings {
+		b.MapClass(s.id, m)
+	}
+}
+
+// specTable accumulates one table's declaration and rows.
+type specTable struct {
+	schema *rdb.Schema
+	rows   []rdb.Row
+	idx    []lake.Index
+}
+
+// relationalBuilder assembles one dataset's spec: tables, rows, mappings
+// and rule-filtered index declarations.
 type relationalBuilder struct {
-	db       *rdb.Database
+	ds       string
+	tables   []*specTable
+	byName   map[string]*specTable
 	mappings map[string]*catalog.ClassMapping
 	requests []indexRequest
-	// DeniedIndexes records columns denied by the 15% rule (for reports
-	// and tests).
+	// denied records columns denied by the 15% rule (for reports and
+	// tests).
 	denied []string
 }
 
 func newRelationalBuilder(ds string) *relationalBuilder {
 	return &relationalBuilder{
-		db:       rdb.NewDatabase(ds),
+		ds:       ds,
+		byName:   map[string]*specTable{},
 		mappings: map[string]*catalog.ClassMapping{},
 	}
 }
 
-func (b *relationalBuilder) table(schema *rdb.Schema) *rdb.Table {
-	t, err := b.db.CreateTable(schema)
-	if err != nil {
-		panic(fmt.Sprintf("lslod: %v", err))
+func (b *relationalBuilder) table(schema *rdb.Schema) *specTable {
+	if _, dup := b.byName[schema.Name]; dup {
+		panic(fmt.Sprintf("lslod: table %s declared twice in %s", schema.Name, b.ds))
 	}
+	t := &specTable{schema: schema}
+	b.tables = append(b.tables, t)
+	b.byName[schema.Name] = t
 	return t
 }
 
-func (b *relationalBuilder) insert(t *rdb.Table, rows ...rdb.Row) {
-	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
-			panic(fmt.Sprintf("lslod: %v", err))
-		}
-	}
+func (b *relationalBuilder) insert(t *specTable, rows ...rdb.Row) {
+	t.rows = append(t.rows, rows...)
 }
 
 func (b *relationalBuilder) want(table, column string, kind rdb.IndexKind) {
 	b.requests = append(b.requests, indexRequest{table, column, kind})
 }
 
-func (b *relationalBuilder) finish(ds string) (*catalog.Source, []string) {
-	for _, req := range b.requests {
-		t := b.db.Table(req.table)
-		created, err := ApplyIndexRule(t, req.column, req.kind)
-		if err != nil {
-			panic(fmt.Sprintf("lslod: %v", err))
+// maxValueFraction returns the frequency of the column's most common
+// non-null value as a fraction of the row count — the same statistic rdb
+// maintains, computed here because the rule runs before the tables are
+// materialized.
+func maxValueFraction(t *specTable, column string) float64 {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 || len(t.rows) == 0 {
+		return 0
+	}
+	counts := map[string]int{}
+	maxN := 0
+	for _, r := range t.rows {
+		if r[ci].Null {
+			continue
 		}
-		if !created {
-			b.denied = append(b.denied, req.table+"."+req.column)
+		key := r[ci].IndexKey()
+		counts[key]++
+		if n := counts[key]; n > maxN {
+			maxN = n
 		}
 	}
-	return &catalog.Source{
-		ID:       ds,
-		Model:    catalog.ModelRelational,
-		DB:       b.db,
-		Mappings: b.mappings,
-	}, b.denied
+	return float64(maxN) / float64(len(t.rows))
+}
+
+// finish applies the 15% rule to the index requests and emits the dataset
+// spec plus the denied columns.
+func (b *relationalBuilder) finish(ds string) (*datasetSpec, []string) {
+	for _, req := range b.requests {
+		t := b.byName[req.table]
+		if t == nil {
+			panic(fmt.Sprintf("lslod: index request on unknown table %s.%s", req.table, req.column))
+		}
+		if indexDenied(maxValueFraction(t, req.column)) {
+			b.denied = append(b.denied, req.table+"."+req.column)
+			continue
+		}
+		kind := lake.HashIndex
+		if req.kind == rdb.IndexBTree {
+			kind = lake.BTreeIndex
+		}
+		t.idx = append(t.idx, lake.Index{Column: req.column, Kind: kind})
+	}
+	spec := &datasetSpec{id: ds}
+	for _, t := range b.tables {
+		spec.tables = append(spec.tables, tableSpec(t))
+	}
+	classes := make([]string, 0, len(b.mappings))
+	for c := range b.mappings {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		spec.mappings = append(spec.mappings, classMappingSpec(b.mappings[c]))
+	}
+	return spec, b.denied
+}
+
+// tableSpec converts an accumulated table into the public declaration.
+func tableSpec(t *specTable) lake.TableSpec {
+	spec := lake.TableSpec{
+		Name:       t.schema.Name,
+		PrimaryKey: t.schema.PrimaryKey,
+		Indexes:    t.idx,
+	}
+	for _, c := range t.schema.Columns {
+		var ct lake.ColumnType
+		switch c.Type {
+		case rdb.TypeInt:
+			ct = lake.TypeInt
+		case rdb.TypeFloat:
+			ct = lake.TypeFloat
+		case rdb.TypeBool:
+			ct = lake.TypeBool
+		default:
+			ct = lake.TypeString
+		}
+		spec.Columns = append(spec.Columns, lake.Column{Name: c.Name, Type: ct, NotNull: c.NotNull})
+	}
+	for _, r := range t.rows {
+		row := make([]any, len(r))
+		for i, v := range r {
+			switch {
+			case v.Null:
+				row[i] = nil
+			case v.Type == rdb.TypeInt:
+				row[i] = v.Int
+			case v.Type == rdb.TypeFloat:
+				row[i] = v.Float
+			case v.Type == rdb.TypeBool:
+				row[i] = v.Bool
+			default:
+				row[i] = v.Str
+			}
+		}
+		spec.Rows = append(spec.Rows, row)
+	}
+	return spec
+}
+
+// classMappingSpec converts an internal mapping declaration into the
+// public one.
+func classMappingSpec(cm *catalog.ClassMapping) lake.ClassMapping {
+	out := lake.ClassMapping{
+		Class:           cm.Class,
+		Table:           cm.Table,
+		SubjectColumn:   cm.SubjectColumn,
+		SubjectTemplate: cm.SubjectTemplate,
+		Denormalized:    cm.Denormalized,
+	}
+	preds := make([]string, 0, len(cm.Properties))
+	for p := range cm.Properties {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		pm := cm.Properties[p]
+		out.Properties = append(out.Properties, lake.PropertyMapping{
+			Predicate:      pm.Predicate,
+			Column:         pm.Column,
+			JoinTable:      pm.JoinTable,
+			JoinFK:         pm.JoinFK,
+			ValueColumn:    pm.ValueColumn,
+			ObjectTemplate: pm.ObjectTemplate,
+			ObjectClass:    pm.ObjectClass,
+		})
+	}
+	return out
 }
 
 func intCol(name string) rdb.Column   { return rdb.Column{Name: name, Type: rdb.TypeInt} }
@@ -105,14 +253,15 @@ func sideTable(pred, table, fk, val, tmpl, class string) *catalog.PropertyMappin
 	}
 }
 
-// BuildRelationalSources builds the ten per-dataset relational databases
-// with mappings and rule-filtered indexes. It returns the sources by
-// dataset ID and the list of index requests denied by the 15% rule.
-func BuildRelationalSources(d *Data) (map[string]*catalog.Source, []string) {
-	out := map[string]*catalog.Source{}
+// relationalSpecs declares the ten per-dataset relational databases with
+// mappings and rule-filtered indexes in public lake-builder terms. It
+// returns the specs by dataset ID and the list of index requests denied by
+// the 15% rule.
+func relationalSpecs(d *Data) (map[string]*datasetSpec, []string) {
+	out := map[string]*datasetSpec{}
 	var denied []string
-	add := func(src *catalog.Source, d []string) {
-		out[src.ID] = src
+	add := func(spec *datasetSpec, d []string) {
+		out[spec.id] = spec
 		denied = append(denied, d...)
 	}
 	add(buildDiseasome(d))
@@ -128,7 +277,7 @@ func BuildRelationalSources(d *Data) (map[string]*catalog.Source, []string) {
 	return out, denied
 }
 
-func buildDiseasome(d *Data) (*catalog.Source, []string) {
+func buildDiseasome(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSDiseasome)
 	disease := b.table(&rdb.Schema{
 		Name:       "disease",
@@ -212,7 +361,7 @@ func buildDiseasome(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSDiseasome)
 }
 
-func buildAffymetrix(d *Data) (*catalog.Source, []string) {
+func buildAffymetrix(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSAffymetrix)
 	probeset := b.table(&rdb.Schema{
 		Name: "probeset",
@@ -249,7 +398,7 @@ func buildAffymetrix(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSAffymetrix)
 }
 
-func buildDrugBank(d *Data) (*catalog.Source, []string) {
+func buildDrugBank(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSDrugBank)
 	drug := b.table(&rdb.Schema{
 		Name: "drug",
@@ -317,7 +466,7 @@ func buildDrugBank(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSDrugBank)
 }
 
-func buildTCGA(d *Data) (*catalog.Source, []string) {
+func buildTCGA(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSTCGA)
 	patient := b.table(&rdb.Schema{
 		Name: "patient",
@@ -366,7 +515,7 @@ func buildTCGA(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSTCGA)
 }
 
-func buildKEGG(d *Data) (*catalog.Source, []string) {
+func buildKEGG(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSKEGG)
 	compound := b.table(&rdb.Schema{
 		Name:       "compound",
@@ -394,7 +543,7 @@ func buildKEGG(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSKEGG)
 }
 
-func buildChEBI(d *Data) (*catalog.Source, []string) {
+func buildChEBI(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSChEBI)
 	ent := b.table(&rdb.Schema{
 		Name:       "chem_entity",
@@ -423,7 +572,7 @@ func buildChEBI(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSChEBI)
 }
 
-func buildSider(d *Data) (*catalog.Source, []string) {
+func buildSider(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSSider)
 	eff := b.table(&rdb.Schema{
 		Name:       "side_effect",
@@ -449,7 +598,7 @@ func buildSider(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSSider)
 }
 
-func buildLinkedCT(d *Data) (*catalog.Source, []string) {
+func buildLinkedCT(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSLinkedCT)
 	trial := b.table(&rdb.Schema{
 		Name: "trial",
@@ -485,7 +634,7 @@ func buildLinkedCT(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSLinkedCT)
 }
 
-func buildMedicare(d *Data) (*catalog.Source, []string) {
+func buildMedicare(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSMedicare)
 	prov := b.table(&rdb.Schema{
 		Name:       "provider",
@@ -530,7 +679,7 @@ func buildMedicare(d *Data) (*catalog.Source, []string) {
 	return b.finish(DSMedicare)
 }
 
-func buildPharmGKB(d *Data) (*catalog.Source, []string) {
+func buildPharmGKB(d *Data) (*datasetSpec, []string) {
 	b := newRelationalBuilder(DSPharmGKB)
 	assoc := b.table(&rdb.Schema{
 		Name: "association",

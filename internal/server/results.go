@@ -4,8 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
-	"ontario/internal/rdf"
-	"ontario/internal/sparql"
+	"ontario"
 )
 
 // resultsEncoder writes the SPARQL 1.1 Query Results JSON Format
@@ -44,18 +43,18 @@ type jsonTerm struct {
 	Lang     string `json:"xml:lang,omitempty"`
 }
 
-func encodeTerm(t rdf.Term) jsonTerm {
+func encodeTerm(t ontario.Term) jsonTerm {
 	switch t.Kind {
-	case rdf.TermIRI:
+	case ontario.KindIRI:
 		return jsonTerm{Type: "uri", Value: t.Value}
-	case rdf.TermBlank:
+	case ontario.KindBlank:
 		return jsonTerm{Type: "bnode", Value: t.Value}
 	default:
 		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
 	}
 }
 
-func (e *resultsEncoder) writeBinding(b sparql.Binding) error {
+func (e *resultsEncoder) writeBinding(b ontario.Binding) error {
 	obj := make(map[string]jsonTerm, len(b))
 	for v, t := range b {
 		obj[v] = encodeTerm(t)

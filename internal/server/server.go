@@ -35,8 +35,6 @@ import (
 	"time"
 
 	"ontario"
-	"ontario/internal/core"
-	"ontario/internal/netsim"
 	"ontario/internal/trace"
 )
 
@@ -274,7 +272,7 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 	// string means "server default", distinct from any explicit value.
 	network := ""
 	if net := r.URL.Query().Get("network"); net != "" {
-		profile, err := netsim.ProfileByName(net)
+		profile, err := ontario.ProfileByName(net)
 		if err != nil {
 			return nil, "", err
 		}
@@ -283,7 +281,7 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 	}
 	optimizer := ""
 	if opt := r.URL.Query().Get("optimizer"); opt != "" {
-		m, err := core.OptimizerByName(opt)
+		m, err := ontario.OptimizerByName(opt)
 		if err != nil {
 			return nil, "", err
 		}
@@ -393,12 +391,13 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	run, err := s.eng.StreamPrepared(ctx, prep, opts...)
+	res, err := s.eng.QueryPrepared(ctx, prep, opts...)
 	if err != nil {
 		s.metrics.Inc(MetricFailed)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	defer res.Close()
 	s.metrics.Inc(MetricQueries)
 
 	w.Header().Set("Content-Type", "application/sparql-results+json")
@@ -406,7 +405,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms")
 	w.WriteHeader(http.StatusOK)
 
-	enc := newResultsEncoder(w, run.Variables)
+	enc := newResultsEncoder(w, res.Vars())
 	flusher, _ := w.(http.Flusher)
 	writeOK := enc.writeHead() == nil
 	if writeOK && flusher != nil {
@@ -414,17 +413,15 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 
 	answers := 0
-	var firstAt time.Duration
-	for b := range run.Answers() {
+	for res.Next() {
 		answers++
 		if answers == 1 {
-			firstAt = time.Since(run.Start)
-			s.metrics.Observe(MetricTTFA, firstAt)
+			s.metrics.Observe(MetricTTFA, res.Stats().TimeToFirstAnswer)
 		}
 		if writeOK {
-			if enc.writeBinding(b) != nil {
+			if enc.writeBinding(res.Binding()) != nil {
 				// The connection is gone (or broken): stop writing but keep
-				// draining; cancellation closes the channel promptly.
+				// draining; cancellation closes the cursor promptly.
 				writeOK = false
 				cancel()
 				continue
@@ -437,18 +434,18 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	if writeOK {
 		_ = enc.writeTail()
 	}
-	total := time.Since(run.Start)
+	st := res.Stats()
 
-	s.metrics.Add(MetricAnswers, int64(answers))
-	s.metrics.Add(MetricMessages, int64(run.Messages()))
-	s.metrics.Observe(MetricQueryDuration, total)
-	for src, d := range run.SourceDelays() {
+	s.metrics.Add(MetricAnswers, int64(st.Answers))
+	s.metrics.Add(MetricMessages, int64(st.Messages))
+	s.metrics.Observe(MetricQueryDuration, st.Duration)
+	for src, d := range st.SourceDelays {
 		s.metrics.ObserveSource(MetricSourceDelay, src, d)
 	}
 
-	w.Header().Set("X-Ontario-Answers", fmt.Sprintf("%d", answers))
-	w.Header().Set("X-Ontario-Messages", fmt.Sprintf("%d", run.Messages()))
-	w.Header().Set("X-Ontario-TTFA-Ms", fmt.Sprintf("%.3f", float64(firstAt)/float64(time.Millisecond)))
+	w.Header().Set("X-Ontario-Answers", fmt.Sprintf("%d", st.Answers))
+	w.Header().Set("X-Ontario-Messages", fmt.Sprintf("%d", st.Messages))
+	w.Header().Set("X-Ontario-TTFA-Ms", fmt.Sprintf("%.3f", float64(st.TimeToFirstAnswer)/float64(time.Millisecond)))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -457,7 +454,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE ontario_executing_queries gauge\nontario_executing_queries %d\n", st.Executing)
 	fmt.Fprintf(w, "# TYPE ontario_waiting_queries gauge\nontario_waiting_queries %d\n", st.Waiting)
 	fmt.Fprintf(w, "# TYPE ontario_peak_executing_queries gauge\nontario_peak_executing_queries %d\n", st.PeakExecuting)
-	if lim := s.eng.SourceLimiter(); lim != nil {
+	if lim := s.eng.SourceLimits(); lim != nil {
 		sources := lim.Sources()
 		sort.Strings(sources)
 		fmt.Fprintf(w, "# TYPE ontario_source_inflight gauge\n")

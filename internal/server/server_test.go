@@ -16,7 +16,6 @@ import (
 
 	"ontario"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 var (
@@ -51,7 +50,7 @@ type sparqlResults struct {
 
 func newTestServer(t *testing.T, cfg Config, engOpts ...ontario.EngineOption) (*Server, *httptest.Server, *ontario.Engine) {
 	t.Helper()
-	eng := ontario.New(getLake(t).Catalog, engOpts...)
+	eng := ontario.New(getLake(t).Lake, engOpts...)
 	srv := New(eng, cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -76,8 +75,12 @@ func TestServeQueryEndToEnd(t *testing.T) {
 		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
 	})
 
-	want, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
+	wantRes, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
 		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnswers, err := wantRes.Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,14 +98,14 @@ func TestServeQueryEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		t.Fatalf("response is not valid JSON: %v", err)
 	}
-	if len(doc.Results.Bindings) != len(want.Answers) {
-		t.Errorf("got %d bindings, want %d", len(doc.Results.Bindings), len(want.Answers))
+	if len(doc.Results.Bindings) != len(wantAnswers) {
+		t.Errorf("got %d bindings, want %d", len(doc.Results.Bindings), len(wantAnswers))
 	}
-	if len(doc.Head.Vars) != len(want.Variables) {
-		t.Errorf("head vars = %v, want %v", doc.Head.Vars, want.Variables)
+	if len(doc.Head.Vars) != len(wantRes.Vars()) {
+		t.Errorf("head vars = %v, want %v", doc.Head.Vars, wantRes.Vars())
 	}
-	if got := resp.Trailer.Get("X-Ontario-Answers"); got != fmt.Sprintf("%d", len(want.Answers)) {
-		t.Errorf("answers trailer = %q, want %d", got, len(want.Answers))
+	if got := resp.Trailer.Get("X-Ontario-Answers"); got != fmt.Sprintf("%d", len(wantAnswers)) {
+		t.Errorf("answers trailer = %q, want %d", got, len(wantAnswers))
 	}
 
 	// Form-encoded POST and GET are also accepted.
@@ -146,7 +149,7 @@ func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 		MaxConcurrent: 1,
 		QueueDepth:    -1, // disable queueing: saturation is immediate
 		DefaultOptions: []ontario.Option{
-			ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma3), ontario.WithNetworkScale(1),
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1),
 		},
 	})
 
@@ -188,7 +191,7 @@ func TestQueueDeadlineIsTimeoutNotRejection(t *testing.T) {
 		MaxConcurrent: 1,
 		QueueDepth:    4,
 		DefaultOptions: []ontario.Option{
-			ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma3), ontario.WithNetworkScale(1),
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1),
 		},
 	})
 
@@ -235,7 +238,7 @@ func TestAdmissionUnderFlood(t *testing.T) {
 		MaxConcurrent: maxConcurrent,
 		QueueDepth:    queueDepth,
 		DefaultOptions: []ontario.Option{
-			ontario.WithAwarePlan(), ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(0.3),
+			ontario.WithAwarePlan(), ontario.WithNetwork(ontario.Gamma2), ontario.WithNetworkScale(0.3),
 		},
 	}, ontario.WithSourceLimit(sourceLimit))
 
@@ -281,7 +284,7 @@ func TestAdmissionUnderFlood(t *testing.T) {
 		t.Errorf("12 clients against capacity %d (C=%d + queue %d) should see rejections",
 			maxConcurrent+queueDepth, maxConcurrent, queueDepth)
 	}
-	lim := eng.SourceLimiter()
+	lim := eng.SourceLimits()
 	for _, src := range lim.Sources() {
 		if p := lim.Peak(src); p > sourceLimit {
 			t.Errorf("source %s peak in-flight %d exceeds limit %d", src, p, sourceLimit)
@@ -299,7 +302,7 @@ func TestAdmissionUnderFlood(t *testing.T) {
 func TestStreamingFirstAnswerBeforeCompletion(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{
 		DefaultOptions: []ontario.Option{
-			ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(1),
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma2), ontario.WithNetworkScale(1),
 		},
 	})
 
@@ -351,7 +354,7 @@ func TestStreamingFirstAnswerBeforeCompletion(t *testing.T) {
 func TestClientDisconnectCancelsQuery(t *testing.T) {
 	srv, ts, _ := newTestServer(t, Config{
 		DefaultOptions: []ontario.Option{
-			ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma3), ontario.WithNetworkScale(1),
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1),
 		},
 	})
 
@@ -420,7 +423,7 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts, _ := newTestServer(t, Config{
 		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
-			ontario.WithNetwork(netsim.Gamma1)},
+			ontario.WithNetwork(ontario.Gamma1)},
 	}, ontario.WithSourceLimit(4))
 
 	resp := postQuery(t, ts.URL, lslod.Queries()[1].Text, nil)

@@ -1,0 +1,78 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+
+	"ontario/internal/catalog"
+	"ontario/internal/engine"
+	"ontario/internal/netsim"
+	"ontario/internal/sparql"
+)
+
+// ExternalWrapper adapts a user-provided catalog.ExternalSource (a custom
+// backend registered through the public lake API) to the Wrapper contract.
+// It forwards star sub-queries, re-checks seed compatibility on the results
+// (the custom implementation is free to ignore seeds), evaluates any pushed
+// filters wrapper-side, and charges the simulated network like the built-in
+// wrappers: one latency sample per answer for plain and single-seed
+// requests, one per block for multi-seed block requests.
+type ExternalWrapper struct {
+	id  string
+	src catalog.ExternalSource
+	sim *netsim.Simulator
+}
+
+// NewExternalWrapper wraps a custom source. sim may be nil for no network
+// simulation.
+func NewExternalWrapper(id string, src catalog.ExternalSource, sim *netsim.Simulator) *ExternalWrapper {
+	return &ExternalWrapper{id: id, src: src, sim: sim}
+}
+
+// SourceID implements Wrapper.
+func (w *ExternalWrapper) SourceID() string { return w.id }
+
+// Execute implements Wrapper.
+func (w *ExternalWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	if len(req.Stars) == 0 {
+		return nil, fmt.Errorf("wrapper %s: empty request", w.id)
+	}
+	stars := make([]catalog.ExternalStar, len(req.Stars))
+	for i, s := range req.Stars {
+		stars[i] = catalog.ExternalStar{SubjectVar: s.SubjectVar, Class: s.Class, Patterns: s.Patterns}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 && len(req.Seed) > 0 {
+		seeds = []sparql.Binding{req.Seed}
+	}
+	sols, err := w.src.ExecuteStars(ctx, stars, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.id, err)
+	}
+	kept := sols[:0:0]
+	for _, b := range sols {
+		if !matchesAnySeed(b, seeds) {
+			continue
+		}
+		// Pushed filters reference the stars' own variables; evaluate over
+		// the seed-merged binding so seeded variables resolve too.
+		eval := b
+		if len(req.Seed) > 0 {
+			eval = req.Seed.Merge(b)
+		}
+		ok := true
+		for _, f := range req.Filters {
+			if !sparql.EvalBool(f, eval) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+	if len(req.Seeds) > 0 {
+		return streamBlock(ctx, w.sim, kept), nil
+	}
+	return streamWithDelay(ctx, w.sim, req.Seed, kept), nil
+}

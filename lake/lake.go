@@ -1,0 +1,44 @@
+package lake
+
+import (
+	"ontario/internal/bridge"
+	"ontario/internal/catalog"
+)
+
+// Lake is an assembled Semantic Data Lake, ready to hand to ontario.New.
+// It is immutable and safe for concurrent use.
+type Lake struct {
+	cat *catalog.Catalog
+}
+
+// SourceIDs returns the sorted IDs of the lake's sources.
+func (l *Lake) SourceIDs() []string { return l.cat.SourceIDs() }
+
+// Classes returns the sorted class IRIs with registered molecule
+// templates.
+func (l *Lake) Classes() []string { return l.cat.Classes() }
+
+// Molecules returns the lake's molecule templates, sorted by class.
+func (l *Lake) Molecules() []Molecule {
+	var out []Molecule
+	for _, class := range l.cat.Classes() {
+		mt := l.cat.MT(class)
+		m := Molecule{Class: mt.Class, Sources: append([]string(nil), mt.Sources...)}
+		for _, pd := range mt.Predicates {
+			m.Predicates = append(m.Predicates, Predicate{IRI: pd.Predicate, LinkedClass: pd.LinkedClass})
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// The engine extracts the internal catalog through the bridge so no
+// exported signature of this package mentions internal types.
+func init() {
+	bridge.LakeCatalog = func(v any) *catalog.Catalog {
+		if l, ok := v.(*Lake); ok {
+			return l.cat
+		}
+		return nil
+	}
+}

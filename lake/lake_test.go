@@ -1,0 +1,267 @@
+package lake_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ontario"
+	"ontario/lake"
+)
+
+const (
+	classBook   = "http://t/Book"
+	classPerson = "http://t/Person"
+	predTitle   = "http://t/title"
+	predYear    = "http://t/year"
+	predAuthor  = "http://t/author"
+	predName    = "http://t/name"
+)
+
+// testLake builds a two-source lake: books in a relational source (with a
+// side table for the multi-valued author link) and people in a graph.
+func testLake(t *testing.T) *lake.Lake {
+	t.Helper()
+	l, err := lake.NewBuilder().
+		AddTable("shop", lake.TableSpec{
+			Name: "book",
+			Columns: []lake.Column{
+				{Name: "id", Type: lake.TypeInt, NotNull: true},
+				{Name: "title", Type: lake.TypeString},
+				{Name: "year", Type: lake.TypeInt},
+			},
+			PrimaryKey: "id",
+			Rows: [][]any{
+				{1, "A Study in Scarlet", 1887},
+				{2, "Frankenstein", 1818},
+				{3, "Middlemarch", 1871},
+			},
+			Indexes: []lake.Index{{Column: "year", Kind: lake.BTreeIndex}},
+		}).
+		AddTable("shop", lake.TableSpec{
+			Name: "book_author",
+			Columns: []lake.Column{
+				{Name: "id", Type: lake.TypeInt, NotNull: true},
+				{Name: "book_id", Type: lake.TypeInt},
+				{Name: "person_id", Type: lake.TypeInt},
+			},
+			PrimaryKey: "id",
+			Rows: [][]any{
+				{1, 1, 10},
+				{2, 2, 11},
+				{3, 3, 12},
+			},
+			Indexes: []lake.Index{{Column: "book_id"}, {Column: "person_id"}},
+		}).
+		MapClass("shop", lake.ClassMapping{
+			Class:           classBook,
+			Table:           "book",
+			SubjectTemplate: "http://t/book/{value}",
+			Properties: []lake.PropertyMapping{
+				{Predicate: predTitle, Column: "title"},
+				{Predicate: predYear, Column: "year"},
+				{Predicate: predAuthor, JoinTable: "book_author", JoinFK: "book_id", ValueColumn: "person_id",
+					ObjectTemplate: "http://t/person/{value}", ObjectClass: classPerson},
+			},
+		}).
+		AddGraph("people", []lake.Triple{
+			{S: lake.IRI("http://t/person/10"), P: lake.IRI(lake.RDFType), O: lake.IRI(classPerson)},
+			{S: lake.IRI("http://t/person/10"), P: lake.IRI(predName), O: lake.Literal("Doyle")},
+			{S: lake.IRI("http://t/person/11"), P: lake.IRI(lake.RDFType), O: lake.IRI(classPerson)},
+			{S: lake.IRI("http://t/person/11"), P: lake.IRI(predName), O: lake.Literal("Shelley")},
+			{S: lake.IRI("http://t/person/12"), P: lake.IRI(lake.RDFType), O: lake.IRI(classPerson)},
+			{S: lake.IRI("http://t/person/12"), P: lake.IRI(predName), O: lake.Literal("Eliot")},
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBuilderFederatedQuery(t *testing.T) {
+	l := testLake(t)
+	eng := ontario.New(l)
+	res, err := eng.Query(context.Background(), `
+SELECT ?title ?name WHERE {
+  ?b <`+predTitle+`> ?title .
+  ?b <`+predYear+`> ?y .
+  ?b <`+predAuthor+`> ?p .
+  ?p <`+predName+`> ?name .
+  FILTER (?y < 1880)
+}`, ontario.WithAwarePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, b := range answers {
+		got = append(got, b["title"].Value+"/"+b["name"].Value)
+	}
+	sort.Strings(got)
+	want := []string{"Frankenstein/Shelley", "Middlemarch/Eliot"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestLakeAccessors(t *testing.T) {
+	l := testLake(t)
+	if got := l.SourceIDs(); fmt.Sprint(got) != "[people shop]" {
+		t.Errorf("SourceIDs = %v", got)
+	}
+	if got := l.Classes(); fmt.Sprint(got) != fmt.Sprint([]string{classBook, classPerson}) {
+		t.Errorf("Classes = %v", got)
+	}
+	var book, person *lake.Molecule
+	for _, m := range l.Molecules() {
+		m := m
+		switch m.Class {
+		case classBook:
+			book = &m
+		case classPerson:
+			person = &m
+		}
+	}
+	if book == nil || person == nil {
+		t.Fatalf("molecules missing: %+v", l.Molecules())
+	}
+	linked := ""
+	for _, p := range book.Predicates {
+		if p.IRI == predAuthor {
+			linked = p.LinkedClass
+		}
+	}
+	if linked != classPerson {
+		t.Errorf("author link derived as %q, want %q", linked, classPerson)
+	}
+	if fmt.Sprint(person.Sources) != "[people]" {
+		t.Errorf("person sources = %v", person.Sources)
+	}
+}
+
+func TestAddGraphNTriples(t *testing.T) {
+	nt := `<http://t/person/1> <` + lake.RDFType + `> <` + classPerson + `> .
+<http://t/person/1> <` + predName + `> "Woolf" .
+`
+	l, err := lake.NewBuilder().
+		AddGraphNTriples("people", strings.NewReader(nt)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ontario.New(l).Query(context.Background(),
+		`SELECT ?n WHERE { ?p <`+predName+`> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0]["n"].Value != "Woolf" {
+		t.Errorf("answers = %v", answers)
+	}
+}
+
+// staticSource is a minimal custom backend for error and molecule tests.
+type staticSource struct {
+	id   string
+	sols []lake.Binding
+	err  error
+	// lastSeeds records the seed block of the most recent Execute call.
+	lastSeeds int
+}
+
+func (s *staticSource) ID() string { return s.id }
+func (s *staticSource) Molecules() []lake.Molecule {
+	return []lake.Molecule{{Class: classPerson, Predicates: []lake.Predicate{{IRI: predName}}}}
+}
+func (s *staticSource) Execute(ctx context.Context, req *lake.Request) ([]lake.Binding, error) {
+	s.lastSeeds = len(req.Seeds)
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.sols, nil
+}
+
+func TestCustomSourceQuery(t *testing.T) {
+	src := &staticSource{id: "static", sols: []lake.Binding{
+		{"p": lake.IRI("http://t/person/1"), "n": lake.Literal("Lovelace")},
+	}}
+	l, err := lake.NewBuilder().AddSource(src).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ontario.New(l).Query(context.Background(),
+		`SELECT ?n WHERE { ?p <`+predName+`> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0]["n"].Value != "Lovelace" {
+		t.Errorf("answers = %v", answers)
+	}
+}
+
+func TestCustomSourceError(t *testing.T) {
+	src := &staticSource{id: "broken", err: fmt.Errorf("backend down")}
+	l, err := lake.NewBuilder().AddSource(src).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ontario.New(l).Query(context.Background(),
+		`SELECT ?n WHERE { ?p <`+predName+`> ?n . }`)
+	if err == nil || !strings.Contains(err.Error(), "backend down") {
+		t.Fatalf("custom source error not surfaced: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]*lake.Builder{
+		"no sources": lake.NewBuilder(),
+		"two kinds under one ID": lake.NewBuilder().
+			AddGraph("x", nil).
+			AddTable("x", lake.TableSpec{Name: "t"}),
+		"mapping without tables": lake.NewBuilder().
+			MapClass("rel", lake.ClassMapping{Class: classBook, Table: "book"}),
+		"property with both column and side table": lake.NewBuilder().
+			AddTable("rel", lake.TableSpec{
+				Name:       "t",
+				Columns:    []lake.Column{{Name: "id", Type: lake.TypeInt, NotNull: true}},
+				PrimaryKey: "id",
+			}).
+			MapClass("rel", lake.ClassMapping{
+				Class: classBook, Table: "t", SubjectTemplate: "http://t/b/{value}",
+				Properties: []lake.PropertyMapping{
+					{Predicate: predTitle, Column: "id", JoinTable: "j", JoinFK: "f", ValueColumn: "v"},
+				},
+			}),
+		"row type mismatch": lake.NewBuilder().
+			AddTable("rel", lake.TableSpec{
+				Name:       "t",
+				Columns:    []lake.Column{{Name: "id", Type: lake.TypeInt, NotNull: true}},
+				PrimaryKey: "id",
+				Rows:       [][]any{{"not-an-int"}},
+			}),
+		"molecule with unknown source": lake.NewBuilder().
+			AddGraph("g", nil).
+			AddMolecule(lake.Molecule{Class: classBook, Sources: []string{"missing"}}),
+		"custom source registered twice": lake.NewBuilder().
+			AddSource(&staticSource{id: "dup"}).
+			AddSource(&staticSource{id: "dup"}),
+	}
+	for name, b := range cases {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package lake
+
+import (
+	"context"
+
+	"ontario/internal/catalog"
+	"ontario/internal/sparql"
+)
+
+// Predicate describes one predicate of a molecule.
+type Predicate struct {
+	// IRI is the predicate IRI.
+	IRI string
+	// LinkedClass names the class of the objects when the predicate links
+	// to another molecule (an intra- or inter-source link); empty for
+	// attribute predicates.
+	LinkedClass string
+}
+
+// Molecule is an RDF Molecule Template: the abstract description of the
+// entities of one class — the predicates they share and the sources able
+// to answer them. Molecules drive source selection; the builder derives
+// them automatically from graphs and table mappings, and AddMolecule
+// registers them explicitly (required for custom sources' cross-source
+// links the derivation cannot see).
+type Molecule struct {
+	// Class is the class IRI the molecule describes.
+	Class      string
+	Predicates []Predicate
+	// Sources lists the IDs of the sources able to answer the molecule.
+	Sources []string
+}
+
+// PatternNode is one position of a triple pattern: a variable or a
+// constant term.
+type PatternNode struct {
+	// Var names the variable (without "?") when non-empty.
+	Var string
+	// Term is the constant when Var is empty.
+	Term Term
+}
+
+// IsVar reports whether the node is a variable.
+func (n PatternNode) IsVar() bool { return n.Var != "" }
+
+// TriplePattern is one SPARQL triple pattern.
+type TriplePattern struct {
+	S, P, O PatternNode
+}
+
+// Star is one star-shaped sub-query: all patterns share the subject
+// variable, and source selection has resolved the molecule class.
+type Star struct {
+	// SubjectVar is the shared subject variable (without "?").
+	SubjectVar string
+	// Class is the molecule class selected for this star.
+	Class    string
+	Patterns []TriplePattern
+}
+
+// Request is one invocation of a custom source: one or more star
+// sub-queries, optionally constrained by a block of seed bindings from a
+// dependent join.
+type Request struct {
+	Stars []Star
+	// Seeds, when non-empty, is a bind-join seed block: the engine only
+	// needs solutions compatible with at least one seed. Implementations
+	// may use the seeds to constrain their evaluation (recommended — it is
+	// the difference between a scan and a lookup) or ignore them; the
+	// engine re-checks compatibility either way.
+	Seeds []Binding
+}
+
+// Source is a custom data-lake backend registered with Builder.AddSource:
+// any data reachable from Go — CSV or JSON files, key-value stores, remote
+// APIs — can join the federation by implementing it. Implementations must
+// be safe for concurrent use; every running query calls into the same
+// value.
+type Source interface {
+	// ID identifies the source in the lake. It must be unique and non-empty.
+	ID() string
+	// Molecules describes the classes the source can answer. The builder
+	// registers them as the source's molecule templates.
+	Molecules() []Molecule
+	// Execute evaluates the request and returns every matching solution,
+	// binding the stars' variables. Solutions must bind at least the
+	// variables the patterns mention; extra bindings are ignored.
+	Execute(ctx context.Context, req *Request) ([]Binding, error)
+}
+
+// externalAdapter bridges a public Source to the engine's internal
+// custom-source contract.
+type externalAdapter struct {
+	src Source
+}
+
+func (a externalAdapter) ExecuteStars(ctx context.Context, stars []catalog.ExternalStar, seeds []sparql.Binding) ([]sparql.Binding, error) {
+	req := &Request{Stars: make([]Star, len(stars))}
+	for i, s := range stars {
+		req.Stars[i] = starFromInternal(s)
+	}
+	if len(seeds) > 0 {
+		req.Seeds = make([]Binding, len(seeds))
+		for i, b := range seeds {
+			req.Seeds[i] = bindingFromInternal(b)
+		}
+	}
+	sols, err := a.src.Execute(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sparql.Binding, len(sols))
+	for i, b := range sols {
+		out[i] = bindingToInternal(b)
+	}
+	return out, nil
+}
+
+func starFromInternal(s catalog.ExternalStar) Star {
+	star := Star{SubjectVar: s.SubjectVar, Class: s.Class, Patterns: make([]TriplePattern, len(s.Patterns))}
+	for i, tp := range s.Patterns {
+		star.Patterns[i] = TriplePattern{
+			S: nodeFromInternal(tp.S),
+			P: nodeFromInternal(tp.P),
+			O: nodeFromInternal(tp.O),
+		}
+	}
+	return star
+}
+
+func nodeFromInternal(n sparql.Node) PatternNode {
+	if n.IsVar {
+		return PatternNode{Var: n.Var}
+	}
+	return PatternNode{Term: termFromRDF(n.Term)}
+}

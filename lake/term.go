@@ -1,0 +1,169 @@
+package lake
+
+import (
+	"sort"
+	"strings"
+
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// TermKind enumerates the kinds of RDF terms.
+type TermKind uint8
+
+// Term kinds.
+const (
+	// KindIRI is an IRI reference such as <http://example.org/x>.
+	KindIRI TermKind = iota
+	// KindLiteral is a literal, optionally carrying a datatype IRI or a
+	// language tag.
+	KindLiteral
+	// KindBlank is a blank node identified by a label local to a graph.
+	KindBlank
+)
+
+// Term is an RDF term, the value type of query solutions and lake data.
+// The zero value is not a valid term; use IRI, Literal, TypedLiteral,
+// LangLiteral, Integer, Float, Bool or Blank.
+type Term struct {
+	Kind     TermKind
+	Value    string // IRI string, literal lexical form, or blank node label
+	Datatype string // literal datatype IRI; empty means xsd:string
+	Lang     string // literal language tag; mutually exclusive with Datatype
+}
+
+// Common XSD datatype IRIs.
+const (
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+)
+
+// RDFType is the rdf:type predicate IRI.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// Literal returns a plain string literal.
+func Literal(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged string literal.
+func LangLiteral(lex, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Lang: lang}
+}
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term { return termFromRDF(rdf.IntLiteral(v)) }
+
+// Float returns an xsd:double literal.
+func Float(v float64) Term { return termFromRDF(rdf.FloatLiteral(v)) }
+
+// Bool returns an xsd:boolean literal.
+func Bool(v bool) Term { return termFromRDF(rdf.BoolLiteral(v)) }
+
+// Blank returns a blank node with the given label (without the "_:"
+// prefix).
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// Equal reports whether two terms are identical.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string { return termToRDF(t).String() }
+
+// Triple is an RDF statement of an in-memory graph source.
+type Triple struct {
+	S, P, O Term
+}
+
+// Binding is one query solution: a mapping from variable names (without
+// the leading "?") to RDF terms.
+type Binding map[string]Term
+
+// Get returns the term bound to the variable and whether it is bound.
+func (b Binding) Get(v string) (Term, bool) {
+	t, ok := b[v]
+	return t, ok
+}
+
+// Compatible reports whether b and o agree on every shared variable —
+// the join condition of SPARQL solution mappings. Custom sources use it
+// to honor the seed blocks of dependent joins.
+func (b Binding) Compatible(o Binding) bool {
+	if len(o) < len(b) {
+		b, o = o, b
+	}
+	for k, v := range b {
+		if ov, ok := o[k]; ok && ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the bound variable names, sorted.
+func (b Binding) Vars() []string {
+	out := make([]string, 0, len(b))
+	for v := range b {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the binding deterministically for debugging.
+func (b Binding) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range b.Vars() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("?" + v + " -> " + b[v].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Term kinds mirror rdf.TermKind value-for-value; the conversions below
+// rely on it.
+
+func termToRDF(t Term) rdf.Term {
+	return rdf.Term{Kind: rdf.TermKind(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+}
+
+func termFromRDF(t rdf.Term) Term {
+	return Term{Kind: TermKind(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+}
+
+func bindingFromInternal(b sparql.Binding) Binding {
+	out := make(Binding, len(b))
+	for v, t := range b {
+		out[v] = termFromRDF(t)
+	}
+	return out
+}
+
+func bindingToInternal(b Binding) sparql.Binding {
+	out := make(sparql.Binding, len(b))
+	for v, t := range b {
+		out[v] = termToRDF(t)
+	}
+	return out
+}

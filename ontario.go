@@ -1,14 +1,24 @@
 // Package ontario is the public facade of Ontario-Go, a federated SPARQL
-// query engine for Semantic Data Lakes that optimizes query execution plans
-// based on the physical design of the lake — a from-scratch reproduction of
-// Rohde & Vidal, "Optimizing Federated Queries Based on the Physical Design
-// of a Data Lake" (EDBT 2020).
+// query engine for Semantic Data Lakes that optimizes query execution
+// plans based on the physical design of the lake — a from-scratch
+// reproduction of Rohde & Vidal, "Optimizing Federated Queries Based on
+// the Physical Design of a Data Lake" (EDBT 2020).
 //
-// A data lake is a collection of heterogeneous sources (in-memory RDF
-// graphs and relational databases with R2RML-style mappings) described by
-// RDF Molecule Templates. Queries are SPARQL SELECT queries; the engine
-// decomposes them into star-shaped sub-queries, selects sources, and builds
-// either physical-design-unaware plans (the baseline: every join and filter
+// A data lake is a collection of heterogeneous sources — in-memory RDF
+// graphs, relational databases with R2RML-style mappings and declared
+// indexes, and custom backends — described by RDF Molecule Templates.
+// Lakes are assembled with the ontario/lake package:
+//
+//	l, err := lake.NewBuilder().
+//	    AddTable("hr", lake.TableSpec{...}).
+//	    MapClass("hr", lake.ClassMapping{...}).
+//	    AddGraph("people", triples).
+//	    Build()
+//	eng := ontario.New(l)
+//
+// Queries are SPARQL SELECT queries; the engine decomposes them into
+// star-shaped sub-queries, selects sources, and builds either
+// physical-design-unaware plans (the baseline: every join and filter
 // above the sources) or physical-design-aware plans applying the paper's
 // heuristics:
 //
@@ -19,32 +29,26 @@
 //     unless the filtered attribute is indexed and the network is slow.
 //
 // Network conditions are simulated per retrieved answer with the paper's
-// gamma-distributed latency profiles (netsim).
+// gamma-distributed latency profiles (Gamma1..Gamma3, or a custom
+// GammaProfile).
 //
-// Engine-level joins default to the non-blocking symmetric hash join;
-// dependent joins are available as the strictly sequential bind join
-// (core.JoinBind) and the batched block bind join (core.JoinBlockBind),
-// which gathers left bindings into blocks of WithBindBlockSize, answers
-// each block with a single multi-seed wrapper request — pushed down as an
-// IN/OR predicate at relational sources, one graph pass at RDF sources —
-// and keeps up to WithBindConcurrency block requests in flight. When the
-// join operator is core.JoinBind, the planner upgrades a join to the block
-// variant automatically whenever the left input's estimated cardinality
-// fills at least one block.
+// Results stream through a database/sql-style cursor:
+//
+//	res, err := eng.Query(ctx, text,
+//	    ontario.WithAwarePlan(), ontario.WithNetwork(ontario.Gamma2))
+//	if err != nil { ... }
+//	defer res.Close()
+//	for res.Next() {
+//	    b := res.Binding() // ontario.Binding: variable -> ontario.Term
+//	}
+//	if err := res.Err(); err != nil { ... }
+//	st := res.Stats()     // answers, messages, simulated delay, TTFA
 //
 // The engine is safe for concurrent use: every query runs on an isolated
 // execution, and WithSourceLimit bounds in-flight wrapper requests per
 // source across all running queries. internal/server exposes an engine as
 // a concurrent HTTP SPARQL endpoint with admission control and streaming
 // results (see cmd/ontario-server).
-//
-// Minimal usage:
-//
-//	lake, _ := lslod.BuildLake(lslod.DefaultScale(), 1)
-//	eng := ontario.New(lake.Catalog)
-//	res, _ := eng.Query(ctx, `SELECT ?s WHERE { ... }`,
-//	    ontario.WithAwarePlan(), ontario.WithNetwork(netsim.Gamma2))
-//	for _, b := range res.Answers { ... }
 package ontario
 
 import (
@@ -52,19 +56,61 @@ import (
 	"fmt"
 	"time"
 
-	"ontario/internal/catalog"
+	"ontario/internal/bridge"
 	"ontario/internal/core"
-	"ontario/internal/engine"
-	"ontario/internal/netsim"
 	"ontario/internal/sparql"
-	"ontario/internal/trace"
 	"ontario/internal/wrapper"
+	"ontario/lake"
 )
 
-// Engine is a configured query engine over one data-lake catalog. It is
-// safe for concurrent use: every Query/QueryParsed/QueryStream call runs
-// on its own core.Execution (own wrappers, own network simulators), so any
-// number of queries may be in flight at once.
+// Term is an RDF term, the value type of query solutions; it is the
+// ontario/lake package's Term. Construct terms with IRI, Literal,
+// TypedLiteral, LangLiteral, Integer, Float, Bool and Blank.
+type Term = lake.Term
+
+// TermKind enumerates the kinds of RDF terms (lake.KindIRI,
+// lake.KindLiteral, lake.KindBlank).
+type TermKind = lake.TermKind
+
+// Term kinds.
+const (
+	KindIRI     = lake.KindIRI
+	KindLiteral = lake.KindLiteral
+	KindBlank   = lake.KindBlank
+)
+
+// Binding is one query solution: a mapping from variable names (without
+// the leading "?") to RDF terms.
+type Binding = lake.Binding
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return lake.IRI(iri) }
+
+// Literal returns a plain string literal.
+func Literal(lex string) Term { return lake.Literal(lex) }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term { return lake.TypedLiteral(lex, datatype) }
+
+// LangLiteral returns a language-tagged string literal.
+func LangLiteral(lex, lang string) Term { return lake.LangLiteral(lex, lang) }
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term { return lake.Integer(v) }
+
+// Float returns an xsd:double literal.
+func Float(v float64) Term { return lake.Float(v) }
+
+// Bool returns an xsd:boolean literal.
+func Bool(v bool) Term { return lake.Bool(v) }
+
+// Blank returns a blank node term.
+func Blank(label string) Term { return lake.Blank(label) }
+
+// Engine is a configured query engine over one data lake. It is safe for
+// concurrent use: every Query call runs on its own execution (own
+// wrappers, own network simulators), so any number of queries may be in
+// flight at once.
 type Engine struct {
 	inner *core.Engine
 }
@@ -83,8 +129,12 @@ func WithSourceLimit(n int) EngineOption {
 	}
 }
 
-// New returns an engine over the catalog.
-func New(cat *catalog.Catalog, opts ...EngineOption) *Engine {
+// New returns an engine over a lake built with the ontario/lake package.
+func New(l *lake.Lake, opts ...EngineOption) *Engine {
+	cat := bridge.LakeCatalog(l)
+	if cat == nil {
+		panic("ontario: New requires a lake built with lake.NewBuilder")
+	}
 	e := &Engine{inner: core.NewEngine(cat)}
 	for _, o := range opts {
 		o(e)
@@ -92,268 +142,76 @@ func New(cat *catalog.Catalog, opts ...EngineOption) *Engine {
 	return e
 }
 
-// SourceLimiter returns the per-source in-flight limiter installed with
-// WithSourceLimit, or nil when the engine is unlimited.
-func (e *Engine) SourceLimiter() *wrapper.SourceLimiter {
-	return e.inner.Executor.Limiter
-}
-
-// Option configures one query execution.
-type Option func(*config)
-
-type config struct {
-	opts  core.Options
-	scale float64
-	seed  int64
-}
-
-// WithAwarePlan selects the physical-design-aware plan (Heuristic 1 join
-// pushdown, filters pushed when the attribute is indexed).
-func WithAwarePlan() Option {
-	return func(c *config) {
-		aware := core.AwareOptions(c.opts.Network)
-		aware.Translation = c.opts.Translation
-		aware.JoinOperator = c.opts.JoinOperator
-		aware.Decomposition = c.opts.Decomposition
-		aware.BindBlockSize = c.opts.BindBlockSize
-		aware.BindConcurrency = c.opts.BindConcurrency
-		c.opts = aware
+// SourceLimits reports on the per-source in-flight limiter installed with
+// WithSourceLimit; it returns nil when the engine is unlimited.
+func (e *Engine) SourceLimits() *SourceLimits {
+	if e.inner.Executor.Limiter == nil {
+		return nil
 	}
+	return &SourceLimits{lim: e.inner.Executor.Limiter}
 }
 
-// WithUnawarePlan selects the physical-design-unaware baseline plan.
-func WithUnawarePlan() Option {
-	return func(c *config) {
-		un := core.UnawareOptions(c.opts.Network)
-		un.Translation = c.opts.Translation
-		un.JoinOperator = c.opts.JoinOperator
-		un.Decomposition = c.opts.Decomposition
-		un.BindBlockSize = c.opts.BindBlockSize
-		un.BindConcurrency = c.opts.BindConcurrency
-		c.opts = un
-	}
+// SourceLimits exposes the state of the engine's per-source in-flight
+// limiter.
+type SourceLimits struct {
+	lim *wrapper.SourceLimiter
 }
 
-// WithNetwork sets the simulated network profile.
-func WithNetwork(p netsim.Profile) Option {
-	return func(c *config) { c.opts.Network = p }
-}
+// Limit returns the per-source in-flight limit.
+func (s *SourceLimits) Limit() int { return s.lim.Limit() }
 
-// WithHeuristic2 applies Heuristic 2 verbatim for filter placement (engine
-// level unless the attribute is indexed and the network is slow). Implies
-// an aware plan.
-func WithHeuristic2() Option {
-	return func(c *config) {
-		c.opts.Aware = true
-		c.opts.FilterPolicy = core.FilterHeuristic2
-	}
-}
+// Sources returns the IDs of the sources that have seen requests.
+func (s *SourceLimits) Sources() []string { return s.lim.Sources() }
 
-// WithNaiveTranslation uses the unoptimized SPARQL-to-SQL translation for
-// merged stars (the limitation the paper reports for Ontario).
-func WithNaiveTranslation() Option {
-	return func(c *config) { c.opts.Translation = wrapper.TranslationNaive }
-}
+// InFlight returns the source's current in-flight request count.
+func (s *SourceLimits) InFlight(source string) int { return s.lim.InFlight(source) }
 
-// WithJoinOperator selects the engine-level join implementation.
-func WithJoinOperator(op core.JoinOperator) Option {
-	return func(c *config) { c.opts.JoinOperator = op }
-}
+// Peak returns the source's highest observed in-flight request count.
+func (s *SourceLimits) Peak(source string) int { return s.lim.Peak(source) }
 
-// WithBindBlockSize sets the number of left bindings the block bind join
-// gathers into one multi-seed service request (default
-// core.DefaultBindBlockSize). The block is pushed down as a single SQL
-// IN/OR predicate at relational sources and evaluated in one graph pass at
-// RDF sources, so each block costs one simulated network message instead
-// of one per left binding. A size of 1 degenerates to per-binding
-// requests. The planner picks the block variant automatically when a bind
-// join's left input is estimated to fill at least one block; combine with
-// WithJoinOperator(core.JoinBlockBind) to force it.
-func WithBindBlockSize(n int) Option {
-	return func(c *config) { c.opts.BindBlockSize = n }
-}
-
-// WithBindConcurrency bounds how many block bind-join requests may be in
-// flight at once (default core.DefaultBindConcurrency). Higher values
-// overlap the per-block network latency at the cost of more concurrent
-// load on the source.
-func WithBindConcurrency(n int) Option {
-	return func(c *config) { c.opts.BindConcurrency = n }
-}
-
-// WithTripleDecomposition decomposes the query into one sub-query per
-// triple pattern instead of star-shaped sub-queries (the alternative the
-// paper's future work proposes to study).
-func WithTripleDecomposition() Option {
-	return func(c *config) { c.opts.Decomposition = core.DecomposeTriples }
-}
-
-// WithOptimizer selects the join-ordering / operator-selection strategy:
-// core.OptimizerCost (the statistics-backed cost model, the default of
-// aware plans) or core.OptimizerGreedy (the legacy shared-variable
-// ordering with one global operator, kept as the ablation baseline). Apply
-// it after WithAwarePlan/WithUnawarePlan, which reset the mode to their
-// respective defaults.
-func WithOptimizer(mode core.OptimizerMode) Option {
-	return func(c *config) { c.opts.Optimizer = mode }
-}
-
-// WithNetworkScale multiplies the real sleeping of the network simulation;
-// 0 disables sleeping (sampled delays are still recorded), 1 reproduces the
-// sampled delays in real time.
-func WithNetworkScale(scale float64) Option {
-	return func(c *config) { c.scale = scale }
-}
-
-// WithSeed fixes the network simulation's random streams.
-func WithSeed(seed int64) Option {
-	return func(c *config) { c.seed = seed }
-}
-
-// Result is a completed query execution.
-type Result struct {
-	// Answers are the solution bindings in arrival order.
-	Answers []sparql.Binding
-	// Variables are the projected variable names.
-	Variables []string
-	// Plan is the executed query execution plan.
-	Plan *core.Plan
-	// Trace is the answer trace (arrival time of every answer).
-	Trace *trace.Trace
-	// Messages is the number of simulated network messages.
-	Messages int
-	// SimulatedDelay is the total sampled network latency.
-	SimulatedDelay time.Duration
-}
-
-// ExecutionTime returns the wall-clock execution time.
-func (r *Result) ExecutionTime() time.Duration { return r.Trace.Total }
-
-// TimeToFirstAnswer returns the arrival time of the first answer.
-func (r *Result) TimeToFirstAnswer() time.Duration { return r.Trace.TimeToFirst() }
-
-// Query parses and runs a SPARQL query, draining the answer stream.
-func (e *Engine) Query(ctx context.Context, queryText string, options ...Option) (*Result, error) {
+// Query parses, plans and starts a SPARQL query, returning a streaming
+// cursor over its solutions. Cancelling ctx aborts the execution: wrappers
+// stop issuing requests and Next returns false with Err reporting the
+// cancellation.
+func (e *Engine) Query(ctx context.Context, queryText string, options ...Option) (*Results, error) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryParsed(ctx, q, options...)
-}
-
-// QueryParsed runs an already-parsed query on its own execution, so
-// concurrent calls never share mutable state.
-func (e *Engine) QueryParsed(ctx context.Context, q *sparql.Query, options ...Option) (*Result, error) {
-	run, err := e.QueryStreamParsed(ctx, q, options...)
-	if err != nil {
-		return nil, err
-	}
-	tr := trace.CollectAnswers(planLabel(run.Plan), run.Start, run.stream)
-	return &Result{
-		Answers:        tr.Answers,
-		Variables:      run.Variables,
-		Plan:           run.Plan,
-		Trace:          tr,
-		Messages:       run.Messages(),
-		SimulatedDelay: run.SimulatedDelay(),
-	}, nil
-}
-
-// RunningQuery is an in-flight query execution handed out by QueryStream:
-// the answers arrive on Answers() as the executor produces them, so the
-// caller can forward the first solution before the query completes. The
-// accounting accessors (Messages, SimulatedDelay, SourceDelays,
-// SourceMessages) reflect the messages retrieved so far and are final once
-// the answer channel closes.
-type RunningQuery struct {
-	// Variables are the projected variable names.
-	Variables []string
-	// Plan is the executing query execution plan.
-	Plan *core.Plan
-	// Start is when execution began.
-	Start time.Time
-
-	exec   *core.Execution
-	stream *engine.Stream
-}
-
-// Answers streams the solution bindings in arrival order. The channel
-// closes when the query completes or its context is cancelled.
-func (r *RunningQuery) Answers() <-chan sparql.Binding { return r.stream.Chan() }
-
-// Messages returns the number of simulated network messages retrieved so
-// far.
-func (r *RunningQuery) Messages() int { return r.exec.Messages() }
-
-// SimulatedDelay returns the total sampled network latency so far.
-func (r *RunningQuery) SimulatedDelay() time.Duration { return r.exec.SimulatedDelay() }
-
-// SourceDelays returns the sampled network latency per contacted source.
-func (r *RunningQuery) SourceDelays() map[string]time.Duration { return r.exec.SourceDelays() }
-
-// SourceMessages returns the simulated message count per contacted source.
-func (r *RunningQuery) SourceMessages() map[string]int { return r.exec.SourceMessages() }
-
-// QueryStream parses and starts a SPARQL query, returning the running
-// execution without draining it. Cancelling ctx aborts the execution:
-// wrappers stop issuing requests and the answer channel closes.
-func (e *Engine) QueryStream(ctx context.Context, queryText string, options ...Option) (*RunningQuery, error) {
-	q, err := sparql.Parse(queryText)
-	if err != nil {
-		return nil, err
-	}
-	return e.QueryStreamParsed(ctx, q, options...)
-}
-
-// QueryStreamParsed starts an already-parsed query, returning the running
-// execution without draining it.
-func (e *Engine) QueryStreamParsed(ctx context.Context, q *sparql.Query, options ...Option) (*RunningQuery, error) {
 	cfg := newConfig(options)
-	plan, err := e.inner.Planner.Plan(q, cfg.opts)
+	plan, err := e.inner.Planner.Plan(q, cfg.resolve())
 	if err != nil {
 		return nil, err
 	}
-	return e.startExecution(ctx, plan, cfg)
+	return e.start(ctx, plan, cfg)
 }
 
-func newConfig(options []Option) config {
-	cfg := config{opts: core.UnawareOptions(netsim.NoDelay), scale: 1.0, seed: 1}
-	for _, o := range options {
-		o(&cfg)
-	}
-	return cfg
-}
-
-func (e *Engine) startExecution(ctx context.Context, plan *core.Plan, cfg config) (*RunningQuery, error) {
+func (e *Engine) start(ctx context.Context, plan *core.Plan, cfg config) (*Results, error) {
+	ctx, cancel := context.WithCancel(ctx)
 	exec := e.inner.Executor.NewExecution(cfg.scale, cfg.seed)
 	start := time.Now()
 	stream, err := exec.Execute(ctx, plan)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	return &RunningQuery{
-		Variables: plan.Query.ProjectedVars(),
-		Plan:      plan,
-		Start:     start,
-		exec:      exec,
-		stream:    stream,
-	}, nil
+	return newResults(ctx, cancel, plan, exec, stream, start), nil
 }
 
 // Prepared is a planned query ready for repeated execution. The plan tree
 // is read-only during execution, so one Prepared may back any number of
-// concurrent StreamPrepared calls — the unit a server-side plan cache
+// concurrent QueryPrepared calls — the unit a server-side plan cache
 // stores.
 type Prepared struct {
 	plan *core.Plan
 }
 
-// Plan exposes the prepared execution plan.
-func (p *Prepared) Plan() *core.Plan { return p.plan }
-
 // Explain renders the prepared plan (with cost estimates under the cost
 // optimizer).
 func (p *Prepared) Explain() string { return p.plan.Explain() }
+
+// Summary returns the prepared plan as a public summary tree.
+func (p *Prepared) Summary() *PlanSummary { return summarize(p.plan.Root) }
 
 // Prepare parses and plans a query without executing it. All plan-shaping
 // options (mode, network, optimizer, join operator, ...) are fixed at
@@ -364,19 +222,22 @@ func (e *Engine) Prepare(queryText string, options ...Option) (*Prepared, error)
 		return nil, err
 	}
 	cfg := newConfig(options)
-	plan, err := e.inner.Planner.Plan(q, cfg.opts)
+	plan, err := e.inner.Planner.Plan(q, cfg.resolve())
 	if err != nil {
 		return nil, err
 	}
 	return &Prepared{plan: plan}, nil
 }
 
-// StreamPrepared starts a prepared query on its own execution, skipping
+// QueryPrepared starts a prepared query on its own execution, skipping
 // parsing and planning. Only the execution-time options (WithNetworkScale,
 // WithSeed) are honored; the plan — including its network profile — was
 // fixed at Prepare time.
-func (e *Engine) StreamPrepared(ctx context.Context, prep *Prepared, options ...Option) (*RunningQuery, error) {
-	return e.startExecution(ctx, prep.plan, newConfig(options))
+func (e *Engine) QueryPrepared(ctx context.Context, prep *Prepared, options ...Option) (*Results, error) {
+	if prep == nil || prep.plan == nil {
+		return nil, fmt.Errorf("ontario: QueryPrepared on an empty Prepared")
+	}
+	return e.start(ctx, prep.plan, newConfig(options))
 }
 
 // Explain plans the query without executing it and returns the rendered
@@ -387,12 +248,4 @@ func (e *Engine) Explain(queryText string, options ...Option) (string, error) {
 		return "", err
 	}
 	return prep.Explain(), nil
-}
-
-func planLabel(p *core.Plan) string {
-	mode := "unaware"
-	if p.Opts.Aware {
-		mode = "aware"
-	}
-	return fmt.Sprintf("%s/%s", mode, p.Opts.Network.Name)
 }

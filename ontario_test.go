@@ -9,9 +9,7 @@ import (
 	"time"
 
 	"ontario"
-	"ontario/internal/core"
 	"ontario/internal/lslod"
-	"ontario/internal/netsim"
 )
 
 func facadeLake(t *testing.T) *lslod.Lake {
@@ -25,51 +23,60 @@ func facadeLake(t *testing.T) *lslod.Lake {
 
 func TestFacadeQuery(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	res, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
 		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Answers) == 0 {
+	answers, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
 		t.Fatal("no answers")
 	}
-	if len(res.Variables) != 3 {
-		t.Errorf("variables = %v", res.Variables)
+	if len(res.Vars()) != 3 {
+		t.Errorf("variables = %v", res.Vars())
 	}
-	if res.Trace == nil || res.Trace.Count() != len(res.Answers) {
-		t.Error("trace inconsistent with answers")
+	st := res.Stats()
+	if st.Answers != len(answers) {
+		t.Errorf("stats report %d answers, collected %d", st.Answers, len(answers))
 	}
-	if res.Messages == 0 {
+	if st.Messages == 0 {
 		t.Error("no messages recorded")
 	}
-	if res.ExecutionTime() <= 0 || res.TimeToFirstAnswer() <= 0 {
+	if st.Duration <= 0 || st.TimeToFirstAnswer <= 0 {
 		t.Error("timings missing")
 	}
-	if res.Plan == nil || !res.Plan.Opts.Aware {
-		t.Error("plan missing or not aware")
+	if res.Plan() == nil || res.Plan().Operator == "" {
+		t.Error("plan summary missing")
 	}
 }
 
 func TestFacadeModesAgree(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	ctx := context.Background()
 	var counts []int
 	for _, opts := range [][]ontario.Option{
 		{ontario.WithUnawarePlan()},
 		{ontario.WithAwarePlan()},
 		{ontario.WithAwarePlan(), ontario.WithNaiveTranslation()},
-		{ontario.WithHeuristic2(), ontario.WithNetwork(netsim.Gamma3)},
-		{ontario.WithAwarePlan(), ontario.WithJoinOperator(core.JoinNestedLoop)},
-		{ontario.WithAwarePlan(), ontario.WithJoinOperator(core.JoinBind)},
+		{ontario.WithHeuristic2(), ontario.WithNetwork(ontario.Gamma3)},
+		{ontario.WithAwarePlan(), ontario.WithJoinOperator(ontario.JoinNestedLoop)},
+		{ontario.WithAwarePlan(), ontario.WithJoinOperator(ontario.JoinBind)},
 	} {
 		opts = append(opts, ontario.WithNetworkScale(0), ontario.WithSeed(5))
 		res, err := eng.Query(ctx, lslod.Queries()[4].Text, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
-		counts = append(counts, len(res.Answers))
+		answers, err := res.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(answers))
 	}
 	for i := 1; i < len(counts); i++ {
 		if counts[i] != counts[0] {
@@ -80,7 +87,7 @@ func TestFacadeModesAgree(t *testing.T) {
 
 func TestFacadeExplain(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	out, err := eng.Explain(lslod.Queries()[1].Text, ontario.WithAwarePlan())
 	if err != nil {
 		t.Fatal(err)
@@ -91,11 +98,22 @@ func TestFacadeExplain(t *testing.T) {
 	if _, err := eng.Explain("not sparql"); err == nil {
 		t.Error("bad query accepted by Explain")
 	}
+	prep, err := eng.Prepare(lslod.Queries()[1].Text, ontario.WithAwarePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := prep.Summary()
+	if sum.Operator != "merged-service" || sum.Source != lslod.DSDiseasome {
+		t.Errorf("plan summary = %+v", sum)
+	}
+	if sum.Estimate == nil || sum.Estimate.Cardinality <= 0 {
+		t.Errorf("cost estimate missing from summary: %+v", sum.Estimate)
+	}
 }
 
 func TestFacadeErrors(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	ctx := context.Background()
 	if _, err := eng.Query(ctx, "SELECT nothing"); err == nil {
 		t.Error("parse error not surfaced")
@@ -107,19 +125,24 @@ func TestFacadeErrors(t *testing.T) {
 
 func TestFacadeSimulatedDelayAccounting(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	res, err := eng.Query(context.Background(), lslod.Queries()[2].Text,
-		ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma2), ontario.WithNetworkScale(0))
+		ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma2), ontario.WithNetworkScale(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.SimulatedDelay == 0 {
+	if _, err := res.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	if st.SimulatedDelay == 0 {
 		t.Error("Gamma2 run recorded no simulated delay")
 	}
-	mean := res.SimulatedDelay / 3 / 1e6 // ms per message roughly = delay/messages
-	_ = mean
-	if res.Messages == 0 {
+	if st.Messages == 0 {
 		t.Error("no messages")
+	}
+	if len(st.SourceMessages) == 0 || len(st.SourceDelays) == 0 {
+		t.Error("no per-source accounting")
 	}
 }
 
@@ -129,7 +152,7 @@ func TestFacadeSimulatedDelayAccounting(t *testing.T) {
 // also report its own (per-execution) message accounting.
 func TestFacadeConcurrentQueries(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog, ontario.WithSourceLimit(4))
+	eng := ontario.New(lake.Lake, ontario.WithSourceLimit(4))
 	ctx := context.Background()
 
 	// Reference counts per query, computed sequentially.
@@ -139,7 +162,11 @@ func TestFacadeConcurrentQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want[q.ID] = len(res.Answers)
+		answers, err := res.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q.ID] = len(answers)
 	}
 
 	const workers = 16
@@ -150,7 +177,7 @@ func TestFacadeConcurrentQueries(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			q := lslod.Queries()[i%len(lslod.Queries())]
-			opts := []ontario.Option{ontario.WithNetworkScale(0), ontario.WithNetwork(netsim.Gamma1)}
+			opts := []ontario.Option{ontario.WithNetworkScale(0), ontario.WithNetwork(ontario.Gamma1)}
 			switch i % 3 {
 			case 0:
 				opts = append(opts, ontario.WithAwarePlan())
@@ -158,17 +185,22 @@ func TestFacadeConcurrentQueries(t *testing.T) {
 				opts = append(opts, ontario.WithUnawarePlan())
 			default:
 				opts = append(opts, ontario.WithAwarePlan(),
-					ontario.WithJoinOperator(core.JoinBlockBind), ontario.WithBindBlockSize(8))
+					ontario.WithJoinOperator(ontario.JoinBlockBind), ontario.WithBindBlockSize(8))
 			}
 			res, err := eng.Query(ctx, q.Text, opts...)
 			if err != nil {
 				errs <- fmt.Errorf("%s: %w", q.ID, err)
 				return
 			}
-			if len(res.Answers) != want[q.ID] {
-				errs <- fmt.Errorf("%s: got %d answers, want %d", q.ID, len(res.Answers), want[q.ID])
+			answers, err := res.Collect()
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", q.ID, err)
+				return
 			}
-			if res.Messages == 0 {
+			if len(answers) != want[q.ID] {
+				errs <- fmt.Errorf("%s: got %d answers, want %d", q.ID, len(answers), want[q.ID])
+			}
+			if res.Stats().Messages == 0 {
 				errs <- fmt.Errorf("%s: no per-execution messages recorded", q.ID)
 			}
 		}(i)
@@ -178,7 +210,7 @@ func TestFacadeConcurrentQueries(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if lim := eng.SourceLimiter(); lim != nil {
+	if lim := eng.SourceLimits(); lim != nil {
 		for _, src := range lim.Sources() {
 			if p := lim.Peak(src); p > lim.Limit() {
 				t.Errorf("source %s peak in-flight %d exceeds limit %d", src, p, lim.Limit())
@@ -198,105 +230,148 @@ func TestFacadeSourceLimitBindJoinSameSource(t *testing.T) {
 	q := lslod.Queries()[1].Text // Q2: two stars over the same source (diseasome)
 	opts := []ontario.Option{
 		ontario.WithUnawarePlan(), // keep the stars separate so the join runs at the engine
-		ontario.WithJoinOperator(core.JoinBind),
+		ontario.WithJoinOperator(ontario.JoinBind),
 		ontario.WithBindBlockSize(1), // strictly sequential bind join
 		ontario.WithNetworkScale(0),
 	}
 
-	ref, err := ontario.New(lake.Catalog).Query(context.Background(), q, opts...)
+	refRes, err := ontario.New(lake.Lake).Query(context.Background(), q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refRes.Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	eng := ontario.New(lake.Catalog, ontario.WithSourceLimit(1))
+	eng := ontario.New(lake.Lake, ontario.WithSourceLimit(1))
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	res, err := eng.Query(ctx, q, opts...)
 	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
 		t.Fatalf("limited engine failed (deadlock would surface as deadline exceeded): %v", err)
 	}
-	if len(res.Answers) != len(ref.Answers) {
-		t.Errorf("limited engine returned %d answers, want %d", len(res.Answers), len(ref.Answers))
+	if len(answers) != len(ref) {
+		t.Errorf("limited engine returned %d answers, want %d", len(answers), len(ref))
 	}
 }
 
-// TestFacadeQueryStream checks the streaming API: answers must be
-// consumable incrementally and cancelling the context must close the
-// answer channel without draining the query.
-func TestFacadeQueryStream(t *testing.T) {
+// TestFacadeCursor checks the streaming cursor: answers must be consumable
+// incrementally, and cancelling the context must terminate iteration with
+// the context's error without draining the query.
+func TestFacadeCursor(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 
-	run, err := eng.QueryStream(context.Background(), lslod.Queries()[0].Text,
+	res, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
 		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := 0
-	for range run.Answers() {
+	for res.Next() {
+		if len(res.Binding()) == 0 {
+			t.Fatal("empty binding")
+		}
 		n++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Fatal("no streamed answers")
 	}
-	if run.Messages() == 0 {
-		t.Error("no messages recorded")
-	}
-	if len(run.SourceMessages()) == 0 {
+	st := res.Stats()
+	if st.Messages == 0 || len(st.SourceMessages) == 0 {
 		t.Error("no per-source message accounting")
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	run, err = eng.QueryStream(ctx, lslod.Queries()[2].Text,
-		ontario.WithUnawarePlan(), ontario.WithNetwork(netsim.Gamma3), ontario.WithNetworkScale(1))
+	res, err = eng.Query(ctx, lslod.Queries()[2].Text,
+		ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-run.Answers() // first answer arrived
+	if !res.Next() {
+		t.Fatalf("no first answer: %v", res.Err())
+	}
 	cancel()
-	deadline := time.After(5 * time.Second)
-	for {
-		select {
-		case _, ok := <-run.Answers():
-			if !ok {
-				return // channel closed after cancellation: plan torn down
-			}
-		case <-deadline:
-			t.Fatal("answer channel still open 5s after cancellation")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for res.Next() {
 		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cursor still delivering 5s after cancellation")
+	}
+	if res.Err() != context.Canceled {
+		t.Errorf("Err after cancellation = %v, want context.Canceled", res.Err())
+	}
+}
+
+// TestFacadeCloseEarly checks that closing a cursor mid-iteration tears
+// the execution down without reporting an error.
+func TestFacadeCloseEarly(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Lake)
+	res, err := eng.Query(context.Background(), lslod.Queries()[2].Text,
+		ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Next() {
+		t.Fatalf("no first answer: %v", res.Err())
+	}
+	if err := res.Close(); err != nil {
+		t.Fatalf("Close returned %v", err)
+	}
+	if res.Next() {
+		t.Error("Next returned true after Close")
+	}
+	if res.Err() != nil {
+		t.Errorf("Err after Close = %v, want nil", res.Err())
 	}
 }
 
 func TestFacadeBlockBindJoinOptions(t *testing.T) {
 	lake := facadeLake(t)
-	eng := ontario.New(lake.Catalog)
+	eng := ontario.New(lake.Lake)
 	ctx := context.Background()
 	q := lslod.Queries()[2].Text // Q3 has an engine-level join
 
-	ref, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
-	if err != nil {
-		t.Fatal(err)
+	collect := func(opts ...ontario.Option) ([]ontario.Binding, *ontario.Results) {
+		res, err := eng.Query(ctx, q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, err := res.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return answers, res
 	}
-	seq, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
-		ontario.WithJoinOperator(core.JoinBind), ontario.WithBindBlockSize(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	blk, err := eng.Query(ctx, q, ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
-		ontario.WithJoinOperator(core.JoinBlockBind),
+	ref, _ := collect(ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	seq, seqRes := collect(ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
+		ontario.WithJoinOperator(ontario.JoinBind), ontario.WithBindBlockSize(1))
+	blk, blkRes := collect(ontario.WithAwarePlan(), ontario.WithNetworkScale(0),
+		ontario.WithJoinOperator(ontario.JoinBlockBind),
 		ontario.WithBindBlockSize(16), ontario.WithBindConcurrency(4))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(blk.Answers) != len(ref.Answers) || len(seq.Answers) != len(ref.Answers) {
+	if len(blk) != len(ref) || len(seq) != len(ref) {
 		t.Fatalf("answer counts differ: ref %d, bind %d, block-bind %d",
-			len(ref.Answers), len(seq.Answers), len(blk.Answers))
+			len(ref), len(seq), len(blk))
 	}
-	if !strings.Contains(blk.Plan.Explain(), "block-bind") {
-		t.Errorf("block-bind plan not selected:\n%s", blk.Plan.Explain())
+	if !strings.Contains(blkRes.Plan().String(), "block-bind") {
+		t.Errorf("block-bind plan not selected:\n%s", blkRes.Plan())
 	}
-	if blk.Messages >= seq.Messages {
+	if blkRes.Stats().Messages >= seqRes.Stats().Messages {
 		t.Errorf("block bind join should use fewer messages: block %d vs sequential %d",
-			blk.Messages, seq.Messages)
+			blkRes.Stats().Messages, seqRes.Stats().Messages)
 	}
 }

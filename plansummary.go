@@ -1,0 +1,153 @@
+package ontario
+
+import (
+	"fmt"
+	"strings"
+
+	"ontario/internal/core"
+)
+
+// Estimate is the cost model's prediction for one plan node, present when
+// the cost optimizer planned it.
+type Estimate struct {
+	// Cardinality is the estimated number of output bindings.
+	Cardinality float64
+	// Messages is the estimated number of simulated network messages
+	// needed to produce the node's output.
+	Messages float64
+	// Cost is the scalar optimization objective in millisecond-
+	// equivalents: message latency under the active network profile plus
+	// transferred-binding volume.
+	Cost float64
+}
+
+// PlanSummary is one node of a query execution plan, rendered into public
+// value types: a tree of operators with their sources, details and cost
+// estimates. It is a snapshot for inspection; Explain renders the same
+// tree as text.
+type PlanSummary struct {
+	// Operator is the node kind: "service", "merged-service", "join",
+	// "left-join", "filter" or "union".
+	Operator string
+	// Source is the answering source ID of service nodes.
+	Source string
+	// Detail describes the node: the stars of a service ("?d:Disease(2
+	// patterns)"), the operator of a join ("symmetric-hash"), the filter
+	// expressions of a filter node.
+	Detail string
+	// JoinVars are the join variables of join nodes.
+	JoinVars []string
+	// Estimate is the cost model's prediction, nil when the plan was not
+	// produced by the cost optimizer.
+	Estimate *Estimate
+	Children []*PlanSummary
+}
+
+// String renders the plan tree.
+func (s *PlanSummary) String() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *PlanSummary) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Operator)
+	if s.Source != "" {
+		fmt.Fprintf(b, "[%s]", s.Source)
+	}
+	if s.Detail != "" {
+		b.WriteString(" " + s.Detail)
+	}
+	if len(s.JoinVars) > 0 {
+		fmt.Fprintf(b, " on %v", s.JoinVars)
+	}
+	if s.Estimate != nil {
+		fmt.Fprintf(b, "  {est card=%.0f msgs=%.0f cost=%.1f}",
+			s.Estimate.Cardinality, s.Estimate.Messages, s.Estimate.Cost)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// summarize renders an internal plan tree into public value types.
+func summarize(n core.PlanNode) *PlanSummary {
+	switch v := n.(type) {
+	case *core.ServiceNode:
+		s := &PlanSummary{Operator: "service", Source: v.SourceID, Estimate: estimate(v.Est)}
+		if v.Merged {
+			s.Operator = "merged-service"
+		}
+		var parts []string
+		for _, star := range v.Req.Stars {
+			parts = append(parts, fmt.Sprintf("?%s:%s(%d patterns)",
+				star.SubjectVar, localName(star.Class), len(star.Patterns)))
+		}
+		if len(v.Req.Filters) > 0 {
+			var fs []string
+			for _, f := range v.Req.Filters {
+				fs = append(fs, f.String())
+			}
+			parts = append(parts, "pushed-filters{"+strings.Join(fs, "; ")+"}")
+		}
+		s.Detail = strings.Join(parts, " ")
+		return s
+	case *core.JoinNode:
+		return &PlanSummary{
+			Operator: "join",
+			Detail:   v.Op.String(),
+			JoinVars: append([]string(nil), v.JoinVars...),
+			Estimate: estimate(v.Est),
+			Children: []*PlanSummary{summarize(v.L), summarize(v.R)},
+		}
+	case *core.LeftJoinNode:
+		s := &PlanSummary{
+			Operator: "left-join",
+			Children: []*PlanSummary{summarize(v.L), summarize(v.R)},
+		}
+		if len(v.Filters) > 0 {
+			var fs []string
+			for _, f := range v.Filters {
+				fs = append(fs, f.String())
+			}
+			s.Detail = "filters{" + strings.Join(fs, "; ") + "}"
+		}
+		return s
+	case *core.FilterNode:
+		var fs []string
+		for _, f := range v.Exprs {
+			fs = append(fs, f.String())
+		}
+		return &PlanSummary{
+			Operator: "filter",
+			Detail:   strings.Join(fs, "; "),
+			Children: []*PlanSummary{summarize(v.Child)},
+		}
+	case *core.UnionNode:
+		s := &PlanSummary{Operator: "union"}
+		for _, c := range v.Children {
+			s.Children = append(s.Children, summarize(c))
+		}
+		return s
+	default:
+		return &PlanSummary{Operator: fmt.Sprintf("%T", n)}
+	}
+}
+
+func estimate(e *core.Estimate) *Estimate {
+	if e == nil {
+		return nil
+	}
+	return &Estimate{Cardinality: e.Card, Messages: e.Msgs, Cost: e.Cost}
+}
+
+func localName(iri string) string {
+	if i := strings.LastIndexAny(iri, "/#"); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}

@@ -1,0 +1,187 @@
+package ontario
+
+import (
+	"context"
+	"time"
+
+	"ontario/internal/core"
+	"ontario/internal/engine"
+	"ontario/internal/sparql"
+)
+
+// Stats summarizes one query execution. While the cursor is open the
+// counters reflect the work done so far; once the results are exhausted or
+// closed they are final.
+type Stats struct {
+	// Answers is the number of solutions delivered through the cursor.
+	Answers int
+	// Messages is the number of simulated network messages retrieved.
+	Messages int
+	// SimulatedDelay is the total sampled network latency.
+	SimulatedDelay time.Duration
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+	// TimeToFirstAnswer is the arrival time of the first solution
+	// (Duration when the query produced none).
+	TimeToFirstAnswer time.Duration
+	// SourceMessages is the simulated message count per contacted source.
+	SourceMessages map[string]int
+	// SourceDelays is the sampled network latency per contacted source.
+	SourceDelays map[string]time.Duration
+}
+
+// Results is a cursor over a query's solutions, in the style of
+// database/sql.Rows: solutions stream from the executor as they are
+// produced, so the first Next returns at time-to-first-answer, not at
+// query completion.
+//
+//	res, err := eng.Query(ctx, text, ontario.WithAwarePlan())
+//	if err != nil { ... }
+//	defer res.Close()
+//	for res.Next() {
+//	    b := res.Binding()
+//	    ...
+//	}
+//	if err := res.Err(); err != nil { ... }
+//
+// A Results is not safe for concurrent use. Closing it early cancels the
+// underlying execution and releases its resources.
+type Results struct {
+	vars    []string
+	plan    *core.Plan
+	summary *PlanSummary
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	exec   *core.Execution
+	stream *engine.Stream
+	start  time.Time
+
+	cur     Binding
+	err     error
+	n       int
+	firstAt time.Duration
+	total   time.Duration
+	done    bool
+	closed  bool
+}
+
+func newResults(ctx context.Context, cancel context.CancelFunc, plan *core.Plan, exec *core.Execution, stream *engine.Stream, start time.Time) *Results {
+	return &Results{
+		vars:   plan.Query.ProjectedVars(),
+		plan:   plan,
+		ctx:    ctx,
+		cancel: cancel,
+		exec:   exec,
+		stream: stream,
+		start:  start,
+	}
+}
+
+// Vars returns the projected variable names.
+func (r *Results) Vars() []string { return append([]string(nil), r.vars...) }
+
+// Next advances to the next solution. It returns false when the results
+// are exhausted, the context is cancelled, or the cursor was closed; check
+// Err afterwards to distinguish completion from cancellation.
+func (r *Results) Next() bool {
+	if r.done || r.closed {
+		return false
+	}
+	b, ok := <-r.stream.Chan()
+	if !ok {
+		r.finish()
+		return false
+	}
+	r.n++
+	if r.n == 1 {
+		r.firstAt = time.Since(r.start)
+	}
+	r.cur = bindingFromInternal(b)
+	return true
+}
+
+// Binding returns the current solution. It is only valid after a true
+// Next.
+func (r *Results) Binding() Binding { return r.cur }
+
+// Err returns the error that terminated iteration early (a cancelled or
+// expired context), or nil after a complete run or an explicit Close.
+func (r *Results) Err() error { return r.err }
+
+// Close cancels the execution if it is still running, drains it, and
+// releases its resources. Closing an exhausted or already-closed cursor is
+// a no-op.
+func (r *Results) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.cancel()
+	for range r.stream.Chan() {
+	}
+	if !r.done {
+		r.done = true
+		r.total = time.Since(r.start)
+	}
+	return r.err
+}
+
+// finish records the terminal state once the stream closes.
+func (r *Results) finish() {
+	r.done = true
+	r.total = time.Since(r.start)
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+	}
+	r.cancel()
+}
+
+// Collect drains the remaining solutions, closes the cursor and returns
+// them (all solutions when called before the first Next).
+func (r *Results) Collect() ([]Binding, error) {
+	var out []Binding
+	for r.Next() {
+		out = append(out, r.Binding())
+	}
+	r.Close()
+	return out, r.err
+}
+
+// Stats returns the execution statistics: a snapshot while the cursor is
+// open, the final numbers once it is exhausted or closed.
+func (r *Results) Stats() Stats {
+	d := r.total
+	if !r.done {
+		d = time.Since(r.start)
+	}
+	ttfa := r.firstAt
+	if r.n == 0 {
+		ttfa = d
+	}
+	return Stats{
+		Answers:           r.n,
+		Messages:          r.exec.Messages(),
+		SimulatedDelay:    r.exec.SimulatedDelay(),
+		Duration:          d,
+		TimeToFirstAnswer: ttfa,
+		SourceMessages:    r.exec.SourceMessages(),
+		SourceDelays:      r.exec.SourceDelays(),
+	}
+}
+
+// Plan returns the executed plan as a public summary tree.
+func (r *Results) Plan() *PlanSummary {
+	if r.summary == nil {
+		r.summary = summarize(r.plan.Root)
+	}
+	return r.summary
+}
+
+func bindingFromInternal(b sparql.Binding) Binding {
+	out := make(Binding, len(b))
+	for v, t := range b {
+		out[v] = Term{Kind: TermKind(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+	return out
+}
