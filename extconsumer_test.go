@@ -1,0 +1,94 @@
+package ontario_test
+
+// The external-consumer proof: a throwaway module OUTSIDE this repository
+// (wired up with a replace directive) imports ontario and ontario/lake,
+// builds a lake, and runs a smoke query through the cursor API. If any
+// exported surface referenced an internal type, or the library otherwise
+// only worked from inside the module, this build would fail. The CI
+// external-module job runs the same check with the go tool directly.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const extMainGo = `package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ontario"
+	"ontario/lake"
+)
+
+func main() {
+	l, err := lake.NewBuilder().
+		AddTable("hr", lake.TableSpec{
+			Name: "employee",
+			Columns: []lake.Column{
+				{Name: "id", Type: lake.TypeInt, NotNull: true},
+				{Name: "name", Type: lake.TypeString},
+			},
+			PrimaryKey: "id",
+			Rows:       [][]any{{1, "Ada"}, {2, "Grace"}},
+		}).
+		MapClass("hr", lake.ClassMapping{
+			Class:           "http://x/Employee",
+			Table:           "employee",
+			SubjectTemplate: "http://x/e/{value}",
+			Properties: []lake.PropertyMapping{
+				{Predicate: "http://x/name", Column: "name"},
+			},
+		}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := ontario.New(l, ontario.WithSourceLimit(2))
+	res, err := eng.Query(context.Background(),
+		"SELECT ?n WHERE { ?e <http://x/name> ?n . }",
+		ontario.WithAwarePlan(), ontario.WithNetwork(ontario.Gamma1), ontario.WithNetworkScale(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("external consumer got %d answers, %d messages\n",
+		len(answers), res.Stats().Messages)
+}
+`
+
+func TestExternalModuleConsumesLibrary(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	repo, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gomod := "module extconsumer\n\ngo 1.22\n\nrequire ontario v0.0.0\n\nreplace ontario => " + repo + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(extMainGo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("external module failed: %v\n%s", err, out)
+	}
+	if want := "external consumer got 2 answers"; !strings.Contains(string(out), want) {
+		t.Errorf("output %q does not contain %q", out, want)
+	}
+}
