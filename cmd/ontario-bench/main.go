@@ -19,10 +19,16 @@
 //	                   -serve-concurrency/-serve-queue, per-source limit
 //	                   -serve-source-limit) per network profile, reporting
 //	                   throughput, p50/p95 latency, and time-to-first-answer
-//	-experiment all    all of the paper experiments above (serve must be
-//	                   requested explicitly: at -net-scale 1 a multi-client
-//	                   load test over the gamma profiles takes far longer
-//	                   than the single-query experiments)
+//	-experiment exchange
+//	                   vectorized data plane sweep: the serve workload per
+//	                   exchange batch size (-exchange-batches, 1 = the
+//	                   binding-at-a-time baseline) × probe parallelism
+//	                   (-exchange-par), reporting bindings/sec throughput
+//	-experiment all    all of the paper experiments above (serve and
+//	                   exchange must be requested explicitly: at
+//	                   -net-scale 1 a multi-client load test over the gamma
+//	                   profiles takes far longer than the single-query
+//	                   experiments)
 //
 // With -json <dir>, every experiment also writes its results as
 // <dir>/BENCH_<experiment>.json so the performance trajectory is recorded
@@ -45,7 +51,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | all")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | exchange | all")
 		small    = flag.Bool("small", false, "use the small data scale")
 		seed     = flag.Int64("seed", 1, "data and network seed")
 		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
@@ -60,6 +66,10 @@ func main() {
 		serveQueue    = flag.Int("serve-queue", 16, "server admission queue depth")
 		serveSrcLimit = flag.Int("serve-source-limit", 4, "per-source in-flight request limit (0 = unlimited)")
 		serveTimeout  = flag.Duration("serve-timeout", 60*time.Second, "per-query deadline for -experiment serve")
+
+		exchBatches = flag.String("exchange-batches", "1,16,64,256,1024", "comma-separated exchange batch sizes for -experiment exchange")
+		exchPar     = flag.String("exchange-par", "1,4", "comma-separated probe parallelism levels for -experiment exchange")
+		exchNetwork = flag.String("exchange-network", "none", "network profile for -experiment exchange")
 	)
 	flag.Parse()
 
@@ -205,9 +215,47 @@ func main() {
 			return exp.WriteServeJSON(dir, results)
 		})
 	}
+
+	if run == "exchange" {
+		batches, err := parseIntList(*exchBatches, 1)
+		if err != nil {
+			fail(err)
+		}
+		pars, err := parseIntList(*exchPar, 1)
+		if err != nil {
+			fail(err)
+		}
+		net, err := netsim.ProfileByName(*exchNetwork)
+		if err != nil {
+			fail(err)
+		}
+		header(fmt.Sprintf("exchange: batch sizes %v x probe parallelism %v on the serve workload (%d clients, %d requests, %s)",
+			batches, pars, *serveClients, *serveRequests, net.Name))
+		rows, err := runner.RunExchange(ctx, exp.ExchangeConfig{
+			Serve: exp.ServeConfig{
+				Clients:       *serveClients,
+				Requests:      *serveRequests,
+				MaxConcurrent: *serveConc,
+				QueueDepth:    *serveQueue,
+				SourceLimit:   *serveSrcLimit,
+				Network:       net,
+				Timeout:       *serveTimeout,
+			},
+			BatchSizes:  batches,
+			Parallelism: pars,
+		})
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteExchangeTable(os.Stdout, rows)
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteExchangeJSON(dir, rows)
+		})
+	}
 }
 
-func parseBlockSizes(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of integers >= min.
+func parseIntList(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -215,13 +263,18 @@ func parseBlockSizes(s string) ([]int, error) {
 			continue
 		}
 		n, err := strconv.Atoi(part)
-		if err != nil || n < 2 {
-			return nil, fmt.Errorf("invalid block size %q (want integers >= 2)", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("invalid value %q (want integers >= %d)", part, min)
 		}
 		out = append(out, n)
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
 	return out, nil
 }
+
+func parseBlockSizes(s string) ([]int, error) { return parseIntList(s, 2) }
 
 func header(s string) {
 	fmt.Println()

@@ -11,3 +11,11 @@ import "ontario/internal/catalog"
 // is set by ontario/lake's init function; it returns nil for any other
 // value.
 var LakeCatalog func(lake any) *catalog.Catalog
+
+// ResultsNextBatch pulls the next whole exchange batch of solutions from a
+// public *ontario.Results cursor; it is set by the root ontario package's
+// init function. The returned batch is a []ontario.Binding (the caller
+// type-asserts), ok is false once the cursor is exhausted or closed. It
+// exists so the internal server can encode one batch per write without the
+// exported cursor API growing a batch method.
+var ResultsNextBatch func(results any) (batch any, ok bool)

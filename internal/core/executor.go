@@ -119,14 +119,15 @@ func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, 
 	}
 	sim := netsim.NewSimulator(opts.Network, x.scale, x.seed+int64(len(x.sims)))
 	x.sims[sourceID] = sim
+	batch := opts.EffectiveBatchSize()
 	var w wrapper.Wrapper
 	switch src.Model {
 	case catalog.ModelRDF:
-		w = wrapper.NewRDFWrapper(sourceID, src.Graph, sim)
+		w = wrapper.NewRDFWrapper(sourceID, src.Graph, sim, batch)
 	case catalog.ModelRelational:
-		w = wrapper.NewSQLWrapper(src, sim, opts.Translation)
+		w = wrapper.NewSQLWrapper(src, sim, opts.Translation, batch)
 	case catalog.ModelCustom:
-		w = wrapper.NewExternalWrapper(sourceID, src.External, sim)
+		w = wrapper.NewExternalWrapper(sourceID, src.External, sim, batch)
 	default:
 		return nil, fmt.Errorf("core: source %s has unsupported model", sourceID)
 	}
@@ -190,20 +191,21 @@ func (x *Execution) Execute(ctx context.Context, p *Plan) (*engine.Stream, error
 	}
 	q := p.Query
 	s := root
+	batch := p.Opts.EffectiveBatchSize()
 	if vars := q.ProjectedVars(); len(vars) > 0 {
-		s = engine.Project(ctx, s, vars)
+		s = engine.Project(ctx, s, vars, batch)
 	}
 	if q.Distinct {
-		s = engine.Distinct(ctx, s)
+		s = engine.Distinct(ctx, s, batch)
 	}
 	if len(q.OrderBy) > 0 {
-		s = engine.OrderBy(ctx, s, q.OrderBy)
+		s = engine.OrderBy(ctx, s, q.OrderBy, batch)
 	}
 	if q.Offset > 0 {
-		s = engine.Offset(ctx, s, q.Offset)
+		s = engine.Offset(ctx, s, q.Offset, batch)
 	}
 	if q.Limit >= 0 {
-		s = engine.Limit(ctx, s, q.Limit)
+		s = engine.Limit(ctx, s, q.Limit, batch)
 	}
 	return s, nil
 }
@@ -249,7 +251,8 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 						return s
 					}
 					return engine.BlockBindJoin(ctx, left, service, v.JoinVars,
-						opts.EffectiveBindBlockSize(), opts.EffectiveBindConcurrency()), nil
+						opts.EffectiveBindBlockSize(), opts.EffectiveBindConcurrency(),
+						opts.EffectiveBatchSize()), nil
 				}
 				service := func(ctx context.Context, seed sparql.Binding) *engine.Stream {
 					req := &wrapper.Request{
@@ -265,7 +268,7 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 					}
 					return s
 				}
-				return engine.BindJoin(ctx, left, service, v.JoinVars), nil
+				return engine.BindJoin(ctx, left, service, v.JoinVars, opts.EffectiveBatchSize()), nil
 			}
 			// Fall through to symmetric hash when the right side is not a
 			// plain service.
@@ -280,9 +283,10 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 		}
 		switch v.Op {
 		case JoinNestedLoop:
-			return engine.NestedLoopJoin(ctx, left, right, v.JoinVars), nil
+			return engine.NestedLoopJoin(ctx, left, right, v.JoinVars, opts.EffectiveBatchSize()), nil
 		default:
-			return engine.SymmetricHashJoin(ctx, left, right, v.JoinVars), nil
+			return engine.SymmetricHashJoin(ctx, left, right, v.JoinVars,
+				opts.EffectiveProbeParallelism(), opts.EffectiveBatchSize()), nil
 		}
 	case *LeftJoinNode:
 		left, err := x.run(ctx, v.L, opts)
@@ -293,13 +297,13 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 		if err != nil {
 			return nil, err
 		}
-		return engine.LeftJoin(ctx, left, right, v.Filters), nil
+		return engine.LeftJoin(ctx, left, right, v.Filters, opts.EffectiveBatchSize()), nil
 	case *FilterNode:
 		in, err := x.run(ctx, v.Child, opts)
 		if err != nil {
 			return nil, err
 		}
-		return engine.Filter(ctx, in, v.Exprs), nil
+		return engine.Filter(ctx, in, v.Exprs, opts.EffectiveBatchSize()), nil
 	case *UnionNode:
 		var streams []*engine.Stream
 		for _, c := range v.Children {
@@ -309,7 +313,7 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 			}
 			streams = append(streams, s)
 		}
-		return engine.Union(ctx, streams...), nil
+		return engine.Union(ctx, opts.EffectiveBatchSize(), streams...), nil
 	default:
 		return nil, fmt.Errorf("core: unknown plan node %T", n)
 	}

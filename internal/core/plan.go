@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
 	"ontario/internal/wrapper"
@@ -145,6 +146,16 @@ type Options struct {
 	// JoinOperator other than JoinSymmetricHash acts as a forced override
 	// for ablations: every join uses it instead of the per-join choice.
 	Optimizer OptimizerMode
+	// BatchSize is the number of bindings the execution data plane packs
+	// into one exchange batch — the granularity wrappers emit and
+	// operators consume (0 means engine.DefaultBatchSize; 1 degenerates
+	// to binding-at-a-time execution).
+	BatchSize int
+	// ProbeParallelism is the number of morsel-parallel probe workers —
+	// and hash-table shards — of every symmetric hash join (0 means a
+	// default derived from GOMAXPROCS; 1 disables intra-operator
+	// parallelism).
+	ProbeParallelism int
 }
 
 // EffectiveBindBlockSize returns BindBlockSize with the default applied.
@@ -162,6 +173,23 @@ func (o Options) EffectiveBindConcurrency() int {
 		return DefaultBindConcurrency
 	}
 	return o.BindConcurrency
+}
+
+// EffectiveBatchSize returns BatchSize with the engine default applied.
+func (o Options) EffectiveBatchSize() int {
+	if o.BatchSize <= 0 {
+		return engine.DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// EffectiveProbeParallelism returns ProbeParallelism with the engine
+// default applied.
+func (o Options) EffectiveProbeParallelism() int {
+	if o.ProbeParallelism <= 0 {
+		return engine.DefaultProbeParallelism()
+	}
+	return o.ProbeParallelism
 }
 
 // AwareOptions returns the paper's physical-design-aware configuration.

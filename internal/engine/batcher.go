@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"ontario/internal/sparql"
+)
+
+// DefaultFlushInterval bounds how long a leaf producer may hold a partial
+// batch: once the oldest buffered binding has waited this long the batch is
+// flushed regardless of fill, preserving time-to-first-answer under slow
+// (simulated-latency) production.
+const DefaultFlushInterval = time.Millisecond
+
+// BatchWriter accumulates bindings into batches on behalf of a producer
+// and flushes to the underlying stream when a batch fills, when the flush
+// interval elapses with a partial batch pending, and on Close. It is safe
+// for concurrent use (the flush timer fires on its own goroutine).
+type BatchWriter struct {
+	ctx   context.Context
+	out   *Stream
+	size  int
+	every time.Duration
+
+	mu     sync.Mutex
+	buf    []sparql.Binding
+	timer  *time.Timer
+	failed bool
+}
+
+// NewBatchWriter returns a writer cutting batches of at most size bindings
+// (<= 0 means DefaultBatchSize) with the default flush interval.
+func NewBatchWriter(ctx context.Context, out *Stream, size int) *BatchWriter {
+	return NewBatchWriterInterval(ctx, out, size, DefaultFlushInterval)
+}
+
+// NewBatchWriterInterval is NewBatchWriter with an explicit flush interval
+// (<= 0 disables timed flushing: only size and Close flush).
+func NewBatchWriterInterval(ctx context.Context, out *Stream, size int, every time.Duration) *BatchWriter {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchWriter{ctx: ctx, out: out, size: size, every: every}
+}
+
+// Send buffers one binding, flushing a full batch through to the stream.
+// It returns false once the context is cancelled; after that every Send
+// and Flush fails and buffered bindings are dropped.
+func (w *BatchWriter) Send(b sparql.Binding) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return false
+	}
+	w.buf = append(w.buf, b)
+	if len(w.buf) >= w.size {
+		return w.flushLocked()
+	}
+	if len(w.buf) == 1 && w.every > 0 {
+		if w.timer == nil {
+			w.timer = time.AfterFunc(w.every, w.timedFlush)
+		} else {
+			w.timer.Reset(w.every)
+		}
+	}
+	return true
+}
+
+func (w *BatchWriter) timedFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+}
+
+// Flush sends any partial batch immediately.
+func (w *BatchWriter) Flush() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+// Close flushes the remaining partial batch and stops the flush timer. It
+// does not close the underlying stream — the producer typically defers
+// stream.Close separately (several writers may share one stream).
+func (w *BatchWriter) Close() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	return w.flushLocked()
+}
+
+// flushLocked sends the buffered batch; the caller holds w.mu. The send
+// may block on the consumer (or the context), which intentionally also
+// blocks concurrent Sends: the exchange is the backpressure boundary.
+func (w *BatchWriter) flushLocked() bool {
+	if w.failed {
+		return false
+	}
+	if len(w.buf) == 0 {
+		return true
+	}
+	batch := w.buf
+	w.buf = nil
+	if !w.out.SendBatch(w.ctx, batch) {
+		w.failed = true
+		return false
+	}
+	return true
+}
+
+// DefaultProbeParallelism derives the default number of morsel-parallel
+// probe workers (and hash-table shards) of a symmetric hash join from the
+// machine, capped so a deep plan of many joins does not explode into
+// thousands of goroutines.
+func DefaultProbeParallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ontario/internal/sparql"
+)
+
+func TestBatchWriterFlushOnSize(t *testing.T) {
+	ctx := context.Background()
+	out := NewStream(8)
+	w := NewBatchWriterInterval(ctx, out, 4, 0) // no timed flushing
+	for i := 0; i < 8; i++ {
+		if !w.Send(b("x", fmt.Sprint(i))) {
+			t.Fatal("Send failed")
+		}
+	}
+	w.Close()
+	out.Close()
+	var sizes []int
+	for batch := range out.Batches() {
+		sizes = append(sizes, len(batch))
+	}
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 4 {
+		t.Fatalf("batch sizes = %v, want [4 4]", sizes)
+	}
+}
+
+func TestBatchWriterFlushOnClose(t *testing.T) {
+	ctx := context.Background()
+	out := NewStream(8)
+	w := NewBatchWriterInterval(ctx, out, 100, 0)
+	for i := 0; i < 3; i++ {
+		w.Send(b("x", fmt.Sprint(i)))
+	}
+	w.Close()
+	out.Close()
+	var sizes []int
+	for batch := range out.Batches() {
+		sizes = append(sizes, len(batch))
+	}
+	if len(sizes) != 1 || sizes[0] != 3 {
+		t.Fatalf("batch sizes = %v, want [3]", sizes)
+	}
+}
+
+// TestBatchWriterFlushOnInterval is the time-to-first-answer rule: a
+// partial batch must reach the consumer after the flush interval even
+// though the producer never fills it or closes.
+func TestBatchWriterFlushOnInterval(t *testing.T) {
+	ctx := context.Background()
+	out := NewStream(8)
+	w := NewBatchWriterInterval(ctx, out, 1000, time.Millisecond)
+	start := time.Now()
+	w.Send(b("x", "first"))
+	select {
+	case batch := <-out.Batches():
+		if len(batch) != 1 || batch[0]["x"].Value != "first" {
+			t.Fatalf("unexpected batch %v", batch)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("timed flush took %v", waited)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partial batch never flushed on the interval")
+	}
+	w.Close()
+}
+
+func TestBatchWriterFailsAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := NewStream(0) // unbuffered, nobody reading
+	w := NewBatchWriterInterval(ctx, out, 1, 0)
+	cancel()
+	if w.Send(b("x", "1")) {
+		t.Fatal("Send succeeded with a cancelled context and a full stream")
+	}
+	if w.Send(b("x", "2")) {
+		t.Fatal("Send succeeded after a failed flush")
+	}
+}
+
+func TestSendBatchEmptyIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	s := NewStream(0) // unbuffered: a real send would block
+	if !s.SendBatch(ctx, nil) {
+		t.Fatal("empty SendBatch failed")
+	}
+	if !s.TrySendBatch(nil) {
+		t.Fatal("empty TrySendBatch failed")
+	}
+}
+
+func TestFromSliceBatchChunks(t *testing.T) {
+	ctx := context.Background()
+	in := make([]sparql.Binding, 10)
+	for i := range in {
+		in[i] = b("x", fmt.Sprint(i))
+	}
+	s := FromSliceBatch(ctx, in, 4)
+	var sizes []int
+	total := 0
+	for batch := range s.Batches() {
+		sizes = append(sizes, len(batch))
+		total += len(batch)
+	}
+	if total != 10 || len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("chunking = %v (total %d), want [4 4 2]", sizes, total)
+	}
+}

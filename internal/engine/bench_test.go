@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// benchRelation builds n bindings sharing nKeys distinct join keys on "k"
+// plus one distinguishing variable.
+func benchRelation(n, nKeys int, payloadVar string) []sparql.Binding {
+	out := make([]sparql.Binding, n)
+	for i := 0; i < n; i++ {
+		out[i] = sparql.Binding{
+			"k":        rdf.NewLiteral(fmt.Sprint(i % nKeys)),
+			payloadVar: rdf.NewLiteral(fmt.Sprint(i)),
+		}
+	}
+	return out
+}
+
+func drain(s *Stream) int {
+	n := 0
+	for batch := range s.Batches() {
+		n += len(batch)
+	}
+	return n
+}
+
+func BenchmarkSymmetricHashJoinPar1(b *testing.B) { benchSymmetricHashJoin(b, 1) }
+func BenchmarkSymmetricHashJoinPar4(b *testing.B) { benchSymmetricHashJoin(b, 4) }
+func BenchmarkSymmetricHashJoinPar8(b *testing.B) { benchSymmetricHashJoin(b, 8) }
+
+func benchSymmetricHashJoin(b *testing.B, par int) {
+	ctx := context.Background()
+	left := benchRelation(2048, 256, "l")
+	right := benchRelation(2048, 256, "r")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := drain(SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, par, 0))
+		if n != 2048*8 {
+			b.Fatalf("join produced %d, want %d", n, 2048*8)
+		}
+	}
+}
+
+// BenchmarkSymmetricHashJoinProbeAllocs is the allocation guard for the
+// probe path: every input shares ONE join key but no pair is compatible,
+// so nothing is emitted and the measured allocs/op are pure insert+probe
+// overhead. The pre-batching operator defensively copied the whole
+// opposite-side match list for every arriving binding (quadratic bytes on
+// this workload); the sharded rewrite probes in place. A regression shows
+// up as an explosion of B/op here.
+func BenchmarkSymmetricHashJoinProbeAllocs(b *testing.B) {
+	ctx := context.Background()
+	n := 2048
+	left := make([]sparql.Binding, n)
+	right := make([]sparql.Binding, n)
+	for i := 0; i < n; i++ {
+		// Same key "k", clashing common var "v": compatible with nothing.
+		left[i] = sparql.Binding{"k": rdf.NewLiteral("1"), "v": rdf.NewLiteral(fmt.Sprint(i))}
+		right[i] = sparql.Binding{"k": rdf.NewLiteral("1"), "v": rdf.NewLiteral(fmt.Sprint(n + i))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := drain(SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, 1, 0)); got != 0 {
+			b.Fatalf("incompatible workload emitted %d bindings", got)
+		}
+	}
+}
+
+// TestSymmetricHashJoinNoQuadraticProbeCopy asserts the same property with
+// a hard byte bound: on the incompatible single-key workload the join must
+// allocate a roughly linear number of bytes per input binding. The old
+// per-binding match-list copy allocated ~n/2 slice elements per input
+// (about 8 KB per input at n=2048) and trips the bound by an order of
+// magnitude.
+func TestSymmetricHashJoinNoQuadraticProbeCopy(t *testing.T) {
+	ctx := context.Background()
+	const n = 2048
+	left := make([]sparql.Binding, n)
+	right := make([]sparql.Binding, n)
+	for i := 0; i < n; i++ {
+		left[i] = sparql.Binding{"k": rdf.NewLiteral("1"), "v": rdf.NewLiteral(fmt.Sprint(i))}
+		right[i] = sparql.Binding{"k": rdf.NewLiteral("1"), "v": rdf.NewLiteral(fmt.Sprint(n + i))}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if got := drain(SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, 1, 0)); got != 0 {
+		t.Fatalf("incompatible workload emitted %d bindings", got)
+	}
+	runtime.ReadMemStats(&after)
+	perInput := (after.TotalAlloc - before.TotalAlloc) / (2 * n)
+	// Generous linear budget: key strings, table growth, morsel slices.
+	if perInput > 2048 {
+		t.Errorf("probe allocated %d bytes per input binding (budget 2048): defensive match-list copy reintroduced?", perInput)
+	}
+}
+
+func BenchmarkBindJoin(b *testing.B) {
+	ctx := context.Background()
+	left := benchRelation(256, 64, "l")
+	right := benchRelation(512, 64, "r")
+	svc := func(ctx context.Context, seed sparql.Binding) *Stream {
+		var rows []sparql.Binding
+		for _, rb := range right {
+			if seed.Compatible(rb) {
+				rows = append(rows, rb)
+			}
+		}
+		return FromSlice(ctx, rows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(BindJoin(ctx, FromSlice(ctx, left), svc, []string{"k"}, 0))
+	}
+}
+
+func BenchmarkBlockBindJoin(b *testing.B) {
+	ctx := context.Background()
+	left := benchRelation(256, 64, "l")
+	right := benchRelation(512, 64, "r")
+	svc := func(ctx context.Context, seeds []sparql.Binding) *Stream {
+		var rows []sparql.Binding
+		for _, rb := range right {
+			for _, s := range seeds {
+				if s.Compatible(rb) {
+					rows = append(rows, rb)
+					break
+				}
+			}
+		}
+		return FromSlice(ctx, rows)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(BlockBindJoin(ctx, FromSlice(ctx, left), svc, []string{"k"}, 16, 4, 0))
+	}
+}
+
+func BenchmarkNestedLoopJoin(b *testing.B) {
+	ctx := context.Background()
+	left := benchRelation(512, 64, "l")
+	right := benchRelation(512, 64, "r")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(NestedLoopJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, 0))
+	}
+}
+
+func BenchmarkLeftJoin(b *testing.B) {
+	ctx := context.Background()
+	left := benchRelation(512, 64, "l")
+	right := benchRelation(256, 128, "r")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil, 0))
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	ctx := context.Background()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?s ?p ?x . FILTER (?v > 512) }`)
+	in := make([]sparql.Binding, 2048)
+	for i := range in {
+		in[i] = sparql.Binding{"v": rdf.IntLiteral(int64(i))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(Filter(ctx, FromSlice(ctx, in), q.Filters, 0))
+	}
+}
+
+func BenchmarkProjectDistinct(b *testing.B) {
+	ctx := context.Background()
+	in := benchRelation(2048, 128, "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(Distinct(ctx, Project(ctx, FromSlice(ctx, in), []string{"k"}, 0), 0))
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	ctx := context.Background()
+	a := benchRelation(1024, 64, "a")
+	c := benchRelation(1024, 64, "c")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(Union(ctx, 0, FromSlice(ctx, a), FromSlice(ctx, c)))
+	}
+}
+
+func BenchmarkOrderBy(b *testing.B) {
+	ctx := context.Background()
+	in := make([]sparql.Binding, 2048)
+	for i := range in {
+		in[i] = sparql.Binding{"v": rdf.IntLiteral(int64((i * 7919) % 2048))}
+	}
+	keys := []sparql.OrderKey{{Var: "v"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(OrderBy(ctx, FromSlice(ctx, in), keys, 0))
+	}
+}
+
+func BenchmarkLimitOffset(b *testing.B) {
+	ctx := context.Background()
+	in := benchRelation(2048, 64, "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(Limit(ctx, Offset(ctx, FromSlice(ctx, in), 512, 0), 1024, 0))
+	}
+}
+
+// BenchmarkExchangeBatchSize measures the raw exchange cost of pushing a
+// fixed workload through a two-operator pipeline at different batch
+// granularities: batch=1 is the pre-vectorization binding-at-a-time
+// baseline paying one channel send per binding.
+func BenchmarkExchangeBatchSize(b *testing.B) {
+	ctx := context.Background()
+	in := benchRelation(4096, 256, "x")
+	for _, batch := range []int{1, 16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := FromSliceBatch(ctx, in, batch)
+				if n := drain(Project(ctx, s, []string{"k", "x"}, batch)); n != len(in) {
+					b.Fatalf("pipeline produced %d, want %d", n, len(in))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchWriter measures the leaf-producer path: per-binding Send
+// through the size/interval flush rules.
+func BenchmarkBatchWriter(b *testing.B) {
+	ctx := context.Background()
+	in := benchRelation(4096, 256, "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := NewStream(4)
+		go func() {
+			defer out.Close()
+			w := NewBatchWriter(ctx, out, DefaultBatchSize)
+			defer w.Close()
+			for _, bd := range in {
+				if !w.Send(bd) {
+					return
+				}
+			}
+		}()
+		if n := drain(out); n != len(in) {
+			b.Fatalf("writer delivered %d, want %d", n, len(in))
+		}
+	}
+}

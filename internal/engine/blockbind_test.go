@@ -116,19 +116,19 @@ func TestJoinOperatorEquivalence(t *testing.T) {
 		label := func(op string) string {
 			return fmt.Sprintf("iter %d, %s join on %v (%dx%d)", iter, op, shape.joinVars, nl, nr)
 		}
-		got := BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), shape.joinVars).Collect()
+		got := BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), shape.joinVars, 1+iter%5).Collect()
 		assertSameMultiset(t, label("bind"), got, want)
 
 		for _, cfg := range [][2]int{{1, 1}, {3, 2}, {16, 4}, {100, 8}} {
 			got = BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights),
-				shape.joinVars, cfg[0], cfg[1]).Collect()
+				shape.joinVars, cfg[0], cfg[1], 1+iter%5).Collect()
 			assertSameMultiset(t, label(fmt.Sprintf("block-bind B=%d W=%d", cfg[0], cfg[1])), got, want)
 		}
 
-		got = SymmetricHashJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), shape.joinVars).Collect()
+		got = SymmetricHashJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), shape.joinVars, 1+iter%4, 1+iter%5).Collect()
 		assertSameMultiset(t, label("symmetric-hash"), got, want)
 
-		got = NestedLoopJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), shape.joinVars).Collect()
+		got = NestedLoopJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), shape.joinVars, 1+iter%5).Collect()
 		assertSameMultiset(t, label("nested-loop"), got, want)
 	}
 }
@@ -150,10 +150,10 @@ func TestBlockBindJoinUnboundLeftJoinVar(t *testing.T) {
 		ctx := context.Background()
 		for _, blockSize := range []int{1, 4, 64} {
 			got := BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights),
-				[]string{"x"}, blockSize, 3).Collect()
+				[]string{"x"}, blockSize, 3, 0).Collect()
 			assertSameMultiset(t, fmt.Sprintf("iter %d B=%d", iter, blockSize), got, want)
 		}
-		got := BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), []string{"x"}).Collect()
+		got := BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), []string{"x"}, 0).Collect()
 		assertSameMultiset(t, fmt.Sprintf("iter %d bind", iter), got, want)
 	}
 }
@@ -176,7 +176,7 @@ func TestBlockBindJoinBatchesRequests(t *testing.T) {
 			return FromSlice(ctx, nil)
 		}
 		ctx := context.Background()
-		BlockBindJoin(ctx, FromSlice(ctx, lefts), svc, []string{"x"}, tc.block, 4).Collect()
+		BlockBindJoin(ctx, FromSlice(ctx, lefts), svc, []string{"x"}, tc.block, 4, 0).Collect()
 		if calls != tc.want {
 			t.Errorf("n=%d B=%d: %d service calls, want %d", tc.n, tc.block, calls, tc.want)
 		}
@@ -192,25 +192,25 @@ func TestBlockBindJoinCancellation(t *testing.T) {
 
 	streams := map[string]func(ctx context.Context) *Stream{
 		"bind": func(ctx context.Context) *Stream {
-			return BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), []string{"x"})
+			return BindJoin(ctx, FromSlice(ctx, lefts), sliceService(rights), []string{"x"}, 0)
 		},
 		"block-bind": func(ctx context.Context) *Stream {
-			return BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights), []string{"x"}, 16, 4)
+			return BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights), []string{"x"}, 16, 4, 0)
 		},
 		"symmetric-hash": func(ctx context.Context) *Stream {
-			return SymmetricHashJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), []string{"x"})
+			return SymmetricHashJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), []string{"x"}, 4, 0)
 		},
 		"nested-loop": func(ctx context.Context) *Stream {
-			return NestedLoopJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), []string{"x"})
+			return NestedLoopJoin(ctx, FromSlice(ctx, lefts), FromSlice(ctx, rights), []string{"x"}, 0)
 		},
 	}
 	for name, mk := range streams {
 		ctx, cancel := context.WithCancel(context.Background())
 		out := mk(ctx)
 		got := 0
-		for range out.Chan() {
-			got++
-			if got == 10 {
+		for batch := range out.Batches() {
+			got += len(batch)
+			if got >= 10 {
 				cancel()
 			}
 		}
@@ -230,12 +230,12 @@ func TestBlockBindJoinCancellationDoesNotLeak(t *testing.T) {
 	lefts := randomRelation(rng, []string{"x"}, 10000)
 	rights := randomRelation(rng, []string{"x", "b"}, 500)
 	ctx, cancel := context.WithCancel(context.Background())
-	out := BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights), []string{"x"}, 8, 4)
-	<-out.Chan() // first answer proves the pipeline is running
+	out := BlockBindJoin(ctx, FromSlice(ctx, lefts), sliceBlockService(rights), []string{"x"}, 8, 4, 0)
+	<-out.Batches() // first answers prove the pipeline is running
 	cancel()
 	done := make(chan struct{})
 	go func() {
-		for range out.Chan() {
+		for range out.Batches() {
 		}
 		close(done)
 	}()

@@ -19,7 +19,7 @@ func rawProducer(s *Stream, n int, v string) chan struct{} {
 		defer close(done)
 		defer s.Close()
 		for i := 0; i < n; i++ {
-			s.ch <- sparql.Binding{v: rdf.NewLiteral(fmt.Sprint(i))}
+			s.ch <- []sparql.Binding{{v: rdf.NewLiteral(fmt.Sprint(i))}}
 		}
 	}()
 	return done
@@ -44,11 +44,11 @@ func TestBindJoinDrainsInputsOnCancel(t *testing.T) {
 	service := func(ctx context.Context, seed sparql.Binding) *Stream {
 		return FromSlice(ctx, []sparql.Binding{seed})
 	}
-	out := BindJoin(ctx, left, service, []string{"x"})
-	<-out.Chan() // one answer arrived, then the client goes away
+	out := BindJoin(ctx, left, service, []string{"x"}, 0)
+	<-out.Batches() // one answer arrived, then the client goes away
 	cancel()
 	awaitDone(t, "bind-join", leftDone)
-	for range out.Chan() {
+	for range out.Batches() {
 	}
 }
 
@@ -59,12 +59,12 @@ func TestSymmetricHashJoinDrainsInputsOnCancel(t *testing.T) {
 	left, right := NewStream(4), NewStream(4)
 	leftDone := rawProducer(left, 500, "x")
 	rightDone := rawProducer(right, 500, "x")
-	out := SymmetricHashJoin(ctx, left, right, []string{"x"})
-	<-out.Chan()
+	out := SymmetricHashJoin(ctx, left, right, []string{"x"}, 4, 0)
+	<-out.Batches()
 	cancel()
 	awaitDone(t, "hash-join left", leftDone)
 	awaitDone(t, "hash-join right", rightDone)
-	for range out.Chan() {
+	for range out.Batches() {
 	}
 }
 
@@ -77,10 +77,10 @@ func TestBlockBindJoinDrainsInputsOnCancel(t *testing.T) {
 	service := func(ctx context.Context, seeds []sparql.Binding) *Stream {
 		return FromSlice(ctx, seeds)
 	}
-	out := BlockBindJoin(ctx, left, service, []string{"x"}, 8, 2)
-	<-out.Chan()
+	out := BlockBindJoin(ctx, left, service, []string{"x"}, 8, 2, 0)
+	<-out.Batches()
 	cancel()
 	awaitDone(t, "block-bind-join", leftDone)
-	for range out.Chan() {
+	for range out.Batches() {
 	}
 }

@@ -59,7 +59,7 @@ func TestSymmetricHashJoinBasic(t *testing.T) {
 	ctx := context.Background()
 	left := []sparql.Binding{b("x", "1", "y", "a"), b("x", "2", "y", "b"), b("x", "3", "y", "c")}
 	right := []sparql.Binding{b("x", "2", "z", "q"), b("x", "3", "z", "r"), b("x", "3", "z", "s"), b("x", "9", "z", "t")}
-	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}).Collect()
+	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}, 4, 0).Collect()
 	assertSame(t, got, referenceJoin(left, right))
 	if len(got) != 3 {
 		t.Fatalf("join produced %d, want 3", len(got))
@@ -70,7 +70,7 @@ func TestSymmetricHashJoinCrossProduct(t *testing.T) {
 	ctx := context.Background()
 	left := []sparql.Binding{b("a", "1"), b("a", "2")}
 	right := []sparql.Binding{b("c", "x"), b("c", "y"), b("c", "z")}
-	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil).Collect()
+	got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil, 4, 0).Collect()
 	if len(got) != 6 {
 		t.Fatalf("cross product produced %d, want 6", len(got))
 	}
@@ -86,7 +86,9 @@ func TestSymmetricHashJoinEmitsExactlyOncePerPair(t *testing.T) {
 		right = append(right, b("k", fmt.Sprint(i%5), "r", fmt.Sprint(i)))
 	}
 	for round := 0; round < 20; round++ {
-		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}).Collect()
+		// Alternate probe parallelism so both the serial and the sharded
+		// paths prove exactly-once emission.
+		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, 1+round%4, 1+round%3).Collect()
 		if len(got) != 500 { // 5 groups x 10 x 10
 			t.Fatalf("round %d: got %d, want 500", round, len(got))
 		}
@@ -97,7 +99,7 @@ func TestNestedLoopJoinMatchesReference(t *testing.T) {
 	ctx := context.Background()
 	left := []sparql.Binding{b("x", "1", "y", "a"), b("x", "2", "y", "b")}
 	right := []sparql.Binding{b("x", "1", "z", "p"), b("x", "1", "z", "q"), b("x", "5", "z", "r")}
-	got := NestedLoopJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}).Collect()
+	got := NestedLoopJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"x"}, 0).Collect()
 	assertSame(t, got, referenceJoin(left, right))
 }
 
@@ -115,7 +117,7 @@ func TestBindJoin(t *testing.T) {
 		}
 		return FromSlice(ctx, rows)
 	}
-	got := BindJoin(ctx, FromSlice(ctx, left), svc, []string{"x"}).Collect()
+	got := BindJoin(ctx, FromSlice(ctx, left), svc, []string{"x"}, 0).Collect()
 	if len(got) != 4 {
 		t.Fatalf("bind join produced %d, want 4: %v", len(got), got)
 	}
@@ -138,7 +140,7 @@ func TestQuickJoinEquivalence(t *testing.T) {
 		for i, k := range rKeys {
 			right = append(right, b("k", fmt.Sprint(k%8), "r", fmt.Sprint(i)))
 		}
-		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}).Collect()
+		got := SymmetricHashJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), []string{"k"}, 3, 0).Collect()
 		want := referenceJoin(left, right)
 		if len(got) != len(want) {
 			return false
@@ -164,13 +166,13 @@ func TestFilterOperator(t *testing.T) {
 		{"v": rdf.IntLiteral(7)},
 		{"v": rdf.IntLiteral(10)},
 	}
-	got := Filter(ctx, FromSlice(ctx, in), q.Filters).Collect()
+	got := Filter(ctx, FromSlice(ctx, in), q.Filters, 0).Collect()
 	if len(got) != 2 {
 		t.Fatalf("filter kept %d, want 2", len(got))
 	}
 	// No filters: pass-through.
 	s := FromSlice(ctx, in)
-	if Filter(ctx, s, nil) != s {
+	if Filter(ctx, s, nil, 0) != s {
 		t.Error("empty filter should return the input stream")
 	}
 }
@@ -183,19 +185,19 @@ func TestProjectDistinctLimitOffset(t *testing.T) {
 		b("x", "2", "y", "c"),
 		b("x", "2", "y", "d"),
 	}
-	got := Distinct(ctx, Project(ctx, FromSlice(ctx, in), []string{"x"})).Collect()
+	got := Distinct(ctx, Project(ctx, FromSlice(ctx, in), []string{"x"}, 0), 0).Collect()
 	if len(got) != 2 {
 		t.Fatalf("distinct projection = %d, want 2", len(got))
 	}
-	got = Limit(ctx, FromSlice(ctx, in), 3).Collect()
+	got = Limit(ctx, FromSlice(ctx, in), 3, 0).Collect()
 	if len(got) != 3 {
 		t.Fatalf("limit = %d, want 3", len(got))
 	}
-	got = Offset(ctx, FromSlice(ctx, in), 3).Collect()
+	got = Offset(ctx, FromSlice(ctx, in), 3, 0).Collect()
 	if len(got) != 1 {
 		t.Fatalf("offset = %d, want 1", len(got))
 	}
-	got = Limit(ctx, FromSlice(ctx, in), 0).Collect()
+	got = Limit(ctx, FromSlice(ctx, in), 0, 0).Collect()
 	if len(got) != 0 {
 		t.Fatalf("limit 0 = %d, want 0", len(got))
 	}
@@ -205,7 +207,7 @@ func TestUnionOperator(t *testing.T) {
 	ctx := context.Background()
 	a := []sparql.Binding{b("x", "1"), b("x", "2")}
 	c := []sparql.Binding{b("x", "3")}
-	got := Union(ctx, FromSlice(ctx, a), FromSlice(ctx, c), FromSlice(ctx, nil)).Collect()
+	got := Union(ctx, 0, FromSlice(ctx, a), FromSlice(ctx, c), FromSlice(ctx, nil)).Collect()
 	if len(got) != 3 {
 		t.Fatalf("union = %d, want 3", len(got))
 	}
@@ -218,7 +220,7 @@ func TestOrderByOperator(t *testing.T) {
 		{"v": rdf.IntLiteral(1)},
 		{"v": rdf.IntLiteral(3)},
 	}
-	got := OrderBy(ctx, FromSlice(ctx, in), []sparql.OrderKey{{Var: "v", Desc: true}}).Collect()
+	got := OrderBy(ctx, FromSlice(ctx, in), []sparql.OrderKey{{Var: "v", Desc: true}}, 0).Collect()
 	want := []int64{5, 3, 1}
 	for i, w := range want {
 		if got[i]["v"].Value != fmt.Sprint(w) {
@@ -239,13 +241,13 @@ func TestContextCancellation(t *testing.T) {
 			}
 		}
 	}()
-	out := Project(ctx, src, []string{"x"})
-	<-out.Chan() // take one
+	out := Project(ctx, src, []string{"x"}, 0)
+	<-out.Batches() // take one batch
 	cancel()
 	// The pipeline must terminate quickly after cancellation.
 	done := make(chan struct{})
 	go func() {
-		for range out.Chan() {
+		for range out.Batches() {
 		}
 		close(done)
 	}()
@@ -260,7 +262,7 @@ func TestLeftJoinOperator(t *testing.T) {
 	ctx := context.Background()
 	left := []sparql.Binding{b("x", "1"), b("x", "2"), b("x", "3")}
 	right := []sparql.Binding{b("x", "1", "y", "a"), b("x", "1", "y", "b"), b("x", "9", "y", "z")}
-	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil).Collect()
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), nil, 0).Collect()
 	// x=1 extends twice; x=2 and x=3 pass through unextended.
 	if len(got) != 4 {
 		t.Fatalf("left join produced %d, want 4: %v", len(got), got)
@@ -286,7 +288,7 @@ func TestLeftJoinWithFilter(t *testing.T) {
 		{"v": rdf.IntLiteral(3)},
 		{"v": rdf.IntLiteral(9)},
 	}
-	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters).Collect()
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters, 0).Collect()
 	// Only v=9 passes; the left row is extended once (not also emitted bare).
 	if len(got) != 1 {
 		t.Fatalf("left join with filter: %v", got)
@@ -301,7 +303,7 @@ func TestLeftJoinAllFilteredOutKeepsLeft(t *testing.T) {
 	q := sparql.MustParse(`SELECT ?x WHERE { ?s ?p ?o . FILTER (?v > 100) }`)
 	left := []sparql.Binding{{"x": rdf.IntLiteral(1)}}
 	right := []sparql.Binding{{"v": rdf.IntLiteral(3)}}
-	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters).Collect()
+	got := LeftJoin(ctx, FromSlice(ctx, left), FromSlice(ctx, right), q.Filters, 0).Collect()
 	if len(got) != 1 {
 		t.Fatalf("left join: %v", got)
 	}

@@ -2,60 +2,174 @@ package engine
 
 import (
 	"context"
+	"hash/maphash"
 	"sync"
 
 	"ontario/internal/sparql"
 )
 
+// morsel is the unit of work the symmetric hash join's probe workers
+// consume: the fragment of one input batch that hashes to a worker's
+// shard, with the join keys precomputed by the partitioning reader.
+type morsel struct {
+	fromLeft bool
+	keys     []string
+	bindings []sparql.Binding
+}
+
+// hashSeed keys the shard hash; process-stable is all sharding needs.
+var hashSeed = maphash.MakeSeed()
+
+// emitter is the shared output side of the batch-building operators: it
+// accumulates result bindings and forwards them as batches of at most
+// size. After a failed send (context cancelled) it goes dead — every
+// further add/flush is a cheap no-op and ok() reports false — so callers
+// fall through to draining their inputs without special-casing dropped
+// batches. Not safe for concurrent use; concurrent producers (block bind
+// join dispatches, hash-join shard workers) each own one emitter.
+type emitter struct {
+	ctx  context.Context
+	out  *Stream
+	size int
+	buf  []sparql.Binding
+	dead bool
+}
+
+func newEmitter(ctx context.Context, out *Stream, size int) *emitter {
+	return &emitter{ctx: ctx, out: out, size: size}
+}
+
+// add buffers one result binding, forwarding a full batch.
+func (e *emitter) add(b sparql.Binding) {
+	if e.dead {
+		return
+	}
+	e.buf = append(e.buf, b)
+	if len(e.buf) >= e.size {
+		e.flush()
+	}
+}
+
+// flush forwards the buffered partial batch (typically at an input-batch
+// boundary, to keep answers streaming).
+func (e *emitter) flush() {
+	if e.dead {
+		e.buf = nil
+		return
+	}
+	if !e.out.SendBatch(e.ctx, e.buf) {
+		e.dead = true
+	}
+	e.buf = nil
+}
+
+// ok reports whether the output is still live (false after a cancelled
+// send: keep draining inputs, stop producing).
+func (e *emitter) ok() bool { return !e.dead }
+
 // SymmetricHashJoin joins two streams on joinVars without blocking: each
 // arriving binding is inserted into its side's hash table and immediately
 // probed against the other side's table, so answers are emitted as soon as
 // both matching inputs have arrived (the adaptive operator ANAPSID calls
-// agjoin). When joinVars is empty the operator degrades to a cross product.
-func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []string) *Stream {
-	out := NewStream(64)
-	var mu sync.Mutex
-	leftTable := make(map[string][]sparql.Binding)
-	rightTable := make(map[string][]sparql.Binding)
-	var wg sync.WaitGroup
-	wg.Add(2)
+// agjoin).
+//
+// The hash tables are sharded by join-key hash across par probe workers,
+// morsel-style: each input batch is partitioned by key hash and each
+// fragment is handed to the worker owning that shard. A worker owns its
+// shard's two hash tables exclusively, so insert and probe run without any
+// lock and probe matches are read in place — no defensive copy of the
+// opposite side's match list. par <= 1 degrades to a single worker; when
+// joinVars is empty every binding lands in one shard and the operator
+// degrades to a cross product, like its predecessor. batch bounds the
+// output batches (<= 0 means DefaultBatchSize).
+func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []string, par, batch int) *Stream {
+	if par < 1 {
+		par = 1
+	}
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream(bufBatches(batch))
+	shardCh := make([]chan morsel, par)
+	for i := range shardCh {
+		shardCh[i] = make(chan morsel, 2)
+	}
 
-	consume := func(in *Stream, own, other map[string][]sparql.Binding, ownIsLeft bool) {
-		defer wg.Done()
-		// After a failed Send (output abandoned) keep draining the input so
-		// its producer goroutine can finish instead of blocking forever.
-		draining := false
-		for b := range in.Chan() {
-			if draining {
-				continue
-			}
-			key := b.Key(joinVars)
-			mu.Lock()
-			own[key] = append(own[key], b)
-			matches := append([]sparql.Binding(nil), other[key]...)
-			mu.Unlock()
-			for _, m := range matches {
-				if !b.Compatible(m) {
+	var workers sync.WaitGroup
+	workers.Add(par)
+	for i := 0; i < par; i++ {
+		go func(in <-chan morsel) {
+			defer workers.Done()
+			leftTable := make(map[string][]sparql.Binding)
+			rightTable := make(map[string][]sparql.Binding)
+			em := newEmitter(ctx, out, batch)
+			// After a failed send (context cancelled) keep consuming morsels
+			// so the partitioning readers — and through them the input
+			// producers — can finish instead of blocking forever.
+			for m := range in {
+				if !em.ok() {
 					continue
 				}
-				var merged sparql.Binding
-				if ownIsLeft {
-					merged = b.Merge(m)
-				} else {
-					merged = m.Merge(b)
+				own, other := leftTable, rightTable
+				if !m.fromLeft {
+					own, other = rightTable, leftTable
 				}
-				if !out.Send(ctx, merged) {
-					draining = true
-					break
+				for j, b := range m.bindings {
+					key := m.keys[j]
+					own[key] = append(own[key], b)
+					for _, o := range other[key] {
+						if !b.Compatible(o) {
+							continue
+						}
+						if m.fromLeft {
+							em.add(b.Merge(o))
+						} else {
+							em.add(o.Merge(b))
+						}
+					}
+				}
+				// Flush at the morsel boundary so answers keep streaming.
+				em.flush()
+			}
+		}(shardCh[i])
+	}
+
+	var readers sync.WaitGroup
+	readers.Add(2)
+	consume := func(in *Stream, fromLeft bool) {
+		defer readers.Done()
+		for inBatch := range in.Batches() {
+			keys := make([]string, len(inBatch))
+			for i, b := range inBatch {
+				keys[i] = b.Key(joinVars)
+			}
+			if par == 1 {
+				shardCh[0] <- morsel{fromLeft: fromLeft, keys: keys, bindings: inBatch}
+				continue
+			}
+			parts := make([][]sparql.Binding, par)
+			partKeys := make([][]string, par)
+			for i, b := range inBatch {
+				s := int(maphash.String(hashSeed, keys[i]) % uint64(par))
+				parts[s] = append(parts[s], b)
+				partKeys[s] = append(partKeys[s], keys[i])
+			}
+			for s := range parts {
+				if len(parts[s]) > 0 {
+					shardCh[s] <- morsel{fromLeft: fromLeft, keys: partKeys[s], bindings: parts[s]}
 				}
 			}
 		}
 	}
 
-	go consume(left, leftTable, rightTable, true)
-	go consume(right, rightTable, leftTable, false)
+	go consume(left, true)
+	go consume(right, false)
 	go func() {
-		wg.Wait()
+		readers.Wait()
+		for _, ch := range shardCh {
+			close(ch)
+		}
+		workers.Wait()
 		out.Close()
 	}()
 	return out
@@ -68,26 +182,40 @@ type Service func(ctx context.Context, seed sparql.Binding) *Stream
 // BindJoin is a dependent (nested-loop) join: for every left binding it
 // invokes the right service instantiated with that binding and merges the
 // results. It trades per-answer requests for smaller transfers, and serves
-// as the ablation counterpart to the symmetric hash join.
-func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []string) *Stream {
-	out := NewStream(64)
+// as the ablation counterpart to the symmetric hash join. batch bounds
+// the output batches (<= 0 means DefaultBatchSize).
+func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []string, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		// After a failed Send the output is abandoned: stop invoking the
-		// right service but keep draining the left (and any in-flight right)
-		// stream so the producer goroutines can finish.
+		// Results trickle in per sequential service call, so the output is
+		// batched like a leaf producer's: a BatchWriter accumulates across
+		// seeds (selective seeds would otherwise emit per-tuple batches)
+		// and its flush interval preserves time-to-first-answer while
+		// service calls are slow. After a failed send the output is
+		// abandoned: stop invoking the right service but keep draining the
+		// left (and any in-flight right) stream so producers can finish.
+		w := NewBatchWriter(ctx, out, batch)
+		defer w.Close()
 		cancelled := false
-		for lb := range left.Chan() {
-			if cancelled {
-				continue
-			}
-			seed := lb.Project(joinVars)
-			for rb := range right(ctx, seed).Chan() {
-				if cancelled || !lb.Compatible(rb) {
+		for lbatch := range left.Batches() {
+			for _, lb := range lbatch {
+				if cancelled {
 					continue
 				}
-				if !out.Send(ctx, lb.Merge(rb)) {
-					cancelled = true
+				seed := lb.Project(joinVars)
+				for rbatch := range right(ctx, seed).Batches() {
+					for _, rb := range rbatch {
+						if cancelled || !lb.Compatible(rb) {
+							continue
+						}
+						if !w.Send(lb.Merge(rb)) {
+							cancelled = true
+						}
+					}
 				}
 			}
 		}
@@ -112,15 +240,19 @@ type BlockService func(ctx context.Context, seeds []sparql.Binding) *Stream
 // and up to concurrency block requests are in flight at once. Output stays
 // streaming: a block's answers are emitted as soon as its service call
 // returns, independent of later blocks. When joinVars is empty the operator
-// degrades to a cross product, like its sequential counterpart.
-func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVars []string, blockSize, concurrency int) *Stream {
+// degrades to a cross product, like its sequential counterpart. batch
+// bounds the output batches (<= 0 means DefaultBatchSize).
+func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVars []string, blockSize, concurrency, batch int) *Stream {
 	if blockSize < 1 {
 		blockSize = 1
 	}
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	out := NewStream(64)
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		sem := make(chan struct{}, concurrency)
@@ -150,31 +282,32 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				// Keep draining the block's response after a failed Send so
+				// Keep draining the block's response after a failed send so
 				// the service's producer goroutine can finish.
-				draining := false
-				for rb := range right(ctx, seeds).Chan() {
-					if draining {
+				em := newEmitter(ctx, out, batch)
+				for rbatch := range right(ctx, seeds).Batches() {
+					if !em.ok() {
 						continue
 					}
-					for _, lb := range block {
-						if !lb.Compatible(rb) {
-							continue
-						}
-						if !out.Send(ctx, lb.Merge(rb)) {
-							draining = true
-							break
+					for _, rb := range rbatch {
+						for _, lb := range block {
+							if lb.Compatible(rb) {
+								em.add(lb.Merge(rb))
+							}
 						}
 					}
+					em.flush()
 				}
 			}()
 		}
 		var block []sparql.Binding
-		for lb := range left.Chan() {
-			block = append(block, lb)
-			if len(block) >= blockSize {
-				dispatch(block)
-				block = nil
+		for lbatch := range left.Batches() {
+			for _, lb := range lbatch {
+				block = append(block, lb)
+				if len(block) >= blockSize {
+					dispatch(block)
+					block = nil
+				}
 			}
 		}
 		if len(block) > 0 {
@@ -186,26 +319,29 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 }
 
 // NestedLoopJoin materializes the right input, then joins every left
-// binding against it; the fully blocking baseline operator.
-func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string) *Stream {
-	out := NewStream(64)
+// binding against it; the fully blocking baseline operator. batch bounds
+// the output batches (<= 0 means DefaultBatchSize).
+func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		rights := right.Collect()
-		draining := false
-		for lb := range left.Chan() {
-			if draining {
+		em := newEmitter(ctx, out, batch)
+		for lbatch := range left.Batches() {
+			if !em.ok() {
 				continue // drain the left so its producer can finish
 			}
-			for _, rb := range rights {
-				if !lb.Compatible(rb) {
-					continue
-				}
-				if !out.Send(ctx, lb.Merge(rb)) {
-					draining = true
-					break
+			for _, lb := range lbatch {
+				for _, rb := range rights {
+					if lb.Compatible(rb) {
+						em.add(lb.Merge(rb))
+					}
 				}
 			}
+			em.flush()
 		}
 	}()
 	return out
@@ -214,66 +350,76 @@ func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string)
 // LeftJoin extends every left binding with the compatible right bindings
 // that satisfy the filters, passing the left binding through unextended
 // when none match (SPARQL OPTIONAL). The right input is materialized; a
-// blocking operator.
-func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr) *Stream {
-	out := NewStream(64)
+// blocking operator. batch bounds the output batches (<= 0 means
+// DefaultBatchSize).
+func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		rights := right.Collect()
-		draining := false
-		for lb := range left.Chan() {
-			if draining {
+		em := newEmitter(ctx, out, batch)
+		for lbatch := range left.Batches() {
+			if !em.ok() {
 				continue // drain the left so its producer can finish
 			}
-			matched := false
-			for _, rb := range rights {
-				if !lb.Compatible(rb) {
-					continue
+			for _, lb := range lbatch {
+				matched := false
+				for _, rb := range rights {
+					if !lb.Compatible(rb) {
+						continue
+					}
+					m := lb.Merge(rb)
+					ok := true
+					for _, f := range filters {
+						if !sparql.EvalBool(f, m) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						matched = true
+						em.add(m)
+					}
 				}
-				m := lb.Merge(rb)
+				if !matched {
+					em.add(lb)
+				}
+			}
+			em.flush()
+		}
+	}()
+	return out
+}
+
+// Filter keeps the bindings satisfying every expression. batch only sizes
+// the output buffer (output granularity follows the input batches).
+func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr, batch int) *Stream {
+	if len(exprs) == 0 {
+		return in
+	}
+	out := NewStream(bufBatches(batch))
+	go func() {
+		defer out.Close()
+		for batch := range in.Batches() {
+			// The operator owns the received batch, so it filters in place:
+			// the common all-pass batch is forwarded without any copy.
+			kept := batch[:0]
+			for _, b := range batch {
 				ok := true
-				for _, f := range filters {
-					if !sparql.EvalBool(f, m) {
+				for _, e := range exprs {
+					if !sparql.EvalBool(e, b) {
 						ok = false
 						break
 					}
 				}
 				if ok {
-					matched = true
-					if !out.Send(ctx, m) {
-						draining = true
-						break
-					}
+					kept = append(kept, b)
 				}
 			}
-			if draining {
-				continue
-			}
-			if !matched && !out.Send(ctx, lb) {
-				draining = true
-			}
-		}
-	}()
-	return out
-}
-
-// Filter keeps the bindings satisfying every expression.
-func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr) *Stream {
-	if len(exprs) == 0 {
-		return in
-	}
-	out := NewStream(64)
-	go func() {
-		defer out.Close()
-		for b := range in.Chan() {
-			ok := true
-			for _, e := range exprs {
-				if !sparql.EvalBool(e, b) {
-					ok = false
-					break
-				}
-			}
-			if ok && !out.Send(ctx, b) {
+			if !out.SendBatch(ctx, kept) {
 				return
 			}
 		}
@@ -281,13 +427,17 @@ func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr) *Stream {
 	return out
 }
 
-// Project restricts every binding to vars.
-func Project(ctx context.Context, in *Stream, vars []string) *Stream {
-	out := NewStream(64)
+// Project restricts every binding to vars. batch only sizes the output
+// buffer (output granularity follows the input batches).
+func Project(ctx context.Context, in *Stream, vars []string, batch int) *Stream {
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		for b := range in.Chan() {
-			if !out.Send(ctx, b.Project(vars)) {
+		for batch := range in.Batches() {
+			for i, b := range batch {
+				batch[i] = b.Project(vars) // owned batch: rewrite in place
+			}
+			if !out.SendBatch(ctx, batch) {
 				return
 			}
 		}
@@ -295,19 +445,24 @@ func Project(ctx context.Context, in *Stream, vars []string) *Stream {
 	return out
 }
 
-// Distinct drops duplicate bindings.
-func Distinct(ctx context.Context, in *Stream) *Stream {
-	out := NewStream(64)
+// Distinct drops duplicate bindings. batch only sizes the output buffer
+// (output granularity follows the input batches).
+func Distinct(ctx context.Context, in *Stream, batch int) *Stream {
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		seen := make(map[string]bool)
-		for b := range in.Chan() {
-			k := b.FullKey()
-			if seen[k] {
-				continue
+		for batch := range in.Batches() {
+			kept := batch[:0] // owned batch: dedup in place, no copy
+			for _, b := range batch {
+				k := b.FullKey()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				kept = append(kept, b)
 			}
-			seen[k] = true
-			if !out.Send(ctx, b) {
+			if !out.SendBatch(ctx, kept) {
 				return
 			}
 		}
@@ -316,37 +471,21 @@ func Distinct(ctx context.Context, in *Stream) *Stream {
 }
 
 // Limit passes through at most n bindings (and drains the input to let
-// upstream goroutines finish).
-func Limit(ctx context.Context, in *Stream, n int) *Stream {
-	out := NewStream(64)
+// upstream goroutines finish). batch only sizes the output buffer.
+func Limit(ctx context.Context, in *Stream, n, batch int) *Stream {
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		count := 0
-		for b := range in.Chan() {
-			if count < n {
-				if !out.Send(ctx, b) {
-					return
-				}
-				count++
+		for batch := range in.Batches() {
+			if count >= n {
+				continue // keep draining so producers are not blocked forever
 			}
-			// keep draining so producers are not blocked forever
-		}
-	}()
-	return out
-}
-
-// Offset skips the first n bindings.
-func Offset(ctx context.Context, in *Stream, n int) *Stream {
-	out := NewStream(64)
-	go func() {
-		defer out.Close()
-		skipped := 0
-		for b := range in.Chan() {
-			if skipped < n {
-				skipped++
-				continue
+			if count+len(batch) > n {
+				batch = batch[:n-count]
 			}
-			if !out.Send(ctx, b) {
+			count += len(batch)
+			if !out.SendBatch(ctx, batch) {
 				return
 			}
 		}
@@ -354,20 +493,44 @@ func Offset(ctx context.Context, in *Stream, n int) *Stream {
 	return out
 }
 
-// Union merges the inputs in arrival order.
-func Union(ctx context.Context, ins ...*Stream) *Stream {
-	out := NewStream(64)
+// Offset skips the first n bindings. batch only sizes the output buffer.
+func Offset(ctx context.Context, in *Stream, n, batch int) *Stream {
+	out := NewStream(bufBatches(batch))
+	go func() {
+		defer out.Close()
+		skipped := 0
+		for batch := range in.Batches() {
+			if skipped < n {
+				drop := n - skipped
+				if drop > len(batch) {
+					drop = len(batch)
+				}
+				skipped += drop
+				batch = batch[drop:]
+			}
+			if !out.SendBatch(ctx, batch) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Union merges the inputs in batch-arrival order. batch only sizes the
+// output buffer.
+func Union(ctx context.Context, batch int, ins ...*Stream) *Stream {
+	out := NewStream(bufBatches(batch))
 	var wg sync.WaitGroup
 	wg.Add(len(ins))
 	for _, in := range ins {
 		go func(in *Stream) {
 			defer wg.Done()
 			draining := false
-			for b := range in.Chan() {
+			for batch := range in.Batches() {
 				if draining {
 					continue // drain the input so its producer can finish
 				}
-				if !out.Send(ctx, b) {
+				if !out.SendBatch(ctx, batch) {
 					draining = true
 				}
 			}
@@ -380,18 +543,15 @@ func Union(ctx context.Context, ins ...*Stream) *Stream {
 	return out
 }
 
-// OrderBy materializes the input and emits it sorted; a blocking operator.
-func OrderBy(ctx context.Context, in *Stream, keys []sparql.OrderKey) *Stream {
-	out := NewStream(64)
+// OrderBy materializes the input and emits it sorted in batches of batch
+// (<= 0 means DefaultBatchSize); a blocking operator.
+func OrderBy(ctx context.Context, in *Stream, keys []sparql.OrderKey, batch int) *Stream {
+	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
 		all := in.Collect()
 		sparql.SortBindings(all, keys)
-		for _, b := range all {
-			if !out.Send(ctx, b) {
-				return
-			}
-		}
+		out.SendChunked(ctx, all, batch)
 	}()
 	return out
 }

@@ -1,8 +1,16 @@
-// Package engine provides the streaming physical operators of the
-// federated query engine. Following ANAPSID (which Ontario inherits its
-// operators from), joins are non-blocking: the symmetric hash join probes
-// and emits answers as soon as they arrive from either input, so results
-// are produced incrementally even under network delays.
+// Package engine provides the physical operators of the federated query
+// engine. Following ANAPSID (which Ontario inherits its operators from),
+// joins are non-blocking: the symmetric hash join probes and emits answers
+// as soon as they arrive from either input, so results are produced
+// incrementally even under network delays.
+//
+// Execution is batch-at-a-time (vectorized): operators exchange batches of
+// solution bindings instead of single bindings, amortizing the per-tuple
+// channel send and context select over DefaultBatchSize solutions. The
+// streaming semantics are preserved by the flush rules of BatchWriter:
+// leaf producers flush a partial batch after DefaultFlushInterval (so the
+// first answer is never held back behind an unfilled batch) and on close;
+// interior operators forward their output at every input-batch boundary.
 package engine
 
 import (
@@ -11,63 +19,138 @@ import (
 	"ontario/internal/sparql"
 )
 
-// Stream is an asynchronous stream of solution bindings.
+// DefaultBatchSize is the batch granularity of the exchange when no
+// explicit size is configured: leaf producers and rebatching operators cut
+// batches of at most this many bindings.
+const DefaultBatchSize = 256
+
+// Stream is an asynchronous exchange of binding batches. The buffer is
+// counted in batches, not bindings. A batch, once sent, is owned by the
+// receiver: producers must not retain or modify a sent slice.
 type Stream struct {
-	ch chan sparql.Binding
+	ch chan []sparql.Binding
 }
 
-// NewStream returns a stream with the given buffer size.
+// NewStream returns a stream with the given buffer size (in batches).
 func NewStream(buf int) *Stream {
-	return &Stream{ch: make(chan sparql.Binding, buf)}
+	return &Stream{ch: make(chan []sparql.Binding, buf)}
 }
 
-// Send delivers a binding; it returns false when the context is cancelled.
-func (s *Stream) Send(ctx context.Context, b sparql.Binding) bool {
+// SendBatch delivers a whole batch; it returns false when the context is
+// cancelled. Sending an empty batch is a no-op and succeeds.
+func (s *Stream) SendBatch(ctx context.Context, batch []sparql.Binding) bool {
+	if len(batch) == 0 {
+		return true
+	}
 	select {
-	case s.ch <- b:
+	case s.ch <- batch:
 		return true
 	case <-ctx.Done():
 		return false
 	}
 }
 
-// TrySend delivers a binding only if the stream's buffer has room; it
+// Send delivers a single binding as a one-element batch; it returns false
+// when the context is cancelled. Producers on a hot path should use a
+// BatchWriter instead — Send exists for tests and one-off deliveries.
+func (s *Stream) Send(ctx context.Context, b sparql.Binding) bool {
+	return s.SendBatch(ctx, []sparql.Binding{b})
+}
+
+// TrySendBatch delivers a batch only if the stream's buffer has room; it
 // never blocks. Producers that must not wait on their consumer (e.g. while
 // holding a limited resource) use it and fall back to local buffering.
-func (s *Stream) TrySend(b sparql.Binding) bool {
+// Sending an empty batch is a no-op and succeeds.
+func (s *Stream) TrySendBatch(batch []sparql.Binding) bool {
+	if len(batch) == 0 {
+		return true
+	}
 	select {
-	case s.ch <- b:
+	case s.ch <- batch:
 		return true
 	default:
 		return false
 	}
 }
 
+// SendChunked delivers a materialized slice of bindings as batches of at
+// most batch (<= 0 means DefaultBatchSize); it returns false when the
+// context is cancelled mid-way. Ownership of sols passes to the
+// receivers: the caller must not retain or modify the slice afterwards.
+func (s *Stream) SendChunked(ctx context.Context, sols []sparql.Binding, batch int) bool {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	for len(sols) > 0 {
+		n := batch
+		if n > len(sols) {
+			n = len(sols)
+		}
+		if !s.SendBatch(ctx, sols[:n:n]) {
+			return false
+		}
+		sols = sols[n:]
+	}
+	return true
+}
+
 // Close marks the stream complete.
 func (s *Stream) Close() { close(s.ch) }
 
-// Chan exposes the receive side.
-func (s *Stream) Chan() <-chan sparql.Binding { return s.ch }
+// Batches exposes the receive side of the exchange.
+func (s *Stream) Batches() <-chan []sparql.Binding { return s.ch }
 
-// Collect drains the stream into a slice.
+// Collect drains the stream into a flat slice of bindings.
 func (s *Stream) Collect() []sparql.Binding {
 	var out []sparql.Binding
-	for b := range s.ch {
-		out = append(out, b)
+	for batch := range s.ch {
+		out = append(out, batch...)
 	}
 	return out
 }
 
-// FromSlice returns a closed-ended stream delivering the given bindings.
+// FromSlice returns a closed-ended stream delivering the given bindings in
+// batches of DefaultBatchSize.
 func FromSlice(ctx context.Context, bs []sparql.Binding) *Stream {
-	out := NewStream(len(bs))
+	return FromSliceBatch(ctx, bs, DefaultBatchSize)
+}
+
+// FromSliceBatch is FromSlice with an explicit batch size (<= 0 means
+// DefaultBatchSize). Unlike SendChunked — whose caller hands over the
+// slice — FromSliceBatch copies each chunk: the caller retains bs, and a
+// sent batch becomes the receiver's to mutate (Filter/Distinct compact
+// received batches in place).
+func FromSliceBatch(ctx context.Context, bs []sparql.Binding, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewStream((len(bs) + batch - 1) / batch)
 	go func() {
 		defer out.Close()
-		for _, b := range bs {
-			if !out.Send(ctx, b) {
+		for len(bs) > 0 {
+			n := batch
+			if n > len(bs) {
+				n = len(bs)
+			}
+			if !out.SendBatch(ctx, append([]sparql.Binding(nil), bs[:n]...)) {
 				return
 			}
+			bs = bs[n:]
 		}
 	}()
 	return out
+}
+
+// bufBatches sizes an operator's output buffer in batches so the buffered
+// binding count stays roughly constant across batch sizes: small batches
+// get more buffered batches (batch=1 keeps the pre-vectorization 64
+// in-flight bindings), large batches the minimum of 4.
+func bufBatches(batch int) int {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	if n := 64 / batch; n > 4 {
+		return n
+	}
+	return 4
 }

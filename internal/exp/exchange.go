@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ExchangeConfig parameterizes the vectorized-exchange sweep: the serve
+// workload of Serve is repeated for every batch size × probe parallelism
+// combination, measuring how batching amortizes the data plane's per-tuple
+// costs and how morsel-parallel probing scales the symmetric hash join.
+type ExchangeConfig struct {
+	// Serve is the base serving workload (clients, requests, admission
+	// control, network). Its BatchSize/ProbeParallelism are overwritten by
+	// the sweep.
+	Serve ServeConfig
+	// BatchSizes are the exchange batch sizes to sweep (default
+	// 1, 16, 64, 256, 1024; 1 is the binding-at-a-time baseline).
+	BatchSizes []int
+	// Parallelism are the probe-worker counts to sweep (default 1, 4).
+	Parallelism []int
+}
+
+// ExchangeResult is one cell of the sweep: the serving-load measurements
+// plus the swept parameters and the headline bindings-per-second rate.
+type ExchangeResult struct {
+	BatchSize        int     `json:"batch_size"`
+	ProbeParallelism int     `json:"probe_parallelism"`
+	BindingsPerSec   float64 `json:"bindings_per_sec"`
+	*ServeResult
+}
+
+// RunExchange sweeps batch size × probe parallelism over the serving
+// workload. Rows are ordered parallelism-major, batch-minor, so each
+// parallelism level reads as one batch-size curve.
+func (r *Runner) RunExchange(ctx context.Context, cfg ExchangeConfig) ([]*ExchangeResult, error) {
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{1, 16, 64, 256, 1024}
+	}
+	if len(cfg.Parallelism) == 0 {
+		cfg.Parallelism = []int{1, 4}
+	}
+	var out []*ExchangeResult
+	for _, par := range cfg.Parallelism {
+		for _, bs := range cfg.BatchSizes {
+			sc := cfg.Serve
+			sc.BatchSize = bs
+			sc.ProbeParallelism = par
+			res, err := r.RunServe(ctx, sc)
+			if err != nil {
+				return nil, fmt.Errorf("exchange batch=%d par=%d: %w", bs, par, err)
+			}
+			cell := &ExchangeResult{BatchSize: bs, ProbeParallelism: par, ServeResult: res}
+			if res.Wall > 0 {
+				cell.BindingsPerSec = float64(res.Answers) / res.Wall.Seconds()
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// WriteExchangeTable renders the sweep as an aligned text table.
+func WriteExchangeTable(w io.Writer, rows []*ExchangeResult) {
+	fmt.Fprintf(w, "%-7s %5s %9s %12s %9s %10s %10s %10s\n",
+		"batch", "par", "done", "bindings/s", "qps", "p50", "p95", "ttfa-p50")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 80))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %5d %9d %12.0f %9.1f %10s %10s %10s\n",
+			r.BatchSize, r.ProbeParallelism, r.Completed, r.BindingsPerSec, r.Throughput,
+			r.LatencyP50.Round(10*time.Microsecond), r.LatencyP95.Round(10*time.Microsecond),
+			r.TTFAP50.Round(10*time.Microsecond))
+	}
+}
+
+// WriteExchangeJSON writes the sweep as dir/BENCH_exchange.json and
+// returns the written path.
+func WriteExchangeJSON(dir string, rows []*ExchangeResult) (string, error) {
+	return writeJSONDoc(dir, "exchange", rows)
+}

@@ -40,6 +40,12 @@ type ServeConfig struct {
 	Network netsim.Profile
 	// Timeout is the per-query deadline (0 = server default).
 	Timeout time.Duration
+	// BatchSize sets the exchange batch size of every query (0 = engine
+	// default, 1 = binding-at-a-time).
+	BatchSize int
+	// ProbeParallelism sets the symmetric hash join's morsel-parallel probe
+	// worker count for every query (0 = engine default).
+	ProbeParallelism int
 }
 
 // ServeResult is one measured serving-load cell.
@@ -95,16 +101,23 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 	if serverQueue == 0 {
 		serverQueue = -1 // normalized 0 means queueing disabled
 	}
+	defaultOpts := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(pubProfile(cfg.Network)),
+		ontario.WithNetworkScale(r.NetworkScale),
+		ontario.WithSeed(r.Seed),
+	}
+	if cfg.BatchSize > 0 {
+		defaultOpts = append(defaultOpts, ontario.WithBatchSize(cfg.BatchSize))
+	}
+	if cfg.ProbeParallelism > 0 {
+		defaultOpts = append(defaultOpts, ontario.WithProbeParallelism(cfg.ProbeParallelism))
+	}
 	srv := server.New(eng, server.Config{
-		MaxConcurrent: cfg.MaxConcurrent,
-		QueueDepth:    serverQueue,
-		QueryTimeout:  cfg.Timeout,
-		DefaultOptions: []ontario.Option{
-			ontario.WithAwarePlan(),
-			ontario.WithNetwork(pubProfile(cfg.Network)),
-			ontario.WithNetworkScale(r.NetworkScale),
-			ontario.WithSeed(r.Seed),
-		},
+		MaxConcurrent:  cfg.MaxConcurrent,
+		QueueDepth:     serverQueue,
+		QueryTimeout:   cfg.Timeout,
+		DefaultOptions: defaultOpts,
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

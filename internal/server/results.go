@@ -54,20 +54,32 @@ func encodeTerm(t ontario.Term) jsonTerm {
 	}
 }
 
-func (e *resultsEncoder) writeBinding(b ontario.Binding) error {
-	obj := make(map[string]jsonTerm, len(b))
-	for v, t := range b {
-		obj[v] = encodeTerm(t)
+// writeBatch encodes a whole exchange batch of solutions as one Write to
+// the underlying connection: the per-answer syscall and flush of the
+// binding-at-a-time writer are amortized over the batch, while the
+// batch-boundary flush in the handler keeps the first solutions streaming
+// out at time-to-first-answer.
+func (e *resultsEncoder) writeBatch(batch []ontario.Binding) error {
+	if len(batch) == 0 {
+		return nil
 	}
-	payload, err := json.Marshal(obj)
-	if err != nil {
-		return err
+	var payload []byte
+	for _, b := range batch {
+		obj := make(map[string]jsonTerm, len(b))
+		for v, t := range b {
+			obj[v] = encodeTerm(t)
+		}
+		one, err := json.Marshal(obj)
+		if err != nil {
+			return err
+		}
+		if e.wrote > 0 {
+			payload = append(payload, ',')
+		}
+		payload = append(payload, one...)
+		e.wrote++
 	}
-	if e.wrote > 0 {
-		payload = append([]byte(","), payload...)
-	}
-	e.wrote++
-	_, err = e.w.Write(payload)
+	_, err := e.w.Write(payload)
 	return err
 }
 

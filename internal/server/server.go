@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ontario"
+	"ontario/internal/bridge"
 	"ontario/internal/trace"
 )
 
@@ -412,14 +413,22 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
+	// Solutions are pulled and written one exchange batch at a time (via
+	// the internal bridge — the exported cursor API stays per-binding):
+	// one Write and one Flush per batch instead of per solution.
 	answers := 0
-	for res.Next() {
-		answers++
-		if answers == 1 {
+	for {
+		raw, ok := bridge.ResultsNextBatch(res)
+		if !ok {
+			break
+		}
+		batch := raw.([]ontario.Binding)
+		if answers == 0 && len(batch) > 0 {
 			s.metrics.Observe(MetricTTFA, res.Stats().TimeToFirstAnswer)
 		}
+		answers += len(batch)
 		if writeOK {
-			if enc.writeBinding(res.Binding()) != nil {
+			if enc.writeBatch(batch) != nil {
 				// The connection is gone (or broken): stop writing but keep
 				// draining; cancellation closes the cursor promptly.
 				writeOK = false

@@ -46,11 +46,13 @@ func CollectAnswers(label string, start time.Time, s *engine.Stream) *Trace {
 func collect(label string, start time.Time, s *engine.Stream, keep bool) *Trace {
 	t := &Trace{Label: label}
 	n := 0
-	for b := range s.Chan() {
-		n++
-		t.Points = append(t.Points, Point{Elapsed: time.Since(start), Count: n})
-		if keep {
-			t.Answers = append(t.Answers, b)
+	for batch := range s.Batches() {
+		for _, b := range batch {
+			n++
+			t.Points = append(t.Points, Point{Elapsed: time.Since(start), Count: n})
+			if keep {
+				t.Answers = append(t.Answers, b)
+			}
 		}
 	}
 	t.Total = time.Since(start)

@@ -18,15 +18,16 @@ import (
 // wrappers: one latency sample per answer for plain and single-seed
 // requests, one per block for multi-seed block requests.
 type ExternalWrapper struct {
-	id  string
-	src catalog.ExternalSource
-	sim *netsim.Simulator
+	id    string
+	src   catalog.ExternalSource
+	sim   *netsim.Simulator
+	batch int
 }
 
 // NewExternalWrapper wraps a custom source. sim may be nil for no network
-// simulation.
-func NewExternalWrapper(id string, src catalog.ExternalSource, sim *netsim.Simulator) *ExternalWrapper {
-	return &ExternalWrapper{id: id, src: src, sim: sim}
+// simulation; batch <= 0 means the engine's default batch size.
+func NewExternalWrapper(id string, src catalog.ExternalSource, sim *netsim.Simulator, batch int) *ExternalWrapper {
+	return &ExternalWrapper{id: id, src: src, sim: sim, batch: batch}
 }
 
 // SourceID implements Wrapper.
@@ -72,7 +73,7 @@ func (w *ExternalWrapper) Execute(ctx context.Context, req *Request) (*engine.St
 		}
 	}
 	if len(req.Seeds) > 0 {
-		return streamBlock(ctx, w.sim, kept), nil
+		return streamBlock(ctx, w.sim, kept, w.batch), nil
 	}
-	return streamWithDelay(ctx, w.sim, req.Seed, kept), nil
+	return streamWithDelay(ctx, w.sim, req.Seed, kept, w.batch), nil
 }

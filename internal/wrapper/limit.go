@@ -139,21 +139,21 @@ func (w *limitedWrapper) Execute(ctx context.Context, req *Request) (*engine.Str
 		w.lim.Release(id)
 		return nil, err
 	}
-	out := engine.NewStream(16)
+	out := engine.NewStream(4)
 	go func() {
 		defer out.Close()
-		var backlog []sparql.Binding
-		for b := range in.Chan() {
+		var backlog [][]sparql.Binding
+		for batch := range in.Batches() {
 			// Preserve order: only bypass the backlog when it is empty.
-			if len(backlog) == 0 && out.TrySend(b) {
+			if len(backlog) == 0 && out.TrySendBatch(batch) {
 				continue
 			}
-			backlog = append(backlog, b)
+			backlog = append(backlog, batch)
 		}
 		w.lim.Release(id)
-		for _, b := range backlog {
-			if !out.Send(ctx, b) {
-				// Send only fails on cancellation; the inner producer
+		for _, batch := range backlog {
+			if !out.SendBatch(ctx, batch) {
+				// SendBatch only fails on cancellation; the inner producer
 				// observes the same context and has already closed.
 				return
 			}

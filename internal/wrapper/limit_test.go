@@ -64,7 +64,7 @@ func TestSourceLimiterBoundsInFlight(t *testing.T) {
 				t.Errorf("Execute: %v", err)
 				return
 			}
-			for range s.Chan() {
+			for range s.Batches() {
 			}
 		}()
 	}
@@ -137,7 +137,7 @@ func TestLimitedReleasesOnConsumerCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	<-s.Chan() // first answer arrived; request is mid-stream
+	<-s.Batches() // first answer arrived; request is mid-stream
 	cancel()
 
 	deadline := time.Now().Add(2 * time.Second)

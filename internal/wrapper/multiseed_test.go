@@ -20,7 +20,7 @@ func personSeed(id string) sparql.Binding {
 // the answers are exactly the union of the per-seed sequential results.
 func TestSQLWrapperMultiSeedIN(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	stars := []*StarQuery{star(t, "p", "http://c/Person", `?p <http://p/name> ?n .`)}
 
 	var want []sparql.Binding
@@ -57,7 +57,7 @@ func TestSQLWrapperMultiSeedIN(t *testing.T) {
 // OR-of-conjunctions predicate in a single query.
 func TestSQLWrapperMultiSeedOR(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	stars := []*StarQuery{star(t, "p", "http://c/Person", `?p <http://p/name> ?n . ?p <http://p/age> ?a .`)}
 	seeds := []sparql.Binding{
 		{"n": rdf.NewLiteral("ada"), "a": rdf.IntLiteral(20)},
@@ -126,7 +126,7 @@ func typedSource(t *testing.T) *catalog.Source {
 // terms back — the decodeRow round trip of the multi-seed path.
 func TestSQLWrapperMultiSeedTypeRoundTrip(t *testing.T) {
 	src := typedSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	stars := []*StarQuery{star(t, "m", "http://c/M",
 		`?m <http://p/label> ?l . ?m <http://p/value> ?v . ?m <http://p/valid> ?ok .`)}
 
@@ -183,7 +183,7 @@ func TestSQLWrapperMultiSeedTypeRoundTrip(t *testing.T) {
 // empty without querying, a mixed block keeps only the valid disjunct.
 func TestSQLWrapperMultiSeedUnsatisfiableSeeds(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	stars := []*StarQuery{star(t, "p", "http://c/Person", `?p <http://p/name> ?n .`)}
 
 	got := collect(t, w, &Request{Stars: stars, Seeds: []sparql.Binding{
@@ -209,7 +209,7 @@ func TestSQLWrapperMultiSeedUnsatisfiableSeeds(t *testing.T) {
 func TestSQLWrapperMultiSeedSingleMessage(t *testing.T) {
 	src := testSource(t)
 	sim := netsim.NewSimulator(netsim.NoDelay, 0, 1)
-	w := NewSQLWrapper(src, sim, TranslationOptimized)
+	w := NewSQLWrapper(src, sim, TranslationOptimized, 0)
 	stars := []*StarQuery{star(t, "p", "http://c/Person", `?p <http://p/name> ?n .`)}
 	got := collect(t, w, &Request{Stars: stars, Seeds: []sparql.Binding{
 		personSeed("1"), personSeed("2"), personSeed("3"), personSeed("4"),
@@ -233,7 +233,7 @@ func TestRDFWrapperMultiSeedBlock(t *testing.T) {
 		g.Add(rdf.Triple{S: subj, P: rdf.NewIRI("http://p/tag"), O: rdf.NewLiteral("tag-" + s)})
 	}
 	sim := netsim.NewSimulator(netsim.NoDelay, 0, 1)
-	w := NewRDFWrapper("things", g, sim)
+	w := NewRDFWrapper("things", g, sim, 0)
 	stars := []*StarQuery{star(t, "s", "http://c/Thing", `?s <http://p/tag> ?tag .`)}
 	seeds := []sparql.Binding{
 		{"s": rdf.NewIRI("http://e/thing/a")},

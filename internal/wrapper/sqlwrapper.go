@@ -40,9 +40,10 @@ func (m TranslationMode) String() string {
 // SQLWrapper answers star queries against a relational source by
 // translating them to SQL.
 type SQLWrapper struct {
-	src  *catalog.Source
-	sim  *netsim.Simulator
-	mode TranslationMode
+	src   *catalog.Source
+	sim   *netsim.Simulator
+	mode  TranslationMode
+	batch int
 
 	// lastSQL records the SQL text(s) of the most recent request, for
 	// EXPLAIN output and tests. The mutex makes the record safe under the
@@ -52,9 +53,9 @@ type SQLWrapper struct {
 }
 
 // NewSQLWrapper wraps a relational source. sim may be nil to disable
-// network simulation.
-func NewSQLWrapper(src *catalog.Source, sim *netsim.Simulator, mode TranslationMode) *SQLWrapper {
-	return &SQLWrapper{src: src, sim: sim, mode: mode}
+// network simulation; batch <= 0 means the engine's default batch size.
+func NewSQLWrapper(src *catalog.Source, sim *netsim.Simulator, mode TranslationMode, batch int) *SQLWrapper {
+	return &SQLWrapper{src: src, sim: sim, mode: mode, batch: batch}
 }
 
 // SourceID implements Wrapper.
@@ -119,11 +120,11 @@ func (w *SQLWrapper) executeBlock(ctx context.Context, req *Request, stars []*St
 		return nil, err
 	}
 	if tl.empty {
-		return streamBlock(ctx, w.sim, nil), nil
+		return streamBlock(ctx, w.sim, nil, w.batch), nil
 	}
 	seedCond, provablyEmpty := tl.seedPredicate(req.Seeds)
 	if provablyEmpty {
-		return streamBlock(ctx, w.sim, nil), nil
+		return streamBlock(ctx, w.sim, nil, w.batch), nil
 	}
 	if seedCond != nil {
 		if tl.sel.Where == nil {
@@ -153,7 +154,7 @@ func (w *SQLWrapper) executeBlock(ctx context.Context, req *Request, stars []*St
 		}
 		sols = append(sols, b)
 	}
-	return streamBlock(ctx, w.sim, sols), nil
+	return streamBlock(ctx, w.sim, sols, w.batch), nil
 }
 
 // executeOptimized issues one flattened SQL query for all stars.
@@ -181,7 +182,7 @@ func (w *SQLWrapper) executeOptimized(ctx context.Context, req *Request, stars [
 		}
 		sols = append(sols, b)
 	}
-	return streamWithDelay(ctx, w.sim, req.Seed, sols), nil
+	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
 }
 
 // withSeed merges the seed into b for filter evaluation; filters may
@@ -279,7 +280,7 @@ func (w *SQLWrapper) executeNaive(ctx context.Context, req *Request, stars []*St
 	}
 	// The joined rows were already transferred; stream without extra
 	// delay.
-	return streamWithDelay(ctx, nil, req.Seed, sols), nil
+	return streamWithDelay(ctx, nil, req.Seed, sols, w.batch), nil
 }
 
 func passes(b sparql.Binding, filters []sparql.Expr) bool {

@@ -69,7 +69,7 @@ func TestValueToTerm(t *testing.T) {
 
 func TestFilterWithWildcardNeedleStaysLocal(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	// '%' in the needle cannot be expressed in our LIKE subset — the
 	// filter must run locally yet still be applied.
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/name> ?n . FILTER (CONTAINS(?n, "100%")) }`)
@@ -90,7 +90,7 @@ func TestFilterWithWildcardNeedleStaysLocal(t *testing.T) {
 
 func TestIRIEqualityFilterPushed(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/friend> ?f . FILTER (?f = <http://e/person/3>) }`)
 	req := &Request{
 		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
@@ -107,7 +107,7 @@ func TestIRIEqualityFilterPushed(t *testing.T) {
 
 func TestIRIRangeFilterNotPushed(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	// Ordering over IRIs cannot be pushed; it also fails at the engine
 	// (type error), so zero results — but no SQL ordering on the key.
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/friend> ?f . FILTER (?f > <http://e/person/1>) }`)
@@ -126,7 +126,7 @@ func TestIRIRangeFilterNotPushed(t *testing.T) {
 
 func TestDisjunctionPushedWhenBothSidesTranslate(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/age> ?a . FILTER (?a = 20 || ?a = 60) }`)
 	req := &Request{
 		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
@@ -143,7 +143,7 @@ func TestDisjunctionPushedWhenBothSidesTranslate(t *testing.T) {
 
 func TestNegationPushed(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/age> ?a . FILTER (!(?a < 40)) }`)
 	req := &Request{
 		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
@@ -164,7 +164,7 @@ func TestRepeatedObjectVariableAddsEquality(t *testing.T) {
 	src := testSource(t)
 	// name and age are different types; equality can never hold, but the
 	// translation must still be well-formed.
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p <http://p/name> ?x . ?p <http://p/age> ?x .`),
 	}}
@@ -180,11 +180,11 @@ func TestRepeatedObjectVariableAddsEquality(t *testing.T) {
 
 func TestEmptyRequestRejected(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	if _, err := w.Execute(context.Background(), &Request{}); err == nil {
 		t.Error("empty request accepted")
 	}
-	rw := NewRDFWrapper("r", rdf.NewGraph(), nil)
+	rw := NewRDFWrapper("r", rdf.NewGraph(), nil, 0)
 	if _, err := rw.Execute(context.Background(), &Request{}); err == nil {
 		t.Error("empty RDF request accepted")
 	}
@@ -192,7 +192,7 @@ func TestEmptyRequestRejected(t *testing.T) {
 
 func TestUnknownClassRejected(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Unknown", `?p <http://p/name> ?n .`),
 	}}

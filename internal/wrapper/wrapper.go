@@ -120,10 +120,16 @@ func substituteSeed(patterns []sparql.TriplePattern, seed sparql.Binding) []spar
 
 // streamWithDelay emits the bindings on a new stream, delaying each message
 // by one latency sample, then re-merging the seed (bind-join semantics).
-func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Binding, sols []sparql.Binding) *engine.Stream {
-	out := engine.NewStream(16)
+// The per-answer latency accounting is unchanged by batching: one sample
+// per binding, however many bindings share a channel send. Batches are cut
+// at batch bindings and flushed on the engine's flush interval so answers
+// keep streaming under real (scaled) network sleeps.
+func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Binding, sols []sparql.Binding, batch int) *engine.Stream {
+	out := engine.NewStream(4)
 	go func() {
 		defer out.Close()
+		w := engine.NewBatchWriter(ctx, out, batch)
+		defer w.Close()
 		for _, b := range sols {
 			if sim != nil {
 				sim.Delay()
@@ -131,7 +137,7 @@ func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Bin
 			if len(seed) > 0 {
 				b = seed.Merge(b)
 			}
-			if !out.Send(ctx, b) {
+			if !w.Send(b) {
 				return
 			}
 		}
@@ -143,19 +149,17 @@ func streamWithDelay(ctx context.Context, sim *netsim.Simulator, seed sparql.Bin
 // batched response: a single latency sample — one simulated network
 // message — covers the whole block, regardless of how many solutions it
 // carries. The message is accounted even for an empty result, because the
-// response itself still crosses the network.
-func streamBlock(ctx context.Context, sim *netsim.Simulator, sols []sparql.Binding) *engine.Stream {
-	out := engine.NewStream(16)
+// response itself still crosses the network. The materialized response is
+// relayed in batch-sized chunks; no flush timer is needed because nothing
+// trickles after the block's single delay.
+func streamBlock(ctx context.Context, sim *netsim.Simulator, sols []sparql.Binding, batch int) *engine.Stream {
+	out := engine.NewStream(4)
 	go func() {
 		defer out.Close()
 		if sim != nil {
 			sim.Delay()
 		}
-		for _, b := range sols {
-			if !out.Send(ctx, b) {
-				return
-			}
-		}
+		out.SendChunked(ctx, sols, batch)
 	}()
 	return out
 }
@@ -166,12 +170,13 @@ type RDFWrapper struct {
 	id    string
 	graph *rdf.Graph
 	sim   *netsim.Simulator
+	batch int
 }
 
 // NewRDFWrapper wraps an RDF graph. sim may be nil for no network
-// simulation.
-func NewRDFWrapper(id string, g *rdf.Graph, sim *netsim.Simulator) *RDFWrapper {
-	return &RDFWrapper{id: id, graph: g, sim: sim}
+// simulation; batch <= 0 means the engine's default batch size.
+func NewRDFWrapper(id string, g *rdf.Graph, sim *netsim.Simulator, batch int) *RDFWrapper {
+	return &RDFWrapper{id: id, graph: g, sim: sim, batch: batch}
 }
 
 // SourceID implements Wrapper.
@@ -213,7 +218,7 @@ func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 		}
 		sols = kept
 	}
-	return streamWithDelay(ctx, w.sim, req.Seed, sols), nil
+	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
 }
 
 // executeBlock answers a multi-seed block request in one graph pass: the
@@ -239,5 +244,5 @@ func (w *RDFWrapper) executeBlock(ctx context.Context, req *Request, patterns []
 			sols = append(sols, b)
 		}
 	}
-	return streamBlock(ctx, w.sim, sols), nil
+	return streamBlock(ctx, w.sim, sols, w.batch), nil
 }

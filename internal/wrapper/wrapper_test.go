@@ -102,7 +102,7 @@ func collect(t *testing.T, w Wrapper, req *Request) []sparql.Binding {
 
 func TestSQLWrapperSingleStar(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p <http://p/name> ?n . ?p <http://p/age> ?a .`),
 	}}
@@ -128,7 +128,7 @@ func TestSQLWrapperSingleStar(t *testing.T) {
 
 func TestSQLWrapperTypePattern(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person",
 			`?p <`+rdf.RDFType+`> <http://c/Person> . ?p <http://p/name> ?n . ?p <`+rdf.RDFType+`> ?t .`),
@@ -151,7 +151,7 @@ func TestSQLWrapperTypePattern(t *testing.T) {
 
 func TestSQLWrapperConstantSubjectAndObject(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	// Constant subject.
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `<http://e/person/2> <http://p/name> ?n .`),
@@ -187,7 +187,7 @@ func TestSQLWrapperConstantSubjectAndObject(t *testing.T) {
 
 func TestSQLWrapperSideTable(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p <http://p/name> ?n . ?p <http://p/friend> ?f .`),
 	}}
@@ -203,7 +203,7 @@ func TestSQLWrapperSideTable(t *testing.T) {
 
 func TestSQLWrapperFilterPushdown(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/age> ?a . FILTER (?a >= 40) }`)
 	req := &Request{
 		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
@@ -220,7 +220,7 @@ func TestSQLWrapperFilterPushdown(t *testing.T) {
 
 func TestSQLWrapperContainsBecomesLike(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/name> ?n . FILTER (CONTAINS(?n, "ra")) }`)
 	req := &Request{
 		Stars:   []*StarQuery{{SubjectVar: "p", Class: "http://c/Person", Patterns: q.Patterns}},
@@ -241,7 +241,7 @@ func TestSQLWrapperContainsBecomesLike(t *testing.T) {
 
 func TestSQLWrapperUntranslatableFilterRunsLocally(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	// REGEX is not translatable; it must still be applied (locally).
 	q := sparql.MustParse(`SELECT * WHERE { ?p <http://p/name> ?n . FILTER (REGEX(?n, "^a")) }`)
 	req := &Request{
@@ -263,8 +263,8 @@ func TestSQLWrapperMergedStarsOptimizedVsNaive(t *testing.T) {
 		star(t, "p", "http://c/Person", `?p <http://p/name> ?n . ?p <http://p/friend> ?f .`),
 		star(t, "f", "http://c/Person", `?f <http://p/name> ?fn . ?f <http://p/age> ?fa .`),
 	}
-	opt := NewSQLWrapper(src, nil, TranslationOptimized)
-	naive := NewSQLWrapper(src, nil, TranslationNaive)
+	opt := NewSQLWrapper(src, nil, TranslationOptimized, 0)
+	naive := NewSQLWrapper(src, nil, TranslationNaive, 0)
 	gotOpt := collect(t, opt, &Request{Stars: stars})
 	gotNaive := collect(t, naive, &Request{Stars: stars})
 	if len(gotOpt) != 4 || len(gotNaive) != 4 {
@@ -294,7 +294,7 @@ func TestSQLWrapperMergedStarsOptimizedVsNaive(t *testing.T) {
 
 func TestSQLWrapperSeed(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{
 		Stars: []*StarQuery{star(t, "p", "http://c/Person", `?p <http://p/name> ?n .`)},
 		Seed:  sparql.Binding{"p": rdf.NewIRI("http://e/person/4")},
@@ -310,7 +310,7 @@ func TestSQLWrapperSeed(t *testing.T) {
 
 func TestSQLWrapperVariablePredicateRejected(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p ?any ?o .`),
 	}}
@@ -321,7 +321,7 @@ func TestSQLWrapperVariablePredicateRejected(t *testing.T) {
 
 func TestSQLWrapperUnknownPredicateEmpty(t *testing.T) {
 	src := testSource(t)
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p <http://p/unknown> ?x .`),
 	}}
@@ -337,7 +337,7 @@ func TestRDFWrapper(t *testing.T) {
 		g.Add(rdf.Triple{S: rdf.NewIRI("http://e/person/" + string(rune('1'+i))), P: name, O: rdf.NewLiteral(n)})
 	}
 	sim := netsim.NewSimulator(netsim.NoDelay, 0, 1)
-	w := NewRDFWrapper("g", g, sim)
+	w := NewRDFWrapper("g", g, sim, 0)
 	if w.SourceID() != "g" {
 		t.Error("SourceID wrong")
 	}
@@ -368,7 +368,7 @@ func TestNullColumnsDropRows(t *testing.T) {
 	if err := person.Insert(rdb.Row{rdb.IntValue(99), rdb.StringValue("ghost"), rdb.NullValue(rdb.TypeInt)}); err != nil {
 		t.Fatal(err)
 	}
-	w := NewSQLWrapper(src, nil, TranslationOptimized)
+	w := NewSQLWrapper(src, nil, TranslationOptimized, 0)
 	req := &Request{Stars: []*StarQuery{
 		star(t, "p", "http://c/Person", `?p <http://p/name> ?n . ?p <http://p/age> ?a .`),
 	}}

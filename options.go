@@ -181,6 +181,8 @@ type config struct {
 	triples    bool
 	bindBlock  int
 	bindConc   int
+	batchSize  int
+	probePar   int
 	scale      float64
 	seed       int64
 }
@@ -224,6 +226,8 @@ func (c config) resolve() core.Options {
 	}
 	opts.BindBlockSize = c.bindBlock
 	opts.BindConcurrency = c.bindConc
+	opts.BatchSize = c.batchSize
+	opts.ProbeParallelism = c.probePar
 	return opts
 }
 
@@ -290,6 +294,27 @@ func WithBindBlockSize(n int) Option {
 // flight at once (default 4).
 func WithBindConcurrency(n int) Option {
 	return func(c *config) { c.bindConc = n }
+}
+
+// WithBatchSize sets the number of solution bindings the execution data
+// plane packs into one exchange batch (default 256). Operators consume and
+// emit whole batches, amortizing per-tuple channel and scheduling costs;
+// leaf producers flush a partial batch after a short interval and on
+// close, so streaming semantics and time-to-first-answer are preserved. A
+// size of 1 degenerates to binding-at-a-time execution (the pre-batching
+// behaviour, useful as an ablation baseline).
+func WithBatchSize(n int) Option {
+	return func(c *config) { c.batchSize = n }
+}
+
+// WithProbeParallelism sets the number of morsel-parallel probe workers —
+// and hash-table shards — of every symmetric hash join (default derived
+// from GOMAXPROCS, capped at 8). Input batches are partitioned by
+// join-key hash and each worker owns its shard's hash tables exclusively,
+// so insert and probe run lock-free. A value of 1 disables intra-operator
+// parallelism.
+func WithProbeParallelism(n int) Option {
+	return func(c *config) { c.probePar = n }
 }
 
 // WithNetworkScale multiplies the real sleeping of the network simulation;

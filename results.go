@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"ontario/internal/bridge"
 	"ontario/internal/core"
 	"ontario/internal/engine"
 	"ontario/internal/sparql"
@@ -57,6 +58,13 @@ type Results struct {
 	stream *engine.Stream
 	start  time.Time
 
+	// buf is the exchange batch the cursor is currently iterating: Next
+	// serves bindings from buf[idx:] and only touches the stream channel
+	// when the batch is exhausted, so the per-answer cost of the cursor is
+	// a slice index, not a channel receive.
+	buf []sparql.Binding
+	idx int
+
 	cur     Binding
 	err     error
 	n       int
@@ -85,19 +93,56 @@ func (r *Results) Vars() []string { return append([]string(nil), r.vars...) }
 // are exhausted, the context is cancelled, or the cursor was closed; check
 // Err afterwards to distinguish completion from cancellation.
 func (r *Results) Next() bool {
-	if r.done || r.closed {
+	if !r.fill() {
 		return false
 	}
-	b, ok := <-r.stream.Chan()
-	if !ok {
-		r.finish()
-		return false
-	}
+	b := r.buf[r.idx]
+	r.idx++
 	r.n++
 	if r.n == 1 {
 		r.firstAt = time.Since(r.start)
 	}
 	r.cur = bindingFromInternal(b)
+	return true
+}
+
+// nextBatch returns the rest of the buffered batch — or pulls the next one
+// — converted to public bindings. It backs the internal server's
+// batch-per-write JSON encoder through internal/bridge, keeping the
+// exported cursor API unchanged.
+func (r *Results) nextBatch() ([]Binding, bool) {
+	if !r.fill() {
+		return nil, false
+	}
+	part := r.buf[r.idx:]
+	r.idx = len(r.buf)
+	out := make([]Binding, len(part))
+	for i, b := range part {
+		out[i] = bindingFromInternal(b)
+	}
+	if r.n == 0 {
+		r.firstAt = time.Since(r.start)
+	}
+	r.n += len(part)
+	return out, true
+}
+
+// fill ensures the cursor's buffered batch holds an unserved solution,
+// pulling the next exchange batch when the buffer is exhausted; it
+// returns false — recording the terminal state — once the cursor is
+// done, closed, or the stream has ended.
+func (r *Results) fill() bool {
+	if r.done || r.closed {
+		return false
+	}
+	for r.idx >= len(r.buf) {
+		batch, ok := <-r.stream.Batches()
+		if !ok {
+			r.finish()
+			return false
+		}
+		r.buf, r.idx = batch, 0
+	}
 	return true
 }
 
@@ -118,7 +163,7 @@ func (r *Results) Close() error {
 	}
 	r.closed = true
 	r.cancel()
-	for range r.stream.Chan() {
+	for range r.stream.Batches() {
 	}
 	if !r.done {
 		r.done = true
@@ -184,4 +229,20 @@ func bindingFromInternal(b sparql.Binding) Binding {
 		out[v] = Term{Kind: TermKind(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
 	}
 	return out
+}
+
+func init() {
+	// Hand the internal server batch-granular access to the cursor without
+	// widening the exported Results API (see internal/bridge).
+	bridge.ResultsNextBatch = func(results any) (any, bool) {
+		r, ok := results.(*Results)
+		if !ok {
+			return nil, false
+		}
+		batch, ok := r.nextBatch()
+		if !ok {
+			return nil, false
+		}
+		return batch, true
+	}
 }
