@@ -216,6 +216,18 @@ func main() {
 		})
 	}
 
+	if run == "resilience" {
+		header("resilience: two federated ontario-server nodes over live HTTP; the orgs backend is healthy, slow, flaky (50% 503s) or down")
+		rows, err := exp.RunResilience(ctx, exp.ResilienceExpConfig{})
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteResilienceTable(os.Stdout, rows)
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteResilienceJSON(dir, rows)
+		})
+	}
+
 	if run == "exchange" {
 		batches, err := parseIntList(*exchBatches, 1)
 		if err != nil {

@@ -20,19 +20,31 @@
 // to -queue-depth more wait; beyond that, requests get 503 with a
 // Retry-After hint. -source-limit bounds concurrently in-flight wrapper
 // requests per source across all queries.
+//
+// Federation: -federate "id=http://host:port,..." registers peer
+// ontario-server nodes as live remote sources. Each peer's molecule
+// templates are discovered from its /molecules endpoint and its queries go
+// over real HTTP under the resilience policy (-remote-timeout,
+// -remote-retries, -breaker-threshold, -breaker-cooldown); this node
+// advertises its own templates on /molecules in turn, so nodes can
+// federate over each other. Per-source health gauges (breaker state,
+// failure rate, measured latency) are on /metrics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"ontario"
 	"ontario/internal/lslod"
 	"ontario/internal/server"
+	"ontario/lake"
 )
 
 func main() {
@@ -48,6 +60,12 @@ func main() {
 		srcLimit  = flag.Int("source-limit", 4, "max in-flight wrapper requests per source (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query deadline")
 		planCache = flag.Int("plan-cache", 128, "plan cache capacity (negative disables)")
+
+		federate      = flag.String("federate", "", `peer ontario-server nodes as "id=http://host:port,id2=..." (molecules discovered from each peer's /molecules)`)
+		remoteTimeout = flag.Duration("remote-timeout", 10*time.Second, "per-attempt timeout for remote sources (negative disables)")
+		remoteRetries = flag.Int("remote-retries", 3, "retries per remote request (negative disables)")
+		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive remote failures that open a source's circuit breaker (negative disables)")
+		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects requests before a half-open probe")
 	)
 	flag.Parse()
 
@@ -60,17 +78,53 @@ func main() {
 	if *small {
 		scale = lslod.SmallScale()
 	}
+
+	// Peers are resolved before the lake is assembled: each one's
+	// molecule templates come from its live /molecules endpoint.
+	type peer struct {
+		id, url string
+		mols    []lake.Molecule
+	}
+	var peers []peer
+	if *federate != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, part := range strings.Split(*federate, ",") {
+			id, base, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok || id == "" || base == "" {
+				fail(fmt.Errorf(`invalid -federate entry %q (want "id=http://host:port")`, part))
+			}
+			mols, err := lake.DiscoverMolecules(ctx, base)
+			if err != nil {
+				fail(err)
+			}
+			log.Printf("federating over %s at %s (%d molecule templates)", id, base, len(mols))
+			peers = append(peers, peer{id: id, url: strings.TrimRight(base, "/") + "/sparql", mols: mols})
+		}
+	}
+
 	log.Printf("building LSLOD lake (small=%v, seed=%d)...", *small, *seed)
-	lake, err := lslod.BuildLake(scale, *seed)
+	l, err := lslod.BuildLakeCustom(scale, *seed, func(b *lake.Builder) {
+		for _, p := range peers {
+			b.AddSPARQLEndpoint(p.id, p.url, p.mols...)
+		}
+	})
 	if err != nil {
 		fail(err)
 	}
 
-	var engOpts []ontario.EngineOption
+	engOpts := []ontario.EngineOption{
+		ontario.WithResilience(ontario.Resilience{
+			Timeout:          *remoteTimeout,
+			MaxRetries:       *remoteRetries,
+			BreakerThreshold: *breakerThresh,
+			BreakerCooldown:  *breakerCool,
+		}),
+	}
 	if *srcLimit > 0 {
 		engOpts = append(engOpts, ontario.WithSourceLimit(*srcLimit))
 	}
-	eng := ontario.New(lake.Lake, engOpts...)
+	eng := ontario.New(l.Lake, engOpts...)
 
 	defaults := []ontario.Option{
 		ontario.WithNetwork(profile),

@@ -8,6 +8,7 @@ package catalog
 
 import (
 	"context"
+	dbsql "database/sql"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,13 @@ const (
 	// registered through the public lake API (CSV files, JSON documents,
 	// remote APIs, ...). The engine reaches it through ExternalSource.
 	ModelCustom
+	// ModelSPARQLEndpoint marks a live remote SPARQL-protocol endpoint
+	// (typically another ontario-server node) reached over HTTP.
+	ModelSPARQLEndpoint
+	// ModelSQLDatabase marks a relational source executed through a live
+	// database/sql connection; DB still carries the schema the SPARQL-to-SQL
+	// translation plans against, SQLDB runs the generated queries.
+	ModelSQLDatabase
 )
 
 // String names the model.
@@ -37,9 +45,19 @@ func (m DataModel) String() string {
 		return "RDF"
 	case ModelRelational:
 		return "Relational"
+	case ModelSPARQLEndpoint:
+		return "SPARQLEndpoint"
+	case ModelSQLDatabase:
+		return "SQLDatabase"
 	default:
 		return "Custom"
 	}
+}
+
+// Remote reports whether the model reaches outside the process (and so
+// runs under the resilience layer).
+func (m DataModel) Remote() bool {
+	return m == ModelSPARQLEndpoint || m == ModelSQLDatabase
 }
 
 // ExternalStar is one star-shaped sub-query handed to a custom source: all
@@ -154,11 +172,23 @@ type Source struct {
 
 	// Graph backs RDF sources.
 	Graph *rdf.Graph
-	// DB and Mappings back relational sources.
+	// DB and Mappings back relational sources. For ModelSQLDatabase DB
+	// holds only the schema (no rows): the translation plans against it
+	// while SQLDB executes.
 	DB       *rdb.Database
 	Mappings map[string]*ClassMapping // by class IRI
 	// External backs custom sources.
 	External ExternalSource
+	// Endpoint is the query URL of a ModelSPARQLEndpoint source.
+	Endpoint string
+	// SQLDB is the live connection of a ModelSQLDatabase source.
+	SQLDB *dbsql.DB
+}
+
+// relational reports whether the source answers through the SPARQL-to-SQL
+// translation (in-memory rdb or a live database/sql connection).
+func (s *Source) relational() bool {
+	return s.Model == ModelRelational || s.Model == ModelSQLDatabase
 }
 
 // Mapping returns the class mapping for a class IRI, or nil.
@@ -174,7 +204,7 @@ func (s *Source) Mapping(class string) *ClassMapping {
 // properties the relevant access column is the value column when filtering
 // and the FK when joining; joinSide selects which.
 func (s *Source) HasIndexOn(cm *ClassMapping, pred string, joinSide bool) bool {
-	if s.Model != ModelRelational || s.DB == nil {
+	if !s.relational() || s.DB == nil {
 		return false
 	}
 	pm := cm.Property(pred)
@@ -199,7 +229,7 @@ func (s *Source) HasIndexOn(cm *ClassMapping, pred string, joinSide bool) bool {
 // is always true for a well-formed mapping because the subject is the
 // primary key.
 func (s *Source) SubjectIndexed(cm *ClassMapping) bool {
-	if s.Model != ModelRelational || s.DB == nil {
+	if !s.relational() || s.DB == nil {
 		return false
 	}
 	t := s.DB.Table(cm.Table)
@@ -267,40 +297,63 @@ func (c *Catalog) AddSource(s *Source) error {
 		if s.External == nil {
 			return fmt.Errorf("catalog: custom source %s has no implementation", s.ID)
 		}
+	case ModelSPARQLEndpoint:
+		if s.Endpoint == "" {
+			return fmt.Errorf("catalog: remote source %s has no endpoint URL", s.ID)
+		}
+	case ModelSQLDatabase:
+		if s.SQLDB == nil {
+			return fmt.Errorf("catalog: SQL-database source %s has no connection", s.ID)
+		}
+		if s.DB == nil {
+			return fmt.Errorf("catalog: SQL-database source %s has no schema database", s.ID)
+		}
+		if err := validateMappings(s); err != nil {
+			return err
+		}
 	case ModelRelational:
 		if s.DB == nil {
 			return fmt.Errorf("catalog: relational source %s has no database", s.ID)
 		}
-		for class, cm := range s.Mappings {
-			t := s.DB.Table(cm.Table)
-			if t == nil {
-				return fmt.Errorf("catalog: source %s maps class %s to unknown table %s", s.ID, class, cm.Table)
-			}
-			if cm.Denormalized {
-				if t.Schema.ColumnIndex(cm.SubjectColumn) < 0 {
-					return fmt.Errorf("catalog: source %s class %s: denormalized subject column %s missing in %s",
-						s.ID, class, cm.SubjectColumn, cm.Table)
-				}
-			} else if t.Schema.PrimaryKey != cm.SubjectColumn {
-				return fmt.Errorf("catalog: source %s class %s: subject column %s is not the primary key of %s",
-					s.ID, class, cm.SubjectColumn, cm.Table)
-			}
-			for pred, pm := range cm.Properties {
-				if pm.IsJoin() {
-					jt := s.DB.Table(pm.JoinTable)
-					if jt == nil {
-						return fmt.Errorf("catalog: source %s: predicate %s uses unknown table %s", s.ID, pred, pm.JoinTable)
-					}
-					if jt.Schema.ColumnIndex(pm.JoinFK) < 0 || jt.Schema.ColumnIndex(pm.ValueColumn) < 0 {
-						return fmt.Errorf("catalog: source %s: predicate %s references missing columns in %s", s.ID, pred, pm.JoinTable)
-					}
-				} else if t.Schema.ColumnIndex(pm.Column) < 0 {
-					return fmt.Errorf("catalog: source %s: predicate %s maps to unknown column %s.%s", s.ID, pred, cm.Table, pm.Column)
-				}
-			}
+		if err := validateMappings(s); err != nil {
+			return err
 		}
 	}
 	c.sources[s.ID] = s
+	return nil
+}
+
+// validateMappings checks every class mapping of a relational source (in-
+// memory or live database/sql) against the schema in s.DB.
+func validateMappings(s *Source) error {
+	for class, cm := range s.Mappings {
+		t := s.DB.Table(cm.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: source %s maps class %s to unknown table %s", s.ID, class, cm.Table)
+		}
+		if cm.Denormalized {
+			if t.Schema.ColumnIndex(cm.SubjectColumn) < 0 {
+				return fmt.Errorf("catalog: source %s class %s: denormalized subject column %s missing in %s",
+					s.ID, class, cm.SubjectColumn, cm.Table)
+			}
+		} else if t.Schema.PrimaryKey != cm.SubjectColumn {
+			return fmt.Errorf("catalog: source %s class %s: subject column %s is not the primary key of %s",
+				s.ID, class, cm.SubjectColumn, cm.Table)
+		}
+		for pred, pm := range cm.Properties {
+			if pm.IsJoin() {
+				jt := s.DB.Table(pm.JoinTable)
+				if jt == nil {
+					return fmt.Errorf("catalog: source %s: predicate %s uses unknown table %s", s.ID, pred, pm.JoinTable)
+				}
+				if jt.Schema.ColumnIndex(pm.JoinFK) < 0 || jt.Schema.ColumnIndex(pm.ValueColumn) < 0 {
+					return fmt.Errorf("catalog: source %s: predicate %s references missing columns in %s", s.ID, pred, pm.JoinTable)
+				}
+			} else if t.Schema.ColumnIndex(pm.Column) < 0 {
+				return fmt.Errorf("catalog: source %s: predicate %s maps to unknown column %s.%s", s.ID, pred, cm.Table, pm.Column)
+			}
+		}
+	}
 	return nil
 }
 

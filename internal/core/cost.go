@@ -75,6 +75,26 @@ func newCostModel(prov stats.Provider, opts Options) *costModel {
 	}
 }
 
+// rttFor resolves the per-message latency to price a service node with:
+// the source's measured latency (a remote source's observed EWMA, inflated
+// by its failure rate) when Options.MeasuredLatency knows it, the static
+// network profile's mean otherwise.
+func (cm *costModel) rttFor(n PlanNode) float64 {
+	svc, ok := n.(*ServiceNode)
+	if !ok || cm.opts.MeasuredLatency == nil {
+		return cm.rtt
+	}
+	d, ok := cm.opts.MeasuredLatency(svc.SourceID)
+	if !ok {
+		return cm.rtt
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	if ms < minRTTMS {
+		ms = minRTTMS
+	}
+	return ms
+}
+
 // estimate derives the estimate of a sub-plan, caching it on service and
 // join nodes so EXPLAIN can render it.
 func (cm *costModel) estimate(n PlanNode) Estimate {
@@ -119,7 +139,7 @@ func (cm *costModel) serviceEstimate(n *ServiceNode) Estimate {
 	if src := cm.prov.Source(n.SourceID); src != nil {
 		card = cm.requestCard(src, n.Req)
 	}
-	return Estimate{Card: card, Msgs: card, Cost: card * (cm.rtt + perBindingMS)}
+	return Estimate{Card: card, Msgs: card, Cost: card * (cm.rttFor(n) + perBindingMS)}
 }
 
 // requestCard estimates a wrapper request's answers: per-star extents scaled
@@ -315,10 +335,11 @@ func (cm *costModel) hashEstimate(lNode, rNode PlanNode, joinVars []string) Esti
 func (cm *costModel) bindEstimate(lNode, rNode PlanNode, joinVars []string) Estimate {
 	l := cm.estimate(lNode)
 	card := cm.joinCard(lNode, rNode, joinVars)
+	rtt := cm.rttFor(rNode)
 	return Estimate{
 		Card: card,
 		Msgs: l.Msgs + card,
-		Cost: l.Cost + l.Card*(cm.rtt+perBindingMS) + card*(cm.rtt+perBindingMS),
+		Cost: l.Cost + l.Card*(rtt+perBindingMS) + card*(rtt+perBindingMS),
 	}
 }
 
@@ -331,7 +352,7 @@ func (cm *costModel) blockBindEstimate(lNode, rNode PlanNode, joinVars []string)
 	return Estimate{
 		Card: card,
 		Msgs: l.Msgs + blocks,
-		Cost: l.Cost + blocks*cm.rtt + l.Card*perBindingMS + card*perBindingMS,
+		Cost: l.Cost + blocks*cm.rttFor(rNode) + l.Card*perBindingMS + card*perBindingMS,
 	}
 }
 

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ontario/internal/netsim"
+)
+
+// TestCostModelMeasuredLatency checks that a source's observed latency
+// replaces the static network profile in the cost model, and that sources
+// without a measurement keep the profile's mean.
+func TestCostModelMeasuredLatency(t *testing.T) {
+	measured := map[string]time.Duration{
+		"slow-remote": 80 * time.Millisecond,
+		"fast-remote": 100 * time.Microsecond,
+	}
+	opts := Options{
+		Network: netsim.Gamma1,
+		MeasuredLatency: func(id string) (time.Duration, bool) {
+			d, ok := measured[id]
+			return d, ok
+		},
+	}
+	cm := newCostModel(nil, opts)
+
+	if got := cm.rttFor(&ServiceNode{SourceID: "slow-remote"}); got != 80 {
+		t.Fatalf("measured slow source rtt = %v ms, want 80", got)
+	}
+	if got := cm.rttFor(&ServiceNode{SourceID: "fast-remote"}); got != 0.1 {
+		t.Fatalf("measured fast source rtt = %v ms, want 0.1", got)
+	}
+	if got := cm.rttFor(&ServiceNode{SourceID: "local"}); got != cm.rtt {
+		t.Fatalf("unmeasured source rtt = %v ms, want profile mean %v", got, cm.rtt)
+	}
+	// A sub-millisecond-floor measurement must not collapse to zero cost.
+	measured["fast-remote"] = time.Nanosecond
+	if got := cm.rttFor(&ServiceNode{SourceID: "fast-remote"}); got != minRTTMS {
+		t.Fatalf("floored rtt = %v ms, want %v", got, minRTTMS)
+	}
+
+	// Without MeasuredLatency every node prices at the profile mean.
+	cm2 := newCostModel(nil, Options{Network: netsim.Gamma1})
+	if got := cm2.rttFor(&ServiceNode{SourceID: "slow-remote"}); got != cm2.rtt {
+		t.Fatalf("static rtt = %v ms, want %v", got, cm2.rtt)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +28,12 @@ type Executor struct {
 	// source across every execution created from this executor.
 	Limiter *wrapper.SourceLimiter
 
+	// Health applies the resilience policy (timeouts, retries, circuit
+	// breakers) to remote sources and accumulates their measured latency
+	// and failure rate. Like the limiter it is shared across every
+	// execution, so breaker state and measured gamma reflect all traffic.
+	Health *wrapper.HealthRegistry
+
 	// NetworkScale multiplies real sleeping in the network simulation
 	// (1.0 reproduces the sampled delays; 0 disables sleeping). Consulted
 	// when the next single-query execution is created.
@@ -41,7 +48,12 @@ type Executor struct {
 
 // NewExecutor returns an executor over the catalog.
 func NewExecutor(cat *catalog.Catalog) *Executor {
-	return &Executor{cat: cat, NetworkScale: 1.0, Seed: 1}
+	return &Executor{
+		cat:          cat,
+		NetworkScale: 1.0,
+		Seed:         1,
+		Health:       wrapper.NewHealthRegistry(wrapper.ResilienceConfig{}),
+	}
 }
 
 // NewExecution returns an isolated execution with its own wrappers and
@@ -51,6 +63,7 @@ func (e *Executor) NewExecution(scale float64, seed int64) *Execution {
 	return &Execution{
 		cat:      e.cat,
 		limiter:  e.Limiter,
+		health:   e.Health,
 		scale:    scale,
 		seed:     seed,
 		wrappers: make(map[string]wrapper.Wrapper),
@@ -99,12 +112,43 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error)
 type Execution struct {
 	cat     *catalog.Catalog
 	limiter *wrapper.SourceLimiter
+	health  *wrapper.HealthRegistry
 	scale   float64
 	seed    int64
 
 	mu       sync.Mutex
 	wrappers map[string]wrapper.Wrapper
 	sims     map[string]*netsim.Simulator
+
+	// fmu guards the deferred execution error: a source failing inside a
+	// dependent-join service callback cannot surface synchronously (the
+	// stream API has no error channel), so the first such failure is parked
+	// here and consumers read it through Err once the stream drains.
+	fmu sync.Mutex
+	err error
+}
+
+// fail parks the first deferred execution error. Context cancellation is
+// not an execution error: the consumer cancelled (or timed out) and learns
+// that from its own context.
+func (x *Execution) fail(err error) {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return
+	}
+	x.fmu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.fmu.Unlock()
+}
+
+// Err returns the first deferred execution error: a source that failed
+// mid-stream inside a dependent join. Meaningful once the answer stream
+// has drained.
+func (x *Execution) Err() error {
+	x.fmu.Lock()
+	defer x.fmu.Unlock()
+	return x.err
 }
 
 func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, error) {
@@ -117,7 +161,13 @@ func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, 
 	if src == nil {
 		return nil, fmt.Errorf("core: unknown source %s", sourceID)
 	}
-	sim := netsim.NewSimulator(opts.Network, x.scale, x.seed+int64(len(x.sims)))
+	profile := opts.Network
+	if src.Model.Remote() {
+		// Remote sources cross a real network; the simulator only keeps the
+		// message accounting.
+		profile = netsim.NoDelay
+	}
+	sim := netsim.NewSimulator(profile, x.scale, x.seed+int64(len(x.sims)))
 	x.sims[sourceID] = sim
 	batch := opts.EffectiveBatchSize()
 	var w wrapper.Wrapper
@@ -128,12 +178,25 @@ func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, 
 		w = wrapper.NewSQLWrapper(src, sim, opts.Translation, batch)
 	case catalog.ModelCustom:
 		w = wrapper.NewExternalWrapper(sourceID, src.External, sim, batch)
+	case catalog.ModelSPARQLEndpoint:
+		w = wrapper.NewRemoteSPARQLWrapper(sourceID, src.Endpoint, x.healthRegistry(), sim, batch)
+	case catalog.ModelSQLDatabase:
+		w = wrapper.NewDBSQLWrapper(src, x.healthRegistry(), sim, batch)
 	default:
 		return nil, fmt.Errorf("core: source %s has unsupported model", sourceID)
 	}
 	w = wrapper.Limited(w, x.limiter)
 	x.wrappers[sourceID] = w
 	return w, nil
+}
+
+// healthRegistry returns the shared registry, creating a default one when
+// the execution was built without an executor (tests).
+func (x *Execution) healthRegistry() *wrapper.HealthRegistry {
+	if x.health == nil {
+		x.health = wrapper.NewHealthRegistry(wrapper.ResilienceConfig{})
+	}
+	return x.health
 }
 
 // SimulatedDelay sums the sampled network delay across this execution's
@@ -244,6 +307,9 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 						}
 						s, err := w.Execute(ctx, req)
 						if err != nil {
+							// The join keeps draining other blocks; park the
+							// failure so the consumer sees it after the stream.
+							x.fail(fmt.Errorf("source %s: %w", svc.SourceID, err))
 							empty := engine.NewStream(0)
 							empty.Close()
 							return empty
@@ -262,6 +328,7 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 					}
 					s, err := w.Execute(ctx, req)
 					if err != nil {
+						x.fail(fmt.Errorf("source %s: %w", svc.SourceID, err))
 						empty := engine.NewStream(0)
 						empty.Close()
 						return empty

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
@@ -156,6 +157,12 @@ type Options struct {
 	// default derived from GOMAXPROCS; 1 disables intra-operator
 	// parallelism).
 	ProbeParallelism int
+	// MeasuredLatency, when set, reports the observed per-request latency
+	// of a source (typically a remote endpoint's health EWMA inflated by
+	// its failure rate). The cost model prices service calls against a
+	// source with this measured gamma instead of the static Network
+	// profile; ok=false falls back to the profile.
+	MeasuredLatency func(sourceID string) (d time.Duration, ok bool)
 }
 
 // EffectiveBindBlockSize returns BindBlockSize with the default applied.

@@ -29,6 +29,11 @@ type BatchWriter struct {
 	buf    []sparql.Binding
 	timer  *time.Timer
 	failed bool
+	// first is the arrival time of the oldest buffered binding; timed
+	// flushes only fire once that binding has waited out the interval, so a
+	// timer armed before a size-triggered flush cannot flush the next
+	// partial batch early.
+	first time.Time
 }
 
 // NewBatchWriter returns a writer cutting batches of at most size bindings
@@ -60,6 +65,7 @@ func (w *BatchWriter) Send(b sparql.Binding) bool {
 		return w.flushLocked()
 	}
 	if len(w.buf) == 1 && w.every > 0 {
+		w.first = time.Now()
 		if w.timer == nil {
 			w.timer = time.AfterFunc(w.every, w.timedFlush)
 		} else {
@@ -72,6 +78,18 @@ func (w *BatchWriter) Send(b sparql.Binding) bool {
 func (w *BatchWriter) timedFlush() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.failed || len(w.buf) == 0 {
+		return
+	}
+	// A stale fire: the batch this timer was armed for already went out via
+	// a size-triggered flush and the buffer has since been refilled. Hold
+	// the fresh partial batch for the remainder of its own interval.
+	if wait := w.every - time.Since(w.first); wait > 0 {
+		if w.timer != nil {
+			w.timer.Reset(wait)
+		}
+		return
+	}
 	w.flushLocked()
 }
 
@@ -103,6 +121,11 @@ func (w *BatchWriter) flushLocked() bool {
 	}
 	if len(w.buf) == 0 {
 		return true
+	}
+	// The buffer empties (or the writer fails) below either way, so the
+	// pending timer no longer has a batch to flush.
+	if w.timer != nil {
+		w.timer.Stop()
 	}
 	batch := w.buf
 	w.buf = nil

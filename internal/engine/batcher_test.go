@@ -70,6 +70,78 @@ func TestBatchWriterFlushOnInterval(t *testing.T) {
 	w.Close()
 }
 
+// TestBatchWriterStaleTimerHoldsFreshBatch is the regression test for the
+// stale-timer bug: a flush timer armed for a batch that has since gone out
+// via a size-triggered flush must not flush the next partial batch almost
+// immediately — the fresh batch gets its own full interval.
+func TestBatchWriterStaleTimerHoldsFreshBatch(t *testing.T) {
+	ctx := context.Background()
+	out := NewStream(8)
+	w := NewBatchWriterInterval(ctx, out, 2, time.Hour)
+	// Fill and flush a batch on size; the timer armed by the first Send is
+	// now stale.
+	w.Send(b("x", "0"))
+	w.Send(b("x", "1"))
+	if batch := <-out.Batches(); len(batch) != 2 {
+		t.Fatalf("size flush delivered %d bindings, want 2", len(batch))
+	}
+	// Start a fresh partial batch, then simulate the stale timer firing.
+	w.Send(b("x", "2"))
+	w.timedFlush()
+	select {
+	case batch := <-out.Batches():
+		t.Fatalf("stale timed flush delivered a fresh partial batch %v", batch)
+	default:
+	}
+	w.Close()
+	out.Close()
+}
+
+// TestBatchWriterTimedFlushRearms: after a stale fire re-arms the timer,
+// the partial batch still flushes once its own interval elapses.
+func TestBatchWriterTimedFlushRearms(t *testing.T) {
+	ctx := context.Background()
+	out := NewStream(8)
+	w := NewBatchWriterInterval(ctx, out, 2, 20*time.Millisecond)
+	w.Send(b("x", "0"))
+	w.Send(b("x", "1"))
+	<-out.Batches()
+	w.Send(b("x", "2"))
+	w.timedFlush() // stale fire right after buffering: must hold and re-arm
+	select {
+	case batch := <-out.Batches():
+		t.Fatalf("stale timed flush delivered %v", batch)
+	case <-time.After(5 * time.Millisecond):
+	}
+	select {
+	case batch := <-out.Batches():
+		if len(batch) != 1 || batch[0]["x"].Value != "2" {
+			t.Fatalf("unexpected batch %v", batch)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-armed timer never flushed the partial batch")
+	}
+	w.Close()
+}
+
+// TestBatchWriterTimerStopsAfterFailure: once a flush fails (cancelled
+// context), a pending timed flush must not fire again.
+func TestBatchWriterTimerStopsAfterFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := NewStream(0) // unbuffered, nobody reading
+	w := NewBatchWriterInterval(ctx, out, 10, time.Hour)
+	w.Send(b("x", "1"))
+	cancel()
+	w.Flush() // fails: context cancelled, nobody reading
+	if !w.failed {
+		t.Fatal("flush with a cancelled context did not fail the writer")
+	}
+	w.timedFlush() // must be a no-op, not a second SendBatch attempt
+	if w.Send(b("x", "2")) {
+		t.Fatal("Send succeeded after failure")
+	}
+}
+
 func TestBatchWriterFailsAfterCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	out := NewStream(0) // unbuffered, nobody reading

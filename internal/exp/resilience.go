@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ontario"
+	"ontario/internal/server"
+	"ontario/lake"
+)
+
+// ResilienceExpConfig parameterizes the live-federation resilience
+// experiment: a front engine federates two in-process ontario-server
+// backends over real HTTP, and one backend is degraded per scenario.
+type ResilienceExpConfig struct {
+	// People is the number of person rows on the first backend; Orgs the
+	// number of organisations on the second (each person works at
+	// people%orgs). The federated join returns People answers.
+	People int
+	Orgs   int
+	// SlowDelay is the injected per-request latency of the "slow"
+	// scenario (default 25ms).
+	SlowDelay time.Duration
+	// Resilience is the front engine's policy (zero value: experiment
+	// defaults tuned for fast runs, not the production defaults).
+	Resilience ontario.Resilience
+}
+
+// ResilienceResult is one measured scenario.
+type ResilienceResult struct {
+	Scenario string `json:"scenario"`
+	// Queries is how many federated queries the scenario issued; Answers
+	// the total solutions retrieved.
+	Queries int `json:"queries"`
+	Answers int `json:"answers"`
+	// Err is the first query failure ("" when every query succeeded).
+	Err string `json:"error,omitempty"`
+	// Requests/Failures/Retries are the degraded source's health counters
+	// after the scenario; Breaker its final circuit state.
+	Requests int64  `json:"requests"`
+	Failures int64  `json:"failures"`
+	Retries  int64  `json:"retries"`
+	Breaker  string `json:"breaker"`
+	// MeasuredLatencyMS is the degraded source's observed latency EWMA.
+	MeasuredLatencyMS float64 `json:"measured_latency_ms"`
+	// FirstQueryMS is the wall time of the scenario's first query;
+	// LastQueryMS of its last (the fail-fast probe under an open
+	// breaker).
+	FirstQueryMS float64 `json:"first_query_ms"`
+	LastQueryMS  float64 `json:"last_query_ms"`
+}
+
+const (
+	benchPerson  = "http://bench/Person"
+	benchOrg     = "http://bench/Org"
+	benchWorksAt = "http://bench/worksAt"
+	benchOrgName = "http://bench/orgName"
+	rdfTypeIRI   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+)
+
+// resilienceBackend builds an in-process ontario-server node over an
+// in-memory graph.
+func resilienceBackend(sourceID string, triples []lake.Triple) (http.Handler, error) {
+	l, err := lake.NewBuilder().AddGraph(sourceID, triples).Build()
+	if err != nil {
+		return nil, err
+	}
+	return server.New(ontario.New(l), server.Config{}), nil
+}
+
+func peopleTriples(people, orgs int) []lake.Triple {
+	var ts []lake.Triple
+	for i := 0; i < people; i++ {
+		p := lake.IRI(fmt.Sprintf("http://bench/p%d", i))
+		o := lake.IRI(fmt.Sprintf("http://bench/org%d", i%orgs))
+		ts = append(ts,
+			lake.Triple{S: p, P: lake.IRI(rdfTypeIRI), O: lake.IRI(benchPerson)},
+			lake.Triple{S: p, P: lake.IRI(benchWorksAt), O: o},
+		)
+	}
+	return ts
+}
+
+func orgTriples(orgs int) []lake.Triple {
+	var ts []lake.Triple
+	for j := 0; j < orgs; j++ {
+		o := lake.IRI(fmt.Sprintf("http://bench/org%d", j))
+		ts = append(ts,
+			lake.Triple{S: o, P: lake.IRI(rdfTypeIRI), O: lake.IRI(benchOrg)},
+			lake.Triple{S: o, P: lake.IRI(benchOrgName), O: lake.Literal(fmt.Sprintf("Org %d", j))},
+		)
+	}
+	return ts
+}
+
+// federationEngine builds the front engine: both backends registered as
+// remote SPARQL endpoints with explicit molecules.
+func federationEngine(peopleURL, orgsURL string, r ontario.Resilience) (*ontario.Engine, error) {
+	l, err := lake.NewBuilder().
+		AddSPARQLEndpoint("people", peopleURL+"/sparql", lake.Molecule{
+			Class:      benchPerson,
+			Predicates: []lake.Predicate{{IRI: benchWorksAt, LinkedClass: benchOrg}},
+		}).
+		AddSPARQLEndpoint("orgs", orgsURL+"/sparql", lake.Molecule{
+			Class:      benchOrg,
+			Predicates: []lake.Predicate{{IRI: benchOrgName}},
+		}).
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return ontario.New(l, ontario.WithResilience(r)), nil
+}
+
+const resilienceQuery = `SELECT ?p ?o ?n WHERE { ?p <` + benchWorksAt + `> ?o . ?o <` + benchOrgName + `> ?n }`
+
+// RunResilience measures the live federation under four conditions: both
+// backends healthy, the orgs backend slow, the orgs backend flaky (every
+// other request is a 503), and the orgs backend down. Each scenario runs
+// three federated queries on a fresh front engine and reports the degraded
+// source's health counters — the retry work, the breaker state, and the
+// measured latency the cost model sees in place of the static profile.
+func RunResilience(ctx context.Context, cfg ResilienceExpConfig) ([]*ResilienceResult, error) {
+	if cfg.People <= 0 {
+		cfg.People = 40
+	}
+	if cfg.Orgs <= 0 {
+		cfg.Orgs = 8
+	}
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = 25 * time.Millisecond
+	}
+	if cfg.Resilience == (ontario.Resilience{}) {
+		cfg.Resilience = ontario.Resilience{
+			Timeout:          5 * time.Second,
+			MaxRetries:       3,
+			RetryBase:        2 * time.Millisecond,
+			RetryMax:         20 * time.Millisecond,
+			BreakerThreshold: 3,
+			BreakerCooldown:  time.Second,
+		}
+	}
+
+	peopleSrv, err := resilienceBackend("people-local", peopleTriples(cfg.People, cfg.Orgs))
+	if err != nil {
+		return nil, err
+	}
+	orgsSrv, err := resilienceBackend("orgs-local", orgTriples(cfg.Orgs))
+	if err != nil {
+		return nil, err
+	}
+	peopleTS := httptest.NewServer(peopleSrv)
+	defer peopleTS.Close()
+
+	// The orgs backend is served through degradable fronts, one per
+	// scenario, so each scenario sees a fresh failure pattern.
+	healthyTS := httptest.NewServer(orgsSrv)
+	defer healthyTS.Close()
+	slowTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(cfg.SlowDelay)
+		orgsSrv.ServeHTTP(w, r)
+	}))
+	defer slowTS.Close()
+	var flakyN atomic.Int64
+	flakyTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flakyN.Add(1)%2 == 1 {
+			http.Error(w, "injected outage", http.StatusServiceUnavailable)
+			return
+		}
+		orgsSrv.ServeHTTP(w, r)
+	}))
+	defer flakyTS.Close()
+	downTS := httptest.NewServer(orgsSrv)
+	downTS.Close() // connection refused from here on
+
+	scenarios := []struct {
+		name    string
+		orgsURL string
+	}{
+		{"healthy", healthyTS.URL},
+		{"slow", slowTS.URL},
+		{"flaky", flakyTS.URL},
+		{"down", downTS.URL},
+	}
+
+	const queriesPerScenario = 3
+	var out []*ResilienceResult
+	for _, sc := range scenarios {
+		eng, err := federationEngine(peopleTS.URL, sc.orgsURL, cfg.Resilience)
+		if err != nil {
+			return nil, err
+		}
+		res := &ResilienceResult{Scenario: sc.name, Queries: queriesPerScenario}
+		for q := 0; q < queriesPerScenario; q++ {
+			start := time.Now()
+			n, qerr := runFederatedQuery(ctx, eng)
+			elapsed := float64(time.Since(start)) / 1e6
+			if q == 0 {
+				res.FirstQueryMS = elapsed
+			}
+			res.LastQueryMS = elapsed
+			res.Answers += n
+			if qerr != nil && res.Err == "" {
+				res.Err = qerr.Error()
+			}
+		}
+		for _, h := range eng.SourceHealth() {
+			if h.Source != "orgs" {
+				continue
+			}
+			res.Requests = h.Requests
+			res.Failures = h.Failures
+			res.Retries = h.Retries
+			res.Breaker = h.State
+			res.MeasuredLatencyMS = float64(h.Latency) / 1e6
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runFederatedQuery(ctx context.Context, eng *ontario.Engine) (int, error) {
+	res, err := eng.Query(ctx, resilienceQuery)
+	if err != nil {
+		return 0, err
+	}
+	sols, err := res.Collect()
+	return len(sols), err
+}
+
+// WriteResilienceTable renders the scenario rows.
+func WriteResilienceTable(w io.Writer, rows []*ResilienceResult) {
+	fmt.Fprintf(w, "%-8s %7s %7s %8s %8s %7s %9s %10s %9s %9s  %s\n",
+		"scenario", "queries", "answers", "requests", "failures", "retries",
+		"breaker", "latency", "first", "last", "error")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 110))
+	for _, r := range rows {
+		errStr := r.Err
+		if len(errStr) > 48 {
+			errStr = errStr[:45] + "..."
+		}
+		fmt.Fprintf(w, "%-8s %7d %7d %8d %8d %7d %9s %8.2fms %7.1fms %7.1fms  %s\n",
+			r.Scenario, r.Queries, r.Answers, r.Requests, r.Failures, r.Retries,
+			r.Breaker, r.MeasuredLatencyMS, r.FirstQueryMS, r.LastQueryMS, errStr)
+	}
+}
+
+// WriteResilienceJSON writes the scenario rows as
+// dir/BENCH_resilience.json and returns the written path.
+func WriteResilienceJSON(dir string, rows []*ResilienceResult) (string, error) {
+	return writeJSONDoc(dir, "resilience", rows)
+}

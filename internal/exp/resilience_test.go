@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunResilience drives the full live-federation experiment end to end:
+// two in-process ontario-server nodes over real HTTP, federated by a front
+// engine through the remote SPARQL wrapper. It pins the PR's acceptance
+// behaviours: a healthy federation answers completely, a flaky backend
+// (every other request 503s) still answers completely via retries, and a
+// dead backend opens the circuit breaker and fails fast instead of
+// retrying forever.
+func TestRunResilience(t *testing.T) {
+	cfg := ResilienceExpConfig{People: 12, Orgs: 4, SlowDelay: 5 * time.Millisecond}
+	rows, err := RunResilience(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ResilienceResult{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	for _, name := range []string{"healthy", "slow", "flaky", "down"} {
+		if byName[name] == nil {
+			t.Fatalf("scenario %s missing from %+v", name, rows)
+		}
+	}
+	wantAnswers := cfg.People * 3 // three queries per scenario
+
+	healthy := byName["healthy"]
+	if healthy.Err != "" || healthy.Answers != wantAnswers {
+		t.Errorf("healthy: answers=%d err=%q, want %d answers and no error", healthy.Answers, healthy.Err, wantAnswers)
+	}
+	if healthy.Retries != 0 || healthy.Breaker != "closed" {
+		t.Errorf("healthy: retries=%d breaker=%s, want 0/closed", healthy.Retries, healthy.Breaker)
+	}
+
+	slow := byName["slow"]
+	if slow.Err != "" || slow.Answers != wantAnswers {
+		t.Errorf("slow: answers=%d err=%q, want %d answers and no error", slow.Answers, slow.Err, wantAnswers)
+	}
+	if slow.MeasuredLatencyMS < float64(cfg.SlowDelay)/float64(time.Millisecond) {
+		t.Errorf("slow: measured latency %.2fms, want >= injected %v", slow.MeasuredLatencyMS, cfg.SlowDelay)
+	}
+
+	flaky := byName["flaky"]
+	if flaky.Err != "" || flaky.Answers != wantAnswers {
+		t.Errorf("flaky: answers=%d err=%q, want %d answers and no error (retries should mask the 503s)",
+			flaky.Answers, flaky.Err, wantAnswers)
+	}
+	if flaky.Retries == 0 {
+		t.Errorf("flaky: no retries recorded despite injected 503s: %+v", flaky)
+	}
+	if flaky.Failures == 0 {
+		t.Errorf("flaky: no failures recorded despite injected 503s: %+v", flaky)
+	}
+
+	down := byName["down"]
+	if down.Err == "" || down.Answers != 0 {
+		t.Errorf("down: answers=%d err=%q, want failure with 0 answers", down.Answers, down.Err)
+	}
+	if down.Breaker != "open" {
+		t.Errorf("down: breaker=%s, want open after consecutive connection failures", down.Breaker)
+	}
+	// Under an open breaker the last query must fail fast — no per-attempt
+	// dials, no backoff sleeps.
+	if down.LastQueryMS >= down.FirstQueryMS && down.LastQueryMS > 50 {
+		t.Errorf("down: last query took %.1fms (first %.1fms), want a fast-fail under the open breaker",
+			down.LastQueryMS, down.FirstQueryMS)
+	}
+}
+
+// TestWriteResilienceJSON pins the bench artifact shape.
+func TestWriteResilienceJSON(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteResilienceJSON(dir, []*ResilienceResult{{Scenario: "healthy", Queries: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_resilience.json") {
+		t.Fatalf("path = %s", path)
+	}
+}

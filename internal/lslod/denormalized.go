@@ -107,5 +107,5 @@ func BuildDenormalizedLake(scale Scale, seed int64) (*Lake, error) {
 	dspec, extraDenied := buildDiseasomeDenormalized(data)
 	specs[DSDiseasome] = dspec
 	denied = append(denied, extraDenied...)
-	return assembleLake(data, specs, denied, nil)
+	return assembleLake(data, specs, denied, nil, nil)
 }

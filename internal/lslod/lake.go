@@ -87,7 +87,14 @@ func moleculeSpecs() []moleculeSpec {
 // setup: every dataset stored relationally (the RDF version of each LSLOD
 // dataset transformed into 3NF tables with rule-filtered indexes).
 func BuildLake(scale Scale, seed int64) (*Lake, error) {
-	return buildLake(scale, seed, nil)
+	return buildLake(scale, seed, nil, nil)
+}
+
+// BuildLakeCustom assembles the standard lake and then hands the builder
+// to customize before Build — the hook ontario-server uses to register
+// remote peer endpoints next to the local datasets.
+func BuildLakeCustom(scale Scale, seed int64, customize func(*lake.Builder)) (*Lake, error) {
+	return buildLake(scale, seed, nil, customize)
 }
 
 // BuildMixedLake keeps the named datasets in their native RDF model and the
@@ -108,20 +115,20 @@ func BuildMixedLake(scale Scale, seed int64, rdfDatasets []string) (*Lake, error
 		}
 		asRDF[ds] = true
 	}
-	return buildLake(scale, seed, asRDF)
+	return buildLake(scale, seed, asRDF, nil)
 }
 
-func buildLake(scale Scale, seed int64, asRDF map[string]bool) (*Lake, error) {
+func buildLake(scale Scale, seed int64, asRDF map[string]bool, customize func(*lake.Builder)) (*Lake, error) {
 	data := Generate(scale, seed)
 	specs, denied := relationalSpecs(data)
-	return assembleLake(data, specs, denied, asRDF)
+	return assembleLake(data, specs, denied, asRDF, customize)
 }
 
 // assembleLake drives the public lake builder: relational datasets apply
 // their table and mapping specs, RDF datasets register the materialized
 // graph, and the paper's molecule templates are declared explicitly (the
 // builder's automatic derivation merges in behind them).
-func assembleLake(data *Data, specs map[string]*datasetSpec, denied []string, asRDF map[string]bool) (*Lake, error) {
+func assembleLake(data *Data, specs map[string]*datasetSpec, denied []string, asRDF map[string]bool, customize func(*lake.Builder)) (*Lake, error) {
 	b := lake.NewBuilder()
 
 	ids := make([]string, 0, len(specs))
@@ -146,6 +153,9 @@ func assembleLake(data *Data, specs map[string]*datasetSpec, denied []string, as
 			m.Predicates = append(m.Predicates, lake.Predicate{IRI: pd.Predicate, LinkedClass: pd.LinkedClass})
 		}
 		b.AddMolecule(m)
+	}
+	if customize != nil {
+		customize(b)
 	}
 	l, err := b.Build()
 	if err != nil {

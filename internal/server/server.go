@@ -25,6 +25,8 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -139,6 +141,7 @@ func New(eng *ontario.Engine, cfg Config) *Server {
 		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/molecules", s.handleMolecules)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -251,13 +254,25 @@ func queryText(r *http.Request) (string, error) {
 	}
 }
 
+// qparam returns a request parameter from the URL query or — for
+// form-encoded POSTs, whose body queryText has already parsed — the POST
+// form. The SPARQL Protocol sends everything in the form body on POST, so
+// parameters must not silently vanish there; the URL wins when both are
+// set.
+func qparam(r *http.Request, name string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return r.PostForm.Get(name)
+}
+
 // requestOptions derives the per-query options: the server defaults, then
 // the request's mode/network/optimizer parameters. The second return value
 // is the plan-shaping fingerprint of the request, part of the plan-cache
 // key.
 func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, error) {
 	opts := append([]ontario.Option(nil), s.cfg.DefaultOptions...)
-	mode := r.URL.Query().Get("mode")
+	mode := qparam(r, "mode")
 	switch mode {
 	case "":
 	case "aware":
@@ -272,7 +287,7 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 	// ("nodelay"/"none", "Cost"/"cost") share one cache entry; the empty
 	// string means "server default", distinct from any explicit value.
 	network := ""
-	if net := r.URL.Query().Get("network"); net != "" {
+	if net := qparam(r, "network"); net != "" {
 		profile, err := ontario.ProfileByName(net)
 		if err != nil {
 			return nil, "", err
@@ -281,7 +296,7 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 		network = profile.Name
 	}
 	optimizer := ""
-	if opt := r.URL.Query().Get("optimizer"); opt != "" {
+	if opt := qparam(r, "optimizer"); opt != "" {
 		m, err := ontario.OptimizerByName(opt)
 		if err != nil {
 			return nil, "", err
@@ -314,7 +329,7 @@ func (s *Server) prepare(text, fingerprint string, opts []ontario.Option) (*onta
 // QueryTimeout, lowered (never raised) by a timeout form parameter.
 func (s *Server) queryDeadline(r *http.Request) time.Duration {
 	d := s.cfg.QueryTimeout
-	if t := r.URL.Query().Get("timeout"); t != "" {
+	if t := qparam(r, "timeout"); t != "" {
 		if req, err := time.ParseDuration(t); err == nil && req > 0 && req < d {
 			d = req
 		}
@@ -351,7 +366,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 
 	// EXPLAIN: plan (through the cache) and render without executing — no
 	// admission slot needed, planning is engine-local.
-	if explain := r.URL.Query().Get("explain"); explain == "1" || explain == "true" {
+	if explain := qparam(r, "explain"); explain == "1" || explain == "true" {
 		prep, err := s.prepare(text, fingerprint, opts)
 		if err != nil {
 			s.metrics.Inc(MetricFailed)
@@ -394,8 +409,10 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.QueryPrepared(ctx, prep, opts...)
 	if err != nil {
+		// The query was already parsed and planned — a failure here is the
+		// execution's, not the client's, so 4xx would be a lie.
 		s.metrics.Inc(MetricFailed)
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), execStatus(err))
 		return
 	}
 	defer res.Close()
@@ -403,7 +420,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	w.Header().Set("Cache-Control", "no-store")
-	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms")
+	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms, X-Ontario-Error")
 	w.WriteHeader(http.StatusOK)
 
 	enc := newResultsEncoder(w, res.Vars())
@@ -440,7 +457,16 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if writeOK {
+	// A failure after the 200 went out (a source died mid-query, the
+	// deadline expired mid-stream) can only be signalled in-band: the
+	// X-Ontario-Error trailer names it and the JSON document is left
+	// unterminated, so strict clients see a truncated body rather than a
+	// silently-short result set.
+	if err := res.Err(); err != nil {
+		s.metrics.Inc(MetricFailed)
+		w.Header().Set("X-Ontario-Error",
+			strings.ReplaceAll(strings.ReplaceAll(err.Error(), "\n", " "), "\r", " "))
+	} else if writeOK {
 		_ = enc.writeTail()
 	}
 	st := res.Stats()
@@ -455,6 +481,42 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Ontario-Answers", fmt.Sprintf("%d", st.Answers))
 	w.Header().Set("X-Ontario-Messages", fmt.Sprintf("%d", st.Messages))
 	w.Header().Set("X-Ontario-TTFA-Ms", fmt.Sprintf("%.3f", float64(st.TimeToFirstAnswer)/float64(time.Millisecond)))
+}
+
+// execStatus maps an execution failure to an HTTP status: 504 when the
+// query deadline expired, 500 otherwise. 400 is reserved for parse and
+// parameter errors, which are decided before execution starts.
+func execStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// handleMolecules advertises the lake's molecule templates so peer
+// ontario-server nodes can federate over this one (lake.DiscoverMolecules
+// consumes this document).
+func (s *Server) handleMolecules(w http.ResponseWriter, r *http.Request) {
+	type predDoc struct {
+		IRI         string `json:"iri"`
+		LinkedClass string `json:"linked_class,omitempty"`
+	}
+	type molDoc struct {
+		Class      string    `json:"class"`
+		Predicates []predDoc `json:"predicates"`
+		Sources    []string  `json:"sources,omitempty"`
+	}
+	mols := s.eng.Molecules()
+	docs := make([]molDoc, 0, len(mols))
+	for _, m := range mols {
+		d := molDoc{Class: m.Class, Sources: m.Sources, Predicates: make([]predDoc, 0, len(m.Predicates))}
+		for _, p := range m.Predicates {
+			d.Predicates = append(d.Predicates, predDoc{IRI: p.IRI, LinkedClass: p.LinkedClass})
+		}
+		docs = append(docs, d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(docs)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -473,6 +535,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE ontario_source_inflight_peak gauge\n")
 		for _, src := range sources {
 			fmt.Fprintf(w, "ontario_source_inflight_peak{source=%q} %d\n", src, lim.Peak(src))
+		}
+	}
+	if health := s.eng.SourceHealth(); len(health) > 0 {
+		fmt.Fprintf(w, "# TYPE ontario_source_breaker_open gauge\n")
+		for _, h := range health {
+			open := 0
+			if h.State != "closed" {
+				open = 1
+			}
+			fmt.Fprintf(w, "ontario_source_breaker_open{source=%q,state=%q} %d\n", h.Source, h.State, open)
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_requests_total counter\n")
+		for _, h := range health {
+			fmt.Fprintf(w, "ontario_source_requests_total{source=%q} %d\n", h.Source, h.Requests)
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_failures_total counter\n")
+		for _, h := range health {
+			fmt.Fprintf(w, "ontario_source_failures_total{source=%q} %d\n", h.Source, h.Failures)
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_retries_total counter\n")
+		for _, h := range health {
+			fmt.Fprintf(w, "ontario_source_retries_total{source=%q} %d\n", h.Source, h.Retries)
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_failure_rate gauge\n")
+		for _, h := range health {
+			fmt.Fprintf(w, "ontario_source_failure_rate{source=%q} %g\n", h.Source, h.FailureRate)
+		}
+		fmt.Fprintf(w, "# TYPE ontario_source_latency_ms gauge\n")
+		for _, h := range health {
+			fmt.Fprintf(w, "ontario_source_latency_ms{source=%q} %.3f\n",
+				h.Source, float64(h.Latency)/float64(time.Millisecond))
 		}
 	}
 	_ = s.metrics.WritePrometheus(w)

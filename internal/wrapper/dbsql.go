@@ -1,0 +1,213 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"ontario/internal/catalog"
+	"ontario/internal/engine"
+	"ontario/internal/netsim"
+	"ontario/internal/rdb"
+	"ontario/internal/sparql"
+	"ontario/internal/sql"
+)
+
+// DBSQLWrapper answers star queries against a live relational database
+// through database/sql, reusing the SPARQL-to-SQL translation: the
+// catalog source carries the schema in its (row-less) rdb database for
+// the translation to plan against, and the generated SQL text executes on
+// the wrapped connection. Requests run under the shared resilience layer;
+// rows are fully materialized per attempt so retries never replay a
+// half-read result set.
+type DBSQLWrapper struct {
+	src    *catalog.Source
+	health *HealthRegistry
+	sim    *netsim.Simulator
+	batch  int
+}
+
+// NewDBSQLWrapper wraps a ModelSQLDatabase source. health must be
+// non-nil; sim may carry a message-accounting simulator; batch <= 0 means
+// the engine default.
+func NewDBSQLWrapper(src *catalog.Source, health *HealthRegistry, sim *netsim.Simulator, batch int) *DBSQLWrapper {
+	return &DBSQLWrapper{src: src, health: health, sim: sim, batch: batch}
+}
+
+// SourceID implements Wrapper.
+func (w *DBSQLWrapper) SourceID() string { return w.src.ID }
+
+// Execute implements Wrapper.
+func (w *DBSQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	if len(req.Stars) == 0 {
+		return nil, fmt.Errorf("wrapper %s: empty request", w.src.ID)
+	}
+	stars := req.Stars
+	if len(req.Seeds) == 0 && len(req.Seed) > 0 {
+		seeded := make([]*StarQuery, len(stars))
+		for i, s := range stars {
+			seeded[i] = &StarQuery{
+				SubjectVar: s.SubjectVar,
+				Class:      s.Class,
+				Patterns:   substituteSeed(s.Patterns, req.Seed),
+			}
+		}
+		stars = seeded
+	}
+	tl, err := translateRequest(w.src, stars, req.Filters)
+	if err != nil {
+		return nil, err
+	}
+	if tl.empty {
+		return streamBlock(ctx, w.sim, nil, w.batch), nil
+	}
+	if len(req.Seeds) > 0 {
+		seedCond, provablyEmpty := tl.seedPredicate(req.Seeds)
+		if provablyEmpty {
+			return streamBlock(ctx, w.sim, nil, w.batch), nil
+		}
+		if seedCond != nil {
+			if tl.sel.Where == nil {
+				tl.sel.Where = seedCond
+			} else {
+				tl.sel.Where = &sql.And{L: tl.sel.Where, R: seedCond}
+			}
+		}
+	}
+	rows, err := w.query(ctx, tl)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: %w", w.src.ID, err)
+	}
+	var sols []sparql.Binding
+	for _, row := range rows {
+		b, ok := tl.decodeRow(row)
+		if !ok {
+			continue
+		}
+		if !matchesAnySeed(b, req.Seeds) {
+			continue
+		}
+		if !passes(withSeed(b, req.Seed), tl.localFilters) {
+			continue
+		}
+		sols = append(sols, b)
+	}
+	if len(req.Seeds) > 0 {
+		return streamBlock(ctx, w.sim, sols, w.batch), nil
+	}
+	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
+}
+
+// query runs the translated SELECT on the live connection under the
+// resilience policy and materializes the rows in translation column order.
+func (w *DBSQLWrapper) query(ctx context.Context, tl *translation) ([]rdb.Row, error) {
+	stmt := tl.sel.String()
+	var out []rdb.Row
+	err := w.health.Do(ctx, w.src.ID, func(actx context.Context) error {
+		rows, err := w.src.SQLDB.QueryContext(actx, stmt)
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		cols, err := rows.Columns()
+		if err != nil {
+			return err
+		}
+		if len(cols) < len(tl.varOrder) {
+			return Permanent(fmt.Errorf("result has %d columns, translation expects %d", len(cols), len(tl.varOrder)))
+		}
+		var got []rdb.Row
+		for rows.Next() {
+			raw := make([]any, len(cols))
+			ptrs := make([]any, len(cols))
+			for i := range raw {
+				ptrs[i] = &raw[i]
+			}
+			if err := rows.Scan(ptrs...); err != nil {
+				return err
+			}
+			row := make(rdb.Row, len(tl.varOrder))
+			for i, v := range tl.varOrder {
+				val, cerr := sqlValueToRDB(raw[i], tl.varCols[v].typ)
+				if cerr != nil {
+					return Permanent(fmt.Errorf("column %s: %w", cols[i], cerr))
+				}
+				row[i] = val
+			}
+			got = append(got, row)
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		out = got
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sqlValueToRDB converts one driver value into the rdb value of the
+// declared column type.
+func sqlValueToRDB(v any, typ rdb.Type) (rdb.Value, error) {
+	if v == nil {
+		return rdb.NullValue(typ), nil
+	}
+	if b, ok := v.([]byte); ok {
+		v = string(b)
+	}
+	switch typ {
+	case rdb.TypeInt:
+		switch x := v.(type) {
+		case int64:
+			return rdb.IntValue(x), nil
+		case float64:
+			return rdb.IntValue(int64(x)), nil
+		case string:
+			n, err := strconv.ParseInt(x, 10, 64)
+			if err != nil {
+				return rdb.Value{}, fmt.Errorf("cannot read %q as integer", x)
+			}
+			return rdb.IntValue(n), nil
+		}
+	case rdb.TypeFloat:
+		switch x := v.(type) {
+		case float64:
+			return rdb.FloatValue(x), nil
+		case int64:
+			return rdb.FloatValue(float64(x)), nil
+		case string:
+			f, err := strconv.ParseFloat(x, 64)
+			if err != nil {
+				return rdb.Value{}, fmt.Errorf("cannot read %q as double", x)
+			}
+			return rdb.FloatValue(f), nil
+		}
+	case rdb.TypeString:
+		switch x := v.(type) {
+		case string:
+			return rdb.StringValue(x), nil
+		case int64:
+			return rdb.StringValue(strconv.FormatInt(x, 10)), nil
+		case float64:
+			return rdb.StringValue(strconv.FormatFloat(x, 'g', -1, 64)), nil
+		case bool:
+			return rdb.StringValue(strconv.FormatBool(x)), nil
+		}
+	case rdb.TypeBool:
+		switch x := v.(type) {
+		case bool:
+			return rdb.BoolValue(x), nil
+		case int64:
+			return rdb.BoolValue(x != 0), nil
+		case string:
+			b, err := strconv.ParseBool(x)
+			if err != nil {
+				return rdb.Value{}, fmt.Errorf("cannot read %q as boolean", x)
+			}
+			return rdb.BoolValue(b), nil
+		}
+	}
+	return rdb.Value{}, fmt.Errorf("unsupported driver value %T for %s column", v, typ)
+}

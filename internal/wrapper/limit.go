@@ -123,12 +123,22 @@ type limitedWrapper struct {
 // SourceID implements Wrapper.
 func (w *limitedWrapper) SourceID() string { return w.inner.SourceID() }
 
+// relayBacklogCap bounds how many batches the limiter's relay buffers on
+// behalf of a slow consumer. Below the cap the relay absorbs batches so a
+// dependent join waiting on another request to the same source cannot
+// deadlock the limiter; at the cap it blocks on the consumer instead of
+// buffering the rest of the response in memory.
+const relayBacklogCap = 64
+
 // Execute implements Wrapper. The slot is held while the source produces
 // the response — from invocation until the inner stream closes (all
-// simulated response messages transferred) — but never while blocked on
-// the downstream consumer: a response the consumer is slow to read is
-// buffered locally so that a dependent join waiting on another request to
-// the same source cannot deadlock the limiter.
+// simulated response messages transferred) — but not while blocked on the
+// downstream consumer for a modest response: up to relayBacklogCap batches
+// the consumer is slow to read are buffered locally (and opportunistically
+// drained between receives), so a dependent join waiting on another
+// request to the same source cannot deadlock the limiter. Past the cap the
+// relay applies backpressure to the source instead of buffering the whole
+// response.
 func (w *limitedWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
 	id := w.inner.SourceID()
 	if err := w.lim.Acquire(ctx, id); err != nil {
@@ -142,15 +152,38 @@ func (w *limitedWrapper) Execute(ctx context.Context, req *Request) (*engine.Str
 	out := engine.NewStream(4)
 	go func() {
 		defer out.Close()
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				w.lim.Release(id)
+			}
+		}
+		defer release()
 		var backlog [][]sparql.Binding
 		for batch := range in.Batches() {
-			// Preserve order: only bypass the backlog when it is empty.
+			// Drain whatever the consumer will take before growing the
+			// backlog; order is preserved because the backlog always goes
+			// first.
+			for len(backlog) > 0 && out.TrySendBatch(backlog[0]) {
+				backlog[0] = nil
+				backlog = backlog[1:]
+			}
 			if len(backlog) == 0 && out.TrySendBatch(batch) {
 				continue
 			}
+			if len(backlog) >= relayBacklogCap {
+				// Bounded: block on the consumer (or cancellation) until a
+				// slot frees instead of buffering without limit.
+				if !out.SendBatch(ctx, backlog[0]) {
+					return
+				}
+				backlog[0] = nil
+				backlog = backlog[1:]
+			}
 			backlog = append(backlog, batch)
 		}
-		w.lim.Release(id)
+		release()
 		for _, batch := range backlog {
 			if !out.SendBatch(ctx, batch) {
 				// SendBatch only fails on cancellation; the inner producer

@@ -148,3 +148,60 @@ func TestLimitedReleasesOnConsumerCancellation(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// fountainWrapper produces n single-binding batches as fast as the
+// consumer will take them, counting how many it managed to hand over.
+type fountainWrapper struct {
+	id   string
+	n    int
+	sent atomic.Int32
+}
+
+func (w *fountainWrapper) SourceID() string { return w.id }
+
+func (w *fountainWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	out := engine.NewStream(0)
+	go func() {
+		defer out.Close()
+		for i := 0; i < w.n; i++ {
+			if !out.SendBatch(ctx, []sparql.Binding{sparql.NewBinding()}) {
+				return
+			}
+			w.sent.Add(1)
+		}
+	}()
+	return out, nil
+}
+
+// TestLimitedBacklogBounded is the regression test for the unbounded relay
+// backlog: with a consumer that reads nothing, the relay must stop pulling
+// from the source once its bounded backlog fills instead of buffering the
+// whole response in memory.
+func TestLimitedBacklogBounded(t *testing.T) {
+	const total = relayBacklogCap * 20
+	inner := &fountainWrapper{id: "src", n: total}
+	w := Limited(inner, NewSourceLimiter(1))
+	out, err := w.Execute(context.Background(), &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody reads out yet: wait until the relay has absorbed what it will.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && int(inner.sent.Load()) < relayBacklogCap {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // would-be runaway time
+	// Bound: the backlog cap plus the relay stream's small buffer and the
+	// batches in hand.
+	if got := int(inner.sent.Load()); got > relayBacklogCap+8 {
+		t.Fatalf("relay buffered %d batches with an idle consumer (cap %d)", got, relayBacklogCap)
+	}
+	// Once the consumer starts reading, the full response still arrives.
+	got := 0
+	for range out.Batches() {
+		got++
+	}
+	if got != total {
+		t.Fatalf("consumer received %d batches, want %d", got, total)
+	}
+}

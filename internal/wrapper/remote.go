@@ -1,0 +1,245 @@
+package wrapper
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"ontario/internal/engine"
+	"ontario/internal/netsim"
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+)
+
+// RemoteSPARQLWrapper answers star queries against a live SPARQL-protocol
+// endpoint over HTTP — typically another ontario-server node, but any
+// endpoint speaking POST application/sparql-query with
+// application/sparql-results+json answers works. Star patterns, pushed
+// filters, and bind-join seed blocks are compiled back to SPARQL text; the
+// request runs under the shared resilience layer (per-attempt timeout,
+// retries, circuit breaker), and the response is fully materialized before
+// streaming so a retry never replays a half-consumed stream.
+type RemoteSPARQLWrapper struct {
+	id       string
+	endpoint string
+	client   *http.Client
+	health   *HealthRegistry
+	sim      *netsim.Simulator
+	batch    int
+}
+
+// NewRemoteSPARQLWrapper wraps the SPARQL endpoint at endpoint (the full
+// query URL, e.g. http://host:port/sparql). health must be non-nil: remote
+// sources always run under a resilience policy. sim may carry a simulator
+// for message accounting (typically netsim.NoDelay: the real network
+// provides the latency); batch <= 0 means the engine default.
+func NewRemoteSPARQLWrapper(id, endpoint string, health *HealthRegistry, sim *netsim.Simulator, batch int) *RemoteSPARQLWrapper {
+	return &RemoteSPARQLWrapper{
+		id:       id,
+		endpoint: endpoint,
+		client:   &http.Client{},
+		health:   health,
+		sim:      sim,
+		batch:    batch,
+	}
+}
+
+// SourceID implements Wrapper.
+func (w *RemoteSPARQLWrapper) SourceID() string { return w.id }
+
+// Endpoint returns the wrapped query URL.
+func (w *RemoteSPARQLWrapper) Endpoint() string { return w.endpoint }
+
+// Execute implements Wrapper.
+func (w *RemoteSPARQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
+	if len(req.Stars) == 0 {
+		return nil, fmt.Errorf("wrapper %s: empty request", w.id)
+	}
+	query := buildRemoteQuery(req)
+	var sols []sparql.Binding
+	err := w.health.Do(ctx, w.id, func(actx context.Context) error {
+		got, ferr := w.fetch(actx, query)
+		if ferr != nil {
+			return ferr
+		}
+		sols = got
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wrapper %s: endpoint %s: %w", w.id, w.endpoint, err)
+	}
+	if len(req.Seeds) > 0 {
+		// The seed block went down as a FILTER disjunction; re-check locally
+		// so a permissive endpoint cannot widen the join.
+		kept := sols[:0]
+		for _, b := range sols {
+			if matchesAnySeed(b, req.Seeds) {
+				kept = append(kept, b)
+			}
+		}
+		return streamBlock(ctx, w.sim, kept, w.batch), nil
+	}
+	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
+}
+
+// buildRemoteQuery compiles the request back to SPARQL text. A single
+// bind-join seed is substituted into the patterns as constants; a
+// multi-seed block becomes a FILTER disjunction of per-seed equality
+// conjunctions (the grammar subset has no VALUES), with the solutions
+// binding the seeded variables themselves — exactly the block-bind
+// contract the in-process wrappers implement.
+func buildRemoteQuery(req *Request) string {
+	var patterns []sparql.TriplePattern
+	for _, s := range req.Stars {
+		patterns = append(patterns, s.Patterns...)
+	}
+	patterns = substituteSeed(patterns, req.Seed)
+	var b strings.Builder
+	b.WriteString("SELECT * WHERE {")
+	for _, tp := range patterns {
+		b.WriteString(" ")
+		b.WriteString(tp.String())
+		b.WriteString(" .")
+	}
+	for _, f := range req.Filters {
+		b.WriteString(" FILTER(")
+		b.WriteString(f.String())
+		b.WriteString(")")
+	}
+	if cond := seedsFilter(req.Seeds, patterns); cond != "" {
+		b.WriteString(" FILTER(")
+		b.WriteString(cond)
+		b.WriteString(")")
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// seedsFilter renders the block's seeds as a disjunction of equality
+// conjunctions over the seeded variables that actually occur in the
+// patterns (a seed variable the star never mentions cannot constrain it).
+func seedsFilter(seeds []sparql.Binding, patterns []sparql.TriplePattern) string {
+	if len(seeds) == 0 {
+		return ""
+	}
+	used := map[string]bool{}
+	for _, tp := range patterns {
+		for _, v := range tp.Vars() {
+			used[v] = true
+		}
+	}
+	var alts []string
+	for _, seed := range seeds {
+		vars := make([]string, 0, len(seed))
+		for v := range seed {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars) // deterministic text keys the upstream plan cache
+		var conj []string
+		for _, v := range vars {
+			if used[v] {
+				conj = append(conj, "?"+v+" = "+seed[v].String())
+			}
+		}
+		if len(conj) == 0 {
+			// One unconstrained seed makes the whole block unconstrained.
+			return ""
+		}
+		alts = append(alts, "("+strings.Join(conj, " && ")+")")
+	}
+	return strings.Join(alts, " || ")
+}
+
+// remoteTerm is one RDF term of the SPARQL results-JSON wire format.
+type remoteTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype"`
+	Lang     string `json:"xml:lang"`
+}
+
+func (t remoteTerm) term() rdf.Term {
+	switch t.Type {
+	case "uri":
+		return rdf.NewIRI(t.Value)
+	case "bnode":
+		return rdf.NewBlank(t.Value)
+	default:
+		switch {
+		case t.Lang != "":
+			return rdf.NewLangLiteral(t.Value, t.Lang)
+		case t.Datatype != "":
+			return rdf.NewTypedLiteral(t.Value, t.Datatype)
+		default:
+			return rdf.NewLiteral(t.Value)
+		}
+	}
+}
+
+// maxErrorBody bounds how much of an error response is read into the error
+// message.
+const maxErrorBody = 4 << 10
+
+// fetch runs one attempt: POST the query, read and decode the full result
+// document. A truncated body (an upstream node that died mid-stream writes
+// a valid-looking prefix with no closing braces) surfaces as a JSON decode
+// error, and an ontario-server upstream that failed mid-stream announces it
+// in the X-Ontario-Error trailer — both are retryable.
+func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string) ([]sparql.Binding, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.endpoint, strings.NewReader(query))
+	if err != nil {
+		return nil, Permanent(err)
+	}
+	hreq.Header.Set("Content-Type", "application/sparql-query")
+	hreq.Header.Set("Accept", "application/sparql-results+json")
+	resp, err := w.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		err := fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+			resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
+			// The request itself is wrong (parse error, bad parameter):
+			// retrying the same text cannot help.
+			return nil, Permanent(err)
+		}
+		return nil, err
+	}
+	var doc struct {
+		Results struct {
+			Bindings []map[string]remoteTerm `json:"bindings"`
+		} `json:"results"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding results: %w", err)
+	}
+	// Trailers are only populated once the body has been fully read.
+	io.Copy(io.Discard, resp.Body)
+	if msg := resp.Trailer.Get("X-Ontario-Error"); msg != "" {
+		return nil, fmt.Errorf("upstream failed mid-stream: %s", msg)
+	}
+	sols := make([]sparql.Binding, 0, len(doc.Results.Bindings))
+	for _, row := range doc.Results.Bindings {
+		b := make(sparql.Binding, len(row))
+		for v, t := range row {
+			b[v] = t.term()
+		}
+		sols = append(sols, b)
+	}
+	return sols, nil
+}
+
+// NoDelaySim returns a simulator that accounts request/response messages
+// without sleeping — the profile remote wrappers use, where the real
+// network provides the latency.
+func NoDelaySim(seed int64) *netsim.Simulator {
+	return netsim.NewSimulator(netsim.NoDelay, 0, seed)
+}

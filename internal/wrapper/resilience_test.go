@@ -1,0 +1,274 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastResilience() ResilienceConfig {
+	return ResilienceConfig{
+		Timeout:          time.Second,
+		MaxRetries:       3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         4 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+		Seed:             7,
+	}
+}
+
+func TestDoRetriesTransientFailure(t *testing.T) {
+	h := NewHealthRegistry(fastResilience())
+	var calls int32
+	err := h.Do(context.Background(), "s", func(ctx context.Context) error {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			return errors.New("503")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success after retries", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d sources, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Requests != 3 || s.Failures != 2 || s.Retries != 2 {
+		t.Fatalf("health = %+v, want 3 requests / 2 failures / 2 retries", s)
+	}
+	if s.State != BreakerClosed || s.ConsecutiveFailures != 0 {
+		t.Fatalf("health after success = %+v, want closed breaker, streak 0", s)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	h := NewHealthRegistry(fastResilience())
+	var calls int32
+	boom := errors.New("400 bad request")
+	err := h.Do(context.Background(), "s", func(ctx context.Context) error {
+		atomic.AddInt32(&calls, 1)
+		return Permanent(boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want wrapped %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried: op ran %d times", calls)
+	}
+}
+
+func TestDoGivesUpAfterMaxRetries(t *testing.T) {
+	cfg := fastResilience()
+	cfg.BreakerThreshold = -1 // don't let the circuit cut the retry loop short
+	h := NewHealthRegistry(cfg)
+	var calls int32
+	err := h.Do(context.Background(), "s", func(ctx context.Context) error {
+		atomic.AddInt32(&calls, 1)
+		return errors.New("down")
+	})
+	if err == nil || err.Error() != "down" {
+		t.Fatalf("Do = %v, want the op's error", err)
+	}
+	if calls != 4 { // 1 initial + MaxRetries
+		t.Fatalf("op ran %d times, want 4", calls)
+	}
+}
+
+func TestDoParentCancellationNotCountedAgainstSource(t *testing.T) {
+	h := NewHealthRegistry(fastResilience())
+	ctx, cancel := context.WithCancel(context.Background())
+	err := h.Do(ctx, "s", func(c context.Context) error {
+		cancel()
+		return c.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 1 || snap[0].Failures != 0 {
+		t.Fatalf("parent cancellation recorded as source failure: %+v", snap)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	cfg := fastResilience()
+	cfg.Timeout = 5 * time.Millisecond
+	cfg.MaxRetries = 1
+	h := NewHealthRegistry(cfg)
+	var calls int32
+	err := h.Do(context.Background(), "s", func(ctx context.Context) error {
+		atomic.AddInt32(&calls, 1)
+		<-ctx.Done() // a hung endpoint: blocks until the attempt deadline
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+	if calls != 2 {
+		t.Fatalf("op ran %d times, want 2 (timeouts are retryable)", calls)
+	}
+}
+
+func TestBreakerOpensAndFailsFast(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxRetries = -1 // no retries: each Do is one attempt
+	h := NewHealthRegistry(cfg)
+	down := errors.New("connection refused")
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		if err := h.Do(context.Background(), "s", func(ctx context.Context) error { return down }); !errors.Is(err, down) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if st := h.State("s"); st != BreakerOpen {
+		t.Fatalf("state after %d consecutive failures = %v, want open", cfg.BreakerThreshold, st)
+	}
+	var calls int32
+	err := h.Do(context.Background(), "s", func(ctx context.Context) error {
+		atomic.AddInt32(&calls, 1)
+		return nil
+	})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do with open breaker = %v, want ErrCircuitOpen", err)
+	}
+	if calls != 0 {
+		t.Fatal("open breaker still contacted the source")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxRetries = -1 // no retries: each Do is one attempt
+	h := NewHealthRegistry(cfg)
+	down := errors.New("down")
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		h.Do(context.Background(), "s", func(ctx context.Context) error { return down })
+	}
+	if st := h.State("s"); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	// First request after the cooldown is the half-open probe; it succeeds
+	// and closes the circuit.
+	if err := h.Do(context.Background(), "s", func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatalf("half-open probe = %v, want success", err)
+	}
+	if st := h.State("s"); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxRetries = -1 // no retries: each Do is one attempt
+	h := NewHealthRegistry(cfg)
+	down := errors.New("down")
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		h.Do(context.Background(), "s", func(ctx context.Context) error { return down })
+	}
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	if err := h.Do(context.Background(), "s", func(ctx context.Context) error { return down }); !errors.Is(err, down) {
+		t.Fatalf("probe = %v", err)
+	}
+	if st := h.State("s"); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open again", st)
+	}
+	// And the fresh cooldown applies: immediate requests fail fast.
+	if err := h.Do(context.Background(), "s", func(ctx context.Context) error { return nil }); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do right after reopen = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestMeasuredLatencyReflectsFailureRate(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxRetries = -1       // no retries: each Do is one attempt
+	cfg.BreakerThreshold = -1 // keep the circuit out of the way
+	h := NewHealthRegistry(cfg)
+	if _, ok := h.MeasuredLatency("s"); ok {
+		t.Fatal("MeasuredLatency reported ok before any observation")
+	}
+	// One success and one failure: the effective latency doubles.
+	h.recordSuccess("s", 10*time.Millisecond)
+	base, ok := h.MeasuredLatency("s")
+	if !ok || base <= 0 {
+		t.Fatalf("MeasuredLatency = %v, %v", base, ok)
+	}
+	h.recordFailure("s", errors.New("503"))
+	inflated, ok := h.MeasuredLatency("s")
+	if !ok {
+		t.Fatal("MeasuredLatency lost its observation")
+	}
+	if inflated < 2*base-time.Millisecond {
+		t.Fatalf("latency with 50%% failures = %v, want ~2x the base %v", inflated, base)
+	}
+}
+
+// TestHealthRegistryConcurrent exercises the registry from many goroutines
+// under -race: mixed successes and failures against several sources while
+// snapshots and latency reads run concurrently.
+func TestHealthRegistryConcurrent(t *testing.T) {
+	cfg := fastResilience()
+	cfg.RetryBase = 100 * time.Microsecond
+	h := NewHealthRegistry(cfg)
+	sources := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := sources[i%len(sources)]
+			for j := 0; j < 50; j++ {
+				h.Do(context.Background(), src, func(ctx context.Context) error {
+					if (i+j)%3 == 0 {
+						return errors.New("flaky")
+					}
+					return nil
+				})
+				h.MeasuredLatency(src)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	snap := h.Snapshot()
+	if len(snap) != len(sources) {
+		t.Fatalf("snapshot has %d sources, want %d", len(snap), len(sources))
+	}
+	var reqs int64
+	for _, s := range snap {
+		reqs += s.Requests
+	}
+	if reqs == 0 {
+		t.Fatal("no requests recorded")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package lake
 
 import (
+	dbsql "database/sql"
 	"fmt"
 	"io"
 	"sort"
@@ -140,22 +141,26 @@ type ClassMapping struct {
 // Builder assembles a Lake. Methods record declarations and defer all
 // validation to Build, so they chain without per-call error handling.
 type Builder struct {
-	order    []string // source IDs in registration order
-	graphs   map[string]*rdf.Graph
-	tables   map[string][]TableSpec
-	mappings map[string][]ClassMapping
-	customs  map[string]Source
-	explicit []Molecule
-	errs     []error
+	order     []string // source IDs in registration order
+	graphs    map[string]*rdf.Graph
+	tables    map[string][]TableSpec
+	mappings  map[string][]ClassMapping
+	customs   map[string]Source
+	endpoints map[string]string    // remote SPARQL endpoints by source ID
+	sqldbs    map[string]*dbsql.DB // live connections backing relational sources
+	explicit  []Molecule
+	errs      []error
 }
 
 // NewBuilder returns an empty lake builder.
 func NewBuilder() *Builder {
 	return &Builder{
-		graphs:   make(map[string]*rdf.Graph),
-		tables:   make(map[string][]TableSpec),
-		mappings: make(map[string][]ClassMapping),
-		customs:  make(map[string]Source),
+		graphs:    make(map[string]*rdf.Graph),
+		tables:    make(map[string][]TableSpec),
+		mappings:  make(map[string][]ClassMapping),
+		customs:   make(map[string]Source),
+		endpoints: make(map[string]string),
+		sqldbs:    make(map[string]*dbsql.DB),
 	}
 }
 
@@ -174,12 +179,13 @@ func (b *Builder) track(id string, kind string) bool {
 	_, g := b.graphs[id]
 	_, t := b.tables[id]
 	_, c := b.customs[id]
-	if !g && !t && !c {
+	_, e := b.endpoints[id]
+	if !g && !t && !c && !e {
 		b.order = append(b.order, id)
 		return true
 	}
 	switch {
-	case g && kind != "graph", t && kind != "relational", c && kind != "custom":
+	case g && kind != "graph", t && kind != "relational", c && kind != "custom", e && kind != "sparql-endpoint":
 		b.errf("lake: source %s registered as more than one kind", id)
 		return false
 	}
@@ -315,6 +321,9 @@ func (b *Builder) buildSource(id string) (*catalog.Source, error) {
 	if s, ok := b.customs[id]; ok {
 		return &catalog.Source{ID: id, Model: catalog.ModelCustom, External: externalAdapter{src: s}}, nil
 	}
+	if url, ok := b.endpoints[id]; ok {
+		return &catalog.Source{ID: id, Model: catalog.ModelSPARQLEndpoint, Endpoint: url}, nil
+	}
 	specs := b.tables[id]
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("lake: relational source %s has mappings but no tables", id)
@@ -335,6 +344,12 @@ func (b *Builder) buildSource(id string) (*catalog.Source, error) {
 			return nil, fmt.Errorf("lake: source %s maps class %s twice", id, cm.Class)
 		}
 		mappings[cm.Class] = converted
+	}
+	if conn, ok := b.sqldbs[id]; ok {
+		// A live connection executes the generated SQL; the rdb database
+		// carries only the schema for the translation (declared rows, if
+		// any, are planning stand-ins and never queried).
+		return &catalog.Source{ID: id, Model: catalog.ModelSQLDatabase, DB: db, SQLDB: conn, Mappings: mappings}, nil
 	}
 	return &catalog.Source{ID: id, Model: catalog.ModelRelational, DB: db, Mappings: mappings}, nil
 }
@@ -472,6 +487,12 @@ func moleculeToMT(m Molecule) *catalog.RDFMT {
 // class mappings for relational sources, from rdf:type assertions for
 // graphs, and from the Molecules method for custom backends.
 func (b *Builder) deriveMolecules(id string, cat *catalog.Catalog) []Molecule {
+	if _, ok := b.endpoints[id]; ok {
+		// Remote endpoints describe themselves through the molecules passed
+		// to AddSPARQLEndpoint (or discovered via DiscoverMolecules); there
+		// is nothing local to derive from.
+		return nil
+	}
 	if s, ok := b.customs[id]; ok {
 		var out []Molecule
 		for _, m := range s.Molecules() {

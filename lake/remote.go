@@ -1,0 +1,100 @@
+package lake
+
+import (
+	"context"
+	dbsql "database/sql"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// AddSPARQLEndpoint registers a live remote SPARQL-protocol endpoint —
+// typically another ontario-server node — as a federation source. url is
+// the query URL (e.g. "http://host:1234/sparql"); molecules describe the
+// classes the endpoint answers (their Sources field is overridden with
+// sourceID). Obtain them from DiscoverMolecules when the endpoint is an
+// ontario-server, or declare them by hand. Remote sources run under the
+// engine's resilience policy (ontario.WithResilience).
+func (b *Builder) AddSPARQLEndpoint(sourceID, url string, molecules ...Molecule) *Builder {
+	if !b.track(sourceID, "sparql-endpoint") {
+		return b
+	}
+	if url == "" {
+		return b.errf("lake: endpoint source %s has empty URL", sourceID)
+	}
+	if prev, ok := b.endpoints[sourceID]; ok && prev != url {
+		return b.errf("lake: endpoint source %s registered with two URLs", sourceID)
+	}
+	b.endpoints[sourceID] = url
+	for _, m := range molecules {
+		m.Sources = []string{sourceID}
+		b.explicit = append(b.explicit, m)
+	}
+	return b
+}
+
+// AddSQLDatabase backs the relational source sourceID with a live
+// database/sql connection: the tables declared with AddTable provide the
+// schema the SPARQL-to-SQL translation plans against (their Rows are
+// ignored), MapClass provides the mappings, and the generated SQL executes
+// on db under the engine's resilience policy.
+func (b *Builder) AddSQLDatabase(sourceID string, db *dbsql.DB) *Builder {
+	if !b.track(sourceID, "relational") {
+		return b
+	}
+	if db == nil {
+		return b.errf("lake: AddSQLDatabase(%s, nil)", sourceID)
+	}
+	if _, dup := b.sqldbs[sourceID]; dup {
+		return b.errf("lake: source %s given two connections", sourceID)
+	}
+	b.sqldbs[sourceID] = db
+	return b
+}
+
+// moleculeDoc is the JSON shape of one molecule on an ontario-server's
+// /molecules endpoint.
+type moleculeDoc struct {
+	Class      string `json:"class"`
+	Predicates []struct {
+		IRI         string `json:"iri"`
+		LinkedClass string `json:"linked_class,omitempty"`
+	} `json:"predicates"`
+	Sources []string `json:"sources,omitempty"`
+}
+
+// DiscoverMolecules fetches the molecule templates an ontario-server node
+// advertises on its /molecules endpoint. baseURL is the server root (e.g.
+// "http://host:1234"); pass the result to AddSPARQLEndpoint.
+func DiscoverMolecules(ctx context.Context, baseURL string) ([]Molecule, error) {
+	url := strings.TrimRight(baseURL, "/") + "/molecules"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lake: discovering molecules: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("lake: discovering molecules: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("lake: discovering molecules: %s returned HTTP %d: %s",
+			url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var docs []moleculeDoc
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		return nil, fmt.Errorf("lake: decoding molecules from %s: %w", url, err)
+	}
+	out := make([]Molecule, 0, len(docs))
+	for _, d := range docs {
+		m := Molecule{Class: d.Class, Sources: append([]string(nil), d.Sources...)}
+		for _, p := range d.Predicates {
+			m.Predicates = append(m.Predicates, Predicate{IRI: p.IRI, LinkedClass: p.LinkedClass})
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

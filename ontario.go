@@ -113,6 +113,7 @@ func Blank(label string) Term { return lake.Blank(label) }
 // flight at once.
 type Engine struct {
 	inner *core.Engine
+	lake  *lake.Lake
 }
 
 // EngineOption configures the engine itself (as opposed to Option, which
@@ -135,7 +136,7 @@ func New(l *lake.Lake, opts ...EngineOption) *Engine {
 	if cat == nil {
 		panic("ontario: New requires a lake built with lake.NewBuilder")
 	}
-	e := &Engine{inner: core.NewEngine(cat)}
+	e := &Engine{inner: core.NewEngine(cat), lake: l}
 	for _, o := range opts {
 		o(e)
 	}
@@ -179,11 +180,22 @@ func (e *Engine) Query(ctx context.Context, queryText string, options ...Option)
 		return nil, err
 	}
 	cfg := newConfig(options)
-	plan, err := e.inner.Planner.Plan(q, cfg.resolve())
+	plan, err := e.inner.Planner.Plan(q, e.planOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
 	return e.start(ctx, plan, cfg)
+}
+
+// planOptions resolves the query options and wires in the engine's health
+// registry, so the cost model prices remote sources by their measured
+// latency and failure rate instead of the static network profile.
+func (e *Engine) planOptions(cfg config) core.Options {
+	opts := cfg.resolve()
+	if h := e.inner.Executor.Health; h != nil {
+		opts.MeasuredLatency = h.MeasuredLatency
+	}
+	return opts
 }
 
 func (e *Engine) start(ctx context.Context, plan *core.Plan, cfg config) (*Results, error) {
@@ -222,7 +234,7 @@ func (e *Engine) Prepare(queryText string, options ...Option) (*Prepared, error)
 		return nil, err
 	}
 	cfg := newConfig(options)
-	plan, err := e.inner.Planner.Plan(q, cfg.resolve())
+	plan, err := e.inner.Planner.Plan(q, e.planOptions(cfg))
 	if err != nil {
 		return nil, err
 	}

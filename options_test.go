@@ -1,6 +1,7 @@
 package ontario
 
 import (
+	"reflect"
 	"testing"
 
 	"ontario/internal/core"
@@ -39,7 +40,7 @@ func TestOptionOrderIndependence(t *testing.T) {
 		}
 		if k == 1 {
 			checked++
-			if got := resolveOptions(a...); got != want {
+			if got := resolveOptions(a...); !reflect.DeepEqual(got, want) {
 				t.Errorf("permutation %d resolved to %+v, want %+v", checked, got, want)
 			}
 			return
@@ -65,7 +66,7 @@ func TestOptionOrderIndependence(t *testing.T) {
 func TestOptionResolutionV0Trap(t *testing.T) {
 	before := resolveOptions(WithOptimizer(OptimizerGreedy), WithAwarePlan())
 	after := resolveOptions(WithAwarePlan(), WithOptimizer(OptimizerGreedy))
-	if before != after {
+	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("order-dependent resolution: before=%+v after=%+v", before, after)
 	}
 	if before.Optimizer != core.OptimizerGreedy {
@@ -101,7 +102,7 @@ func TestOptionResolutionDefaults(t *testing.T) {
 	}
 	// WithHeuristic2 implies an aware plan even when WithUnawarePlan is
 	// also present, in either order.
-	if a, b := resolveOptions(WithUnawarePlan(), WithHeuristic2()), resolveOptions(WithHeuristic2(), WithUnawarePlan()); a != b || !a.Aware {
+	if a, b := resolveOptions(WithUnawarePlan(), WithHeuristic2()), resolveOptions(WithHeuristic2(), WithUnawarePlan()); !reflect.DeepEqual(a, b) || !a.Aware {
 		t.Errorf("h2+unaware resolution: %+v vs %+v", a, b)
 	}
 }

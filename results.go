@@ -172,11 +172,16 @@ func (r *Results) Close() error {
 	return r.err
 }
 
-// finish records the terminal state once the stream closes.
+// finish records the terminal state once the stream closes. A failure
+// parked by the execution (a remote source that died mid-query) takes
+// precedence over plain context cancellation: the caller sees why the
+// stream ended short, not just that it did.
 func (r *Results) finish() {
 	r.done = true
 	r.total = time.Since(r.start)
-	if err := r.ctx.Err(); err != nil {
+	if err := r.exec.Err(); err != nil {
+		r.err = err
+	} else if err := r.ctx.Err(); err != nil {
 		r.err = err
 	}
 	r.cancel()
