@@ -27,8 +27,12 @@
 // over real HTTP under the resilience policy (-remote-timeout,
 // -remote-retries, -breaker-threshold, -breaker-cooldown); this node
 // advertises its own templates on /molecules in turn, so nodes can
-// federate over each other. Per-source health gauges (breaker state,
-// failure rate, measured latency) are on /metrics.
+// federate over each other. Discovery runs in the background after the
+// node starts serving: peers are retried with backoff for up to
+// -federate-wait and swapped into the running server when they answer, so
+// two nodes federating over each other can bootstrap in either order and
+// a transient peer outage never prevents a restart. Per-source health
+// gauges (breaker state, failure rate, measured latency) are on /metrics.
 package main
 
 import (
@@ -62,6 +66,7 @@ func main() {
 		planCache = flag.Int("plan-cache", 128, "plan cache capacity (negative disables)")
 
 		federate      = flag.String("federate", "", `peer ontario-server nodes as "id=http://host:port,id2=..." (molecules discovered from each peer's /molecules)`)
+		federateWait  = flag.Duration("federate-wait", 2*time.Minute, "how long background discovery keeps retrying an unreachable -federate peer before starting without it")
 		remoteTimeout = flag.Duration("remote-timeout", 10*time.Second, "per-attempt timeout for remote sources (negative disables)")
 		remoteRetries = flag.Int("remote-retries", 3, "retries per remote request (negative disables)")
 		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive remote failures that open a source's circuit breaker (negative disables)")
@@ -79,38 +84,26 @@ func main() {
 		scale = lslod.SmallScale()
 	}
 
-	// Peers are resolved before the lake is assembled: each one's
-	// molecule templates come from its live /molecules endpoint.
-	type peer struct {
-		id, url string
-		mols    []lake.Molecule
-	}
-	var peers []peer
+	// -federate entries are validated up front (a malformed flag is a
+	// config error and fails fast), but the peers themselves are resolved
+	// in the background after the server is up: each one's molecule
+	// templates come from its live /molecules endpoint, which may not be
+	// reachable yet — in particular when two nodes federate over each
+	// other, neither can be required to start first.
+	type peerSpec struct{ id, base string }
+	var peerSpecs []peerSpec
 	if *federate != "" {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
 		for _, part := range strings.Split(*federate, ",") {
 			id, base, ok := strings.Cut(strings.TrimSpace(part), "=")
 			if !ok || id == "" || base == "" {
 				fail(fmt.Errorf(`invalid -federate entry %q (want "id=http://host:port")`, part))
 			}
-			mols, err := lake.DiscoverMolecules(ctx, base)
-			if err != nil {
-				fail(err)
-			}
-			log.Printf("federating over %s at %s (%d molecule templates)", id, base, len(mols))
-			peers = append(peers, peer{id: id, url: strings.TrimRight(base, "/") + "/sparql", mols: mols})
+			peerSpecs = append(peerSpecs, peerSpec{id: id, base: base})
 		}
 	}
-
-	log.Printf("building LSLOD lake (small=%v, seed=%d)...", *small, *seed)
-	l, err := lslod.BuildLakeCustom(scale, *seed, func(b *lake.Builder) {
-		for _, p := range peers {
-			b.AddSPARQLEndpoint(p.id, p.url, p.mols...)
-		}
-	})
-	if err != nil {
-		fail(err)
+	type peer struct {
+		id, url string
+		mols    []lake.Molecule
 	}
 
 	engOpts := []ontario.EngineOption{
@@ -124,7 +117,24 @@ func main() {
 	if *srcLimit > 0 {
 		engOpts = append(engOpts, ontario.WithSourceLimit(*srcLimit))
 	}
-	eng := ontario.New(l.Lake, engOpts...)
+
+	buildEngine := func(peers []peer) (*ontario.Engine, error) {
+		l, err := lslod.BuildLakeCustom(scale, *seed, func(b *lake.Builder) {
+			for _, p := range peers {
+				b.AddSPARQLEndpoint(p.id, p.url, p.mols...)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ontario.New(l.Lake, engOpts...), nil
+	}
+
+	log.Printf("building LSLOD lake (small=%v, seed=%d)...", *small, *seed)
+	eng, err := buildEngine(nil)
+	if err != nil {
+		fail(err)
+	}
 
 	defaults := []ontario.Option{
 		ontario.WithNetwork(profile),
@@ -148,10 +158,67 @@ func main() {
 		DefaultOptions: defaults,
 	})
 
+	if len(peerSpecs) > 0 {
+		// Deferred federation: the node serves its local lake immediately;
+		// once the peers answer, the lake is rebuilt with them and swapped
+		// into the running server. An unreachable peer is a warning, not a
+		// startup failure.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), *federateWait)
+			defer cancel()
+			var peers []peer
+			for _, ps := range peerSpecs {
+				mols, err := discoverWithRetry(ctx, ps.base)
+				if err != nil {
+					log.Printf("WARNING: federation: peer %s at %s unreachable after %s, serving without it: %v",
+						ps.id, ps.base, *federateWait, err)
+					continue
+				}
+				log.Printf("federating over %s at %s (%d molecule templates)", ps.id, ps.base, len(mols))
+				peers = append(peers, peer{id: ps.id, url: strings.TrimRight(ps.base, "/") + "/sparql", mols: mols})
+			}
+			if len(peers) == 0 {
+				return
+			}
+			feng, err := buildEngine(peers)
+			if err != nil {
+				log.Printf("WARNING: federation: rebuilding the lake with peers failed, serving locally: %v", err)
+				return
+			}
+			srv.SetEngine(feng)
+			log.Printf("federation active: %d of %d peer(s) registered", len(peers), len(peerSpecs))
+		}()
+	}
+
 	log.Printf("ontario-server listening on %s (mode=%s network=%s max-concurrent=%d queue-depth=%d source-limit=%d timeout=%s)",
 		*addr, *mode, profile.Name, *maxConc, *queue, *srcLimit, *timeout)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fail(err)
+	}
+}
+
+// discoverWithRetry polls the peer's /molecules with exponential backoff
+// (1s doubling to 10s, 5s per attempt) until it answers or ctx expires,
+// returning the last discovery error on give-up.
+func discoverWithRetry(ctx context.Context, base string) ([]lake.Molecule, error) {
+	backoff := time.Second
+	for {
+		actx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		mols, err := lake.DiscoverMolecules(actx, base)
+		cancel()
+		if err == nil {
+			return mols, nil
+		}
+		log.Printf("federation: discovering %s/molecules: %v (retrying in %s)",
+			strings.TrimRight(base, "/"), err, backoff)
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(backoff):
+		}
+		if backoff < 10*time.Second {
+			backoff *= 2
+		}
 	}
 }
 

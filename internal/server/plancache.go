@@ -78,6 +78,18 @@ func (c *planCache) len() int {
 	return c.ll.Len()
 }
 
+// clear drops every cached plan (used when the server's engine is
+// swapped: the cached *ontario.Prepared belong to the old engine).
+func (c *planCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}
+
 // normalizeQuery collapses whitespace runs OUTSIDE string literals so
 // formatting differences do not defeat the cache, while queries differing
 // only inside a literal (e.g. FILTER (?v = "New  York")) keep distinct

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"ontario"
+	"ontario/lake"
 )
 
 const cacheTestQuery = `SELECT ?probe ?gene WHERE {
@@ -108,6 +111,84 @@ func TestPlanCacheEviction(t *testing.T) {
 	}
 	if c.get("a") == nil || c.get("c") == nil {
 		t.Error("a/c missing after eviction")
+	}
+}
+
+// TestLatencyFingerprintBuckets pins the adaptive part of the plan-cache
+// key: a plan optimized with measured remote latency must be re-planned
+// when a source's observed health drifts materially (different bucket ⇒
+// different key ⇒ cache miss), while sample jitter within a bucket and
+// engines with no remote observations leave the key unchanged.
+func TestLatencyFingerprintBuckets(t *testing.T) {
+	mk := func(lat time.Duration, rate float64) []ontario.SourceHealth {
+		return []ontario.SourceHealth{{Source: "peer", Latency: lat, FailureRate: rate}}
+	}
+	if got := latencyFingerprint(nil); got != "" {
+		t.Errorf("fingerprint with no health = %q, want empty", got)
+	}
+	if got := latencyFingerprint(mk(0, 0)); got != "" {
+		t.Errorf("fingerprint with no successful observation = %q, want empty", got)
+	}
+	// Jitter inside one power-of-two bucket: same key.
+	if a, b := latencyFingerprint(mk(9*time.Millisecond, 0)), latencyFingerprint(mk(11*time.Millisecond, 0)); a != b {
+		t.Errorf("in-bucket jitter changed the key: %q vs %q", a, b)
+	}
+	// An order-of-magnitude drift: different key.
+	if a, b := latencyFingerprint(mk(4*time.Millisecond, 0)), latencyFingerprint(mk(40*time.Millisecond, 0)); a == b {
+		t.Errorf("4ms and 40ms share the key %q — stale plans would never re-optimize", a)
+	}
+	// Health drift at constant latency: a source going from reliable to 50%
+	// failures doubles its effective cost and must change the key.
+	if a, b := latencyFingerprint(mk(10*time.Millisecond, 0)), latencyFingerprint(mk(10*time.Millisecond, 0.5)); a == b {
+		t.Errorf("failure-rate drift did not change the key %q", a)
+	}
+}
+
+// TestSetEngineSwapsServingEngineAndDropsPlans: SetEngine (deferred
+// federation) must route subsequent requests to the new engine and
+// invalidate plans prepared against the old one.
+func TestSetEngineSwapsServingEngineAndDropsPlans(t *testing.T) {
+	oldSrc := &fnSource{id: "old", mols: []lake.Molecule{molB()},
+		exec: func(ctx context.Context, req *lake.Request) ([]lake.Binding, error) {
+			return []lake.Binding{{"x": lake.IRI("http://ex/b1"), "n": lake.Literal("old")}}, nil
+		}}
+	srv, base := newCustomServer(t, Config{}, oldSrc)
+
+	query := "SELECT ?x ?n WHERE { ?x <http://ex/name> ?n }"
+	get := func() string {
+		t.Helper()
+		resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get(); !strings.Contains(out, "old") {
+		t.Fatalf("answer before swap = %s, want the old source's binding", out)
+	}
+	if n := srv.plans.len(); n != 1 {
+		t.Fatalf("plan cache holds %d plans before swap, want 1", n)
+	}
+
+	newSrc := &fnSource{id: "new", mols: []lake.Molecule{molB()},
+		exec: func(ctx context.Context, req *lake.Request) ([]lake.Binding, error) {
+			return []lake.Binding{{"x": lake.IRI("http://ex/b1"), "n": lake.Literal("new")}}, nil
+		}}
+	b := lake.NewBuilder()
+	b.AddSource(newSrc)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetEngine(ontario.New(l))
+
+	if n := srv.plans.len(); n != 0 {
+		t.Fatalf("plan cache holds %d plans after swap, want 0", n)
+	}
+	if out := get(); !strings.Contains(out, "new") {
+		t.Fatalf("answer after swap = %s, want the new source's binding", out)
 	}
 }
 

@@ -14,9 +14,12 @@
 //   - cancellation: every query runs under the request context with a
 //     per-query deadline; a client disconnect tears the whole plan down
 //     through context.Context;
-//   - plan caching: an LRU keyed by normalized query text plus the
-//     plan-shaping request parameters; a repeated query skips parsing and
-//     planning entirely (hits/misses exported on /metrics);
+//   - plan caching: an LRU keyed by normalized query text, the
+//     plan-shaping request parameters, and a coarse bucketing of each
+//     remote source's measured latency — a repeated query skips parsing
+//     and planning entirely (hits/misses exported on /metrics), but a
+//     material drift in a source's observed health re-plans instead of
+//     serving the stale plan forever;
 //   - EXPLAIN: ?explain=1 renders the (cached) plan with the cost model's
 //     estimates instead of executing it;
 //   - observability: /metrics exports the counters and latency histograms
@@ -149,6 +152,27 @@ func New(eng *ontario.Engine, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// engine returns the engine currently serving queries. Handlers capture
+// it once per request so a concurrent SetEngine cannot split one request
+// across two engines.
+func (s *Server) engine() *ontario.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+// SetEngine atomically replaces the serving engine — ontario-server uses
+// this when deferred peer discovery completes and the lake is rebuilt
+// with remote sources. The plan cache is dropped (its prepared plans
+// belong to the old engine); in-flight queries finish on the engine they
+// started with.
+func (s *Server) SetEngine(eng *ontario.Engine) {
+	s.mu.Lock()
+	s.eng = eng
+	s.mu.Unlock()
+	s.plans.clear()
+}
 
 // Metrics exposes the server's metric registry.
 func (s *Server) Metrics() *trace.Metrics { return s.metrics }
@@ -309,20 +333,52 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 
 // prepare resolves the request's plan through the LRU plan cache: a hit
 // skips parsing and planning and bumps the hit counter; a miss plans and
-// stores.
-func (s *Server) prepare(text, fingerprint string, opts []ontario.Option) (*ontario.Prepared, error) {
-	key := normalizeQuery(text) + "|" + fingerprint
+// stores. The key folds in the engine's measured per-source latency
+// (coarsely bucketed), so a plan optimized with live cost-model gamma is
+// re-planned when a source's observed health drifts materially instead
+// of being served stale forever.
+func (s *Server) prepare(eng *ontario.Engine, text, fingerprint string, opts []ontario.Option) (*ontario.Prepared, error) {
+	key := normalizeQuery(text) + "|" + fingerprint + latencyFingerprint(eng.SourceHealth())
 	if prep := s.plans.get(key); prep != nil {
 		s.metrics.Inc(MetricPlanCacheHits)
 		return prep, nil
 	}
-	prep, err := s.eng.Prepare(text, opts...)
+	prep, err := eng.Prepare(text, opts...)
 	if err != nil {
 		return nil, err
 	}
 	s.metrics.Inc(MetricPlanCacheMiss)
 	s.plans.put(key, prep)
 	return prep, nil
+}
+
+// latencyFingerprint is the plan-cache key component derived from the
+// engine's measured per-source health. Each observed source contributes
+// its failure-inflated latency EWMA (the same quantity the cost model
+// prices with, see wrapper.HealthRegistry.MeasuredLatency) bucketed to a
+// power of two of milliseconds — coarse enough that sample jitter keeps
+// one bucket, but a source drifting from 4ms to 40ms, or from healthy to
+// 50% failures, changes the key and forces a re-plan. Engines without
+// remote observations contribute nothing, keeping their keys unchanged.
+func latencyFingerprint(health []ontario.SourceHealth) string {
+	var b strings.Builder
+	for _, h := range health {
+		if h.Latency <= 0 {
+			continue
+		}
+		ms := float64(h.Latency) / float64(time.Millisecond)
+		rate := h.FailureRate
+		if rate > 0.9 {
+			rate = 0.9
+		}
+		ms /= 1 - rate
+		bucket := 0
+		for v := ms; v >= 1; v /= 2 {
+			bucket++
+		}
+		fmt.Fprintf(&b, "|%s:%d", h.Source, bucket)
+	}
+	return b.String()
 }
 
 // queryDeadline resolves the effective per-query timeout: the server's
@@ -364,10 +420,12 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	eng := s.engine()
+
 	// EXPLAIN: plan (through the cache) and render without executing — no
 	// admission slot needed, planning is engine-local.
 	if explain := qparam(r, "explain"); explain == "1" || explain == "true" {
-		prep, err := s.prepare(text, fingerprint, opts)
+		prep, err := s.prepare(eng, text, fingerprint, opts)
 		if err != nil {
 			s.metrics.Inc(MetricFailed)
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -401,13 +459,13 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	prep, err := s.prepare(text, fingerprint, opts)
+	prep, err := s.prepare(eng, text, fingerprint, opts)
 	if err != nil {
 		s.metrics.Inc(MetricFailed)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.eng.QueryPrepared(ctx, prep, opts...)
+	res, err := eng.QueryPrepared(ctx, prep, opts...)
 	if err != nil {
 		// The query was already parsed and planned — a failure here is the
 		// execution's, not the client's, so 4xx would be a lie.
@@ -506,7 +564,7 @@ func (s *Server) handleMolecules(w http.ResponseWriter, r *http.Request) {
 		Predicates []predDoc `json:"predicates"`
 		Sources    []string  `json:"sources,omitempty"`
 	}
-	mols := s.eng.Molecules()
+	mols := s.engine().Molecules()
 	docs := make([]molDoc, 0, len(mols))
 	for _, m := range mols {
 		d := molDoc{Class: m.Class, Sources: m.Sources, Predicates: make([]predDoc, 0, len(m.Predicates))}
@@ -522,10 +580,11 @@ func (s *Server) handleMolecules(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := s.Stats()
+	eng := s.engine()
 	fmt.Fprintf(w, "# TYPE ontario_executing_queries gauge\nontario_executing_queries %d\n", st.Executing)
 	fmt.Fprintf(w, "# TYPE ontario_waiting_queries gauge\nontario_waiting_queries %d\n", st.Waiting)
 	fmt.Fprintf(w, "# TYPE ontario_peak_executing_queries gauge\nontario_peak_executing_queries %d\n", st.PeakExecuting)
-	if lim := s.eng.SourceLimits(); lim != nil {
+	if lim := eng.SourceLimits(); lim != nil {
 		sources := lim.Sources()
 		sort.Strings(sources)
 		fmt.Fprintf(w, "# TYPE ontario_source_inflight gauge\n")
@@ -537,7 +596,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "ontario_source_inflight_peak{source=%q} %d\n", src, lim.Peak(src))
 		}
 	}
-	if health := s.eng.SourceHealth(); len(health) > 0 {
+	if health := eng.SourceHealth(); len(health) > 0 {
 		fmt.Fprintf(w, "# TYPE ontario_source_breaker_open gauge\n")
 		for _, h := range health {
 			open := 0

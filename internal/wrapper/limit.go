@@ -106,7 +106,9 @@ func (l *SourceLimiter) Sources() []string {
 
 // Limited wraps w so that every Execute holds one of the limiter's
 // in-flight slots for the source from invocation until the response stream
-// is drained (or the context is cancelled). A nil limiter returns w
+// is drained (or the context is cancelled), except when a slow consumer
+// falls relayBacklogCap batches behind — then the slot is released early
+// rather than held while blocked (see Execute). A nil limiter returns w
 // unchanged.
 func Limited(w Wrapper, l *SourceLimiter) Wrapper {
 	if l == nil {
@@ -126,19 +128,21 @@ func (w *limitedWrapper) SourceID() string { return w.inner.SourceID() }
 // relayBacklogCap bounds how many batches the limiter's relay buffers on
 // behalf of a slow consumer. Below the cap the relay absorbs batches so a
 // dependent join waiting on another request to the same source cannot
-// deadlock the limiter; at the cap it blocks on the consumer instead of
-// buffering the rest of the response in memory.
+// deadlock the limiter; at the cap it gives the source slot back and
+// relays the rest with backpressure instead of buffering the whole
+// response in memory.
 const relayBacklogCap = 64
 
 // Execute implements Wrapper. The slot is held while the source produces
 // the response — from invocation until the inner stream closes (all
-// simulated response messages transferred) — but not while blocked on the
-// downstream consumer for a modest response: up to relayBacklogCap batches
-// the consumer is slow to read are buffered locally (and opportunistically
-// drained between receives), so a dependent join waiting on another
-// request to the same source cannot deadlock the limiter. Past the cap the
-// relay applies backpressure to the source instead of buffering the whole
-// response.
+// simulated response messages transferred) — but never while blocked on
+// the downstream consumer: up to relayBacklogCap batches the consumer is
+// slow to read are buffered locally (and opportunistically drained
+// between receives), and once the consumer falls the full cap behind, the
+// slot is released BEFORE the relay starts blocking sends. Either way a
+// dependent join waiting on another request to the same source cannot
+// deadlock the limiter — at the price, past the cap, of the source's true
+// concurrency briefly exceeding the limit.
 func (w *limitedWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
 	id := w.inner.SourceID()
 	if err := w.lim.Acquire(ctx, id); err != nil {
@@ -172,16 +176,21 @@ func (w *limitedWrapper) Execute(ctx context.Context, req *Request) (*engine.Str
 			if len(backlog) == 0 && out.TrySendBatch(batch) {
 				continue
 			}
-			if len(backlog) >= relayBacklogCap {
-				// Bounded: block on the consumer (or cancellation) until a
-				// slot frees instead of buffering without limit.
-				if !out.SendBatch(ctx, backlog[0]) {
-					return
-				}
-				backlog[0] = nil
-				backlog = backlog[1:]
-			}
 			backlog = append(backlog, batch)
+			if len(backlog) >= relayBacklogCap {
+				// The consumer is a full cap behind: stop absorbing and relay
+				// with backpressure. Release the slot first — blocking on the
+				// consumer while holding it would reintroduce the dependent-
+				// join deadlock the backlog exists to prevent (the consumer
+				// may be waiting on another request to this same source).
+				release()
+				for _, b := range backlog {
+					if !out.SendBatch(ctx, b) {
+						return
+					}
+				}
+				backlog = nil
+			}
 		}
 		release()
 		for _, batch := range backlog {

@@ -173,6 +173,54 @@ func (w *fountainWrapper) Execute(ctx context.Context, req *Request) (*engine.St
 	return out, nil
 }
 
+// TestLimitedReleasesSlotAtBacklogCap is the regression test for the
+// dependent-join deadlock past the backlog cap: once the relay stops
+// absorbing on the source's behalf and has to block on a stalled
+// consumer, it must give the source slot back — otherwise, at limit=1, a
+// consumer that is itself waiting on another request to the same source
+// (a dependent join over a large response) would deadlock.
+func TestLimitedReleasesSlotAtBacklogCap(t *testing.T) {
+	const total = relayBacklogCap * 4
+	inner := &fountainWrapper{id: "src", n: total}
+	lim := NewSourceLimiter(1)
+	w := Limited(inner, lim)
+
+	out, err := w.Execute(context.Background(), &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody reads out: the relay fills its backlog to the cap and must
+	// release the slot before its first blocking send.
+	deadline := time.Now().Add(2 * time.Second)
+	for lim.InFlight("src") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slot still held while blocked on a stalled consumer at the backlog cap")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second request to the same source — what a dependent join issues
+	// while the first response is still pending — runs to completion.
+	out2, err := w.Execute(context.Background(), &Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := 0
+	for range out2.Batches() {
+		got2++
+	}
+	if got2 != total {
+		t.Fatalf("second request received %d batches, want %d", got2, total)
+	}
+	// The first response still arrives in full once its consumer reads.
+	got := 0
+	for range out.Batches() {
+		got++
+	}
+	if got != total {
+		t.Fatalf("first request received %d batches, want %d", got, total)
+	}
+}
+
 // TestLimitedBacklogBounded is the regression test for the unbounded relay
 // backlog: with a consumer that reads nothing, the relay must stop pulling
 // from the source once its bounded backlog fills instead of buffering the

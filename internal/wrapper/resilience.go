@@ -210,32 +210,50 @@ func (h *HealthRegistry) source(id string) *sourceHealth {
 	return s
 }
 
-// allow gates one attempt through the source's breaker: nil when the
-// attempt may proceed (possibly as the half-open probe), ErrCircuitOpen
-// when the source is failing fast.
-func (h *HealthRegistry) allow(id string) error {
+// allow gates one attempt through the source's breaker: err is nil when
+// the attempt may proceed, ErrCircuitOpen when the source is failing
+// fast. probe reports that the caller was granted the single half-open
+// probe slot; the caller must settle it (recordSuccess/recordFailure) or
+// give it back (clearProbe) — leaking it would reject every later
+// request until restart.
+func (h *HealthRegistry) allow(id string) (probe bool, err error) {
 	if h.cfg.BreakerThreshold < 0 {
-		return nil
+		return false, nil
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := h.source(id)
 	switch s.state {
 	case BreakerClosed:
-		return nil
+		return false, nil
 	case BreakerOpen:
 		if h.nowFn().Sub(s.openedAt) < h.cfg.BreakerCooldown {
-			return ErrCircuitOpen
+			return false, ErrCircuitOpen
 		}
 		s.state = BreakerHalfOpen
 		s.probing = true
-		return nil
+		return true, nil
 	default: // half-open
 		if s.probing {
-			return ErrCircuitOpen
+			return false, ErrCircuitOpen
 		}
 		s.probing = true
-		return nil
+		return true, nil
+	}
+}
+
+// clearProbe releases a half-open probe slot whose attempt ended without
+// a verdict (the parent context was cancelled mid-attempt): the breaker
+// returns to open and the cooldown restarts, so a later request can
+// probe again.
+func (h *HealthRegistry) clearProbe(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.source(id)
+	s.probing = false
+	if s.state == BreakerHalfOpen {
+		s.state = BreakerOpen
+		s.openedAt = h.nowFn()
 	}
 }
 
@@ -305,9 +323,12 @@ func (h *HealthRegistry) backoff(attempt int) time.Duration {
 // op must be idempotent — it may run up to 1+MaxRetries times. Errors
 // wrapped with Permanent (and parent-context cancellation) stop the retry
 // loop immediately; a parent cancellation is returned as the context's
-// error and does not count against the source.
+// error and does not count against the source — but if the cancelled
+// attempt held the half-open probe, the probe is released (breaker back
+// to open, cooldown restarted) so the source is not wedged forever.
 func (h *HealthRegistry) Do(ctx context.Context, sourceID string, op func(context.Context) error) error {
-	if err := h.allow(sourceID); err != nil {
+	probe, err := h.allow(sourceID)
+	if err != nil {
 		return err
 	}
 	var lastErr error
@@ -317,20 +338,25 @@ func (h *HealthRegistry) Do(ctx context.Context, sourceID string, op func(contex
 			actx, cancel = context.WithTimeout(ctx, h.cfg.Timeout)
 		}
 		start := h.nowFn()
-		err := op(actx)
+		opErr := op(actx)
 		cancel()
-		if err == nil {
+		if opErr == nil {
 			h.recordSuccess(sourceID, h.nowFn().Sub(start))
 			return nil
 		}
 		if ctx.Err() != nil {
 			// The query itself was cancelled or timed out while the attempt
-			// ran: not the source's fault, and retrying is pointless.
+			// ran: not the source's fault, and retrying is pointless. A probe
+			// this attempt held never got its verdict — give it back.
+			if probe {
+				h.clearProbe(sourceID)
+			}
 			return ctx.Err()
 		}
-		h.recordFailure(sourceID, err)
-		lastErr = err
-		if IsPermanent(err) || attempt >= h.cfg.MaxRetries {
+		h.recordFailure(sourceID, opErr)
+		probe = false // the failure settled any probe this attempt held
+		lastErr = opErr
+		if IsPermanent(opErr) || attempt >= h.cfg.MaxRetries {
 			return lastErr
 		}
 		h.recordRetry(sourceID)
@@ -340,7 +366,7 @@ func (h *HealthRegistry) Do(ctx context.Context, sourceID string, op func(contex
 			return ctx.Err()
 		}
 		// This goroutine's own failures may have opened the breaker.
-		if h.allow(sourceID) != nil {
+		if probe, err = h.allow(sourceID); err != nil {
 			return lastErr
 		}
 	}

@@ -186,6 +186,47 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestDoCancelledProbeDoesNotWedgeBreaker is the regression test for the
+// leaked half-open probe: when the parent context is cancelled while the
+// probe attempt is running, Do returns before recordSuccess/recordFailure
+// could settle the probe. The probe must be released (breaker back to
+// open, cooldown restarted) — before the fix the source stayed half-open
+// with probing=true forever, rejecting every request with ErrCircuitOpen.
+func TestDoCancelledProbeDoesNotWedgeBreaker(t *testing.T) {
+	cfg := fastResilience()
+	cfg.MaxRetries = -1 // no retries: each Do is one attempt
+	h := NewHealthRegistry(cfg)
+	down := errors.New("down")
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		h.Do(context.Background(), "s", func(ctx context.Context) error { return down })
+	}
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+
+	// The half-open probe starts; the query deadline expires mid-attempt —
+	// exactly when probes happen in practice, since the source was slow.
+	ctx, cancel := context.WithCancel(context.Background())
+	err := h.Do(ctx, "s", func(c context.Context) error {
+		cancel()
+		return c.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled probe Do = %v, want context.Canceled", err)
+	}
+	if st := h.State("s"); st != BreakerOpen {
+		t.Fatalf("state after cancelled probe = %v, want open (cooldown restarted)", st)
+	}
+
+	// After the fresh cooldown a healthy request must get through as the
+	// next probe and close the circuit.
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	if err := h.Do(context.Background(), "s", func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatalf("Do after cancelled probe = %v, want success", err)
+	}
+	if st := h.State("s"); st != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", st)
+	}
+}
+
 func TestMeasuredLatencyReflectsFailureRate(t *testing.T) {
 	cfg := fastResilience()
 	cfg.MaxRetries = -1       // no retries: each Do is one attempt
