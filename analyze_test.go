@@ -1,0 +1,120 @@
+package ontario_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ontario"
+	"ontario/internal/lslod"
+)
+
+// walkSummaries flattens the annotated plan tree.
+func walkSummaries(p *ontario.PlanSummary) []*ontario.PlanSummary {
+	if p == nil {
+		return nil
+	}
+	out := []*ontario.PlanSummary{p}
+	for _, c := range p.Children {
+		out = append(out, walkSummaries(c)...)
+	}
+	return out
+}
+
+func TestResultsAnalyzeActuals(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Lake)
+	res, err := eng.Query(context.Background(), lslod.Queries()[2].Text,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := res.Analyze()
+	if a == nil || a.Plan == nil {
+		t.Fatal("Analyze returned no plan")
+	}
+	if a.QueryID != res.QueryID() || a.TraceID != res.TraceID() {
+		t.Errorf("identity mismatch: analysis %s/%s, results %s/%s",
+			a.QueryID, a.TraceID, res.QueryID(), res.TraceID())
+	}
+	if len(a.QueryID) != 16 || len(a.TraceID) != 32 {
+		t.Errorf("ids = %q / %q, want 16/32 hex chars", a.QueryID, a.TraceID)
+	}
+
+	// Q3 is a multi-source join: every node in the executed plan must carry
+	// actuals, estimates must still be present where the planner put them,
+	// and the root's output must equal the collected answer count.
+	nodes := walkSummaries(a.Plan)
+	if len(nodes) < 3 {
+		t.Fatalf("plan has %d nodes, want a multi-operator tree", len(nodes))
+	}
+	services := 0
+	for _, n := range nodes {
+		if n.Actual == nil {
+			t.Fatalf("node %s (%s) lacks actuals", n.Operator, n.Detail)
+		}
+		if n.Operator == "service" {
+			services++
+			if n.Actual.BindingsOut == 0 {
+				t.Errorf("service %s produced no bindings", n.Source)
+			}
+		}
+	}
+	if services < 2 {
+		t.Errorf("analyzed plan has %d service leaves, want >= 2 (multi-source)", services)
+	}
+	if a.Plan.Estimate == nil {
+		t.Error("root estimate lost during analyze annotation")
+	}
+	if got := a.Plan.Actual.BindingsOut; int(got) != len(answers) {
+		t.Errorf("root emitted %d, collected %d", got, len(answers))
+	}
+	if len(a.Modifiers) == 0 {
+		t.Error("no modifier actuals (expected at least project)")
+	}
+
+	// The rendered report interleaves estimates and actuals.
+	text := a.String()
+	if !strings.Contains(text, "{est ") || !strings.Contains(text, "{act ") {
+		t.Errorf("rendered analysis lacks est/act annotations:\n%s", text)
+	}
+	if !strings.Contains(text, "query="+a.QueryID) {
+		t.Errorf("rendered analysis lacks the query id:\n%s", text)
+	}
+}
+
+func TestAnalyzeBeforeDrainIsPartial(t *testing.T) {
+	// Analyze on an unfinished execution is allowed (the slow-query log and
+	// a dashboard may sample mid-flight) — it must be safe, not complete.
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Lake)
+	res, err := eng.Query(context.Background(), lslod.Queries()[0].Text,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res.Analyze(); a == nil || a.Plan == nil {
+		t.Fatal("mid-flight Analyze returned nil")
+	}
+	res.Close()
+}
+
+func TestExplainAnalyzeFacade(t *testing.T) {
+	lake := facadeLake(t)
+	eng := ontario.New(lake.Lake)
+	text, err := eng.ExplainAnalyze(context.Background(), lslod.Queries()[0].Text,
+		ontario.WithAwarePlan(), ontario.WithNetworkScale(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"{est ", "{act ", "answers=", "duration="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ExplainAnalyze output lacks %q:\n%s", want, text)
+		}
+	}
+}

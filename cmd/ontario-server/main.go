@@ -7,10 +7,15 @@
 //	               produces them. Optional parameters: mode=aware|unaware,
 //	               network=nodelay|gamma1|gamma2|gamma3, timeout=<dur>,
 //	               optimizer=cost|greedy, explain=1 (render the plan with
-//	               cost estimates instead of executing).
+//	               cost estimates instead of executing), analyze=1 (append
+//	               the EXPLAIN ANALYZE report — per-operator actuals and
+//	               remote spans — to the streamed result document).
 //	/metrics       Prometheus text-format counters and latency histograms,
-//	               including plan-cache hits/misses.
-//	/healthz       liveness probe.
+//	               including plan-cache hits/misses, per-operator wall
+//	               times, and the estimate-vs-actual cardinality error.
+//	/healthz       liveness probe with build info, uptime and counters.
+//	/debug/queries slow-query log (?threshold=250ms filters).
+//	/debug/pprof/  runtime profiling (disable with -pprof=false).
 //
 // Plans are cached server-side in an LRU keyed by normalized query text
 // plus the plan-shaping parameters (-plan-cache bounds it); a repeated
@@ -33,19 +38,26 @@
 // two nodes federating over each other can bootstrap in either order and
 // a transient peer outage never prevents a restart. Per-source health
 // gauges (breaker state, failure rate, measured latency) are on /metrics.
+//
+// Every query gets a trace identity: a W3C traceparent arriving on
+// /sparql is adopted (this node becomes a child span of the caller),
+// otherwise fresh IDs are assigned. The query ID returns in the
+// X-Ontario-Query-Id header, correlates every access-log line, and is
+// forwarded to federated peers on each hop.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"ontario"
+	"ontario/internal/buildinfo"
 	"ontario/internal/lslod"
 	"ontario/internal/server"
 	"ontario/lake"
@@ -64,6 +76,9 @@ func main() {
 		srcLimit  = flag.Int("source-limit", 4, "max in-flight wrapper requests per source (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query deadline")
 		planCache = flag.Int("plan-cache", 128, "plan cache capacity (negative disables)")
+		slowLog   = flag.Int("slow-query-log", 128, "slow-query log capacity for /debug/queries (negative disables)")
+		enablePpf = flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
+		logJSON   = flag.Bool("log-json", false, "emit access and server logs as JSON instead of text")
 
 		federate      = flag.String("federate", "", `peer ontario-server nodes as "id=http://host:port,id2=..." (molecules discovered from each peer's /molecules)`)
 		federateWait  = flag.Duration("federate-wait", 2*time.Minute, "how long background discovery keeps retrying an unreachable -federate peer before starting without it")
@@ -73,6 +88,14 @@ func main() {
 		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects requests before a half-open probe")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	profile, err := ontario.ProfileByName(*network)
 	if err != nil {
@@ -130,7 +153,7 @@ func main() {
 		return ontario.New(l.Lake, engOpts...), nil
 	}
 
-	log.Printf("building LSLOD lake (small=%v, seed=%d)...", *small, *seed)
+	logger.Info("building LSLOD lake", slog.Bool("small", *small), slog.Int64("seed", *seed))
 	eng, err := buildEngine(nil)
 	if err != nil {
 		fail(err)
@@ -151,11 +174,14 @@ func main() {
 	}
 
 	srv := server.New(eng, server.Config{
-		MaxConcurrent:  *maxConc,
-		QueueDepth:     *queue,
-		QueryTimeout:   *timeout,
-		PlanCacheSize:  *planCache,
-		DefaultOptions: defaults,
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queue,
+		QueryTimeout:     *timeout,
+		PlanCacheSize:    *planCache,
+		SlowQueryLogSize: *slowLog,
+		EnablePprof:      *enablePpf,
+		Logger:           logger,
+		DefaultOptions:   defaults,
 	})
 
 	if len(peerSpecs) > 0 {
@@ -168,13 +194,16 @@ func main() {
 			defer cancel()
 			var peers []peer
 			for _, ps := range peerSpecs {
-				mols, err := discoverWithRetry(ctx, ps.base)
+				mols, err := discoverWithRetry(ctx, ps.base, logger)
 				if err != nil {
-					log.Printf("WARNING: federation: peer %s at %s unreachable after %s, serving without it: %v",
-						ps.id, ps.base, *federateWait, err)
+					logger.Warn("federation: peer unreachable, serving without it",
+						slog.String("peer", ps.id), slog.String("base", ps.base),
+						slog.Duration("waited", *federateWait), slog.String("error", err.Error()))
 					continue
 				}
-				log.Printf("federating over %s at %s (%d molecule templates)", ps.id, ps.base, len(mols))
+				logger.Info("federating over peer",
+					slog.String("peer", ps.id), slog.String("base", ps.base),
+					slog.Int("molecules", len(mols)))
 				peers = append(peers, peer{id: ps.id, url: strings.TrimRight(ps.base, "/") + "/sparql", mols: mols})
 			}
 			if len(peers) == 0 {
@@ -182,16 +211,27 @@ func main() {
 			}
 			feng, err := buildEngine(peers)
 			if err != nil {
-				log.Printf("WARNING: federation: rebuilding the lake with peers failed, serving locally: %v", err)
+				logger.Warn("federation: rebuilding the lake with peers failed, serving locally",
+					slog.String("error", err.Error()))
 				return
 			}
 			srv.SetEngine(feng)
-			log.Printf("federation active: %d of %d peer(s) registered", len(peers), len(peerSpecs))
+			logger.Info("federation active",
+				slog.Int("registered", len(peers)), slog.Int("configured", len(peerSpecs)))
 		}()
 	}
 
-	log.Printf("ontario-server listening on %s (mode=%s network=%s max-concurrent=%d queue-depth=%d source-limit=%d timeout=%s)",
-		*addr, *mode, profile.Name, *maxConc, *queue, *srcLimit, *timeout)
+	version, commit := buildinfo.Info()
+	logger.Info("ontario-server listening",
+		slog.String("addr", *addr),
+		slog.String("version", version),
+		slog.String("commit", commit),
+		slog.String("mode", *mode),
+		slog.String("network", profile.Name),
+		slog.Int("max_concurrent", *maxConc),
+		slog.Int("queue_depth", *queue),
+		slog.Int("source_limit", *srcLimit),
+		slog.Duration("timeout", *timeout))
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fail(err)
 	}
@@ -200,7 +240,7 @@ func main() {
 // discoverWithRetry polls the peer's /molecules with exponential backoff
 // (1s doubling to 10s, 5s per attempt) until it answers or ctx expires,
 // returning the last discovery error on give-up.
-func discoverWithRetry(ctx context.Context, base string) ([]lake.Molecule, error) {
+func discoverWithRetry(ctx context.Context, base string, logger *slog.Logger) ([]lake.Molecule, error) {
 	backoff := time.Second
 	for {
 		actx, cancel := context.WithTimeout(ctx, 5*time.Second)
@@ -209,8 +249,10 @@ func discoverWithRetry(ctx context.Context, base string) ([]lake.Molecule, error
 		if err == nil {
 			return mols, nil
 		}
-		log.Printf("federation: discovering %s/molecules: %v (retrying in %s)",
-			strings.TrimRight(base, "/"), err, backoff)
+		logger.Info("federation: discovery retry",
+			slog.String("base", strings.TrimRight(base, "/")),
+			slog.String("error", err.Error()),
+			slog.Duration("backoff", backoff))
 		select {
 		case <-ctx.Done():
 			return nil, err

@@ -28,6 +28,7 @@ func main() {
 		mode      = flag.String("mode", "aware", "plan mode: aware | unaware | h2")
 		network   = flag.String("network", "none", "network profile: none | gamma1 | gamma2 | gamma3")
 		explain   = flag.Bool("explain", false, "print the plan instead of executing")
+		analyze   = flag.Bool("analyze", false, "execute, then print the plan annotated with per-operator actuals (EXPLAIN ANALYZE)")
 		list      = flag.Bool("list", false, "list the benchmark queries and exit")
 		mixed     = flag.String("mixed", "", "comma-separated datasets to keep as native RDF")
 		scalef    = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping)")
@@ -196,6 +197,9 @@ func main() {
 		st.Duration.Round(100*time.Microsecond),
 		st.TimeToFirstAnswer.Round(100*time.Microsecond),
 		st.Messages, st.SimulatedDelay.Round(100*time.Microsecond))
+	if *analyze {
+		fmt.Print("\n" + res.Analyze().String())
+	}
 }
 
 // runRawSQL executes a SQL statement against one dataset's relational

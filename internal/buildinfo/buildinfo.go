@@ -1,0 +1,48 @@
+// Package buildinfo carries the binary's build identity for /healthz and
+// startup logs. Version and Commit are meant to be stamped at link time:
+//
+//	go build -ldflags "-X ontario/internal/buildinfo.Version=v1.2.3 \
+//	                   -X ontario/internal/buildinfo.Commit=abc1234" ./cmd/...
+//
+// When they are not stamped, Commit falls back to the VCS revision Go
+// embeds in the build metadata (runtime/debug.ReadBuildInfo).
+package buildinfo
+
+import "runtime/debug"
+
+// Version is the human-readable release version, stamped via -ldflags -X.
+var Version = "dev"
+
+// Commit is the VCS commit the binary was built from, stamped via
+// -ldflags -X.
+var Commit = ""
+
+// Info returns the effective version and commit, consulting the embedded
+// build metadata for anything not stamped at link time.
+func Info() (version, commit string) {
+	version, commit = Version, Commit
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if version == "dev" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	if commit == "" {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				commit = s.Value
+				break
+			}
+		}
+	}
+	return version, commit
+}
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.GoVersion
+	}
+	return ""
+}

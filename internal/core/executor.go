@@ -7,10 +7,13 @@ import (
 	"sync"
 	"time"
 
+	"strings"
+
 	"ontario/internal/catalog"
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
+	"ontario/internal/trace"
 	"ontario/internal/wrapper"
 )
 
@@ -126,6 +129,81 @@ type Execution struct {
 	// here and consumers read it through Err once the stream drains.
 	fmu sync.Mutex
 	err error
+
+	// qt is the query trace every operator's runtime stats register into;
+	// nodeStats maps plan nodes to their stats so EXPLAIN ANALYZE can pair
+	// actuals with the plan's estimates. Both are set by Execute (adopting
+	// a trace from the context or creating one) and guarded by mu.
+	qt        *trace.QueryTrace
+	nodeStats map[PlanNode]*engine.OpStats
+	modStats  []*engine.OpStats
+}
+
+// Trace returns the query trace of the last Execute (nil before the first).
+func (x *Execution) Trace() *trace.QueryTrace {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.qt
+}
+
+// NodeActuals returns the observed runtime stats of one plan node,
+// populated while Execute's stream runs (safe to snapshot mid-flight).
+func (x *Execution) NodeActuals(n PlanNode) (engine.OpActuals, bool) {
+	x.mu.Lock()
+	st, ok := x.nodeStats[n]
+	x.mu.Unlock()
+	if !ok {
+		return engine.OpActuals{}, false
+	}
+	return st.Snapshot(), true
+}
+
+// stats registers one plan operator's stats record, remembering which plan
+// node it belongs to.
+func (x *Execution) stats(n PlanNode, kind, label string) *engine.OpStats {
+	x.mu.Lock()
+	qt := x.qt
+	x.mu.Unlock()
+	if qt == nil {
+		return nil
+	}
+	st := qt.Register(kind, label)
+	x.mu.Lock()
+	if x.nodeStats == nil {
+		x.nodeStats = make(map[PlanNode]*engine.OpStats)
+	}
+	x.nodeStats[n] = st
+	x.mu.Unlock()
+	return st
+}
+
+// modifierStats registers a solution-modifier operator (no plan node).
+func (x *Execution) modifierStats(kind, label string) *engine.OpStats {
+	x.mu.Lock()
+	qt := x.qt
+	x.mu.Unlock()
+	if qt == nil {
+		return nil
+	}
+	st := qt.Register(kind, label)
+	x.mu.Lock()
+	x.modStats = append(x.modStats, st)
+	x.mu.Unlock()
+	return st
+}
+
+// ModifierActuals returns the observed runtime stats of the solution
+// modifiers (projection, DISTINCT, ORDER BY, OFFSET, LIMIT) in pipeline
+// order.
+func (x *Execution) ModifierActuals() []engine.OpActuals {
+	x.mu.Lock()
+	mods := append([]*engine.OpStats(nil), x.modStats...)
+	x.mu.Unlock()
+	out := make([]engine.OpActuals, len(mods))
+	for i, st := range mods {
+		out[i] = st.Snapshot()
+	}
+	return out
 }
 
 // fail parks the first deferred execution error. Context cancellation is
@@ -248,6 +326,17 @@ func (x *Execution) SourceMessages() map[string]int {
 // the query's solution modifiers (projection, DISTINCT, ORDER BY,
 // LIMIT/OFFSET).
 func (x *Execution) Execute(ctx context.Context, p *Plan) (*engine.Stream, error) {
+	// Adopt the query trace from the context (the server attaches one per
+	// request) or start a fresh one, so every execution is traced.
+	qt := trace.FromContext(ctx)
+	if qt == nil {
+		qt = trace.NewQueryTrace()
+		ctx = trace.WithQuery(ctx, qt)
+	}
+	x.mu.Lock()
+	x.qt = qt
+	x.mu.Unlock()
+
 	root, err := x.run(ctx, p.Root, p.Opts)
 	if err != nil {
 		return nil, err
@@ -256,19 +345,24 @@ func (x *Execution) Execute(ctx context.Context, p *Plan) (*engine.Stream, error
 	s := root
 	batch := p.Opts.EffectiveBatchSize()
 	if vars := q.ProjectedVars(); len(vars) > 0 {
-		s = engine.Project(ctx, s, vars, batch)
+		mctx := engine.WithOpStats(ctx, x.modifierStats("project", strings.Join(vars, ",")))
+		s = engine.Project(mctx, s, vars, batch)
 	}
 	if q.Distinct {
-		s = engine.Distinct(ctx, s, batch)
+		mctx := engine.WithOpStats(ctx, x.modifierStats("distinct", ""))
+		s = engine.Distinct(mctx, s, batch)
 	}
 	if len(q.OrderBy) > 0 {
-		s = engine.OrderBy(ctx, s, q.OrderBy, batch)
+		mctx := engine.WithOpStats(ctx, x.modifierStats("order-by", ""))
+		s = engine.OrderBy(mctx, s, q.OrderBy, batch)
 	}
 	if q.Offset > 0 {
-		s = engine.Offset(ctx, s, q.Offset, batch)
+		mctx := engine.WithOpStats(ctx, x.modifierStats("offset", ""))
+		s = engine.Offset(mctx, s, q.Offset, batch)
 	}
 	if q.Limit >= 0 {
-		s = engine.Limit(ctx, s, q.Limit, batch)
+		mctx := engine.WithOpStats(ctx, x.modifierStats("limit", ""))
+		s = engine.Limit(mctx, s, q.Limit, batch)
 	}
 	return s, nil
 }
@@ -280,7 +374,13 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 		if err != nil {
 			return nil, err
 		}
-		return w.Execute(ctx, v.Req)
+		s, err := w.Execute(ctx, v.Req)
+		if err != nil {
+			return nil, err
+		}
+		// Leaf streams are produced inside the wrapper; a metering relay
+		// attributes the production to the service node's stats.
+		return engine.Meter(ctx, s, x.stats(v, "service", v.SourceID)), nil
 	case *JoinNode:
 		if v.Op == JoinBind || v.Op == JoinBlockBind {
 			if svc, ok := v.R.(*ServiceNode); ok {
@@ -292,6 +392,7 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 				if err != nil {
 					return nil, err
 				}
+				svcStats := x.stats(svc, "service", svc.SourceID)
 				if v.Op == JoinBlockBind {
 					service := func(ctx context.Context, seeds []sparql.Binding) *engine.Stream {
 						if len(seeds) == 0 {
@@ -314,9 +415,11 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 							empty.Close()
 							return empty
 						}
-						return s
+						return engine.Meter(ctx, s, svcStats)
 					}
-					return engine.BlockBindJoin(ctx, left, service, v.JoinVars,
+					jctx := engine.WithOpStats(ctx,
+						x.stats(v, "block-bind-join", strings.Join(v.JoinVars, ",")))
+					return engine.BlockBindJoin(jctx, left, service, v.JoinVars,
 						opts.EffectiveBindBlockSize(), opts.EffectiveBindConcurrency(),
 						opts.EffectiveBatchSize()), nil
 				}
@@ -333,9 +436,11 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 						empty.Close()
 						return empty
 					}
-					return s
+					return engine.Meter(ctx, s, svcStats)
 				}
-				return engine.BindJoin(ctx, left, service, v.JoinVars, opts.EffectiveBatchSize()), nil
+				jctx := engine.WithOpStats(ctx,
+					x.stats(v, "bind-join", strings.Join(v.JoinVars, ",")))
+				return engine.BindJoin(jctx, left, service, v.JoinVars, opts.EffectiveBatchSize()), nil
 			}
 			// Fall through to symmetric hash when the right side is not a
 			// plain service.
@@ -350,9 +455,13 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 		}
 		switch v.Op {
 		case JoinNestedLoop:
-			return engine.NestedLoopJoin(ctx, left, right, v.JoinVars, opts.EffectiveBatchSize()), nil
+			jctx := engine.WithOpStats(ctx,
+				x.stats(v, "nested-loop-join", strings.Join(v.JoinVars, ",")))
+			return engine.NestedLoopJoin(jctx, left, right, v.JoinVars, opts.EffectiveBatchSize()), nil
 		default:
-			return engine.SymmetricHashJoin(ctx, left, right, v.JoinVars,
+			jctx := engine.WithOpStats(ctx,
+				x.stats(v, "hash-join", strings.Join(v.JoinVars, ",")))
+			return engine.SymmetricHashJoin(jctx, left, right, v.JoinVars,
 				opts.EffectiveProbeParallelism(), opts.EffectiveBatchSize()), nil
 		}
 	case *LeftJoinNode:
@@ -364,13 +473,15 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 		if err != nil {
 			return nil, err
 		}
-		return engine.LeftJoin(ctx, left, right, v.Filters, opts.EffectiveBatchSize()), nil
+		jctx := engine.WithOpStats(ctx, x.stats(v, "left-join", ""))
+		return engine.LeftJoin(jctx, left, right, v.Filters, opts.EffectiveBatchSize()), nil
 	case *FilterNode:
 		in, err := x.run(ctx, v.Child, opts)
 		if err != nil {
 			return nil, err
 		}
-		return engine.Filter(ctx, in, v.Exprs, opts.EffectiveBatchSize()), nil
+		fctx := engine.WithOpStats(ctx, x.stats(v, "filter", ""))
+		return engine.Filter(fctx, in, v.Exprs, opts.EffectiveBatchSize()), nil
 	case *UnionNode:
 		var streams []*engine.Stream
 		for _, c := range v.Children {
@@ -380,7 +491,8 @@ func (x *Execution) run(ctx context.Context, n PlanNode, opts Options) (*engine.
 			}
 			streams = append(streams, s)
 		}
-		return engine.Union(ctx, opts.EffectiveBatchSize(), streams...), nil
+		uctx := engine.WithOpStats(ctx, x.stats(v, "union", ""))
+		return engine.Union(uctx, opts.EffectiveBatchSize(), streams...), nil
 	default:
 		return nil, fmt.Errorf("core: unknown plan node %T", n)
 	}

@@ -34,6 +34,16 @@ type BatchWriter struct {
 	// timer armed before a size-triggered flush cannot flush the next
 	// partial batch early.
 	first time.Time
+
+	st *OpStats // optional: flushed batches are accounted as st's output
+}
+
+// SetStats attributes the writer's flushed batches to st (nil records
+// nothing). Call before the first Send.
+func (w *BatchWriter) SetStats(st *OpStats) {
+	w.mu.Lock()
+	w.st = st
+	w.mu.Unlock()
 }
 
 // NewBatchWriter returns a writer cutting batches of at most size bindings
@@ -129,7 +139,7 @@ func (w *BatchWriter) flushLocked() bool {
 	}
 	batch := w.buf
 	w.buf = nil
-	if !w.out.SendBatch(w.ctx, batch) {
+	if !w.st.send(w.ctx, w.out, batch) {
 		w.failed = true
 		return false
 	}

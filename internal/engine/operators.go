@@ -26,17 +26,19 @@ var hashSeed = maphash.MakeSeed()
 // further add/flush is a cheap no-op and ok() reports false — so callers
 // fall through to draining their inputs without special-casing dropped
 // batches. Not safe for concurrent use; concurrent producers (block bind
-// join dispatches, hash-join shard workers) each own one emitter.
+// join dispatches, hash-join shard workers) each own one emitter. Sends
+// are accounted to st (nil records nothing).
 type emitter struct {
 	ctx  context.Context
 	out  *Stream
 	size int
+	st   *OpStats
 	buf  []sparql.Binding
 	dead bool
 }
 
-func newEmitter(ctx context.Context, out *Stream, size int) *emitter {
-	return &emitter{ctx: ctx, out: out, size: size}
+func newEmitter(ctx context.Context, out *Stream, size int, st *OpStats) *emitter {
+	return &emitter{ctx: ctx, out: out, size: size, st: st}
 }
 
 // add buffers one result binding, forwarding a full batch.
@@ -57,7 +59,7 @@ func (e *emitter) flush() {
 		e.buf = nil
 		return
 	}
-	if !e.out.SendBatch(e.ctx, e.buf) {
+	if !e.st.send(e.ctx, e.out, e.buf) {
 		e.dead = true
 	}
 	e.buf = nil
@@ -89,6 +91,7 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	shardCh := make([]chan morsel, par)
 	for i := range shardCh {
@@ -102,7 +105,7 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 			defer workers.Done()
 			leftTable := make(map[string][]sparql.Binding)
 			rightTable := make(map[string][]sparql.Binding)
-			em := newEmitter(ctx, out, batch)
+			em := newEmitter(ctx, out, batch, st)
 			// After a failed send (context cancelled) keep consuming morsels
 			// so the partitioning readers — and through them the input
 			// producers — can finish instead of blocking forever.
@@ -110,6 +113,7 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 				if !em.ok() {
 					continue
 				}
+				st.addHashEntries(len(m.bindings))
 				own, other := leftTable, rightTable
 				if !m.fromLeft {
 					own, other = rightTable, leftTable
@@ -138,7 +142,11 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 	readers.Add(2)
 	consume := func(in *Stream, fromLeft bool) {
 		defer readers.Done()
-		for inBatch := range in.Batches() {
+		for {
+			inBatch, open := st.recv(in)
+			if !open {
+				return
+			}
 			keys := make([]string, len(inBatch))
 			for i, b := range inBatch {
 				keys[i] = b.Key(joinVars)
@@ -170,6 +178,7 @@ func SymmetricHashJoin(ctx context.Context, left, right *Stream, joinVars []stri
 			close(ch)
 		}
 		workers.Wait()
+		st.close()
 		out.Close()
 	}()
 	return out
@@ -188,9 +197,11 @@ func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []strin
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
+		defer st.close()
 		// Results trickle in per sequential service call, so the output is
 		// batched like a leaf producer's: a BatchWriter accumulates across
 		// seeds (selective seeds would otherwise emit per-tuple batches)
@@ -199,14 +210,20 @@ func BindJoin(ctx context.Context, left *Stream, right Service, joinVars []strin
 		// abandoned: stop invoking the right service but keep draining the
 		// left (and any in-flight right) stream so producers can finish.
 		w := NewBatchWriter(ctx, out, batch)
+		w.SetStats(st)
 		defer w.Close()
 		cancelled := false
-		for lbatch := range left.Batches() {
+		for {
+			lbatch, open := st.recv(left)
+			if !open {
+				break
+			}
 			for _, lb := range lbatch {
 				if cancelled {
 					continue
 				}
 				seed := lb.Project(joinVars)
+				st.AddBlock()
 				for rbatch := range right(ctx, seed).Batches() {
 					for _, rb := range rbatch {
 						if cancelled || !lb.Compatible(rb) {
@@ -252,9 +269,11 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
+		defer st.close()
 		sem := make(chan struct{}, concurrency)
 		var wg sync.WaitGroup
 		dispatch := func(block []sparql.Binding) {
@@ -279,12 +298,13 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 			}
 			sem <- struct{}{}
 			wg.Add(1)
+			st.AddBlock()
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
 				// Keep draining the block's response after a failed send so
 				// the service's producer goroutine can finish.
-				em := newEmitter(ctx, out, batch)
+				em := newEmitter(ctx, out, batch, st)
 				for rbatch := range right(ctx, seeds).Batches() {
 					if !em.ok() {
 						continue
@@ -301,7 +321,11 @@ func BlockBindJoin(ctx context.Context, left *Stream, right BlockService, joinVa
 			}()
 		}
 		var block []sparql.Binding
-		for lbatch := range left.Batches() {
+		for {
+			lbatch, open := st.recv(left)
+			if !open {
+				break
+			}
 			for _, lb := range lbatch {
 				block = append(block, lb)
 				if len(block) >= blockSize {
@@ -325,12 +349,18 @@ func NestedLoopJoin(ctx context.Context, left, right *Stream, joinVars []string,
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		rights := right.Collect()
-		em := newEmitter(ctx, out, batch)
-		for lbatch := range left.Batches() {
+		defer st.close()
+		rights := st.collect(right)
+		em := newEmitter(ctx, out, batch, st)
+		for {
+			lbatch, open := st.recv(left)
+			if !open {
+				break
+			}
 			if !em.ok() {
 				continue // drain the left so its producer can finish
 			}
@@ -356,12 +386,18 @@ func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr, b
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		rights := right.Collect()
-		em := newEmitter(ctx, out, batch)
-		for lbatch := range left.Batches() {
+		defer st.close()
+		rights := st.collect(right)
+		em := newEmitter(ctx, out, batch, st)
+		for {
+			lbatch, open := st.recv(left)
+			if !open {
+				break
+			}
 			if !em.ok() {
 				continue // drain the left so its producer can finish
 			}
@@ -394,16 +430,35 @@ func LeftJoin(ctx context.Context, left, right *Stream, filters []sparql.Expr, b
 	return out
 }
 
+// collect drains a stream into a flat slice, accounting the consumed
+// batches to the operator (nil st behaves like Stream.Collect).
+func (o *OpStats) collect(in *Stream) []sparql.Binding {
+	var out []sparql.Binding
+	for {
+		batch, ok := o.recv(in)
+		if !ok {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
+
 // Filter keeps the bindings satisfying every expression. batch only sizes
 // the output buffer (output granularity follows the input batches).
 func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr, batch int) *Stream {
 	if len(exprs) == 0 {
 		return in
 	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		for batch := range in.Batches() {
+		defer st.close()
+		for {
+			batch, open := st.recv(in)
+			if !open {
+				return
+			}
 			// The operator owns the received batch, so it filters in place:
 			// the common all-pass batch is forwarded without any copy.
 			kept := batch[:0]
@@ -419,7 +474,7 @@ func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr, batch int) *St
 					kept = append(kept, b)
 				}
 			}
-			if !out.SendBatch(ctx, kept) {
+			if !st.send(ctx, out, kept) {
 				return
 			}
 		}
@@ -430,14 +485,20 @@ func Filter(ctx context.Context, in *Stream, exprs []sparql.Expr, batch int) *St
 // Project restricts every binding to vars. batch only sizes the output
 // buffer (output granularity follows the input batches).
 func Project(ctx context.Context, in *Stream, vars []string, batch int) *Stream {
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		for batch := range in.Batches() {
+		defer st.close()
+		for {
+			batch, open := st.recv(in)
+			if !open {
+				return
+			}
 			for i, b := range batch {
 				batch[i] = b.Project(vars) // owned batch: rewrite in place
 			}
-			if !out.SendBatch(ctx, batch) {
+			if !st.send(ctx, out, batch) {
 				return
 			}
 		}
@@ -448,11 +509,17 @@ func Project(ctx context.Context, in *Stream, vars []string, batch int) *Stream 
 // Distinct drops duplicate bindings. batch only sizes the output buffer
 // (output granularity follows the input batches).
 func Distinct(ctx context.Context, in *Stream, batch int) *Stream {
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
+		defer st.close()
 		seen := make(map[string]bool)
-		for batch := range in.Batches() {
+		for {
+			batch, open := st.recv(in)
+			if !open {
+				return
+			}
 			kept := batch[:0] // owned batch: dedup in place, no copy
 			for _, b := range batch {
 				k := b.FullKey()
@@ -462,7 +529,7 @@ func Distinct(ctx context.Context, in *Stream, batch int) *Stream {
 				seen[k] = true
 				kept = append(kept, b)
 			}
-			if !out.SendBatch(ctx, kept) {
+			if !st.send(ctx, out, kept) {
 				return
 			}
 		}
@@ -473,11 +540,17 @@ func Distinct(ctx context.Context, in *Stream, batch int) *Stream {
 // Limit passes through at most n bindings (and drains the input to let
 // upstream goroutines finish). batch only sizes the output buffer.
 func Limit(ctx context.Context, in *Stream, n, batch int) *Stream {
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
+		defer st.close()
 		count := 0
-		for batch := range in.Batches() {
+		for {
+			batch, open := st.recv(in)
+			if !open {
+				return
+			}
 			if count >= n {
 				continue // keep draining so producers are not blocked forever
 			}
@@ -485,7 +558,7 @@ func Limit(ctx context.Context, in *Stream, n, batch int) *Stream {
 				batch = batch[:n-count]
 			}
 			count += len(batch)
-			if !out.SendBatch(ctx, batch) {
+			if !st.send(ctx, out, batch) {
 				return
 			}
 		}
@@ -495,11 +568,17 @@ func Limit(ctx context.Context, in *Stream, n, batch int) *Stream {
 
 // Offset skips the first n bindings. batch only sizes the output buffer.
 func Offset(ctx context.Context, in *Stream, n, batch int) *Stream {
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
+		defer st.close()
 		skipped := 0
-		for batch := range in.Batches() {
+		for {
+			batch, open := st.recv(in)
+			if !open {
+				return
+			}
 			if skipped < n {
 				drop := n - skipped
 				if drop > len(batch) {
@@ -508,7 +587,7 @@ func Offset(ctx context.Context, in *Stream, n, batch int) *Stream {
 				skipped += drop
 				batch = batch[drop:]
 			}
-			if !out.SendBatch(ctx, batch) {
+			if !st.send(ctx, out, batch) {
 				return
 			}
 		}
@@ -519,6 +598,7 @@ func Offset(ctx context.Context, in *Stream, n, batch int) *Stream {
 // Union merges the inputs in batch-arrival order. batch only sizes the
 // output buffer.
 func Union(ctx context.Context, batch int, ins ...*Stream) *Stream {
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	var wg sync.WaitGroup
 	wg.Add(len(ins))
@@ -526,11 +606,15 @@ func Union(ctx context.Context, batch int, ins ...*Stream) *Stream {
 		go func(in *Stream) {
 			defer wg.Done()
 			draining := false
-			for batch := range in.Batches() {
+			for {
+				batch, open := st.recv(in)
+				if !open {
+					return
+				}
 				if draining {
 					continue // drain the input so its producer can finish
 				}
-				if !out.SendBatch(ctx, batch) {
+				if !st.send(ctx, out, batch) {
 					draining = true
 				}
 			}
@@ -538,6 +622,7 @@ func Union(ctx context.Context, batch int, ins ...*Stream) *Stream {
 	}
 	go func() {
 		wg.Wait()
+		st.close()
 		out.Close()
 	}()
 	return out
@@ -546,12 +631,26 @@ func Union(ctx context.Context, batch int, ins ...*Stream) *Stream {
 // OrderBy materializes the input and emits it sorted in batches of batch
 // (<= 0 means DefaultBatchSize); a blocking operator.
 func OrderBy(ctx context.Context, in *Stream, keys []sparql.OrderKey, batch int) *Stream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	st := StatsFrom(ctx)
 	out := NewStream(bufBatches(batch))
 	go func() {
 		defer out.Close()
-		all := in.Collect()
+		defer st.close()
+		all := st.collect(in)
 		sparql.SortBindings(all, keys)
-		out.SendChunked(ctx, all, batch)
+		for len(all) > 0 {
+			n := batch
+			if n > len(all) {
+				n = len(all)
+			}
+			if !st.send(ctx, out, all[:n:n]) {
+				return
+			}
+			all = all[n:]
+		}
 	}()
 	return out
 }

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"ontario"
+	"ontario/internal/lslod"
+	"ontario/internal/trace"
+)
+
+// analyzeDoc is the shape of a results document carrying the EXPLAIN
+// ANALYZE member.
+type analyzeDoc struct {
+	Results struct {
+		Bindings []json.RawMessage `json:"bindings"`
+	} `json:"results"`
+	Analyze *struct {
+		QueryID string `json:"query_id"`
+		TraceID string `json:"trace_id"`
+		Plan    *struct {
+			Operator string `json:"operator"`
+			Actual   *struct {
+				BindingsOut int64 `json:"bindings_out"`
+				WallNS      int64 `json:"wall_ns"`
+			} `json:"actual"`
+			Children []json.RawMessage `json:"children"`
+		} `json:"plan"`
+		Modifiers []struct {
+			Kind string `json:"kind"`
+		} `json:"modifiers"`
+	} `json:"ontario:analyze"`
+}
+
+// TestAnalyzeFramingStreamed: ?analyze=1 on the happy path appends the
+// report as a top-level member after the streamed bindings — the document
+// stays valid JSON, the result set is unchanged, and the report's
+// identity matches the X-Ontario-Query-Id header.
+func TestAnalyzeFramingStreamed(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+
+	resp := postQuery(t, ts.URL, lslod.Queries()[0].Text, url.Values{"analyze": {"1"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	qid := resp.Header.Get("X-Ontario-Query-Id")
+	if qid == "" {
+		t.Fatal("X-Ontario-Query-Id header missing")
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc analyzeDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("analyze response is not valid JSON: %v\n%s", err, body)
+	}
+	if doc.Analyze == nil {
+		t.Fatal("ontario:analyze member missing")
+	}
+	if doc.Analyze.QueryID != qid {
+		t.Errorf("analyze query_id = %q, header = %q", doc.Analyze.QueryID, qid)
+	}
+	if len(doc.Analyze.TraceID) != 32 {
+		t.Errorf("analyze trace_id = %q, want 32 hex chars", doc.Analyze.TraceID)
+	}
+	if doc.Analyze.Plan == nil || doc.Analyze.Plan.Actual == nil {
+		t.Fatal("plan root lacks actuals")
+	}
+	if got := doc.Analyze.Plan.Actual.BindingsOut; got != int64(len(doc.Results.Bindings)) {
+		t.Errorf("plan root emitted %d, streamed %d bindings", got, len(doc.Results.Bindings))
+	}
+	if doc.Analyze.Plan.Actual.WallNS <= 0 {
+		t.Error("plan root wall time not measured")
+	}
+	if len(doc.Analyze.Modifiers) == 0 {
+		t.Error("no solution-modifier actuals (expected at least project)")
+	}
+	if got := resp.Trailer.Get("X-Ontario-Error"); got != "" {
+		t.Errorf("error trailer = %q on a successful query", got)
+	}
+
+	// Without the parameter the member must not appear.
+	resp2 := postQuery(t, ts.URL, lslod.Queries()[0].Text, nil)
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if strings.Contains(string(body2), "ontario:analyze") {
+		t.Error("analyze member present without ?analyze=1")
+	}
+	if !json.Valid(body2) {
+		t.Error("plain response is not valid JSON")
+	}
+}
+
+// TestAnalyzeFramingMidStreamError: when the deadline expires after the
+// 200 went out, the document is left unterminated (strict clients see
+// truncation, not a silently-short result), the X-Ontario-Error trailer
+// names the failure, and no analyze member is appended.
+func TestAnalyzeFramingMidStreamError(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1),
+		},
+	})
+
+	resp := postQuery(t, ts.URL, lslod.Queries()[2].Text,
+		url.Values{"analyze": {"1"}, "timeout": {"300ms"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (failure is post-header, in-band)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errTrailer := resp.Trailer.Get("X-Ontario-Error"); !strings.Contains(errTrailer, "deadline") {
+		t.Errorf("error trailer = %q, want the deadline error", errTrailer)
+	}
+	if json.Valid(body) {
+		t.Errorf("mid-stream failure produced a well-terminated document:\n%s", body)
+	}
+	if strings.Contains(string(body), "ontario:analyze") {
+		t.Error("analyze member appended to a failed document")
+	}
+	if resp.Header.Get("X-Ontario-Query-Id") == "" {
+		t.Error("query id header missing on the failure path")
+	}
+}
+
+// TestAnalyzeFraming504: a request that dies in the admission queue never
+// reaches streaming — plain 504 error body, no results framing, no
+// analyze member, but still a query id for correlation.
+func TestAnalyzeFraming504(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+		DefaultOptions: []ontario.Option{
+			ontario.WithUnawarePlan(), ontario.WithNetwork(ontario.Gamma3), ontario.WithNetworkScale(1),
+		},
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp := postQuery(t, ts.URL, lslod.Queries()[2].Text, nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Executing == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never started executing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postQuery(t, ts.URL, lslod.Queries()[0].Text,
+		url.Values{"analyze": {"1"}, "timeout": {"50ms"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), `"results"`) || strings.Contains(string(body), "ontario:analyze") {
+		t.Errorf("504 body carries results framing:\n%s", body)
+	}
+	if resp.Header.Get("X-Ontario-Query-Id") == "" {
+		t.Error("query id header missing on 504")
+	}
+	<-done
+}
+
+// TestTraceparentAdoptionAndSlowLog: a caller-supplied W3C traceparent is
+// adopted (same trace id, new span) and the completed query lands in
+// /debug/queries with that trace id; the threshold filter is applied at
+// read time.
+func TestTraceparentAdoptionAndSlowLog(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		SlowQueryLogSize: 8,
+		DefaultOptions:   []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+
+	up := trace.NewQueryTrace()
+	req, err := http.NewRequest("POST", ts.URL+"/sparql",
+		strings.NewReader(lslod.Queries()[0].Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	req.Header.Set("Traceparent", up.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	qid := resp.Header.Get("X-Ontario-Query-Id")
+	if qid == up.QueryID {
+		t.Error("server reused the caller's span id instead of minting its own")
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	var recs []QueryRecord
+	getJSON(t, ts.URL+"/debug/queries?threshold=0s", &recs)
+	if len(recs) != 1 {
+		t.Fatalf("slow log has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != up.TraceID {
+		t.Errorf("slow log trace id = %q, want the caller's %q", rec.TraceID, up.TraceID)
+	}
+	if rec.QueryID != qid {
+		t.Errorf("slow log query id = %q, header %q", rec.QueryID, qid)
+	}
+	if rec.Status != 200 || rec.Answers == 0 {
+		t.Errorf("record = status %d, %d answers", rec.Status, rec.Answers)
+	}
+	if rec.Analysis == nil || rec.Analysis.Plan == nil || rec.Analysis.Plan.Actual == nil {
+		t.Error("slow log record lacks the analyzed plan")
+	}
+
+	// An absurd threshold filters everything out.
+	getJSON(t, ts.URL+"/debug/queries?threshold=1h", &recs)
+	if len(recs) != 0 {
+		t.Errorf("threshold=1h returned %d records, want 0", len(recs))
+	}
+
+	// A malformed threshold is a client error.
+	resp2, err := http.Get(ts.URL + "/debug/queries?threshold=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus threshold got %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestHealthzReportsBuildInfo: /healthz carries build identity, uptime
+// and the engine counters.
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+	resp := postQuery(t, ts.URL, lslod.Queries()[0].Text, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var doc struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		GoVersion     string  `json:"go_version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		QueriesTotal  int64   `json:"queries_total"`
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Status != "ok" {
+		t.Errorf("status = %q", doc.Status)
+	}
+	if doc.Version == "" {
+		t.Error("version missing")
+	}
+	if !strings.HasPrefix(doc.GoVersion, "go") {
+		t.Errorf("go_version = %q", doc.GoVersion)
+	}
+	if doc.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v", doc.UptimeSeconds)
+	}
+	if doc.QueriesTotal != 1 {
+		t.Errorf("queries_total = %d, want 1", doc.QueriesTotal)
+	}
+}
+
+// TestPprofGatedByConfig: the pprof handlers are only mounted when
+// EnablePprof is set.
+func TestPprofGatedByConfig(t *testing.T) {
+	_, tsOff, _ := newTestServer(t, Config{})
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof reachable without EnablePprof")
+	}
+
+	_, tsOn, _ := newTestServer(t, Config{EnablePprof: true})
+	resp2, err := http.Get(tsOn.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline = %d with EnablePprof, want 200", resp2.StatusCode)
+	}
+}
+
+// TestOperatorMetricsExposition: executing a query populates the
+// per-operator wall-time and cardinality-error histogram families on
+// /metrics.
+func TestOperatorMetricsExposition(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		DefaultOptions: []ontario.Option{ontario.WithAwarePlan(), ontario.WithNetworkScale(0)},
+	})
+	resp := postQuery(t, ts.URL, lslod.Queries()[0].Text, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	if !strings.Contains(text, MetricOperatorTime+`_count{op="service"}`) {
+		t.Errorf("per-operator time family missing service series:\n%s", grepLines(text, MetricOperatorTime))
+	}
+	if !strings.Contains(text, MetricCardError+"_count") {
+		t.Errorf("cardinality-error family missing:\n%s", grepLines(text, MetricCardError))
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+func grepLines(text, needle string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -87,3 +87,21 @@ func (e *resultsEncoder) writeTail() error {
 	_, err := e.w.Write([]byte("]}}"))
 	return err
 }
+
+// writeAnalyzeTail closes the document with the EXPLAIN ANALYZE report
+// appended as a top-level "ontario:analyze" member after the results —
+// the document stays valid JSON, and because the member follows the
+// streamed bindings the streaming semantics survive (?analyze=1 costs
+// nothing until the query is done).
+func (e *resultsEncoder) writeAnalyzeTail(a *ontario.Analysis) error {
+	doc, err := json.Marshal(a)
+	if err != nil {
+		// Fall back to the plain tail: a valid result document matters more
+		// than the report.
+		return e.writeTail()
+	}
+	payload := append([]byte(`]},"ontario:analyze":`), doc...)
+	payload = append(payload, '}')
+	_, err = e.w.Write(payload)
+	return err
+}

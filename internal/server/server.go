@@ -32,8 +32,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -41,6 +43,7 @@ import (
 
 	"ontario"
 	"ontario/internal/bridge"
+	"ontario/internal/buildinfo"
 	"ontario/internal/trace"
 )
 
@@ -57,7 +60,19 @@ const (
 	MetricSourceDelay   = "ontario_source_delay_ms"
 	MetricPlanCacheHits = "ontario_plan_cache_hits_total"
 	MetricPlanCacheMiss = "ontario_plan_cache_misses_total"
+	// MetricOperatorTime is the per-operator wall-time histogram, labeled
+	// op=<operator kind> ("service", "hash-join", "bind-join", ...).
+	MetricOperatorTime = "ontario_operator_time_ms"
+	// MetricCardError is the estimate-vs-actual cardinality error
+	// histogram: |log10((actual+1)/(estimated+1))| per cost-estimated plan
+	// node, so 1.0 means the estimate was an order of magnitude off — the
+	// divergence signal adaptive re-optimization keys on.
+	MetricCardError = "ontario_cardinality_error_log10"
 )
+
+// cardErrorBuckets buckets the cardinality error histogram in log10 units
+// (0.3 ≈ 2x off, 1 = 10x off, 2 = 100x off).
+var cardErrorBuckets = []float64{0.1, 0.3, 0.5, 1, 1.5, 2, 3, 4}
 
 // Config parameterizes the serving layer.
 type Config struct {
@@ -81,6 +96,16 @@ type Config struct {
 	// DefaultOptions are applied to every query before the per-request
 	// mode/network parameters.
 	DefaultOptions []ontario.Option
+	// SlowQueryLogSize bounds the ring buffer behind /debug/queries, which
+	// records every completed query with its plan, actuals and per-source
+	// health (default 128; negative disables the log).
+	SlowQueryLogSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger, when non-nil, receives one structured access-log line per
+	// /sparql request, correlated with the query ID from the tracing
+	// layer.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 128
+	}
+	if c.SlowQueryLogSize == 0 {
+		c.SlowQueryLogSize = 128
 	}
 	return c
 }
@@ -123,6 +151,8 @@ type Server struct {
 	mux     *http.ServeMux
 	admit   chan struct{}
 	plans   *planCache // nil when caching is disabled
+	slow    *slowLog   // nil when the slow-query log is disabled
+	started time.Time
 
 	mu            sync.Mutex
 	waiting       int
@@ -142,11 +172,21 @@ func New(eng *ontario.Engine, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		admit:   make(chan struct{}, cfg.MaxConcurrent),
 		plans:   newPlanCache(cfg.PlanCacheSize),
+		slow:    newSlowLog(cfg.SlowQueryLogSize),
+		started: time.Now(),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSparql)
 	s.mux.HandleFunc("/molecules", s.handleMolecules)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -337,19 +377,19 @@ func (s *Server) requestOptions(r *http.Request) ([]ontario.Option, string, erro
 // (coarsely bucketed), so a plan optimized with live cost-model gamma is
 // re-planned when a source's observed health drifts materially instead
 // of being served stale forever.
-func (s *Server) prepare(eng *ontario.Engine, text, fingerprint string, opts []ontario.Option) (*ontario.Prepared, error) {
+func (s *Server) prepare(eng *ontario.Engine, text, fingerprint string, opts []ontario.Option) (prep *ontario.Prepared, cacheHit bool, err error) {
 	key := normalizeQuery(text) + "|" + fingerprint + latencyFingerprint(eng.SourceHealth())
 	if prep := s.plans.get(key); prep != nil {
 		s.metrics.Inc(MetricPlanCacheHits)
-		return prep, nil
+		return prep, true, nil
 	}
-	prep, err := eng.Prepare(text, opts...)
+	prep, err = eng.Prepare(text, opts...)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.metrics.Inc(MetricPlanCacheMiss)
 	s.plans.put(key, prep)
-	return prep, nil
+	return prep, false, nil
 }
 
 // latencyFingerprint is the plan-cache key component derived from the
@@ -404,19 +444,47 @@ func (s *Server) reject(w http.ResponseWriter) {
 }
 
 func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
 		return
 	}
+
+	// Every request gets a trace identity up front — assigned fresh, or
+	// adopted from an incoming W3C traceparent header when this node is a
+	// federated hop of an upstream coordinator. The query ID goes out as a
+	// response header immediately so even failed requests correlate.
+	qt, ok := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+	if !ok {
+		qt = trace.NewQueryTrace()
+	}
+	w.Header().Set("X-Ontario-Query-Id", qt.QueryID)
+
+	accessLog := func(status int, extra ...any) {
+		if s.cfg.Logger == nil {
+			return
+		}
+		args := append([]any{
+			slog.String("query_id", qt.QueryID),
+			slog.String("trace_id", qt.TraceID),
+			slog.String("method", r.Method),
+			slog.Int("status", status),
+			slog.Duration("duration", time.Since(started)),
+		}, extra...)
+		s.cfg.Logger.Info("sparql", args...)
+	}
+
 	text, err := queryText(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		accessLog(http.StatusBadRequest, slog.String("error", err.Error()))
 		return
 	}
 	opts, fingerprint, err := s.requestOptions(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		accessLog(http.StatusBadRequest, slog.String("error", err.Error()))
 		return
 	}
 
@@ -425,28 +493,34 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	// EXPLAIN: plan (through the cache) and render without executing — no
 	// admission slot needed, planning is engine-local.
 	if explain := qparam(r, "explain"); explain == "1" || explain == "true" {
-		prep, err := s.prepare(eng, text, fingerprint, opts)
+		prep, cacheHit, err := s.prepare(eng, text, fingerprint, opts)
 		if err != nil {
 			s.metrics.Inc(MetricFailed)
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			accessLog(http.StatusBadRequest, slog.String("error", err.Error()))
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, prep.Explain())
+		accessLog(http.StatusOK, slog.Bool("explain", true), slog.Bool("plan_cache_hit", cacheHit))
 		return
 	}
+	wantAnalyze := qparam(r, "analyze") == "1" || qparam(r, "analyze") == "true"
 
 	// The query context: cancelled by client disconnect (request context)
 	// or the per-query deadline, and propagated into the executor and the
-	// wrappers.
+	// wrappers. The query trace rides along so the executor adopts this
+	// request's identity and remote hops forward its traceparent.
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryDeadline(r))
 	defer cancel()
+	ctx = trace.WithQuery(ctx, qt)
 
 	release, aerr := s.acquire(ctx)
 	switch aerr {
 	case nil:
 	case errSaturated:
 		s.reject(w)
+		accessLog(http.StatusServiceUnavailable, slog.String("error", "saturated"))
 		return
 	default:
 		// The deadline expired (or the client left) while the request was
@@ -455,14 +529,16 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Inc(MetricQueueTimeout)
 		http.Error(w, "query deadline expired while waiting for an execution slot",
 			http.StatusGatewayTimeout)
+		accessLog(http.StatusGatewayTimeout, slog.String("error", "queue timeout"))
 		return
 	}
 	defer release()
 
-	prep, err := s.prepare(eng, text, fingerprint, opts)
+	prep, cacheHit, err := s.prepare(eng, text, fingerprint, opts)
 	if err != nil {
 		s.metrics.Inc(MetricFailed)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		accessLog(http.StatusBadRequest, slog.String("error", err.Error()))
 		return
 	}
 	res, err := eng.QueryPrepared(ctx, prep, opts...)
@@ -470,7 +546,9 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		// The query was already parsed and planned — a failure here is the
 		// execution's, not the client's, so 4xx would be a lie.
 		s.metrics.Inc(MetricFailed)
-		http.Error(w, err.Error(), execStatus(err))
+		status := execStatus(err)
+		http.Error(w, err.Error(), status)
+		accessLog(status, slog.String("error", err.Error()))
 		return
 	}
 	defer res.Close()
@@ -478,7 +556,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	w.Header().Set("Cache-Control", "no-store")
-	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms, X-Ontario-Error")
+	w.Header().Set("Trailer", "X-Ontario-Answers, X-Ontario-Messages, X-Ontario-TTFA-Ms, X-Ontario-Error, X-Ontario-Spans")
 	w.WriteHeader(http.StatusOK)
 
 	enc := newResultsEncoder(w, res.Vars())
@@ -515,17 +593,32 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	analysis := res.Analyze()
 	// A failure after the 200 went out (a source died mid-query, the
 	// deadline expired mid-stream) can only be signalled in-band: the
 	// X-Ontario-Error trailer names it and the JSON document is left
 	// unterminated, so strict clients see a truncated body rather than a
 	// silently-short result set.
-	if err := res.Err(); err != nil {
+	execErr := res.Err()
+	if execErr != nil {
 		s.metrics.Inc(MetricFailed)
 		w.Header().Set("X-Ontario-Error",
-			strings.ReplaceAll(strings.ReplaceAll(err.Error(), "\n", " "), "\r", " "))
+			strings.ReplaceAll(strings.ReplaceAll(execErr.Error(), "\n", " "), "\r", " "))
 	} else if writeOK {
-		_ = enc.writeTail()
+		if wantAnalyze {
+			_ = enc.writeAnalyzeTail(analysis)
+		} else {
+			_ = enc.writeTail()
+		}
+	}
+	// The spans this node fanned out (with their nested children) return
+	// to a federating caller in a trailer, so a coordinator sees the whole
+	// tree; sent on failures too — a broken hop is exactly what the
+	// coordinator wants to see.
+	if spans := qt.RemoteSpans(); len(spans) > 0 {
+		if doc, err := json.Marshal(spans); err == nil {
+			w.Header().Set("X-Ontario-Spans", string(doc))
+		}
 	}
 	st := res.Stats()
 
@@ -535,10 +628,66 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	for src, d := range st.SourceDelays {
 		s.metrics.ObserveSource(MetricSourceDelay, src, d)
 	}
+	s.recordAnalysis(analysis)
 
 	w.Header().Set("X-Ontario-Answers", fmt.Sprintf("%d", st.Answers))
 	w.Header().Set("X-Ontario-Messages", fmt.Sprintf("%d", st.Messages))
 	w.Header().Set("X-Ontario-TTFA-Ms", fmt.Sprintf("%.3f", float64(st.TimeToFirstAnswer)/float64(time.Millisecond)))
+
+	status := http.StatusOK
+	rec := QueryRecord{
+		QueryID:    qt.QueryID,
+		TraceID:    qt.TraceID,
+		When:       started,
+		Query:      text,
+		Status:     status,
+		Answers:    st.Answers,
+		Messages:   st.Messages,
+		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+		TTFAMS:     float64(st.TimeToFirstAnswer) / float64(time.Millisecond),
+		Analysis:   analysis,
+		Sources:    eng.SourceHealth(),
+	}
+	if execErr != nil {
+		rec.Error = execErr.Error()
+	}
+	s.slow.add(rec)
+
+	logArgs := []any{
+		slog.Int("answers", st.Answers),
+		slog.Int("messages", st.Messages),
+		slog.Bool("plan_cache_hit", cacheHit),
+	}
+	if execErr != nil {
+		logArgs = append(logArgs, slog.String("error", execErr.Error()))
+	}
+	accessLog(status, logArgs...)
+}
+
+// recordAnalysis folds one execution's actuals into the metric families:
+// per-operator wall time, and — for every cost-estimated plan node — the
+// estimate-vs-actual cardinality error in orders of magnitude.
+func (s *Server) recordAnalysis(a *ontario.Analysis) {
+	if a == nil || a.Plan == nil {
+		return
+	}
+	var walk func(n *ontario.PlanSummary)
+	walk = func(n *ontario.PlanSummary) {
+		if n.Actual != nil {
+			s.metrics.ObserveLabeled(MetricOperatorTime, "op", n.Actual.Kind, n.Actual.Wall)
+			if n.Estimate != nil {
+				err := math.Abs(math.Log10((float64(n.Actual.BindingsOut) + 1) / (n.Estimate.Cardinality + 1)))
+				s.metrics.ObserveValue(MetricCardError, "", "", err, cardErrorBuckets)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(a.Plan)
+	for _, m := range a.Modifiers {
+		s.metrics.ObserveLabeled(MetricOperatorTime, "op", m.Kind, m.Wall)
+	}
 }
 
 // execStatus maps an execution failure to an HTTP status: 504 when the
@@ -630,7 +779,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.WritePrometheus(w)
 }
 
+// handleHealthz reports liveness plus the operational identity of the
+// node: build info, uptime, and the engine's headline counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	version, commit := buildinfo.Info()
+	st := s.Stats()
+	doc := struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		Commit        string  `json:"commit,omitempty"`
+		GoVersion     string  `json:"go_version,omitempty"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Queries       int64   `json:"queries_total"`
+		Failed        int64   `json:"queries_failed_total"`
+		Rejected      int64   `json:"queries_rejected_total"`
+		Answers       int64   `json:"answers_total"`
+		Executing     int     `json:"executing"`
+		Waiting       int     `json:"waiting"`
+		PeakExecuting int     `json:"peak_executing"`
+	}{
+		Status:        "ok",
+		Version:       version,
+		Commit:        commit,
+		GoVersion:     buildinfo.GoVersion(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Queries:       s.metrics.Counter(MetricQueries),
+		Failed:        s.metrics.Counter(MetricFailed),
+		Rejected:      s.metrics.Counter(MetricRejected),
+		Answers:       s.metrics.Counter(MetricAnswers),
+		Executing:     st.Executing,
+		Waiting:       st.Waiting,
+		PeakExecuting: st.PeakExecuting,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// handleDebugQueries serves the slow-query log: the most recent completed
+// queries (text, trace identity, plan with actuals, per-source health),
+// most recent first, filtered to those at least as slow as the optional
+// threshold parameter (a Go duration, e.g. ?threshold=250ms).
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if s.slow == nil {
+		http.Error(w, "slow-query log disabled", http.StatusNotFound)
+		return
+	}
+	var threshold time.Duration
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad threshold %q: %v", t, err), http.StatusBadRequest)
+			return
+		}
+		threshold = d
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.slow.slower(threshold))
 }

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"ontario"
+)
+
+// QueryRecord is one completed query in the slow-query log: the query
+// text, its trace identity, outcome, the executed plan annotated with
+// actuals, and the per-source health observed at completion time. It is
+// the JSON row format of /debug/queries.
+type QueryRecord struct {
+	QueryID    string    `json:"query_id"`
+	TraceID    string    `json:"trace_id"`
+	When       time.Time `json:"when"`
+	Query      string    `json:"query"`
+	Status     int       `json:"status"`
+	Answers    int       `json:"answers"`
+	Messages   int       `json:"messages"`
+	DurationMS float64   `json:"duration_ms"`
+	TTFAMS     float64   `json:"ttfa_ms"`
+	Error      string    `json:"error,omitempty"`
+	// Analysis is the EXPLAIN ANALYZE view of the execution (per-operator
+	// actuals, remote spans).
+	Analysis *ontario.Analysis `json:"analysis,omitempty"`
+	// Sources is the engine's per-source health snapshot at completion.
+	Sources []ontario.SourceHealth `json:"sources,omitempty"`
+}
+
+// slowLog is a fixed-size ring of the most recent completed queries. Every
+// completion is recorded (recording is cheap — the analysis is already
+// built for metrics); the threshold filter is applied at read time, so the
+// operator picks what "slow" means per request.
+type slowLog struct {
+	mu   sync.Mutex
+	ring []QueryRecord
+	next int
+	n    int
+}
+
+func newSlowLog(size int) *slowLog {
+	if size <= 0 {
+		return nil
+	}
+	return &slowLog{ring: make([]QueryRecord, size)}
+}
+
+// add records one completed query; nil receiver (log disabled) is a no-op.
+func (l *slowLog) add(rec QueryRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// slower returns the recorded queries at least as slow as threshold, most
+// recent first.
+func (l *slowLog) slower(threshold time.Duration) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	minMS := float64(threshold) / float64(time.Millisecond)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		rec := l.ring[(l.next-1-i+len(l.ring))%len(l.ring)]
+		if rec.DurationMS >= minMS {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

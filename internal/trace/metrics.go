@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -80,9 +81,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// EscapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote, and newline must be escaped. Label
+// values reach the registry from caller-supplied source IDs, so this is a
+// correctness (and injection-safety) requirement, not cosmetics.
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 type histKey struct {
-	name  string
-	label string // value of the "source" label; empty for unlabeled
+	name       string
+	labelName  string // e.g. "source" or "op"; empty for unlabeled
+	labelValue string
 }
 
 // Metrics is a concurrency-safe registry of counters and latency
@@ -127,23 +154,45 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 // ObserveSource records a duration into the histogram labeled with the
 // given source (empty source means unlabeled).
 func (m *Metrics) ObserveSource(name, source string, d time.Duration) {
+	label := ""
+	if source != "" {
+		label = "source"
+	}
+	m.ObserveValue(name, label, source, float64(d)/float64(time.Millisecond), nil)
+}
+
+// ObserveLabeled records a duration into the histogram carrying an
+// arbitrary label (e.g. op="bind-join").
+func (m *Metrics) ObserveLabeled(name, labelName, labelValue string, d time.Duration) {
+	m.ObserveValue(name, labelName, labelValue, float64(d)/float64(time.Millisecond), nil)
+}
+
+// ObserveValue records a raw value into the named histogram with the given
+// label pair (both empty means unlabeled). bounds selects the bucket
+// layout when the series is created (nil means DefaultBuckets); it is
+// ignored on later observations.
+func (m *Metrics) ObserveValue(name, labelName, labelValue string, v float64, bounds []float64) {
 	m.mu.Lock()
-	k := histKey{name: name, label: source}
+	k := histKey{name: name, labelName: labelName, labelValue: labelValue}
 	h, ok := m.hists[k]
 	if !ok {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		m.hists[k] = h
 	}
-	h.observe(float64(d) / float64(time.Millisecond))
+	h.observe(v)
 	m.mu.Unlock()
 }
 
 // HistogramSnapshot returns a copy of the named histogram (source may be
 // empty for the unlabeled series), or nil when nothing was observed.
 func (m *Metrics) HistogramSnapshot(name, source string) *Histogram {
+	label := ""
+	if source != "" {
+		label = "source"
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	h, ok := m.hists[histKey{name: name, label: source}]
+	h, ok := m.hists[histKey{name: name, labelName: label, labelValue: source}]
 	if !ok {
 		return nil
 	}
@@ -194,7 +243,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		if hists[i].key.name != hists[j].key.name {
 			return hists[i].key.name < hists[j].key.name
 		}
-		return hists[i].key.label < hists[j].key.label
+		if hists[i].key.labelName != hists[j].key.labelName {
+			return hists[i].key.labelName < hists[j].key.labelName
+		}
+		return hists[i].key.labelValue < hists[j].key.labelValue
 	})
 	lastType := ""
 	for _, e := range hists {
@@ -205,16 +257,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			lastType = e.key.name
 		}
 		label := func(extra string) string {
-			if e.key.label == "" {
+			if e.key.labelName == "" {
 				if extra == "" {
 					return ""
 				}
 				return "{" + extra + "}"
 			}
+			pair := fmt.Sprintf(`%s="%s"`, e.key.labelName, EscapeLabel(e.key.labelValue))
 			if extra == "" {
-				return fmt.Sprintf("{source=%q}", e.key.label)
+				return "{" + pair + "}"
 			}
-			return fmt.Sprintf("{source=%q,%s}", e.key.label, extra)
+			return "{" + pair + "," + extra + "}"
 		}
 		var cum uint64
 		for i, bound := range e.h.bounds {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"ontario/internal/catalog"
 	"ontario/internal/engine"
@@ -11,6 +13,7 @@ import (
 	"ontario/internal/rdb"
 	"ontario/internal/sparql"
 	"ontario/internal/sql"
+	"ontario/internal/trace"
 )
 
 // DBSQLWrapper answers star queries against a live relational database
@@ -100,10 +103,28 @@ func (w *DBSQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Strea
 
 // query runs the translated SELECT on the live connection under the
 // resilience policy and materializes the rows in translation column order.
+// Each call records a remote span in the query trace (a database hop has
+// no traceparent to forward, but its attempts, breaker state and latency
+// belong in the federation tree).
 func (w *DBSQLWrapper) query(ctx context.Context, tl *translation) ([]rdb.Row, error) {
 	stmt := tl.sel.String()
 	var out []rdb.Row
+	var attempts atomic.Int64
+	started := time.Now()
+	defer func() {
+		qt := trace.FromContext(ctx)
+		if qt == nil {
+			return
+		}
+		qt.AddRemoteSpan(trace.RemoteSpan{
+			Source:    w.src.ID,
+			Attempts:  int(attempts.Load()),
+			Breaker:   w.health.State(w.src.ID).String(),
+			LatencyMS: float64(time.Since(started)) / float64(time.Millisecond),
+		})
+	}()
 	err := w.health.Do(ctx, w.src.ID, func(actx context.Context) error {
+		attempts.Add(1)
 		rows, err := w.src.SQLDB.QueryContext(actx, stmt)
 		if err != nil {
 			return err

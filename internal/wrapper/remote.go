@@ -8,11 +8,14 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/rdf"
 	"ontario/internal/sparql"
+	"ontario/internal/trace"
 )
 
 // RemoteSPARQLWrapper answers star queries against a live SPARQL-protocol
@@ -60,15 +63,34 @@ func (w *RemoteSPARQLWrapper) Execute(ctx context.Context, req *Request) (*engin
 		return nil, fmt.Errorf("wrapper %s: empty request", w.id)
 	}
 	query := buildRemoteQuery(req)
+	qt := trace.FromContext(ctx)
 	var sols []sparql.Binding
+	var attempts atomic.Int64
+	var peer peerTrace
+	started := time.Now()
 	err := w.health.Do(ctx, w.id, func(actx context.Context) error {
-		got, ferr := w.fetch(actx, query)
+		attempts.Add(1)
+		got, p, ferr := w.fetch(actx, query, qt)
 		if ferr != nil {
 			return ferr
 		}
-		sols = got
+		sols, peer = got, p
 		return nil
 	})
+	if qt != nil {
+		span := trace.RemoteSpan{
+			Source:    w.id,
+			QueryID:   peer.queryID,
+			Attempts:  int(attempts.Load()),
+			Breaker:   w.health.State(w.id).String(),
+			LatencyMS: float64(time.Since(started)) / float64(time.Millisecond),
+			Children:  peer.spans,
+		}
+		if err != nil {
+			span.Error = err.Error()
+		}
+		qt.AddRemoteSpan(span)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wrapper %s: endpoint %s: %w", w.id, w.endpoint, err)
 	}
@@ -184,23 +206,38 @@ func (t remoteTerm) term() rdf.Term {
 // message.
 const maxErrorBody = 4 << 10
 
+// peerTrace is what a remote hop reports back for the coordinator's trace:
+// the peer's query ID (when the endpoint is an ontario server) and the
+// peer's own remote spans, nesting deeper federation levels.
+type peerTrace struct {
+	queryID string
+	spans   []trace.RemoteSpan
+}
+
 // fetch runs one attempt: POST the query, read and decode the full result
 // document. A truncated body (an upstream node that died mid-stream writes
 // a valid-looking prefix with no closing braces) surfaces as a JSON decode
 // error, and an ontario-server upstream that failed mid-stream announces it
-// in the X-Ontario-Error trailer — both are retryable.
-func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string) ([]sparql.Binding, error) {
+// in the X-Ontario-Error trailer — both are retryable. When qt is non-nil
+// the hop propagates the W3C traceparent header and collects the peer's
+// trace identity from the response.
+func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string, qt *trace.QueryTrace) ([]sparql.Binding, peerTrace, error) {
+	var peer peerTrace
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.endpoint, strings.NewReader(query))
 	if err != nil {
-		return nil, Permanent(err)
+		return nil, peer, Permanent(err)
 	}
 	hreq.Header.Set("Content-Type", "application/sparql-query")
 	hreq.Header.Set("Accept", "application/sparql-results+json")
+	if qt != nil {
+		hreq.Header.Set("Traceparent", qt.Traceparent())
+	}
 	resp, err := w.client.Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, peer, err
 	}
 	defer resp.Body.Close()
+	peer.queryID = resp.Header.Get("X-Ontario-Query-Id")
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
 		err := fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
@@ -208,9 +245,9 @@ func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string) ([]sparql
 			resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
 			// The request itself is wrong (parse error, bad parameter):
 			// retrying the same text cannot help.
-			return nil, Permanent(err)
+			return nil, peer, Permanent(err)
 		}
-		return nil, err
+		return nil, peer, err
 	}
 	var doc struct {
 		Results struct {
@@ -219,12 +256,17 @@ func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string) ([]sparql
 	}
 	dec := json.NewDecoder(resp.Body)
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("decoding results: %w", err)
+		return nil, peer, fmt.Errorf("decoding results: %w", err)
 	}
 	// Trailers are only populated once the body has been fully read.
 	io.Copy(io.Discard, resp.Body)
+	if raw := resp.Trailer.Get("X-Ontario-Spans"); raw != "" {
+		// Best effort: a peer sending malformed spans only loses its
+		// subtree in the coordinator trace.
+		_ = json.Unmarshal([]byte(raw), &peer.spans)
+	}
 	if msg := resp.Trailer.Get("X-Ontario-Error"); msg != "" {
-		return nil, fmt.Errorf("upstream failed mid-stream: %s", msg)
+		return nil, peer, fmt.Errorf("upstream failed mid-stream: %s", msg)
 	}
 	sols := make([]sparql.Binding, 0, len(doc.Results.Bindings))
 	for _, row := range doc.Results.Bindings {
@@ -234,7 +276,7 @@ func (w *RemoteSPARQLWrapper) fetch(ctx context.Context, query string) ([]sparql
 		}
 		sols = append(sols, b)
 	}
-	return sols, nil
+	return sols, peer, nil
 }
 
 // NoDelaySim returns a simulator that accounts request/response messages

@@ -3,6 +3,7 @@ package ontario
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"ontario/internal/core"
 )
@@ -11,14 +12,14 @@ import (
 // the cost optimizer planned it.
 type Estimate struct {
 	// Cardinality is the estimated number of output bindings.
-	Cardinality float64
+	Cardinality float64 `json:"cardinality"`
 	// Messages is the estimated number of simulated network messages
 	// needed to produce the node's output.
-	Messages float64
+	Messages float64 `json:"messages"`
 	// Cost is the scalar optimization objective in millisecond-
 	// equivalents: message latency under the active network profile plus
 	// transferred-binding volume.
-	Cost float64
+	Cost float64 `json:"cost"`
 }
 
 // PlanSummary is one node of a query execution plan, rendered into public
@@ -28,19 +29,25 @@ type Estimate struct {
 type PlanSummary struct {
 	// Operator is the node kind: "service", "merged-service", "join",
 	// "left-join", "filter" or "union".
-	Operator string
+	Operator string `json:"operator"`
 	// Source is the answering source ID of service nodes.
-	Source string
+	Source string `json:"source,omitempty"`
 	// Detail describes the node: the stars of a service ("?d:Disease(2
 	// patterns)"), the operator of a join ("symmetric-hash"), the filter
 	// expressions of a filter node.
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// JoinVars are the join variables of join nodes.
-	JoinVars []string
+	JoinVars []string `json:"join_vars,omitempty"`
 	// Estimate is the cost model's prediction, nil when the plan was not
 	// produced by the cost optimizer.
-	Estimate *Estimate
-	Children []*PlanSummary
+	Estimate *Estimate `json:"estimate,omitempty"`
+	// Actual is the node's observed runtime behaviour, populated by
+	// Results.Analyze (EXPLAIN ANALYZE); nil on a plain Explain.
+	Actual *Actual `json:"actual,omitempty"`
+	// Remote holds the spans of the federated requests a service node
+	// issued to a remote source, populated by Results.Analyze.
+	Remote   []RemoteSpan   `json:"remote,omitempty"`
+	Children []*PlanSummary `json:"children,omitempty"`
 }
 
 // String renders the plan tree.
@@ -68,7 +75,24 @@ func (s *PlanSummary) render(b *strings.Builder, depth int) {
 		fmt.Fprintf(b, "  {est card=%.0f msgs=%.0f cost=%.1f}",
 			s.Estimate.Cardinality, s.Estimate.Messages, s.Estimate.Cost)
 	}
+	if s.Actual != nil {
+		fmt.Fprintf(b, "  {act card=%d in=%d wall=%s blocked=%s/%s",
+			s.Actual.BindingsOut, s.Actual.BindingsIn,
+			s.Actual.Wall.Round(time.Microsecond),
+			s.Actual.BlockedRecv.Round(time.Microsecond),
+			s.Actual.BlockedSend.Round(time.Microsecond))
+		if s.Actual.HashEntries > 0 {
+			fmt.Fprintf(b, " hash=%d", s.Actual.HashEntries)
+		}
+		if s.Actual.BlocksIssued > 0 {
+			fmt.Fprintf(b, " blocks=%d", s.Actual.BlocksIssued)
+		}
+		b.WriteByte('}')
+	}
 	b.WriteByte('\n')
+	for _, sp := range s.Remote {
+		sp.render(b, depth+1)
+	}
 	for _, c := range s.Children {
 		c.render(b, depth+1)
 	}
