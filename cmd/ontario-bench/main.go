@@ -24,6 +24,12 @@
 //	                   exchange batch size (-exchange-batches, 1 = the
 //	                   binding-at-a-time baseline) × probe parallelism
 //	                   (-exchange-par), reporting bindings/sec throughput
+//	-experiment columnar
+//	                   data-plane ablation: the LSLOD query mix in-process
+//	                   under the row-at-a-time reference exchange vs the
+//	                   default dictionary-encoded columnar exchange, per
+//	                   batch size (-exchange-batches), reporting
+//	                   bindings/sec and the columnar/row speedup
 //	-experiment all    all of the paper experiments above (serve and
 //	                   exchange must be requested explicitly: at
 //	                   -net-scale 1 a multi-client load test over the gamma
@@ -51,7 +57,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | exchange | all")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | exchange | columnar | all")
 		small    = flag.Bool("small", false, "use the small data scale")
 		seed     = flag.Int64("seed", 1, "data and network seed")
 		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
@@ -70,6 +76,8 @@ func main() {
 		exchBatches = flag.String("exchange-batches", "1,16,64,256,1024", "comma-separated exchange batch sizes for -experiment exchange")
 		exchPar     = flag.String("exchange-par", "1,4", "comma-separated probe parallelism levels for -experiment exchange")
 		exchNetwork = flag.String("exchange-network", "none", "network profile for -experiment exchange")
+
+		columnarRepeats = flag.Int("columnar-repeats", 0, "query-mix repetitions per cell for -experiment columnar (0 = default)")
 	)
 	flag.Parse()
 
@@ -262,6 +270,31 @@ func main() {
 		exp.WriteExchangeTable(os.Stdout, rows)
 		emitJSON(func(dir string) (string, error) {
 			return exp.WriteExchangeJSON(dir, rows)
+		})
+	}
+
+	if run == "columnar" {
+		batches, err := parseIntList(*exchBatches, 1)
+		if err != nil {
+			fail(err)
+		}
+		net, err := netsim.ProfileByName(*exchNetwork)
+		if err != nil {
+			fail(err)
+		}
+		header(fmt.Sprintf("columnar: row vs columnar exchange on the LSLOD query mix, batch sizes %v (%s)",
+			batches, net.Name))
+		rows, err := runner.RunColumnar(ctx, exp.ColumnarConfig{
+			BatchSizes: batches,
+			Network:    net,
+			Repeats:    *columnarRepeats,
+		})
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteColumnarTable(os.Stdout, rows)
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteColumnarJSON(dir, rows)
 		})
 	}
 }

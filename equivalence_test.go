@@ -1,0 +1,278 @@
+package ontario_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ontario"
+	"ontario/internal/bridge"
+	"ontario/internal/lslod"
+)
+
+// The columnar data plane (dictionary IDs, ColBatch exchange, presence
+// bitmaps) must be answer-equivalent to the row-at-a-time reference
+// pipeline for every execution configuration: same solution multisets
+// across batch sizes, probe parallelism, and plan modes, with OPTIONAL
+// unbound columns, ORDER BY over materialized values, and typed literals
+// decoded from SQL wrappers all surviving the ID round-trip.
+
+const rdfTypeIRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+func buildEquivLake(t *testing.T) *lslod.Lake {
+	t.Helper()
+	lk, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		t.Fatalf("building LSLOD lake: %v", err)
+	}
+	return lk
+}
+
+func rowExchangeOpt(t *testing.T) ontario.Option {
+	t.Helper()
+	opt, ok := bridge.RowExchangeOption.(ontario.Option)
+	if !ok {
+		t.Fatal("bridge.RowExchangeOption is not wired")
+	}
+	return opt
+}
+
+// canonRow renders a solution canonically: variables sorted, every term
+// field included, so two bindings collide exactly when they are equal.
+func canonRow(b ontario.Binding) string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for _, v := range vars {
+		tm := b[v]
+		fmt.Fprintf(&sb, "%s=%d\x1f%s\x1f%s\x1f%s\x1e", v, tm.Kind, tm.Value, tm.Datatype, tm.Lang)
+	}
+	return sb.String()
+}
+
+// runCanon executes the query and returns its solutions both in delivery
+// order and as a sorted multiset.
+func runCanon(t *testing.T, eng *ontario.Engine, text string, opts ...ontario.Option) (ordered, multiset []string) {
+	t.Helper()
+	res, err := eng.Query(context.Background(), text, opts...)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer res.Close()
+	rows, err := res.Collect()
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	ordered = make([]string, len(rows))
+	for i, b := range rows {
+		ordered[i] = canonRow(b)
+	}
+	multiset = append([]string(nil), ordered...)
+	sort.Strings(multiset)
+	return ordered, multiset
+}
+
+func diffMultisets(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: row reference has %d solutions, columnar has %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: multisets differ at sorted position %d:\n  row:      %q\n  columnar: %q", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestColumnarRowEquivalenceLSLOD sweeps the five LSLOD benchmark queries
+// across batch size x probe parallelism x plan mode and requires every
+// columnar configuration to reproduce the row reference's multiset. Each
+// columnar cell also runs twice on the same engine, so a repeated query —
+// the configuration the lake-level response cache memoizes — must return
+// the identical multiset.
+func TestColumnarRowEquivalenceLSLOD(t *testing.T) {
+	lk := buildEquivLake(t)
+	rowOpt := rowExchangeOpt(t)
+	eng := ontario.New(lk.Lake)
+
+	modes := []struct {
+		name string
+		opt  ontario.Option
+	}{
+		{"aware", ontario.WithAwarePlan()},
+		{"unaware", ontario.WithUnawarePlan()},
+	}
+	for _, q := range lslod.Queries() {
+		for _, mode := range modes {
+			base := []ontario.Option{
+				mode.opt,
+				ontario.WithNetwork(ontario.NoDelay),
+				ontario.WithNetworkScale(0),
+				ontario.WithSeed(1),
+			}
+			_, want := runCanon(t, eng, q.Text, append([]ontario.Option{rowOpt}, base...)...)
+			if len(want) == 0 {
+				t.Fatalf("%s/%s: row reference returned no solutions", q.ID, mode.name)
+			}
+			for _, batch := range []int{1, 16, 64, 256} {
+				for _, par := range []int{1, 4} {
+					label := fmt.Sprintf("%s/%s/batch=%d/par=%d", q.ID, mode.name, batch, par)
+					opts := append([]ontario.Option{
+						ontario.WithBatchSize(batch),
+						ontario.WithProbeParallelism(par),
+					}, base...)
+					_, got := runCanon(t, eng, q.Text, opts...)
+					diffMultisets(t, label, want, got)
+					_, again := runCanon(t, eng, q.Text, opts...)
+					diffMultisets(t, label+"/repeat", want, again)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarEquivalenceOptional exercises OPTIONAL through the presence
+// bitmaps: diseases without a possibleDrug link must come back with the
+// ?drug column unbound — absent from the binding — identically in both
+// exchanges, and the small scale's sparse drug links guarantee both bound
+// and unbound rows exist.
+func TestColumnarEquivalenceOptional(t *testing.T) {
+	lk := buildEquivLake(t)
+	rowOpt := rowExchangeOpt(t)
+	eng := ontario.New(lk.Lake)
+
+	query := fmt.Sprintf(`
+SELECT ?disease ?name ?drug WHERE {
+  ?disease <%s> <%s> .
+  ?disease <%s> ?name .
+  OPTIONAL { ?disease <%s> ?drug }
+}`, rdfTypeIRI, lslod.ClassDisease, lslod.PredDiseaseName, lslod.PredPossibleDrug)
+
+	base := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(ontario.NoDelay),
+		ontario.WithNetworkScale(0),
+		ontario.WithSeed(1),
+	}
+	_, want := runCanon(t, eng, query, append([]ontario.Option{rowOpt}, base...)...)
+	bound, unbound := 0, 0
+	for _, row := range want {
+		if strings.Contains(row, "drug=") {
+			bound++
+		} else {
+			unbound++
+		}
+	}
+	if bound == 0 || unbound == 0 {
+		t.Fatalf("OPTIONAL coverage needs both bound and unbound ?drug rows, got bound=%d unbound=%d", bound, unbound)
+	}
+	for _, batch := range []int{1, 64, 256} {
+		for _, par := range []int{1, 4} {
+			opts := append([]ontario.Option{
+				ontario.WithBatchSize(batch),
+				ontario.WithProbeParallelism(par),
+			}, base...)
+			_, got := runCanon(t, eng, query, opts...)
+			diffMultisets(t, fmt.Sprintf("optional/batch=%d/par=%d", batch, par), want, got)
+		}
+	}
+}
+
+// TestColumnarEquivalenceOrderBy checks ORDER BY over late-materialized
+// values: sorting happens on terms resolved from dictionary IDs, and the
+// disease names are pairwise distinct, so both exchanges must deliver the
+// exact same sequence, not just the same multiset.
+func TestColumnarEquivalenceOrderBy(t *testing.T) {
+	lk := buildEquivLake(t)
+	rowOpt := rowExchangeOpt(t)
+	eng := ontario.New(lk.Lake)
+
+	query := fmt.Sprintf(`
+SELECT ?disease ?name WHERE {
+  ?disease <%s> <%s> .
+  ?disease <%s> ?name .
+} ORDER BY ?name LIMIT 40`, rdfTypeIRI, lslod.ClassDisease, lslod.PredDiseaseName)
+
+	base := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(ontario.NoDelay),
+		ontario.WithNetworkScale(0),
+		ontario.WithSeed(1),
+	}
+	wantSeq, _ := runCanon(t, eng, query, append([]ontario.Option{rowOpt}, base...)...)
+	if len(wantSeq) != 40 {
+		t.Fatalf("expected LIMIT 40 solutions, got %d", len(wantSeq))
+	}
+	for _, batch := range []int{1, 64} {
+		gotSeq, _ := runCanon(t, eng, query,
+			append([]ontario.Option{ontario.WithBatchSize(batch)}, base...)...)
+		if len(gotSeq) != len(wantSeq) {
+			t.Fatalf("batch=%d: sequence length %d, want %d", batch, len(gotSeq), len(wantSeq))
+		}
+		for i := range wantSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Fatalf("batch=%d: ORDER BY sequences diverge at position %d:\n  row:      %q\n  columnar: %q", batch, i, wantSeq[i], gotSeq[i])
+			}
+		}
+	}
+}
+
+// TestColumnarEquivalenceTypedLiterals pulls typed literals out of the
+// relational Diseasome source (gene lengths are integers, disease degrees
+// too) and checks the SQL wrapper's decoded datatypes survive the
+// dictionary round-trip bit-for-bit in both exchanges.
+func TestColumnarEquivalenceTypedLiterals(t *testing.T) {
+	lk := buildEquivLake(t)
+	rowOpt := rowExchangeOpt(t)
+	eng := ontario.New(lk.Lake)
+
+	query := fmt.Sprintf(`
+SELECT ?gene ?len WHERE {
+  ?gene <%s> <%s> .
+  ?gene <%s> ?len .
+}`, rdfTypeIRI, lslod.ClassGene, lslod.PredGeneLength)
+
+	base := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(ontario.NoDelay),
+		ontario.WithNetworkScale(0),
+		ontario.WithSeed(1),
+	}
+	res, err := eng.Query(context.Background(), query, append([]ontario.Option{rowOpt}, base...)...)
+	if err != nil {
+		t.Fatalf("row query: %v", err)
+	}
+	rows, err := res.Collect()
+	res.Close()
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no gene length solutions")
+	}
+	typed := 0
+	for _, b := range rows {
+		if tm, ok := b["len"]; ok && tm.Kind == ontario.KindLiteral && tm.Datatype != "" {
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatal("expected typed ?len literals from the SQL wrapper")
+	}
+
+	want := make([]string, len(rows))
+	for i, b := range rows {
+		want[i] = canonRow(b)
+	}
+	sort.Strings(want)
+	for _, batch := range []int{1, 64} {
+		_, got := runCanon(t, eng, query,
+			append([]ontario.Option{ontario.WithBatchSize(batch)}, base...)...)
+		diffMultisets(t, fmt.Sprintf("typed/batch=%d", batch), want, got)
+	}
+}

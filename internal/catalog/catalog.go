@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ontario/internal/rdb"
 	"ontario/internal/rdf"
@@ -269,6 +270,10 @@ type Catalog struct {
 	mts     map[string]*RDFMT // by class IRI
 	// predIndex maps predicate IRI -> class IRIs of molecules containing it.
 	predIndex map[string][]string
+
+	// shared holds lake-lifetime caches keyed by consumer (see Shared).
+	sharedMu sync.Mutex
+	shared   map[string]any
 }
 
 // New returns an empty catalog.
@@ -278,6 +283,28 @@ func New() *Catalog {
 		mts:       make(map[string]*RDFMT),
 		predIndex: make(map[string][]string),
 	}
+}
+
+// Shared returns the catalog's lake-lifetime cache slot for key, creating
+// it with mk on first use. The catalog describes one static lake, so
+// derived read-mostly state whose validity follows the data — the term
+// dictionary, the wrapper response cache, the serving layer's marshaled-
+// term cache — belongs here rather than to any single engine: every
+// engine built over the catalog shares one instance and a new engine
+// starts warm. Values are held as any so the catalog does not depend on
+// its consumers' types.
+func (c *Catalog) Shared(key string, mk func() any) any {
+	c.sharedMu.Lock()
+	defer c.sharedMu.Unlock()
+	if c.shared == nil {
+		c.shared = make(map[string]any)
+	}
+	v, ok := c.shared[key]
+	if !ok {
+		v = mk()
+		c.shared[key] = v
+	}
+	return v
 }
 
 // AddSource registers a source.

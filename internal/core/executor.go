@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"ontario/internal/catalog"
+	"ontario/internal/dict"
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
@@ -45,17 +46,41 @@ type Executor struct {
 	// execution.
 	Seed int64
 
+	// terms is the lake-lifetime term dictionary shared by every
+	// execution's columnar data plane. The lake is static, so the
+	// dictionary converges to the lake's distinct terms: after warm-up,
+	// interning at the wrapper boundary is a read-locked map hit and the
+	// IDs — stable across queries and across engines over the same
+	// catalog — let the serving layer cache per-term work (like the JSON
+	// encoding) across queries too.
+	terms *dict.Dict
+
+	// responses memoizes decoded wrapper responses (as rows of the shared
+	// dictionary's IDs) across executions: a served workload replaying
+	// prepared plans answers repeated wrapper requests without translating,
+	// querying or decoding again, while the per-request network simulation
+	// still runs live. Shared at lake lifetime alongside the dictionary
+	// whose IDs its entries hold.
+	responses *wrapper.ResponseCache
+
 	mu     sync.Mutex
 	legacy *Execution
 }
 
-// NewExecutor returns an executor over the catalog.
+// NewExecutor returns an executor over the catalog. The term dictionary
+// and the response cache come from the catalog's shared slots, so every
+// executor over one catalog sees the lake already interned and decoded by
+// its predecessors.
 func NewExecutor(cat *catalog.Catalog) *Executor {
+	terms := cat.Shared("dict", func() any { return dict.New() }).(*dict.Dict)
+	responses := cat.Shared("wrapper.responses", func() any { return wrapper.NewResponseCache() }).(*wrapper.ResponseCache)
 	return &Executor{
 		cat:          cat,
 		NetworkScale: 1.0,
 		Seed:         1,
 		Health:       wrapper.NewHealthRegistry(wrapper.ResilienceConfig{}),
+		terms:        terms,
+		responses:    responses,
 	}
 }
 
@@ -64,13 +89,15 @@ func NewExecutor(cat *catalog.Catalog) *Executor {
 // read-safe) and the optional per-source limiter (that is its purpose).
 func (e *Executor) NewExecution(scale float64, seed int64) *Execution {
 	return &Execution{
-		cat:      e.cat,
-		limiter:  e.Limiter,
-		health:   e.Health,
-		scale:    scale,
-		seed:     seed,
-		wrappers: make(map[string]wrapper.Wrapper),
-		sims:     make(map[string]*netsim.Simulator),
+		cat:       e.cat,
+		limiter:   e.Limiter,
+		health:    e.Health,
+		dict:      e.terms,
+		responses: e.responses,
+		scale:     scale,
+		seed:      seed,
+		wrappers:  make(map[string]wrapper.Wrapper),
+		sims:      make(map[string]*netsim.Simulator),
 	}
 }
 
@@ -113,11 +140,13 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) (*engine.Stream, error)
 // network simulators live here, so executions never share mutable state
 // and an engine may run any number of them concurrently.
 type Execution struct {
-	cat     *catalog.Catalog
-	limiter *wrapper.SourceLimiter
-	health  *wrapper.HealthRegistry
-	scale   float64
-	seed    int64
+	cat       *catalog.Catalog
+	limiter   *wrapper.SourceLimiter
+	health    *wrapper.HealthRegistry
+	dict      *dict.Dict
+	responses *wrapper.ResponseCache
+	scale     float64
+	seed      int64
 
 	mu       sync.Mutex
 	wrappers map[string]wrapper.Wrapper
@@ -251,9 +280,13 @@ func (x *Execution) wrapperFor(sourceID string, opts Options) (wrapper.Wrapper, 
 	var w wrapper.Wrapper
 	switch src.Model {
 	case catalog.ModelRDF:
-		w = wrapper.NewRDFWrapper(sourceID, src.Graph, sim, batch)
+		rw := wrapper.NewRDFWrapper(sourceID, src.Graph, sim, batch)
+		rw.SetResponseCache(x.responses)
+		w = rw
 	case catalog.ModelRelational:
-		w = wrapper.NewSQLWrapper(src, sim, opts.Translation, batch)
+		sw := wrapper.NewSQLWrapper(src, sim, opts.Translation, batch)
+		sw.SetResponseCache(x.responses)
+		w = sw
 	case catalog.ModelCustom:
 		w = wrapper.NewExternalWrapper(sourceID, src.External, sim, batch)
 	case catalog.ModelSPARQLEndpoint:

@@ -163,6 +163,12 @@ type Options struct {
 	// source with this measured gamma instead of the static Network
 	// profile; ok=false falls back to the profile.
 	MeasuredLatency func(sourceID string) (d time.Duration, ok bool)
+	// RowExchange opts out of the dictionary-encoded columnar exchange
+	// and runs the row-at-a-time reference pipeline (batches of
+	// map[var]Term). The columnar data plane is the default; the row
+	// pipeline remains as the semantics reference for equivalence tests
+	// and ablation. Internal-only: the public API always uses the default.
+	RowExchange bool
 }
 
 // EffectiveBindBlockSize returns BindBlockSize with the default applied.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"ontario/internal/dict"
 	"ontario/internal/rdf"
 	"ontario/internal/sparql"
 )
@@ -270,5 +271,111 @@ func BenchmarkBatchWriter(b *testing.B) {
 		if n := drain(out); n != len(in) {
 			b.Fatalf("writer delivered %d, want %d", n, len(in))
 		}
+	}
+}
+
+// benchColBatch builds one columnar batch of n rows over vars with dense,
+// nonzero dictionary IDs — the raw material of the uint64 hot paths.
+func benchColBatch(vars []string, n int) *ColBatch {
+	schema := NewSchema(vars)
+	cb := NewColBuilderCap(schema, n)
+	ids := make([]dict.ID, len(vars))
+	for r := 0; r < n; r++ {
+		for c := range ids {
+			ids[c] = dict.ID(uint64(r*len(vars)+c) + 1)
+		}
+		cb.AppendIDs(ids)
+	}
+	return cb.Take()
+}
+
+// BenchmarkColBatchHash measures the row-hash kernel every columnar join
+// and DISTINCT runs per row: mixing the key columns' uint64 IDs. The
+// whole point of dictionary encoding is that this replaces building a
+// concatenated string key per row, so allocs/op must stay zero.
+func BenchmarkColBatchHash(b *testing.B) {
+	batch := benchColBatch([]string{"a", "k", "v"}, 1024)
+	cols := []int{1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < batch.Len; r++ {
+			sink ^= hashRowIDs(batch, r, cols)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkColBatchProject measures projecting batches onto a narrower
+// schema (the columnar Project/Distinct input path): only the mapped
+// columns are copied, row by row, through the builder.
+func BenchmarkColBatchProject(b *testing.B) {
+	batch := benchColBatch([]string{"a", "b", "c", "d"}, 1024)
+	out := NewSchema([]string{"b", "d"})
+	mapping := []int{1, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb := NewColBuilderCap(out, batch.Len)
+		for r := 0; r < batch.Len; r++ {
+			cb.AppendRow(batch, r, mapping)
+		}
+		if got := cb.Take(); got.Len != batch.Len {
+			b.Fatalf("projected %d rows, want %d", got.Len, batch.Len)
+		}
+	}
+}
+
+// BenchmarkColBatchMerge measures the join output kernel: merging a left
+// and a right row into one output row under the row model's Merge
+// semantics (left wins when both bound), over raw ID columns.
+func BenchmarkColBatchMerge(b *testing.B) {
+	left := benchColBatch([]string{"k", "l"}, 1024)
+	right := benchColBatch([]string{"k", "r"}, 1024)
+	out := NewSchema([]string{"k", "l", "r"})
+	lmap := []int{0, 1, -1}
+	rmap := []int{0, -1, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb := NewColBuilderCap(out, left.Len)
+		for r := 0; r < left.Len; r++ {
+			cb.AppendMerged(left, r, lmap, right, r, rmap)
+		}
+		if got := cb.Take(); got.Len != left.Len {
+			b.Fatalf("merged %d rows, want %d", got.Len, left.Len)
+		}
+	}
+}
+
+// TestProbeInnerLoopZeroAlloc is the layout regression guard: the
+// symmetric hash join's probe inner loop — hash the key columns, look up
+// the bucket, compare candidate keys — must run entirely on uint64 IDs
+// with zero allocations per probed row. If this fails, something on the
+// probe path fell back to materializing terms or string keys.
+func TestProbeInnerLoopZeroAlloc(t *testing.T) {
+	batch := benchColBatch([]string{"k", "v"}, 512)
+	keyCols := []int{0}
+	tbl := newColTable(2)
+	for r := 0; r < batch.Len; r++ {
+		tbl.insert(batch, r, hashRowIDs(batch, r, keyCols))
+	}
+	var matches int
+	allocs := testing.AllocsPerRun(100, func() {
+		for r := 0; r < batch.Len; r++ {
+			h := hashRowIDs(batch, r, keyCols)
+			for _, cand := range tbl.buckets[h] {
+				if keysEqualBT(batch, r, keyCols, tbl, cand, keyCols) {
+					matches++
+				}
+			}
+		}
+	})
+	if matches == 0 {
+		t.Fatal("probe loop found no matches; the guard is not exercising the path")
+	}
+	if allocs != 0 {
+		t.Fatalf("probe inner loop allocates %.1f times per run, want 0", allocs)
 	}
 }

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"ontario/internal/dict"
+	"ontario/internal/sparql"
+)
+
+// Schema is the fixed variable layout of a columnar exchange: the plan
+// derives one per operator from the node's output variables, and every
+// batch flowing through that operator carries its columns in exactly this
+// order. Operators resolve variable names to column positions once, at
+// construction time — the per-row hot path indexes columns by position
+// and never touches a variable name again.
+type Schema struct {
+	Vars []string
+	pos  map[string]int
+}
+
+// NewSchema returns a schema over vars (in order).
+func NewSchema(vars []string) *Schema {
+	s := &Schema{Vars: vars, pos: make(map[string]int, len(vars))}
+	for i, v := range vars {
+		s.pos[v] = i
+	}
+	return s
+}
+
+// Pos returns the column position of v, or -1 when the schema does not
+// carry it.
+func (s *Schema) Pos(v string) int {
+	if i, ok := s.pos[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// Positions resolves a variable list to column positions (-1 for
+// variables the schema does not carry).
+func (s *Schema) Positions(vars []string) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = s.Pos(v)
+	}
+	return out
+}
+
+// ColBatch is one columnar exchange batch: Len solution rows laid out as
+// one dictionary-ID column per schema variable, plus a presence bitmap
+// per column marking the bound rows (OPTIONAL leaves columns partially
+// bound). The two encodings are kept in lockstep — Cols[c][r] ==
+// dict.Unbound exactly when bit r of Present[c] is clear — so hot loops
+// test IDs directly while bitmap consumers (presence counts, padding)
+// work a word at a time.
+//
+// Len is explicit rather than derived from a column length because a
+// schema may be empty (a cross-product input binding nothing) while the
+// batch still carries rows.
+type ColBatch struct {
+	Schema  *Schema
+	Len     int
+	Cols    [][]dict.ID
+	Present [][]uint64
+}
+
+// Bound reports whether row r of column c is bound, reading the presence
+// bitmap.
+func (b *ColBatch) Bound(c, r int) bool {
+	return b.Present[c][r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+// ID returns the dictionary ID at column c, row r (dict.Unbound for an
+// absent OPTIONAL value).
+func (b *ColBatch) ID(c, r int) dict.ID { return b.Cols[c][r] }
+
+// Binding materializes row r as a solution mapping, resolving IDs
+// through d; unbound columns are omitted, like a row-model binding.
+func (b *ColBatch) Binding(r int, d *dict.Dict) sparql.Binding {
+	out := make(sparql.Binding, len(b.Schema.Vars))
+	for c, col := range b.Cols {
+		if id := col[r]; id != dict.Unbound {
+			out[b.Schema.Vars[c]] = d.MustLookup(id)
+		}
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed mixer for
+// combining column IDs into a row hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashRowIDs combines the IDs of one row's key columns into a hash.
+// Unbound (0) participates like any value: the row model's string join
+// keys distinguish "?v unbound" from every bound value, and so does this.
+func hashRowIDs(b *ColBatch, row int, cols []int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, c := range cols {
+		h = mix64(h ^ uint64(b.Cols[c][row]))
+	}
+	return h
+}
+
+// ColBuilder accumulates rows into a ColBatch. Builders are how every
+// columnar producer — operators, wrappers, the row-to-columnar adapter —
+// assembles output; Take hands the finished batch over and resets the
+// builder for the next one.
+type ColBuilder struct {
+	schema *Schema
+	cols   [][]dict.ID
+	pres   [][]uint64
+	rows   int
+	// hint is the expected batch size; alloc seeds each column with a
+	// small initial block when it is set (see colBuilderInitCap).
+	hint int
+}
+
+// NewColBuilder returns an empty builder over the schema.
+func NewColBuilder(schema *Schema) *ColBuilder {
+	return NewColBuilderCap(schema, 0)
+}
+
+// colBuilderInitCap caps the up-front per-column allocation. Most streams
+// carry far fewer rows than the exchange batch size (bind-join probes
+// answer a handful of rows each), so committing the full batch capacity
+// per column per builder costs more allocation and GC work than it saves;
+// the builder starts at one small block and append growth reaches the
+// full batch capacity only for the streams that actually fill it.
+const colBuilderInitCap = 16
+
+// NewColBuilderCap returns an empty builder sized for batches of capacity
+// rows (0 means grow from empty). The capacity is a hint: columns start
+// at a small initial block (see colBuilderInitCap) and grow on demand.
+func NewColBuilderCap(schema *Schema, capacity int) *ColBuilder {
+	b := &ColBuilder{schema: schema, hint: capacity}
+	b.alloc()
+	return b
+}
+
+// alloc starts fresh column slices at the clamped capacity hint.
+func (b *ColBuilder) alloc() {
+	b.cols = make([][]dict.ID, len(b.schema.Vars))
+	b.pres = make([][]uint64, len(b.schema.Vars))
+	if h := b.hint; h > 0 {
+		if h > colBuilderInitCap {
+			h = colBuilderInitCap
+		}
+		for c := range b.cols {
+			b.cols[c] = make([]dict.ID, 0, h)
+			b.pres[c] = make([]uint64, 0, (h+63)/64)
+		}
+	}
+}
+
+// Rows returns the number of buffered rows.
+func (b *ColBuilder) Rows() int { return b.rows }
+
+// setBit marks row r of column c bound, growing the bitmap as needed.
+func (b *ColBuilder) setBit(c, r int) {
+	w := r >> 6
+	for len(b.pres[c]) <= w {
+		b.pres[c] = append(b.pres[c], 0)
+	}
+	b.pres[c][w] |= 1 << (uint(r) & 63)
+}
+
+// growRow appends one all-unbound row to every column, returning its
+// index; callers then overwrite the bound positions.
+func (b *ColBuilder) growRow() int {
+	r := b.rows
+	b.rows++
+	w := r >> 6
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], dict.Unbound)
+		for len(b.pres[c]) <= w {
+			b.pres[c] = append(b.pres[c], 0)
+		}
+	}
+	return r
+}
+
+// AppendIDs appends one row given as one ID per schema variable (in
+// schema order; dict.Unbound marks absent values). The slice is copied.
+func (b *ColBuilder) AppendIDs(ids []dict.ID) {
+	r := b.growRow()
+	for c, id := range ids {
+		if id != dict.Unbound {
+			b.cols[c][r] = id
+			b.setBit(c, r)
+		}
+	}
+}
+
+// AppendRow appends row src of batch from, mapped into this builder's
+// schema: mapping[c] is the source column feeding output column c, or -1
+// for an output column the source does not carry (left unbound).
+func (b *ColBuilder) AppendRow(from *ColBatch, src int, mapping []int) {
+	r := b.growRow()
+	for c, fc := range mapping {
+		if fc < 0 {
+			continue
+		}
+		if id := from.Cols[fc][src]; id != dict.Unbound {
+			b.cols[c][r] = id
+			b.setBit(c, r)
+		}
+	}
+}
+
+// AppendMerged appends the merge of row lr of l and row rr of r: for each
+// output column, the left value wins when bound, else the right's (the
+// inputs were checked compatible, so both-bound means equal — the row
+// model's Merge semantics). lmap/rmap give each output column's position
+// in l/r, -1 when that side does not carry the variable.
+func (b *ColBuilder) AppendMerged(l *ColBatch, lr int, lmap []int, r *ColBatch, rr int, rmap []int) {
+	row := b.growRow()
+	for c := range b.cols {
+		id := dict.Unbound
+		if lc := lmap[c]; lc >= 0 {
+			id = l.Cols[lc][lr]
+		}
+		if id == dict.Unbound {
+			if rc := rmap[c]; rc >= 0 {
+				id = r.Cols[rc][rr]
+			}
+		}
+		if id != dict.Unbound {
+			b.cols[c][row] = id
+			b.setBit(c, row)
+		}
+	}
+}
+
+// AppendBinding appends a row-model binding, interning its terms into d.
+// Variables outside the schema are dropped (the row operators tolerate
+// extra variables; a columnar batch cannot carry them).
+func (b *ColBuilder) AppendBinding(bind sparql.Binding, d *dict.Dict) {
+	r := b.growRow()
+	for c, v := range b.schema.Vars {
+		if t, ok := bind[v]; ok {
+			b.cols[c][r] = d.Intern(t)
+			b.setBit(c, r)
+		}
+	}
+}
+
+// Take returns the accumulated batch and resets the builder (the returned
+// batch owns its columns; the builder starts fresh slices).
+func (b *ColBuilder) Take() *ColBatch {
+	out := &ColBatch{Schema: b.schema, Len: b.rows, Cols: b.cols, Present: b.pres}
+	b.alloc()
+	b.rows = 0
+	return out
+}
+
+// EncodeBatch converts a row-model batch into a columnar batch over
+// schema, interning every term into d.
+func EncodeBatch(rows []sparql.Binding, schema *Schema, d *dict.Dict) *ColBatch {
+	b := NewColBuilder(schema)
+	for _, bind := range rows {
+		b.AppendBinding(bind, d)
+	}
+	return b.Take()
+}
+
+// DecodeBatch materializes a columnar batch back into row-model bindings
+// through d (late materialization: only the consumers that truly need
+// terms — the public cursor, filter expressions, ORDER BY keys — pay it).
+func DecodeBatch(b *ColBatch, d *dict.Dict) []sparql.Binding {
+	out := make([]sparql.Binding, b.Len)
+	for r := 0; r < b.Len; r++ {
+		out[r] = b.Binding(r, d)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ontario/internal/dict"
+	"ontario/internal/sparql"
+)
+
+// CStream is the columnar counterpart of Stream: an asynchronous exchange
+// of ColBatch values sharing one schema. The buffer is counted in
+// batches. A batch, once sent, is owned by the receiver.
+type CStream struct {
+	ch     chan *ColBatch
+	schema *Schema
+}
+
+// NewCStream returns a columnar stream over schema with the given buffer
+// size (in batches).
+func NewCStream(schema *Schema, buf int) *CStream {
+	return &CStream{ch: make(chan *ColBatch, buf), schema: schema}
+}
+
+// Schema returns the stream's batch layout.
+func (s *CStream) Schema() *Schema { return s.schema }
+
+// SendBatch delivers a batch; it returns false when the context is
+// cancelled. Sending an empty batch is a no-op and succeeds.
+func (s *CStream) SendBatch(ctx context.Context, b *ColBatch) bool {
+	if b == nil || b.Len == 0 {
+		return true
+	}
+	select {
+	case s.ch <- b:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// TrySendBatch delivers a batch only if the buffer has room; it never
+// blocks.
+func (s *CStream) TrySendBatch(b *ColBatch) bool {
+	if b == nil || b.Len == 0 {
+		return true
+	}
+	select {
+	case s.ch <- b:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close marks the stream complete.
+func (s *CStream) Close() { close(s.ch) }
+
+// Batches exposes the receive side of the exchange.
+func (s *CStream) Batches() <-chan *ColBatch { return s.ch }
+
+// recvC receives the next columnar batch from in, accounting the blocked
+// time and the consumed batch like recv does for row streams.
+func (o *OpStats) recvC(in *CStream) (*ColBatch, bool) {
+	if o == nil {
+		b, ok := <-in.ch
+		return b, ok
+	}
+	select {
+	case b, ok := <-in.ch:
+		if ok {
+			o.in(b.Len)
+		}
+		return b, ok
+	default:
+	}
+	t0 := time.Now()
+	b, ok := <-in.ch
+	o.recvNS.Add(time.Since(t0).Nanoseconds())
+	if ok {
+		o.in(b.Len)
+	}
+	return b, ok
+}
+
+// sendC delivers a columnar batch to out, accounting the blocked time and
+// the produced rows; it mirrors OpStats.send.
+func (o *OpStats) sendC(ctx context.Context, out *CStream, b *ColBatch) bool {
+	if o == nil {
+		return out.SendBatch(ctx, b)
+	}
+	if b == nil || b.Len == 0 {
+		return true
+	}
+	if out.TrySendBatch(b) {
+		o.batchesOut.Add(1)
+		o.bindingsOut.Add(int64(b.Len))
+		return true
+	}
+	t0 := time.Now()
+	ok := out.SendBatch(ctx, b)
+	o.sendNS.Add(time.Since(t0).Nanoseconds())
+	if ok {
+		o.batchesOut.Add(1)
+		o.bindingsOut.Add(int64(b.Len))
+	}
+	return ok
+}
+
+// CMeter relays a columnar leaf stream through a counting stage
+// attributed to st, mirroring Meter: produced batches count as st's
+// output, blocked time is split into recv/send, and st closes when the
+// relayed stream completes. st == nil returns in unchanged.
+func CMeter(ctx context.Context, in *CStream, st *OpStats) *CStream {
+	if st == nil {
+		return in
+	}
+	out := NewCStream(in.schema, 1)
+	go func() {
+		defer out.Close()
+		defer st.close()
+		dead := false
+		for {
+			var b *ColBatch
+			var ok bool
+			select {
+			case b, ok = <-in.ch:
+			default:
+				t0 := time.Now()
+				b, ok = <-in.ch
+				st.recvNS.Add(time.Since(t0).Nanoseconds())
+			}
+			if !ok {
+				return
+			}
+			if dead {
+				continue // drain so the producer can finish
+			}
+			if !st.sendC(ctx, out, b) {
+				dead = true
+			}
+		}
+	}()
+	return out
+}
+
+// ColWriter is the columnar BatchWriter: a leaf producer appends rows and
+// the writer cuts batches of at most size, flushing a partial batch after
+// the flush interval (preserving time-to-first-answer under slow,
+// simulated-latency production) and on Close. Safe for concurrent use.
+type ColWriter struct {
+	ctx   context.Context
+	out   *CStream
+	size  int
+	every time.Duration
+
+	mu     sync.Mutex
+	b      *ColBuilder
+	timer  *time.Timer
+	failed bool
+	first  time.Time
+
+	st *OpStats
+}
+
+// NewColWriter returns a writer cutting batches of at most size rows
+// (<= 0 means DefaultBatchSize) with the default flush interval.
+func NewColWriter(ctx context.Context, out *CStream, size int) *ColWriter {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &ColWriter{ctx: ctx, out: out, size: size, every: DefaultFlushInterval,
+		b: NewColBuilderCap(out.schema, size)}
+}
+
+// SetStats attributes the writer's flushed batches to st (nil records
+// nothing). Call before the first append.
+func (w *ColWriter) SetStats(st *OpStats) {
+	w.mu.Lock()
+	w.st = st
+	w.mu.Unlock()
+}
+
+// AppendIDs appends one row (one ID per schema variable, in schema
+// order), flushing a full batch through to the stream. It returns false
+// once the context is cancelled.
+func (w *ColWriter) AppendIDs(ids []dict.ID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return false
+	}
+	w.b.AppendIDs(ids)
+	return w.appendedLocked()
+}
+
+// AppendMerged appends the merge of two batch rows (left wins when
+// bound; see ColBuilder.AppendMerged); it returns false once the context
+// is cancelled.
+func (w *ColWriter) AppendMerged(l *ColBatch, lr int, lmap []int, r *ColBatch, rr int, rmap []int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return false
+	}
+	w.b.AppendMerged(l, lr, lmap, r, rr, rmap)
+	return w.appendedLocked()
+}
+
+// AppendBinding appends a row-model binding, interning its terms into d;
+// it returns false once the context is cancelled.
+func (w *ColWriter) AppendBinding(bind sparql.Binding, d *dict.Dict) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return false
+	}
+	w.b.AppendBinding(bind, d)
+	return w.appendedLocked()
+}
+
+// appendedLocked applies the size/interval flush rules after one append;
+// the caller holds w.mu.
+func (w *ColWriter) appendedLocked() bool {
+	if w.b.Rows() >= w.size {
+		return w.flushLocked()
+	}
+	if w.b.Rows() == 1 && w.every > 0 {
+		w.first = time.Now()
+		if w.timer == nil {
+			w.timer = time.AfterFunc(w.every, w.timedFlush)
+		} else {
+			w.timer.Reset(w.every)
+		}
+	}
+	return true
+}
+
+func (w *ColWriter) timedFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed || w.b.Rows() == 0 {
+		return
+	}
+	// A stale fire for a batch that already went out size-triggered: hold
+	// the fresh partial batch for the remainder of its own interval.
+	if wait := w.every - time.Since(w.first); wait > 0 {
+		if w.timer != nil {
+			w.timer.Reset(wait)
+		}
+		return
+	}
+	w.flushLocked()
+}
+
+// Close flushes the remaining partial batch and stops the flush timer; it
+// does not close the underlying stream.
+func (w *ColWriter) Close() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	return w.flushLocked()
+}
+
+func (w *ColWriter) flushLocked() bool {
+	if w.failed {
+		return false
+	}
+	if w.b.Rows() == 0 {
+		return true
+	}
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	if !w.st.sendC(w.ctx, w.out, w.b.Take()) {
+		w.failed = true
+		return false
+	}
+	return true
+}
+
+// EncodeStream adapts a row-model stream to the columnar exchange:
+// every row batch becomes one columnar batch over schema with its terms
+// interned into d. Batch boundaries are preserved, so the producer's
+// flush cadence — and with it time-to-first-answer — carries through
+// unchanged. It is the fallback wrapper boundary for sources without a
+// native columnar path.
+func EncodeStream(ctx context.Context, in *Stream, schema *Schema, d *dict.Dict) *CStream {
+	out := NewCStream(schema, 1)
+	go func() {
+		defer out.Close()
+		dead := false
+		for rows := range in.Batches() {
+			if dead {
+				continue // drain so the producer can finish
+			}
+			if !out.SendBatch(ctx, EncodeBatch(rows, schema, d)) {
+				dead = true
+			}
+		}
+	}()
+	return out
+}
+
+// DecodeStream adapts a columnar stream back to the row model, resolving
+// IDs through d; batch boundaries are preserved. It exists for consumers
+// that need materialized bindings (tests, the reference row pipeline).
+func DecodeStream(ctx context.Context, in *CStream, d *dict.Dict) *Stream {
+	out := NewStream(1)
+	go func() {
+		defer out.Close()
+		dead := false
+		for b := range in.ch {
+			if dead {
+				continue
+			}
+			if !out.SendBatch(ctx, DecodeBatch(b, d)) {
+				dead = true
+			}
+		}
+	}()
+	return out
+}
+
+// CFromBindings returns a closed columnar stream delivering the given
+// rows in batches of batch (<= 0 means DefaultBatchSize); a test helper
+// mirroring FromSliceBatch.
+func CFromBindings(ctx context.Context, rows []sparql.Binding, schema *Schema, d *dict.Dict, batch int) *CStream {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	out := NewCStream(schema, (len(rows)+batch-1)/batch)
+	go func() {
+		defer out.Close()
+		for len(rows) > 0 {
+			n := batch
+			if n > len(rows) {
+				n = len(rows)
+			}
+			if !out.SendBatch(ctx, EncodeBatch(rows[:n], schema, d)) {
+				return
+			}
+			rows = rows[n:]
+		}
+	}()
+	return out
+}
+
+// collectC drains a columnar stream into one concatenated batch,
+// accounting the consumed batches to the operator (nil-safe).
+func (o *OpStats) collectC(in *CStream) *ColBatch {
+	b := NewColBuilder(in.schema)
+	ident := in.schema.Positions(in.schema.Vars)
+	for {
+		batch, ok := o.recvC(in)
+		if !ok {
+			return b.Take()
+		}
+		for r := 0; r < batch.Len; r++ {
+			b.AppendRow(batch, r, ident)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ontario"
+	"ontario/internal/bridge"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+// ColumnarConfig parameterizes the data-plane ablation: the LSLOD query
+// mix is executed in-process — no HTTP, no admission control — under both
+// exchanges (the row-at-a-time reference pipeline and the default
+// dictionary-encoded columnar one) for every batch size, isolating the
+// per-tuple cost of the exchange itself from the serving layer.
+type ColumnarConfig struct {
+	// BatchSizes are the exchange batch sizes to sweep (default
+	// 1, 16, 64, 256).
+	BatchSizes []int
+	// Repeats is how many times the full query mix runs per cell
+	// (default 3).
+	Repeats int
+	// Network is the simulated network profile (default No Delay, so the
+	// sweep measures the engine, not the sleeps).
+	Network netsim.Profile
+	// ProbeParallelism sets the hash join's probe workers (0 = default).
+	ProbeParallelism int
+}
+
+// ColumnarResult is one cell: an exchange × batch size combination with
+// its headline bindings-per-second rate over the whole query mix.
+type ColumnarResult struct {
+	Exchange         string        `json:"exchange"` // "row" | "columnar"
+	BatchSize        int           `json:"batch_size"`
+	ProbeParallelism int           `json:"probe_parallelism"`
+	Queries          int           `json:"queries"`
+	Answers          int           `json:"answers"`
+	Wall             time.Duration `json:"wall_ns"`
+	BindingsPerSec   float64       `json:"bindings_per_sec"`
+}
+
+// RunColumnar sweeps exchange × batch size over the LSLOD query mix. Rows
+// come out exchange-major so each exchange reads as one batch-size curve,
+// row first (the baseline the columnar numbers are compared against).
+func (r *Runner) RunColumnar(ctx context.Context, cfg ColumnarConfig) ([]*ColumnarResult, error) {
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{1, 16, 64, 256}
+	}
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 3
+	}
+	rowOpt, _ := bridge.RowExchangeOption.(ontario.Option)
+	var out []*ColumnarResult
+	for _, exchange := range []string{"row", "columnar"} {
+		for _, bs := range cfg.BatchSizes {
+			cell, err := r.runColumnarCell(ctx, cfg, exchange, bs, rowOpt)
+			if err != nil {
+				return nil, fmt.Errorf("columnar %s batch=%d: %w", exchange, bs, err)
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) runColumnarCell(ctx context.Context, cfg ColumnarConfig, exchange string, batch int, rowOpt ontario.Option) (*ColumnarResult, error) {
+	eng := ontario.New(r.Lake.Lake)
+	opts := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(pubProfile(cfg.Network)),
+		ontario.WithNetworkScale(r.NetworkScale),
+		ontario.WithSeed(r.Seed),
+		ontario.WithBatchSize(batch),
+	}
+	if cfg.ProbeParallelism > 0 {
+		opts = append(opts, ontario.WithProbeParallelism(cfg.ProbeParallelism))
+	}
+	if exchange == "row" {
+		if rowOpt == nil {
+			return nil, fmt.Errorf("row exchange option not registered")
+		}
+		opts = append(opts, rowOpt)
+	}
+	queries := lslod.Queries()
+	answers, ran := 0, 0
+	start := time.Now()
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, q := range queries {
+			res, err := eng.Query(ctx, q.Text, opts...)
+			if err != nil {
+				return nil, err
+			}
+			for res.Next() {
+				answers++
+			}
+			err = res.Err()
+			res.Close()
+			if err != nil {
+				return nil, err
+			}
+			ran++
+		}
+	}
+	wall := time.Since(start)
+	cell := &ColumnarResult{
+		Exchange:         exchange,
+		BatchSize:        batch,
+		ProbeParallelism: cfg.ProbeParallelism,
+		Queries:          ran,
+		Answers:          answers,
+		Wall:             wall,
+	}
+	if wall > 0 {
+		cell.BindingsPerSec = float64(answers) / wall.Seconds()
+	}
+	return cell, nil
+}
+
+// WriteColumnarTable renders the ablation as an aligned text table with
+// the columnar/row speedup per batch size.
+func WriteColumnarTable(w io.Writer, rows []*ColumnarResult) {
+	rowRate := map[int]float64{}
+	for _, r := range rows {
+		if r.Exchange == "row" {
+			rowRate[r.BatchSize] = r.BindingsPerSec
+		}
+	}
+	fmt.Fprintf(w, "%-10s %7s %5s %9s %9s %12s %12s %9s\n",
+		"exchange", "batch", "par", "queries", "answers", "wall", "bindings/s", "vs row")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 80))
+	for _, r := range rows {
+		speed := "-"
+		if base, ok := rowRate[r.BatchSize]; ok && base > 0 && r.Exchange != "row" {
+			speed = fmt.Sprintf("%.2fx", r.BindingsPerSec/base)
+		}
+		fmt.Fprintf(w, "%-10s %7d %5d %9d %9d %12s %12.0f %9s\n",
+			r.Exchange, r.BatchSize, r.ProbeParallelism, r.Queries, r.Answers,
+			r.Wall.Round(10*time.Microsecond), r.BindingsPerSec, speed)
+	}
+}
+
+// WriteColumnarJSON writes the sweep as dir/BENCH_columnar.json and
+// returns the written path.
+func WriteColumnarJSON(dir string, rows []*ColumnarResult) (string, error) {
+	return writeJSONDoc(dir, "columnar", rows)
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"context"
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+)
+
+// TestProfileServe is a manual profiling harness: ONTARIO_PROFILE=<path>
+// runs the exchange serve workload repeatedly under the CPU profiler.
+func TestProfileServe(t *testing.T) {
+	path := os.Getenv("ONTARIO_PROFILE")
+	if path == "" {
+		t.Skip("set ONTARIO_PROFILE to run")
+	}
+	lake, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(lake)
+	r.NetworkScale = 0
+	r.Seed = 1
+	f, _ := os.Create(path)
+	pprof.StartCPUProfile(f)
+	for i := 0; i < 40; i++ {
+		_, err = r.RunServe(context.Background(), ServeConfig{
+			Clients: 8, Requests: 40, MaxConcurrent: 4, QueueDepth: 16,
+			SourceLimit: 4, Network: netsim.NoDelay, BatchSize: 64, ProbeParallelism: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+}

@@ -121,6 +121,12 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 	})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
+	// One connection per client: the default transport keeps only two
+	// idle connections per host, so a K-client load would re-dial TCP on
+	// most requests and measure connection setup instead of the server.
+	transport := &http.Transport{MaxIdleConns: cfg.Clients + 4, MaxIdleConnsPerHost: cfg.Clients + 4}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
 
 	queries := lslod.Queries()
 	var (
@@ -143,12 +149,13 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newClientScratch()
 			for i := range next {
 				if ctx.Err() != nil {
 					return
 				}
 				q := queries[i%len(queries)]
-				lat, ttfa, nAnswers, rej, err := serveOneQuery(ctx, ts.URL, q.Text)
+				lat, ttfa, nAnswers, rej, err := serveOneQuery(ctx, client, ts.URL, q.Text, scratch)
 				mu.Lock()
 				rejected += rej
 				if err != nil {
@@ -200,7 +207,7 @@ func (r *Runner) RunServe(ctx context.Context, cfg ServeConfig) (*ServeResult, e
 // Retry-After hint, capped small so experiments stay fast). It returns the
 // final attempt's latency, its time-to-first-binding, the number of
 // bindings, and how many 503 rejections it absorbed.
-func serveOneQuery(ctx context.Context, baseURL, query string) (lat, ttfa time.Duration, answers, rejected int, err error) {
+func serveOneQuery(ctx context.Context, client *http.Client, baseURL, query string, scratch *clientScratch) (lat, ttfa time.Duration, answers, rejected int, err error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return 0, 0, 0, rejected, err
@@ -212,7 +219,7 @@ func serveOneQuery(ctx context.Context, baseURL, query string) (lat, ttfa time.D
 			return 0, 0, 0, rejected, err
 		}
 		req.Header.Set("Content-Type", "application/sparql-query")
-		resp, err := http.DefaultClient.Do(req)
+		resp, err := client.Do(req)
 		if err != nil {
 			return 0, 0, 0, rejected, err
 		}
@@ -238,17 +245,34 @@ func serveOneQuery(ctx context.Context, baseURL, query string) (lat, ttfa time.D
 			resp.Body.Close()
 			return 0, 0, 0, rejected, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 		}
+		// Scan the body as it streams instead of accumulating it: matches
+		// spanning a chunk boundary are caught by carrying the tail of the
+		// previous chunk in front of the next, and a match is only counted
+		// when it ends past that carried tail (it was counted last round
+		// otherwise). Retaining whole response bodies across 8 concurrent
+		// clients dominated the harness's allocations and skewed the
+		// in-process throughput measurement with client-side GC work.
 		var (
-			buf     []byte
-			chunk   = make([]byte, 4096)
-			sawTTFA bool
+			win       = scratch.win[:0]
+			chunk     = scratch.chunk
+			sawTTFA   bool
+			typeCount int
 		)
 		for {
 			n, rerr := resp.Body.Read(chunk)
-			buf = append(buf, chunk[:n]...)
-			if !sawTTFA && bytes.Contains(buf, []byte(`"bindings":[{`)) {
-				ttfa = time.Since(start)
-				sawTTFA = true
+			if n > 0 {
+				tail := len(win)
+				win = append(win, chunk[:n]...)
+				if !sawTTFA && bytes.Contains(win, needleTTFA) {
+					ttfa = time.Since(start)
+					sawTTFA = true
+				}
+				typeCount += countEnding(win, needleType, tail)
+				// Keep just enough bytes for a boundary-spanning match.
+				if keep := len(needleTTFA) - 1; len(win) > keep {
+					win = win[:copy(win, win[len(win)-keep:])]
+				}
+				scratch.win = win
 			}
 			if rerr == io.EOF {
 				break
@@ -263,13 +287,51 @@ func serveOneQuery(ctx context.Context, baseURL, query string) (lat, ttfa time.D
 		if !sawTTFA {
 			ttfa = lat // empty result: first "answer" is completion
 		}
-		answers = bytes.Count(buf, []byte(`"type"`)) // term objects; lower bound > 0 iff bindings
+		answers = typeCount // term objects; lower bound > 0 iff bindings
 		if n := resp.Trailer.Get("X-Ontario-Answers"); n != "" {
 			if v, err := strconv.Atoi(n); err == nil {
 				answers = v
 			}
 		}
 		return lat, ttfa, answers, rejected, nil
+	}
+}
+
+// needleTTFA marks the first streamed binding object; needleType counts
+// term objects (one per bound variable of every solution).
+var (
+	needleTTFA = []byte(`"bindings":[{`)
+	needleType = []byte(`"type"`)
+)
+
+// clientScratch is one client goroutine's reusable scan state: the read
+// chunk and the carry window survive across requests so the load
+// generator allocates nothing per response.
+type clientScratch struct {
+	win   []byte
+	chunk []byte
+}
+
+func newClientScratch() *clientScratch {
+	return &clientScratch{win: make([]byte, 0, len(needleTTFA)), chunk: make([]byte, 8192)}
+}
+
+// countEnding counts the occurrences of needle in win that end past the
+// first tail bytes; matches ending inside the carried tail were counted
+// when those bytes were last scanned.
+func countEnding(win, needle []byte, tail int) int {
+	count := 0
+	from := tail - len(needle) + 1
+	if from < 0 {
+		from = 0
+	}
+	for {
+		i := bytes.Index(win[from:], needle)
+		if i < 0 {
+			return count
+		}
+		count++
+		from += i + len(needle)
 	}
 }
 

@@ -91,7 +91,26 @@ type Simulator struct {
 // SimulatedDelay either way. Seed fixes the random stream for
 // reproducibility.
 func NewSimulator(p Profile, scale float64, seed int64) *Simulator {
-	return &Simulator{profile: p, scale: scale, rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{profile: p, scale: scale, rng: rand.New(&splitmix{state: uint64(seed)})}
+}
+
+// splitmix is a seeded rand.Source64 (SplitMix64). Its state is two
+// words, versus the ~5KB lagged-Fibonacci table rand.NewSource seeds:
+// simulators are built per source per execution, so construction cost
+// dominates and the generator's statistical quality is more than enough
+// for latency sampling.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Profile returns the simulator's profile.

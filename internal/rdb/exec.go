@@ -71,13 +71,37 @@ func (db *Database) Query(stmt string) (*Result, error) {
 	return db.QueryAST(sel)
 }
 
-// QueryAST executes a parsed SELECT statement.
+// QueryAST executes a parsed SELECT statement. Results for the current
+// database generation are served from the statement cache — a loaded
+// lake is read-only, so the federation's repeated per-block and repeated
+// per-query statements hit without re-scanning; any mutation invalidates
+// every cached entry at once. Cached results (rows included) are shared:
+// callers must treat a Result as read-only, which every consumer already
+// does.
 func (db *Database) QueryAST(sel *sql.Select) (*Result, error) {
+	key := sel.String()
+	gen := db.gen.Load()
+	db.resMu.RLock()
+	c, ok := db.results[key]
+	db.resMu.RUnlock()
+	if ok && c.gen == gen {
+		return c.res, nil
+	}
 	ex, err := newExecution(db, sel)
 	if err != nil {
 		return nil, err
 	}
-	return ex.run()
+	res, err := ex.run()
+	if err != nil {
+		return nil, err
+	}
+	db.resMu.Lock()
+	if len(db.results) >= resultCacheCap {
+		clear(db.results)
+	}
+	db.results[key] = cachedResult{gen: gen, res: res}
+	db.resMu.Unlock()
+	return res, nil
 }
 
 // Explain plans the statement without running the final projection; it

@@ -20,6 +20,11 @@ type Table struct {
 	treeIdx map[string]*btree.Tree
 	specs   []IndexSpec
 	stats   *Stats
+
+	// mutated, when set by the owning database, is called (under the
+	// table lock) on every successful Insert or CreateIndex so the
+	// database can invalidate its result cache.
+	mutated func()
 }
 
 // NewTable creates an empty table for the schema. The schema must declare a
@@ -72,6 +77,9 @@ func (t *Table) Insert(r Row) error {
 		t.indexRow(spec, r, id)
 	}
 	t.stats = nil // invalidate
+	if t.mutated != nil {
+		t.mutated()
+	}
 	return nil
 }
 
@@ -121,6 +129,9 @@ func (t *Table) CreateIndex(spec IndexSpec) error {
 	t.specs = append(t.specs, spec)
 	for id, r := range t.rows {
 		t.indexRow(spec, r, id)
+	}
+	if t.mutated != nil {
+		t.mutated()
 	}
 	return nil
 }

@@ -83,6 +83,22 @@ func (e *resultsEncoder) writeBatch(batch []ontario.Binding) error {
 	return err
 }
 
+// writeRaw writes a payload of n binding objects pre-encoded by the
+// cursor (see bridge.ResultsNextJSON). The payload leads with a ','
+// separator before its first object; it is dropped when nothing has been
+// written yet, so the convention composes with writeBatch either way.
+func (e *resultsEncoder) writeRaw(payload []byte, n int) error {
+	if n == 0 || len(payload) == 0 {
+		return nil
+	}
+	if e.wrote == 0 {
+		payload = payload[1:]
+	}
+	e.wrote += n
+	_, err := e.w.Write(payload)
+	return err
+}
+
 func (e *resultsEncoder) writeTail() error {
 	_, err := e.w.Write([]byte("]}}"))
 	return err

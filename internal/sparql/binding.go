@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"ontario/internal/rdf"
@@ -60,7 +61,9 @@ func (b Binding) Project(vars []string) Binding {
 }
 
 // Key returns a deterministic string key identifying the binding restricted
-// to vars; it is used for hashing in joins and DISTINCT.
+// to vars; it is used for hashing in joins and DISTINCT. Every term
+// component is length-prefixed, so values containing the separator bytes
+// ('|', ';', '=') cannot make two distinct bindings collide.
 func (b Binding) Key(vars []string) string {
 	var sb strings.Builder
 	for _, v := range vars {
@@ -69,15 +72,21 @@ func (b Binding) Key(vars []string) string {
 		sb.WriteByte('=')
 		if ok {
 			sb.WriteByte(byte('0' + t.Kind))
-			sb.WriteString(t.Value)
-			sb.WriteByte('|')
-			sb.WriteString(t.Datatype)
-			sb.WriteByte('|')
-			sb.WriteString(t.Lang)
+			keyComponent(&sb, t.Value)
+			keyComponent(&sb, t.Datatype)
+			keyComponent(&sb, t.Lang)
 		}
 		sb.WriteByte(';')
 	}
 	return sb.String()
+}
+
+// keyComponent writes one length-prefixed key component: the decimal
+// length delimits the content exactly, whatever bytes it contains.
+func keyComponent(sb *strings.Builder, s string) {
+	sb.WriteString(strconv.Itoa(len(s)))
+	sb.WriteByte(':')
+	sb.WriteString(s)
 }
 
 // FullKey returns a deterministic key over all bound variables.

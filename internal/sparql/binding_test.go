@@ -1,0 +1,56 @@
+package sparql
+
+import (
+	"testing"
+
+	"ontario/internal/rdf"
+)
+
+// The pre-fix Key concatenated term components with bare '|' and ';'
+// separators, so values containing those bytes could make distinct
+// bindings collide. These are regression tests for the length-prefixed
+// encoding.
+func TestKeySeparatorValuesDoNotCollide(t *testing.T) {
+	cases := []struct{ a, b Binding }{
+		// '|' migrating between value and datatype:
+		// old keys were both "v=1a|b|c|;".
+		{
+			Binding{"v": rdf.NewTypedLiteral("a|b", "c")},
+			Binding{"v": rdf.NewTypedLiteral("a", "b|c")},
+		},
+		// '|' migrating between datatype and lang.
+		{
+			Binding{"v": rdf.Term{Kind: rdf.TermLiteral, Datatype: "a|b"}},
+			Binding{"v": rdf.Term{Kind: rdf.TermLiteral, Datatype: "a", Lang: "b"}},
+		},
+		// A value embedding a whole "…;w=…" suffix, colliding with a
+		// second bound variable.
+		{
+			Binding{"v": rdf.NewLiteral("a0:0:0:;w=1" + "1:b0:0:")},
+			Binding{"v": rdf.NewLiteral("a"), "w": rdf.NewLiteral("b")},
+		},
+	}
+	for i, c := range cases {
+		ka, kb := c.a.FullKey(), c.b.FullKey()
+		if ka == kb {
+			t.Errorf("case %d: FullKey collision: %v and %v both map to %q", i, c.a, c.b, ka)
+		}
+	}
+}
+
+func TestKeyDeterministicAndDistinguishesUnbound(t *testing.T) {
+	b := Binding{"v": rdf.NewLiteral("x")}
+	vars := []string{"v", "w"}
+	if b.Key(vars) != b.Key(vars) {
+		t.Fatal("Key is not deterministic")
+	}
+	bound := Binding{"v": rdf.NewLiteral("x"), "w": rdf.NewLiteral("")}
+	if b.Key(vars) == bound.Key(vars) {
+		t.Fatal("Key does not distinguish unbound from empty literal")
+	}
+	// Same restriction, extra variables outside vars: keys agree.
+	extra := Binding{"v": rdf.NewLiteral("x"), "u": rdf.NewLiteral("y")}
+	if b.Key(vars) != extra.Key(vars) {
+		t.Fatal("Key depends on variables outside vars")
+	}
+}

@@ -166,6 +166,11 @@ func SortBindings(sols []Binding, keys []OrderKey) {
 	})
 }
 
+// CompareOrderTerms compares two terms with ORDER BY semantics (numeric
+// when both coerce to numbers, lexical otherwise); it backs SortBindings
+// and the columnar ORDER BY operator.
+func CompareOrderTerms(a, b rdf.Term) int { return compareTermsForOrder(a, b) }
+
 func compareTermsForOrder(a, b rdf.Term) int {
 	av, bv := TermValue(a), TermValue(b)
 	if av.Kind == ValNumber && bv.Kind == ValNumber {

@@ -1,0 +1,143 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+	"ontario/internal/sparql"
+)
+
+// ColumnarWrapper is implemented by wrappers that can emit dictionary-
+// encoded columnar batches natively: terms are interned into the
+// execution's dictionary at the source and only uint64 IDs cross the
+// exchange. Wrappers without the interface go through the row-to-columnar
+// encoding adapter at the boundary instead (ExecuteColumnar below) —
+// remote federation hops in particular keep speaking
+// sparql-results+json and their decoded rows are interned on arrival.
+type ColumnarWrapper interface {
+	Wrapper
+	// ExecuteColumnar runs the request, streaming columnar batches over
+	// schema with all terms interned into d. The network-simulation
+	// contract matches Execute: one latency sample per solution for
+	// per-answer retrieval, one per block response.
+	ExecuteColumnar(ctx context.Context, req *Request, schema *engine.Schema, d *dict.Dict) (*engine.CStream, error)
+}
+
+// ExecuteColumnar runs req on w with a columnar result stream: natively
+// when the wrapper supports it, otherwise through the boundary adapter
+// that interns each row batch as it arrives.
+func ExecuteColumnar(ctx context.Context, w Wrapper, req *Request, schema *engine.Schema, d *dict.Dict) (*engine.CStream, error) {
+	if cw, ok := w.(ColumnarWrapper); ok {
+		return cw.ExecuteColumnar(ctx, req, schema, d)
+	}
+	s, err := w.Execute(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return engine.EncodeStream(ctx, s, schema, d), nil
+}
+
+// ExecuteColumnar implements ColumnarWrapper: the BGP is evaluated as in
+// Execute, and the solutions cross the exchange as interned IDs. Like the
+// SQL wrapper, the decoded response is built as a respEntry so repeated
+// requests replay from the engine's response cache instead of re-walking
+// the graph.
+func (w *RDFWrapper) ExecuteColumnar(ctx context.Context, req *Request, schema *engine.Schema, d *dict.Dict) (*engine.CStream, error) {
+	if len(req.Stars) == 0 {
+		return nil, fmt.Errorf("wrapper %s: empty request", w.id)
+	}
+	var key respKey
+	if w.cache != nil {
+		key = respKeyFor(w.id, 0, req, d)
+		if e := w.cache.lookup(key, req, 0); e != nil {
+			return e.stream(ctx, w.sim, schema, w.batch), nil
+		}
+	}
+	e := w.columnarEntry(req, schema, d)
+	if w.cache != nil {
+		w.cache.store(key, e)
+	}
+	return e.stream(ctx, w.sim, schema, w.batch), nil
+}
+
+// columnarEntry evaluates the BGP and flattens the solutions into a
+// response entry.
+func (w *RDFWrapper) columnarEntry(req *Request, schema *engine.Schema, d *dict.Dict) *respEntry {
+	e := &respEntry{stride: len(schema.Vars)}
+	var patterns []sparql.TriplePattern
+	for _, s := range req.Stars {
+		patterns = append(patterns, s.Patterns...)
+	}
+	if len(req.Seeds) > 0 {
+		e.seeds = append([]sparql.Binding(nil), req.Seeds...)
+		sols := w.blockSolutions(req, patterns)
+		e.rows, e.nrows = flattenSolutions(nil, sols, schema, d)
+		return e
+	}
+	e.perRow = true
+	e.seed = req.Seed
+	patterns = substituteSeed(patterns, req.Seed)
+	sols := w.filteredSolutions(req, patterns)
+	e.rows, e.nrows = flattenSolutions(req.Seed, sols, schema, d)
+	return e
+}
+
+// ExecuteColumnar implements ColumnarWrapper for the limited wrapper: the
+// slot discipline is identical to Execute — held while the source
+// produces, relinquished before the relay would block on a consumer that
+// fell relayBacklogCap batches behind.
+func (w *limitedWrapper) ExecuteColumnar(ctx context.Context, req *Request, schema *engine.Schema, d *dict.Dict) (*engine.CStream, error) {
+	id := w.inner.SourceID()
+	if err := w.lim.Acquire(ctx, id); err != nil {
+		return nil, err
+	}
+	in, err := ExecuteColumnar(ctx, w.inner, req, schema, d)
+	if err != nil {
+		w.lim.Release(id)
+		return nil, err
+	}
+	out := engine.NewCStream(schema, 4)
+	go func() {
+		defer out.Close()
+		released := false
+		release := func() {
+			if !released {
+				released = true
+				w.lim.Release(id)
+			}
+		}
+		defer release()
+		var backlog []*engine.ColBatch
+		for batch := range in.Batches() {
+			for len(backlog) > 0 && out.TrySendBatch(backlog[0]) {
+				backlog[0] = nil
+				backlog = backlog[1:]
+			}
+			if len(backlog) == 0 && out.TrySendBatch(batch) {
+				continue
+			}
+			backlog = append(backlog, batch)
+			if len(backlog) >= relayBacklogCap {
+				// Same reasoning as the row relay: release the slot before
+				// blocking on the consumer, so a dependent join waiting on
+				// another request to this source cannot deadlock the limiter.
+				release()
+				for _, b := range backlog {
+					if !out.SendBatch(ctx, b) {
+						return
+					}
+				}
+				backlog = nil
+			}
+		}
+		release()
+		for _, b := range backlog {
+			if !out.SendBatch(ctx, b) {
+				return
+			}
+		}
+	}()
+	return out, nil
+}

@@ -9,7 +9,6 @@ import (
 	"ontario/internal/engine"
 	"ontario/internal/netsim"
 	"ontario/internal/sparql"
-	"ontario/internal/sql"
 )
 
 // TranslationMode selects the quality of the SPARQL-to-SQL translation.
@@ -45,6 +44,11 @@ type SQLWrapper struct {
 	mode  TranslationMode
 	batch int
 
+	// cache, when non-nil, memoizes decoded columnar responses across
+	// executions (see ResponseCache); entries are invalidated by the
+	// source database's content generation.
+	cache *ResponseCache
+
 	// lastSQL records the SQL text(s) of the most recent request, for
 	// EXPLAIN output and tests. The mutex makes the record safe under the
 	// block bind join's concurrent invocations.
@@ -60,6 +64,11 @@ func NewSQLWrapper(src *catalog.Source, sim *netsim.Simulator, mode TranslationM
 
 // SourceID implements Wrapper.
 func (w *SQLWrapper) SourceID() string { return w.src.ID }
+
+// SetResponseCache installs the engine's shared response cache. The cache
+// must belong to the same engine as the dictionary the wrapper interns
+// into — entries hold its IDs.
+func (w *SQLWrapper) SetResponseCache(c *ResponseCache) { w.cache = c }
 
 // LastSQL returns the SQL statements issued by the most recent Execute.
 func (w *SQLWrapper) LastSQL() []string {
@@ -115,23 +124,12 @@ func (w *SQLWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 // variable) or an OR-of-conjunctions (several), and the result rows cross
 // the simulated network as one batched response message.
 func (w *SQLWrapper) executeBlock(ctx context.Context, req *Request, stars []*StarQuery) (*engine.Stream, error) {
-	tl, err := translateRequest(w.src, stars, req.Filters)
+	tl, empty, err := w.blockTranslation(req, stars)
 	if err != nil {
 		return nil, err
 	}
-	if tl.empty {
+	if empty {
 		return streamBlock(ctx, w.sim, nil, w.batch), nil
-	}
-	seedCond, provablyEmpty := tl.seedPredicate(req.Seeds)
-	if provablyEmpty {
-		return streamBlock(ctx, w.sim, nil, w.batch), nil
-	}
-	if seedCond != nil {
-		if tl.sel.Where == nil {
-			tl.sel.Where = seedCond
-		} else {
-			tl.sel.Where = &sql.And{L: tl.sel.Where, R: seedCond}
-		}
 	}
 	w.recordSQL(tl.sel.String())
 	res, err := w.src.DB.QueryAST(tl.sel)

@@ -171,6 +171,12 @@ type RDFWrapper struct {
 	graph *rdf.Graph
 	sim   *netsim.Simulator
 	batch int
+
+	// cache, when non-nil, memoizes decoded columnar responses across
+	// executions. The graph is loaded once and treated as read-only by the
+	// engine (there is no content generation to track), matching the
+	// static-lake premise of the shared dictionary.
+	cache *ResponseCache
 }
 
 // NewRDFWrapper wraps an RDF graph. sim may be nil for no network
@@ -181,6 +187,10 @@ func NewRDFWrapper(id string, g *rdf.Graph, sim *netsim.Simulator, batch int) *R
 
 // SourceID implements Wrapper.
 func (w *RDFWrapper) SourceID() string { return w.id }
+
+// SetResponseCache installs the engine's shared response cache (see
+// SQLWrapper.SetResponseCache).
+func (w *RDFWrapper) SetResponseCache(c *ResponseCache) { w.cache = c }
 
 // Execute implements Wrapper.
 func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream, error) {
@@ -195,30 +205,37 @@ func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 		return w.executeBlock(ctx, req, patterns)
 	}
 	patterns = substituteSeed(patterns, req.Seed)
+	sols := w.filteredSolutions(req, patterns)
+	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
+}
+
+// filteredSolutions evaluates the (already seed-substituted) patterns and
+// applies the pushed filters; shared by the row and columnar paths.
+func (w *RDFWrapper) filteredSolutions(req *Request, patterns []sparql.TriplePattern) []sparql.Binding {
 	sols := sparql.EvalBGP(w.graph, patterns)
-	if len(req.Filters) > 0 {
-		var kept []sparql.Binding
-		for _, b := range sols {
-			// Filters may reference seeded variables that became
-			// constants; evaluate them over the merged binding.
-			eval := b
-			if len(req.Seed) > 0 {
-				eval = req.Seed.Merge(b)
-			}
-			ok := true
-			for _, f := range req.Filters {
-				if !sparql.EvalBool(f, eval) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, b)
+	if len(req.Filters) == 0 {
+		return sols
+	}
+	var kept []sparql.Binding
+	for _, b := range sols {
+		// Filters may reference seeded variables that became constants;
+		// evaluate them over the merged binding.
+		eval := b
+		if len(req.Seed) > 0 {
+			eval = req.Seed.Merge(b)
+		}
+		ok := true
+		for _, f := range req.Filters {
+			if !sparql.EvalBool(f, eval) {
+				ok = false
+				break
 			}
 		}
-		sols = kept
+		if ok {
+			kept = append(kept, b)
+		}
 	}
-	return streamWithDelay(ctx, w.sim, req.Seed, sols, w.batch), nil
+	return kept
 }
 
 // executeBlock answers a multi-seed block request in one graph pass: the
@@ -226,6 +243,12 @@ func (w *RDFWrapper) Execute(ctx context.Context, req *Request) (*engine.Stream,
 // those compatible with at least one seed, and the whole block crosses the
 // simulated network as a single message.
 func (w *RDFWrapper) executeBlock(ctx context.Context, req *Request, patterns []sparql.TriplePattern) (*engine.Stream, error) {
+	return streamBlock(ctx, w.sim, w.blockSolutions(req, patterns), w.batch), nil
+}
+
+// blockSolutions answers a multi-seed block request's solution set in one
+// graph pass; shared by the row and columnar paths.
+func (w *RDFWrapper) blockSolutions(req *Request, patterns []sparql.TriplePattern) []sparql.Binding {
 	var sols []sparql.Binding
 	for _, b := range sparql.EvalBGP(w.graph, patterns) {
 		if !matchesAnySeed(b, req.Seeds) {
@@ -244,5 +267,5 @@ func (w *RDFWrapper) executeBlock(ctx context.Context, req *Request, patterns []
 			sols = append(sols, b)
 		}
 	}
-	return streamBlock(ctx, w.sim, sols, w.batch), nil
+	return sols
 }

@@ -114,6 +114,16 @@ func Blank(label string) Term { return lake.Blank(label) }
 type Engine struct {
 	inner *core.Engine
 	lake  *lake.Lake
+
+	// jsonTerms caches the sparql-results+json encoding of terms by
+	// dictionary ID across queries. The dictionary lives as long as the
+	// lake's catalog and its IDs are stable, so a term crossing the HTTP
+	// boundary is marshaled once per lake — shared, like the dictionary
+	// itself, by every engine over the same catalog.
+	jsonTerms *termJSONCache
+
+	// plans memoizes prepared plans at lake lifetime (see preparedCache).
+	plans *preparedCache
 }
 
 // EngineOption configures the engine itself (as opposed to Option, which
@@ -136,7 +146,9 @@ func New(l *lake.Lake, opts ...EngineOption) *Engine {
 	if cat == nil {
 		panic("ontario: New requires a lake built with lake.NewBuilder")
 	}
-	e := &Engine{inner: core.NewEngine(cat), lake: l}
+	jt := cat.Shared("json.terms", func() any { return newTermJSONCache() }).(*termJSONCache)
+	pc := cat.Shared("prepared.plans", func() any { return newPreparedCache() }).(*preparedCache)
+	e := &Engine{inner: core.NewEngine(cat), lake: l, jsonTerms: jt, plans: pc}
 	for _, o := range opts {
 		o(e)
 	}
@@ -173,18 +185,14 @@ func (s *SourceLimits) Peak(source string) int { return s.lim.Peak(source) }
 // Query parses, plans and starts a SPARQL query, returning a streaming
 // cursor over its solutions. Cancelling ctx aborts the execution: wrappers
 // stop issuing requests and Next returns false with Err reporting the
-// cancellation.
+// cancellation. Planning goes through the lake's prepared-plan cache, so
+// a repeated query skips parsing and planning (see Prepare).
 func (e *Engine) Query(ctx context.Context, queryText string, options ...Option) (*Results, error) {
-	q, err := sparql.Parse(queryText)
+	prep, err := e.Prepare(queryText, options...)
 	if err != nil {
 		return nil, err
 	}
-	cfg := newConfig(options)
-	plan, err := e.inner.Planner.Plan(q, e.planOptions(cfg))
-	if err != nil {
-		return nil, err
-	}
-	return e.start(ctx, plan, cfg)
+	return e.start(ctx, prep.plan, newConfig(options))
 }
 
 // planOptions resolves the query options and wires in the engine's health
@@ -202,12 +210,25 @@ func (e *Engine) start(ctx context.Context, plan *core.Plan, cfg config) (*Resul
 	ctx, cancel := context.WithCancel(ctx)
 	exec := e.inner.Executor.NewExecution(cfg.scale, cfg.seed)
 	start := time.Now()
-	stream, err := exec.Execute(ctx, plan)
+	if plan.Opts.RowExchange {
+		stream, err := exec.Execute(ctx, plan)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		return newResults(ctx, cancel, plan, exec, stream, start), nil
+	}
+	// The default data plane: terms are interned into dictionary IDs at
+	// the wrapper boundary and only columnar ID batches flow between
+	// operators; the cursor materializes terms on delivery.
+	cs, d, err := exec.ExecuteColumnar(ctx, plan)
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	return newResults(ctx, cancel, plan, exec, stream, start), nil
+	r := newColumnarResults(ctx, cancel, plan, exec, cs, d, start)
+	r.jsonCache = e.jsonTerms
+	return r, nil
 }
 
 // Prepared is a planned query ready for repeated execution. The plan tree
@@ -227,18 +248,26 @@ func (p *Prepared) Summary() *PlanSummary { return summarize(p.plan.Root) }
 
 // Prepare parses and plans a query without executing it. All plan-shaping
 // options (mode, network, optimizer, join operator, ...) are fixed at
-// Prepare time.
+// Prepare time. Plans are memoized at lake lifetime: a repeated Prepare —
+// same query text, same plan options, source health in the same coarse
+// bucket — returns the lake's cached Prepared instead of planning again.
 func (e *Engine) Prepare(queryText string, options ...Option) (*Prepared, error) {
+	cfg := newConfig(options)
+	key := queryText + "\x00" + cfg.fingerprint() + "\x00" + e.healthFingerprint()
+	if p := e.plans.get(key); p != nil {
+		return p, nil
+	}
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	cfg := newConfig(options)
 	plan, err := e.inner.Planner.Plan(q, e.planOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{plan: plan}, nil
+	p := &Prepared{plan: plan}
+	e.plans.put(key, p)
+	return p, nil
 }
 
 // QueryPrepared starts a prepared query on its own execution, skipping

@@ -185,6 +185,11 @@ type config struct {
 	probePar   int
 	scale      float64
 	seed       int64
+	// rowExchange selects the row-at-a-time reference pipeline instead of
+	// the default dictionary-encoded columnar exchange. Internal-only (via
+	// internal/bridge): kept for equivalence testing and ablation, not part
+	// of the public option surface.
+	rowExchange bool
 }
 
 func newConfig(options []Option) config {
@@ -228,6 +233,7 @@ func (c config) resolve() core.Options {
 	opts.BindConcurrency = c.bindConc
 	opts.BatchSize = c.batchSize
 	opts.ProbeParallelism = c.probePar
+	opts.RowExchange = c.rowExchange
 	return opts
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ontario/internal/bridge"
 	"ontario/internal/core"
+	"ontario/internal/dict"
 	"ontario/internal/engine"
 	"ontario/internal/sparql"
 )
@@ -58,6 +59,21 @@ type Results struct {
 	stream *engine.Stream
 	start  time.Time
 
+	// Columnar mode (the default): the cursor consumes dictionary-encoded
+	// batches and materializes terms only when a solution is actually
+	// served — through Binding, or pre-encoded JSON via nextBatchJSON.
+	// stream is nil in this mode; cstream/dict are nil in row mode.
+	cstream *engine.CStream
+	dict    *dict.Dict
+	cbuf    *engine.ColBatch
+	cidx    int
+
+	// json holds the lazily-built JSON encoding state (pre-marshaled
+	// keys, term cache) backing the server's fast path; jsonCache is the
+	// engine's cross-query term cache it draws from.
+	json      *resultsJSON
+	jsonCache *termJSONCache
+
 	// buf is the exchange batch the cursor is currently iterating: Next
 	// serves bindings from buf[idx:] and only touches the stream channel
 	// when the batch is exhausted, so the per-answer cost of the cursor is
@@ -86,6 +102,19 @@ func newResults(ctx context.Context, cancel context.CancelFunc, plan *core.Plan,
 	}
 }
 
+func newColumnarResults(ctx context.Context, cancel context.CancelFunc, plan *core.Plan, exec *core.Execution, cs *engine.CStream, d *dict.Dict, start time.Time) *Results {
+	return &Results{
+		vars:    plan.Query.ProjectedVars(),
+		plan:    plan,
+		ctx:     ctx,
+		cancel:  cancel,
+		exec:    exec,
+		cstream: cs,
+		dict:    d,
+		start:   start,
+	}
+}
+
 // Vars returns the projected variable names.
 func (r *Results) Vars() []string { return append([]string(nil), r.vars...) }
 
@@ -96,8 +125,14 @@ func (r *Results) Next() bool {
 	if !r.fill() {
 		return false
 	}
-	b := r.buf[r.idx]
-	r.idx++
+	var b sparql.Binding
+	if r.cstream != nil {
+		b = r.cbuf.Binding(r.cidx, r.dict)
+		r.cidx++
+	} else {
+		b = r.buf[r.idx]
+		r.idx++
+	}
 	r.n++
 	if r.n == 1 {
 		r.firstAt = time.Since(r.start)
@@ -114,16 +149,24 @@ func (r *Results) nextBatch() ([]Binding, bool) {
 	if !r.fill() {
 		return nil, false
 	}
-	part := r.buf[r.idx:]
-	r.idx = len(r.buf)
-	out := make([]Binding, len(part))
-	for i, b := range part {
-		out[i] = bindingFromInternal(b)
+	var out []Binding
+	if r.cstream != nil {
+		out = make([]Binding, 0, r.cbuf.Len-r.cidx)
+		for ; r.cidx < r.cbuf.Len; r.cidx++ {
+			out = append(out, bindingFromInternal(r.cbuf.Binding(r.cidx, r.dict)))
+		}
+	} else {
+		part := r.buf[r.idx:]
+		r.idx = len(r.buf)
+		out = make([]Binding, len(part))
+		for i, b := range part {
+			out[i] = bindingFromInternal(b)
+		}
 	}
 	if r.n == 0 {
 		r.firstAt = time.Since(r.start)
 	}
-	r.n += len(part)
+	r.n += len(out)
 	return out, true
 }
 
@@ -134,6 +177,17 @@ func (r *Results) nextBatch() ([]Binding, bool) {
 func (r *Results) fill() bool {
 	if r.done || r.closed {
 		return false
+	}
+	if r.cstream != nil {
+		for r.cbuf == nil || r.cidx >= r.cbuf.Len {
+			batch, ok := <-r.cstream.Batches()
+			if !ok {
+				r.finish()
+				return false
+			}
+			r.cbuf, r.cidx = batch, 0
+		}
+		return true
 	}
 	for r.idx >= len(r.buf) {
 		batch, ok := <-r.stream.Batches()
@@ -163,7 +217,15 @@ func (r *Results) Close() error {
 	}
 	r.closed = true
 	r.cancel()
-	for range r.stream.Batches() {
+	if r.json != nil {
+		r.json.release()
+	}
+	if r.cstream != nil {
+		for range r.cstream.Batches() {
+		}
+	} else {
+		for range r.stream.Batches() {
+		}
 	}
 	if !r.done {
 		r.done = true
@@ -250,4 +312,20 @@ func init() {
 		}
 		return batch, true
 	}
+	// The server's fast path: the cursor hands over the next batch already
+	// encoded as sparql-results+json binding objects, skipping the public
+	// Binding materialization entirely. In columnar mode each distinct term
+	// is marshaled once per engine (the encoding is cached by dictionary
+	// ID across queries), so the JSON writer's per-answer cost collapses
+	// to cache lookups and byte appends.
+	bridge.ResultsNextJSON = func(results any) ([]byte, int, bool) {
+		r, ok := results.(*Results)
+		if !ok {
+			return nil, 0, false
+		}
+		return r.nextBatchJSON()
+	}
+	// Equivalence tests and the bench harness flip one execution back to
+	// the row-at-a-time reference pipeline through this internal option.
+	bridge.RowExchangeOption = Option(func(c *config) { c.rowExchange = true })
 }
