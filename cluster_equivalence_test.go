@@ -1,0 +1,159 @@
+package ontario_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ontario"
+	"ontario/internal/bridge"
+	"ontario/internal/cluster"
+	"ontario/internal/lslod"
+)
+
+// Distributed execution must be answer-equivalent to single-node
+// execution: the coordinator plans exactly as a single node does, but
+// scans fan out over hash-partitioned workers and symmetric-hash joins
+// run as distributed shuffles over the columnar wire protocol, so the
+// multiset of solutions — unbound OPTIONAL columns, typed literals and
+// all — must survive partitioning, the dictionary-delta remap, and
+// reassembly.
+
+// bootCluster partitions the small LSLOD lake over n in-process workers
+// on loopback listeners and returns the coordinator-side query option
+// that distributes executions over them.
+func bootCluster(t *testing.T, n int) ontario.Option {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lk, err := lslod.BuildLake(lslod.SmallScale(), 1)
+		if err != nil {
+			t.Fatalf("building worker %d lake: %v", i, err)
+		}
+		if err := cluster.PartitionLake(lk.Lake, i, n); err != nil {
+			t.Fatalf("partitioning worker %d: %v", i, err)
+		}
+		w, err := cluster.NewWorker(lk.Lake, cluster.WorkerConfig{Partition: i, Of: n})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d listener: %v", i, err)
+		}
+		go w.Serve(lis)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			w.Shutdown(ctx)
+		})
+		addrs = append(addrs, lis.Addr().String())
+	}
+	client, err := cluster.NewClient(addrs, cluster.ClientConfig{})
+	if err != nil {
+		t.Fatalf("cluster client: %v", err)
+	}
+	opt, ok := bridge.ClusterOption(client).(ontario.Option)
+	if !ok {
+		t.Fatal("bridge.ClusterOption is not wired")
+	}
+	return opt
+}
+
+// TestClusterEquivalenceLSLOD runs the five LSLOD benchmark queries on a
+// two-worker cluster under both plan modes and requires the distributed
+// multiset to match the single-node columnar run on the same engine —
+// including a repeat per cell, so cached plans shared between clustered
+// and local executions stay correct.
+func TestClusterEquivalenceLSLOD(t *testing.T) {
+	lk := buildEquivLake(t)
+	eng := ontario.New(lk.Lake)
+	clusterOpt := bootCluster(t, 2)
+
+	modes := []struct {
+		name string
+		opt  ontario.Option
+	}{
+		{"aware", ontario.WithAwarePlan()},
+		{"unaware", ontario.WithUnawarePlan()},
+	}
+	for _, q := range lslod.Queries() {
+		for _, mode := range modes {
+			base := []ontario.Option{
+				mode.opt,
+				ontario.WithNetwork(ontario.NoDelay),
+				ontario.WithNetworkScale(0),
+				ontario.WithSeed(1),
+			}
+			label := fmt.Sprintf("%s/%s", q.ID, mode.name)
+			_, want := runCanon(t, eng, q.Text, base...)
+			if len(want) == 0 {
+				t.Fatalf("%s: single-node run returned no solutions", label)
+			}
+			_, got := runCanon(t, eng, q.Text, append([]ontario.Option{clusterOpt}, base...)...)
+			diffMultisets(t, label, want, got)
+			_, again := runCanon(t, eng, q.Text, append([]ontario.Option{clusterOpt}, base...)...)
+			diffMultisets(t, label+"/repeat", want, again)
+		}
+	}
+}
+
+// TestClusterEquivalenceOptional shuffles OPTIONAL-unbound rows across
+// the wire: the presence bitmap for the absent ?drug column must survive
+// the worker hop in both directions.
+func TestClusterEquivalenceOptional(t *testing.T) {
+	lk := buildEquivLake(t)
+	eng := ontario.New(lk.Lake)
+	clusterOpt := bootCluster(t, 2)
+
+	query := fmt.Sprintf(`
+SELECT ?disease ?name ?drug WHERE {
+  ?disease <%s> <%s> .
+  ?disease <%s> ?name .
+  OPTIONAL { ?disease <%s> ?drug }
+}`, rdfTypeIRI, lslod.ClassDisease, lslod.PredDiseaseName, lslod.PredPossibleDrug)
+
+	base := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(ontario.NoDelay),
+		ontario.WithNetworkScale(0),
+		ontario.WithSeed(1),
+	}
+	_, want := runCanon(t, eng, query, base...)
+	bound, unbound := 0, 0
+	for _, row := range want {
+		if strings.Contains(row, "drug=") {
+			bound++
+		} else {
+			unbound++
+		}
+	}
+	if bound == 0 || unbound == 0 {
+		t.Fatalf("OPTIONAL coverage needs both bound and unbound ?drug rows, got bound=%d unbound=%d", bound, unbound)
+	}
+	_, got := runCanon(t, eng, query, append([]ontario.Option{clusterOpt}, base...)...)
+	diffMultisets(t, "cluster/optional", want, got)
+}
+
+// TestClusterSingleWorkerDegenerate checks the N=1 edge: one worker
+// owning the whole lake behind the wire protocol is still
+// answer-identical (the scaling experiment's baseline cell).
+func TestClusterSingleWorkerDegenerate(t *testing.T) {
+	lk := buildEquivLake(t)
+	eng := ontario.New(lk.Lake)
+	clusterOpt := bootCluster(t, 1)
+
+	q := lslod.Queries()[0]
+	base := []ontario.Option{
+		ontario.WithAwarePlan(),
+		ontario.WithNetwork(ontario.NoDelay),
+		ontario.WithNetworkScale(0),
+		ontario.WithSeed(1),
+	}
+	_, want := runCanon(t, eng, q.Text, base...)
+	_, got := runCanon(t, eng, q.Text, append([]ontario.Option{clusterOpt}, base...)...)
+	diffMultisets(t, "cluster/one-worker", want, got)
+}

@@ -30,6 +30,12 @@
 //	                   default dictionary-encoded columnar exchange, per
 //	                   batch size (-exchange-batches), reporting
 //	                   bindings/sec and the columnar/row speedup
+//	-experiment cluster
+//	                   distributed scale-out: the query mix against a
+//	                   coordinator shuffling fragments over N in-process
+//	                   partitioned workers, per pool size
+//	                   (-cluster-workers), reporting bindings/sec and the
+//	                   1→N speedup of the columnar shuffle data plane
 //	-experiment all    all of the paper experiments above (serve and
 //	                   exchange must be requested explicitly: at
 //	                   -net-scale 1 a multi-client load test over the gamma
@@ -57,7 +63,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | exchange | columnar | all")
+		which    = flag.String("experiment", "all", "grid | fig2 | h1 | h2 | bind | optimizer | serve | exchange | columnar | cluster | all")
 		small    = flag.Bool("small", false, "use the small data scale")
 		seed     = flag.Int64("seed", 1, "data and network seed")
 		scalef   = flag.Float64("net-scale", 1.0, "network sleep scale (0 disables sleeping, 1 real time)")
@@ -78,6 +84,9 @@ func main() {
 		exchNetwork = flag.String("exchange-network", "none", "network profile for -experiment exchange")
 
 		columnarRepeats = flag.Int("columnar-repeats", 0, "query-mix repetitions per cell for -experiment columnar (0 = default)")
+
+		clusterWorkers = flag.String("cluster-workers", "1,2", "comma-separated worker pool sizes for -experiment cluster")
+		clusterNet     = flag.String("cluster-network", "gamma1", "simulated source-latency profile for -experiment cluster (none disables)")
 	)
 	flag.Parse()
 
@@ -270,6 +279,36 @@ func main() {
 		exp.WriteExchangeTable(os.Stdout, rows)
 		emitJSON(func(dir string) (string, error) {
 			return exp.WriteExchangeJSON(dir, rows)
+		})
+	}
+
+	if run == "cluster" {
+		counts, err := parseIntList(*clusterWorkers, 1)
+		if err != nil {
+			fail(err)
+		}
+		net, err := netsim.ProfileByName(*clusterNet)
+		if err != nil {
+			fail(err)
+		}
+		header(fmt.Sprintf("cluster: the query mix distributed over worker pools of %v (%d clients, %d requests per cell, %s x%g)",
+			counts, *serveClients, *serveRequests, net.Name, *scalef))
+		rows, err := exp.RunCluster(ctx, exp.ClusterExpConfig{
+			Scale:        scale,
+			Seed:         *seed,
+			Workers:      counts,
+			Clients:      *serveClients,
+			Requests:     *serveRequests,
+			Network:      net,
+			NetworkScale: *scalef,
+			Timeout:      *serveTimeout,
+		})
+		if err != nil {
+			fail(err)
+		}
+		exp.WriteClusterTable(os.Stdout, rows)
+		emitJSON(func(dir string) (string, error) {
+			return exp.WriteClusterJSON(dir, rows)
 		})
 	}
 

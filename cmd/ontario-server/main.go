@@ -39,6 +39,26 @@
 // a transient peer outage never prevents a restart. Per-source health
 // gauges (breaker state, failure rate, measured latency) are on /metrics.
 //
+// Cluster: -role selects the node's place in a partitioned scale-out
+// deployment (see the README's "Running a cluster"):
+//
+//   - single (default): the standalone node described above.
+//   - worker: owns hash-partition -partition i/N of the lake and executes
+//     plan fragments the coordinator ships over the shuffle wire protocol
+//     on -cluster-addr; the HTTP endpoint still serves the partition
+//     locally (useful for /healthz and /metrics probes).
+//   - coordinator: plans queries against the full catalog and distributes
+//     execution over the -workers pool; /healthz and /metrics report
+//     per-worker health and shuffle traffic.
+//   - router: spreads clients over -replicas coordinator/single nodes
+//     with plan-cache affinity (rendezvous hashing on normalized query
+//     text) under a shared -admission-budget.
+//
+// Every role shuts down gracefully on SIGINT/SIGTERM: the HTTP listener
+// stops accepting, in-flight (and admission-queued) queries get
+// -shutdown-grace to drain, and a worker drains its running fragments the
+// same way.
+//
 // Every query gets a trace identity: a W3C traceparent arriving on
 // /sparql is adopted (this node becomes a child span of the caller),
 // otherwise fresh IDs are assigned. The query ID returns in the
@@ -48,18 +68,27 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ontario"
+	"ontario/internal/bridge"
 	"ontario/internal/buildinfo"
+	"ontario/internal/cluster"
 	"ontario/internal/lslod"
 	"ontario/internal/server"
+	"ontario/internal/wrapper"
 	"ontario/lake"
 )
 
@@ -86,6 +115,14 @@ func main() {
 		remoteRetries = flag.Int("remote-retries", 3, "retries per remote request (negative disables)")
 		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive remote failures that open a source's circuit breaker (negative disables)")
 		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects requests before a half-open probe")
+
+		role          = flag.String("role", "single", "node role: single | coordinator | worker | router")
+		clusterAddr   = flag.String("cluster-addr", ":9090", "worker role: TCP listen address for the shuffle wire protocol")
+		workers       = flag.String("workers", "", `coordinator role: comma-separated worker shuffle addresses ("host:9090,host2:9090"), in partition order`)
+		partition     = flag.String("partition", "", `worker role: this node's hash-partition as "i/N" (0-based, e.g. "0/2")`)
+		replicas      = flag.String("replicas", "", `router role: comma-separated replica base URLs ("http://host:8080,...")`)
+		admBudget     = flag.Int("admission-budget", 0, "router role: queries in flight across all replicas before 503 (0 = 64 per replica)")
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long SIGINT/SIGTERM lets in-flight queries drain before forcing exit")
 	)
 	flag.Parse()
 
@@ -96,6 +133,16 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *role == "router" {
+		if err := runRouter(ctx, logger, *addr, *replicas, *admBudget, *shutdownGrace); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	profile, err := ontario.ProfileByName(*network)
 	if err != nil {
@@ -116,6 +163,9 @@ func main() {
 	type peerSpec struct{ id, base string }
 	var peerSpecs []peerSpec
 	if *federate != "" {
+		if *role != "single" {
+			fail(fmt.Errorf("-federate only applies to -role single (put federation peers behind the coordinator's workers, or route over federated singles)"))
+		}
 		for _, part := range strings.Split(*federate, ",") {
 			id, base, ok := strings.Cut(strings.TrimSpace(part), "=")
 			if !ok || id == "" || base == "" {
@@ -141,7 +191,15 @@ func main() {
 		engOpts = append(engOpts, ontario.WithSourceLimit(*srcLimit))
 	}
 
-	buildEngine := func(peers []peer) (*ontario.Engine, error) {
+	var workerPart, workerOf int
+	if *role == "worker" {
+		workerPart, workerOf, err = parsePartition(*partition)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	buildLake := func(peers []peer) (*lslod.Lake, error) {
 		l, err := lslod.BuildLakeCustom(scale, *seed, func(b *lake.Builder) {
 			for _, p := range peers {
 				b.AddSPARQLEndpoint(p.id, p.url, p.mols...)
@@ -150,13 +208,50 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
+		if *role == "worker" {
+			// The worker owns one hash-partition: the lake is built in
+			// full (cheap, synthetic) and thinned in place, so every
+			// worker ends up with the same catalog shape over disjoint
+			// data.
+			if err := cluster.PartitionLake(l.Lake, workerPart, workerOf); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	}
+	buildEngine := func(peers []peer) (*ontario.Engine, error) {
+		l, err := buildLake(peers)
+		if err != nil {
+			return nil, err
+		}
 		return ontario.New(l.Lake, engOpts...), nil
 	}
 
-	logger.Info("building LSLOD lake", slog.Bool("small", *small), slog.Int64("seed", *seed))
-	eng, err := buildEngine(nil)
-	if err != nil {
-		fail(err)
+	logger.Info("building LSLOD lake",
+		slog.Bool("small", *small), slog.Int64("seed", *seed), slog.String("role", *role))
+
+	var clusterWorker *cluster.Worker
+	var eng *ontario.Engine
+	if *role == "worker" {
+		l, err := buildLake(nil)
+		if err != nil {
+			fail(err)
+		}
+		clusterWorker, err = cluster.NewWorker(l.Lake, cluster.WorkerConfig{
+			Partition:     workerPart,
+			Of:            workerOf,
+			MaxConcurrent: *maxConc,
+			Logger:        log.New(os.Stderr, "cluster-worker: ", log.LstdFlags),
+		})
+		if err != nil {
+			fail(err)
+		}
+		eng = ontario.New(l.Lake, engOpts...)
+	} else {
+		eng, err = buildEngine(nil)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	defaults := []ontario.Option{
@@ -173,6 +268,47 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q (want aware or unaware)", *mode))
 	}
 
+	// Coordinator role: every query executes distributed over the worker
+	// pool; /healthz and /metrics report the pool's state.
+	var clusterStatus func() []server.WorkerStatus
+	switch *role {
+	case "coordinator":
+		if *workers == "" {
+			fail(fmt.Errorf("-role coordinator requires -workers"))
+		}
+		var addrs []string
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		client, err := cluster.NewClient(addrs, cluster.ClientConfig{
+			Resilience: wrapper.ResilienceConfig{
+				Timeout:          *remoteTimeout,
+				MaxRetries:       *remoteRetries,
+				BreakerThreshold: *breakerThresh,
+				BreakerCooldown:  *breakerCool,
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		opt, ok := bridge.ClusterOption(client).(ontario.Option)
+		if !ok {
+			fail(fmt.Errorf("cluster option bridge returned an unexpected type"))
+		}
+		defaults = append(defaults, opt)
+		clusterStatus = func() []server.WorkerStatus {
+			pctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			return serverWorkerStatus(client.Probe(pctx))
+		}
+		logger.Info("coordinating over worker pool", slog.Int("workers", len(addrs)))
+	case "single", "worker":
+	default:
+		fail(fmt.Errorf("unknown -role %q (want single, coordinator, worker or router)", *role))
+	}
+
 	srv := server.New(eng, server.Config{
 		MaxConcurrent:    *maxConc,
 		QueueDepth:       *queue,
@@ -182,6 +318,7 @@ func main() {
 		EnablePprof:      *enablePpf,
 		Logger:           logger,
 		DefaultOptions:   defaults,
+		ClusterStatus:    clusterStatus,
 	})
 
 	if len(peerSpecs) > 0 {
@@ -190,7 +327,7 @@ func main() {
 		// into the running server. An unreachable peer is a warning, not a
 		// startup failure.
 		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), *federateWait)
+			ctx, cancel := context.WithTimeout(ctx, *federateWait)
 			defer cancel()
 			var peers []peer
 			for _, ps := range peerSpecs {
@@ -221,9 +358,25 @@ func main() {
 		}()
 	}
 
+	if clusterWorker != nil {
+		lis, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("worker serving fragments",
+			slog.String("cluster_addr", lis.Addr().String()),
+			slog.Int("partition", workerPart), slog.Int("of", workerOf))
+		go func() {
+			if err := clusterWorker.Serve(lis); err != nil {
+				logger.Error("worker shuffle listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
 	version, commit := buildinfo.Info()
 	logger.Info("ontario-server listening",
 		slog.String("addr", *addr),
+		slog.String("role", *role),
 		slog.String("version", version),
 		slog.String("commit", commit),
 		slog.String("mode", *mode),
@@ -232,9 +385,104 @@ func main() {
 		slog.Int("queue_depth", *queue),
 		slog.Int("source_limit", *srcLimit),
 		slog.Duration("timeout", *timeout))
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	err = serveHTTP(ctx, logger, *addr, srv, *shutdownGrace)
+	if clusterWorker != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		if werr := clusterWorker.Shutdown(sctx); werr != nil && err == nil {
+			err = werr
+		}
+		cancel()
+	}
+	if err != nil {
 		fail(err)
 	}
+}
+
+// serveHTTP runs the handler until it fails or ctx is cancelled (SIGINT/
+// SIGTERM), then drains gracefully: the listener closes, in-flight and
+// admission-queued requests get grace to finish, stragglers are cut off.
+func serveHTTP(ctx context.Context, logger *slog.Logger, addr string, h http.Handler, grace time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", slog.Duration("grace", grace))
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("shutdown complete")
+	return nil
+}
+
+// runRouter serves the replica router role: no lake, no engine — just
+// plan-cache-affinity routing and the shared admission budget.
+func runRouter(ctx context.Context, logger *slog.Logger, addr, replicas string, budget int, grace time.Duration) error {
+	if replicas == "" {
+		return fmt.Errorf("-role router requires -replicas")
+	}
+	var urls []string
+	for _, r := range strings.Split(replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Replicas: urls, Budget: budget})
+	if err != nil {
+		return err
+	}
+	version, commit := buildinfo.Info()
+	logger.Info("ontario-server routing",
+		slog.String("addr", addr),
+		slog.String("version", version),
+		slog.String("commit", commit),
+		slog.Int("replicas", len(urls)))
+	return serveHTTP(ctx, logger, addr, rt, grace)
+}
+
+// parsePartition parses a "-partition i/N" value.
+func parsePartition(s string) (part, of int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf(`-role worker requires -partition "i/N" (e.g. "0/2"), got %q`, s)
+	}
+	part, err = strconv.Atoi(strings.TrimSpace(i))
+	if err == nil {
+		of, err = strconv.Atoi(strings.TrimSpace(n))
+	}
+	if err != nil || part < 0 || of < 1 || part >= of {
+		return 0, 0, fmt.Errorf(`invalid -partition %q (want "i/N" with 0 <= i < N)`, s)
+	}
+	return part, of, nil
+}
+
+// serverWorkerStatus mirrors the cluster client's worker view into the
+// serving layer's transport-free type.
+func serverWorkerStatus(ws []cluster.WorkerStatus) []server.WorkerStatus {
+	out := make([]server.WorkerStatus, len(ws))
+	for i, w := range ws {
+		s := server.WorkerStatus{
+			Addr: w.Addr, Up: w.Up, Breaker: w.Breaker, Err: w.Err,
+			BatchesIn: w.BatchesIn, BatchesOut: w.BatchesOut,
+			BytesIn: w.BytesIn, BytesOut: w.BytesOut,
+			RemapEntries: w.RemapEntries,
+		}
+		if w.Info != nil {
+			s.Partition, s.Of = w.Info.Partition, w.Info.Of
+			s.ActiveFragments, s.QueuedFragments = w.Info.Active, w.Info.Queued
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // discoverWithRetry polls the peer's /molecules with exponential backoff

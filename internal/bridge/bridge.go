@@ -41,3 +41,12 @@ var ResultsNextJSON func(results any) (payload []byte, n int, ok bool)
 // row-vs-columnar ablation — the public option surface stays columnar-
 // only on purpose.
 var RowExchangeOption any
+
+// ClusterOption holds a factory (set by the root ontario package's init
+// function) turning a core.Distributor — passed as any — into an
+// ontario.Option (returned as any, the caller type-asserts) that runs
+// one query execution distributed over the cluster's worker pool. It
+// exists so cmd/ontario-server's coordinator role can wire
+// internal/cluster into the engine without the public API surface
+// carrying an internal interface type.
+var ClusterOption func(dist any) any

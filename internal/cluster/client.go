@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ontario/internal/core"
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+	"ontario/internal/wrapper"
+)
+
+// ClientConfig configures a coordinator's worker-pool client.
+type ClientConfig struct {
+	// DialTimeout bounds each worker dial. 0 means 5s.
+	DialTimeout time.Duration
+	// Resilience shapes the per-worker-link health registry (timeouts,
+	// retries, circuit breakers) guarding task setup; the zero value
+	// applies the wrapper package's defaults.
+	Resilience wrapper.ResilienceConfig
+}
+
+// Client is the coordinator side of the cluster: a core.Distributor that
+// fans plan fragments out over the worker pool. Task setup (dial plus
+// task header) runs behind a per-worker health registry — the same
+// breaker/retry layer that guards remote sources — while mid-stream
+// failures park on the query's execution and feed the breaker directly.
+type Client struct {
+	addrs       []string
+	dialTimeout time.Duration
+	health      *wrapper.HealthRegistry
+
+	counters []workerCounters
+}
+
+// workerCounters aggregates one worker link's observed shuffle traffic
+// across all of its finished task connections.
+type workerCounters struct {
+	batchesIn  atomic.Int64
+	batchesOut atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+	remapN     atomic.Int64
+}
+
+// WorkerStatus is one worker link's health and traffic snapshot.
+type WorkerStatus struct {
+	Addr         string
+	Up           bool
+	Breaker      string
+	Err          string
+	Info         *WorkerInfo
+	BatchesIn    int64
+	BatchesOut   int64
+	BytesIn      int64
+	BytesOut     int64
+	RemapEntries int64
+}
+
+// NewClient returns a client over the worker addresses.
+func NewClient(addrs []string, cfg ClientConfig) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: NewClient needs at least one worker address")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Client{
+		addrs:       addrs,
+		dialTimeout: cfg.DialTimeout,
+		health:      wrapper.NewHealthRegistry(cfg.Resilience),
+		counters:    make([]workerCounters, len(addrs)),
+	}, nil
+}
+
+// Workers implements core.Distributor.
+func (c *Client) Workers() int { return len(c.addrs) }
+
+// Health exposes the worker-link health registry (breaker states and
+// measured task-setup latency).
+func (c *Client) Health() *wrapper.HealthRegistry { return c.health }
+
+func (c *Client) workerID(i int) string { return fmt.Sprintf("worker:%d", i) }
+
+// taskConn is one open task connection to a worker.
+type taskConn struct {
+	client *Client
+	wi     int
+	conn   net.Conn
+	enc    *Encoder
+	dec    *Decoder
+
+	closeOnce sync.Once
+}
+
+// close tears the connection down and folds its codec counters into the
+// client's per-worker totals.
+func (tc *taskConn) close() {
+	tc.closeOnce.Do(func() {
+		tc.conn.Close()
+		wc := &tc.client.counters[tc.wi]
+		wc.batchesIn.Add(tc.dec.Batches())
+		wc.batchesOut.Add(tc.enc.Batches())
+		wc.bytesIn.Add(tc.dec.Bytes())
+		wc.bytesOut.Add(tc.enc.Bytes())
+		wc.remapN.Add(tc.dec.RemapEntries())
+	})
+}
+
+// openTask dials worker wi and writes the task header, behind the
+// worker's breaker/retry guard. Retrying here is safe: no result bytes
+// have been consumed yet, and an abandoned connection's output dies with
+// the connection.
+func (c *Client) openTask(ctx context.Context, wi int, h *taskHeader, d *dict.Dict) (*taskConn, error) {
+	var tc *taskConn
+	err := c.health.Do(ctx, c.workerID(wi), func(ctx context.Context) error {
+		dialer := &net.Dialer{Timeout: c.dialTimeout}
+		conn, err := dialer.DialContext(ctx, "tcp", c.addrs[wi])
+		if err != nil {
+			return err
+		}
+		enc := NewEncoder(conn, d)
+		if err := enc.Task(h); err != nil {
+			conn.Close()
+			return err
+		}
+		tc = &taskConn{client: c, wi: wi, conn: conn, enc: enc, dec: NewDecoder(conn, d)}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster worker %s: %w", c.addrs[wi], err)
+	}
+	return tc, nil
+}
+
+// openAll opens the task on every worker, closing already-open
+// connections when any worker fails.
+func (c *Client) openAll(ctx context.Context, h *taskHeader, d *dict.Dict) ([]*taskConn, error) {
+	conns := make([]*taskConn, len(c.addrs))
+	for i := range c.addrs {
+		tc, err := c.openTask(ctx, i, h, d)
+		if err != nil {
+			for _, open := range conns {
+				if open != nil {
+					open.close()
+				}
+			}
+			return nil, err
+		}
+		conns[i] = tc
+	}
+	return conns, nil
+}
+
+// readOut relays a task connection's SideOut batches into out until the
+// worker's Done frame. A worker-side error frame comes back as an error.
+func (tc *taskConn) readOut(ctx context.Context, out *engine.CStream) error {
+	for {
+		f, err := tc.dec.Next()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case frameBatch:
+			if f.Side != SideOut {
+				return corrupt("result batch for side %d", f.Side)
+			}
+			if !out.SendBatch(ctx, f.Batch) {
+				return nil
+			}
+		case frameDone:
+			return nil
+		case frameError:
+			return errors.New(string(f.Payload))
+		default:
+			return corrupt("unexpected frame type 0x%02x in result stream", f.Type)
+		}
+	}
+}
+
+// Service implements core.Distributor: the request fans out to every
+// worker's partition and the result stream is the union of their batches
+// (partitions are disjoint, so each answer arrives exactly once).
+func (c *Client) Service(ctx context.Context, sourceID string, req *wrapper.Request, schema *engine.Schema, d *dict.Dict, env core.FragmentEnv) (*engine.CStream, error) {
+	wreq, err := requestToWire(req)
+	if err != nil {
+		return nil, err
+	}
+	h := &taskHeader{Kind: "scan", Scan: &scanTask{
+		SourceID: sourceID,
+		Req:      wreq,
+		Schema:   schema.Vars,
+		Env:      envToWire(env),
+	}}
+	conns, err := c.openAll(ctx, h, d)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range conns {
+		tc.dec.SetSchema(SideOut, schema)
+	}
+	out := engine.NewCStream(schema, 2*len(conns))
+	var wg sync.WaitGroup
+	for i, tc := range conns {
+		wg.Add(1)
+		go func(i int, tc *taskConn) {
+			defer wg.Done()
+			defer tc.close()
+			if err := tc.readOut(ctx, out); err != nil && ctx.Err() == nil {
+				c.health.ReportFailure(c.workerID(i), err)
+				env.Fail(fmt.Errorf("cluster worker %s: source %s: %w", c.addrs[i], sourceID, err))
+			}
+		}(i, tc)
+	}
+	go func() {
+		wg.Wait()
+		out.Close()
+	}()
+	return out, nil
+}
+
+// ShuffleJoin implements core.Distributor: both inputs hash-partition by
+// join key across the workers (the same row hash the in-process exchange
+// shards by), each worker symmetric-hash-joins its partition, and the
+// output is the union of the per-worker joins.
+func (c *Client) ShuffleJoin(ctx context.Context, left, right *engine.CStream, joinVars []string, out *engine.Schema, d *dict.Dict, env core.FragmentEnv) (*engine.CStream, error) {
+	h := &taskHeader{Kind: "join", Join: &joinTask{
+		JoinVars: joinVars,
+		Left:     left.Schema().Vars,
+		Right:    right.Schema().Vars,
+		Out:      out.Vars,
+		Env:      envToWire(env),
+	}}
+	conns, err := c.openAll(ctx, h, d)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range conns {
+		tc.dec.SetSchema(SideOut, out)
+	}
+
+	W := len(conns)
+	batch := env.Opts.EffectiveBatchSize()
+	// dead[i] is set once worker i's link failed; the partitioners skip
+	// it from then on (the failure itself is parked on the execution, so
+	// the query surfaces the error after the stream drains).
+	dead := make([]atomic.Bool, W)
+
+	fail := func(wi int, err error) {
+		if ctx.Err() != nil || dead[wi].Swap(true) {
+			return
+		}
+		c.health.ReportFailure(c.workerID(wi), err)
+		env.Fail(fmt.Errorf("cluster worker %s: shuffle: %w", c.addrs[wi], err))
+	}
+
+	var sendWG sync.WaitGroup
+	sendSide := func(side byte, in *engine.CStream) {
+		defer sendWG.Done()
+		pos := in.Schema().Positions(joinVars)
+		mapping := make([]int, len(in.Schema().Vars))
+		for i := range mapping {
+			mapping[i] = i
+		}
+		builders := make([]*engine.ColBuilder, W)
+		for i := range builders {
+			builders[i] = engine.NewColBuilderCap(in.Schema(), batch)
+		}
+		flush := func(wi int) {
+			if builders[wi].Rows() == 0 || dead[wi].Load() {
+				return
+			}
+			if err := conns[wi].enc.Batch(side, builders[wi].Take()); err != nil {
+				fail(wi, err)
+			}
+		}
+		for b := range in.Batches() {
+			for r := 0; r < b.Len; r++ {
+				wi := int(engine.HashRowKey(b, r, pos) % uint64(W))
+				if dead[wi].Load() {
+					continue
+				}
+				builders[wi].AppendRow(b, r, mapping)
+				if builders[wi].Rows() >= batch {
+					flush(wi)
+				}
+			}
+			// Ship partials at every input-batch boundary: the wire keeps
+			// the exchange's flush rules, so first answers stream through
+			// the network hop instead of waiting for full batches.
+			for wi := range builders {
+				flush(wi)
+			}
+		}
+		for wi := range builders {
+			flush(wi)
+			if dead[wi].Load() {
+				continue
+			}
+			if err := conns[wi].enc.Done(side); err != nil {
+				fail(wi, err)
+			}
+		}
+	}
+	sendWG.Add(2)
+	go sendSide(SideLeft, left)
+	go sendSide(SideRight, right)
+
+	outS := engine.NewCStream(out, 2*W)
+	var recvWG sync.WaitGroup
+	for i, tc := range conns {
+		recvWG.Add(1)
+		go func(i int, tc *taskConn) {
+			defer recvWG.Done()
+			if err := tc.readOut(ctx, outS); err != nil && ctx.Err() == nil {
+				fail(i, err)
+			}
+		}(i, tc)
+	}
+	go func() {
+		// Connections close only after the senders stop using their
+		// encoders; a dead link's partitioner skips it meanwhile.
+		sendWG.Wait()
+		recvWG.Wait()
+		for _, tc := range conns {
+			tc.close()
+		}
+		outS.Close()
+	}()
+	return engine.CMeter(ctx, outS, engine.StatsFrom(ctx)), nil
+}
+
+// Probe asks every worker for its status over a fresh hello task; links
+// that fail report Up == false with the error.
+func (c *Client) Probe(ctx context.Context) []WorkerStatus {
+	out := make([]WorkerStatus, len(c.addrs))
+	var wg sync.WaitGroup
+	for i := range c.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := WorkerStatus{
+				Addr:         c.addrs[i],
+				Breaker:      c.health.State(c.workerID(i)).String(),
+				BatchesIn:    c.counters[i].batchesIn.Load(),
+				BatchesOut:   c.counters[i].batchesOut.Load(),
+				BytesIn:      c.counters[i].bytesIn.Load(),
+				BytesOut:     c.counters[i].bytesOut.Load(),
+				RemapEntries: c.counters[i].remapN.Load(),
+			}
+			info, err := c.probeOne(ctx, i)
+			if err != nil {
+				st.Err = err.Error()
+			} else {
+				st.Up = true
+				st.Info = info
+			}
+			out[i] = st
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Client) probeOne(ctx context.Context, wi int) (*WorkerInfo, error) {
+	d := dict.New() // hello exchanges no batches; a throwaway dict is fine
+	tc, err := c.openTask(ctx, wi, &taskHeader{Kind: "hello"}, d)
+	if err != nil {
+		return nil, err
+	}
+	defer tc.close()
+	f, err := tc.dec.Next()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != frameHello {
+		return nil, corrupt("expected hello reply, got frame type 0x%02x", f.Type)
+	}
+	var info WorkerInfo
+	if err := json.Unmarshal(f.Payload, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"ontario/internal/bridge"
+	"ontario/internal/catalog"
+	"ontario/internal/rdb"
+	"ontario/internal/rdf"
+)
+
+// PartitionLake filters a freshly built public lake in place down to hash
+// partition part of of. Every worker builds the full lake
+// deterministically (same scale, same seed) and then drops the rows
+// outside its partition, so no data ships at startup. The coordinator
+// keeps the unpartitioned lake: planning statistics and molecule
+// templates describe the whole lake either way.
+func PartitionLake(publicLake any, part, of int) error {
+	cat := bridge.LakeCatalog(publicLake)
+	if cat == nil {
+		return fmt.Errorf("cluster: PartitionLake requires a lake built with lake.NewBuilder")
+	}
+	return PartitionCatalog(cat, part, of)
+}
+
+// PartitionCatalog filters the catalog's sources in place to hash
+// partition part of of. RDF graphs partition by subject-term hash;
+// relational sources partition base tables by the mapped subject column
+// and join side-tables by their FK back to the subject, so every
+// subject's whole star — the unit a single-star wrapper request touches —
+// lives on exactly one worker. Sources whose model cannot be partitioned
+// deterministically (custom and live remote backends) are rejected.
+func PartitionCatalog(cat *catalog.Catalog, part, of int) error {
+	if of < 1 || part < 0 || part >= of {
+		return fmt.Errorf("cluster: invalid partition %d/%d", part, of)
+	}
+	if of == 1 {
+		return nil
+	}
+	for _, id := range cat.SourceIDs() {
+		src := cat.Source(id)
+		switch src.Model {
+		case catalog.ModelRDF:
+			src.Graph = partitionGraph(src.Graph, part, of)
+		case catalog.ModelRelational:
+			db, err := partitionDB(src, part, of)
+			if err != nil {
+				return fmt.Errorf("cluster: source %s: %w", id, err)
+			}
+			src.DB = db
+		default:
+			return fmt.Errorf("cluster: source %s (%s) cannot be hash-partitioned", id, src.Model)
+		}
+	}
+	return nil
+}
+
+// subjectHash hashes an RDF term for partition routing (FNV-1a over the
+// full term identity). Routing only needs per-source consistency, so this
+// is independent of the engine's dict-ID shard hash.
+func subjectHash(t rdf.Term) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(t.Kind)})
+	h.Write([]byte(t.Value))
+	h.Write([]byte{0})
+	h.Write([]byte(t.Datatype))
+	h.Write([]byte{0})
+	h.Write([]byte(t.Lang))
+	return h.Sum64()
+}
+
+func partitionGraph(g *rdf.Graph, part, of int) *rdf.Graph {
+	out := rdf.NewGraph()
+	for _, t := range g.Triples() {
+		if subjectHash(t.S)%uint64(of) == uint64(part) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// valueHash hashes a relational value by its canonical lexical form, so a
+// base table's subject column and a side table's FK column route a
+// subject's rows identically regardless of column type details.
+func valueHash(v rdb.Value) uint64 {
+	h := fnv.New64a()
+	if v.Null {
+		h.Write([]byte("null"))
+		return h.Sum64()
+	}
+	switch v.Type {
+	case rdb.TypeString:
+		h.Write([]byte(v.Str))
+	case rdb.TypeFloat:
+		h.Write([]byte(strconv.FormatFloat(v.Float, 'g', -1, 64)))
+	case rdb.TypeBool:
+		h.Write([]byte(strconv.FormatBool(v.Bool)))
+	default:
+		h.Write([]byte(strconv.FormatInt(v.Int, 10)))
+	}
+	return h.Sum64()
+}
+
+// partitionDB rebuilds the source's database keeping only the rows of
+// this partition. The partition column of each table comes from the
+// source's class mappings: the subject column for base tables, the
+// join FK for side tables. A table reachable through two mappings with
+// different partition columns cannot be split consistently — that is an
+// error, not a silent wrong answer.
+func partitionDB(src *catalog.Source, part, of int) (*rdb.Database, error) {
+	partCol := make(map[string]string)
+	assign := func(table, col string) error {
+		if table == "" || col == "" {
+			return nil
+		}
+		if prev, ok := partCol[table]; ok && prev != col {
+			return fmt.Errorf("table %s has conflicting partition columns %s and %s", table, prev, col)
+		}
+		partCol[table] = col
+		return nil
+	}
+	for _, cm := range src.Mappings {
+		if err := assign(cm.Table, cm.SubjectColumn); err != nil {
+			return nil, err
+		}
+		for _, pm := range cm.Properties {
+			if pm.IsJoin() {
+				if err := assign(pm.JoinTable, pm.JoinFK); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := rdb.NewDatabase(src.DB.Name)
+	for _, tn := range src.DB.TableNames() {
+		t := src.DB.Table(tn)
+		nt, err := out.CreateTable(t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		col, mapped := partCol[tn]
+		ci := -1
+		if mapped {
+			ci = t.Schema.ColumnIndex(col)
+			if ci < 0 {
+				return nil, fmt.Errorf("table %s partition column %s not found", tn, col)
+			}
+		}
+		for id := 0; id < t.RowCount(); id++ {
+			row := t.Row(id)
+			// Unmapped tables are unreachable through the molecule
+			// templates; keep them whole on every worker so any future
+			// mapping still sees complete data.
+			if mapped && valueHash(row[ci])%uint64(of) != uint64(part) {
+				continue
+			}
+			if err := nt.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+		for _, spec := range t.Indexes() {
+			if err := nt.CreateIndex(spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"ontario/internal/bridge"
+	"ontario/internal/catalog"
+	"ontario/internal/lslod"
+)
+
+// sourceFingerprints counts every row of data in the lake per source:
+// triples for RDF graphs, table rows for relational databases. Summing
+// the counts across partitions must reproduce the full lake exactly —
+// partitioning may drop nothing and duplicate nothing (unmapped tables,
+// which are deliberately replicated, are excluded from the sum check).
+func sourceFingerprints(t *testing.T, cat *catalog.Catalog) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for _, id := range cat.SourceIDs() {
+		src := cat.Source(id)
+		switch src.Model {
+		case catalog.ModelRDF:
+			out[id] = src.Graph.Len()
+		case catalog.ModelRelational:
+			for _, tn := range src.DB.TableNames() {
+				out[id+"/"+tn] = src.DB.Table(tn).RowCount()
+			}
+		default:
+			t.Fatalf("source %s: unexpected model %v", id, src.Model)
+		}
+	}
+	return out
+}
+
+func buildCatalog(t *testing.T, part, of int) *catalog.Catalog {
+	t.Helper()
+	lk, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		t.Fatalf("building lake: %v", err)
+	}
+	if of > 0 {
+		if err := PartitionLake(lk.Lake, part, of); err != nil {
+			t.Fatalf("partitioning %d/%d: %v", part, of, err)
+		}
+	}
+	cat := bridge.LakeCatalog(lk.Lake)
+	if cat == nil {
+		t.Fatal("lake catalog bridge not wired")
+	}
+	return cat
+}
+
+// TestPartitionCompleteness checks that for every worker count the
+// partitions of each mapped source sum back to the full lake: no row
+// lost, none counted twice.
+func TestPartitionCompleteness(t *testing.T) {
+	full := sourceFingerprints(t, buildCatalog(t, 0, 0))
+	for _, of := range []int{1, 2, 3} {
+		sums := make(map[string]int)
+		for part := 0; part < of; part++ {
+			fp := sourceFingerprints(t, buildCatalog(t, part, of))
+			for k, v := range fp {
+				sums[k] += v
+			}
+		}
+		for k, want := range full {
+			got := sums[k]
+			// Tables without a class/join mapping are replicated to every
+			// partition on purpose; everything in LSLOD is mapped, so any
+			// multiple of the full count other than 1x is a bug.
+			if got != want {
+				t.Errorf("of=%d: %s has %d rows across partitions, full lake has %d", of, k, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionDisjointAndBalanced checks that two partitions are
+// genuinely disjoint (each strictly smaller than the whole) and neither
+// is empty for the big sources — a degenerate hash would leave one
+// worker owning everything.
+func TestPartitionDisjointAndBalanced(t *testing.T) {
+	full := sourceFingerprints(t, buildCatalog(t, 0, 0))
+	p0 := sourceFingerprints(t, buildCatalog(t, 0, 2))
+	p1 := sourceFingerprints(t, buildCatalog(t, 1, 2))
+	for k, want := range full {
+		if want < 8 {
+			continue // tiny tables may legitimately land all on one side
+		}
+		if p0[k] == 0 || p1[k] == 0 {
+			t.Errorf("%s: lopsided split %d/%d of %d rows", k, p0[k], p1[k], want)
+		}
+		if p0[k] >= want || p1[k] >= want {
+			t.Errorf("%s: partition did not shrink (%d and %d of %d rows)", k, p0[k], p1[k], want)
+		}
+	}
+}
+
+// TestPartitionValidation rejects nonsensical partition identities.
+func TestPartitionValidation(t *testing.T) {
+	lk, err := lslod.BuildLake(lslod.SmallScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {0, 0}, {3, 2}} {
+		if err := PartitionLake(lk.Lake, bad[0], bad[1]); err == nil {
+			t.Errorf("PartitionLake(%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+	if err := PartitionLake(struct{}{}, 0, 2); err == nil {
+		t.Error("PartitionLake accepted a non-lake value")
+	}
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ontario/internal/core"
+	"ontario/internal/netsim"
+	"ontario/internal/rdf"
+	"ontario/internal/sparql"
+	"ontario/internal/wrapper"
+)
+
+// taskHeader opens every task connection (the JSON payload of the first
+// frame). Exactly one of Scan/Join is set for those kinds; a hello task
+// carries neither and the worker replies with a WorkerInfo frame.
+type taskHeader struct {
+	Kind string    `json:"kind"` // "scan", "join" or "hello"
+	Scan *scanTask `json:"scan,omitempty"`
+	Join *joinTask `json:"join,omitempty"`
+}
+
+// scanTask asks a worker to execute one wrapper request against its
+// partition of a source and stream the result batches back as SideOut.
+type scanTask struct {
+	SourceID string      `json:"source"`
+	Req      wireRequest `json:"req"`
+	Schema   []string    `json:"schema"`
+	Env      wireEnv     `json:"env"`
+}
+
+// joinTask asks a worker to symmetric-hash-join the SideLeft/SideRight
+// batches the coordinator shuffles to it, streaming joined SideOut
+// batches back.
+type joinTask struct {
+	JoinVars []string `json:"join_vars"`
+	Left     []string `json:"left"`
+	Right    []string `json:"right"`
+	Out      []string `json:"out"`
+	Env      wireEnv  `json:"env"`
+}
+
+// wireEnv ships the execution-shaping slice of core.Options plus the
+// simulation parameters a worker needs to reproduce the coordinator's
+// behavior on its partition.
+type wireEnv struct {
+	Network string  `json:"network,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+	Beta    float64 `json:"beta,omitempty"`
+	Naive   bool    `json:"naive,omitempty"`
+	Batch   int     `json:"batch,omitempty"`
+	Par     int     `json:"par,omitempty"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+}
+
+func envToWire(env core.FragmentEnv) wireEnv {
+	return wireEnv{
+		Network: env.Opts.Network.Name,
+		Alpha:   env.Opts.Network.Alpha,
+		Beta:    env.Opts.Network.Beta,
+		Naive:   env.Opts.Translation == wrapper.TranslationNaive,
+		Batch:   env.Opts.BatchSize,
+		Par:     env.Opts.ProbeParallelism,
+		Scale:   env.Scale,
+		Seed:    env.Seed,
+	}
+}
+
+func (we wireEnv) options() core.Options {
+	opts := core.Options{
+		Network:          netsim.Profile{Name: we.Network, Alpha: we.Alpha, Beta: we.Beta},
+		BatchSize:        we.Batch,
+		ProbeParallelism: we.Par,
+	}
+	if we.Naive {
+		opts.Translation = wrapper.TranslationNaive
+	}
+	return opts
+}
+
+// The wire forms below mirror the closed AST the planner produces. They
+// exist so task headers stay plain JSON: the sparql.Expr interface cannot
+// unmarshal itself, so expressions travel as a type-tagged tree.
+
+type wireTerm struct {
+	Kind     uint8  `json:"k"`
+	Value    string `json:"v"`
+	Datatype string `json:"d,omitempty"`
+	Lang     string `json:"l,omitempty"`
+}
+
+func termToWire(t rdf.Term) wireTerm {
+	return wireTerm{Kind: uint8(t.Kind), Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+}
+
+func (w wireTerm) term() rdf.Term {
+	return rdf.Term{Kind: rdf.TermKind(w.Kind), Value: w.Value, Datatype: w.Datatype, Lang: w.Lang}
+}
+
+type wireNode struct {
+	Var  string    `json:"var,omitempty"`
+	Term *wireTerm `json:"term,omitempty"`
+}
+
+func nodeToWire(n sparql.Node) wireNode {
+	if n.IsVar {
+		return wireNode{Var: n.Var}
+	}
+	t := termToWire(n.Term)
+	return wireNode{Term: &t}
+}
+
+func (w wireNode) node() sparql.Node {
+	if w.Term != nil {
+		return sparql.TermNode(w.Term.term())
+	}
+	return sparql.VarNode(w.Var)
+}
+
+type wirePattern struct {
+	S wireNode `json:"s"`
+	P wireNode `json:"p"`
+	O wireNode `json:"o"`
+}
+
+type wireStar struct {
+	SubjectVar string        `json:"subject"`
+	Class      string        `json:"class"`
+	Patterns   []wirePattern `json:"patterns"`
+}
+
+type wireExpr struct {
+	Kind string      `json:"k"` // "var" "const" "cmp" "logic" "not" "func"
+	Name string      `json:"n,omitempty"`
+	Op   int         `json:"o,omitempty"`
+	Term *wireTerm   `json:"t,omitempty"`
+	Args []*wireExpr `json:"a,omitempty"`
+}
+
+func exprToWire(e sparql.Expr) (*wireExpr, error) {
+	switch v := e.(type) {
+	case *sparql.VarExpr:
+		return &wireExpr{Kind: "var", Name: v.Name}, nil
+	case *sparql.ConstExpr:
+		t := termToWire(v.Term)
+		return &wireExpr{Kind: "const", Term: &t}, nil
+	case *sparql.CompareExpr:
+		l, err := exprToWire(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprToWire(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &wireExpr{Kind: "cmp", Op: int(v.Op), Args: []*wireExpr{l, r}}, nil
+	case *sparql.LogicExpr:
+		l, err := exprToWire(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := exprToWire(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &wireExpr{Kind: "logic", Op: int(v.Op), Args: []*wireExpr{l, r}}, nil
+	case *sparql.NotExpr:
+		x, err := exprToWire(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &wireExpr{Kind: "not", Args: []*wireExpr{x}}, nil
+	case *sparql.FuncExpr:
+		args := make([]*wireExpr, len(v.Args))
+		for i, a := range v.Args {
+			w, err := exprToWire(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = w
+		}
+		return &wireExpr{Kind: "func", Name: v.Name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unsupported filter expression %T", e)
+	}
+}
+
+func (w *wireExpr) expr() (sparql.Expr, error) {
+	if w == nil {
+		return nil, fmt.Errorf("cluster: nil expression on wire")
+	}
+	arg := func(i int) (sparql.Expr, error) {
+		if i >= len(w.Args) {
+			return nil, fmt.Errorf("cluster: %s expression missing operand %d", w.Kind, i)
+		}
+		return w.Args[i].expr()
+	}
+	switch w.Kind {
+	case "var":
+		return &sparql.VarExpr{Name: w.Name}, nil
+	case "const":
+		if w.Term == nil {
+			return nil, fmt.Errorf("cluster: const expression without term")
+		}
+		return &sparql.ConstExpr{Term: w.Term.term()}, nil
+	case "cmp":
+		l, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return &sparql.CompareExpr{Op: sparql.CompareOp(w.Op), L: l, R: r}, nil
+	case "logic":
+		l, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return &sparql.LogicExpr{Op: sparql.LogicOp(w.Op), L: l, R: r}, nil
+	case "not":
+		x, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return &sparql.NotExpr{X: x}, nil
+	case "func":
+		args := make([]sparql.Expr, len(w.Args))
+		for i := range w.Args {
+			a, err := w.Args[i].expr()
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return &sparql.FuncExpr{Name: w.Name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown wire expression kind %q", w.Kind)
+	}
+}
+
+type wireBinding map[string]wireTerm
+
+func bindingToWire(b sparql.Binding) wireBinding {
+	if b == nil {
+		return nil
+	}
+	out := make(wireBinding, len(b))
+	for v, t := range b {
+		out[v] = termToWire(t)
+	}
+	return out
+}
+
+func (w wireBinding) binding() sparql.Binding {
+	if w == nil {
+		return nil
+	}
+	out := make(sparql.Binding, len(w))
+	for v, t := range w {
+		out[v] = t.term()
+	}
+	return out
+}
+
+type wireRequest struct {
+	Stars   []wireStar    `json:"stars"`
+	Filters []*wireExpr   `json:"filters,omitempty"`
+	Seed    wireBinding   `json:"seed,omitempty"`
+	Seeds   []wireBinding `json:"seeds,omitempty"`
+}
+
+func requestToWire(r *wrapper.Request) (wireRequest, error) {
+	out := wireRequest{Stars: make([]wireStar, len(r.Stars))}
+	for i, s := range r.Stars {
+		ws := wireStar{SubjectVar: s.SubjectVar, Class: s.Class, Patterns: make([]wirePattern, len(s.Patterns))}
+		for j, tp := range s.Patterns {
+			ws.Patterns[j] = wirePattern{S: nodeToWire(tp.S), P: nodeToWire(tp.P), O: nodeToWire(tp.O)}
+		}
+		out.Stars[i] = ws
+	}
+	for _, f := range r.Filters {
+		w, err := exprToWire(f)
+		if err != nil {
+			return wireRequest{}, err
+		}
+		out.Filters = append(out.Filters, w)
+	}
+	out.Seed = bindingToWire(r.Seed)
+	for _, s := range r.Seeds {
+		out.Seeds = append(out.Seeds, bindingToWire(s))
+	}
+	return out, nil
+}
+
+func (w wireRequest) request() (*wrapper.Request, error) {
+	out := &wrapper.Request{Stars: make([]*wrapper.StarQuery, len(w.Stars))}
+	for i, ws := range w.Stars {
+		s := &wrapper.StarQuery{SubjectVar: ws.SubjectVar, Class: ws.Class, Patterns: make([]sparql.TriplePattern, len(ws.Patterns))}
+		for j, wp := range ws.Patterns {
+			s.Patterns[j] = sparql.TriplePattern{S: wp.S.node(), P: wp.P.node(), O: wp.O.node()}
+		}
+		out.Stars[i] = s
+	}
+	for _, f := range w.Filters {
+		e, err := f.expr()
+		if err != nil {
+			return nil, err
+		}
+		out.Filters = append(out.Filters, e)
+	}
+	out.Seed = w.Seed.binding()
+	for _, s := range w.Seeds {
+		out.Seeds = append(out.Seeds, s.binding())
+	}
+	return out, nil
+}
+
+// WorkerInfo is a worker's hello/health reply: its partition identity and
+// shuffle counters, surfaced through the coordinator's /healthz and
+// /metrics.
+type WorkerInfo struct {
+	Partition    int   `json:"partition"`
+	Of           int   `json:"of"`
+	Active       int64 `json:"active_fragments"`
+	Queued       int64 `json:"queued_fragments"`
+	BatchesIn    int64 `json:"batches_in"`
+	BatchesOut   int64 `json:"batches_out"`
+	BytesIn      int64 `json:"bytes_in"`
+	BytesOut     int64 `json:"bytes_out"`
+	RemapEntries int64 `json:"remap_entries"`
+	Terms        int   `json:"terms"`
+}

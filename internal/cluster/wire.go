@@ -1,0 +1,477 @@
+// Package cluster distributes query execution across ontario-server
+// processes. A coordinator parses, optimizes and caches plans exactly as
+// a single node does, then executes leaf services and symmetric-hash
+// joins against a pool of workers, each owning one hash-partition of the
+// lake. Intermediate results cross processes as binary columnar batches:
+// varint-framed dict.ID columns plus presence bitmaps, with a
+// per-connection dictionary-delta sideband so a receiver remaps the
+// sender's per-lake IDs without full terms shipping on every row. The
+// package also provides a router mode that spreads clients over N
+// coordinator replicas with plan-cache affinity and a shared admission
+// budget.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+	"ontario/internal/rdf"
+)
+
+// Frame types of the shuffle wire protocol. Every frame on a task
+// connection is a type byte, a uvarint payload length, and the payload.
+const (
+	frameTask  = 0x01 // JSON task header; the first frame of a connection
+	frameBatch = 0x02 // columnar batch: side byte + dict deltas + columns
+	frameDone  = 0x03 // one side byte: no more batches for that side
+	frameError = 0x04 // UTF-8 error message; aborts the task
+	frameHello = 0x05 // JSON worker status reply (health probe)
+)
+
+// Stream sides within a task. A scan task only carries SideOut (worker to
+// coordinator); a join task's inputs arrive as SideLeft/SideRight and its
+// results leave as SideOut.
+const (
+	SideOut   byte = 0
+	SideLeft  byte = 1
+	SideRight byte = 2
+)
+
+// Wire limits. The decoder rejects any frame crossing them before
+// allocating, so a truncated or corrupt stream fails fast instead of
+// ballooning memory.
+const (
+	maxFramePayload = 64 << 20
+	maxWireRows     = 1 << 20
+	maxWireCols     = 1 << 12
+)
+
+// errCorrupt tags every malformed-input failure so tests (and the fuzz
+// harness) can distinguish rejection from a crash.
+type errCorrupt struct{ msg string }
+
+func (e errCorrupt) Error() string { return "cluster: corrupt frame: " + e.msg }
+
+func corrupt(format string, args ...any) error {
+	return errCorrupt{msg: fmt.Sprintf(format, args...)}
+}
+
+// Encoder writes frames to one end of a task connection. Terms cross the
+// wire once per connection: the first batch carrying a dictionary ID
+// prepends a (senderID, term) delta record, and every later occurrence
+// ships as the bare varint ID, resolved by the receiver's remap table.
+// An Encoder is safe for concurrent use — shuffle partitioners for the
+// left and right side of a join share the connection.
+type Encoder struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	d     *dict.Dict
+	sent  map[dict.ID]struct{}
+	buf   []byte
+	fresh []dict.ID
+	tmp   [binary.MaxVarintLen64]byte
+
+	batches atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewEncoder returns an encoder over w resolving IDs through d.
+func NewEncoder(w io.Writer, d *dict.Dict) *Encoder {
+	return &Encoder{
+		w:    bufio.NewWriterSize(w, 64<<10),
+		d:    d,
+		sent: make(map[dict.ID]struct{}),
+	}
+}
+
+// Batches returns the number of batch frames written.
+func (e *Encoder) Batches() int64 { return e.batches.Load() }
+
+// Bytes returns the total bytes written, framing included.
+func (e *Encoder) Bytes() int64 { return e.bytes.Load() }
+
+// SentTerms returns the size of the connection's shipped-term set (the
+// receiver's remap table mirrors it).
+func (e *Encoder) SentTerms() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sent)
+}
+
+func (e *Encoder) putUvarint(v uint64) {
+	n := binary.PutUvarint(e.tmp[:], v)
+	e.buf = append(e.buf, e.tmp[:n]...)
+}
+
+func (e *Encoder) putString(s string) {
+	e.putUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// writeFrameLocked frames and flushes one payload; callers hold e.mu.
+func (e *Encoder) writeFrameLocked(typ byte, payload []byte) error {
+	if err := e.w.WriteByte(typ); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(e.tmp[:], uint64(len(payload)))
+	if _, err := e.w.Write(e.tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return err
+	}
+	e.bytes.Add(int64(1 + n + len(payload)))
+	// Flush per frame: the receiver streams batches into a running join,
+	// so latency matters more than syscall count (the bufio layer still
+	// coalesces the header writes above).
+	return e.w.Flush()
+}
+
+// Batch writes b as a batch frame for the given side. The batch's
+// presence bitmaps are re-derived from the ID columns (Unbound == absent)
+// so the wire image is self-consistent by construction.
+func (e *Encoder) Batch(side byte, b *engine.ColBatch) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, side)
+
+	// Dictionary-delta sideband: IDs this connection has not shipped yet.
+	fresh := e.fresh[:0]
+	for _, col := range b.Cols {
+		for r := 0; r < b.Len; r++ {
+			id := col[r]
+			if id == dict.Unbound {
+				continue
+			}
+			if _, ok := e.sent[id]; !ok {
+				e.sent[id] = struct{}{}
+				fresh = append(fresh, id)
+			}
+		}
+	}
+	e.fresh = fresh[:0]
+	e.putUvarint(uint64(len(fresh)))
+	for _, id := range fresh {
+		t := e.d.MustLookup(id)
+		e.putUvarint(uint64(id))
+		e.buf = append(e.buf, byte(t.Kind))
+		e.putString(t.Value)
+		e.putString(t.Datatype)
+		e.putString(t.Lang)
+	}
+
+	e.putUvarint(uint64(b.Len))
+	e.putUvarint(uint64(len(b.Cols)))
+	for _, col := range b.Cols {
+		var bb byte
+		for r := 0; r < b.Len; r++ {
+			if col[r] != dict.Unbound {
+				bb |= 1 << (uint(r) & 7)
+			}
+			if r&7 == 7 {
+				e.buf = append(e.buf, bb)
+				bb = 0
+			}
+		}
+		if b.Len&7 != 0 {
+			e.buf = append(e.buf, bb)
+		}
+		for r := 0; r < b.Len; r++ {
+			if id := col[r]; id != dict.Unbound {
+				e.putUvarint(uint64(id))
+			}
+		}
+	}
+	if err := e.writeFrameLocked(frameBatch, e.buf); err != nil {
+		return err
+	}
+	e.batches.Add(1)
+	return nil
+}
+
+// Done signals end-of-stream for one side.
+func (e *Encoder) Done(side byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeFrameLocked(frameDone, []byte{side})
+}
+
+// Error aborts the task with a message for the peer.
+func (e *Encoder) Error(msg string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeFrameLocked(frameError, []byte(msg))
+}
+
+// Task writes the JSON task header opening a connection.
+func (e *Encoder) Task(h *taskHeader) error { return e.jsonFrame(frameTask, h) }
+
+// Hello writes a worker-status reply.
+func (e *Encoder) Hello(info *WorkerInfo) error { return e.jsonFrame(frameHello, info) }
+
+func (e *Encoder) jsonFrame(typ byte, v any) error {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeFrameLocked(typ, p)
+}
+
+// Frame is one decoded wire frame. Payload (for task/hello/error frames)
+// is only valid until the next call to Next.
+type Frame struct {
+	Type    byte
+	Side    byte
+	Batch   *engine.ColBatch
+	Payload []byte
+}
+
+// Decoder reads frames from a task connection, interning dictionary
+// deltas into the local dictionary and remapping the sender's IDs into
+// local ones as batches decode.
+type Decoder struct {
+	r       *bufio.Reader
+	d       *dict.Dict
+	remap   map[uint64]dict.ID
+	schemas [3]*engine.Schema
+	buf     []byte
+
+	batches atomic.Int64
+	bytes   atomic.Int64
+	remapN  atomic.Int64
+}
+
+// NewDecoder returns a decoder reading from r, interning terms into d.
+func NewDecoder(r io.Reader, d *dict.Dict) *Decoder {
+	return &Decoder{
+		r:     bufio.NewReaderSize(r, 64<<10),
+		d:     d,
+		remap: make(map[uint64]dict.ID),
+	}
+}
+
+// SetSchema declares the column layout of one side's batches; decoding a
+// batch for a side with no schema is a protocol error.
+func (dec *Decoder) SetSchema(side byte, s *engine.Schema) { dec.schemas[side] = s }
+
+// Batches returns the number of batch frames decoded.
+func (dec *Decoder) Batches() int64 { return dec.batches.Load() }
+
+// Bytes returns the total payload bytes read.
+func (dec *Decoder) Bytes() int64 { return dec.bytes.Load() }
+
+// RemapEntries returns the size of the sender-ID remap table.
+func (dec *Decoder) RemapEntries() int64 { return dec.remapN.Load() }
+
+// Next reads one frame. It returns io.EOF at a clean end of stream and an
+// errCorrupt-tagged error on malformed input.
+func (dec *Decoder) Next() (Frame, error) {
+	typ, err := dec.r.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	n, err := binary.ReadUvarint(dec.r)
+	if err != nil {
+		return Frame{}, corrupt("bad frame length: %v", err)
+	}
+	if n > maxFramePayload {
+		return Frame{}, corrupt("frame payload %d exceeds %d", n, maxFramePayload)
+	}
+	if uint64(cap(dec.buf)) < n {
+		dec.buf = make([]byte, n)
+	}
+	dec.buf = dec.buf[:n]
+	if _, err := io.ReadFull(dec.r, dec.buf); err != nil {
+		return Frame{}, corrupt("truncated frame: %v", err)
+	}
+	dec.bytes.Add(int64(n) + 1)
+	switch typ {
+	case frameBatch:
+		side, b, err := dec.decodeBatch(dec.buf)
+		if err != nil {
+			return Frame{}, err
+		}
+		dec.batches.Add(1)
+		return Frame{Type: typ, Side: side, Batch: b}, nil
+	case frameDone:
+		if len(dec.buf) != 1 || dec.buf[0] > SideRight {
+			return Frame{}, corrupt("bad done frame")
+		}
+		return Frame{Type: typ, Side: dec.buf[0]}, nil
+	case frameTask, frameError, frameHello:
+		return Frame{Type: typ, Payload: dec.buf}, nil
+	default:
+		return Frame{}, corrupt("unknown frame type 0x%02x", typ)
+	}
+}
+
+// cursor walks a fully read payload with sticky error handling: every
+// accessor after a failure returns zero values, and the caller checks err
+// once at the end.
+type cursor struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = corrupt(format, args...)
+	}
+}
+
+func (c *cursor) byte() byte {
+	if c.err != nil || c.off >= len(c.p) {
+		c.fail("unexpected end of payload")
+		return 0
+	}
+	b := c.p[c.off]
+	c.off++
+	return b
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.p[c.off:])
+	if n <= 0 {
+		c.fail("bad uvarint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.p) {
+		c.fail("unexpected end of payload")
+		return nil
+	}
+	b := c.p[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+// str reads a uvarint-length-prefixed string. The conversion copies, so
+// the result stays valid after the decoder reuses its payload buffer.
+func (c *cursor) str() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > uint64(len(c.p)-c.off) {
+		c.fail("string length %d exceeds payload", n)
+		return ""
+	}
+	return string(c.bytes(int(n)))
+}
+
+func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
+	c := &cursor{p: p}
+	side := c.byte()
+	if side > SideRight {
+		return 0, nil, corrupt("bad batch side %d", side)
+	}
+
+	ndelta := c.uvarint()
+	if ndelta > uint64(len(p)) { // each delta record is several bytes
+		return 0, nil, corrupt("delta count %d exceeds payload", ndelta)
+	}
+	for i := uint64(0); i < ndelta && c.err == nil; i++ {
+		senderID := c.uvarint()
+		kind := c.byte()
+		if kind > uint8(rdf.TermBlank) {
+			return 0, nil, corrupt("bad term kind %d", kind)
+		}
+		value := c.str()
+		datatype := c.str()
+		lang := c.str()
+		if c.err != nil {
+			break
+		}
+		if senderID == 0 {
+			return 0, nil, corrupt("delta for reserved unbound ID")
+		}
+		dec.remap[senderID] = dec.d.Intern(rdf.Term{
+			Kind:     rdf.TermKind(kind),
+			Value:    value,
+			Datatype: datatype,
+			Lang:     lang,
+		})
+		dec.remapN.Add(1)
+	}
+
+	rows := c.uvarint()
+	cols := c.uvarint()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if rows > maxWireRows {
+		return 0, nil, corrupt("row count %d exceeds %d", rows, maxWireRows)
+	}
+	if cols > maxWireCols {
+		return 0, nil, corrupt("column count %d exceeds %d", cols, maxWireCols)
+	}
+	schema := dec.schemas[side]
+	if schema == nil {
+		return 0, nil, corrupt("batch for side %d with no schema", side)
+	}
+	if int(cols) != len(schema.Vars) {
+		return 0, nil, corrupt("batch has %d columns, schema %d", cols, len(schema.Vars))
+	}
+
+	b := &engine.ColBatch{
+		Schema:  schema,
+		Len:     int(rows),
+		Cols:    make([][]dict.ID, cols),
+		Present: make([][]uint64, cols),
+	}
+	words := (int(rows) + 63) / 64
+	nb := (int(rows) + 7) / 8
+	for ci := range b.Cols {
+		col := make([]dict.ID, rows)
+		pres := make([]uint64, words)
+		bm := c.bytes(nb)
+		if c.err != nil {
+			return 0, nil, c.err
+		}
+		for r := 0; r < int(rows); r++ {
+			if bm[r>>3]&(1<<(uint(r)&7)) == 0 {
+				continue
+			}
+			senderID := c.uvarint()
+			if c.err != nil {
+				return 0, nil, c.err
+			}
+			local, ok := dec.remap[senderID]
+			if !ok {
+				return 0, nil, corrupt("ID %d has no dictionary delta", senderID)
+			}
+			col[r] = local
+			pres[r>>6] |= 1 << (uint(r) & 63)
+		}
+		b.Cols[ci] = col
+		b.Present[ci] = pres
+	}
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	if c.off != len(p) {
+		return 0, nil, corrupt("%d trailing bytes after batch", len(p)-c.off)
+	}
+	return side, b, nil
+}

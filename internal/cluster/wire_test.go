@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+	"ontario/internal/rdf"
+)
+
+// buildBatch interns the given terms into d and packs them as one batch;
+// a nil term leaves the cell unbound (the OPTIONAL case).
+func buildBatch(t testing.TB, d *dict.Dict, schema *engine.Schema, rows [][]*rdf.Term) *engine.ColBatch {
+	t.Helper()
+	bld := engine.NewColBuilder(schema)
+	ids := make([]dict.ID, len(schema.Vars))
+	for _, row := range rows {
+		if len(row) != len(schema.Vars) {
+			t.Fatalf("row has %d cells, schema %d", len(row), len(schema.Vars))
+		}
+		for i, cell := range row {
+			if cell == nil {
+				ids[i] = dict.Unbound
+			} else {
+				ids[i] = d.Intern(*cell)
+			}
+		}
+		bld.AppendIDs(ids)
+	}
+	return bld.Take()
+}
+
+func term(t rdf.Term) *rdf.Term { return &t }
+
+// testRows mixes IRIs, plain/typed/lang literals, blanks and unbound
+// cells across enough rows to cross a bitmap byte boundary.
+func testRows() [][]*rdf.Term {
+	rows := [][]*rdf.Term{
+		{term(rdf.NewIRI("http://ex/s1")), term(rdf.NewLiteral("plain")), nil},
+		{term(rdf.NewIRI("http://ex/s2")), nil, term(rdf.Term{Kind: rdf.TermLiteral, Value: "42", Datatype: "http://www.w3.org/2001/XMLSchema#integer"})},
+		{term(rdf.Term{Kind: rdf.TermBlank, Value: "b0"}), term(rdf.Term{Kind: rdf.TermLiteral, Value: "hi", Lang: "en"}), nil},
+		{nil, nil, nil},
+	}
+	// Push past 8 rows so the presence bitmap spans two bytes.
+	for i := 0; i < 7; i++ {
+		rows = append(rows, [][]*rdf.Term{{term(rdf.NewIRI("http://ex/s1")), nil, term(rdf.NewLiteral("dup"))}}[0])
+	}
+	return rows
+}
+
+// decodeAll runs a decoder over an encoded stream until EOF or failure.
+func decodeAll(t *testing.T, raw []byte, d *dict.Dict, schemas map[byte]*engine.Schema) ([]Frame, error) {
+	t.Helper()
+	dec := NewDecoder(bytes.NewReader(raw), d)
+	for side, s := range schemas {
+		dec.SetSchema(side, s)
+	}
+	var frames []Frame
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		frames = append(frames, f)
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"s", "name", "age"})
+	rows := testRows()
+	batch := buildBatch(t, sender, schema, rows)
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, sender)
+	if err := enc.Batch(SideOut, batch); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := enc.Done(SideOut); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+
+	// The receiver's dictionary is independently populated, so the
+	// sender's IDs cannot be valid verbatim — decoding must remap through
+	// the delta sideband.
+	receiver := dict.New()
+	for i := 0; i < 5; i++ {
+		receiver.Intern(rdf.NewIRI("http://elsewhere/skew"))
+	}
+	frames, err := decodeAll(t, buf.Bytes(), receiver, map[byte]*engine.Schema{SideOut: schema})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(frames) != 2 || frames[0].Type != frameBatch || frames[1].Type != frameDone {
+		t.Fatalf("got %d frames, want batch+done", len(frames))
+	}
+	got := frames[0].Batch
+	if got.Len != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", got.Len, len(rows))
+	}
+	for r, row := range rows {
+		for c, want := range row {
+			id := got.Cols[c][r]
+			present := got.Present[c][r>>6]&(1<<(uint(r)&63)) != 0
+			if want == nil {
+				if id != dict.Unbound || present {
+					t.Fatalf("row %d col %d: want unbound, got ID %d (present=%v)", r, c, id, present)
+				}
+				continue
+			}
+			if id == dict.Unbound || !present {
+				t.Fatalf("row %d col %d: want bound, got unbound", r, c)
+			}
+			if have := receiver.MustLookup(id); have != *want {
+				t.Fatalf("row %d col %d: decoded %+v, want %+v", r, c, have, *want)
+			}
+		}
+	}
+}
+
+func TestWireDictionaryDeltaShipsOnce(t *testing.T) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"x"})
+	mk := func(vals ...string) *engine.ColBatch {
+		bld := engine.NewColBuilder(schema)
+		for _, v := range vals {
+			bld.AppendIDs([]dict.ID{sender.Intern(rdf.NewIRI(v))})
+		}
+		return bld.Take()
+	}
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, sender)
+	if err := enc.Batch(SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := buf.Len()
+	// Same terms again: no new delta records, so the second frame must be
+	// strictly smaller than the first.
+	if err := enc.Batch(SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
+		t.Fatal(err)
+	}
+	if secondLen := buf.Len() - firstLen; secondLen >= firstLen {
+		t.Fatalf("second batch (%dB) did not shrink vs first (%dB): deltas re-shipped", secondLen, firstLen)
+	}
+	if enc.SentTerms() != 2 {
+		t.Fatalf("SentTerms = %d, want 2", enc.SentTerms())
+	}
+
+	receiver := dict.New()
+	frames, err := decodeAll(t, buf.Bytes(), receiver, map[byte]*engine.Schema{SideLeft: schema})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2", len(frames))
+	}
+	// Both batches resolve to the same local IDs through the remap table.
+	for f := range frames {
+		for r := 0; r < 2; r++ {
+			if frames[f].Batch.Cols[0][r] != frames[0].Batch.Cols[0][r] {
+				t.Fatalf("batch %d row %d: remapped ID differs across batches", f, r)
+			}
+		}
+	}
+}
+
+func TestWireRejectsCorruptInput(t *testing.T) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"x", "y"})
+	batch := buildBatch(t, sender, schema, [][]*rdf.Term{
+		{term(rdf.NewIRI("http://ex/a")), term(rdf.NewLiteral("v"))},
+	})
+	var valid bytes.Buffer
+	enc := NewEncoder(&valid, sender)
+	if err := enc.Batch(SideOut, batch); err != nil {
+		t.Fatal(err)
+	}
+
+	isCorrupt := func(err error) bool {
+		var ce errCorrupt
+		return errors.As(err, &ce)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		raw := valid.Bytes()
+		for cut := 1; cut < len(raw); cut++ {
+			_, err := decodeAll(t, raw[:cut], dict.New(), map[byte]*engine.Schema{SideOut: schema})
+			if err == nil {
+				t.Fatalf("truncation at %d/%d decoded cleanly", cut, len(raw))
+			}
+		}
+	})
+
+	t.Run("unknown frame type", func(t *testing.T) {
+		_, err := decodeAll(t, []byte{0x7f, 0x00}, dict.New(), nil)
+		if !isCorrupt(err) {
+			t.Fatalf("want corrupt-frame error, got %v", err)
+		}
+	})
+
+	t.Run("bad side", func(t *testing.T) {
+		raw := append([]byte(nil), valid.Bytes()...)
+		// Frame layout: type at 0, single-byte uvarint length at 1 (the
+		// payload is well under 128 bytes), side byte at 2.
+		raw[2] = 9
+		_, err := decodeAll(t, raw, dict.New(), map[byte]*engine.Schema{SideOut: schema})
+		if err == nil {
+			t.Fatal("corrupted side byte decoded cleanly")
+		}
+	})
+
+	t.Run("missing schema", func(t *testing.T) {
+		_, err := decodeAll(t, valid.Bytes(), dict.New(), nil)
+		if !isCorrupt(err) {
+			t.Fatalf("want corrupt-frame error for schema-less side, got %v", err)
+		}
+	})
+
+	t.Run("unknown dictionary ID", func(t *testing.T) {
+		// A batch whose column references an ID with no preceding delta:
+		// craft by encoding with a second encoder that believes the ID
+		// was already sent.
+		var buf2 bytes.Buffer
+		enc2 := NewEncoder(&buf2, sender)
+		enc2.sent[batch.Cols[0][0]] = struct{}{}
+		enc2.sent[batch.Cols[1][0]] = struct{}{}
+		if err := enc2.Batch(SideOut, batch); err != nil {
+			t.Fatal(err)
+		}
+		_, err := decodeAll(t, buf2.Bytes(), dict.New(), map[byte]*engine.Schema{SideOut: schema})
+		if !isCorrupt(err) {
+			t.Fatalf("want corrupt-frame error for unmapped ID, got %v", err)
+		}
+	})
+
+	t.Run("trailing garbage in batch", func(t *testing.T) {
+		raw := append([]byte(nil), valid.Bytes()...)
+		// Grow the declared payload length and append junk bytes. The
+		// frame here is small, so its length is a single-byte uvarint at
+		// offset 1.
+		raw[1] += 2
+		raw = append(raw, 0xff, 0xff)
+		_, err := decodeAll(t, raw, dict.New(), map[byte]*engine.Schema{SideOut: schema})
+		if !isCorrupt(err) {
+			t.Fatalf("want corrupt-frame error for trailing bytes, got %v", err)
+		}
+	})
+
+	t.Run("oversized row count", func(t *testing.T) {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf, sender)
+		e.buf = e.buf[:0]
+		e.buf = append(e.buf, SideOut)
+		e.putUvarint(0)                 // no deltas
+		e.putUvarint(uint64(1<<20) + 1) // rows over the wire limit
+		e.putUvarint(2)                 // cols
+		if err := e.writeFrameLocked(frameBatch, e.buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err := decodeAll(t, buf.Bytes(), dict.New(), map[byte]*engine.Schema{SideOut: schema})
+		if !isCorrupt(err) {
+			t.Fatalf("want corrupt-frame error for oversized rows, got %v", err)
+		}
+	})
+}
+
+// FuzzDecode throws arbitrary bytes at the decoder: any input may be
+// rejected, none may panic or hang. Seeds cover the happy path so
+// mutations explore near-valid streams.
+func FuzzDecode(f *testing.F) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"s", "o"})
+	batch := buildBatch(f, sender, schema, [][]*rdf.Term{
+		{term(rdf.NewIRI("http://ex/a")), term(rdf.Term{Kind: rdf.TermLiteral, Value: "x", Lang: "en"})},
+		{term(rdf.NewIRI("http://ex/b")), nil},
+	})
+	var seed bytes.Buffer
+	enc := NewEncoder(&seed, sender)
+	if err := enc.Batch(SideLeft, batch); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Batch(SideRight, batch); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Done(SideLeft); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Error("boom"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{frameBatch, 0x01, 0x00})
+	f.Add([]byte{frameDone, 0x01, 0x03})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d := dict.New()
+		dec := NewDecoder(bytes.NewReader(raw), d)
+		dec.SetSchema(SideLeft, schema)
+		dec.SetSchema(SideRight, schema)
+		// SideOut deliberately has no schema: fuzzed batches for it must
+		// be rejected, not crash.
+		for i := 0; i < 1000; i++ {
+			frame, err := dec.Next()
+			if err != nil {
+				return
+			}
+			if frame.Type == frameBatch {
+				b := frame.Batch
+				if b.Len < 0 || b.Len > maxWireRows || len(b.Cols) != len(schema.Vars) {
+					t.Fatalf("decoded batch out of bounds: len=%d cols=%d", b.Len, len(b.Cols))
+				}
+				for _, col := range b.Cols {
+					for _, id := range col {
+						if id != dict.Unbound {
+							if tm := d.MustLookup(id); tm == (rdf.Term{}) {
+								t.Fatalf("decoded ID %d not in dictionary", id)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

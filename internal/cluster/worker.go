@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ontario/internal/bridge"
+	"ontario/internal/core"
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+)
+
+// WorkerConfig configures a cluster worker.
+type WorkerConfig struct {
+	// Partition/Of identify the worker's hash-partition of the lake
+	// (informational: the caller partitions the lake before NewWorker).
+	Partition, Of int
+	// MaxConcurrent bounds the fragments executing at once; excess tasks
+	// queue. 0 means 16.
+	MaxConcurrent int
+	// Logger receives per-task failures; nil discards them.
+	Logger *log.Logger
+}
+
+// Worker executes plan fragments against one partition of the lake: scan
+// tasks run a wrapper request through the partitioned catalog, join tasks
+// symmetric-hash-join the batches the coordinator shuffles in. One TCP
+// connection carries exactly one task.
+type Worker struct {
+	exec   *core.Executor
+	d      *dict.Dict
+	part   int
+	of     int
+	sem    chan struct{}
+	logger *log.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	lis net.Listener
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	active     atomic.Int64
+	queued     atomic.Int64
+	batchesIn  atomic.Int64
+	batchesOut atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+	remapN     atomic.Int64
+}
+
+// NewWorker returns a worker executing against the (already partitioned)
+// public lake.
+func NewWorker(publicLake any, cfg WorkerConfig) (*Worker, error) {
+	cat := bridge.LakeCatalog(publicLake)
+	if cat == nil {
+		return nil, fmt.Errorf("cluster: NewWorker requires a lake built with lake.NewBuilder")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 16
+	}
+	exec := core.NewExecutor(cat)
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		exec:   exec,
+		d:      exec.Dict(),
+		part:   cfg.Partition,
+		of:     cfg.Of,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		logger: cfg.Logger,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts task connections on lis until Shutdown closes it.
+func (w *Worker) Serve(lis net.Listener) error {
+	w.mu.Lock()
+	w.lis = lis
+	w.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if w.ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the worker: it stops accepting tasks, waits for
+// in-flight fragments to finish until ctx expires, then cancels them and
+// force-closes their connections.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.cancel()
+	w.mu.Lock()
+	if w.lis != nil {
+		w.lis.Close()
+	}
+	w.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		w.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Info snapshots the worker's identity and shuffle counters.
+func (w *Worker) Info() WorkerInfo {
+	return WorkerInfo{
+		Partition:    w.part,
+		Of:           w.of,
+		Active:       w.active.Load(),
+		Queued:       w.queued.Load(),
+		BatchesIn:    w.batchesIn.Load(),
+		BatchesOut:   w.batchesOut.Load(),
+		BytesIn:      w.bytesIn.Load(),
+		BytesOut:     w.bytesOut.Load(),
+		RemapEntries: w.remapN.Load(),
+		Terms:        w.d.Len(),
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.logger != nil {
+		w.logger.Printf(format, args...)
+	}
+}
+
+func (w *Worker) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	dec := NewDecoder(conn, w.d)
+	enc := NewEncoder(conn, w.d)
+	defer func() {
+		w.batchesIn.Add(dec.Batches())
+		w.batchesOut.Add(enc.Batches())
+		w.bytesIn.Add(dec.Bytes())
+		w.bytesOut.Add(enc.Bytes())
+		w.remapN.Add(dec.RemapEntries())
+	}()
+
+	f, err := dec.Next()
+	if err != nil || f.Type != frameTask {
+		return
+	}
+	var h taskHeader
+	if err := json.Unmarshal(f.Payload, &h); err != nil {
+		enc.Error("bad task header: " + err.Error())
+		return
+	}
+	if h.Kind == "hello" {
+		if err := enc.Hello(workerInfoPtr(w.Info())); err != nil {
+			w.logf("cluster worker: hello reply: %v", err)
+		}
+		return
+	}
+
+	// Admission: a worker executes at most MaxConcurrent fragments; the
+	// rest wait here (the queue-depth gauge readers see via Info).
+	w.queued.Add(1)
+	select {
+	case w.sem <- struct{}{}:
+		w.queued.Add(-1)
+	case <-w.ctx.Done():
+		w.queued.Add(-1)
+		enc.Error("worker shutting down")
+		return
+	}
+	defer func() { <-w.sem }()
+	w.active.Add(1)
+	defer w.active.Add(-1)
+
+	ctx, cancel := context.WithCancel(w.ctx)
+	defer cancel()
+
+	var runErr error
+	switch {
+	case h.Kind == "scan" && h.Scan != nil:
+		runErr = w.runScan(ctx, cancel, enc, dec, h.Scan)
+	case h.Kind == "join" && h.Join != nil:
+		runErr = w.runJoin(ctx, cancel, enc, dec, h.Join)
+	default:
+		runErr = fmt.Errorf("unknown task kind %q", h.Kind)
+	}
+	if runErr != nil && ctx.Err() == nil {
+		w.logf("cluster worker: task %s: %v", h.Kind, runErr)
+		enc.Error(runErr.Error())
+	}
+}
+
+func workerInfoPtr(i WorkerInfo) *WorkerInfo { return &i }
+
+// runScan executes one wrapper request against this worker's partition
+// and streams the result batches back.
+func (w *Worker) runScan(ctx context.Context, cancel context.CancelFunc, enc *Encoder, dec *Decoder, st *scanTask) error {
+	req, err := st.Req.request()
+	if err != nil {
+		return err
+	}
+	opts := st.Env.options()
+	x := w.exec.NewExecution(st.Env.Scale, st.Env.Seed)
+	schema := engine.NewSchema(st.Schema)
+
+	// The coordinator sends nothing after the task header; a read here
+	// only ever returns when the peer aborts or disconnects — either way,
+	// stop producing.
+	go func() {
+		if _, err := dec.Next(); err != nil {
+			cancel()
+		}
+	}()
+
+	s, err := x.RunService(ctx, st.SourceID, req, schema, opts)
+	if err != nil {
+		return err
+	}
+	for b := range s.Batches() {
+		if err := enc.Batch(SideOut, b); err != nil {
+			cancel()
+			for range s.Batches() {
+			}
+			return err
+		}
+	}
+	if err := x.Err(); err != nil {
+		return err
+	}
+	return enc.Done(SideOut)
+}
+
+// runJoin symmetric-hash-joins the left/right batches the coordinator
+// shuffles in, streaming joined batches out as both sides build.
+func (w *Worker) runJoin(ctx context.Context, cancel context.CancelFunc, enc *Encoder, dec *Decoder, jt *joinTask) error {
+	leftSchema := engine.NewSchema(jt.Left)
+	rightSchema := engine.NewSchema(jt.Right)
+	outSchema := engine.NewSchema(jt.Out)
+	dec.SetSchema(SideLeft, leftSchema)
+	dec.SetSchema(SideRight, rightSchema)
+
+	opts := jt.Env.options()
+	left := engine.NewCStream(leftSchema, 4)
+	right := engine.NewCStream(rightSchema, 4)
+	out := engine.CSymmetricHashJoin(ctx, left, right, jt.JoinVars, outSchema,
+		opts.EffectiveProbeParallelism(), opts.EffectiveBatchSize())
+
+	writeErr := make(chan error, 1)
+	go func() {
+		for b := range out.Batches() {
+			if err := enc.Batch(SideOut, b); err != nil {
+				cancel()
+				for range out.Batches() {
+				}
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- enc.Done(SideOut)
+	}()
+
+	doneL, doneR := false, false
+	closeBoth := func() {
+		if !doneL {
+			doneL = true
+			left.Close()
+		}
+		if !doneR {
+			doneR = true
+			right.Close()
+		}
+	}
+	for !(doneL && doneR) {
+		f, err := dec.Next()
+		if err != nil {
+			cancel()
+			closeBoth()
+			<-writeErr
+			return err
+		}
+		switch f.Type {
+		case frameBatch:
+			var target *engine.CStream
+			switch {
+			case f.Side == SideLeft && !doneL:
+				target = left
+			case f.Side == SideRight && !doneR:
+				target = right
+			default:
+				cancel()
+				closeBoth()
+				<-writeErr
+				return corrupt("join batch for side %d", f.Side)
+			}
+			if !target.SendBatch(ctx, f.Batch) {
+				closeBoth()
+				<-writeErr
+				return ctx.Err()
+			}
+		case frameDone:
+			switch {
+			case f.Side == SideLeft && !doneL:
+				doneL = true
+				left.Close()
+			case f.Side == SideRight && !doneR:
+				doneR = true
+				right.Close()
+			}
+		case frameError:
+			// The coordinator aborted the task; stop quietly.
+			cancel()
+			closeBoth()
+			<-writeErr
+			return nil
+		default:
+			cancel()
+			closeBoth()
+			<-writeErr
+			return corrupt("unexpected frame type 0x%02x in join task", f.Type)
+		}
+	}
+	return <-writeErr
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"ontario/internal/dict"
+	"ontario/internal/engine"
+	"ontario/internal/sparql"
+	"ontario/internal/wrapper"
+)
+
+// Distributor executes plan fragments on a cluster of partitioned
+// workers. internal/cluster provides the implementation; core only
+// depends on this interface so the executor stays free of any transport
+// concern.
+type Distributor interface {
+	// Workers returns the size of the worker pool.
+	Workers() int
+	// Service runs one wrapper request on every worker's partition of
+	// the source, streaming the union of their batches.
+	Service(ctx context.Context, sourceID string, req *wrapper.Request, schema *engine.Schema, d *dict.Dict, env FragmentEnv) (*engine.CStream, error)
+	// ShuffleJoin hash-partitions both inputs by join key across the
+	// workers and streams back the union of the per-worker symmetric
+	// hash joins.
+	ShuffleJoin(ctx context.Context, left, right *engine.CStream, joinVars []string, out *engine.Schema, d *dict.Dict, env FragmentEnv) (*engine.CStream, error)
+}
+
+// FragmentEnv carries the per-execution context a distributor forwards to
+// workers: the execution-shaping options plus the simulation parameters,
+// and the execution's error sink for asynchronous fragment failures.
+type FragmentEnv struct {
+	Opts  Options
+	Scale float64
+	Seed  int64
+	// Fail parks an asynchronous fragment failure on the execution (the
+	// cursor's Err reports the first one); cancellation is ignored.
+	Fail func(error)
+}
+
+// fragmentEnv builds the distributor context for this execution.
+func (x *Execution) fragmentEnv(opts Options) FragmentEnv {
+	return FragmentEnv{Opts: opts, Scale: x.scale, Seed: x.seed, Fail: x.fail}
+}
+
+// RunService executes one wrapper request on the columnar plane against
+// this execution's catalog — the worker-side entry point for distributed
+// scan fragments.
+func (x *Execution) RunService(ctx context.Context, sourceID string, req *wrapper.Request, schema *engine.Schema, opts Options) (*engine.CStream, error) {
+	w, err := x.wrapperFor(sourceID, opts)
+	if err != nil {
+		return nil, err
+	}
+	return wrapper.ExecuteColumnar(ctx, w, req, schema, x.dict)
+}
+
+// Dict returns the executor's shared term dictionary (the lake-lifetime
+// dictionary every execution interns into).
+func (e *Executor) Dict() *dict.Dict { return e.terms }
+
+// unmergeServices rewrites every Heuristic-1 merged service (one request
+// joining several stars inside a single relational source) into an
+// engine-level symmetric-hash join of single-star services. Partitioned
+// workers hold disjoint row-slices of a source, so a pushed-down
+// intra-source join would silently drop every pair of stars living on
+// different partitions; unmerging routes those joins through the
+// distributed shuffle, which sees all partitions. The rewrite builds
+// fresh nodes and leaves the (shared, read-only) plan tree untouched.
+func unmergeServices(n PlanNode) PlanNode {
+	switch v := n.(type) {
+	case *ServiceNode:
+		if v.Req == nil || len(v.Req.Stars) <= 1 {
+			return v
+		}
+		return splitMergedService(v)
+	case *JoinNode:
+		l, r := unmergeServices(v.L), unmergeServices(v.R)
+		if l == v.L && r == v.R {
+			return v
+		}
+		c := *v
+		c.L, c.R = l, r
+		return &c
+	case *LeftJoinNode:
+		l, r := unmergeServices(v.L), unmergeServices(v.R)
+		if l == v.L && r == v.R {
+			return v
+		}
+		c := *v
+		c.L, c.R = l, r
+		return &c
+	case *FilterNode:
+		ch := unmergeServices(v.Child)
+		if ch == v.Child {
+			return v
+		}
+		c := *v
+		c.Child = ch
+		return &c
+	case *UnionNode:
+		changed := false
+		children := make([]PlanNode, len(v.Children))
+		for i, ch := range v.Children {
+			children[i] = unmergeServices(ch)
+			changed = changed || children[i] != ch
+		}
+		if !changed {
+			return v
+		}
+		return &UnionNode{Children: children}
+	default:
+		return n
+	}
+}
+
+// splitMergedService turns one merged multi-star service into a left-deep
+// chain of symmetric-hash joins over single-star services. Pushed filters
+// follow the first star that covers their variables; filters spanning
+// stars lift to an engine-level FilterNode above the chain.
+func splitMergedService(v *ServiceNode) PlanNode {
+	stars := v.Req.Stars
+	starVars := make([]map[string]bool, len(stars))
+	for i, s := range stars {
+		set := make(map[string]bool)
+		for _, vn := range s.Vars() {
+			set[vn] = true
+		}
+		starVars[i] = set
+	}
+
+	perStar := make([][]sparql.Expr, len(stars))
+	var lifted []sparql.Expr
+	for _, f := range v.Req.Filters {
+		placed := false
+		for i := range stars {
+			covered := true
+			for _, fv := range f.Vars() {
+				if !starVars[i][fv] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				perStar[i] = append(perStar[i], f)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lifted = append(lifted, f)
+		}
+	}
+
+	var node PlanNode
+	acc := make(map[string]bool)
+	for i, st := range stars {
+		svc := &ServiceNode{
+			SourceID: v.SourceID,
+			Req:      &wrapper.Request{Stars: []*wrapper.StarQuery{st}, Filters: perStar[i]},
+		}
+		if node == nil {
+			node = svc
+			for vn := range starVars[i] {
+				acc[vn] = true
+			}
+			continue
+		}
+		var joinVars []string
+		for vn := range starVars[i] {
+			if acc[vn] {
+				joinVars = append(joinVars, vn)
+			}
+		}
+		sort.Strings(joinVars)
+		node = &JoinNode{L: node, R: svc, JoinVars: joinVars, Op: JoinSymmetricHash}
+		for vn := range starVars[i] {
+			acc[vn] = true
+		}
+	}
+	if len(lifted) > 0 {
+		node = &FilterNode{Child: node, Exprs: lifted}
+	}
+	return node
+}

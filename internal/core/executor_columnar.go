@@ -37,7 +37,14 @@ func (x *Execution) ExecuteColumnar(ctx context.Context, p *Plan) (*engine.CStre
 	if d == nil {
 		d = dict.New()
 	}
-	root, err := x.runColumnar(ctx, p.Root, p.Opts, d)
+	rootNode := p.Root
+	if p.Opts.Cluster != nil {
+		// Partitioned workers cannot answer a pushed-down intra-source
+		// join over rows split across partitions; route merged stars
+		// through the distributed shuffle instead.
+		rootNode = unmergeServices(rootNode)
+	}
+	root, err := x.runColumnar(ctx, rootNode, p.Opts, d)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -81,11 +88,18 @@ func emptyCStream(schema *engine.Schema) *engine.CStream {
 func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d *dict.Dict) (*engine.CStream, error) {
 	switch v := n.(type) {
 	case *ServiceNode:
+		schema := engine.NewSchema(v.Vars())
+		if dist := opts.Cluster; dist != nil {
+			s, err := dist.Service(ctx, v.SourceID, v.Req, schema, d, x.fragmentEnv(opts))
+			if err != nil {
+				return nil, err
+			}
+			return engine.CMeter(ctx, s, x.stats(v, "service", v.SourceID)), nil
+		}
 		w, err := x.wrapperFor(v.SourceID, opts)
 		if err != nil {
 			return nil, err
 		}
-		schema := engine.NewSchema(v.Vars())
 		s, err := wrapper.ExecuteColumnar(ctx, w, v.Req, schema, d)
 		if err != nil {
 			return nil, err
@@ -101,9 +115,24 @@ func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d
 				if err != nil {
 					return nil, err
 				}
-				w, err := x.wrapperFor(svc.SourceID, opts)
-				if err != nil {
-					return nil, err
+				// Under cluster execution seeded requests fan out to the
+				// worker pool instead of a local wrapper; the partitions are
+				// disjoint so the union over workers answers each seed
+				// exactly once.
+				dist := opts.Cluster
+				var w wrapper.Wrapper
+				if dist == nil {
+					var err error
+					w, err = x.wrapperFor(svc.SourceID, opts)
+					if err != nil {
+						return nil, err
+					}
+				}
+				runSvc := func(ctx context.Context, req *wrapper.Request, schema *engine.Schema) (*engine.CStream, error) {
+					if dist != nil {
+						return dist.Service(ctx, svc.SourceID, req, schema, d, x.fragmentEnv(opts))
+					}
+					return wrapper.ExecuteColumnar(ctx, w, req, schema, d)
 				}
 				svcStats := x.stats(svc, "service", svc.SourceID)
 				// One schema per service node: every seeded invocation of
@@ -123,7 +152,7 @@ func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d
 							Filters: svc.Req.Filters,
 							Seeds:   seeds,
 						}
-						s, err := wrapper.ExecuteColumnar(ctx, w, req, svcSchema, d)
+						s, err := runSvc(ctx, req, svcSchema)
 						if err != nil {
 							// The join keeps draining other blocks; park the
 							// failure so the consumer sees it after the stream.
@@ -144,7 +173,7 @@ func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d
 						Filters: svc.Req.Filters,
 						Seed:    seed,
 					}
-					s, err := wrapper.ExecuteColumnar(ctx, w, req, svcSchema, d)
+					s, err := runSvc(ctx, req, svcSchema)
 					if err != nil {
 						x.fail(fmt.Errorf("source %s: %w", svc.SourceID, err))
 						return emptyCStream(svcSchema)
@@ -174,6 +203,14 @@ func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d
 			return engine.CNestedLoopJoin(jctx, left, right, v.JoinVars, out,
 				opts.EffectiveBatchSize()), nil
 		default:
+			if dist := opts.Cluster; dist != nil {
+				// The morsel-sharded exchange becomes the distributed
+				// shuffle: rows shard by join-key hash across workers
+				// instead of across local shard workers.
+				jctx := engine.WithOpStats(ctx,
+					x.stats(v, "shuffle-join", strings.Join(v.JoinVars, ",")))
+				return dist.ShuffleJoin(jctx, left, right, v.JoinVars, out, d, x.fragmentEnv(opts))
+			}
 			jctx := engine.WithOpStats(ctx,
 				x.stats(v, "hash-join", strings.Join(v.JoinVars, ",")))
 			return engine.CSymmetricHashJoin(jctx, left, right, v.JoinVars, out,

@@ -163,6 +163,15 @@ type Options struct {
 	// source with this measured gamma instead of the static Network
 	// profile; ok=false falls back to the profile.
 	MeasuredLatency func(sourceID string) (d time.Duration, ok bool)
+	// Cluster, when set, distributes execution across a worker pool: leaf
+	// services fan out over every worker's lake partition and symmetric
+	// hash joins become distributed shuffles (see internal/cluster). It
+	// is an execution-time setting, injected when a query starts rather
+	// than at plan time — plan shapes do not depend on it (the
+	// merged-star unmerge rewrite it requires runs at execution start),
+	// so cached prepared plans stay shareable between clustered and
+	// single-node runs.
+	Cluster Distributor
 	// RowExchange opts out of the dictionary-encoded columnar exchange
 	// and runs the row-at-a-time reference pipeline (batches of
 	// map[var]Term). The columnar data plane is the default; the row

@@ -106,6 +106,23 @@ func hashRowIDs(b *ColBatch, row int, cols []int) uint64 {
 	return h
 }
 
+// HashRowKey combines the IDs of row's key columns (given as column
+// positions; -1 contributes Unbound) into the exchange's row hash. It is
+// the exported face of the morsel exchange's shard hash, so a
+// distributed shuffle partitions rows exactly like the in-process
+// symmetric hash join shards them.
+func HashRowKey(b *ColBatch, row int, cols []int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, c := range cols {
+		id := dict.Unbound
+		if c >= 0 {
+			id = b.Cols[c][row]
+		}
+		h = mix64(h ^ uint64(id))
+	}
+	return h
+}
+
 // ColBuilder accumulates rows into a ColBatch. Builders are how every
 // columnar producer — operators, wrappers, the row-to-columnar adapter —
 // assembles output; Take hands the finished batch over and resets the

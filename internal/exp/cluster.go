@@ -1,0 +1,264 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"ontario"
+	"ontario/internal/bridge"
+	"ontario/internal/cluster"
+	"ontario/internal/lslod"
+	"ontario/internal/netsim"
+	"ontario/internal/server"
+)
+
+// ClusterExpConfig parameterizes the scale-out experiment: the LSLOD query
+// mix runs against a coordinator distributing execution over N in-process
+// workers, for each N in Workers, so the 1→N scaling curve of the shuffle
+// data plane is measured end to end (partitioned scans, dictionary-delta
+// sideband, distributed symmetric-hash joins).
+type ClusterExpConfig struct {
+	// Scale is the LSLOD data scale of every node's lake.
+	Scale lslod.Scale
+	// Seed fixes data generation (every worker partitions the same lake).
+	Seed int64
+	// Workers lists the pool sizes to measure (default 1,2). Size 1 is
+	// the scale-out baseline: one worker owning the whole lake behind the
+	// same wire protocol, so the curve isolates partitioning from the
+	// fixed cost of distribution itself.
+	Workers []int
+	// Clients is the number of concurrent HTTP clients (default 4);
+	// Requests the total queries completed per cell (default 20).
+	Clients  int
+	Requests int
+	// Network is the simulated source-latency profile of every query and
+	// NetworkScale its sleep multiplier. The zero profile means no
+	// simulated latency — that cell measures only the distributed data
+	// plane, which on a single machine is bounded by local CPU; with a
+	// profile, partitioned workers overlap their sources' latency, which
+	// is the scale-out regime the paper's federation targets.
+	Network      netsim.Profile
+	NetworkScale float64
+	// Timeout is the per-query deadline (default 60s).
+	Timeout time.Duration
+}
+
+// ClusterResult is one measured pool-size cell.
+type ClusterResult struct {
+	Workers         int           `json:"workers"`
+	Network         string        `json:"network"`
+	NetworkScale    float64       `json:"network_scale"`
+	Completed       int           `json:"completed"`
+	Wall            time.Duration `json:"wall_ns"`
+	Throughput      float64       `json:"throughput_qps"`
+	Answers         int           `json:"answers"`
+	BindingsPerSec  float64       `json:"bindings_per_sec"`
+	LatencyP50      time.Duration `json:"latency_p50_ns"`
+	LatencyP95      time.Duration `json:"latency_p95_ns"`
+	TTFAP50         time.Duration `json:"ttfa_p50_ns"`
+	ShuffledBatches int64         `json:"shuffled_batches"`
+	ShuffledBytes   int64         `json:"shuffled_bytes"`
+	// Speedup is this cell's bindings/sec over the first cell's.
+	Speedup float64 `json:"speedup_vs_first"`
+}
+
+// RunCluster measures the scaling curve: for each pool size it boots the
+// partitioned workers on loopback listeners, stands up a coordinator
+// serving the full catalog over them, and drives the query mix through
+// the HTTP endpoint under the configured simulated source-latency
+// profile.
+func RunCluster(ctx context.Context, cfg ClusterExpConfig) ([]*ClusterResult, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2}
+	}
+	if cfg.Network.Name == "" {
+		cfg.Network = netsim.NoDelay
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 4
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 20
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var results []*ClusterResult
+	for _, n := range cfg.Workers {
+		res, err := runClusterCell(ctx, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster of %d: %w", n, err)
+		}
+		results = append(results, res)
+	}
+	if len(results) > 0 && results[0].BindingsPerSec > 0 {
+		for _, r := range results {
+			r.Speedup = r.BindingsPerSec / results[0].BindingsPerSec
+		}
+	}
+	return results, nil
+}
+
+func runClusterCell(ctx context.Context, cfg ClusterExpConfig, n int) (*ClusterResult, error) {
+	var workers []*cluster.Worker
+	defer func() {
+		for _, w := range workers {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			w.Shutdown(sctx)
+			cancel()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := lslod.BuildLake(cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.PartitionLake(l.Lake, i, n); err != nil {
+			return nil, err
+		}
+		w, err := cluster.NewWorker(l.Lake, cluster.WorkerConfig{Partition: i, Of: n})
+		if err != nil {
+			return nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go w.Serve(lis)
+		workers = append(workers, w)
+		addrs = append(addrs, lis.Addr().String())
+	}
+
+	full, err := lslod.BuildLake(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := ontario.New(full.Lake)
+	client, err := cluster.NewClient(addrs, cluster.ClientConfig{})
+	if err != nil {
+		return nil, err
+	}
+	opt, ok := bridge.ClusterOption(client).(ontario.Option)
+	if !ok {
+		return nil, fmt.Errorf("cluster option bridge unavailable")
+	}
+	srv := server.New(eng, server.Config{
+		MaxConcurrent: cfg.Clients,
+		QueryTimeout:  cfg.Timeout,
+		DefaultOptions: []ontario.Option{
+			ontario.WithAwarePlan(),
+			ontario.WithNetwork(pubProfile(cfg.Network)),
+			ontario.WithNetworkScale(cfg.NetworkScale),
+			ontario.WithSeed(cfg.Seed),
+			opt,
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	transport := &http.Transport{MaxIdleConns: cfg.Clients + 4, MaxIdleConnsPerHost: cfg.Clients + 4}
+	defer transport.CloseIdleConnections()
+	httpClient := &http.Client{Transport: transport}
+
+	queries := lslod.Queries()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		ttfas     []time.Duration
+		answers   int
+		firstErr  error
+	)
+	next := make(chan int, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newClientScratch()
+			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				q := queries[i%len(queries)]
+				lat, ttfa, nAnswers, _, err := serveOneQuery(ctx, httpClient, ts.URL, q.Text, scratch)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", q.ID, err)
+					}
+				} else {
+					latencies = append(latencies, lat)
+					ttfas = append(ttfas, ttfa)
+					answers += nAnswers
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &ClusterResult{
+		Workers:      n,
+		Network:      cfg.Network.Name,
+		NetworkScale: cfg.NetworkScale,
+		Completed:    len(latencies),
+		Wall:         wall,
+		Answers:      answers,
+	}
+	if wall > 0 {
+		res.Throughput = float64(len(latencies)) / wall.Seconds()
+		res.BindingsPerSec = float64(answers) / wall.Seconds()
+	}
+	res.LatencyP50 = quantileDuration(latencies, 0.50)
+	res.LatencyP95 = quantileDuration(latencies, 0.95)
+	res.TTFAP50 = quantileDuration(ttfas, 0.50)
+	pctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	for _, ws := range client.Probe(pctx) {
+		res.ShuffledBatches += ws.BatchesIn + ws.BatchesOut
+		res.ShuffledBytes += ws.BytesIn + ws.BytesOut
+	}
+	cancel()
+	return res, nil
+}
+
+// WriteClusterTable renders the scaling curve as an aligned text table.
+func WriteClusterTable(w io.Writer, rows []*ClusterResult) {
+	fmt.Fprintf(w, "%-8s %6s %10s %9s %12s %10s %10s %10s %9s %12s %8s\n",
+		"workers", "done", "wall", "qps", "bindings/s", "p50", "p95", "ttfa-p50", "batches", "bytes", "speedup")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 114))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %6d %10s %9.1f %12.0f %10s %10s %10s %9d %12d %7.2fx\n",
+			r.Workers, r.Completed, r.Wall.Round(time.Millisecond), r.Throughput, r.BindingsPerSec,
+			r.LatencyP50.Round(10*time.Microsecond), r.LatencyP95.Round(10*time.Microsecond),
+			r.TTFAP50.Round(10*time.Microsecond), r.ShuffledBatches, r.ShuffledBytes, r.Speedup)
+	}
+}
+
+// WriteClusterJSON writes the scaling curve as dir/BENCH_cluster.json and
+// returns the written path.
+func WriteClusterJSON(dir string, results []*ClusterResult) (string, error) {
+	return writeJSONDoc(dir, "cluster", results)
+}

@@ -90,6 +90,11 @@ func (c *planCache) clear() {
 	c.m = make(map[string]*list.Element)
 }
 
+// NormalizeQuery is the exported face of normalizeQuery: the cluster
+// router keys replica affinity on it so a query lands on the replica
+// whose plan cache already holds it, matching the server's own cache key.
+func NormalizeQuery(text string) string { return normalizeQuery(text) }
+
 // normalizeQuery collapses whitespace runs OUTSIDE string literals so
 // formatting differences do not defeat the cache, while queries differing
 // only inside a literal (e.g. FILTER (?v = "New  York")) keep distinct

@@ -106,6 +106,29 @@ type Config struct {
 	// /sparql request, correlated with the query ID from the tracing
 	// layer.
 	Logger *slog.Logger
+	// ClusterStatus, when non-nil, reports the coordinator's worker-pool
+	// state; /healthz embeds it and /metrics renders per-worker gauge
+	// families from it. The server stays ignorant of the cluster
+	// transport — cmd/ontario-server wires the closure.
+	ClusterStatus func() []WorkerStatus
+}
+
+// WorkerStatus is one cluster worker's health as the serving layer
+// reports it (a transport-free mirror of the cluster client's view).
+type WorkerStatus struct {
+	Addr            string `json:"addr"`
+	Up              bool   `json:"up"`
+	Breaker         string `json:"breaker,omitempty"`
+	Err             string `json:"err,omitempty"`
+	Partition       int    `json:"partition"`
+	Of              int    `json:"of"`
+	ActiveFragments int64  `json:"active_fragments"`
+	QueuedFragments int64  `json:"queued_fragments"`
+	BatchesIn       int64  `json:"batches_in"`
+	BatchesOut      int64  `json:"batches_out"`
+	BytesIn         int64  `json:"bytes_in"`
+	BytesOut        int64  `json:"bytes_out"`
+	RemapEntries    int64  `json:"remap_entries"`
 }
 
 func (c Config) withDefaults() Config {
@@ -807,6 +830,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				h.Source, float64(h.Latency)/float64(time.Millisecond))
 		}
 	}
+	if s.cfg.ClusterStatus != nil {
+		if workers := s.cfg.ClusterStatus(); len(workers) > 0 {
+			writeGauge := func(name string, val func(ws WorkerStatus) int64) {
+				fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+				for _, ws := range workers {
+					fmt.Fprintf(w, "%s{worker=%q} %d\n", name, ws.Addr, val(ws))
+				}
+			}
+			writeGauge("ontario_cluster_worker_up", func(ws WorkerStatus) int64 {
+				if ws.Up {
+					return 1
+				}
+				return 0
+			})
+			writeGauge("ontario_cluster_fragment_queue_depth", func(ws WorkerStatus) int64 { return ws.QueuedFragments })
+			writeGauge("ontario_cluster_active_fragments", func(ws WorkerStatus) int64 { return ws.ActiveFragments })
+			writeGauge("ontario_cluster_remap_entries", func(ws WorkerStatus) int64 { return ws.RemapEntries })
+			fmt.Fprintf(w, "# TYPE ontario_cluster_shuffled_batches gauge\n")
+			for _, ws := range workers {
+				fmt.Fprintf(w, "ontario_cluster_shuffled_batches{worker=%q,direction=\"in\"} %d\n", ws.Addr, ws.BatchesIn)
+				fmt.Fprintf(w, "ontario_cluster_shuffled_batches{worker=%q,direction=\"out\"} %d\n", ws.Addr, ws.BatchesOut)
+			}
+			fmt.Fprintf(w, "# TYPE ontario_cluster_shuffled_bytes gauge\n")
+			for _, ws := range workers {
+				fmt.Fprintf(w, "ontario_cluster_shuffled_bytes{worker=%q,direction=\"in\"} %d\n", ws.Addr, ws.BytesIn)
+				fmt.Fprintf(w, "ontario_cluster_shuffled_bytes{worker=%q,direction=\"out\"} %d\n", ws.Addr, ws.BytesOut)
+			}
+		}
+	}
 	_ = s.metrics.WritePrometheus(w)
 }
 
@@ -828,6 +880,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Executing     int     `json:"executing"`
 		Waiting       int     `json:"waiting"`
 		PeakExecuting int     `json:"peak_executing"`
+
+		Cluster []WorkerStatus `json:"cluster,omitempty"`
 	}{
 		Status:        "ok",
 		Version:       version,
@@ -841,6 +895,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Executing:     st.Executing,
 		Waiting:       st.Waiting,
 		PeakExecuting: st.PeakExecuting,
+	}
+	if s.cfg.ClusterStatus != nil {
+		doc.Cluster = s.cfg.ClusterStatus()
+		for _, ws := range doc.Cluster {
+			if !ws.Up {
+				doc.Status = "degraded"
+				break
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)

@@ -112,12 +112,14 @@ type histKey struct {
 	labelValue string
 }
 
-// Metrics is a concurrency-safe registry of counters and latency
+// Metrics is a concurrency-safe registry of counters, gauges and latency
 // histograms, exported in the Prometheus text format by the server's
-// /metrics endpoint. Counter and histogram names are created on first use.
+// /metrics endpoint. Counter, gauge and histogram names are created on
+// first use.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
+	gauges   map[histKey]float64
 	hists    map[histKey]*Histogram
 }
 
@@ -125,8 +127,30 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]int64),
+		gauges:   make(map[histKey]float64),
 		hists:    make(map[histKey]*Histogram),
 	}
+}
+
+// SetGauge sets the named unlabeled gauge to v (gauges report the last
+// set value, unlike monotonically accumulating counters).
+func (m *Metrics) SetGauge(name string, v float64) {
+	m.SetGaugeLabeled(name, "", "", v)
+}
+
+// SetGaugeLabeled sets one series of the named gauge family, keyed by an
+// arbitrary label pair (e.g. worker="0"); both empty means unlabeled.
+func (m *Metrics) SetGaugeLabeled(name, labelName, labelValue string, v float64) {
+	m.mu.Lock()
+	m.gauges[histKey{name: name, labelName: labelName, labelValue: labelValue}] = v
+	m.mu.Unlock()
+}
+
+// Gauge returns the gauge series' current value (0 when never set).
+func (m *Metrics) Gauge(name, labelName, labelValue string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[histKey{name: name, labelName: labelName, labelValue: labelValue}]
 }
 
 // Add increments the named counter by delta.
@@ -226,6 +250,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			total:  h.total,
 		}})
 	}
+	type gaugeEntry struct {
+		key histKey
+		v   float64
+	}
+	gauges := make([]gaugeEntry, 0, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges = append(gauges, gaugeEntry{key: k, v: v})
+	}
 	m.mu.Unlock()
 
 	names := make([]string, 0, len(counters))
@@ -235,6 +267,32 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[n]); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(gauges, func(i, j int) bool {
+		if gauges[i].key.name != gauges[j].key.name {
+			return gauges[i].key.name < gauges[j].key.name
+		}
+		if gauges[i].key.labelName != gauges[j].key.labelName {
+			return gauges[i].key.labelName < gauges[j].key.labelName
+		}
+		return gauges[i].key.labelValue < gauges[j].key.labelValue
+	})
+	lastGauge := ""
+	for _, g := range gauges {
+		if g.key.name != lastGauge {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.key.name); err != nil {
+				return err
+			}
+			lastGauge = g.key.name
+		}
+		series := g.key.name
+		if g.key.labelName != "" {
+			series += fmt.Sprintf(`{%s="%s"}`, g.key.labelName, EscapeLabel(g.key.labelValue))
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", series, g.v); err != nil {
 			return err
 		}
 	}

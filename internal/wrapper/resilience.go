@@ -372,6 +372,16 @@ func (h *HealthRegistry) Do(ctx context.Context, sourceID string, op func(contex
 	}
 }
 
+// ReportFailure records one externally observed failure against the
+// source. Do covers request/response exchanges end to end, but a
+// streaming consumer (the cluster's worker links) detects failures after
+// Do's attempt window has closed — mid-stream, with results already
+// forwarded, where a retry is no longer safe. Reporting keeps those
+// failures feeding the source's breaker and failure rate.
+func (h *HealthRegistry) ReportFailure(sourceID string, err error) {
+	h.recordFailure(sourceID, err)
+}
+
 // State returns the source's breaker state.
 func (h *HealthRegistry) State(sourceID string) BreakerState {
 	h.mu.Lock()

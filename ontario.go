@@ -207,6 +207,16 @@ func (e *Engine) planOptions(cfg config) core.Options {
 }
 
 func (e *Engine) start(ctx context.Context, plan *core.Plan, cfg config) (*Results, error) {
+	if cfg.cluster != nil {
+		// Distributed execution is injected per start, not per plan: the
+		// prepared-plan cache outlives any one coordinator's worker pool,
+		// so embedding the distributor in a cached plan would leak stale
+		// clients across engines. A shallow copy keeps the shared plan
+		// tree read-only.
+		p2 := *plan
+		p2.Opts.Cluster = cfg.cluster
+		plan = &p2
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	exec := e.inner.Executor.NewExecution(cfg.scale, cfg.seed)
 	start := time.Now()

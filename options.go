@@ -190,6 +190,12 @@ type config struct {
 	// internal/bridge): kept for equivalence testing and ablation, not part
 	// of the public option surface.
 	rowExchange bool
+	// cluster distributes the execution over a partitioned worker pool.
+	// Internal-only (via internal/bridge, wired by cmd/ontario-server's
+	// coordinator role). Like scale/seed it is an execution-time setting:
+	// it is injected when a query starts, never planned into a cached
+	// Prepared, so clustered and single-node runs share plans.
+	cluster core.Distributor
 }
 
 func newConfig(options []Option) config {

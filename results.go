@@ -328,4 +328,10 @@ func init() {
 	// Equivalence tests and the bench harness flip one execution back to
 	// the row-at-a-time reference pipeline through this internal option.
 	bridge.RowExchangeOption = Option(func(c *config) { c.rowExchange = true })
+	// The cluster coordinator attaches its worker-pool distributor to a
+	// query execution through this internal option factory.
+	bridge.ClusterOption = func(dist any) any {
+		d, _ := dist.(core.Distributor)
+		return Option(func(c *config) { c.cluster = d })
+	}
 }
