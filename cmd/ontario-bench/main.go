@@ -85,7 +85,7 @@ func main() {
 
 		columnarRepeats = flag.Int("columnar-repeats", 0, "query-mix repetitions per cell for -experiment columnar (0 = default)")
 
-		clusterWorkers = flag.String("cluster-workers", "1,2", "comma-separated worker pool sizes for -experiment cluster")
+		clusterWorkers = flag.String("cluster-workers", "1,2,3,4", "comma-separated worker pool sizes for -experiment cluster")
 		clusterNet     = flag.String("cluster-network", "gamma1", "simulated source-latency profile for -experiment cluster (none disables)")
 	)
 	flag.Parse()

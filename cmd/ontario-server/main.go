@@ -293,6 +293,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		defer client.Close()
 		opt, ok := bridge.ClusterOption(client).(ontario.Option)
 		if !ok {
 			fail(fmt.Errorf("cluster option bridge returned an unexpected type"))
@@ -474,10 +475,14 @@ func serverWorkerStatus(ws []cluster.WorkerStatus) []server.WorkerStatus {
 			Addr: w.Addr, Up: w.Up, Breaker: w.Breaker, Err: w.Err,
 			BatchesIn: w.BatchesIn, BatchesOut: w.BatchesOut,
 			BytesIn: w.BytesIn, BytesOut: w.BytesOut,
-			RemapEntries: w.RemapEntries,
+			DictDeltaBytes: w.DictDeltaBytes,
+			RemapEntries:   w.RemapEntries,
+			Reconnects:     w.Reconnects,
+			Epoch:          w.Epoch,
 		}
 		if w.Info != nil {
 			s.Partition, s.Of = w.Info.Partition, w.Info.Of
+			s.Scheme = w.Info.Scheme
 			s.ActiveFragments, s.QueuedFragments = w.Info.Active, w.Info.Queued
 		}
 		out[i] = s

@@ -184,6 +184,23 @@ type Source struct {
 	Endpoint string
 	// SQLDB is the live connection of a ModelSQLDatabase source.
 	SQLDB *dbsql.DB
+
+	// Partition records the hash-partition this source's rows were
+	// thinned to (set by cluster.PartitionCatalog on workers); nil means
+	// the source holds the whole dataset. Planning reads this to prove
+	// co-partitioned joins shuffle-free.
+	Partition *SourcePartition
+}
+
+// SourcePartition identifies one hash-partition of a source. Scheme
+// names the routing function; "subject" means every row routes by the
+// FNV-1a hash of its star's subject term, so a subject's whole star —
+// RDF triples and relational base/side rows alike — lives on exactly
+// one partition.
+type SourcePartition struct {
+	Scheme string
+	Part   int
+	Of     int
 }
 
 // relational reports whether the source answers through the SPARQL-to-SQL

@@ -27,8 +27,10 @@ type ClientConfig struct {
 }
 
 // Client is the coordinator side of the cluster: a core.Distributor that
-// fans plan fragments out over the worker pool. Task setup (dial plus
-// task header) runs behind a per-worker health registry — the same
+// fans plan fragments out over the worker pool. It keeps one persistent
+// multiplexed link per worker — tasks open streams on the link instead of
+// dialing, so the per-link dictionary delta ships each term once ever.
+// Stream setup runs behind a per-worker health registry — the same
 // breaker/retry layer that guards remote sources — while mid-stream
 // failures park on the query's execution and feed the breaker directly.
 type Client struct {
@@ -36,31 +38,34 @@ type Client struct {
 	dialTimeout time.Duration
 	health      *wrapper.HealthRegistry
 
-	counters []workerCounters
-}
+	mu     sync.Mutex
+	links  []*link
+	closed bool
 
-// workerCounters aggregates one worker link's observed shuffle traffic
-// across all of its finished task connections.
-type workerCounters struct {
-	batchesIn  atomic.Int64
-	batchesOut atomic.Int64
-	bytesIn    atomic.Int64
-	bytesOut   atomic.Int64
-	remapN     atomic.Int64
+	colocated atomic.Bool // caches a successful co-partition check
 }
 
 // WorkerStatus is one worker link's health and traffic snapshot.
 type WorkerStatus struct {
-	Addr         string
-	Up           bool
-	Breaker      string
-	Err          string
-	Info         *WorkerInfo
-	BatchesIn    int64
-	BatchesOut   int64
-	BytesIn      int64
-	BytesOut     int64
+	Addr    string
+	Up      bool
+	Breaker string
+	Err     string
+	Info    *WorkerInfo
+
+	BatchesIn       int64
+	BatchesOut      int64
+	BytesIn         int64
+	BytesOut        int64
+	ShuffledBatches int64
+	ShuffledBytes   int64
+	DictDeltaBytes  int64
+	// RemapEntries is the current size of the live link's remap table
+	// (zero while disconnected) — per persistent link, not a cumulative
+	// per-task sum.
 	RemapEntries int64
+	Reconnects   int64
+	Epoch        int64
 }
 
 // NewClient returns a client over the worker addresses.
@@ -75,7 +80,7 @@ func NewClient(addrs []string, cfg ClientConfig) (*Client, error) {
 		addrs:       addrs,
 		dialTimeout: cfg.DialTimeout,
 		health:      wrapper.NewHealthRegistry(cfg.Resilience),
-		counters:    make([]workerCounters, len(addrs)),
+		links:       make([]*link, len(addrs)),
 	}, nil
 }
 
@@ -83,93 +88,108 @@ func NewClient(addrs []string, cfg ClientConfig) (*Client, error) {
 func (c *Client) Workers() int { return len(c.addrs) }
 
 // Health exposes the worker-link health registry (breaker states and
-// measured task-setup latency).
+// measured stream-setup latency).
 func (c *Client) Health() *wrapper.HealthRegistry { return c.health }
+
+// Close tears down every persistent link. In-flight streams fail; later
+// fragment calls error out.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	links := make([]*link, len(c.links))
+	copy(links, c.links)
+	c.mu.Unlock()
+	for _, l := range links {
+		if l != nil {
+			l.close()
+		}
+	}
+}
 
 func (c *Client) workerID(i int) string { return fmt.Sprintf("worker:%d", i) }
 
-// taskConn is one open task connection to a worker.
-type taskConn struct {
-	client *Client
-	wi     int
-	conn   net.Conn
-	enc    *Encoder
-	dec    *Decoder
-
-	closeOnce sync.Once
+// link returns worker i's persistent link, creating it bound to d on
+// first use. All fragment traffic of a client must share one dictionary
+// (in practice the executor's engine-lifetime dict): link remap state is
+// meaningless across dictionaries.
+func (c *Client) link(i int, d *dict.Dict) (*link, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("cluster: client closed")
+	}
+	l := c.links[i]
+	if l == nil {
+		l = newLink(c.addrs[i], c.dialTimeout, d)
+		c.links[i] = l
+	} else if l.d != d {
+		return nil, errors.New("cluster: client used with a second dictionary")
+	}
+	return l, nil
 }
 
-// close tears the connection down and folds its codec counters into the
-// client's per-worker totals.
-func (tc *taskConn) close() {
-	tc.closeOnce.Do(func() {
-		tc.conn.Close()
-		wc := &tc.client.counters[tc.wi]
-		wc.batchesIn.Add(tc.dec.Batches())
-		wc.batchesOut.Add(tc.enc.Batches())
-		wc.bytesIn.Add(tc.dec.Bytes())
-		wc.bytesOut.Add(tc.enc.Bytes())
-		wc.remapN.Add(tc.dec.RemapEntries())
-	})
-}
-
-// openTask dials worker wi and writes the task header, behind the
-// worker's breaker/retry guard. Retrying here is safe: no result bytes
-// have been consumed yet, and an abandoned connection's output dies with
-// the connection.
-func (c *Client) openTask(ctx context.Context, wi int, h *taskHeader, d *dict.Dict) (*taskConn, error) {
-	var tc *taskConn
-	err := c.health.Do(ctx, c.workerID(wi), func(ctx context.Context) error {
-		dialer := &net.Dialer{Timeout: c.dialTimeout}
-		conn, err := dialer.DialContext(ctx, "tcp", c.addrs[wi])
-		if err != nil {
-			return err
-		}
-		enc := NewEncoder(conn, d)
-		if err := enc.Task(h); err != nil {
-			conn.Close()
-			return err
-		}
-		tc = &taskConn{client: c, wi: wi, conn: conn, enc: enc, dec: NewDecoder(conn, d)}
-		return nil
+// openStream opens a task stream on worker wi behind the worker's
+// breaker/retry guard. Retrying is safe: no result bytes have been
+// consumed yet, and an abandoned stream's frames drop at the demux.
+func (c *Client) openStream(ctx context.Context, wi int, h *taskHeader, out *engine.Schema, d *dict.Dict) (*clientStream, error) {
+	l, err := c.link(wi, d)
+	if err != nil {
+		return nil, err
+	}
+	var st *clientStream
+	err = c.health.Do(ctx, c.workerID(wi), func(ctx context.Context) error {
+		var err error
+		st, err = l.open(h, out)
+		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster worker %s: %w", c.addrs[wi], err)
 	}
-	return tc, nil
+	return st, nil
 }
 
-// openAll opens the task on every worker, closing already-open
-// connections when any worker fails.
-func (c *Client) openAll(ctx context.Context, h *taskHeader, d *dict.Dict) ([]*taskConn, error) {
-	conns := make([]*taskConn, len(c.addrs))
+// openAll opens the task stream on every worker, releasing already-open
+// streams when any worker fails.
+func (c *Client) openAll(ctx context.Context, h *taskHeader, out *engine.Schema, d *dict.Dict) ([]*clientStream, error) {
+	streams := make([]*clientStream, len(c.addrs))
 	for i := range c.addrs {
-		tc, err := c.openTask(ctx, i, h, d)
+		st, err := c.openStream(ctx, i, h, out, d)
 		if err != nil {
-			for _, open := range conns {
+			for _, open := range streams {
 				if open != nil {
-					open.close()
+					open.abort(nil)
+					open.release()
 				}
 			}
 			return nil, err
 		}
-		conns[i] = tc
+		streams[i] = st
 	}
-	return conns, nil
+	return streams, nil
 }
 
-// readOut relays a task connection's SideOut batches into out until the
-// worker's Done frame. A worker-side error frame comes back as an error.
-func (tc *taskConn) readOut(ctx context.Context, out *engine.CStream) error {
+// readOut relays a stream's SideOut batches into out until the worker's
+// Done frame. A worker-side error frame comes back as an error; a broken
+// link surfaces as the link failure.
+func (c *Client) readOut(ctx context.Context, st *clientStream, out *engine.CStream) error {
+	stop := context.AfterFunc(ctx, func() { st.abort(ctx.Err()) })
+	defer stop()
+	defer st.release()
 	for {
-		f, err := tc.dec.Next()
-		if err != nil {
-			return err
+		f, qerr, ok := st.q.pop()
+		if !ok {
+			if qerr == nil {
+				qerr = corrupt("result stream closed without done")
+			}
+			return qerr
 		}
 		switch f.Type {
 		case frameBatch:
 			if f.Side != SideOut {
 				return corrupt("result batch for side %d", f.Side)
+			}
+			if f.Batch == nil {
+				continue
 			}
 			if !out.SendBatch(ctx, f.Batch) {
 				return nil
@@ -184,9 +204,34 @@ func (tc *taskConn) readOut(ctx context.Context, out *engine.CStream) error {
 	}
 }
 
+// fanOut opens h on every worker and streams the union of their result
+// batches (partitions are disjoint, so each answer arrives exactly once).
+func (c *Client) fanOut(ctx context.Context, h *taskHeader, schema *engine.Schema, d *dict.Dict, env core.FragmentEnv, what string) (*engine.CStream, error) {
+	streams, err := c.openAll(ctx, h, schema, d)
+	if err != nil {
+		return nil, err
+	}
+	out := engine.NewCStream(schema, 2*len(streams))
+	var wg sync.WaitGroup
+	for i, st := range streams {
+		wg.Add(1)
+		go func(i int, st *clientStream) {
+			defer wg.Done()
+			if err := c.readOut(ctx, st, out); err != nil && ctx.Err() == nil {
+				c.health.ReportFailure(c.workerID(i), err)
+				env.Fail(fmt.Errorf("cluster worker %s: %s: %w", c.addrs[i], what, err))
+			}
+		}(i, st)
+	}
+	go func() {
+		wg.Wait()
+		out.Close()
+	}()
+	return out, nil
+}
+
 // Service implements core.Distributor: the request fans out to every
-// worker's partition and the result stream is the union of their batches
-// (partitions are disjoint, so each answer arrives exactly once).
+// worker's partition and the result stream is the union of their batches.
 func (c *Client) Service(ctx context.Context, sourceID string, req *wrapper.Request, schema *engine.Schema, d *dict.Dict, env core.FragmentEnv) (*engine.CStream, error) {
 	wreq, err := requestToWire(req)
 	if err != nil {
@@ -198,31 +243,57 @@ func (c *Client) Service(ctx context.Context, sourceID string, req *wrapper.Requ
 		Schema:   schema.Vars,
 		Env:      envToWire(env),
 	}}
-	conns, err := c.openAll(ctx, h, d)
+	return c.fanOut(ctx, h, schema, d, env, "source "+sourceID)
+}
+
+// RunFragment implements core.Distributor: the serializable plan subtree
+// runs whole on every worker's partition — each worker joins locally and
+// streams only results, zero shuffled batches.
+func (c *Client) RunFragment(ctx context.Context, root core.PlanNode, out *engine.Schema, d *dict.Dict, env core.FragmentEnv) (*engine.CStream, error) {
+	wf, err := fragToWire(root)
 	if err != nil {
 		return nil, err
 	}
-	for _, tc := range conns {
-		tc.dec.SetSchema(SideOut, schema)
+	h := &taskHeader{Kind: "frag", Frag: &fragTask{
+		Root: wf,
+		Out:  out.Vars,
+		Env:  envToWire(env),
+	}}
+	return c.fanOut(ctx, h, out, d, env, "fragment")
+}
+
+// Colocated implements core.Distributor: it reports whether the pool is a
+// complete co-partitioned cut of the lake — every worker reachable, all
+// reporting the subject-hash scheme, Of matching the pool size, and the
+// partition indexes covering 0..N-1 exactly once. The first success is
+// cached: partition identity is fixed at worker startup, and a restarted
+// worker rejoins with the same identity or fails the query loudly either
+// way.
+func (c *Client) Colocated(ctx context.Context, d *dict.Dict) bool {
+	if c.colocated.Load() {
+		return true
 	}
-	out := engine.NewCStream(schema, 2*len(conns))
-	var wg sync.WaitGroup
-	for i, tc := range conns {
-		wg.Add(1)
-		go func(i int, tc *taskConn) {
-			defer wg.Done()
-			defer tc.close()
-			if err := tc.readOut(ctx, out); err != nil && ctx.Err() == nil {
-				c.health.ReportFailure(c.workerID(i), err)
-				env.Fail(fmt.Errorf("cluster worker %s: source %s: %w", c.addrs[i], sourceID, err))
-			}
-		}(i, tc)
+	W := len(c.addrs)
+	seen := make([]bool, W)
+	for i := range c.addrs {
+		l, err := c.link(i, d)
+		if err != nil {
+			return false
+		}
+		info, err := l.handshake()
+		if err != nil {
+			return false
+		}
+		if info.Scheme != PartitionScheme || info.Of != W {
+			return false
+		}
+		if info.Partition < 0 || info.Partition >= W || seen[info.Partition] {
+			return false
+		}
+		seen[info.Partition] = true
 	}
-	go func() {
-		wg.Wait()
-		out.Close()
-	}()
-	return out, nil
+	c.colocated.Store(true)
+	return true
 }
 
 // ShuffleJoin implements core.Distributor: both inputs hash-partition by
@@ -237,17 +308,14 @@ func (c *Client) ShuffleJoin(ctx context.Context, left, right *engine.CStream, j
 		Out:      out.Vars,
 		Env:      envToWire(env),
 	}}
-	conns, err := c.openAll(ctx, h, d)
+	streams, err := c.openAll(ctx, h, out, d)
 	if err != nil {
 		return nil, err
 	}
-	for _, tc := range conns {
-		tc.dec.SetSchema(SideOut, out)
-	}
 
-	W := len(conns)
+	W := len(streams)
 	batch := env.Opts.EffectiveBatchSize()
-	// dead[i] is set once worker i's link failed; the partitioners skip
+	// dead[i] is set once worker i's stream failed; the partitioners skip
 	// it from then on (the failure itself is parked on the execution, so
 	// the query surfaces the error after the stream drains).
 	dead := make([]atomic.Bool, W)
@@ -276,7 +344,7 @@ func (c *Client) ShuffleJoin(ctx context.Context, left, right *engine.CStream, j
 			if builders[wi].Rows() == 0 || dead[wi].Load() {
 				return
 			}
-			if err := conns[wi].enc.Batch(side, builders[wi].Take()); err != nil {
+			if err := streams[wi].batch(side, builders[wi].Take()); err != nil {
 				fail(wi, err)
 			}
 		}
@@ -303,7 +371,7 @@ func (c *Client) ShuffleJoin(ctx context.Context, left, right *engine.CStream, j
 			if dead[wi].Load() {
 				continue
 			}
-			if err := conns[wi].enc.Done(side); err != nil {
+			if err := streams[wi].done(side); err != nil {
 				fail(wi, err)
 			}
 		}
@@ -314,30 +382,26 @@ func (c *Client) ShuffleJoin(ctx context.Context, left, right *engine.CStream, j
 
 	outS := engine.NewCStream(out, 2*W)
 	var recvWG sync.WaitGroup
-	for i, tc := range conns {
+	for i, st := range streams {
 		recvWG.Add(1)
-		go func(i int, tc *taskConn) {
+		go func(i int, st *clientStream) {
 			defer recvWG.Done()
-			if err := tc.readOut(ctx, outS); err != nil && ctx.Err() == nil {
+			if err := c.readOut(ctx, st, outS); err != nil && ctx.Err() == nil {
 				fail(i, err)
 			}
-		}(i, tc)
+		}(i, st)
 	}
 	go func() {
-		// Connections close only after the senders stop using their
-		// encoders; a dead link's partitioner skips it meanwhile.
 		sendWG.Wait()
 		recvWG.Wait()
-		for _, tc := range conns {
-			tc.close()
-		}
 		outS.Close()
 	}()
 	return engine.CMeter(ctx, outS, engine.StatsFrom(ctx)), nil
 }
 
-// Probe asks every worker for its status over a fresh hello task; links
-// that fail report Up == false with the error.
+// Probe asks every worker for its status over a hello stream on the
+// persistent link (or a throwaway dial when no query ever touched the
+// worker); links that fail report Up == false with the error.
 func (c *Client) Probe(ctx context.Context) []WorkerStatus {
 	out := make([]WorkerStatus, len(c.addrs))
 	var wg sync.WaitGroup
@@ -346,20 +410,34 @@ func (c *Client) Probe(ctx context.Context) []WorkerStatus {
 		go func(i int) {
 			defer wg.Done()
 			st := WorkerStatus{
-				Addr:         c.addrs[i],
-				Breaker:      c.health.State(c.workerID(i)).String(),
-				BatchesIn:    c.counters[i].batchesIn.Load(),
-				BatchesOut:   c.counters[i].batchesOut.Load(),
-				BytesIn:      c.counters[i].bytesIn.Load(),
-				BytesOut:     c.counters[i].bytesOut.Load(),
-				RemapEntries: c.counters[i].remapN.Load(),
+				Addr:    c.addrs[i],
+				Breaker: c.health.State(c.workerID(i)).String(),
 			}
-			info, err := c.probeOne(ctx, i)
+			c.mu.Lock()
+			l := c.links[i]
+			c.mu.Unlock()
+			if l != nil {
+				lc := l.counters()
+				st.BatchesIn = lc.batchesIn
+				st.BatchesOut = lc.batchesOut
+				st.BytesIn = lc.bytesIn
+				st.BytesOut = lc.bytesOut
+				st.ShuffledBatches = lc.shufBatches
+				st.ShuffledBytes = lc.shufBytes
+				st.DictDeltaBytes = lc.deltaBytes
+				st.RemapEntries = lc.remapEntries
+				st.Reconnects = lc.reconnects
+				st.Epoch = lc.epoch
+			}
+			info, err := c.probeOne(ctx, i, l)
 			if err != nil {
 				st.Err = err.Error()
 			} else {
 				st.Up = true
 				st.Info = info
+				if st.Epoch == 0 {
+					st.Epoch = info.Epoch
+				}
 			}
 			out[i] = st
 		}(i)
@@ -368,19 +446,69 @@ func (c *Client) Probe(ctx context.Context) []WorkerStatus {
 	return out
 }
 
-func (c *Client) probeOne(ctx context.Context, wi int) (*WorkerInfo, error) {
-	d := dict.New() // hello exchanges no batches; a throwaway dict is fine
-	tc, err := c.openTask(ctx, wi, &taskHeader{Kind: "hello"}, d)
+// probeOne fetches a live WorkerInfo: over the persistent link when one
+// exists, else by a one-shot dial that just reads the worker's handshake
+// hello (no query state is created for a worker the client never used).
+func (c *Client) probeOne(ctx context.Context, wi int, l *link) (*WorkerInfo, error) {
+	var info *WorkerInfo
+	err := c.health.Do(ctx, c.workerID(wi), func(ctx context.Context) error {
+		if l == nil {
+			i, err := probeDial(c.addrs[wi], c.dialTimeout)
+			if err != nil {
+				return err
+			}
+			info = i
+			return nil
+		}
+		st, err := l.open(&taskHeader{Kind: "hello"}, nil)
+		if err != nil {
+			return err
+		}
+		defer st.release()
+		stop := context.AfterFunc(ctx, func() { st.abort(ctx.Err()) })
+		defer stop()
+		for {
+			f, qerr, ok := st.q.pop()
+			if !ok {
+				if qerr == nil {
+					qerr = corrupt("probe stream closed without hello")
+				}
+				return qerr
+			}
+			switch f.Type {
+			case frameHello:
+				var i WorkerInfo
+				if err := json.Unmarshal(f.Payload, &i); err != nil {
+					return err
+				}
+				info = &i
+				return nil
+			case frameError:
+				return errors.New(string(f.Payload))
+			}
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer tc.close()
-	f, err := tc.dec.Next()
+	return info, nil
+}
+
+// probeDial reads a worker's handshake hello over a throwaway connection.
+func probeDial(addr string, timeout time.Duration) (*WorkerInfo, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	dec := NewDecoder(conn, dict.New())
+	f, err := dec.Next()
 	if err != nil {
 		return nil, err
 	}
 	if f.Type != frameHello {
-		return nil, corrupt("expected hello reply, got frame type 0x%02x", f.Type)
+		return nil, corrupt("expected hello handshake, got frame type 0x%02x", f.Type)
 	}
 	var info WorkerInfo
 	if err := json.Unmarshal(f.Payload, &info); err != nil {

@@ -3,13 +3,18 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
-	"strconv"
 
 	"ontario/internal/bridge"
 	"ontario/internal/catalog"
 	"ontario/internal/rdb"
 	"ontario/internal/rdf"
 )
+
+// PartitionScheme is the routing function recorded on every partitioned
+// source: rows route by the FNV-1a hash of the star's subject term. The
+// coordinator only pushes co-partitioned joins worker-side when every
+// worker reports this scheme.
+const PartitionScheme = "subject"
 
 // PartitionLake filters a freshly built public lake in place down to hash
 // partition part of of. Every worker builds the full lake
@@ -26,33 +31,45 @@ func PartitionLake(publicLake any, part, of int) error {
 }
 
 // PartitionCatalog filters the catalog's sources in place to hash
-// partition part of of. RDF graphs partition by subject-term hash;
-// relational sources partition base tables by the mapped subject column
-// and join side-tables by their FK back to the subject, so every
-// subject's whole star — the unit a single-star wrapper request touches —
-// lives on exactly one worker. Sources whose model cannot be partitioned
-// deterministically (custom and live remote backends) are rejected.
+// partition part of of, recording the partitioning key on each source.
+// Every model routes by the same function — the subject-term hash: RDF
+// graphs partition by the subject of each triple, relational base tables
+// by the subject IRI their subject column renders to, and join
+// side-tables by the subject IRI of their FK — so a subject's whole star
+// lives on exactly one worker and the same entity lands on the same
+// partition regardless of which model describes it (the property
+// co-partitioned join pushdown relies on). Sources whose model cannot be
+// partitioned deterministically (custom and live remote backends) are
+// rejected.
 func PartitionCatalog(cat *catalog.Catalog, part, of int) error {
 	if of < 1 || part < 0 || part >= of {
 		return fmt.Errorf("cluster: invalid partition %d/%d", part, of)
-	}
-	if of == 1 {
-		return nil
 	}
 	for _, id := range cat.SourceIDs() {
 		src := cat.Source(id)
 		switch src.Model {
 		case catalog.ModelRDF:
-			src.Graph = partitionGraph(src.Graph, part, of)
-		case catalog.ModelRelational:
-			db, err := partitionDB(src, part, of)
-			if err != nil {
-				return fmt.Errorf("cluster: source %s: %w", id, err)
+			if of > 1 {
+				src.Graph = partitionGraph(src.Graph, part, of)
 			}
-			src.DB = db
+		case catalog.ModelRelational:
+			if of > 1 {
+				db, err := partitionDB(src, part, of)
+				if err != nil {
+					return fmt.Errorf("cluster: source %s: %w", id, err)
+				}
+				src.DB = db
+			}
 		default:
+			if of == 1 {
+				// The degenerate single-worker pool holds every source
+				// whole; leave exotic models unmarked (no scheme, so no
+				// pushdown) instead of rejecting them.
+				continue
+			}
 			return fmt.Errorf("cluster: source %s (%s) cannot be hash-partitioned", id, src.Model)
 		}
+		src.Partition = &catalog.SourcePartition{Scheme: PartitionScheme, Part: part, Of: of}
 	}
 	return nil
 }
@@ -81,53 +98,42 @@ func partitionGraph(g *rdf.Graph, part, of int) *rdf.Graph {
 	return out
 }
 
-// valueHash hashes a relational value by its canonical lexical form, so a
-// base table's subject column and a side table's FK column route a
-// subject's rows identically regardless of column type details.
-func valueHash(v rdb.Value) uint64 {
-	h := fnv.New64a()
-	if v.Null {
-		h.Write([]byte("null"))
-		return h.Sum64()
-	}
-	switch v.Type {
-	case rdb.TypeString:
-		h.Write([]byte(v.Str))
-	case rdb.TypeFloat:
-		h.Write([]byte(strconv.FormatFloat(v.Float, 'g', -1, 64)))
-	case rdb.TypeBool:
-		h.Write([]byte(strconv.FormatBool(v.Bool)))
-	default:
-		h.Write([]byte(strconv.FormatInt(v.Int, 10)))
-	}
-	return h.Sum64()
+// partSpec is the routing rule of one relational table: the column whose
+// value renders through template into the subject IRI the row belongs to.
+type partSpec struct {
+	col      string
+	template string
 }
 
 // partitionDB rebuilds the source's database keeping only the rows of
-// this partition. The partition column of each table comes from the
-// source's class mappings: the subject column for base tables, the
-// join FK for side tables. A table reachable through two mappings with
-// different partition columns cannot be split consistently — that is an
-// error, not a silent wrong answer.
+// this partition. Rows route by the hash of the subject term they belong
+// to: the partition column of each table comes from the source's class
+// mappings — the subject column for base tables, the join FK for side
+// tables — and its value renders through the class's subject template
+// into the same IRI term the RDF model would hash. A table reachable
+// through two mappings with different partition rules cannot be split
+// consistently — that is an error, not a silent wrong answer.
 func partitionDB(src *catalog.Source, part, of int) (*rdb.Database, error) {
-	partCol := make(map[string]string)
-	assign := func(table, col string) error {
+	specs := make(map[string]partSpec)
+	assign := func(table, col, template string) error {
 		if table == "" || col == "" {
 			return nil
 		}
-		if prev, ok := partCol[table]; ok && prev != col {
-			return fmt.Errorf("table %s has conflicting partition columns %s and %s", table, prev, col)
+		spec := partSpec{col: col, template: template}
+		if prev, ok := specs[table]; ok && prev != spec {
+			return fmt.Errorf("table %s has conflicting partition rules (%s via %q and %s via %q)",
+				table, prev.col, prev.template, col, template)
 		}
-		partCol[table] = col
+		specs[table] = spec
 		return nil
 	}
 	for _, cm := range src.Mappings {
-		if err := assign(cm.Table, cm.SubjectColumn); err != nil {
+		if err := assign(cm.Table, cm.SubjectColumn, cm.SubjectTemplate); err != nil {
 			return nil, err
 		}
 		for _, pm := range cm.Properties {
 			if pm.IsJoin() {
-				if err := assign(pm.JoinTable, pm.JoinFK); err != nil {
+				if err := assign(pm.JoinTable, pm.JoinFK, cm.SubjectTemplate); err != nil {
 					return nil, err
 				}
 			}
@@ -141,12 +147,12 @@ func partitionDB(src *catalog.Source, part, of int) (*rdb.Database, error) {
 		if err != nil {
 			return nil, err
 		}
-		col, mapped := partCol[tn]
+		spec, mapped := specs[tn]
 		ci := -1
 		if mapped {
-			ci = t.Schema.ColumnIndex(col)
+			ci = t.Schema.ColumnIndex(spec.col)
 			if ci < 0 {
-				return nil, fmt.Errorf("table %s partition column %s not found", tn, col)
+				return nil, fmt.Errorf("table %s partition column %s not found", tn, spec.col)
 			}
 		}
 		for id := 0; id < t.RowCount(); id++ {
@@ -154,8 +160,11 @@ func partitionDB(src *catalog.Source, part, of int) (*rdb.Database, error) {
 			// Unmapped tables are unreachable through the molecule
 			// templates; keep them whole on every worker so any future
 			// mapping still sees complete data.
-			if mapped && valueHash(row[ci])%uint64(of) != uint64(part) {
-				continue
+			if mapped {
+				subject := rdf.NewIRI(catalog.RenderTemplate(spec.template, row[ci].String()))
+				if subjectHash(subject)%uint64(of) != uint64(part) {
+					continue
+				}
 			}
 			if err := nt.Insert(row); err != nil {
 				return nil, err

@@ -10,13 +10,15 @@ import (
 	"ontario/internal/wrapper"
 )
 
-// taskHeader opens every task connection (the JSON payload of the first
-// frame). Exactly one of Scan/Join is set for those kinds; a hello task
-// carries neither and the worker replies with a WorkerInfo frame.
+// taskHeader opens every task stream (the JSON payload of the stream's
+// first frame). Exactly one of Scan/Join/Frag is set for those kinds; a
+// hello task carries none and the worker replies with a WorkerInfo frame
+// on the same stream.
 type taskHeader struct {
-	Kind string    `json:"kind"` // "scan", "join" or "hello"
+	Kind string    `json:"kind"` // "scan", "join", "frag" or "hello"
 	Scan *scanTask `json:"scan,omitempty"`
 	Join *joinTask `json:"join,omitempty"`
+	Frag *fragTask `json:"frag,omitempty"`
 }
 
 // scanTask asks a worker to execute one wrapper request against its
@@ -37,6 +39,83 @@ type joinTask struct {
 	Right    []string `json:"right"`
 	Out      []string `json:"out"`
 	Env      wireEnv  `json:"env"`
+}
+
+// fragTask asks a worker to run a whole serializable plan subtree — a
+// co-partitioned join pushdown — against its partition, streaming only
+// the local join results back as SideOut: zero shuffled batches.
+type fragTask struct {
+	Root *wireFrag `json:"root"`
+	Out  []string  `json:"out"`
+	Env  wireEnv   `json:"env"`
+}
+
+// wireFrag is the closed serializable subset of the plan AST a
+// co-partitioned fragment can contain: single-star scans, symmetric-hash
+// joins, filters and unions. fragToWire proves membership; anything else
+// stays on the coordinator.
+type wireFrag struct {
+	Kind     string       `json:"kind"`             // "scan", "join", "filter", "union"
+	Vars     []string     `json:"vars"`             // the node's output schema
+	SourceID string       `json:"source,omitempty"` // scan
+	Req      *wireRequest `json:"req,omitempty"`    // scan
+	JoinVars []string     `json:"join_vars,omitempty"`
+	L        *wireFrag    `json:"l,omitempty"`        // join
+	R        *wireFrag    `json:"r,omitempty"`        // join
+	Filters  []*wireExpr  `json:"filters,omitempty"`  // filter
+	Children []*wireFrag  `json:"children,omitempty"` // union
+}
+
+// fragToWire serializes a plan subtree for worker-side execution,
+// erroring on any node kind the fragment protocol cannot carry.
+func fragToWire(n core.PlanNode) (*wireFrag, error) {
+	switch v := n.(type) {
+	case *core.ServiceNode:
+		req, err := requestToWire(v.Req)
+		if err != nil {
+			return nil, err
+		}
+		return &wireFrag{Kind: "scan", Vars: v.Vars(), SourceID: v.SourceID, Req: &req}, nil
+	case *core.JoinNode:
+		if v.Op != core.JoinSymmetricHash {
+			return nil, fmt.Errorf("cluster: fragment cannot carry join operator %v", v.Op)
+		}
+		l, err := fragToWire(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fragToWire(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &wireFrag{Kind: "join", Vars: v.Vars(), JoinVars: v.JoinVars, L: l, R: r}, nil
+	case *core.FilterNode:
+		ch, err := fragToWire(v.Child)
+		if err != nil {
+			return nil, err
+		}
+		var exprs []*wireExpr
+		for _, e := range v.Exprs {
+			w, err := exprToWire(e)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, w)
+		}
+		return &wireFrag{Kind: "filter", Vars: v.Vars(), Filters: exprs, Children: []*wireFrag{ch}}, nil
+	case *core.UnionNode:
+		out := &wireFrag{Kind: "union", Vars: v.Vars()}
+		for _, c := range v.Children {
+			ch, err := fragToWire(c)
+			if err != nil {
+				return nil, err
+			}
+			out.Children = append(out.Children, ch)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("cluster: plan node %T is not fragment-serializable", n)
+	}
 }
 
 // wireEnv ships the execution-shaping slice of core.Options plus the
@@ -321,18 +400,33 @@ func (w wireRequest) request() (*wrapper.Request, error) {
 	return out, nil
 }
 
-// WorkerInfo is a worker's hello/health reply: its partition identity and
-// shuffle counters, surfaced through the coordinator's /healthz and
-// /metrics.
+// WorkerInfo is a worker's hello/health reply: its session epoch,
+// partition identity and shuffle counters, surfaced through the
+// coordinator's /healthz and /metrics. The link handshake carries one
+// proactively on stream 0 of every accepted connection.
 type WorkerInfo struct {
-	Partition    int   `json:"partition"`
-	Of           int   `json:"of"`
-	Active       int64 `json:"active_fragments"`
-	Queued       int64 `json:"queued_fragments"`
-	BatchesIn    int64 `json:"batches_in"`
-	BatchesOut   int64 `json:"batches_out"`
-	BytesIn      int64 `json:"bytes_in"`
-	BytesOut     int64 `json:"bytes_out"`
+	// Epoch identifies the worker process session: it changes on every
+	// restart, so a coordinator can tell a reconnect to the same session
+	// from one to a reborn worker whose remap state is gone.
+	Epoch     int64 `json:"epoch"`
+	Partition int   `json:"partition"`
+	Of        int   `json:"of"`
+	// Scheme is the partitioning function recorded on every source of the
+	// worker's catalog ("subject"), or empty when the catalog is not
+	// uniformly partitioned; the coordinator only pushes co-partitioned
+	// joins when all workers agree on it.
+	Scheme          string `json:"scheme,omitempty"`
+	Active          int64  `json:"active_fragments"`
+	Queued          int64  `json:"queued_fragments"`
+	BatchesIn       int64  `json:"batches_in"`
+	BatchesOut      int64  `json:"batches_out"`
+	BytesIn         int64  `json:"bytes_in"`
+	BytesOut        int64  `json:"bytes_out"`
+	ShuffledBatches int64  `json:"shuffled_batches"`
+	ShuffledBytes   int64  `json:"shuffled_bytes"`
+	DictDeltaBytes  int64  `json:"dict_delta_bytes"`
+	// RemapEntries sums the live links' current remap-table sizes (per
+	// persistent link, not cumulative across finished tasks).
 	RemapEntries int64 `json:"remap_entries"`
 	Terms        int   `json:"terms"`
 }

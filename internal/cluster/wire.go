@@ -1,14 +1,16 @@
 // Package cluster distributes query execution across ontario-server
 // processes. A coordinator parses, optimizes and caches plans exactly as
-// a single node does, then executes leaf services and symmetric-hash
-// joins against a pool of workers, each owning one hash-partition of the
-// lake. Intermediate results cross processes as binary columnar batches:
-// varint-framed dict.ID columns plus presence bitmaps, with a
-// per-connection dictionary-delta sideband so a receiver remaps the
-// sender's per-lake IDs without full terms shipping on every row. The
-// package also provides a router mode that spreads clients over N
-// coordinator replicas with plan-cache affinity and a shared admission
-// budget.
+// a single node does, then executes leaf services, symmetric-hash joins
+// and co-partitioned plan fragments against a pool of workers, each
+// owning one hash-partition of the lake. Every coordinator keeps one
+// persistent multiplexed connection per worker: frames carry a stream ID
+// so concurrent tasks interleave on the link, and the dictionary-delta
+// remap state is link-lifetime — each term's lexical form crosses a link
+// once ever, after which only integer IDs flow. Intermediate results
+// cross as binary columnar batches: varint-framed dict.ID columns plus
+// presence bitmaps. The package also provides a router mode that spreads
+// clients over N coordinator replicas with plan-cache affinity and a
+// shared admission budget.
 package cluster
 
 import (
@@ -25,19 +27,22 @@ import (
 	"ontario/internal/rdf"
 )
 
-// Frame types of the shuffle wire protocol. Every frame on a task
-// connection is a type byte, a uvarint payload length, and the payload.
+// Frame types of the shuffle wire protocol. Every frame on a link is a
+// type byte, a uvarint stream ID, a uvarint payload length, and the
+// payload. Stream 0 is the link-control stream (the hello handshake);
+// task streams are client-allocated and never reused.
 const (
-	frameTask  = 0x01 // JSON task header; the first frame of a connection
-	frameBatch = 0x02 // columnar batch: side byte + dict deltas + columns
-	frameDone  = 0x03 // one side byte: no more batches for that side
-	frameError = 0x04 // UTF-8 error message; aborts the task
-	frameHello = 0x05 // JSON worker status reply (health probe)
+	frameTask   = 0x01 // JSON task header; opens a stream
+	frameBatch  = 0x02 // columnar batch: side byte + dict deltas + columns
+	frameDone   = 0x03 // one side byte: no more batches for that side
+	frameError  = 0x04 // UTF-8 error message; aborts the stream
+	frameHello  = 0x05 // JSON worker status (link handshake + probe reply)
+	frameCancel = 0x06 // empty payload: abort the stream's task
 )
 
-// Stream sides within a task. A scan task only carries SideOut (worker to
-// coordinator); a join task's inputs arrive as SideLeft/SideRight and its
-// results leave as SideOut.
+// Stream sides within a task. A scan or fragment task only carries
+// SideOut (worker to coordinator); a join task's inputs arrive as
+// SideLeft/SideRight and its results leave as SideOut.
 const (
 	SideOut   byte = 0
 	SideLeft  byte = 1
@@ -63,23 +68,50 @@ func corrupt(format string, args ...any) error {
 	return errCorrupt{msg: fmt.Sprintf(format, args...)}
 }
 
-// Encoder writes frames to one end of a task connection. Terms cross the
-// wire once per connection: the first batch carrying a dictionary ID
-// prepends a (senderID, term) delta record, and every later occurrence
-// ships as the bare varint ID, resolved by the receiver's remap table.
-// An Encoder is safe for concurrent use — shuffle partitioners for the
-// left and right side of a join share the connection.
+// wireBufPool recycles codec scratch buffers across links and frames, so
+// steady-state encode/decode of the shuffle hot path stays allocation-
+// flat no matter how many links come and go. The pool holds *[]byte (not
+// []byte) so Get/Put themselves do not allocate.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+func getWireBuf(n int) *[]byte {
+	bp := wireBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putWireBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	wireBufPool.Put(bp)
+}
+
+// Encoder writes frames to one end of a link. Terms cross the wire once
+// per link: the first batch carrying a dictionary ID prepends a
+// (senderID, term) delta record, and every later occurrence — on any
+// stream of the link, for the link's whole lifetime — ships as the bare
+// varint ID, resolved by the receiver's remap table. An Encoder is safe
+// for concurrent use: all streams multiplexed on the link share it.
 type Encoder struct {
 	mu    sync.Mutex
 	w     *bufio.Writer
 	d     *dict.Dict
 	sent  map[dict.ID]struct{}
-	buf   []byte
 	fresh []dict.ID
 	tmp   [binary.MaxVarintLen64]byte
 
-	batches atomic.Int64
-	bytes   atomic.Int64
+	batches     atomic.Int64
+	bytes       atomic.Int64
+	shufBatches atomic.Int64
+	shufBytes   atomic.Int64
+	deltaBytes  atomic.Int64
 }
 
 // NewEncoder returns an encoder over w resolving IDs through d.
@@ -97,7 +129,18 @@ func (e *Encoder) Batches() int64 { return e.batches.Load() }
 // Bytes returns the total bytes written, framing included.
 func (e *Encoder) Bytes() int64 { return e.bytes.Load() }
 
-// SentTerms returns the size of the connection's shipped-term set (the
+// ShuffledBatches returns the batch frames written for a join-input side
+// (SideLeft/SideRight) — true shuffle traffic, as opposed to results.
+func (e *Encoder) ShuffledBatches() int64 { return e.shufBatches.Load() }
+
+// ShuffledBytes returns the bytes written in join-input batch frames.
+func (e *Encoder) ShuffledBytes() int64 { return e.shufBytes.Load() }
+
+// DeltaBytes returns the bytes spent on dictionary-delta records (term
+// lexical forms); amortized to ~once per term per link lifetime.
+func (e *Encoder) DeltaBytes() int64 { return e.deltaBytes.Load() }
+
+// SentTerms returns the size of the link's shipped-term set (the
 // receiver's remap table mirrors it).
 func (e *Encoder) SentTerms() int {
 	e.mu.Lock()
@@ -105,45 +148,53 @@ func (e *Encoder) SentTerms() int {
 	return len(e.sent)
 }
 
-func (e *Encoder) putUvarint(v uint64) {
-	n := binary.PutUvarint(e.tmp[:], v)
-	e.buf = append(e.buf, e.tmp[:n]...)
+func putUvarint(buf []byte, tmp *[binary.MaxVarintLen64]byte, v uint64) []byte {
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
 }
 
-func (e *Encoder) putString(s string) {
-	e.putUvarint(uint64(len(s)))
-	e.buf = append(e.buf, s...)
+func putString(buf []byte, tmp *[binary.MaxVarintLen64]byte, s string) []byte {
+	buf = putUvarint(buf, tmp, uint64(len(s)))
+	return append(buf, s...)
 }
 
 // writeFrameLocked frames and flushes one payload; callers hold e.mu.
-func (e *Encoder) writeFrameLocked(typ byte, payload []byte) error {
+func (e *Encoder) writeFrameLocked(typ byte, stream uint64, payload []byte) error {
 	if err := e.w.WriteByte(typ); err != nil {
 		return err
 	}
-	n := binary.PutUvarint(e.tmp[:], uint64(len(payload)))
+	n := binary.PutUvarint(e.tmp[:], stream)
+	if _, err := e.w.Write(e.tmp[:n]); err != nil {
+		return err
+	}
+	total := 1 + n
+	n = binary.PutUvarint(e.tmp[:], uint64(len(payload)))
 	if _, err := e.w.Write(e.tmp[:n]); err != nil {
 		return err
 	}
 	if _, err := e.w.Write(payload); err != nil {
 		return err
 	}
-	e.bytes.Add(int64(1 + n + len(payload)))
+	e.bytes.Add(int64(total + n + len(payload)))
 	// Flush per frame: the receiver streams batches into a running join,
 	// so latency matters more than syscall count (the bufio layer still
 	// coalesces the header writes above).
 	return e.w.Flush()
 }
 
-// Batch writes b as a batch frame for the given side. The batch's
-// presence bitmaps are re-derived from the ID columns (Unbound == absent)
-// so the wire image is self-consistent by construction.
-func (e *Encoder) Batch(side byte, b *engine.ColBatch) error {
+// Batch writes b as a batch frame for the given stream and side. The
+// batch's presence bitmaps are re-derived from the ID columns
+// (Unbound == absent) so the wire image is self-consistent by
+// construction.
+func (e *Encoder) Batch(stream uint64, side byte, b *engine.ColBatch) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, side)
+	bp := getWireBuf(0)
+	defer putWireBuf(bp)
+	buf := *bp
+	buf = append(buf, side)
 
-	// Dictionary-delta sideband: IDs this connection has not shipped yet.
+	// Dictionary-delta sideband: IDs this link has not shipped yet.
 	fresh := e.fresh[:0]
 	for _, col := range b.Cols {
 		for r := 0; r < b.Len; r++ {
@@ -158,18 +209,20 @@ func (e *Encoder) Batch(side byte, b *engine.ColBatch) error {
 		}
 	}
 	e.fresh = fresh[:0]
-	e.putUvarint(uint64(len(fresh)))
+	deltaStart := len(buf)
+	buf = putUvarint(buf, &e.tmp, uint64(len(fresh)))
 	for _, id := range fresh {
 		t := e.d.MustLookup(id)
-		e.putUvarint(uint64(id))
-		e.buf = append(e.buf, byte(t.Kind))
-		e.putString(t.Value)
-		e.putString(t.Datatype)
-		e.putString(t.Lang)
+		buf = putUvarint(buf, &e.tmp, uint64(id))
+		buf = append(buf, byte(t.Kind))
+		buf = putString(buf, &e.tmp, t.Value)
+		buf = putString(buf, &e.tmp, t.Datatype)
+		buf = putString(buf, &e.tmp, t.Lang)
 	}
+	e.deltaBytes.Add(int64(len(buf) - deltaStart))
 
-	e.putUvarint(uint64(b.Len))
-	e.putUvarint(uint64(len(b.Cols)))
+	buf = putUvarint(buf, &e.tmp, uint64(b.Len))
+	buf = putUvarint(buf, &e.tmp, uint64(len(b.Cols)))
 	for _, col := range b.Cols {
 		var bb byte
 		for r := 0; r < b.Len; r++ {
@@ -177,78 +230,108 @@ func (e *Encoder) Batch(side byte, b *engine.ColBatch) error {
 				bb |= 1 << (uint(r) & 7)
 			}
 			if r&7 == 7 {
-				e.buf = append(e.buf, bb)
+				buf = append(buf, bb)
 				bb = 0
 			}
 		}
 		if b.Len&7 != 0 {
-			e.buf = append(e.buf, bb)
+			buf = append(buf, bb)
 		}
 		for r := 0; r < b.Len; r++ {
 			if id := col[r]; id != dict.Unbound {
-				e.putUvarint(uint64(id))
+				buf = putUvarint(buf, &e.tmp, uint64(id))
 			}
 		}
 	}
-	if err := e.writeFrameLocked(frameBatch, e.buf); err != nil {
+	*bp = buf
+	if err := e.writeFrameLocked(frameBatch, stream, buf); err != nil {
 		return err
 	}
 	e.batches.Add(1)
+	if side != SideOut {
+		e.shufBatches.Add(1)
+		e.shufBytes.Add(int64(len(buf)))
+	}
 	return nil
 }
 
-// Done signals end-of-stream for one side.
-func (e *Encoder) Done(side byte) error {
+// Done signals end-of-stream for one side of a stream's task.
+func (e *Encoder) Done(stream uint64, side byte) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.writeFrameLocked(frameDone, []byte{side})
+	return e.writeFrameLocked(frameDone, stream, []byte{side})
 }
 
-// Error aborts the task with a message for the peer.
-func (e *Encoder) Error(msg string) error {
+// Error aborts the stream's task with a message for the peer.
+func (e *Encoder) Error(stream uint64, msg string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.writeFrameLocked(frameError, []byte(msg))
+	return e.writeFrameLocked(frameError, stream, []byte(msg))
 }
 
-// Task writes the JSON task header opening a connection.
-func (e *Encoder) Task(h *taskHeader) error { return e.jsonFrame(frameTask, h) }
+// Cancel asks the peer to abort the stream's task.
+func (e *Encoder) Cancel(stream uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeFrameLocked(frameCancel, stream, nil)
+}
 
-// Hello writes a worker-status reply.
-func (e *Encoder) Hello(info *WorkerInfo) error { return e.jsonFrame(frameHello, info) }
+// Task writes the JSON task header opening a stream.
+func (e *Encoder) Task(stream uint64, h *taskHeader) error {
+	return e.jsonFrame(frameTask, stream, h)
+}
 
-func (e *Encoder) jsonFrame(typ byte, v any) error {
+// Hello writes a worker-status frame (the link handshake on stream 0, or
+// a probe reply on the probe's stream).
+func (e *Encoder) Hello(stream uint64, info *WorkerInfo) error {
+	return e.jsonFrame(frameHello, stream, info)
+}
+
+func (e *Encoder) jsonFrame(typ byte, stream uint64, v any) error {
 	p, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.writeFrameLocked(typ, p)
+	return e.writeFrameLocked(typ, stream, p)
 }
 
 // Frame is one decoded wire frame. Payload (for task/hello/error frames)
-// is only valid until the next call to Next.
+// is only valid until the next call to Next. A batch frame for a stream
+// the schema lookup does not recognize decodes with a nil Batch: its
+// dictionary deltas are interned (they are link state, not stream state)
+// and the rows are dropped.
 type Frame struct {
 	Type    byte
+	Stream  uint64
 	Side    byte
 	Batch   *engine.ColBatch
 	Payload []byte
 }
 
-// Decoder reads frames from a task connection, interning dictionary
-// deltas into the local dictionary and remapping the sender's IDs into
-// local ones as batches decode.
-type Decoder struct {
-	r       *bufio.Reader
-	d       *dict.Dict
-	remap   map[uint64]dict.ID
-	schemas [3]*engine.Schema
-	buf     []byte
+// SchemaLookup resolves the column layout of a stream side's batches;
+// returning nil drops the batch (after its deltas intern).
+type SchemaLookup func(stream uint64, side byte) *engine.Schema
 
-	batches atomic.Int64
-	bytes   atomic.Int64
-	remapN  atomic.Int64
+// Decoder reads frames from a link, interning dictionary deltas into the
+// local dictionary and remapping the sender's IDs into local ones as
+// batches decode. The remap table is link-lifetime: it grows across
+// every task multiplexed on the link and resets only when the link
+// re-dials.
+type Decoder struct {
+	r      *bufio.Reader
+	d      *dict.Dict
+	remap  map[uint64]dict.ID
+	lookup SchemaLookup
+	buf    []byte
+
+	batches     atomic.Int64
+	bytes       atomic.Int64
+	shufBatches atomic.Int64
+	shufBytes   atomic.Int64
+	deltaBytes  atomic.Int64
+	remapN      atomic.Int64
 }
 
 // NewDecoder returns a decoder reading from r, interning terms into d.
@@ -260,9 +343,8 @@ func NewDecoder(r io.Reader, d *dict.Dict) *Decoder {
 	}
 }
 
-// SetSchema declares the column layout of one side's batches; decoding a
-// batch for a side with no schema is a protocol error.
-func (dec *Decoder) SetSchema(side byte, s *engine.Schema) { dec.schemas[side] = s }
+// SetLookup installs the schema resolver consulted for every batch frame.
+func (dec *Decoder) SetLookup(l SchemaLookup) { dec.lookup = l }
 
 // Batches returns the number of batch frames decoded.
 func (dec *Decoder) Batches() int64 { return dec.batches.Load() }
@@ -270,7 +352,19 @@ func (dec *Decoder) Batches() int64 { return dec.batches.Load() }
 // Bytes returns the total payload bytes read.
 func (dec *Decoder) Bytes() int64 { return dec.bytes.Load() }
 
-// RemapEntries returns the size of the sender-ID remap table.
+// ShuffledBatches returns the join-input (SideLeft/SideRight) batch
+// frames decoded.
+func (dec *Decoder) ShuffledBatches() int64 { return dec.shufBatches.Load() }
+
+// ShuffledBytes returns the bytes read in join-input batch frames.
+func (dec *Decoder) ShuffledBytes() int64 { return dec.shufBytes.Load() }
+
+// DeltaBytes returns the bytes read as dictionary-delta records.
+func (dec *Decoder) DeltaBytes() int64 { return dec.deltaBytes.Load() }
+
+// RemapEntries returns the current size of the link's sender-ID remap
+// table (entries are never removed, so this is also the count of terms
+// that crossed the link).
 func (dec *Decoder) RemapEntries() int64 { return dec.remapN.Load() }
 
 // Next reads one frame. It returns io.EOF at a clean end of stream and an
@@ -280,6 +374,10 @@ func (dec *Decoder) Next() (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
+	stream, err := binary.ReadUvarint(dec.r)
+	if err != nil {
+		return Frame{}, corrupt("bad stream ID: %v", err)
+	}
 	n, err := binary.ReadUvarint(dec.r)
 	if err != nil {
 		return Frame{}, corrupt("bad frame length: %v", err)
@@ -287,29 +385,49 @@ func (dec *Decoder) Next() (Frame, error) {
 	if n > maxFramePayload {
 		return Frame{}, corrupt("frame payload %d exceeds %d", n, maxFramePayload)
 	}
-	if uint64(cap(dec.buf)) < n {
-		dec.buf = make([]byte, n)
-	}
-	dec.buf = dec.buf[:n]
-	if _, err := io.ReadFull(dec.r, dec.buf); err != nil {
-		return Frame{}, corrupt("truncated frame: %v", err)
-	}
-	dec.bytes.Add(int64(n) + 1)
 	switch typ {
 	case frameBatch:
-		side, b, err := dec.decodeBatch(dec.buf)
+		// The hot path reads into a pooled buffer released before return;
+		// the decoded batch owns its own memory.
+		bp := getWireBuf(int(n))
+		defer putWireBuf(bp)
+		if _, err := io.ReadFull(dec.r, *bp); err != nil {
+			return Frame{}, corrupt("truncated frame: %v", err)
+		}
+		dec.bytes.Add(int64(n) + 1)
+		side, b, err := dec.decodeBatch(stream, *bp)
 		if err != nil {
 			return Frame{}, err
 		}
 		dec.batches.Add(1)
-		return Frame{Type: typ, Side: side, Batch: b}, nil
+		if side != SideOut {
+			dec.shufBatches.Add(1)
+			dec.shufBytes.Add(int64(n))
+		}
+		return Frame{Type: typ, Stream: stream, Side: side, Batch: b}, nil
 	case frameDone:
+		if uint64(cap(dec.buf)) < n {
+			dec.buf = make([]byte, n)
+		}
+		dec.buf = dec.buf[:n]
+		if _, err := io.ReadFull(dec.r, dec.buf); err != nil {
+			return Frame{}, corrupt("truncated frame: %v", err)
+		}
+		dec.bytes.Add(int64(n) + 1)
 		if len(dec.buf) != 1 || dec.buf[0] > SideRight {
 			return Frame{}, corrupt("bad done frame")
 		}
-		return Frame{Type: typ, Side: dec.buf[0]}, nil
-	case frameTask, frameError, frameHello:
-		return Frame{Type: typ, Payload: dec.buf}, nil
+		return Frame{Type: typ, Stream: stream, Side: dec.buf[0]}, nil
+	case frameTask, frameError, frameHello, frameCancel:
+		if uint64(cap(dec.buf)) < n {
+			dec.buf = make([]byte, n)
+		}
+		dec.buf = dec.buf[:n]
+		if _, err := io.ReadFull(dec.r, dec.buf); err != nil {
+			return Frame{}, corrupt("truncated frame: %v", err)
+		}
+		dec.bytes.Add(int64(n) + 1)
+		return Frame{Type: typ, Stream: stream, Payload: dec.buf}, nil
 	default:
 		return Frame{}, corrupt("unknown frame type 0x%02x", typ)
 	}
@@ -380,7 +498,7 @@ func (c *cursor) str() string {
 	return string(c.bytes(int(n)))
 }
 
-func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
+func (dec *Decoder) decodeBatch(stream uint64, p []byte) (byte, *engine.ColBatch, error) {
 	c := &cursor{p: p}
 	side := c.byte()
 	if side > SideRight {
@@ -391,6 +509,7 @@ func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
 	if ndelta > uint64(len(p)) { // each delta record is several bytes
 		return 0, nil, corrupt("delta count %d exceeds payload", ndelta)
 	}
+	deltaStart := c.off
 	for i := uint64(0); i < ndelta && c.err == nil; i++ {
 		senderID := c.uvarint()
 		kind := c.byte()
@@ -414,6 +533,21 @@ func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
 		})
 		dec.remapN.Add(1)
 	}
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	dec.deltaBytes.Add(int64(c.off - deltaStart))
+
+	var schema *engine.Schema
+	if dec.lookup != nil {
+		schema = dec.lookup(stream, side)
+	}
+	if schema == nil {
+		// Stream closed or never opened: the deltas above are link state
+		// and had to intern, but the rows belong to nobody — drop them
+		// without validating the remainder.
+		return side, nil, nil
+	}
 
 	rows := c.uvarint()
 	cols := c.uvarint()
@@ -425,10 +559,6 @@ func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
 	}
 	if cols > maxWireCols {
 		return 0, nil, corrupt("column count %d exceeds %d", cols, maxWireCols)
-	}
-	schema := dec.schemas[side]
-	if schema == nil {
-		return 0, nil, corrupt("batch for side %d with no schema", side)
 	}
 	if int(cols) != len(schema.Vars) {
 		return 0, nil, corrupt("batch has %d columns, schema %d", cols, len(schema.Vars))
@@ -474,4 +604,71 @@ func (dec *Decoder) decodeBatch(p []byte) (byte, *engine.ColBatch, error) {
 		return 0, nil, corrupt("%d trailing bytes after batch", len(p)-c.off)
 	}
 	return side, b, nil
+}
+
+// frameQ is an unbounded FIFO handing decoded frames from a link's demux
+// loop to the stream's consumer. It is unbounded by design: the demux
+// loop must never block on one slow stream (that would stall every other
+// stream multiplexed on the link), so memory for a backlogged stream
+// grows until its consumer drains or abandons it. Closing the queue
+// makes later pushes silent drops — an abandoned stream can never wedge
+// the link.
+type frameQ struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []Frame
+	head   int
+	err    error
+	closed bool
+}
+
+func newFrameQ() *frameQ {
+	q := &frameQ{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a frame; frames pushed after close are dropped.
+func (q *frameQ) push(f Frame) {
+	q.mu.Lock()
+	if !q.closed {
+		q.frames = append(q.frames, f)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// close ends the queue with err (nil for a clean end); idempotent, first
+// error wins.
+func (q *frameQ) close(err error) {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.err = err
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// pop blocks for the next frame; ok is false once the queue is closed and
+// drained, with the close error in err.
+func (q *frameQ) pop() (f Frame, err error, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.head < len(q.frames) {
+			f = q.frames[q.head]
+			q.frames[q.head] = Frame{}
+			q.head++
+			if q.head == len(q.frames) {
+				q.frames = q.frames[:0]
+				q.head = 0
+			}
+			return f, nil, true
+		}
+		if q.closed {
+			return Frame{}, q.err, false
+		}
+		q.cond.Wait()
+	}
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -51,13 +52,17 @@ func testRows() [][]*rdf.Term {
 	return rows
 }
 
+// sideLookup resolves batch schemas by side only, for tests exercising
+// the codec on a single stream.
+func sideLookup(schemas map[byte]*engine.Schema) SchemaLookup {
+	return func(stream uint64, side byte) *engine.Schema { return schemas[side] }
+}
+
 // decodeAll runs a decoder over an encoded stream until EOF or failure.
 func decodeAll(t *testing.T, raw []byte, d *dict.Dict, schemas map[byte]*engine.Schema) ([]Frame, error) {
 	t.Helper()
 	dec := NewDecoder(bytes.NewReader(raw), d)
-	for side, s := range schemas {
-		dec.SetSchema(side, s)
-	}
+	dec.SetLookup(sideLookup(schemas))
 	var frames []Frame
 	for {
 		f, err := dec.Next()
@@ -79,10 +84,10 @@ func TestWireBatchRoundTrip(t *testing.T) {
 
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf, sender)
-	if err := enc.Batch(SideOut, batch); err != nil {
+	if err := enc.Batch(7, SideOut, batch); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	if err := enc.Done(SideOut); err != nil {
+	if err := enc.Done(7, SideOut); err != nil {
 		t.Fatalf("done: %v", err)
 	}
 
@@ -99,6 +104,9 @@ func TestWireBatchRoundTrip(t *testing.T) {
 	}
 	if len(frames) != 2 || frames[0].Type != frameBatch || frames[1].Type != frameDone {
 		t.Fatalf("got %d frames, want batch+done", len(frames))
+	}
+	if frames[0].Stream != 7 || frames[1].Stream != 7 {
+		t.Fatalf("stream IDs %d/%d survived the wire wrong, want 7", frames[0].Stream, frames[1].Stream)
 	}
 	got := frames[0].Batch
 	if got.Len != len(rows) {
@@ -124,7 +132,10 @@ func TestWireBatchRoundTrip(t *testing.T) {
 	}
 }
 
-func TestWireDictionaryDeltaShipsOnce(t *testing.T) {
+// TestWireDictionaryDeltaShipsOncePerLink sends the same terms on two
+// different streams of one link: the delta must ship with the first
+// batch only — remap state is link-lifetime, not per-task.
+func TestWireDictionaryDeltaShipsOncePerLink(t *testing.T) {
 	sender := dict.New()
 	schema := engine.NewSchema([]string{"x"})
 	mk := func(vals ...string) *engine.ColBatch {
@@ -137,17 +148,24 @@ func TestWireDictionaryDeltaShipsOnce(t *testing.T) {
 
 	var buf bytes.Buffer
 	enc := NewEncoder(&buf, sender)
-	if err := enc.Batch(SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
+	if err := enc.Batch(1, SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
 		t.Fatal(err)
 	}
 	firstLen := buf.Len()
-	// Same terms again: no new delta records, so the second frame must be
-	// strictly smaller than the first.
-	if err := enc.Batch(SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
+	firstDelta := enc.DeltaBytes()
+	if firstDelta == 0 {
+		t.Fatal("first batch shipped no delta bytes")
+	}
+	// Same terms on a different stream: no new delta records, so the
+	// second frame must be strictly smaller than the first.
+	if err := enc.Batch(2, SideLeft, mk("http://ex/a", "http://ex/b")); err != nil {
 		t.Fatal(err)
 	}
 	if secondLen := buf.Len() - firstLen; secondLen >= firstLen {
 		t.Fatalf("second batch (%dB) did not shrink vs first (%dB): deltas re-shipped", secondLen, firstLen)
+	}
+	if d := enc.DeltaBytes() - firstDelta; d > 1 { // the empty-delta count byte is not delta payload
+		t.Fatalf("second batch shipped %d delta bytes, want ~0", d)
 	}
 	if enc.SentTerms() != 2 {
 		t.Fatalf("SentTerms = %d, want 2", enc.SentTerms())
@@ -171,6 +189,128 @@ func TestWireDictionaryDeltaShipsOnce(t *testing.T) {
 	}
 }
 
+// TestWireInterleavedStreams drives two tasks' frames through one link in
+// interleaved order: the decoder must route each batch to its stream's
+// schema and keep one shared remap table underneath.
+func TestWireInterleavedStreams(t *testing.T) {
+	sender := dict.New()
+	schemaA := engine.NewSchema([]string{"x"})
+	schemaB := engine.NewSchema([]string{"y", "z"})
+	shared := term(rdf.NewIRI("http://ex/shared"))
+	a1 := buildBatch(t, sender, schemaA, [][]*rdf.Term{{shared}})
+	b1 := buildBatch(t, sender, schemaB, [][]*rdf.Term{{shared, term(rdf.NewLiteral("v"))}})
+	a2 := buildBatch(t, sender, schemaA, [][]*rdf.Term{{term(rdf.NewIRI("http://ex/a2"))}})
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, sender)
+	for _, step := range []func() error{
+		func() error { return enc.Batch(1, SideOut, a1) },
+		func() error { return enc.Batch(2, SideOut, b1) },
+		func() error { return enc.Batch(1, SideOut, a2) },
+		func() error { return enc.Done(1, SideOut) },
+		func() error { return enc.Cancel(9) },
+		func() error { return enc.Done(2, SideOut) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	receiver := dict.New()
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()), receiver)
+	dec.SetLookup(func(stream uint64, side byte) *engine.Schema {
+		switch stream {
+		case 1:
+			return schemaA
+		case 2:
+			return schemaB
+		}
+		return nil
+	})
+	var frames []Frame
+	for {
+		f, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("got %d frames, want 6", len(frames))
+	}
+	wantStreams := []uint64{1, 2, 1, 1, 9, 2}
+	wantTypes := []byte{frameBatch, frameBatch, frameBatch, frameDone, frameCancel, frameDone}
+	for i, f := range frames {
+		if f.Stream != wantStreams[i] || f.Type != wantTypes[i] {
+			t.Fatalf("frame %d: stream %d type 0x%02x, want stream %d type 0x%02x",
+				i, f.Stream, f.Type, wantStreams[i], wantTypes[i])
+		}
+	}
+	if got := len(frames[0].Batch.Cols); got != 1 {
+		t.Fatalf("stream 1 batch decoded %d cols, want 1", got)
+	}
+	if got := len(frames[1].Batch.Cols); got != 2 {
+		t.Fatalf("stream 2 batch decoded %d cols, want 2", got)
+	}
+	// The shared term crossed the link once and resolves to one local ID
+	// from both streams.
+	if frames[0].Batch.Cols[0][0] != frames[1].Batch.Cols[0][0] {
+		t.Fatal("shared term remapped differently across streams")
+	}
+	if dec.RemapEntries() != 3 {
+		t.Fatalf("remap entries = %d, want 3 (shared, v, a2)", dec.RemapEntries())
+	}
+}
+
+// TestWireSchemalessStreamInternsDeltas covers the late-batch case: a
+// batch for a stream nobody recognizes is dropped, but its dictionary
+// deltas still intern — they are link state, and later streams' bare IDs
+// depend on them.
+func TestWireSchemalessStreamInternsDeltas(t *testing.T) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"x"})
+	b1 := buildBatch(t, sender, schema, [][]*rdf.Term{{term(rdf.NewIRI("http://ex/a"))}})
+	b2 := buildBatch(t, sender, schema, [][]*rdf.Term{{term(rdf.NewIRI("http://ex/a"))}})
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, sender)
+	if err := enc.Batch(1, SideOut, b1); err != nil { // stream 1: dropped
+		t.Fatal(err)
+	}
+	if err := enc.Batch(2, SideOut, b2); err != nil { // stream 2: bare ID only
+		t.Fatal(err)
+	}
+
+	receiver := dict.New()
+	dec := NewDecoder(bytes.NewReader(buf.Bytes()), receiver)
+	dec.SetLookup(func(stream uint64, side byte) *engine.Schema {
+		if stream == 2 {
+			return schema
+		}
+		return nil
+	})
+	f1, err := dec.Next()
+	if err != nil {
+		t.Fatalf("decode dropped batch: %v", err)
+	}
+	if f1.Batch != nil {
+		t.Fatal("schema-less stream produced a batch")
+	}
+	f2, err := dec.Next()
+	if err != nil {
+		t.Fatalf("decode second batch: %v", err)
+	}
+	if f2.Batch == nil {
+		t.Fatal("stream 2 batch dropped")
+	}
+	if got := receiver.MustLookup(f2.Batch.Cols[0][0]); got != rdf.NewIRI("http://ex/a") {
+		t.Fatalf("bare ID resolved to %+v: delta from dropped batch was not interned", got)
+	}
+}
+
 func TestWireRejectsCorruptInput(t *testing.T) {
 	sender := dict.New()
 	schema := engine.NewSchema([]string{"x", "y"})
@@ -179,7 +319,7 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 	})
 	var valid bytes.Buffer
 	enc := NewEncoder(&valid, sender)
-	if err := enc.Batch(SideOut, batch); err != nil {
+	if err := enc.Batch(1, SideOut, batch); err != nil {
 		t.Fatal(err)
 	}
 
@@ -199,7 +339,7 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 	})
 
 	t.Run("unknown frame type", func(t *testing.T) {
-		_, err := decodeAll(t, []byte{0x7f, 0x00}, dict.New(), nil)
+		_, err := decodeAll(t, []byte{0x7f, 0x00, 0x00}, dict.New(), nil)
 		if !isCorrupt(err) {
 			t.Fatalf("want corrupt-frame error, got %v", err)
 		}
@@ -207,19 +347,13 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 
 	t.Run("bad side", func(t *testing.T) {
 		raw := append([]byte(nil), valid.Bytes()...)
-		// Frame layout: type at 0, single-byte uvarint length at 1 (the
-		// payload is well under 128 bytes), side byte at 2.
-		raw[2] = 9
+		// Frame layout: type at 0, single-byte uvarint stream ID at 1,
+		// single-byte uvarint length at 2 (the payload is well under 128
+		// bytes), side byte at 3.
+		raw[3] = 9
 		_, err := decodeAll(t, raw, dict.New(), map[byte]*engine.Schema{SideOut: schema})
 		if err == nil {
 			t.Fatal("corrupted side byte decoded cleanly")
-		}
-	})
-
-	t.Run("missing schema", func(t *testing.T) {
-		_, err := decodeAll(t, valid.Bytes(), dict.New(), nil)
-		if !isCorrupt(err) {
-			t.Fatalf("want corrupt-frame error for schema-less side, got %v", err)
 		}
 	})
 
@@ -231,7 +365,7 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 		enc2 := NewEncoder(&buf2, sender)
 		enc2.sent[batch.Cols[0][0]] = struct{}{}
 		enc2.sent[batch.Cols[1][0]] = struct{}{}
-		if err := enc2.Batch(SideOut, batch); err != nil {
+		if err := enc2.Batch(1, SideOut, batch); err != nil {
 			t.Fatal(err)
 		}
 		_, err := decodeAll(t, buf2.Bytes(), dict.New(), map[byte]*engine.Schema{SideOut: schema})
@@ -244,8 +378,8 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 		raw := append([]byte(nil), valid.Bytes()...)
 		// Grow the declared payload length and append junk bytes. The
 		// frame here is small, so its length is a single-byte uvarint at
-		// offset 1.
-		raw[1] += 2
+		// offset 2 (after the type and stream bytes).
+		raw[2] += 2
 		raw = append(raw, 0xff, 0xff)
 		_, err := decodeAll(t, raw, dict.New(), map[byte]*engine.Schema{SideOut: schema})
 		if !isCorrupt(err) {
@@ -254,21 +388,95 @@ func TestWireRejectsCorruptInput(t *testing.T) {
 	})
 
 	t.Run("oversized row count", func(t *testing.T) {
+		var payload []byte
+		var tmp [binary.MaxVarintLen64]byte
+		payload = append(payload, SideOut)
+		payload = putUvarint(payload, &tmp, 0)               // no deltas
+		payload = putUvarint(payload, &tmp, uint64(1<<20)+1) // rows over the wire limit
+		payload = putUvarint(payload, &tmp, 2)               // cols
 		var buf bytes.Buffer
 		e := NewEncoder(&buf, sender)
-		e.buf = e.buf[:0]
-		e.buf = append(e.buf, SideOut)
-		e.putUvarint(0)                 // no deltas
-		e.putUvarint(uint64(1<<20) + 1) // rows over the wire limit
-		e.putUvarint(2)                 // cols
-		if err := e.writeFrameLocked(frameBatch, e.buf); err != nil {
+		e.mu.Lock()
+		err := e.writeFrameLocked(frameBatch, 1, payload)
+		e.mu.Unlock()
+		if err != nil {
 			t.Fatal(err)
 		}
-		_, err := decodeAll(t, buf.Bytes(), dict.New(), map[byte]*engine.Schema{SideOut: schema})
-		if !isCorrupt(err) {
-			t.Fatalf("want corrupt-frame error for oversized rows, got %v", err)
+		_, derr := decodeAll(t, buf.Bytes(), dict.New(), map[byte]*engine.Schema{SideOut: schema})
+		if !isCorrupt(derr) {
+			t.Fatalf("want corrupt-frame error for oversized rows, got %v", derr)
 		}
 	})
+}
+
+// TestWireEncodeSteadyStateAllocs guards the codec hot path: once a
+// term's delta has shipped, encoding further batches of known terms must
+// not allocate — scratch buffers come from the pool and the delta set
+// stays warm.
+func TestWireEncodeSteadyStateAllocs(t *testing.T) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"s", "name", "age"})
+	batch := buildBatch(t, sender, schema, testRows())
+	enc := NewEncoder(io.Discard, sender)
+	if err := enc.Batch(1, SideLeft, batch); err != nil { // warm-up ships deltas
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := enc.Batch(1, SideLeft, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state encode allocates %.1f objects per batch, want 0", avg)
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"s", "name", "age"})
+	batch := buildBatch(b, sender, schema, testRows())
+	enc := NewEncoder(io.Discard, sender)
+	if err := enc.Batch(1, SideLeft, batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Batch(1, SideLeft, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	sender := dict.New()
+	schema := engine.NewSchema([]string{"s", "name", "age"})
+	batch := buildBatch(b, sender, schema, testRows())
+	var warm, steady bytes.Buffer
+	enc := NewEncoder(io.MultiWriter(&warm, &steady), sender)
+	if err := enc.Batch(1, SideOut, batch); err != nil {
+		b.Fatal(err)
+	}
+	steady.Reset() // keep only post-delta frames in the steady buffer
+	if err := enc.Batch(1, SideOut, batch); err != nil {
+		b.Fatal(err)
+	}
+	receiver := dict.New()
+	dec := NewDecoder(bytes.NewReader(warm.Bytes()), receiver)
+	dec.SetLookup(sideLookup(map[byte]*engine.Schema{SideOut: schema}))
+	if _, err := dec.Next(); err != nil { // intern the deltas once
+		b.Fatal(err)
+	}
+	frame := steady.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bytes.NewReader(frame)
+		dec.r.Reset(r)
+		if _, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // FuzzDecode throws arbitrary bytes at the decoder: any input may be
@@ -283,36 +491,44 @@ func FuzzDecode(f *testing.F) {
 	})
 	var seed bytes.Buffer
 	enc := NewEncoder(&seed, sender)
-	if err := enc.Batch(SideLeft, batch); err != nil {
+	if err := enc.Batch(1, SideLeft, batch); err != nil {
 		f.Fatal(err)
 	}
-	if err := enc.Batch(SideRight, batch); err != nil {
+	if err := enc.Batch(2, SideRight, batch); err != nil {
 		f.Fatal(err)
 	}
-	if err := enc.Done(SideLeft); err != nil {
+	if err := enc.Done(1, SideLeft); err != nil {
 		f.Fatal(err)
 	}
-	if err := enc.Error("boom"); err != nil {
+	if err := enc.Cancel(3); err != nil {
+		f.Fatal(err)
+	}
+	if err := enc.Error(2, "boom"); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
-	f.Add([]byte{frameBatch, 0x01, 0x00})
-	f.Add([]byte{frameDone, 0x01, 0x03})
+	f.Add([]byte{frameBatch, 0x01, 0x01, 0x00})
+	f.Add([]byte{frameDone, 0x01, 0x01, 0x03})
+	f.Add([]byte{frameCancel, 0x09, 0x00})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		d := dict.New()
 		dec := NewDecoder(bytes.NewReader(raw), d)
-		dec.SetSchema(SideLeft, schema)
-		dec.SetSchema(SideRight, schema)
-		// SideOut deliberately has no schema: fuzzed batches for it must
-		// be rejected, not crash.
+		// Streams above 2 deliberately have no schema: fuzzed batches for
+		// them must drop or reject, not crash.
+		dec.SetLookup(func(stream uint64, side byte) *engine.Schema {
+			if stream == 1 || stream == 2 {
+				return schema
+			}
+			return nil
+		})
 		for i := 0; i < 1000; i++ {
 			frame, err := dec.Next()
 			if err != nil {
 				return
 			}
-			if frame.Type == frameBatch {
+			if frame.Type == frameBatch && frame.Batch != nil {
 				b := frame.Batch
 				if b.Len < 0 || b.Len > maxWireRows || len(b.Cols) != len(schema.Vars) {
 					t.Fatalf("decoded batch out of bounds: len=%d cols=%d", b.Len, len(b.Cols))

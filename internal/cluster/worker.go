@@ -9,11 +9,13 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ontario/internal/bridge"
 	"ontario/internal/core"
 	"ontario/internal/dict"
 	"ontario/internal/engine"
+	"ontario/internal/sparql"
 )
 
 // WorkerConfig configures a cluster worker.
@@ -28,34 +30,46 @@ type WorkerConfig struct {
 	Logger *log.Logger
 }
 
+// epochSeq de-collides session epochs minted in the same nanosecond
+// (in-process test pools start several workers at once).
+var epochSeq atomic.Int64
+
 // Worker executes plan fragments against one partition of the lake: scan
 // tasks run a wrapper request through the partitioned catalog, join tasks
-// symmetric-hash-join the batches the coordinator shuffles in. One TCP
-// connection carries exactly one task.
+// symmetric-hash-join the batches the coordinator shuffles in, and frag
+// tasks run a whole co-partitioned plan subtree locally. One TCP
+// connection carries many concurrent task streams; the worker greets
+// every accepted connection with a hello on stream 0 carrying its
+// session epoch, so a coordinator can tell reconnects from restarts.
 type Worker struct {
 	exec   *core.Executor
 	d      *dict.Dict
 	part   int
 	of     int
+	epoch  int64
+	scheme string
 	sem    chan struct{}
 	logger *log.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	lis net.Listener
-	wg  sync.WaitGroup
+	lis    net.Listener
+	wg     sync.WaitGroup // connection handlers
+	taskWG sync.WaitGroup // in-flight task streams
 
 	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	conns map[*workerConn]struct{}
 
-	active     atomic.Int64
-	queued     atomic.Int64
-	batchesIn  atomic.Int64
-	batchesOut atomic.Int64
-	bytesIn    atomic.Int64
-	bytesOut   atomic.Int64
-	remapN     atomic.Int64
+	active atomic.Int64
+	queued atomic.Int64
+
+	// Counters folded in from connections that have since closed; Info
+	// adds the live connections' codecs on top.
+	fBatchesIn, fBatchesOut  atomic.Int64
+	fBytesIn, fBytesOut      atomic.Int64
+	fShufBatches, fShufBytes atomic.Int64
+	fDeltaBytes              atomic.Int64
 }
 
 // NewWorker returns a worker executing against the (already partitioned)
@@ -68,6 +82,20 @@ func NewWorker(publicLake any, cfg WorkerConfig) (*Worker, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 16
 	}
+	// The advertised scheme requires every source to record the same
+	// partition identity this worker claims; a mixed or unpartitioned
+	// catalog advertises none, which vetoes co-partitioned pushdown.
+	scheme := ""
+	if ids := cat.SourceIDs(); len(ids) > 0 {
+		scheme = PartitionScheme
+		for _, id := range ids {
+			p := cat.Source(id).Partition
+			if p == nil || p.Scheme != PartitionScheme || p.Part != cfg.Partition || p.Of != cfg.Of {
+				scheme = ""
+				break
+			}
+		}
+	}
 	exec := core.NewExecutor(cat)
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Worker{
@@ -75,15 +103,20 @@ func NewWorker(publicLake any, cfg WorkerConfig) (*Worker, error) {
 		d:      exec.Dict(),
 		part:   cfg.Partition,
 		of:     cfg.Of,
+		epoch:  time.Now().UnixNano() + epochSeq.Add(1),
+		scheme: scheme,
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 		logger: cfg.Logger,
 		ctx:    ctx,
 		cancel: cancel,
-		conns:  make(map[net.Conn]struct{}),
+		conns:  make(map[*workerConn]struct{}),
 	}, nil
 }
 
-// Serve accepts task connections on lis until Shutdown closes it.
+// Epoch returns the worker's session epoch.
+func (w *Worker) Epoch() int64 { return w.epoch }
+
+// Serve accepts coordinator links on lis until Shutdown closes it.
 func (w *Worker) Serve(lis net.Listener) error {
 	w.mu.Lock()
 	w.lis = lis
@@ -96,9 +129,6 @@ func (w *Worker) Serve(lis net.Listener) error {
 			}
 			return err
 		}
-		w.mu.Lock()
-		w.conns[conn] = struct{}{}
-		w.mu.Unlock()
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
@@ -107,9 +137,9 @@ func (w *Worker) Serve(lis net.Listener) error {
 	}
 }
 
-// Shutdown drains the worker: it stops accepting tasks, waits for
-// in-flight fragments to finish until ctx expires, then cancels them and
-// force-closes their connections.
+// Shutdown drains the worker: it stops accepting links, cancels in-flight
+// fragments, waits for them to unwind until ctx expires, then force-
+// closes the persistent connections (which never close on their own).
 func (w *Worker) Shutdown(ctx context.Context) error {
 	w.cancel()
 	w.mu.Lock()
@@ -117,39 +147,59 @@ func (w *Worker) Shutdown(ctx context.Context) error {
 		w.lis.Close()
 	}
 	w.mu.Unlock()
-	done := make(chan struct{})
+	drained := make(chan struct{})
 	go func() {
-		w.wg.Wait()
-		close(done)
+		w.taskWG.Wait()
+		close(drained)
 	}()
+	var expired error
 	select {
-	case <-done:
-		return nil
+	case <-drained:
 	case <-ctx.Done():
+		expired = ctx.Err()
 	}
 	w.mu.Lock()
-	for c := range w.conns {
-		c.Close()
+	for wc := range w.conns {
+		wc.conn.Close()
 	}
 	w.mu.Unlock()
-	<-done
-	return ctx.Err()
+	w.wg.Wait()
+	return expired
 }
 
-// Info snapshots the worker's identity and shuffle counters.
+// Info snapshots the worker's identity and shuffle counters: folded
+// totals of closed connections plus the live links' codecs. RemapEntries
+// is the live links' current remap-table sizes.
 func (w *Worker) Info() WorkerInfo {
-	return WorkerInfo{
-		Partition:    w.part,
-		Of:           w.of,
-		Active:       w.active.Load(),
-		Queued:       w.queued.Load(),
-		BatchesIn:    w.batchesIn.Load(),
-		BatchesOut:   w.batchesOut.Load(),
-		BytesIn:      w.bytesIn.Load(),
-		BytesOut:     w.bytesOut.Load(),
-		RemapEntries: w.remapN.Load(),
-		Terms:        w.d.Len(),
+	info := WorkerInfo{
+		Epoch:           w.epoch,
+		Partition:       w.part,
+		Of:              w.of,
+		Scheme:          w.scheme,
+		Active:          w.active.Load(),
+		Queued:          w.queued.Load(),
+		BatchesIn:       w.fBatchesIn.Load(),
+		BatchesOut:      w.fBatchesOut.Load(),
+		BytesIn:         w.fBytesIn.Load(),
+		BytesOut:        w.fBytesOut.Load(),
+		ShuffledBatches: w.fShufBatches.Load(),
+		ShuffledBytes:   w.fShufBytes.Load(),
+		DictDeltaBytes:  w.fDeltaBytes.Load(),
+		Terms:           w.d.Len(),
 	}
+	w.mu.Lock()
+	for wc := range w.conns {
+		info.BatchesIn += wc.dec.Batches()
+		info.BatchesOut += wc.enc.Batches()
+		info.BytesIn += wc.dec.Bytes()
+		info.BytesOut += wc.enc.Bytes()
+		info.ShuffledBatches += wc.dec.ShuffledBatches()
+		info.ShuffledBytes += wc.dec.ShuffledBytes()
+		info.DictDeltaBytes += wc.dec.DeltaBytes() + wc.enc.DeltaBytes()
+		info.RemapEntries += wc.dec.RemapEntries()
+	}
+	w.mu.Unlock()
+	return info
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -158,139 +208,333 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
+// workerConn is one coordinator link: a shared codec pair plus the task
+// streams currently multiplexed on it.
+type workerConn struct {
+	conn net.Conn
+	enc  *Encoder
+	dec  *Decoder
+
+	mu      sync.Mutex
+	streams map[uint64]*workerStream
+}
+
+// workerStream is one task in flight on a link. Its context is created
+// the moment the task frame parses — before admission — so a cancel
+// frame aborts even a task still waiting in the queue. Join-input
+// schemas register here synchronously in the demux loop, so a batch
+// frame can never outrun its stream's layout.
+type workerStream struct {
+	id      uint64
+	ctx     context.Context
+	cancel  context.CancelFunc
+	q       *frameQ
+	schemas [3]*engine.Schema
+}
+
+func (wc *workerConn) lookupSchema(stream uint64, side byte) *engine.Schema {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if st := wc.streams[stream]; st != nil {
+		return st.schemas[side]
+	}
+	return nil
+}
+
+func (wc *workerConn) stream(id uint64) *workerStream {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.streams[id]
+}
+
+func workerInfoPtr(i WorkerInfo) *WorkerInfo { return &i }
+
+// handle demultiplexes one coordinator link: the hello handshake, then a
+// read loop routing frames to task streams, spawning a goroutine per
+// task frame. It returns when the connection dies, after every task of
+// the link unwinds.
 func (w *Worker) handle(conn net.Conn) {
+	wc := &workerConn{
+		conn:    conn,
+		enc:     NewEncoder(conn, w.d),
+		dec:     NewDecoder(conn, w.d),
+		streams: make(map[uint64]*workerStream),
+	}
+	wc.dec.SetLookup(wc.lookupSchema)
+	w.mu.Lock()
+	w.conns[wc] = struct{}{}
+	w.mu.Unlock()
+
+	var tasks sync.WaitGroup
 	defer func() {
 		conn.Close()
-		w.mu.Lock()
-		delete(w.conns, conn)
-		w.mu.Unlock()
-	}()
-	dec := NewDecoder(conn, w.d)
-	enc := NewEncoder(conn, w.d)
-	defer func() {
-		w.batchesIn.Add(dec.Batches())
-		w.batchesOut.Add(enc.Batches())
-		w.bytesIn.Add(dec.Bytes())
-		w.bytesOut.Add(enc.Bytes())
-		w.remapN.Add(dec.RemapEntries())
-	}()
-
-	f, err := dec.Next()
-	if err != nil || f.Type != frameTask {
-		return
-	}
-	var h taskHeader
-	if err := json.Unmarshal(f.Payload, &h); err != nil {
-		enc.Error("bad task header: " + err.Error())
-		return
-	}
-	if h.Kind == "hello" {
-		if err := enc.Hello(workerInfoPtr(w.Info())); err != nil {
-			w.logf("cluster worker: hello reply: %v", err)
+		wc.mu.Lock()
+		for _, st := range wc.streams {
+			st.cancel()
+			st.q.close(errors.New("cluster: link closed"))
 		}
+		wc.mu.Unlock()
+		tasks.Wait()
+		w.mu.Lock()
+		delete(w.conns, wc)
+		w.mu.Unlock()
+		w.fBatchesIn.Add(wc.dec.Batches())
+		w.fBatchesOut.Add(wc.enc.Batches())
+		w.fBytesIn.Add(wc.dec.Bytes())
+		w.fBytesOut.Add(wc.enc.Bytes())
+		w.fShufBatches.Add(wc.dec.ShuffledBatches())
+		w.fShufBytes.Add(wc.dec.ShuffledBytes())
+		w.fDeltaBytes.Add(wc.dec.DeltaBytes() + wc.enc.DeltaBytes())
+	}()
+
+	// The worker speaks first: a stream-0 hello carrying the session
+	// epoch and partition identity, so links handshake in half a round
+	// trip and restarts are detectable.
+	if err := wc.enc.Hello(0, workerInfoPtr(w.Info())); err != nil {
 		return
 	}
 
+	for {
+		f, err := wc.dec.Next()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case frameTask:
+			var h taskHeader
+			if err := json.Unmarshal(f.Payload, &h); err != nil {
+				wc.enc.Error(f.Stream, "bad task header: "+err.Error())
+				continue
+			}
+			if h.Kind == "hello" {
+				// Status probes skip admission: they must answer even when
+				// the fragment queue is saturated.
+				if err := wc.enc.Hello(f.Stream, workerInfoPtr(w.Info())); err != nil {
+					w.logf("cluster worker: hello reply: %v", err)
+				}
+				continue
+			}
+			st := &workerStream{id: f.Stream, q: newFrameQ()}
+			st.ctx, st.cancel = context.WithCancel(w.ctx)
+			if h.Join != nil {
+				st.schemas[SideLeft] = engine.NewSchema(h.Join.Left)
+				st.schemas[SideRight] = engine.NewSchema(h.Join.Right)
+			}
+			wc.mu.Lock()
+			wc.streams[st.id] = st
+			wc.mu.Unlock()
+			tasks.Add(1)
+			w.taskWG.Add(1)
+			go func(h taskHeader, st *workerStream) {
+				defer tasks.Done()
+				defer w.taskWG.Done()
+				w.runTask(wc, st, &h)
+				wc.mu.Lock()
+				delete(wc.streams, st.id)
+				wc.mu.Unlock()
+				st.cancel()
+				st.q.close(nil)
+			}(h, st)
+		case frameBatch, frameDone:
+			if st := wc.stream(f.Stream); st != nil {
+				st.q.push(f)
+			}
+		case frameCancel, frameError:
+			// The coordinator abandoned the task: abort it even while it
+			// still queues for admission.
+			if st := wc.stream(f.Stream); st != nil {
+				st.cancel()
+				st.q.close(context.Canceled)
+			}
+		default:
+			// Unknown or late frames for released streams drop; their
+			// dictionary deltas already interned inside the decoder.
+		}
+	}
+}
+
+// runTask admits and executes one task stream, reporting failures as an
+// error frame on the stream.
+func (w *Worker) runTask(wc *workerConn, st *workerStream, h *taskHeader) {
 	// Admission: a worker executes at most MaxConcurrent fragments; the
 	// rest wait here (the queue-depth gauge readers see via Info).
 	w.queued.Add(1)
 	select {
 	case w.sem <- struct{}{}:
 		w.queued.Add(-1)
-	case <-w.ctx.Done():
+	case <-st.ctx.Done():
 		w.queued.Add(-1)
-		enc.Error("worker shutting down")
+		if w.ctx.Err() != nil {
+			wc.enc.Error(st.id, "worker shutting down")
+		}
 		return
 	}
 	defer func() { <-w.sem }()
 	w.active.Add(1)
 	defer w.active.Add(-1)
 
-	ctx, cancel := context.WithCancel(w.ctx)
-	defer cancel()
-
 	var runErr error
 	switch {
 	case h.Kind == "scan" && h.Scan != nil:
-		runErr = w.runScan(ctx, cancel, enc, dec, h.Scan)
+		runErr = w.runScan(st, wc.enc, h.Scan)
 	case h.Kind == "join" && h.Join != nil:
-		runErr = w.runJoin(ctx, cancel, enc, dec, h.Join)
+		runErr = w.runJoin(st, wc.enc, h.Join)
+	case h.Kind == "frag" && h.Frag != nil:
+		runErr = w.runFrag(st, wc.enc, h.Frag)
 	default:
 		runErr = fmt.Errorf("unknown task kind %q", h.Kind)
 	}
-	if runErr != nil && ctx.Err() == nil {
+	if runErr != nil && st.ctx.Err() == nil {
 		w.logf("cluster worker: task %s: %v", h.Kind, runErr)
-		enc.Error(runErr.Error())
+		wc.enc.Error(st.id, runErr.Error())
 	}
 }
 
-func workerInfoPtr(i WorkerInfo) *WorkerInfo { return &i }
-
-// runScan executes one wrapper request against this worker's partition
-// and streams the result batches back.
-func (w *Worker) runScan(ctx context.Context, cancel context.CancelFunc, enc *Encoder, dec *Decoder, st *scanTask) error {
-	req, err := st.Req.request()
-	if err != nil {
-		return err
-	}
-	opts := st.Env.options()
-	x := w.exec.NewExecution(st.Env.Scale, st.Env.Seed)
-	schema := engine.NewSchema(st.Schema)
-
-	// The coordinator sends nothing after the task header; a read here
-	// only ever returns when the peer aborts or disconnects — either way,
-	// stop producing.
-	go func() {
-		if _, err := dec.Next(); err != nil {
-			cancel()
-		}
-	}()
-
-	s, err := x.RunService(ctx, st.SourceID, req, schema, opts)
-	if err != nil {
-		return err
-	}
+// sendOut streams s's batches to the coordinator as the stream's SideOut.
+func (w *Worker) sendOut(st *workerStream, enc *Encoder, s *engine.CStream) error {
 	for b := range s.Batches() {
-		if err := enc.Batch(SideOut, b); err != nil {
-			cancel()
+		if err := enc.Batch(st.id, SideOut, b); err != nil {
+			st.cancel()
 			for range s.Batches() {
 			}
 			return err
 		}
 	}
+	return nil
+}
+
+// runScan executes one wrapper request against this worker's partition
+// and streams the result batches back.
+func (w *Worker) runScan(st *workerStream, enc *Encoder, sc *scanTask) error {
+	req, err := sc.Req.request()
+	if err != nil {
+		return err
+	}
+	opts := sc.Env.options()
+	x := w.exec.NewExecution(sc.Env.Scale, sc.Env.Seed)
+	schema := engine.NewSchema(sc.Schema)
+	s, err := x.RunService(st.ctx, sc.SourceID, req, schema, opts)
+	if err != nil {
+		return err
+	}
+	if err := w.sendOut(st, enc, s); err != nil {
+		return err
+	}
 	if err := x.Err(); err != nil {
 		return err
 	}
-	return enc.Done(SideOut)
+	return enc.Done(st.id, SideOut)
+}
+
+// runFrag executes a co-partitioned plan subtree locally and streams only
+// its results back — the shuffle-elision path.
+func (w *Worker) runFrag(st *workerStream, enc *Encoder, ft *fragTask) error {
+	if ft.Root == nil {
+		return corrupt("fragment without a root")
+	}
+	opts := ft.Env.options()
+	x := w.exec.NewExecution(ft.Env.Scale, ft.Env.Seed)
+	s, err := w.buildFrag(st.ctx, x, ft.Root, opts)
+	if err != nil {
+		return err
+	}
+	if err := w.sendOut(st, enc, s); err != nil {
+		return err
+	}
+	if err := x.Err(); err != nil {
+		return err
+	}
+	return enc.Done(st.id, SideOut)
+}
+
+// buildFrag instantiates the serializable fragment tree as local columnar
+// operators over this worker's partition.
+func (w *Worker) buildFrag(ctx context.Context, x *core.Execution, f *wireFrag, opts core.Options) (*engine.CStream, error) {
+	schema := engine.NewSchema(f.Vars)
+	switch f.Kind {
+	case "scan":
+		if f.Req == nil {
+			return nil, corrupt("fragment scan without request")
+		}
+		req, err := f.Req.request()
+		if err != nil {
+			return nil, err
+		}
+		return x.RunService(ctx, f.SourceID, req, schema, opts)
+	case "join":
+		if f.L == nil || f.R == nil {
+			return nil, corrupt("fragment join missing a side")
+		}
+		l, err := w.buildFrag(ctx, x, f.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := w.buildFrag(ctx, x, f.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		return engine.CSymmetricHashJoin(ctx, l, r, f.JoinVars, schema,
+			opts.EffectiveProbeParallelism(), opts.EffectiveBatchSize()), nil
+	case "filter":
+		if len(f.Children) != 1 {
+			return nil, corrupt("fragment filter needs exactly one child")
+		}
+		in, err := w.buildFrag(ctx, x, f.Children[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		var filters []sparql.Expr
+		for _, we := range f.Filters {
+			e, err := we.expr()
+			if err != nil {
+				return nil, err
+			}
+			filters = append(filters, e)
+		}
+		return engine.CFilter(ctx, in, filters, w.d, opts.EffectiveBatchSize()), nil
+	case "union":
+		if len(f.Children) == 0 {
+			return nil, corrupt("fragment union without children")
+		}
+		ins := make([]*engine.CStream, len(f.Children))
+		for i, ch := range f.Children {
+			s, err := w.buildFrag(ctx, x, ch, opts)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = s
+		}
+		return engine.CUnion(ctx, schema, opts.EffectiveBatchSize(), ins...), nil
+	default:
+		return nil, corrupt("unknown fragment kind %q", f.Kind)
+	}
 }
 
 // runJoin symmetric-hash-joins the left/right batches the coordinator
 // shuffles in, streaming joined batches out as both sides build.
-func (w *Worker) runJoin(ctx context.Context, cancel context.CancelFunc, enc *Encoder, dec *Decoder, jt *joinTask) error {
-	leftSchema := engine.NewSchema(jt.Left)
-	rightSchema := engine.NewSchema(jt.Right)
+func (w *Worker) runJoin(st *workerStream, enc *Encoder, jt *joinTask) error {
+	leftSchema := st.schemas[SideLeft]
+	rightSchema := st.schemas[SideRight]
 	outSchema := engine.NewSchema(jt.Out)
-	dec.SetSchema(SideLeft, leftSchema)
-	dec.SetSchema(SideRight, rightSchema)
 
 	opts := jt.Env.options()
 	left := engine.NewCStream(leftSchema, 4)
 	right := engine.NewCStream(rightSchema, 4)
-	out := engine.CSymmetricHashJoin(ctx, left, right, jt.JoinVars, outSchema,
+	out := engine.CSymmetricHashJoin(st.ctx, left, right, jt.JoinVars, outSchema,
 		opts.EffectiveProbeParallelism(), opts.EffectiveBatchSize())
 
 	writeErr := make(chan error, 1)
 	go func() {
 		for b := range out.Batches() {
-			if err := enc.Batch(SideOut, b); err != nil {
-				cancel()
+			if err := enc.Batch(st.id, SideOut, b); err != nil {
+				st.cancel()
 				for range out.Batches() {
 				}
 				writeErr <- err
 				return
 			}
 		}
-		writeErr <- enc.Done(SideOut)
+		writeErr <- enc.Done(st.id, SideOut)
 	}()
 
 	doneL, doneR := false, false
@@ -305,12 +549,20 @@ func (w *Worker) runJoin(ctx context.Context, cancel context.CancelFunc, enc *En
 		}
 	}
 	for !(doneL && doneR) {
-		f, err := dec.Next()
-		if err != nil {
-			cancel()
+		f, qerr, ok := st.q.pop()
+		if !ok {
+			// The stream's queue closed under the task: the link died, the
+			// coordinator canceled, or the worker is shutting down.
+			st.cancel()
 			closeBoth()
 			<-writeErr
-			return err
+			if st.ctx.Err() != nil {
+				return nil
+			}
+			if qerr == nil {
+				qerr = corrupt("join input ended early")
+			}
+			return qerr
 		}
 		switch f.Type {
 		case frameBatch:
@@ -321,15 +573,21 @@ func (w *Worker) runJoin(ctx context.Context, cancel context.CancelFunc, enc *En
 			case f.Side == SideRight && !doneR:
 				target = right
 			default:
-				cancel()
+				st.cancel()
 				closeBoth()
 				<-writeErr
 				return corrupt("join batch for side %d", f.Side)
 			}
-			if !target.SendBatch(ctx, f.Batch) {
+			if f.Batch == nil {
+				st.cancel()
 				closeBoth()
 				<-writeErr
-				return ctx.Err()
+				return corrupt("join batch without a registered schema")
+			}
+			if !target.SendBatch(st.ctx, f.Batch) {
+				closeBoth()
+				<-writeErr
+				return st.ctx.Err()
 			}
 		case frameDone:
 			switch {
@@ -340,14 +598,8 @@ func (w *Worker) runJoin(ctx context.Context, cancel context.CancelFunc, enc *En
 				doneR = true
 				right.Close()
 			}
-		case frameError:
-			// The coordinator aborted the task; stop quietly.
-			cancel()
-			closeBoth()
-			<-writeErr
-			return nil
 		default:
-			cancel()
+			st.cancel()
 			closeBoth()
 			<-writeErr
 			return corrupt("unexpected frame type 0x%02x in join task", f.Type)

@@ -24,6 +24,15 @@ type Distributor interface {
 	// workers and streams back the union of the per-worker symmetric
 	// hash joins.
 	ShuffleJoin(ctx context.Context, left, right *engine.CStream, joinVars []string, out *engine.Schema, d *dict.Dict, env FragmentEnv) (*engine.CStream, error)
+	// Colocated reports whether the pool is a complete co-partitioned
+	// cut of the lake under a common partition scheme — the precondition
+	// for pushing a partition-aligned join down whole via RunFragment.
+	Colocated(ctx context.Context, d *dict.Dict) bool
+	// RunFragment runs a serializable plan subtree on every worker's
+	// partition and streams back the union of their local results; the
+	// caller must have proven (via partition analysis plus Colocated)
+	// that local evaluation distributes over the partitioning.
+	RunFragment(ctx context.Context, root PlanNode, out *engine.Schema, d *dict.Dict, env FragmentEnv) (*engine.CStream, error)
 }
 
 // FragmentEnv carries the per-execution context a distributor forwards to

@@ -380,3 +380,96 @@ func (cm *costModel) chooseJoin(l, r *orderedPlan, shared []string) *orderedPlan
 	node := &JoinNode{L: l.node, R: r.node, JoinVars: shared, Op: op, Est: &est}
 	return &orderedPlan{node: node, est: est}
 }
+
+// partitionVars returns the set of variables the node's output stream is
+// hash-partitioned by under cluster execution, or nil when the output is
+// scattered. A single-star unseeded service is partitioned by its
+// subject variable (PartitionLake routes every model's rows by the
+// subject-term hash); a symmetric-hash join whose sides share a
+// partition variable among its join variables keeps both sides' keys; a
+// filter inherits its child; a union keeps the variables all children
+// agree on. A non-nil result also proves the subtree serializes as a
+// worker fragment: only those four node kinds can produce one.
+//
+// The analysis runs at execution time, not planning time: plans are
+// cluster-agnostic (Options.Cluster is an execution option), so a cached
+// plan shared between clustered and single-node runs carries no
+// partition assumptions.
+func partitionVars(n PlanNode) map[string]bool {
+	switch v := n.(type) {
+	case *ServiceNode:
+		if v.Req == nil || len(v.Req.Stars) != 1 || v.Req.Seed != nil || len(v.Req.Seeds) > 0 {
+			return nil
+		}
+		s := v.Req.Stars[0]
+		if s.SubjectVar == "" {
+			return nil
+		}
+		return map[string]bool{s.SubjectVar: true}
+	case *JoinNode:
+		if v.Op != JoinSymmetricHash {
+			return nil
+		}
+		pl := partitionVars(v.L)
+		if pl == nil {
+			return nil
+		}
+		pr := partitionVars(v.R)
+		if pr == nil {
+			return nil
+		}
+		aligned := false
+		for _, u := range v.JoinVars {
+			if pl[u] && pr[u] {
+				aligned = true
+				break
+			}
+		}
+		if !aligned {
+			return nil
+		}
+		// Joined rows co-reside with both inputs, so every partition
+		// variable of either side still locates the row's worker.
+		out := make(map[string]bool, len(pl)+len(pr))
+		for u := range pl {
+			out[u] = true
+		}
+		for u := range pr {
+			out[u] = true
+		}
+		return out
+	case *FilterNode:
+		return partitionVars(v.Child)
+	case *UnionNode:
+		if len(v.Children) == 0 {
+			return nil
+		}
+		acc := partitionVars(v.Children[0])
+		for _, c := range v.Children[1:] {
+			if acc == nil {
+				return nil
+			}
+			p := partitionVars(c)
+			if p == nil {
+				return nil
+			}
+			for u := range acc {
+				if !p[u] {
+					delete(acc, u)
+				}
+			}
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+		return acc
+	default:
+		return nil
+	}
+}
+
+// coPartitioned reports whether the join's matching row pairs provably
+// co-reside on single workers — both sides partitioned by a common join
+// variable — so each worker can join its partition locally and ship only
+// results: zero shuffled batches.
+func coPartitioned(v *JoinNode) bool { return partitionVars(v) != nil }

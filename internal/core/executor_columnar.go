@@ -109,6 +109,19 @@ func (x *Execution) runColumnar(ctx context.Context, n PlanNode, opts Options, d
 		return engine.CMeter(ctx, s, x.stats(v, "service", v.SourceID)), nil
 	case *JoinNode:
 		out := engine.NewSchema(v.Vars())
+		if dist := opts.Cluster; dist != nil && coPartitioned(v) && dist.Colocated(ctx, d) {
+			// Both sides are partitioned by a shared join variable and the
+			// pool is a complete co-partitioned cut of the lake: ship the
+			// subtree whole, each worker joins its own partition locally,
+			// and only results cross the wire — zero shuffled batches.
+			st := x.stats(v, "co-join", strings.Join(v.JoinVars, ","))
+			jctx := engine.WithOpStats(ctx, st)
+			s, err := dist.RunFragment(jctx, v, out, d, x.fragmentEnv(opts))
+			if err != nil {
+				return nil, err
+			}
+			return engine.CMeter(jctx, s, st), nil
+		}
 		if v.Op == JoinBind || v.Op == JoinBlockBind {
 			if svc, ok := v.R.(*ServiceNode); ok {
 				left, err := x.runColumnar(ctx, v.L, opts, d)

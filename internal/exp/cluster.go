@@ -29,7 +29,7 @@ type ClusterExpConfig struct {
 	Scale lslod.Scale
 	// Seed fixes data generation (every worker partitions the same lake).
 	Seed int64
-	// Workers lists the pool sizes to measure (default 1,2). Size 1 is
+	// Workers lists the pool sizes to measure (default 1,2,3,4). Size 1 is
 	// the scale-out baseline: one worker owning the whole lake behind the
 	// same wire protocol, so the curve isolates partitioning from the
 	// fixed cost of distribution itself.
@@ -52,19 +52,30 @@ type ClusterExpConfig struct {
 
 // ClusterResult is one measured pool-size cell.
 type ClusterResult struct {
-	Workers         int           `json:"workers"`
-	Network         string        `json:"network"`
-	NetworkScale    float64       `json:"network_scale"`
-	Completed       int           `json:"completed"`
-	Wall            time.Duration `json:"wall_ns"`
-	Throughput      float64       `json:"throughput_qps"`
-	Answers         int           `json:"answers"`
-	BindingsPerSec  float64       `json:"bindings_per_sec"`
-	LatencyP50      time.Duration `json:"latency_p50_ns"`
-	LatencyP95      time.Duration `json:"latency_p95_ns"`
-	TTFAP50         time.Duration `json:"ttfa_p50_ns"`
-	ShuffledBatches int64         `json:"shuffled_batches"`
-	ShuffledBytes   int64         `json:"shuffled_bytes"`
+	Workers        int           `json:"workers"`
+	Network        string        `json:"network"`
+	NetworkScale   float64       `json:"network_scale"`
+	Completed      int           `json:"completed"`
+	Wall           time.Duration `json:"wall_ns"`
+	Throughput     float64       `json:"throughput_qps"`
+	Answers        int           `json:"answers"`
+	BindingsPerSec float64       `json:"bindings_per_sec"`
+	LatencyP50     time.Duration `json:"latency_p50_ns"`
+	LatencyP95     time.Duration `json:"latency_p95_ns"`
+	TTFAP50        time.Duration `json:"ttfa_p50_ns"`
+	// ShuffledBatches/ShuffledBytes count ALL wire traffic between the
+	// coordinator and the pool, both directions (results included), so
+	// the series stays comparable with the PR 9 dial-per-task baseline.
+	ShuffledBatches int64 `json:"shuffled_batches"`
+	ShuffledBytes   int64 `json:"shuffled_bytes"`
+	// ShuffledBytesPerAnswer normalizes the wire traffic by the answers
+	// produced — the headline the persistent links and co-partitioned
+	// pushdown move.
+	ShuffledBytesPerAnswer float64 `json:"shuffled_bytes_per_answer"`
+	// DictDeltaBytes is the wire spent on dictionary-delta records (term
+	// lexical forms); with persistent links this amortizes to ~once per
+	// term per link for the whole cell, not once per task.
+	DictDeltaBytes int64 `json:"dict_delta_bytes"`
 	// Speedup is this cell's bindings/sec over the first cell's.
 	Speedup float64 `json:"speedup_vs_first"`
 }
@@ -76,7 +87,7 @@ type ClusterResult struct {
 // profile.
 func RunCluster(ctx context.Context, cfg ClusterExpConfig) ([]*ClusterResult, error) {
 	if len(cfg.Workers) == 0 {
-		cfg.Workers = []int{1, 2}
+		cfg.Workers = []int{1, 2, 3, 4}
 	}
 	if cfg.Network.Name == "" {
 		cfg.Network = netsim.NoDelay
@@ -149,6 +160,7 @@ func runClusterCell(ctx context.Context, cfg ClusterExpConfig, n int) (*ClusterR
 	if err != nil {
 		return nil, err
 	}
+	defer client.Close()
 	opt, ok := bridge.ClusterOption(client).(ontario.Option)
 	if !ok {
 		return nil, fmt.Errorf("cluster option bridge unavailable")
@@ -239,21 +251,26 @@ func runClusterCell(ctx context.Context, cfg ClusterExpConfig, n int) (*ClusterR
 	for _, ws := range client.Probe(pctx) {
 		res.ShuffledBatches += ws.BatchesIn + ws.BatchesOut
 		res.ShuffledBytes += ws.BytesIn + ws.BytesOut
+		res.DictDeltaBytes += ws.DictDeltaBytes
 	}
 	cancel()
+	if answers > 0 {
+		res.ShuffledBytesPerAnswer = float64(res.ShuffledBytes) / float64(answers)
+	}
 	return res, nil
 }
 
 // WriteClusterTable renders the scaling curve as an aligned text table.
 func WriteClusterTable(w io.Writer, rows []*ClusterResult) {
-	fmt.Fprintf(w, "%-8s %6s %10s %9s %12s %10s %10s %10s %9s %12s %8s\n",
-		"workers", "done", "wall", "qps", "bindings/s", "p50", "p95", "ttfa-p50", "batches", "bytes", "speedup")
-	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 114))
+	fmt.Fprintf(w, "%-8s %6s %10s %9s %12s %10s %10s %10s %9s %12s %11s %11s %8s\n",
+		"workers", "done", "wall", "qps", "bindings/s", "p50", "p95", "ttfa-p50", "batches", "bytes", "bytes/ans", "delta-bytes", "speedup")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 138))
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8d %6d %10s %9.1f %12.0f %10s %10s %10s %9d %12d %7.2fx\n",
+		fmt.Fprintf(w, "%-8d %6d %10s %9.1f %12.0f %10s %10s %10s %9d %12d %11.1f %11d %7.2fx\n",
 			r.Workers, r.Completed, r.Wall.Round(time.Millisecond), r.Throughput, r.BindingsPerSec,
 			r.LatencyP50.Round(10*time.Microsecond), r.LatencyP95.Round(10*time.Microsecond),
-			r.TTFAP50.Round(10*time.Microsecond), r.ShuffledBatches, r.ShuffledBytes, r.Speedup)
+			r.TTFAP50.Round(10*time.Microsecond), r.ShuffledBatches, r.ShuffledBytes,
+			r.ShuffledBytesPerAnswer, r.DictDeltaBytes, r.Speedup)
 	}
 }
 

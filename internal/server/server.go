@@ -122,13 +122,20 @@ type WorkerStatus struct {
 	Err             string `json:"err,omitempty"`
 	Partition       int    `json:"partition"`
 	Of              int    `json:"of"`
+	Scheme          string `json:"scheme,omitempty"`
+	Epoch           int64  `json:"epoch,omitempty"`
 	ActiveFragments int64  `json:"active_fragments"`
 	QueuedFragments int64  `json:"queued_fragments"`
 	BatchesIn       int64  `json:"batches_in"`
 	BatchesOut      int64  `json:"batches_out"`
 	BytesIn         int64  `json:"bytes_in"`
 	BytesOut        int64  `json:"bytes_out"`
-	RemapEntries    int64  `json:"remap_entries"`
+	DictDeltaBytes  int64  `json:"dict_delta_bytes"`
+	// RemapEntries is the current size of the persistent link's remap
+	// table (how many distinct terms have crossed this link), not a
+	// cumulative per-task sum.
+	RemapEntries int64 `json:"remap_entries"`
+	Reconnects   int64 `json:"reconnects"`
 }
 
 func (c Config) withDefaults() Config {
@@ -846,7 +853,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			})
 			writeGauge("ontario_cluster_fragment_queue_depth", func(ws WorkerStatus) int64 { return ws.QueuedFragments })
 			writeGauge("ontario_cluster_active_fragments", func(ws WorkerStatus) int64 { return ws.ActiveFragments })
+			// Current size of each persistent link's remap table — a
+			// per-link gauge, not a per-task cumulative sum.
 			writeGauge("ontario_cluster_remap_entries", func(ws WorkerStatus) int64 { return ws.RemapEntries })
+			writeGauge("ontario_cluster_dict_delta_bytes", func(ws WorkerStatus) int64 { return ws.DictDeltaBytes })
+			fmt.Fprintf(w, "# TYPE ontario_cluster_link_reconnects_total counter\n")
+			for _, ws := range workers {
+				fmt.Fprintf(w, "ontario_cluster_link_reconnects_total{worker=%q} %d\n", ws.Addr, ws.Reconnects)
+			}
 			fmt.Fprintf(w, "# TYPE ontario_cluster_shuffled_batches gauge\n")
 			for _, ws := range workers {
 				fmt.Fprintf(w, "ontario_cluster_shuffled_batches{worker=%q,direction=\"in\"} %d\n", ws.Addr, ws.BatchesIn)
